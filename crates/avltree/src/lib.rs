@@ -1,0 +1,168 @@
+//! An order-statistic AVL tree.
+//!
+//! The SAP paper builds two structures on AVL trees:
+//!
+//! * `P^k_m` — the running top-k of the newest partition — "uses a AVL-Tree
+//!   to maintain the k objects with highest scores" (§3.1, Algorithm 1);
+//! * the **S-AVL** (§5.1) — an AVL tree over the top entries of `k − ρ`
+//!   stacks holding the meaningful objects of the front partition.
+//!
+//! Both need ordered insert/delete, min/max extraction, and (for diagnostics
+//! and tests) rank queries, so the tree is augmented with subtree sizes.
+//! Nodes live in an arena (`Vec`) with a free list: no per-node allocation,
+//! no unsafe code, indices instead of pointers.
+//!
+//! ```
+//! use sap_avltree::AvlMap;
+//!
+//! let mut t = AvlMap::new();
+//! t.insert(5, "five");
+//! t.insert(2, "two");
+//! t.insert(8, "eight");
+//! assert_eq!(t.min().map(|(k, _)| *k), Some(2));
+//! assert_eq!(t.select(1).map(|(k, _)| *k), Some(5)); // rank 1 = second smallest
+//! assert_eq!(t.rank(&8), 2);                          // two keys below 8
+//! assert_eq!(t.remove(&5), Some("five"));
+//! assert_eq!(t.len(), 2);
+//! ```
+
+mod tree;
+
+pub use tree::{AvlMap, Iter, IterRev};
+
+/// A set built on [`AvlMap`] with unit values.
+#[derive(Debug, Clone)]
+pub struct AvlSet<K: Ord> {
+    map: AvlMap<K, ()>,
+}
+
+impl<K: Ord> Default for AvlSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord> AvlSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AvlSet { map: AvlMap::new() }
+    }
+
+    /// Creates an empty set with room for `cap` elements before the arena
+    /// reallocates.
+    pub fn with_capacity(cap: usize) -> Self {
+        AvlSet {
+            map: AvlMap::with_capacity(cap),
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        self.map.insert(key, ()).is_none()
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.get(key).is_some()
+    }
+
+    /// Smallest element.
+    pub fn min(&self) -> Option<&K> {
+        self.map.min().map(|(k, _)| k)
+    }
+
+    /// Largest element.
+    pub fn max(&self) -> Option<&K> {
+        self.map.max().map(|(k, _)| k)
+    }
+
+    /// Removes and returns the smallest element.
+    pub fn pop_min(&mut self) -> Option<K> {
+        self.map.pop_min().map(|(k, _)| k)
+    }
+
+    /// Removes and returns the largest element.
+    pub fn pop_max(&mut self) -> Option<K> {
+        self.map.pop_max().map(|(k, _)| k)
+    }
+
+    /// The element with `rank` keys below it (0 = minimum).
+    pub fn select(&self, rank: usize) -> Option<&K> {
+        self.map.select(rank).map(|(k, _)| k)
+    }
+
+    /// Number of elements strictly below `key`.
+    pub fn rank(&self, key: &K) -> usize {
+        self.map.rank(key)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Removes all elements, keeping the arena.
+    pub fn clear(&mut self) {
+        self.map.clear()
+    }
+
+    /// Ascending iterator.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.map.iter().map(|(k, _)| k)
+    }
+
+    /// Descending iterator.
+    pub fn iter_rev(&self) -> impl Iterator<Item = &K> {
+        self.map.iter_rev().map(|(k, _)| k)
+    }
+
+    /// Estimated heap usage of the arena, for the paper's memory tables.
+    pub fn memory_bytes(&self) -> usize {
+        self.map.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod set_tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_ops() {
+        let mut s = AvlSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(!s.insert(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&1));
+        assert_eq!(s.min(), Some(&1));
+        assert_eq!(s.max(), Some(&3));
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert_eq!(s.pop_min(), Some(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn select_and_rank() {
+        let mut s = AvlSet::new();
+        for x in [50, 10, 30, 20, 40] {
+            s.insert(x);
+        }
+        assert_eq!(s.select(0), Some(&10));
+        assert_eq!(s.select(4), Some(&50));
+        assert_eq!(s.select(5), None);
+        assert_eq!(s.rank(&10), 0);
+        assert_eq!(s.rank(&35), 3);
+        assert_eq!(s.rank(&100), 5);
+    }
+}

@@ -1,0 +1,791 @@
+//! The arena-based order-statistic AVL map.
+
+use std::cmp::Ordering;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    left: u32,
+    right: u32,
+    height: u8,
+    size: u32,
+}
+
+/// A sorted map implemented as an AVL tree with subtree-size augmentation
+/// (an *order-statistic tree*): `select` and `rank` run in `O(log n)` in
+/// addition to the usual ordered-map operations.
+///
+/// Nodes are stored in a `Vec<Option<Node>>` arena with an internal free
+/// list; removing an element recycles its slot, so long-running
+/// sliding-window structures reach a steady state with zero allocation per
+/// operation. No unsafe code.
+#[derive(Debug, Clone)]
+pub struct AvlMap<K, V> {
+    slots: Vec<Option<Node<K, V>>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for AvlMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> AvlMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AvlMap {
+            slots: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty map whose arena can hold `cap` entries before
+    /// reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        AvlMap {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every entry but keeps the arena capacity.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    /// Estimated heap usage of the arena, for the paper's memory accounting
+    /// (Tables 8–9).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<Node<K, V>>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> &Node<K, V> {
+        self.slots[idx as usize]
+            .as_ref()
+            .expect("live node index points at a freed slot")
+    }
+
+    #[inline]
+    fn node_mut(&mut self, idx: u32) -> &mut Node<K, V> {
+        self.slots[idx as usize]
+            .as_mut()
+            .expect("live node index points at a freed slot")
+    }
+
+    #[inline]
+    fn subtree_size(&self, idx: u32) -> usize {
+        if idx == NIL {
+            0
+        } else {
+            self.node(idx).size as usize
+        }
+    }
+
+    #[inline]
+    fn height(&self, idx: u32) -> i32 {
+        if idx == NIL {
+            0
+        } else {
+            self.node(idx).height as i32
+        }
+    }
+
+    fn alloc(&mut self, key: K, value: V) -> u32 {
+        let node = Node {
+            key,
+            value,
+            left: NIL,
+            right: NIL,
+            height: 1,
+            size: 1,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(node);
+            idx
+        } else {
+            self.slots.push(Some(node));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn dealloc(&mut self, idx: u32) -> (K, V) {
+        let node = self.slots[idx as usize]
+            .take()
+            .expect("deallocating an already freed slot");
+        self.free.push(idx);
+        (node.key, node.value)
+    }
+
+    #[inline]
+    fn update(&mut self, idx: u32) {
+        let (l, r) = {
+            let n = self.node(idx);
+            (n.left, n.right)
+        };
+        let h = 1 + self.height(l).max(self.height(r));
+        let s = 1 + self.subtree_size(l) + self.subtree_size(r);
+        let n = self.node_mut(idx);
+        n.height = h as u8;
+        n.size = s as u32;
+    }
+
+    #[inline]
+    fn balance_factor(&self, idx: u32) -> i32 {
+        let n = self.node(idx);
+        self.height(n.left) - self.height(n.right)
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.node(y).left;
+        let t2 = self.node(x).right;
+        self.node_mut(x).right = y;
+        self.node_mut(y).left = t2;
+        self.update(y);
+        self.update(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.node(x).right;
+        let t2 = self.node(y).left;
+        self.node_mut(y).left = x;
+        self.node_mut(x).right = t2;
+        self.update(x);
+        self.update(y);
+        y
+    }
+
+    fn rebalance(&mut self, idx: u32) -> u32 {
+        self.update(idx);
+        let bf = self.balance_factor(idx);
+        if bf > 1 {
+            let left = self.node(idx).left;
+            if self.balance_factor(left) < 0 {
+                let new_left = self.rotate_left(left);
+                self.node_mut(idx).left = new_left;
+            }
+            self.rotate_right(idx)
+        } else if bf < -1 {
+            let right = self.node(idx).right;
+            if self.balance_factor(right) > 0 {
+                let new_right = self.rotate_right(right);
+                self.node_mut(idx).right = new_right;
+            }
+            self.rotate_left(idx)
+        } else {
+            idx
+        }
+    }
+
+    /// Inserts `key → value`. Returns the previous value if `key` was
+    /// already present (the stored key is not replaced in that case).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut replaced = None;
+        self.root = self.insert_at(self.root, key, value, &mut replaced);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
+    }
+
+    fn insert_at(&mut self, idx: u32, key: K, value: V, replaced: &mut Option<V>) -> u32 {
+        if idx == NIL {
+            return self.alloc(key, value);
+        }
+        match key.cmp(&self.node(idx).key) {
+            Ordering::Less => {
+                let l = self.node(idx).left;
+                let nl = self.insert_at(l, key, value, replaced);
+                self.node_mut(idx).left = nl;
+            }
+            Ordering::Greater => {
+                let r = self.node(idx).right;
+                let nr = self.insert_at(r, key, value, replaced);
+                self.node_mut(idx).right = nr;
+            }
+            Ordering::Equal => {
+                *replaced = Some(std::mem::replace(&mut self.node_mut(idx).value, value));
+                return idx;
+            }
+        }
+        self.rebalance(idx)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut removed = None;
+        self.root = self.remove_at(self.root, key, &mut removed);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(&mut self, idx: u32, key: &K, removed: &mut Option<V>) -> u32 {
+        if idx == NIL {
+            return NIL;
+        }
+        match key.cmp(&self.node(idx).key) {
+            Ordering::Less => {
+                let l = self.node(idx).left;
+                let nl = self.remove_at(l, key, removed);
+                self.node_mut(idx).left = nl;
+            }
+            Ordering::Greater => {
+                let r = self.node(idx).right;
+                let nr = self.remove_at(r, key, removed);
+                self.node_mut(idx).right = nr;
+            }
+            Ordering::Equal => {
+                let (l, r) = {
+                    let n = self.node(idx);
+                    (n.left, n.right)
+                };
+                if l == NIL || r == NIL {
+                    let child = if l == NIL { r } else { l };
+                    let (_, v) = self.dealloc(idx);
+                    *removed = Some(v);
+                    return child;
+                }
+                // Two children: splice out the in-order successor (min of
+                // the right subtree) and move its key/value into this node.
+                let mut succ = None;
+                let nr = self.remove_min_at(r, &mut succ);
+                self.node_mut(idx).right = nr;
+                let (sk, sv) = succ.expect("right subtree was non-empty");
+                let n = self.node_mut(idx);
+                n.key = sk;
+                *removed = Some(std::mem::replace(&mut n.value, sv));
+            }
+        }
+        self.rebalance(idx)
+    }
+
+    /// Removes the minimum node of the subtree rooted at `idx`, returning
+    /// the new subtree root and handing the key/value pair to `out`.
+    fn remove_min_at(&mut self, idx: u32, out: &mut Option<(K, V)>) -> u32 {
+        let l = self.node(idx).left;
+        if l == NIL {
+            let r = self.node(idx).right;
+            *out = Some(self.dealloc(idx));
+            return r;
+        }
+        let nl = self.remove_min_at(l, out);
+        self.node_mut(idx).left = nl;
+        self.rebalance(idx)
+    }
+
+    fn remove_max_at(&mut self, idx: u32, out: &mut Option<(K, V)>) -> u32 {
+        let r = self.node(idx).right;
+        if r == NIL {
+            let l = self.node(idx).left;
+            *out = Some(self.dealloc(idx));
+            return l;
+        }
+        let nr = self.remove_max_at(r, out);
+        self.node_mut(idx).right = nr;
+        self.rebalance(idx)
+    }
+
+    /// Smallest key with its value.
+    pub fn min(&self) -> Option<(&K, &V)> {
+        let mut idx = self.root;
+        if idx == NIL {
+            return None;
+        }
+        loop {
+            let n = self.node(idx);
+            if n.left == NIL {
+                return Some((&n.key, &n.value));
+            }
+            idx = n.left;
+        }
+    }
+
+    /// Largest key with its value.
+    pub fn max(&self) -> Option<(&K, &V)> {
+        let mut idx = self.root;
+        if idx == NIL {
+            return None;
+        }
+        loop {
+            let n = self.node(idx);
+            if n.right == NIL {
+                return Some((&n.key, &n.value));
+            }
+            idx = n.right;
+        }
+    }
+
+    /// Removes and returns the smallest entry.
+    pub fn pop_min(&mut self) -> Option<(K, V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut out = None;
+        self.root = self.remove_min_at(self.root, &mut out);
+        self.len -= 1;
+        out
+    }
+
+    /// Removes and returns the largest entry.
+    pub fn pop_max(&mut self) -> Option<(K, V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut out = None;
+        self.root = self.remove_max_at(self.root, &mut out);
+        self.len -= 1;
+        out
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut idx = self.root;
+        while idx != NIL {
+            let n = self.node(idx);
+            match key.cmp(&n.key) {
+                Ordering::Less => idx = n.left,
+                Ordering::Greater => idx = n.right,
+                Ordering::Equal => return Some(&n.value),
+            }
+        }
+        None
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut idx = self.root;
+        while idx != NIL {
+            let n = self.node(idx);
+            match key.cmp(&n.key) {
+                Ordering::Less => idx = n.left,
+                Ordering::Greater => idx = n.right,
+                Ordering::Equal => return Some(&mut self.node_mut(idx).value),
+            }
+        }
+        None
+    }
+
+    /// The entry with exactly `rank` keys below it (0-based ascending).
+    pub fn select(&self, mut rank: usize) -> Option<(&K, &V)> {
+        if rank >= self.len {
+            return None;
+        }
+        let mut idx = self.root;
+        loop {
+            let n = self.node(idx);
+            let ls = self.subtree_size(n.left);
+            if rank < ls {
+                idx = n.left;
+            } else if rank == ls {
+                return Some((&n.key, &n.value));
+            } else {
+                rank -= ls + 1;
+                idx = n.right;
+            }
+        }
+    }
+
+    /// Number of keys strictly less than `key`.
+    pub fn rank(&self, key: &K) -> usize {
+        let mut idx = self.root;
+        let mut below = 0usize;
+        while idx != NIL {
+            let n = self.node(idx);
+            match key.cmp(&n.key) {
+                Ordering::Less => idx = n.left,
+                Ordering::Greater => {
+                    below += self.subtree_size(n.left) + 1;
+                    idx = n.right;
+                }
+                Ordering::Equal => {
+                    below += self.subtree_size(n.left);
+                    break;
+                }
+            }
+        }
+        below
+    }
+
+    /// Ascending in-order iterator. Creation is allocation-free.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = DescentStack::new();
+        let mut idx = self.root;
+        while idx != NIL {
+            stack.push(idx);
+            idx = self.node(idx).left;
+        }
+        Iter { map: self, stack }
+    }
+
+    /// Descending (reverse in-order) iterator. Creation is allocation-free.
+    pub fn iter_rev(&self) -> IterRev<'_, K, V> {
+        let mut stack = DescentStack::new();
+        let mut idx = self.root;
+        while idx != NIL {
+            stack.push(idx);
+            idx = self.node(idx).right;
+        }
+        IterRev { map: self, stack }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn walk<K: Ord, V>(map: &AvlMap<K, V>, idx: u32) -> (i32, usize) {
+            if idx == NIL {
+                return (0, 0);
+            }
+            let n = map.node(idx);
+            let (lh, ls) = walk(map, n.left);
+            let (rh, rs) = walk(map, n.right);
+            assert!((lh - rh).abs() <= 1, "AVL balance violated");
+            assert_eq!(n.height as i32, 1 + lh.max(rh), "height cache wrong");
+            assert_eq!(n.size as usize, 1 + ls + rs, "size cache wrong");
+            if n.left != NIL {
+                assert!(map.node(n.left).key < n.key, "BST order violated");
+            }
+            if n.right != NIL {
+                assert!(map.node(n.right).key > n.key, "BST order violated");
+            }
+            (n.height as i32, n.size as usize)
+        }
+        let (_, total) = walk(self, self.root);
+        assert_eq!(total, self.len, "len cache wrong");
+    }
+}
+
+/// Fixed-capacity descent stack: an AVL tree with a `u32` arena holds at
+/// most 2³² nodes, whose height is bounded by 1.44·log₂(2³²) < 47 — so 48
+/// slots always suffice and iterator creation never allocates.
+#[derive(Clone)]
+struct DescentStack {
+    buf: [u32; 48],
+    len: u8,
+}
+
+impl DescentStack {
+    #[inline]
+    fn new() -> Self {
+        DescentStack {
+            buf: [0; 48],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, idx: u32) {
+        self.buf[self.len as usize] = idx;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            None
+        } else {
+            self.len -= 1;
+            Some(self.buf[self.len as usize])
+        }
+    }
+}
+
+/// Ascending in-order iterator over an [`AvlMap`].
+pub struct Iter<'a, K, V> {
+    map: &'a AvlMap<K, V>,
+    stack: DescentStack,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.stack.pop()?;
+        let n = self.map.node(idx);
+        let mut r = n.right;
+        while r != NIL {
+            self.stack.push(r);
+            r = self.map.node(r).left;
+        }
+        Some((&n.key, &n.value))
+    }
+}
+
+/// Descending in-order iterator over an [`AvlMap`].
+pub struct IterRev<'a, K, V> {
+    map: &'a AvlMap<K, V>,
+    stack: DescentStack,
+}
+
+impl<'a, K: Ord, V> Iterator for IterRev<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.stack.pop()?;
+        let n = self.map.node(idx);
+        let mut l = n.left;
+        while l != NIL {
+            self.stack.push(l);
+            l = self.map.node(l).right;
+        }
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = AvlMap::new();
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(2, "b"), None);
+        assert_eq!(t.insert(1, "a2"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&1), Some(&"a2"));
+        assert_eq!(t.remove(&1), Some("a2"));
+        assert_eq!(t.remove(&1), None);
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn sequential_ascending_inserts_stay_balanced() {
+        let mut t = AvlMap::new();
+        for i in 0..1000 {
+            t.insert(i, i * 2);
+            if i % 97 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        // AVL height bound: h ≤ 1.44·log2(n + 2)
+        let h = t.height(t.root) as f64;
+        assert!(h <= 1.45 * (1002f64).log2(), "tree too tall: {h}");
+        assert_eq!(t.len(), 1000);
+        let collected: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        let expect: Vec<i32> = (0..1000).collect();
+        assert_eq!(collected, expect);
+    }
+
+    #[test]
+    fn descending_and_zigzag_inserts() {
+        let mut t = AvlMap::new();
+        for i in (0..500).rev() {
+            t.insert(i, ());
+        }
+        t.check_invariants();
+        let mut t2 = AvlMap::new();
+        for i in 0..500 {
+            let key = if i % 2 == 0 { i } else { 1000 - i };
+            t2.insert(key, ());
+        }
+        t2.check_invariants();
+    }
+
+    #[test]
+    fn remove_all_permutations_small() {
+        // exhaustive over all removal orders of 6 elements
+        let keys = [3, 1, 4, 0, 5, 2];
+        fn permute(arr: &mut Vec<i32>, k: usize, out: &mut Vec<Vec<i32>>) {
+            if k == arr.len() {
+                out.push(arr.clone());
+                return;
+            }
+            for i in k..arr.len() {
+                arr.swap(k, i);
+                permute(arr, k + 1, out);
+                arr.swap(k, i);
+            }
+        }
+        let mut orders = Vec::new();
+        permute(&mut keys.to_vec(), 0, &mut orders);
+        for order in orders {
+            let mut t = AvlMap::new();
+            for &k in &keys {
+                t.insert(k, k);
+            }
+            for (step, &k) in order.iter().enumerate() {
+                assert_eq!(t.remove(&k), Some(k));
+                t.check_invariants();
+                assert_eq!(t.len(), keys.len() - step - 1);
+            }
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_min_and_pop_max_drain_in_order() {
+        let mut t = AvlMap::new();
+        for x in [7, 3, 9, 1, 5, 8, 2] {
+            t.insert(x, x * 10);
+        }
+        assert_eq!(t.pop_min(), Some((1, 10)));
+        assert_eq!(t.pop_max(), Some((9, 90)));
+        assert_eq!(t.pop_min(), Some((2, 20)));
+        t.check_invariants();
+        assert_eq!(t.len(), 4);
+        let ks: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ks, vec![3, 5, 7, 8]);
+    }
+
+    #[test]
+    fn select_rank_consistency() {
+        let mut t = AvlMap::new();
+        let keys = [42, 17, 99, 3, 56, 23, 71, 10];
+        for &k in &keys {
+            t.insert(k, ());
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for (i, &k) in sorted.iter().enumerate() {
+            assert_eq!(t.select(i).map(|(k, _)| *k), Some(k));
+            assert_eq!(t.rank(&k), i);
+        }
+        assert_eq!(t.select(keys.len()), None);
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut t = AvlMap::new();
+        for i in 0..100 {
+            t.insert(i, ());
+        }
+        let cap_before = t.slots.len();
+        // churn: remove and re-add repeatedly
+        for round in 0..50 {
+            for i in 0..100 {
+                t.remove(&i);
+            }
+            for i in 0..100 {
+                t.insert(i + round, ());
+            }
+            for i in 0..100 {
+                t.remove(&(i + round));
+            }
+            for i in 0..100 {
+                t.insert(i, ());
+            }
+        }
+        assert_eq!(t.slots.len(), cap_before, "arena grew despite recycling");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut t = AvlMap::new();
+        t.insert("k", 1);
+        *t.get_mut(&"k").unwrap() += 10;
+        assert_eq!(t.get(&"k"), Some(&11));
+        assert_eq!(t.get_mut(&"missing"), None);
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut t = AvlMap::new();
+        for i in 0..10 {
+            t.insert(i, ());
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.min(), None);
+        t.insert(5, ());
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn iterator_on_empty() {
+        let t: AvlMap<i32, ()> = AvlMap::new();
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.iter_rev().count(), 0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn rev_iterator_is_descending() {
+        let mut t = AvlMap::new();
+        for x in [5, 1, 9, 3, 7, 2, 8] {
+            t.insert(x, x * 10);
+        }
+        let fwd: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        let mut rev: Vec<i32> = t.iter_rev().map(|(k, _)| *k).collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        assert_eq!(t.iter_rev().next().map(|(k, _)| *k), Some(9));
+    }
+
+    #[test]
+    fn randomized_against_btreemap() {
+        use std::collections::BTreeMap;
+        // simple LCG so the test is deterministic without rand
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut t = AvlMap::new();
+        let mut reference = BTreeMap::new();
+        for step in 0..20_000 {
+            let key = next() % 500;
+            match next() % 4 {
+                0 | 1 => {
+                    assert_eq!(t.insert(key, step), reference.insert(key, step));
+                }
+                2 => {
+                    assert_eq!(t.remove(&key), reference.remove(&key));
+                }
+                _ => {
+                    assert_eq!(t.get(&key), reference.get(&key));
+                }
+            }
+            if step % 4096 == 0 {
+                t.check_invariants();
+                assert_eq!(t.len(), reference.len());
+                assert!(t
+                    .iter()
+                    .map(|(k, v)| (*k, *v))
+                    .eq(reference.iter().map(|(k, v)| (*k, *v))));
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), reference.len());
+        assert_eq!(
+            t.min().map(|(k, _)| *k),
+            reference.keys().next().copied()
+        );
+        assert_eq!(
+            t.max().map(|(k, _)| *k),
+            reference.keys().next_back().copied()
+        );
+    }
+}

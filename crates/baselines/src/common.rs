@@ -1,0 +1,89 @@
+//! Shared plumbing for the baseline algorithms.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use sap_stream::{Object, ScoreKey};
+
+/// Estimated per-entry overhead of a `BTreeMap` node (amortized pointers,
+/// node headers, and slack), used by the memory accounting of Appendix F.
+/// The constant matches `std`'s B=6 layout within ~20%; what matters for the
+/// paper's tables is that every algorithm is accounted with the same model.
+pub(crate) const BTREE_ENTRY_OVERHEAD: usize = 16;
+
+pub(crate) fn btreemap_bytes<K, V>(len: usize) -> usize {
+    len * (std::mem::size_of::<K>() + std::mem::size_of::<V>() + BTREE_ENTRY_OVERHEAD)
+}
+
+/// The raw window ring: every live object's key in arrival order. Expiring a
+/// slide pops the oldest `s` keys so algorithms can locate the candidates to
+/// delete. This mirrors the window buffer every published implementation
+/// keeps implicitly; per the paper's accounting convention it is *not*
+/// counted as candidate memory (see DESIGN.md §4.8).
+#[derive(Debug, Default)]
+pub(crate) struct WindowRing {
+    ring: VecDeque<ScoreKey>,
+}
+
+impl WindowRing {
+    pub fn with_capacity(n: usize) -> Self {
+        WindowRing {
+            ring: VecDeque::with_capacity(n + 1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn push_batch(&mut self, batch: &[Object]) {
+        self.ring.extend(batch.iter().map(Object::key));
+    }
+
+    /// Pops every object older than the window of size `n`, invoking `f`
+    /// with each expired key (oldest first).
+    pub fn expire_to(&mut self, n: usize, mut f: impl FnMut(ScoreKey)) {
+        while self.ring.len() > n {
+            let key = self.ring.pop_front().expect("len checked");
+            f(key);
+        }
+    }
+}
+
+/// Fills `out` with the top-`k` entries of a key-ordered candidate map, in
+/// descending result order.
+pub(crate) fn top_k_desc<V>(map: &BTreeMap<ScoreKey, V>, k: usize, out: &mut Vec<Object>) {
+    out.clear();
+    out.extend(map.keys().rev().take(k).map(|key| key.to_object()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_expires_oldest_first() {
+        let mut ring = WindowRing::with_capacity(4);
+        let batch: Vec<Object> = (0..6).map(|i| Object::new(i, i as f64)).collect();
+        ring.push_batch(&batch[..4]);
+        ring.push_batch(&batch[4..]);
+        let mut expired = Vec::new();
+        ring.expire_to(4, |k| expired.push(k.id));
+        assert_eq!(expired, vec![0, 1]);
+        assert_eq!(ring.len(), 4);
+        ring.expire_to(0, |_| {});
+        assert_eq!(ring.len(), 0);
+    }
+
+    #[test]
+    fn top_k_desc_orders_correctly() {
+        let mut map = BTreeMap::new();
+        for (id, score) in [(1u64, 3.0), (2, 1.0), (3, 2.0)] {
+            map.insert(ScoreKey { score, id }, ());
+        }
+        let mut out = Vec::new();
+        top_k_desc(&map, 2, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].score, 3.0);
+        assert_eq!(out[1].score, 2.0);
+    }
+}

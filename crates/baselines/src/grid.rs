@@ -1,0 +1,223 @@
+//! The grid file used by SMA (paper §2.1).
+//!
+//! SMA "uses a grid structure to index streaming data. When re-scanning of
+//! the window happens, the grid structure enables it to access only a few
+//! cells according to the coefficients of the preference function F."
+//!
+//! Our streams carry pre-evaluated scalar scores, so the grid degenerates to
+//! a one-dimensional array of score buckets (DESIGN.md §4.5). Each bucket
+//! holds its live objects in arrival order, which makes expiry a pop from
+//! the bucket front. A re-scan walks buckets from the highest score down and
+//! stops as soon as enough objects have been collected — everything in lower
+//! buckets is provably below everything collected.
+
+use std::collections::VecDeque;
+
+use sap_stream::{Object, ScoreKey};
+
+/// A 1-D score-bucketed grid over the live window.
+#[derive(Debug)]
+pub struct ScoreGrid {
+    buckets: Vec<VecDeque<ScoreKey>>,
+    lo: f64,
+    hi: f64,
+    len: usize,
+    initialized: bool,
+}
+
+impl ScoreGrid {
+    /// Creates a grid with `buckets` cells; the score range is calibrated
+    /// from the first batch and padded, with out-of-range scores clamped to
+    /// the edge cells.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 1, "grid needs at least one bucket");
+        ScoreGrid {
+            buckets: vec![VecDeque::new(); buckets],
+            lo: 0.0,
+            hi: 1.0,
+            len: 0,
+            initialized: false,
+        }
+    }
+
+    /// Number of live objects indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of cells.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn calibrate(&mut self, batch: &[Object]) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for o in batch {
+            lo = lo.min(o.score);
+            hi = hi.max(o.score);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        let pad = (hi - lo).abs().max(1.0) * 0.5;
+        self.lo = lo - pad;
+        self.hi = hi + pad;
+        self.initialized = true;
+    }
+
+    #[inline]
+    fn bucket_of(&self, score: f64) -> usize {
+        let b = self.buckets.len();
+        if self.hi <= self.lo {
+            return 0;
+        }
+        let t = (score - self.lo) / (self.hi - self.lo);
+        ((t * b as f64) as isize).clamp(0, b as isize - 1) as usize
+    }
+
+    /// Indexes one batch of arrivals (ids must be increasing across calls —
+    /// the stream order).
+    pub fn insert_batch(&mut self, batch: &[Object]) {
+        if !self.initialized {
+            self.calibrate(batch);
+        }
+        for o in batch {
+            let b = self.bucket_of(o.score);
+            self.buckets[b].push_back(o.key());
+        }
+        self.len += batch.len();
+    }
+
+    /// Drops every object with `id < cutoff`. Cost: one front probe per
+    /// bucket plus one pop per expired object — the grid-maintenance cost
+    /// that is independent of `s` (§6.3).
+    pub fn expire_below(&mut self, cutoff: u64) -> usize {
+        let mut removed = 0usize;
+        for bucket in &mut self.buckets {
+            while let Some(front) = bucket.front() {
+                if front.id < cutoff {
+                    bucket.pop_front();
+                    removed += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Collects at least `want` of the highest-scored live objects (all of
+    /// them if fewer exist) into `out`, sorted descending. Returns the
+    /// number of objects *scanned* (the re-scan cost). Exactness: buckets
+    /// are visited from the top; once `want` objects are gathered after
+    /// finishing a bucket, every uncollected object is in a strictly lower
+    /// bucket and therefore below all collected ones.
+    pub fn collect_top(&self, want: usize, out: &mut Vec<ScoreKey>) -> usize {
+        out.clear();
+        let mut scanned = 0usize;
+        for bucket in self.buckets.iter().rev() {
+            if !bucket.is_empty() {
+                scanned += bucket.len();
+                out.extend(bucket.iter().copied());
+            }
+            if out.len() >= want {
+                break;
+            }
+        }
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        scanned
+    }
+
+    /// Estimated bytes held by the bucket structures (grid memory is `O(n)`
+    /// — SMA indexes the whole window, which is why the paper leaves it out
+    /// of the candidate tables).
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<ScoreKey>())
+            .sum::<usize>()
+            + self.buckets.capacity() * std::mem::size_of::<VecDeque<ScoreKey>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: u64, score: f64) -> Object {
+        Object::new(id, score)
+    }
+
+    #[test]
+    fn insert_and_collect_top() {
+        let mut g = ScoreGrid::new(16);
+        let batch: Vec<Object> = (0..100).map(|i| obj(i, (i % 10) as f64)).collect();
+        g.insert_batch(&batch);
+        assert_eq!(g.len(), 100);
+        let mut out = Vec::new();
+        g.collect_top(5, &mut out);
+        assert!(out.len() >= 5);
+        // the five highest scores are the 9s
+        assert!(out.iter().take(5).all(|k| k.score == 9.0));
+        // descending order
+        assert!(out.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn collect_top_is_exact_across_bucket_boundaries() {
+        let mut g = ScoreGrid::new(4);
+        let batch: Vec<Object> = (0..1000).map(|i| obj(i, (i as f64 * 7.3) % 100.0)).collect();
+        g.insert_batch(&batch);
+        let mut out = Vec::new();
+        g.collect_top(50, &mut out);
+        let mut all: Vec<ScoreKey> = batch.iter().map(Object::key).collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(&out[..50], &all[..50], "top-50 must be exact");
+    }
+
+    #[test]
+    fn expiry_pops_oldest() {
+        let mut g = ScoreGrid::new(8);
+        let batch: Vec<Object> = (0..50).map(|i| obj(i, (i % 5) as f64)).collect();
+        g.insert_batch(&batch);
+        let removed = g.expire_below(20);
+        assert_eq!(removed, 20);
+        assert_eq!(g.len(), 30);
+        let mut out = Vec::new();
+        g.collect_top(100, &mut out);
+        assert!(out.iter().all(|k| k.id >= 20));
+    }
+
+    #[test]
+    fn out_of_range_scores_clamp() {
+        let mut g = ScoreGrid::new(8);
+        g.insert_batch(&[obj(0, 10.0), obj(1, 20.0)]);
+        // far outside the calibrated range
+        g.insert_batch(&[obj(2, -1e9), obj(3, 1e9)]);
+        assert_eq!(g.len(), 4);
+        let mut out = Vec::new();
+        g.collect_top(4, &mut out);
+        assert_eq!(out[0].score, 1e9);
+        assert_eq!(out[3].score, -1e9);
+    }
+
+    #[test]
+    fn constant_scores_single_bucket() {
+        let mut g = ScoreGrid::new(8);
+        let batch: Vec<Object> = (0..20).map(|i| obj(i, 5.0)).collect();
+        g.insert_batch(&batch);
+        let mut out = Vec::new();
+        g.collect_top(3, &mut out);
+        // ties broken by recency: newest first
+        assert_eq!(out[0].id, 19);
+        assert_eq!(out[1].id, 18);
+    }
+}

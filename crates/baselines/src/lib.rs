@@ -1,0 +1,31 @@
+//! Baseline continuous top-k algorithms from the paper's related work (§2.1).
+//!
+//! These are the competitors the SAP evaluation compares against:
+//!
+//! * [`NaiveTopK`] — re-scans the whole window on every slide; the
+//!   correctness oracle every other algorithm is tested against;
+//! * [`KSkyband`] — the one-pass k-skyband algorithm of Shen et al. [19]:
+//!   maintains every window object dominated by fewer than `k` others;
+//! * [`MinTopK`] — Yang et al. [25]: exploits the slide size `s` by keeping,
+//!   per future window, a predicted top-k result set (equivalently the
+//!   k-skyband at slide granularity — see DESIGN.md §4.4);
+//! * [`Sma`] — Mouratidis et al. [17]: a multi-pass algorithm keeping the
+//!   top-`k_max` window objects as candidates over a grid index, re-scanning
+//!   the grid whenever the candidate set drops below `k`.
+//!
+//! All four implement [`sap_stream::SlidingTopK`] and return results
+//! identical to the oracle (enforced by this crate's tests and by the
+//! workspace integration tests).
+
+mod common;
+pub mod grid;
+pub mod kskyband;
+pub mod mintopk;
+pub mod naive;
+pub mod sma;
+
+pub use grid::ScoreGrid;
+pub use kskyband::KSkyband;
+pub use mintopk::MinTopK;
+pub use naive::NaiveTopK;
+pub use sma::Sma;

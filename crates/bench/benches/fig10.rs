@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 10: SAP vs baselines on TIMEU and TIMER.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sap_bench::{measure_on, Algo};
+use sap_stream::generators::{Dataset, Workload};
+use sap_stream::WindowSpec;
+
+fn bench_fig10(c: &mut Criterion) {
+    let len = 30_000;
+    let algos = [Algo::Sap, Algo::MinTopK, Algo::KSkyband, Algo::Sma];
+    let mut group = c.benchmark_group("fig10_synthetic_datasets");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for ds in [Dataset::TimeU, Dataset::TimeR { period: 4_000.0 }] {
+        let data = ds.generate(len, 4);
+        let spec = WindowSpec::new(2_000, 50, 10).unwrap();
+        for algo in algos {
+            let id = format!("{}_{}", ds.name(), algo.label());
+            group.bench_with_input(BenchmarkId::new("run", id), &(), |b, _| {
+                b.iter(|| measure_on(algo, &data, spec))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

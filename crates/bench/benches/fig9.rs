@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 9: SAP vs baselines on the simulated real
+//! datasets, representative points of the n/k/s sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sap_bench::{measure_on, Algo};
+use sap_stream::generators::{Dataset, Workload};
+use sap_stream::WindowSpec;
+
+fn bench_fig9(c: &mut Criterion) {
+    let len = 30_000;
+    let algos = [Algo::Sap, Algo::MinTopK, Algo::KSkyband, Algo::Sma];
+    let mut group = c.benchmark_group("fig9_real_datasets");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for ds in [Dataset::Stock, Dataset::Trip, Dataset::Planet] {
+        let data = ds.generate(len, 3);
+        // one point per axis: default, large-k, small-s
+        for (tag, n, k, s) in [
+            ("default", 2_000usize, 50usize, 10usize),
+            ("large_k", 2_000, 200, 10),
+            ("small_s", 2_000, 50, 1),
+        ] {
+            let spec = WindowSpec::new(n, k, s).unwrap();
+            for algo in algos {
+                let id = format!("{}_{}_{}", ds.name(), tag, algo.label());
+                group.bench_with_input(BenchmarkId::new("run", id), &(), |b, _| {
+                    b.iter(|| measure_on(algo, &data, spec))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Microbenchmarks for the core data structures: the order-statistic AVL
+//! tree, the S-AVL construction and pulls, the candidate merge-refine pass,
+//! and the Mann–Whitney evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sap_avltree::AvlMap;
+use sap_core::meaningful::build_savl;
+use sap_stats::MannWhitney;
+use sap_stream::{Object, OpStats, ScoreKey};
+
+fn bench_avl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_avl");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("insert_remove_1k", |b| {
+        b.iter(|| {
+            let mut t = AvlMap::new();
+            for i in 0..1_000u64 {
+                t.insert((i * 2_654_435_761) % 4_096, i);
+            }
+            for i in 0..1_000u64 {
+                t.remove(&((i * 2_654_435_761) % 4_096));
+            }
+            t.len()
+        })
+    });
+    group.bench_function("iter_rev_1k", |b| {
+        let mut t = AvlMap::new();
+        for i in 0..1_000u64 {
+            t.insert(i, i);
+        }
+        b.iter(|| t.iter_rev().take(100).count())
+    });
+    group.finish();
+}
+
+fn bench_savl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_savl");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let objects: Vec<Object> = (0..2_000)
+        .map(|i| Object::new(i, ((i * 2_654_435_761u64) % 65_536) as f64))
+        .collect();
+    let pk: Vec<ScoreKey> = Vec::new();
+    group.bench_function("build_2k_objects_50_stacks", |b| {
+        b.iter(|| {
+            let mut stats = OpStats::default();
+            build_savl(&objects, 0, &pk, None, 50, 1, 50, &mut stats)
+        })
+    });
+    group.bench_function("build_then_drain", |b| {
+        b.iter(|| {
+            let mut stats = OpStats::default();
+            let mut s = build_savl(&objects, 0, &pk, None, 50, 1, 50, &mut stats);
+            let mut count = 0;
+            while s.pop_max().is_some() {
+                count += 1;
+            }
+            count
+        })
+    });
+    group.finish();
+}
+
+fn bench_wrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_wrt");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let wrt = MannWhitney::default();
+    let s1: Vec<f64> = (0..100).map(|i| (i * 37 % 101) as f64).collect();
+    let s2: Vec<f64> = (0..135).map(|i| (i * 53 % 97) as f64).collect();
+    group.bench_function("normal_approx_100v135", |b| {
+        b.iter(|| wrt.tends_greater(&s1, &s2))
+    });
+    let t1: Vec<f64> = s1[..8].to_vec();
+    let t2: Vec<f64> = s2[..20].to_vec();
+    group.bench_function("exact_8v20", |b| b.iter(|| wrt.tends_greater(&t1, &t2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_avl, bench_savl, bench_wrt);
+criterion_main!(benches);

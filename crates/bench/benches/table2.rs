@@ -1,0 +1,32 @@
+//! Criterion bench for Table 2: equal-partition variants across m
+//! (scaled-down stream; the full sweep lives in the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sap_core::{Sap, SapConfig};
+use sap_stream::generators::{Dataset, Workload};
+use sap_stream::{run, WindowSpec};
+
+fn bench_table2(c: &mut Criterion) {
+    let len = 30_000;
+    let spec = WindowSpec::new(2_000, 50, 10).unwrap();
+    let data = Dataset::Stock.generate(len, 1);
+    let mut group = c.benchmark_group("table2_equal_partition");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for m in [5usize, 13, 21, 29, 37] {
+        group.bench_with_input(BenchmarkId::new("non_delay", m), &m, |b, &m| {
+            b.iter(|| run(&mut Sap::new(SapConfig::equal(spec, Some(m)).without_delay()), &data))
+        });
+        group.bench_with_input(BenchmarkId::new("algo1", m), &m, |b, &m| {
+            b.iter(|| run(&mut Sap::new(SapConfig::equal(spec, Some(m)).without_savl()), &data))
+        });
+        group.bench_with_input(BenchmarkId::new("algo1_savl", m), &m, |b, &m| {
+            b.iter(|| run(&mut Sap::new(SapConfig::equal(spec, Some(m))), &data))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

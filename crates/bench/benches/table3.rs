@@ -1,0 +1,31 @@
+//! Criterion bench for Table 3: EQUAL vs DYNA vs EN-DYNA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sap_core::{Sap, SapConfig};
+use sap_stream::generators::{Dataset, Workload};
+use sap_stream::{run, WindowSpec};
+
+fn bench_table3(c: &mut Criterion) {
+    let len = 30_000;
+    let mut group = c.benchmark_group("table3_policies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for ds in [Dataset::Stock, Dataset::TimeU, Dataset::TimeR { period: 4_000.0 }] {
+        let data = ds.generate(len, 2);
+        let spec = WindowSpec::new(2_000, 50, 10).unwrap();
+        group.bench_with_input(BenchmarkId::new("EN-DYNA", ds.name()), &(), |b, _| {
+            b.iter(|| run(&mut Sap::new(SapConfig::enhanced(spec)), &data))
+        });
+        group.bench_with_input(BenchmarkId::new("DYNA", ds.name()), &(), |b, _| {
+            b.iter(|| run(&mut Sap::new(SapConfig::dynamic(spec)), &data))
+        });
+        group.bench_with_input(BenchmarkId::new("EQUAL", ds.name()), &(), |b, _| {
+            b.iter(|| run(&mut Sap::new(SapConfig::equal(spec, None)), &data))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

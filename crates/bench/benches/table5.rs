@@ -1,0 +1,34 @@
+//! Criterion bench for Table 5 (Appendix D): high-speed streams —
+//! large n, large k, large s; SAP vs MinTopK.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sap_bench::{measure_on, Algo};
+use sap_stream::generators::{Dataset, Workload};
+use sap_stream::WindowSpec;
+
+fn bench_table5(c: &mut Criterion) {
+    let len = 50_000;
+    let data = Dataset::Stock.generate(len, 5);
+    let mut group = c.benchmark_group("table5_high_speed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (tag, n, k, s) in [
+        ("n10pct", 5_000usize, 200usize, 100usize),
+        ("n30pct", 15_000, 200, 300),
+        ("k_large", 5_000, 500, 100),
+        ("s10pct", 5_000, 200, 500),
+    ] {
+        let spec = WindowSpec::new(n, k, s).unwrap();
+        for algo in [Algo::Sap, Algo::MinTopK] {
+            let id = format!("{tag}_{}", algo.label());
+            group.bench_with_input(BenchmarkId::new("run", id), &(), |b, _| {
+                b.iter(|| measure_on(algo, &data, spec))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

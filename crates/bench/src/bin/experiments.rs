@@ -1,0 +1,308 @@
+//! Regenerates every table and figure of the SAP paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p sap-bench --bin experiments -- all
+//! cargo run --release -p sap-bench --bin experiments -- table2
+//! cargo run --release -p sap-bench --bin experiments -- fig9 --len 400000
+//! ```
+//!
+//! Subcommands: `table2 table3 fig9 fig10 table5 table6 table7 table8
+//! table9 all`. See EXPERIMENTS.md for the paper-vs-measured record.
+
+use sap_bench::{cands, measure_on, mem_kb, secs, Algo, Table};
+use sap_core::{Sap, SapConfig};
+use sap_stream::generators::{Dataset, Workload};
+use sap_stream::{run, RunSummary, WindowSpec};
+
+type ConfigFactory = fn(WindowSpec) -> SapConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut len = 200_000usize;
+    let mut cmd = String::from("all");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--len" => {
+                len = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--len needs a number");
+            }
+            other => cmd = other.to_string(),
+        }
+    }
+    let seed = 20_170_601; // the paper's publication month
+
+    match cmd.as_str() {
+        "table2" => table2(len, seed),
+        "table3" => table3(len, seed),
+        "fig9" => fig9(len, seed),
+        "fig10" => fig10(len, seed),
+        "table5" => table5(len, seed),
+        "table6" => table6(len, seed),
+        "table7" => table7(len, seed),
+        "table8" => table8(len, seed),
+        "table9" => table9(len, seed),
+        "all" => {
+            table2(len, seed);
+            table3(len, seed);
+            fig9(len, seed);
+            fig10(len, seed);
+            table5(len, seed);
+            table6(len, seed);
+            table7(len, seed);
+            table8(len, seed);
+            table9(len, seed);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn paper_datasets(len: usize) -> Vec<Dataset> {
+    Dataset::paper_suite(len)
+}
+
+fn real_datasets() -> Vec<Dataset> {
+    vec![Dataset::Stock, Dataset::Trip, Dataset::Planet]
+}
+
+/// Table 2: equal-partition running time under different `m` for the three
+/// algorithm variants (non-delay / Algorithm 1 / Algorithm 1 + S-AVL).
+fn table2(len: usize, seed: u64) {
+    let spec = WindowSpec::new(10_000, 100, 10).expect("spec");
+    let ms: Vec<usize> = (5..=37).step_by(4).collect();
+    for ds in paper_datasets(len) {
+        let data = ds.generate(len, seed);
+        let m_star = sap_stats::m_star(spec.n, spec.s, spec.k);
+        let mut header = vec!["variant".to_string()];
+        header.extend(ms.iter().map(|m| format!("m={m}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            format!(
+                "Table 2 [{}]: equal partition, seconds vs m (m* = {m_star}, n={}, k={}, s={})",
+                ds.name(),
+                spec.n,
+                spec.k,
+                spec.s
+            ),
+            &header_refs,
+        );
+        type MFactory = fn(WindowSpec, usize) -> SapConfig;
+        let variants: [(&str, MFactory); 3] = [
+            ("non-delay", |sp, m| {
+                SapConfig::equal(sp, Some(m)).without_delay()
+            }),
+            ("Algo 1", |sp, m| SapConfig::equal(sp, Some(m)).without_savl()),
+            ("Algo 1+S-AVL", |sp, m| SapConfig::equal(sp, Some(m))),
+        ];
+        for (label, mk) in variants {
+            let mut row = vec![label.to_string()];
+            for &m in &ms {
+                let mut alg = Sap::new(mk(spec, m));
+                let s = run(&mut alg, &data);
+                row.push(secs(&s));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+/// Table 3: EQUAL vs DYNA vs EN-DYNA across the n, k, s sweeps.
+fn table3(len: usize, seed: u64) {
+    let variants: [(&str, ConfigFactory); 3] = [
+        ("EN-DYNA", SapConfig::enhanced),
+        ("DYNA", SapConfig::dynamic),
+        ("EQUAL", |s| SapConfig::equal(s, None)),
+    ];
+    for ds in paper_datasets(len) {
+        let data = ds.generate(len, seed);
+        let mut t = Table::new(
+            format!("Table 3 [{}]: partition policies, seconds", ds.name()),
+            &[
+                "variant", "n=2k", "n=5k", "n=10k", "n=20k", "k=10", "k=50", "k=100", "k=500",
+                "k=1000", "s=1", "s=10", "s=100", "s=500", "s=1000",
+            ],
+        );
+        for (label, mk) in variants {
+            let mut row = vec![label.to_string()];
+            for n in [2_000usize, 5_000, 10_000, 20_000] {
+                let spec = WindowSpec::new(n, 100, (n / 1000).max(1)).unwrap();
+                let mut alg = Sap::new(mk(spec));
+                row.push(secs(&run(&mut alg, &data)));
+            }
+            for k in [10usize, 50, 100, 500, 1000] {
+                let spec = WindowSpec::new(10_000, k, 10).unwrap();
+                let mut alg = Sap::new(mk(spec));
+                row.push(secs(&run(&mut alg, &data)));
+            }
+            for s in [1usize, 10, 100, 500, 1000] {
+                let spec = WindowSpec::new(10_000, 100, s).unwrap();
+                let mut alg = Sap::new(mk(spec));
+                row.push(secs(&run(&mut alg, &data)));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+fn competitor_sweep(
+    title: &str,
+    datasets: &[Dataset],
+    len: usize,
+    seed: u64,
+    metric: fn(&RunSummary) -> String,
+    algos: &[Algo],
+) {
+    for &ds in datasets {
+        let data = ds.generate(len, seed);
+        let mut t = Table::new(
+            format!("{title} [{}]", ds.name()),
+            &[
+                "algorithm", "n=2k", "n=5k", "n=10k", "n=20k", "k=10", "k=50", "k=100", "k=500",
+                "k=1000", "s=1", "s=10", "s=100", "s=500", "s=1000",
+            ],
+        );
+        for &algo in algos {
+            let mut row = vec![algo.label().to_string()];
+            for n in [2_000usize, 5_000, 10_000, 20_000] {
+                let spec = WindowSpec::new(n, 100, (n / 1000).max(1)).unwrap();
+                row.push(metric(&measure_on(algo, &data, spec)));
+            }
+            for k in [10usize, 50, 100, 500, 1000] {
+                let spec = WindowSpec::new(10_000, k, 10).unwrap();
+                row.push(metric(&measure_on(algo, &data, spec)));
+            }
+            for s in [1usize, 10, 100, 500, 1000] {
+                let spec = WindowSpec::new(10_000, 100, s).unwrap();
+                row.push(metric(&measure_on(algo, &data, spec)));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+/// Figure 9: running time of SAP vs MinTopK, SMA, k-skyband on the
+/// (simulated) real datasets, swept over n (a–c), k (d–f), and s (g–i).
+fn fig9(len: usize, seed: u64) {
+    competitor_sweep(
+        "Figure 9: running time (seconds)",
+        &real_datasets(),
+        len,
+        seed,
+        secs,
+        &[Algo::Sap, Algo::MinTopK, Algo::KSkyband, Algo::Sma],
+    );
+}
+
+/// Figure 10: the same comparison on the synthetic TIMEU and TIMER.
+fn fig10(len: usize, seed: u64) {
+    let timer_period = (len as f64 / 8.0).max(16.0);
+    competitor_sweep(
+        "Figure 10: running time (seconds)",
+        &[
+            Dataset::TimeU,
+            Dataset::TimeR {
+                period: timer_period,
+            },
+        ],
+        len,
+        seed,
+        secs,
+        &[Algo::Sap, Algo::MinTopK, Algo::KSkyband, Algo::Sma],
+    );
+}
+
+fn high_speed_sweep(
+    title: &str,
+    len: usize,
+    seed: u64,
+    metric: fn(&RunSummary) -> String,
+    wide: bool,
+) {
+    let hs_len = len.max(200_000);
+    for ds in paper_datasets(hs_len) {
+        let data = ds.generate(hs_len, seed);
+        let header: Vec<&str> = if wide {
+            vec![
+                "algorithm", "n=10%", "n=20%", "n=30%", "n=40%", "n=50%", "k=500", "k=1000",
+                "k=2000", "s=0.1%", "s=1%", "s=5%", "s=10%",
+            ]
+        } else {
+            vec![
+                "algorithm", "n=10%", "n=30%", "n=50%", "k=500", "k=2000", "s=1%", "s=10%",
+            ]
+        };
+        let mut t = Table::new(format!("{title} [{}]", ds.name()), &header);
+        for algo in [Algo::Sap, Algo::MinTopK] {
+            let mut row = vec![algo.label().to_string()];
+            let n_pcts: &[usize] = if wide { &[10, 20, 30, 40, 50] } else { &[10, 30, 50] };
+            for &pct in n_pcts {
+                let n = hs_len * pct / 100;
+                let spec = WindowSpec::new(n, 1000, n / 50).unwrap();
+                row.push(metric(&measure_on(algo, &data, spec)));
+            }
+            let n = hs_len / 5;
+            let ks: &[usize] = if wide { &[500, 1000, 2000] } else { &[500, 2000] };
+            for &k in ks {
+                let spec = WindowSpec::new(n, k, n / 50).unwrap();
+                row.push(metric(&measure_on(algo, &data, spec)));
+            }
+            let sdivs: &[usize] = if wide { &[1000, 100, 20, 10] } else { &[100, 10] };
+            for &sdiv in sdivs {
+                let spec = WindowSpec::new(n, 1000, (n / sdiv).max(1)).unwrap();
+                row.push(metric(&measure_on(algo, &data, spec)));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+/// Table 5 (Appendix D): high-speed streams — large windows, large k,
+/// large slides; SAP vs MinTopK running time.
+fn table5(len: usize, seed: u64) {
+    high_speed_sweep("Table 5: high-speed streams, seconds", len, seed, secs, true);
+}
+
+/// Table 6 (Appendix E): average candidate counts across the sweeps.
+fn table6(len: usize, seed: u64) {
+    competitor_sweep(
+        "Table 6: average candidates",
+        &paper_datasets(len),
+        len,
+        seed,
+        cands,
+        &[Algo::Sap, Algo::MinTopK, Algo::KSkyband],
+    );
+}
+
+/// Table 7 (Appendix E): candidate counts under high-speed parameters.
+fn table7(len: usize, seed: u64) {
+    high_speed_sweep("Table 7: candidates, high-speed", len, seed, cands, false);
+}
+
+/// Table 8 (Appendix F): average candidate memory (KB) across the sweeps.
+fn table8(len: usize, seed: u64) {
+    competitor_sweep(
+        "Table 8: candidate memory (KB)",
+        &paper_datasets(len),
+        len,
+        seed,
+        mem_kb,
+        &[Algo::Sap, Algo::MinTopK, Algo::KSkyband],
+    );
+}
+
+/// Table 9 (Appendix F): memory under high-speed parameters.
+fn table9(len: usize, seed: u64) {
+    high_speed_sweep("Table 9: memory (KB), high-speed", len, seed, mem_kb, false);
+}

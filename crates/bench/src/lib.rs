@@ -1,0 +1,185 @@
+//! Shared harness for regenerating the SAP paper's evaluation (§6 and
+//! Appendices D–F): workload construction, algorithm factories, and
+//! paper-shaped table formatting.
+//!
+//! Scaling: the paper streams gigabytes through C++ on 2017 hardware; this
+//! harness streams `|D|` objects (default 2×10⁵ per run) through Rust.
+//! Parameters keep the paper's *ratios* (`k`, `s/n`, sweep shapes), so
+//! relative behaviour — who wins, how costs scale along each axis — is
+//! comparable even though absolute numbers differ. See EXPERIMENTS.md.
+
+use sap_baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
+use sap_core::{Sap, SapConfig};
+use sap_stream::generators::{Dataset, Workload};
+use sap_stream::{run, RunSummary, SlidingTopK, WindowSpec};
+
+/// Default stream length per measurement run.
+pub const DEFAULT_LEN: usize = 200_000;
+
+/// The default query of the paper's Table 1 mapped to harness scale:
+/// `n = 10⁴`, `k = 100`, `s = 0.1%·n = 10`.
+pub fn default_spec() -> WindowSpec {
+    WindowSpec::new(10_000, 100, 10).expect("default spec is valid")
+}
+
+/// Algorithms compared in §6.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// SAP with the enhanced dynamic partition (the paper's "SAP").
+    Sap,
+    /// SAP with the plain dynamic partition ("DYNA").
+    SapDynamic,
+    /// SAP with the equal partition at `m*` ("EQUAL").
+    SapEqual,
+    /// MinTopK (Yang et al.).
+    MinTopK,
+    /// The one-pass k-skyband algorithm.
+    KSkyband,
+    /// SMA with the grid index.
+    Sma,
+    /// The naive re-scanning oracle.
+    Naive,
+}
+
+impl Algo {
+    /// Display name used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algo::Sap => "SAP",
+            Algo::SapDynamic => "DYNA",
+            Algo::SapEqual => "EQUAL",
+            Algo::MinTopK => "minTopK",
+            Algo::KSkyband => "k-skyband",
+            Algo::Sma => "SMA",
+            Algo::Naive => "naive",
+        }
+    }
+
+    /// Instantiates the algorithm for a query.
+    pub fn build(&self, spec: WindowSpec) -> Box<dyn SlidingTopK> {
+        match self {
+            Algo::Sap => Box::new(Sap::new(SapConfig::new(spec))),
+            Algo::SapDynamic => Box::new(Sap::new(SapConfig::dynamic(spec))),
+            Algo::SapEqual => Box::new(Sap::new(SapConfig::equal(spec, None))),
+            Algo::MinTopK => Box::new(MinTopK::new(spec)),
+            Algo::KSkyband => Box::new(KSkyband::new(spec)),
+            Algo::Sma => Box::new(Sma::new(spec)),
+            Algo::Naive => Box::new(NaiveTopK::new(spec)),
+        }
+    }
+}
+
+/// Runs one `(algorithm, dataset, spec)` measurement.
+pub fn measure(algo: Algo, ds: Dataset, len: usize, spec: WindowSpec, seed: u64) -> RunSummary {
+    let data = ds.generate(len, seed);
+    let mut alg = algo.build(spec);
+    run(alg.as_mut(), &data)
+}
+
+/// Runs a measurement on pre-generated data (reuse the stream across
+/// algorithms so comparisons share inputs).
+pub fn measure_on(algo: Algo, data: &[sap_stream::Object], spec: WindowSpec) -> RunSummary {
+    let mut alg = algo.build(spec);
+    run(alg.as_mut(), data)
+}
+
+/// Simple fixed-width table printer for the experiment binaries.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.into(),
+        }
+    }
+
+    /// Appends one row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        println!("\n=== {} ===", self.title);
+        let fmt_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+        };
+        fmt_row(&self.header);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            fmt_row(row);
+        }
+    }
+}
+
+/// Formats seconds with millisecond precision.
+pub fn secs(summary: &RunSummary) -> String {
+    format!("{:.3}", summary.elapsed.as_secs_f64())
+}
+
+/// Formats the average candidate count.
+pub fn cands(summary: &RunSummary) -> String {
+    format!("{:.0}", summary.avg_candidates)
+}
+
+/// Formats the average candidate memory in KB (Appendix F's unit).
+pub fn mem_kb(summary: &RunSummary) -> String {
+    format!("{:.1}", summary.avg_memory_bytes / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_instantiate_and_run() {
+        let spec = WindowSpec::new(200, 5, 10).unwrap();
+        for algo in [
+            Algo::Sap,
+            Algo::SapDynamic,
+            Algo::SapEqual,
+            Algo::MinTopK,
+            Algo::KSkyband,
+            Algo::Sma,
+            Algo::Naive,
+        ] {
+            let s = measure(algo, Dataset::TimeU, 2_000, spec, 1);
+            assert_eq!(s.slides, 200, "{}", algo.label());
+        }
+    }
+
+    #[test]
+    fn identical_inputs_identical_checksums() {
+        let spec = WindowSpec::new(100, 5, 10).unwrap();
+        let data = Dataset::Stock.generate(2_000, 3);
+        let a = measure_on(Algo::Sap, &data, spec);
+        let b = measure_on(Algo::MinTopK, &data, spec);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn table_printer_roundtrip() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print(); // must not panic
+    }
+}

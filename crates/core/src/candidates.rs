@@ -1,0 +1,290 @@
+//! The global candidate set `C = ∪ P^k_i` with merge-refinement (Figure 4),
+//! the group dominance number ρ (Definition 1), and the global pruning
+//! threshold `F_θ` (Lemma 2).
+
+use std::collections::BTreeMap;
+
+use sap_stream::{OpStats, ScoreKey};
+
+/// Per-candidate bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandEntry {
+    /// The partition that contributed this candidate.
+    pub pid: u32,
+    /// Number of *candidate* dominators counted so far (a lower bound of
+    /// the true dominance count — eviction at `dom ≥ k` is therefore safe).
+    pub dom: u32,
+}
+
+/// The score-ordered candidate list.
+#[derive(Debug)]
+pub struct CandidateList {
+    map: BTreeMap<ScoreKey, CandEntry>,
+    k: usize,
+    evict: Vec<ScoreKey>,
+}
+
+impl CandidateList {
+    /// Creates an empty candidate list for result size `k`.
+    pub fn new(k: usize) -> Self {
+        CandidateList {
+            map: BTreeMap::new(),
+            k,
+            evict: Vec::new(),
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merges a freshly sealed partition's `P^k` (keys in descending order)
+    /// into `C`, refining away candidates whose dominance counters reach `k`
+    /// — the single-pass merge of Figure 4: every existing candidate located
+    /// below the `j`-th incoming key gains `j` dominators (all incoming keys
+    /// come from the newest partition, hence dominate every lower-scored
+    /// existing candidate).
+    pub fn merge_seal(&mut self, pid: u32, keys_desc: &[ScoreKey], stats: &mut OpStats) {
+        if let Some(&first) = keys_desc.first() {
+            let c = keys_desc.len();
+            self.evict.clear();
+            let mut j = 1usize;
+            for (ck, entry) in self.map.range_mut(..first).rev() {
+                while j < c && *ck < keys_desc[j] {
+                    j += 1;
+                }
+                stats.objects_scanned += 1;
+                entry.dom += j as u32;
+                if entry.dom >= self.k as u32 {
+                    self.evict.push(*ck);
+                }
+            }
+            for ck in self.evict.drain(..) {
+                self.map.remove(&ck);
+                stats.deletions += 1;
+            }
+        }
+        for &key in keys_desc {
+            self.map.insert(key, CandEntry { pid, dom: 0 });
+            stats.insertions += 1;
+        }
+        stats.partitions_sealed += 1;
+    }
+
+    /// Inserts a meaningful object pulled from `M_0` as a front-partition
+    /// candidate (§5.1 "Update of `P^k_0` based on S-AVL").
+    pub fn insert_pulled(&mut self, key: ScoreKey, pid: u32) {
+        self.map.insert(key, CandEntry { pid, dom: 0 });
+    }
+
+    /// Removes a candidate by key, returning its entry if present.
+    pub fn remove(&mut self, key: &ScoreKey) -> Option<CandEntry> {
+        self.map.remove(key)
+    }
+
+    /// The group dominance number ρ of the partition whose k-th best object
+    /// is `pivot` (Definition 1): the number of candidates from *other*
+    /// partitions dominating `pivot`. Only partitions sealed later can
+    /// dominate (their objects arrived later), and every candidate with a
+    /// strictly higher score from such a partition qualifies. Counting
+    /// stops at `k` — the only question the engine asks is `ρ ≥ k`.
+    pub fn rho(&self, pivot: ScoreKey, own_pid: u32) -> usize {
+        let mut count = 0usize;
+        for (key, entry) in self.map.iter().rev() {
+            if key.score <= pivot.score {
+                break;
+            }
+            if entry.pid != own_pid && key.id > pivot.id {
+                count += 1;
+                if count >= self.k {
+                    break;
+                }
+            }
+        }
+        count
+    }
+
+    /// `F_θ` of Lemma 2: the k-th highest score among candidates *not*
+    /// contributed by the front partition. `None` when fewer than `k` such
+    /// candidates exist (global pruning then keeps everything).
+    pub fn f_theta(&self, front_pid: u32) -> Option<f64> {
+        let mut seen = 0usize;
+        for (key, entry) in self.map.iter().rev() {
+            if entry.pid != front_pid {
+                seen += 1;
+                if seen == self.k {
+                    return Some(key.score);
+                }
+            }
+        }
+        None
+    }
+
+    /// Descending iterator over candidate keys.
+    pub fn iter_desc(&self) -> impl Iterator<Item = &ScoreKey> {
+        self.map.keys().rev()
+    }
+
+    /// Collects the scores of the top `limit` candidates whose arrival ids
+    /// fall in `[lo_id, hi_id)` — the `I_ηk` sample of the WRT evaluation
+    /// (§4.2).
+    pub fn top_scores_in_id_range(
+        &self,
+        lo_id: u64,
+        hi_id: u64,
+        limit: usize,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        for key in self.map.keys().rev() {
+            if key.id >= lo_id && key.id < hi_id {
+                out.push(key.score);
+                if out.len() == limit {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of candidates contributed by `pid` (diagnostics/tests).
+    pub fn count_pid(&self, pid: u32) -> usize {
+        self.map.values().filter(|e| e.pid == pid).count()
+    }
+
+    /// Estimated heap bytes (BTreeMap entries with node overhead).
+    pub fn memory_bytes(&self) -> usize {
+        self.map.len()
+            * (std::mem::size_of::<ScoreKey>() + std::mem::size_of::<CandEntry>() + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u64, score: f64) -> ScoreKey {
+        ScoreKey { score, id }
+    }
+
+    fn keys_desc(pairs: &[(u64, f64)]) -> Vec<ScoreKey> {
+        let mut v: Vec<ScoreKey> = pairs.iter().map(|&(id, s)| key(id, s)).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    #[test]
+    fn merge_inserts_and_counts_dominance() {
+        let mut c = CandidateList::new(2);
+        let mut stats = OpStats::default();
+        // partition 0: scores 10, 8
+        c.merge_seal(0, &keys_desc(&[(0, 10.0), (1, 8.0)]), &mut stats);
+        assert_eq!(c.len(), 2);
+        // partition 1: scores 9, 7 → 8 gains one dominator (9), 7 none...
+        c.merge_seal(1, &keys_desc(&[(10, 9.0), (11, 7.0)]), &mut stats);
+        assert_eq!(c.len(), 4);
+        // partition 2: scores 9.5, 8.5 → 9 gains 1 (9.5); 8 gains 2 → evicted
+        c.merge_seal(2, &keys_desc(&[(20, 9.5), (21, 8.5)]), &mut stats);
+        let scores: Vec<f64> = c.iter_desc().map(|k| k.score).collect();
+        assert!(!scores.contains(&8.0), "8 dominated by 9.5 and 8.5: {scores:?}");
+        assert!(scores.contains(&10.0));
+        assert!(scores.contains(&9.0), "9 has only one dominator");
+    }
+
+    #[test]
+    fn figure4_merge_example() {
+        // Figure 4: C = {75, 78, 84, 88, 91, 93, 95} with k = 2 (all from
+        // earlier partitions), merging P^k_5 = {90, 86}. Counters after:
+        // 88 gains 1 (90), 84 gains 2 → evicted with D ≥ 2; 78, 75 gain 2 →
+        // evicted. Result: C = {95, 93, 91, 90, 88, 86}.
+        let mut c = CandidateList::new(2);
+        let mut stats = OpStats::default();
+        // a single earlier partition contributes the figure's starting C
+        // (the figure does not specify dominance among those entries)
+        c.merge_seal(
+            0,
+            &keys_desc(&[
+                (1, 75.0),
+                (2, 78.0),
+                (3, 84.0),
+                (4, 88.0),
+                (5, 91.0),
+                (6, 93.0),
+                (7, 95.0),
+            ]),
+            &mut stats,
+        );
+        c.merge_seal(5, &keys_desc(&[(10, 90.0), (11, 86.0)]), &mut stats);
+        let scores: Vec<f64> = c.iter_desc().map(|k| k.score).collect();
+        assert_eq!(scores, vec![95.0, 93.0, 91.0, 90.0, 88.0, 86.0]);
+    }
+
+    #[test]
+    fn rho_counts_only_later_partitions() {
+        let mut c = CandidateList::new(3);
+        let mut stats = OpStats::default();
+        // front partition 0 with pivot 50 (k-th best)
+        c.merge_seal(0, &keys_desc(&[(0, 60.0), (1, 55.0), (2, 50.0)]), &mut stats);
+        // later partition with two objects above the pivot
+        c.merge_seal(1, &keys_desc(&[(10, 58.0), (11, 52.0), (12, 40.0)]), &mut stats);
+        let pivot = key(2, 50.0);
+        assert_eq!(c.rho(pivot, 0), 2, "58 and 52 dominate the pivot");
+        // own-partition higher scorers (60, 55) must not count
+    }
+
+    #[test]
+    fn rho_saturates_at_k() {
+        let mut c = CandidateList::new(2);
+        let mut stats = OpStats::default();
+        c.merge_seal(1, &keys_desc(&[(10, 9.0), (11, 8.0), (12, 7.0)]), &mut stats);
+        let rho = c.rho(key(0, 1.0), 0);
+        assert_eq!(rho, 2, "counting stops at k");
+    }
+
+    #[test]
+    fn f_theta_skips_front_partition() {
+        let mut c = CandidateList::new(2);
+        let mut stats = OpStats::default();
+        c.merge_seal(0, &keys_desc(&[(0, 100.0), (1, 99.0)]), &mut stats);
+        c.merge_seal(1, &keys_desc(&[(10, 50.0), (11, 40.0)]), &mut stats);
+        // front = 0: the two highest non-front candidates are 50, 40
+        assert_eq!(c.f_theta(0), Some(40.0));
+        // front = 1: k-th highest among partition 0 = 99
+        assert_eq!(c.f_theta(1), Some(99.0));
+        // front = only partition → not enough others
+        let mut c2 = CandidateList::new(2);
+        c2.merge_seal(7, &keys_desc(&[(0, 1.0), (1, 2.0)]), &mut stats);
+        assert_eq!(c2.f_theta(7), None);
+    }
+
+    #[test]
+    fn id_range_sample_collection() {
+        let mut c = CandidateList::new(2);
+        let mut stats = OpStats::default();
+        c.merge_seal(
+            0,
+            &keys_desc(&[(5, 3.0), (15, 9.0), (25, 6.0), (35, 1.0)]),
+            &mut stats,
+        );
+        let mut out = Vec::new();
+        c.top_scores_in_id_range(10, 30, 10, &mut out);
+        assert_eq!(out, vec![9.0, 6.0]);
+        c.top_scores_in_id_range(10, 30, 1, &mut out);
+        assert_eq!(out, vec![9.0]);
+    }
+
+    #[test]
+    fn pulled_candidates_are_removable() {
+        let mut c = CandidateList::new(2);
+        c.insert_pulled(key(3, 4.5), 9);
+        assert_eq!(c.len(), 1);
+        let e = c.remove(&key(3, 4.5)).unwrap();
+        assert_eq!(e.pid, 9);
+        assert!(c.remove(&key(3, 4.5)).is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Configuration of the SAP engine: partition policy and the Table-2
+//! algorithm variants.
+
+use sap_stats::PaperParams;
+use sap_stream::WindowSpec;
+
+/// Which partition algorithm the engine runs (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Equal partition (§4.1): fixed partition size derived from `m`.
+    /// `None` uses the cost-model optimum `m* = ⌈√(n / max(s, k))⌉`.
+    Equal {
+        /// Number of partitions per window; `None` = `m*`.
+        m: Option<usize>,
+    },
+    /// Dynamic partition (§4.2): unit-by-unit growth, sealed when the
+    /// Mann–Whitney rank test flags the partition's top-k as improper or
+    /// when the partition reaches `l_max`.
+    Dynamic,
+    /// Enhanced dynamic partition (§4.3 + §5.2): dynamic growth plus TBUI
+    /// k-unit labelling and UBSA segmented S-AVL construction.
+    EnhancedDynamic,
+}
+
+/// How the meaningful-object set `M_i` is represented and built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeaningfulMode {
+    /// Exact k-skyband via sort + Fenwick sweep (`O(p log p)` formation) —
+    /// the "Algorithm 1 without S-AVL" variant of Table 2.
+    Sorted,
+    /// The S-AVL structure of §5.1 (stack construction, `O(p)`-ish with
+    /// early pruning).
+    SAvl,
+    /// UBSA segmented S-AVL construction over TBUI-labelled units (§5.2);
+    /// only meaningful together with [`PartitionPolicy::EnhancedDynamic`].
+    Segmented,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SapConfig {
+    /// The query `⟨n, k, s⟩`.
+    pub spec: WindowSpec,
+    /// Partition policy.
+    pub policy: PartitionPolicy,
+    /// Delay the formation of `M_i` until `P_i` becomes the front partition
+    /// (Algorithm 1 lines 15-16). Disabling reproduces the "non-delay"
+    /// variant of Table 2, which forms `M_i` at seal time for every
+    /// partition.
+    pub delay_formation: bool,
+    /// Use the S-AVL structure for `M_i` (`true`) or the sorted exact
+    /// skyband (`false`, the "Algorithm 1" row of Table 2).
+    pub use_savl: bool,
+    /// Type-I error probability for the WRT (paper default 0.05).
+    pub alpha: f64,
+}
+
+impl SapConfig {
+    /// Enhanced dynamic partition with delay and S-AVL — the configuration
+    /// the paper evaluates as "SAP" in §6.3.
+    pub fn new(spec: WindowSpec) -> Self {
+        SapConfig {
+            spec,
+            policy: PartitionPolicy::EnhancedDynamic,
+            delay_formation: true,
+            use_savl: true,
+            alpha: 0.05,
+        }
+    }
+
+    /// Equal partition with `m` partitions (`None` = `m*`).
+    pub fn equal(spec: WindowSpec, m: Option<usize>) -> Self {
+        SapConfig {
+            policy: PartitionPolicy::Equal { m },
+            ..Self::new(spec)
+        }
+    }
+
+    /// Dynamic partition (§4.2) without the enhanced machinery.
+    pub fn dynamic(spec: WindowSpec) -> Self {
+        SapConfig {
+            policy: PartitionPolicy::Dynamic,
+            ..Self::new(spec)
+        }
+    }
+
+    /// Enhanced dynamic partition (§4.3) — same as [`SapConfig::new`].
+    pub fn enhanced(spec: WindowSpec) -> Self {
+        Self::new(spec)
+    }
+
+    /// Returns the configuration with delayed formation disabled
+    /// (Table 2's "non-delay").
+    pub fn without_delay(mut self) -> Self {
+        self.delay_formation = false;
+        self
+    }
+
+    /// Returns the configuration with the sorted meaningful set instead of
+    /// S-AVL (Table 2's "Algo 1").
+    pub fn without_savl(mut self) -> Self {
+        self.use_savl = false;
+        self
+    }
+
+    /// The meaningful-set representation implied by the flags.
+    pub fn meaningful_mode(&self) -> MeaningfulMode {
+        if !self.use_savl {
+            MeaningfulMode::Sorted
+        } else if matches!(self.policy, PartitionPolicy::EnhancedDynamic) {
+            MeaningfulMode::Segmented
+        } else {
+            MeaningfulMode::SAvl
+        }
+    }
+
+    /// Derived paper parameters for this query.
+    pub fn params(&self) -> PaperParams {
+        PaperParams::derive(self.spec.n, self.spec.k, self.spec.s)
+    }
+
+    /// The equal-partition target size implied by `m`, rounded to a
+    /// multiple of `s`, at least `max(s, ⌈k/s⌉·s)`, and at most `n`.
+    pub fn equal_partition_size(&self) -> usize {
+        let m = match self.policy {
+            PartitionPolicy::Equal { m } => m.unwrap_or_else(|| self.params().m_star),
+            _ => self.params().m_star,
+        }
+        .max(1);
+        let spec = self.spec;
+        let raw = spec.n.div_ceil(m);
+        let s = spec.s;
+        let min_size = s.max(spec.k.div_ceil(s) * s);
+        (raw.div_ceil(s) * s).max(min_size).min(spec.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize, k: usize, s: usize) -> WindowSpec {
+        WindowSpec::new(n, k, s).unwrap()
+    }
+
+    #[test]
+    fn default_is_enhanced_with_savl() {
+        let c = SapConfig::new(spec(1000, 10, 10));
+        assert_eq!(c.policy, PartitionPolicy::EnhancedDynamic);
+        assert!(c.delay_formation);
+        assert_eq!(c.meaningful_mode(), MeaningfulMode::Segmented);
+    }
+
+    #[test]
+    fn table2_variant_flags() {
+        let base = SapConfig::equal(spec(1000, 10, 10), Some(8));
+        assert_eq!(base.meaningful_mode(), MeaningfulMode::SAvl);
+        let no_savl = base.without_savl();
+        assert_eq!(no_savl.meaningful_mode(), MeaningfulMode::Sorted);
+        let non_delay = base.without_delay();
+        assert!(!non_delay.delay_formation);
+    }
+
+    #[test]
+    fn equal_partition_size_rounds_to_slide_multiples() {
+        let c = SapConfig::equal(spec(1000, 10, 10), Some(7));
+        let p = c.equal_partition_size();
+        assert_eq!(p % 10, 0);
+        assert!(p >= 10);
+        assert!(p <= 1000);
+        // n/m = 142.9 → 150
+        assert_eq!(p, 150);
+    }
+
+    #[test]
+    fn equal_partition_size_respects_k() {
+        // k = 25, s = 10 → partitions must hold at least 30 objects
+        let c = SapConfig::equal(spec(1000, 25, 10), Some(100));
+        assert!(c.equal_partition_size() >= 30);
+    }
+
+    #[test]
+    fn equal_partition_defaults_to_m_star() {
+        let c = SapConfig::equal(spec(10_000, 100, 10), None);
+        // m* = ⌈√(10^4/100)⌉ = 10 → p = 1000
+        assert_eq!(c.equal_partition_size(), 1000);
+    }
+
+    #[test]
+    fn tumbling_window_partition_is_whole_window() {
+        let c = SapConfig::equal(spec(100, 5, 100), None);
+        assert_eq!(c.equal_partition_size(), 100);
+    }
+}

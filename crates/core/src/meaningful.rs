@@ -1,0 +1,871 @@
+//! The meaningful-object set `M_i` in its three representations
+//! (see [`crate::config::MeaningfulMode`]):
+//!
+//! * [`SortedM`] — the exact k-skyband of `P_0 − P^k_0`, computed with a
+//!   sort plus a Fenwick-tree dominance sweep (`O(p log p)` formation) —
+//!   the "Algorithm 1 without S-AVL" variant of Table 2;
+//! * a plain [`SAvl`] built by one reverse-arrival scan (§5.1);
+//! * [`SegmentedM`] — the UBSA segmented construction of §5.2: one main
+//!   S-AVL holding non-k-units and each k-unit's `L_i` keys, plus lazily
+//!   built per-k-unit S-AVLs.
+//!
+//! Every representation satisfies the same contract: it never loses a true
+//! k-skyband object of the alive part of the partition, its maximum can be
+//! pulled in descending order, and expiry never lets a dead object escape
+//! through `pop_max`.
+
+use sap_stream::{Object, OpStats, ScoreKey};
+
+use crate::partition::{LiEntry, SealedPartition};
+use crate::savl::SAvl;
+
+// ---------------------------------------------------------------------------
+// Fenwick tree (dominance counting for the exact skyband)
+// ---------------------------------------------------------------------------
+
+/// Minimal binary indexed tree over `0..n` counting inserted positions.
+#[derive(Debug)]
+pub(crate) struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    pub fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Marks position `i` (0-based).
+    pub fn add(&mut self, i: usize) {
+        let mut x = i + 1;
+        while x < self.tree.len() {
+            self.tree[x] += 1;
+            x += x & x.wrapping_neg();
+        }
+    }
+
+    /// Number of marked positions ≤ `i` (0-based).
+    pub fn prefix(&self, i: usize) -> u32 {
+        let mut x = (i + 1).min(self.tree.len() - 1);
+        let mut sum = 0;
+        while x > 0 {
+            sum += self.tree[x];
+            x -= x & x.wrapping_neg();
+        }
+        sum
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SortedM: exact skyband via sort + Fenwick sweep
+// ---------------------------------------------------------------------------
+
+/// Exact k-skyband of the partition remainder, kept as an ascending vector
+/// (`pop` from the tail = extract max). Interior entries that expire before
+/// reaching the tail are discarded lazily when the tail passes them.
+#[derive(Debug, Default)]
+pub struct SortedM {
+    /// Ascending by key.
+    entries: Vec<ScoreKey>,
+}
+
+impl SortedM {
+    /// Builds the exact meaningful set of `objects[expired_upto..]`:
+    /// objects outside `pk_desc` whose score passes `F_θ` (Lemma 2's global
+    /// pruning) and whose within-partition dominance count stays below
+    /// `budget = k − ρ` (local pruning). Dominance is counted against *all*
+    /// partition objects, `P^k` members included.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        objects: &[Object],
+        expired_upto: usize,
+        pk_desc: &[ScoreKey],
+        f_theta: Option<f64>,
+        budget: usize,
+        slide: usize,
+        k: usize,
+        stats: &mut OpStats,
+    ) -> Self {
+        let alive = &objects[expired_upto..];
+        stats.objects_scanned += alive.len() as u64;
+        if budget == 0 || alive.is_empty() {
+            return SortedM::default();
+        }
+        let base = alive.first().map(|o| o.id).unwrap_or(0);
+        let mut keys: Vec<ScoreKey> = slide_tops(alive, slide, k);
+        keys.sort_unstable_by(|a, b| b.cmp(a));
+
+        let mut fen = Fenwick::new(alive.len());
+        let mut kept_desc: Vec<ScoreKey> = Vec::new();
+        let mut added = 0u32;
+        let mut i = 0;
+        let is_pk = |key: &ScoreKey| pk_desc.binary_search_by(|p| key.cmp(p)).is_ok();
+        while i < keys.len() {
+            // group of equal scores: they do not dominate one another
+            let mut j = i;
+            while j + 1 < keys.len() && keys[j + 1].score == keys[i].score {
+                j += 1;
+            }
+            for key in &keys[i..=j] {
+                let pos = (key.id - base) as usize;
+                let num = added - fen.prefix(pos);
+                if (num as usize) < budget
+                    && !is_pk(key)
+                    && f_theta.is_none_or(|t| key.score >= t)
+                {
+                    kept_desc.push(*key);
+                }
+            }
+            for key in &keys[i..=j] {
+                fen.add((key.id - base) as usize);
+            }
+            added += (j - i + 1) as u32;
+            i = j + 1;
+        }
+        kept_desc.reverse();
+        SortedM {
+            entries: kept_desc,
+        }
+    }
+
+    /// Largest live entry (requires [`expire_below`](Self::expire_below) to
+    /// have been called with the current cutoff).
+    pub fn max_key(&self) -> Option<ScoreKey> {
+        self.entries.last().copied()
+    }
+
+    /// Removes and returns the largest entry with `id ≥ cutoff`, discarding
+    /// any expired entries encountered on the way.
+    pub fn pop_max(&mut self, cutoff: u64) -> Option<ScoreKey> {
+        while let Some(last) = self.entries.pop() {
+            if last.id >= cutoff {
+                return Some(last);
+            }
+        }
+        None
+    }
+
+    /// Trims expired entries from the tail so `max_key` is live. Interior
+    /// expired entries are removed lazily by later pops.
+    pub fn expire_below(&mut self, cutoff: u64) {
+        while matches!(self.entries.last(), Some(k) if k.id < cutoff) {
+            self.entries.pop();
+        }
+    }
+
+    /// Entry count (may include interior entries that already expired; an
+    /// upper bound of the live size).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<ScoreKey>()
+    }
+}
+
+/// Collects the keys eligible for meaningful-set membership: all of them
+/// when `s ≤ k`, otherwise each slide's top-k (Appendix C / MinTopK's
+/// observation — slide-mates expire together, so an object with k
+/// higher-scored slide-mates can never become a result).
+fn slide_tops(objects: &[Object], slide: usize, k: usize) -> Vec<ScoreKey> {
+    if slide <= k {
+        return objects.iter().map(Object::key).collect();
+    }
+    let mut out = Vec::with_capacity(objects.len() / slide * k + k);
+    let mut scratch: Vec<ScoreKey> = Vec::with_capacity(slide);
+    let mut start = 0;
+    while start < objects.len() {
+        let slide_idx = objects[start].id / slide as u64;
+        let mut end = start;
+        while end < objects.len() && objects[end].id / slide as u64 == slide_idx {
+            end += 1;
+        }
+        scratch.clear();
+        scratch.extend(objects[start..end].iter().map(Object::key));
+        if scratch.len() > k {
+            let idx = scratch.len() - k;
+            scratch.select_nth_unstable(idx - 1);
+            out.extend_from_slice(&scratch[idx..]);
+        } else {
+            out.extend_from_slice(&scratch);
+        }
+        start = end;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Plain S-AVL formation (§5.1)
+// ---------------------------------------------------------------------------
+
+/// Builds an S-AVL over `objects[expired_upto..]` by one reverse-arrival
+/// scan with global (`F_θ`) and local (stack) pruning, excluding the `P^k`
+/// members (which live in the candidate set). `slide` enables the
+/// Appendix-C optimization: when `s > k`, only the top-k of each slide can
+/// ever be meaningful (slide-mates expire together), so the rest are
+/// skipped without being offered.
+#[allow(clippy::too_many_arguments)]
+pub fn build_savl(
+    objects: &[Object],
+    expired_upto: usize,
+    pk_desc: &[ScoreKey],
+    f_theta: Option<f64>,
+    budget: usize,
+    slide: usize,
+    k: usize,
+    stats: &mut OpStats,
+) -> SAvl {
+    let mut savl = SAvl::new(budget);
+    scan_into_savl(
+        &mut savl,
+        &objects[expired_upto..],
+        pk_desc,
+        &[],
+        f_theta,
+        slide,
+        k,
+        stats,
+    );
+    savl
+}
+
+/// Reverse-scans `objects` into `savl`, skipping keys present in
+/// `exclude_a`/`exclude_b` (both descending), keys below `f_theta`, and —
+/// when `slide > k` — objects outside their own slide's top-k (Appendix C:
+/// slide-mates expire simultaneously, so an object with k higher-scored
+/// slide-mates can never be a result).
+#[allow(clippy::too_many_arguments)]
+fn scan_into_savl(
+    savl: &mut SAvl,
+    objects: &[Object],
+    exclude_a: &[ScoreKey],
+    exclude_b: &[ScoreKey],
+    f_theta: Option<f64>,
+    slide: usize,
+    k: usize,
+    stats: &mut OpStats,
+) {
+    let member = |set: &[ScoreKey], key: &ScoreKey| {
+        set.binary_search_by(|p| key.cmp(p)).is_ok()
+    };
+    let mut offer = |o: &Object, stats: &mut OpStats| {
+        stats.objects_scanned += 1;
+        let key = o.key();
+        if let Some(t) = f_theta {
+            if key.score < t {
+                return;
+            }
+        }
+        if member(exclude_a, &key) || member(exclude_b, &key) {
+            return;
+        }
+        savl.offer(key);
+    };
+    if slide <= k {
+        for o in objects.iter().rev() {
+            offer(o, stats);
+        }
+        return;
+    }
+    // group objects by slide (ids are arrival ordinals, slides are aligned
+    // id ranges), keep only each slide's top-k
+    let mut group_top: Vec<ScoreKey> = Vec::with_capacity(k);
+    let mut scratch: Vec<ScoreKey> = Vec::with_capacity(slide);
+    let mut end = objects.len();
+    while end > 0 {
+        let slide_idx = objects[end - 1].id / slide as u64;
+        let mut start = end;
+        while start > 0 && objects[start - 1].id / slide as u64 == slide_idx {
+            start -= 1;
+        }
+        scratch.clear();
+        scratch.extend(objects[start..end].iter().map(Object::key));
+        stats.objects_scanned += scratch.len() as u64;
+        group_top.clear();
+        if scratch.len() > k {
+            let idx = scratch.len() - k;
+            scratch.select_nth_unstable(idx - 1);
+            group_top.extend_from_slice(&scratch[idx..]);
+        } else {
+            group_top.extend_from_slice(&scratch);
+        }
+        group_top.sort_unstable_by(|a, b| b.cmp(a));
+        for o in objects[start..end].iter().rev() {
+            let key = o.key();
+            if group_top.binary_search_by(|p| key.cmp(p)).is_ok() {
+                offer(o, stats);
+            }
+        }
+        end = start;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedM: UBSA construction over TBUI-labelled units (§5.2)
+// ---------------------------------------------------------------------------
+
+/// A k-unit whose full scan is deferred to phase 2.
+#[derive(Debug, Clone, Copy)]
+struct PendingUnit {
+    unit_idx: usize,
+    /// The smallest `L_i` key of the unit — an upper bound (by result
+    /// order) of every deferred object in the unit.
+    min_key: ScoreKey,
+    /// Whether the `L_i` entry holds a full k keys (enables the phase-2
+    /// skip rule).
+    full: bool,
+}
+
+/// The segmented meaningful set: a main S-AVL (phase 1) plus per-k-unit
+/// S-AVLs built lazily (phase 2).
+#[derive(Debug)]
+pub struct SegmentedM {
+    main: SAvl,
+    unit_avls: Vec<SAvl>,
+    pending: Vec<PendingUnit>,
+    f_theta: Option<f64>,
+    budget: usize,
+    slide: usize,
+    k: usize,
+}
+
+impl SegmentedM {
+    /// Phase 1 of UBSA: scans non-k-units in full (skipping those whose
+    /// recorded top-1 falls below `F_θ`) and inserts each k-unit's `L_i`
+    /// keys; k-unit remainders become pending phase-2 work. Units at
+    /// positions 0 and 1 (which may be needed immediately) are built
+    /// eagerly.
+    pub fn build(
+        partition: &SealedPartition,
+        f_theta: Option<f64>,
+        budget: usize,
+        slide: usize,
+        k: usize,
+        stats: &mut OpStats,
+    ) -> Self {
+        let mut seg = SegmentedM {
+            main: SAvl::new(budget),
+            unit_avls: Vec::new(),
+            pending: Vec::new(),
+            f_theta,
+            budget,
+            slide,
+            k,
+        };
+        // newest unit first, objects in reverse arrival order throughout
+        for (idx, unit) in partition.units.iter().enumerate().rev() {
+            let objects = &partition.objects[unit.start..unit.end];
+            match &unit.li {
+                Some(LiEntry::NonK { top }) => {
+                    if f_theta.is_some_and(|t| top.score < t) {
+                        stats.unit_scans_skipped += 1;
+                        continue;
+                    }
+                    scan_into_savl(
+                        &mut seg.main,
+                        objects,
+                        &partition.pk_desc,
+                        &[],
+                        f_theta,
+                        slide,
+                        k,
+                        stats,
+                    );
+                }
+                Some(LiEntry::KUnit { keys }) => {
+                    // offer only the L_i keys, in reverse arrival order
+                    for o in objects.iter().rev() {
+                        let key = o.key();
+                        if keys.binary_search_by(|p| key.cmp(p)).is_ok()
+                            && !partition.in_pk(&key)
+                            && f_theta.is_none_or(|t| key.score >= t)
+                        {
+                            seg.main.offer(key);
+                        }
+                    }
+                    stats.objects_scanned += keys.len() as u64;
+                    seg.pending.push(PendingUnit {
+                        unit_idx: idx,
+                        min_key: *keys.last().expect("k-unit has keys"),
+                        full: keys.len() >= k,
+                    });
+                }
+                None => {
+                    // unlabeled unit (policy without TBUI): full scan
+                    scan_into_savl(
+                        &mut seg.main,
+                        objects,
+                        &partition.pk_desc,
+                        &[],
+                        f_theta,
+                        slide,
+                        k,
+                        stats,
+                    );
+                }
+            }
+        }
+        seg.pending.reverse(); // ascending unit order
+        // phase 2 starts immediately for the two oldest units
+        while seg
+            .pending
+            .first()
+            .is_some_and(|p| p.unit_idx <= 1)
+        {
+            let p = seg.pending.remove(0);
+            seg.build_unit(partition, p, stats);
+        }
+        seg
+    }
+
+    /// Builds (or skips) the deferred S-AVL of one k-unit.
+    fn build_unit(&mut self, partition: &SealedPartition, p: PendingUnit, stats: &mut OpStats) {
+        let unit = &partition.units[p.unit_idx];
+        let keys = match &unit.li {
+            Some(LiEntry::KUnit { keys }) => keys.as_slice(),
+            _ => &[],
+        };
+        // phase-2 skip rule: a full L_i whose minimum is already below F_θ
+        // proves every deferred object is globally prunable
+        if p.full && self.f_theta.is_some_and(|t| p.min_key.score < t) {
+            stats.unit_scans_skipped += 1;
+            return;
+        }
+        let mut savl = SAvl::new(self.budget);
+        let objects = &partition.objects[unit.start..unit.end];
+        scan_into_savl(
+            &mut savl,
+            objects,
+            &partition.pk_desc,
+            keys,
+            self.f_theta,
+            self.slide,
+            self.k,
+            stats,
+        );
+        if !savl.is_empty() {
+            self.unit_avls.push(savl);
+        }
+    }
+
+    /// Phase-2 trigger (§5.2): when the expiry frontier passes unit `v − 2`,
+    /// unit `v`'s S-AVL is built.
+    pub fn advance(&mut self, partition: &SealedPartition, stats: &mut OpStats) {
+        while let Some(p) = self.pending.first().copied() {
+            let trigger_end = if p.unit_idx >= 2 {
+                partition.units[p.unit_idx - 2].end
+            } else {
+                0
+            };
+            if partition.expired_upto >= trigger_end {
+                self.pending.remove(0);
+                self.build_unit(partition, p, stats);
+            } else {
+                break;
+            }
+        }
+        self.unit_avls.retain(|s| !s.is_empty());
+    }
+
+    /// Largest live entry across all component structures. Deferred unit
+    /// remainders are always bounded above by their unit's `L_i` minimum,
+    /// which stays in the main S-AVL until popped — so the component
+    /// maximum is the true maximum (see `pop_max` for the backstop).
+    pub fn max_key(&self) -> Option<ScoreKey> {
+        let mut best = self.main.max_key();
+        for s in &self.unit_avls {
+            match (best, s.max_key()) {
+                (Some(b), Some(m)) if m > b => best = Some(m),
+                (None, Some(m)) => best = Some(m),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Removes and returns the largest live entry (`id ≥ cutoff`). Expired
+    /// entries surfacing at stack tops are discarded on the way. If the
+    /// winner is the last `L_i` key shielding a deferred unit (its
+    /// minimum), that unit is force-built first so its remainder can
+    /// compete — the correctness backstop for aggressive early pulls.
+    pub fn pop_max(
+        &mut self,
+        cutoff: u64,
+        partition: &SealedPartition,
+        stats: &mut OpStats,
+    ) -> Option<ScoreKey> {
+        loop {
+            let best = self.max_key()?;
+            if let Some(pos) = self
+                .pending
+                .iter()
+                .position(|p| p.min_key == best)
+            {
+                let p = self.pending.remove(pos);
+                self.build_unit(partition, p, stats);
+                continue;
+            }
+            // pop from whichever structure holds it
+            let popped = if self.main.max_key() == Some(best) {
+                self.main.pop_max()
+            } else {
+                self.unit_avls
+                    .iter_mut()
+                    .find(|s| s.max_key() == Some(best))
+                    .expect("max key tracked in a component")
+                    .pop_max()
+            };
+            match popped {
+                Some(key) if key.id >= cutoff => return Some(key),
+                _ => continue, // expired entry: discard and retry
+            }
+        }
+    }
+
+    /// Expires entries below `cutoff` in every component and drops pending
+    /// units that have fully expired.
+    pub fn expire_below(&mut self, cutoff: u64, partition: &SealedPartition) {
+        self.main.expire_below(cutoff);
+        for s in &mut self.unit_avls {
+            s.expire_below(cutoff);
+        }
+        self.unit_avls.retain(|s| !s.is_empty());
+        self.pending.retain(|p| {
+            let unit = &partition.units[p.unit_idx];
+            let last_id = partition.objects[unit.end - 1].id;
+            last_id >= cutoff
+        });
+    }
+
+    /// Live entry count (deferred remainders excluded — they are not
+    /// materialized, which is the point of Theorem 4's bound).
+    pub fn len(&self) -> usize {
+        self.main.len() + self.unit_avls.iter().map(SAvl::len).sum::<usize>()
+    }
+
+    /// Whether no materialized entries remain (pending deferred units may
+    /// still exist).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Descending stack tops across components (result-pool widening).
+    pub fn tops_desc_into(&self, limit: usize, out: &mut Vec<ScoreKey>) {
+        out.extend(self.main.tops_desc().take(limit).copied());
+        for s in &self.unit_avls {
+            out.extend(s.tops_desc().take(limit).copied());
+        }
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.main.memory_bytes()
+            + self.unit_avls.iter().map(SAvl::memory_bytes).sum::<usize>()
+            + self.pending.capacity() * std::mem::size_of::<PendingUnit>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MSet: the engine-facing wrapper
+// ---------------------------------------------------------------------------
+
+/// A formed meaningful-object set in any representation.
+#[derive(Debug)]
+pub enum MSet {
+    /// Plain S-AVL (§5.1).
+    SAvl(SAvl),
+    /// Exact sorted skyband (Table 2's no-S-AVL variant).
+    Sorted(SortedM),
+    /// UBSA segmented construction (§5.2).
+    Segmented(SegmentedM),
+}
+
+impl MSet {
+    /// Largest live entry.
+    pub fn max_key(&self) -> Option<ScoreKey> {
+        match self {
+            MSet::SAvl(s) => s.max_key(),
+            MSet::Sorted(s) => s.max_key(),
+            MSet::Segmented(s) => s.max_key(),
+        }
+    }
+
+    /// Removes and returns the largest live entry.
+    pub fn pop_max(
+        &mut self,
+        cutoff: u64,
+        partition: &SealedPartition,
+        stats: &mut OpStats,
+    ) -> Option<ScoreKey> {
+        match self {
+            MSet::SAvl(s) => s.pop_max_alive(cutoff),
+            MSet::Sorted(s) => s.pop_max(cutoff),
+            MSet::Segmented(s) => s.pop_max(cutoff, partition, stats),
+        }
+    }
+
+    /// Expires entries below `cutoff`.
+    pub fn expire_below(&mut self, cutoff: u64, partition: &SealedPartition) {
+        match self {
+            MSet::SAvl(s) => s.expire_below(cutoff),
+            MSet::Sorted(s) => s.expire_below(cutoff),
+            MSet::Segmented(s) => s.expire_below(cutoff, partition),
+        }
+    }
+
+    /// Phase-2 advancement (no-op for non-segmented representations).
+    pub fn advance(&mut self, partition: &SealedPartition, stats: &mut OpStats) {
+        if let MSet::Segmented(s) = self {
+            s.advance(partition, stats);
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        match self {
+            MSet::SAvl(s) => s.len(),
+            MSet::Sorted(s) => s.len(),
+            MSet::Segmented(s) => s.len(),
+        }
+    }
+
+    /// Whether the set holds no materialized entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collects up to `limit` of the highest readily available entries for
+    /// the per-slide result pool.
+    pub fn tops_desc_into(&self, limit: usize, out: &mut Vec<ScoreKey>) {
+        match self {
+            MSet::SAvl(s) => out.extend(s.tops_desc().take(limit).copied()),
+            MSet::Sorted(s) => {
+                out.extend(s.entries.iter().rev().take(limit).copied());
+            }
+            MSet::Segmented(s) => s.tops_desc_into(limit, out),
+        }
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            MSet::SAvl(s) => s.memory_bytes(),
+            MSet::Sorted(s) => s.memory_bytes(),
+            MSet::Segmented(s) => s.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::UnitMeta;
+
+    fn key(id: u64, score: f64) -> ScoreKey {
+        ScoreKey { score, id }
+    }
+
+    fn objects(scores: &[f64]) -> Vec<Object> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Object::new(i as u64, s))
+            .collect()
+    }
+
+    /// Reference skyband: o is meaningful iff fewer than `budget` partition
+    /// objects dominate it, it is not in pk, and its score passes fθ.
+    fn reference_meaningful(
+        objs: &[Object],
+        pk: &[ScoreKey],
+        f_theta: Option<f64>,
+        budget: usize,
+    ) -> Vec<ScoreKey> {
+        let mut out = Vec::new();
+        for o in objs {
+            let key = o.key();
+            if pk.binary_search_by(|p| key.cmp(p)).is_ok() {
+                continue;
+            }
+            if f_theta.is_some_and(|t| key.score < t) {
+                continue;
+            }
+            let dom = objs
+                .iter()
+                .filter(|x| x.dominates(o))
+                .count();
+            if dom < budget {
+                out.push(key);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn fenwick_counts() {
+        let mut f = Fenwick::new(10);
+        f.add(3);
+        f.add(7);
+        f.add(3 + 4);
+        assert_eq!(f.prefix(2), 0);
+        assert_eq!(f.prefix(3), 1);
+        assert_eq!(f.prefix(9), 3);
+    }
+
+    #[test]
+    fn sorted_m_matches_reference() {
+        let objs = objects(&[5.0, 9.0, 2.0, 7.0, 4.0, 8.0, 1.0, 6.0]);
+        let mut pk: Vec<ScoreKey> = objs.iter().map(Object::key).collect();
+        pk.sort_unstable_by(|a, b| b.cmp(a));
+        pk.truncate(2); // pk = {9, 8}
+        let mut stats = OpStats::default();
+        for budget in [1usize, 2, 3] {
+            for f_theta in [None, Some(4.5)] {
+                let m = SortedM::build(&objs, 0, &pk, f_theta, budget, 1, 2, &mut stats);
+                let expect = reference_meaningful(&objs, &pk, f_theta, budget);
+                assert_eq!(
+                    m.entries, expect,
+                    "budget={budget} f_theta={f_theta:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_m_handles_ties() {
+        let objs = objects(&[3.0, 3.0, 3.0, 5.0, 3.0]);
+        let pk = vec![key(3, 5.0)];
+        let mut stats = OpStats::default();
+        let m = SortedM::build(&objs, 0, &pk, None, 2, 1, 2, &mut stats);
+        let expect = reference_meaningful(&objs, &pk, None, 2);
+        assert_eq!(m.entries, expect);
+    }
+
+    #[test]
+    fn sorted_m_pop_skips_expired() {
+        let mut m = SortedM {
+            entries: vec![key(1, 1.0), key(0, 5.0), key(4, 9.0)],
+        };
+        // cutoff 2: ids 0 and 1 are dead
+        assert_eq!(m.pop_max(2), Some(key(4, 9.0)));
+        assert_eq!(m.pop_max(2), None, "5.0@0 and 1.0@1 are expired");
+    }
+
+    #[test]
+    fn build_savl_never_loses_true_skyband() {
+        let objs = objects(&[4.0, 8.0, 1.0, 6.0, 3.0, 7.0, 2.0, 5.0]);
+        let mut pk: Vec<ScoreKey> = objs.iter().map(Object::key).collect();
+        pk.sort_unstable_by(|a, b| b.cmp(a));
+        pk.truncate(2);
+        let mut stats = OpStats::default();
+        for budget in [1usize, 2, 4] {
+            let savl = build_savl(&objs, 0, &pk, None, budget, 1, 2, &mut stats);
+            let reference = reference_meaningful(&objs, &pk, None, budget);
+            // S-AVL may keep false positives but must keep every true one
+            let mut drained = Vec::new();
+            let mut s = savl;
+            while let Some(k) = s.pop_max() {
+                drained.push(k);
+            }
+            for want in &reference {
+                assert!(
+                    drained.contains(want),
+                    "budget={budget}: S-AVL lost true skyband object {want:?}"
+                );
+            }
+        }
+    }
+
+    fn sealed_with_units(
+        scores: &[f64],
+        unit_len: usize,
+        k: usize,
+        label: bool,
+    ) -> SealedPartition {
+        let objs = objects(scores);
+        let mut pk: Vec<ScoreKey> = objs.iter().map(Object::key).collect();
+        pk.sort_unstable_by(|a, b| b.cmp(a));
+        pk.truncate(k);
+        let mut units = Vec::new();
+        let mut start = 0;
+        while start < objs.len() {
+            let end = (start + unit_len).min(objs.len());
+            let li = if label {
+                let mut keys: Vec<ScoreKey> =
+                    objs[start..end].iter().map(Object::key).collect();
+                keys.sort_unstable_by(|a, b| b.cmp(a));
+                keys.truncate(k);
+                Some(LiEntry::KUnit { keys })
+            } else {
+                None
+            };
+            units.push(UnitMeta { start, end, li });
+            start = end;
+        }
+        SealedPartition {
+            pid: 0,
+            objects: objs,
+            pk_desc: pk,
+            units,
+            expired_upto: 0,
+            premade: None,
+        }
+    }
+
+    #[test]
+    fn segmented_pop_order_is_descending_and_complete() {
+        let scores: Vec<f64> = (0..40)
+            .map(|i| ((i * 37) % 41) as f64 + 0.5)
+            .collect();
+        let k = 3;
+        let part = sealed_with_units(&scores, 8, k, true);
+        let mut stats = OpStats::default();
+        let mut seg = SegmentedM::build(&part, None, k, 1, k, &mut stats);
+        let reference = reference_meaningful(&part.objects, &part.pk_desc, None, k);
+        let mut drained = Vec::new();
+        while let Some(x) = seg.pop_max(0, &part, &mut stats) {
+            drained.push(x);
+        }
+        // descending pops
+        assert!(drained.windows(2).all(|w| w[0] > w[1]), "{drained:?}");
+        // completeness: every true skyband object present
+        for want in &reference {
+            assert!(
+                drained.contains(want),
+                "segmented lost true skyband object {want:?}; drained {drained:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_skips_units_below_f_theta() {
+        // unit tops all below fθ → non-k-units skipped, k-units' phase 2
+        // skipped by the min(L_i) rule
+        let scores: Vec<f64> = (0..30).map(|i| (i % 10) as f64).collect();
+        let k = 2;
+        let part = sealed_with_units(&scores, 10, k, true);
+        let mut stats = OpStats::default();
+        let seg = SegmentedM::build(&part, Some(100.0), k, 1, k, &mut stats);
+        assert_eq!(seg.len(), 0, "everything is globally prunable");
+    }
+
+    #[test]
+    fn mset_wrapper_dispatches() {
+        let objs = objects(&[1.0, 5.0, 3.0]);
+        let pk = vec![key(1, 5.0)];
+        let mut stats = OpStats::default();
+        let part = sealed_with_units(&[1.0, 5.0, 3.0], 3, 1, false);
+        let mut m = MSet::Sorted(SortedM::build(&objs, 0, &pk, None, 1, 1, 1, &mut stats));
+        assert_eq!(m.max_key().unwrap().score, 3.0);
+        assert_eq!(m.pop_max(0, &part, &mut stats).unwrap().score, 3.0);
+    }
+}

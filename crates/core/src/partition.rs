@@ -1,0 +1,195 @@
+//! Sealed partitions and their unit metadata.
+
+use sap_stream::{Object, ScoreKey};
+
+/// The TBUI label of one unit (§4.3): either a k-unit, whose `L_i` entry
+/// keeps its top scorers, or a non-k-unit keeping only the top-1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiEntry {
+    /// A (possibly provisional) k-unit; `keys` holds the unit's exact
+    /// top-`|keys|` in descending order (`|keys| ≤ k`).
+    KUnit {
+        /// Top keys, descending.
+        keys: Vec<ScoreKey>,
+    },
+    /// A confirmed non-k-unit (Theorem 2): only the best object is kept.
+    NonK {
+        /// The unit's maximum.
+        top: ScoreKey,
+    },
+}
+
+impl LiEntry {
+    /// Number of keys stored.
+    pub fn key_count(&self) -> usize {
+        match self {
+            LiEntry::KUnit { keys } => keys.len(),
+            LiEntry::NonK { .. } => 1,
+        }
+    }
+
+    /// The entry's maximum key.
+    pub fn top(&self) -> ScoreKey {
+        match self {
+            LiEntry::KUnit { keys } => keys[0],
+            LiEntry::NonK { top } => *top,
+        }
+    }
+}
+
+/// One unit of a partition: an index range into the partition's object
+/// buffer plus its TBUI label (absent for the equal/plain-dynamic policies,
+/// which do not run TBUI).
+#[derive(Debug, Clone)]
+pub struct UnitMeta {
+    /// First object index (inclusive).
+    pub start: usize,
+    /// One-past-last object index.
+    pub end: usize,
+    /// TBUI label, if the enhanced policy produced one.
+    pub li: Option<LiEntry>,
+}
+
+impl UnitMeta {
+    /// Number of objects in the unit.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the unit is empty (never true for well-formed partitions).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A sealed (fully formed, no longer growing) partition.
+#[derive(Debug)]
+pub struct SealedPartition {
+    /// Partition id — strictly increasing with seal order, so `pid_a <
+    /// pid_b` implies every object of `a` arrived before every object of
+    /// `b`.
+    pub pid: u32,
+    /// The partition's objects in arrival order.
+    pub objects: Vec<Object>,
+    /// The partition's top-k keys at seal time, descending (`P^k_i`).
+    pub pk_desc: Vec<ScoreKey>,
+    /// Unit ranges (one pseudo-unit spanning everything when the policy is
+    /// unit-less).
+    pub units: Vec<UnitMeta>,
+    /// Number of leading objects that have expired (front partition only).
+    pub expired_upto: usize,
+    /// Meaningful set formed eagerly at seal time (non-delay variant).
+    pub premade: Option<crate::meaningful::MSet>,
+}
+
+impl SealedPartition {
+    /// The pivot `o^k_i` — the k-th best object of the partition, used by
+    /// the group dominance number (Definition 1).
+    pub fn pivot(&self) -> Option<ScoreKey> {
+        self.pk_desc.last().copied()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the partition holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Whether every object has expired.
+    pub fn fully_expired(&self) -> bool {
+        self.expired_upto >= self.objects.len()
+    }
+
+    /// Whether `key` is one of the partition's sealed top-k.
+    pub fn in_pk(&self, key: &ScoreKey) -> bool {
+        // pk_desc is sorted descending
+        self.pk_desc
+            .binary_search_by(|probe| key.cmp(probe))
+            .is_ok()
+    }
+
+    /// Bytes attributable to the partition's *candidate* metadata: `P^k`
+    /// keys and `L_i` lists. The raw object buffer is window storage and
+    /// not counted (DESIGN.md §4.8).
+    pub fn metadata_bytes(&self) -> usize {
+        let key = std::mem::size_of::<ScoreKey>();
+        let li: usize = self
+            .units
+            .iter()
+            .map(|u| u.li.as_ref().map_or(0, |e| e.key_count() * key))
+            .sum();
+        self.pk_desc.len() * key + li + self.units.len() * std::mem::size_of::<UnitMeta>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u64, score: f64) -> ScoreKey {
+        ScoreKey { score, id }
+    }
+
+    fn sealed(scores: &[f64], k: usize) -> SealedPartition {
+        let objects: Vec<Object> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Object::new(i as u64, s))
+            .collect();
+        let mut pk: Vec<ScoreKey> = objects.iter().map(Object::key).collect();
+        pk.sort_unstable_by(|a, b| b.cmp(a));
+        pk.truncate(k);
+        let end = objects.len();
+        SealedPartition {
+            pid: 0,
+            objects,
+            pk_desc: pk,
+            units: vec![UnitMeta {
+                start: 0,
+                end,
+                li: None,
+            }],
+            expired_upto: 0,
+            premade: None,
+        }
+    }
+
+    #[test]
+    fn pivot_is_kth_best() {
+        let p = sealed(&[5.0, 9.0, 1.0, 7.0], 2);
+        assert_eq!(p.pivot().unwrap().score, 7.0);
+    }
+
+    #[test]
+    fn in_pk_finds_exact_members() {
+        let p = sealed(&[5.0, 9.0, 1.0, 7.0], 2);
+        assert!(p.in_pk(&key(1, 9.0)));
+        assert!(p.in_pk(&key(3, 7.0)));
+        assert!(!p.in_pk(&key(0, 5.0)));
+        assert!(!p.in_pk(&key(1, 7.0)), "id mismatch is not a member");
+    }
+
+    #[test]
+    fn expiry_progress() {
+        let mut p = sealed(&[1.0, 2.0, 3.0], 2);
+        assert!(!p.fully_expired());
+        p.expired_upto = 3;
+        assert!(p.fully_expired());
+    }
+
+    #[test]
+    fn li_entry_accessors() {
+        let e = LiEntry::KUnit {
+            keys: vec![key(4, 9.0), key(2, 8.0)],
+        };
+        assert_eq!(e.key_count(), 2);
+        assert_eq!(e.top().score, 9.0);
+        let n = LiEntry::NonK { top: key(1, 3.0) };
+        assert_eq!(n.key_count(), 1);
+        assert_eq!(n.top().score, 3.0);
+    }
+}

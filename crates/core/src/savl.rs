@@ -1,0 +1,340 @@
+//! The S-AVL structure (§5.1): `k − ρ` stacks plus an AVL tree over the
+//! stack tops, holding the meaningful objects of the front partition.
+//!
+//! Invariants maintained per stack `S_i` (paper's conditions i & ii):
+//! `F(S_i[j]) ≤ F(S_i[j+1])` and `S_i[j].t ≥ S_i[j+1].t` — scores grow and
+//! arrival times shrink from bottom to top, so the **top of every stack is
+//! simultaneously its oldest and highest entry**. Two consequences the
+//! algorithms rely on:
+//!
+//! * the global maximum of the structure is the maximum over stack tops —
+//!   exactly what the AVL tree indexes, making "pull the best meaningful
+//!   object" an `O(log k)` operation;
+//! * objects expire in arrival order, and within a stack everything below
+//!   the top is newer than the top — so expiry only ever pops stack tops.
+//!
+//! Construction scans `P_0 − P^k_0` in **reverse arrival order**; each
+//! object is pushed onto the stack whose top is the *largest one still
+//! below it* (preserving the AVL order, §5.1's construction rule), and an
+//! object below all `k − ρ` tops is pruned: those tops are all newer and
+//! at least as high, and together with the `ρ` external dominators they
+//! pin it out of every future top-k.
+
+use sap_avltree::AvlMap;
+use sap_stream::ScoreKey;
+
+/// One S-AVL instance.
+#[derive(Debug)]
+pub struct SAvl {
+    stacks: Vec<Vec<ScoreKey>>,
+    /// stack top → stack index
+    tops: AvlMap<ScoreKey, u32>,
+    max_stacks: usize,
+    len: usize,
+}
+
+impl SAvl {
+    /// Creates an S-AVL with at most `max_stacks` stacks (`k − ρ` in the
+    /// paper; a value of 0 accepts nothing).
+    pub fn new(max_stacks: usize) -> Self {
+        SAvl {
+            stacks: Vec::with_capacity(max_stacks.min(64)),
+            tops: AvlMap::new(),
+            max_stacks,
+            len: 0,
+        }
+    }
+
+    /// Number of stacks allowed.
+    pub fn max_stacks(&self) -> usize {
+        self.max_stacks
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the structure holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Offers the next object of the reverse-arrival scan. Returns `true`
+    /// if it was retained, `false` if locally pruned. **Must** be called in
+    /// strictly decreasing arrival order (debug-asserted).
+    pub fn offer(&mut self, key: ScoreKey) -> bool {
+        debug_assert!(
+            self.stacks
+                .iter()
+                .flat_map(|s| s.last())
+                .all(|top| top.id > key.id),
+            "S-AVL scan must proceed in reverse arrival order"
+        );
+        if self.max_stacks == 0 {
+            return false;
+        }
+        if self.stacks.len() < self.max_stacks {
+            // first k−ρ survivors each found a new stack
+            let idx = self.stacks.len() as u32;
+            self.stacks.push(vec![key]);
+            self.tops.insert(key, idx);
+            self.len += 1;
+            return true;
+        }
+        // the stack whose top is the largest one still below `key`
+        let rank = self.tops.rank(&key);
+        if rank == 0 {
+            // every top is ≥ key, all newer → key can never outrank them
+            return false;
+        }
+        let (&top, &si) = self.tops.select(rank - 1).expect("rank checked");
+        self.tops.remove(&top);
+        self.stacks[si as usize].push(key);
+        self.tops.insert(key, si);
+        self.len += 1;
+        true
+    }
+
+    /// The largest live entry.
+    pub fn max_key(&self) -> Option<ScoreKey> {
+        self.tops.max().map(|(k, _)| *k)
+    }
+
+    /// Removes and returns the largest entry; the revealed entry beneath it
+    /// (if any) becomes its stack's new top and joins the AVL tree. `O(log k)`.
+    pub fn pop_max(&mut self) -> Option<ScoreKey> {
+        let (key, si) = self.tops.pop_max()?;
+        let stack = &mut self.stacks[si as usize];
+        let popped = stack.pop().expect("top tracked in AVL");
+        debug_assert_eq!(popped, key);
+        if let Some(&new_top) = stack.last() {
+            self.tops.insert(new_top, si);
+        }
+        self.len -= 1;
+        Some(key)
+    }
+
+    /// Like [`pop_max`](Self::pop_max) but discards expired entries
+    /// (`id < cutoff`) on the way — the expiry-handling counterpart that
+    /// lets the engine skip per-slide stack sweeps: an expiring entry is
+    /// always at the top of its stack when its time comes (everything below
+    /// it is newer), so dead entries surface here naturally.
+    pub fn pop_max_alive(&mut self, cutoff: u64) -> Option<ScoreKey> {
+        loop {
+            let key = self.pop_max()?;
+            if key.id >= cutoff {
+                return Some(key);
+            }
+        }
+    }
+
+    /// Drops every entry with `id < cutoff`. Because entries below a stack
+    /// top are newer than the top, expired entries are found by repeatedly
+    /// popping stack tops.
+    pub fn expire_below(&mut self, cutoff: u64) {
+        for si in 0..self.stacks.len() {
+            let needs_pop = matches!(self.stacks[si].last(), Some(top) if top.id < cutoff);
+            if !needs_pop {
+                continue;
+            }
+            let old_top = *self.stacks[si].last().expect("checked");
+            self.tops.remove(&old_top);
+            while matches!(self.stacks[si].last(), Some(top) if top.id < cutoff) {
+                self.stacks[si].pop();
+                self.len -= 1;
+            }
+            if let Some(&new_top) = self.stacks[si].last() {
+                self.tops.insert(new_top, si as u32);
+            }
+        }
+    }
+
+    /// Descending iterator over the stack tops (the objects eligible to be
+    /// pulled next) — used to widen the per-slide result pool.
+    pub fn tops_desc(&self) -> impl Iterator<Item = &ScoreKey> {
+        self.tops.iter_rev().map(|(k, _)| k)
+    }
+
+    /// Checks the paper's stack invariants; used by tests.
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        let mut total = 0usize;
+        for (si, stack) in self.stacks.iter().enumerate() {
+            total += stack.len();
+            for w in stack.windows(2) {
+                assert!(
+                    w[0].score <= w[1].score,
+                    "stack {si}: scores must grow toward the top"
+                );
+                assert!(
+                    w[0].id >= w[1].id,
+                    "stack {si}: arrivals must shrink toward the top"
+                );
+            }
+            if let Some(top) = stack.last() {
+                assert_eq!(
+                    self.tops.get(top),
+                    Some(&(si as u32)),
+                    "stack {si}: top not indexed"
+                );
+            }
+        }
+        assert_eq!(total, self.len, "length cache wrong");
+        assert_eq!(
+            self.tops.len(),
+            self.stacks.iter().filter(|s| !s.is_empty()).count(),
+            "AVL must index exactly the non-empty stack tops"
+        );
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.stacks
+            .iter()
+            .map(|s| s.capacity() * std::mem::size_of::<ScoreKey>())
+            .sum::<usize>()
+            + self.tops.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u64, score: f64) -> ScoreKey {
+        ScoreKey { score, id }
+    }
+
+    #[test]
+    fn figure8_construction() {
+        // Figure 8 (k = 3, ρ = 0): objects scanned in reverse arrival order
+        // 30, 31, 36, 34, 33, 35 (timestamps t1 < t2 < ... decreasing ids).
+        // First three form stacks; 34 goes on top of 31 (the largest top
+        // below 34 — not 30); 33 goes on top of 31? No: tops now {30, 34,
+        // 36}; 33 → largest top below 33 is 30; 35 → largest top below is
+        // 34. Final stacks: [30,33], [31,34], [36,35]... wait 35 pushed on
+        // the stack whose top is 34 → [31, 34, 35]? Top entries in the
+        // figure at t5: S1 = 33 (over 30), S2 = 35 (over 34 over 31),
+        // S3 = 36. The figure's final AVL holds {33, 35, 36}.
+        let scan = [30.0, 31.0, 36.0, 34.0, 33.0, 35.0];
+        let mut savl = SAvl::new(3);
+        // ids decrease along the scan (reverse arrival)
+        for (i, s) in scan.iter().enumerate() {
+            let kept = savl.offer(key(100 - i as u64, *s));
+            assert!(kept, "all six objects are retained in the figure");
+            savl.check_invariants();
+        }
+        let tops: Vec<f64> = savl.tops_desc().map(|k| k.score).collect();
+        assert_eq!(tops, vec![36.0, 35.0, 33.0]);
+        assert_eq!(savl.len(), 6);
+    }
+
+    #[test]
+    fn prunes_objects_below_all_tops() {
+        let mut savl = SAvl::new(2);
+        assert!(savl.offer(key(10, 5.0)));
+        assert!(savl.offer(key(9, 7.0)));
+        // 4.0 is below both tops (5.0, 7.0) → pruned
+        assert!(!savl.offer(key(8, 4.0)));
+        // 6.0 goes on top of the 5.0 stack
+        assert!(savl.offer(key(7, 6.0)));
+        savl.check_invariants();
+        assert_eq!(savl.len(), 3);
+    }
+
+    #[test]
+    fn equal_scores_are_pruned() {
+        // all tops are ≥ key (equal counts): the newer equal-score entries
+        // outrank the older one under the tie-break, so pruning is safe
+        let mut savl = SAvl::new(1);
+        assert!(savl.offer(key(10, 5.0)));
+        assert!(!savl.offer(key(9, 5.0)));
+    }
+
+    #[test]
+    fn pop_max_reveals_next_entry() {
+        let mut savl = SAvl::new(2);
+        savl.offer(key(10, 5.0));
+        savl.offer(key(9, 7.0));
+        savl.offer(key(8, 6.0)); // on top of 5.0
+        savl.check_invariants();
+        assert_eq!(savl.pop_max().unwrap().score, 7.0);
+        savl.check_invariants();
+        assert_eq!(savl.pop_max().unwrap().score, 6.0);
+        savl.check_invariants();
+        // 6.0's stack revealed 5.0
+        assert_eq!(savl.pop_max().unwrap().score, 5.0);
+        assert_eq!(savl.pop_max(), None);
+        assert_eq!(savl.len(), 0);
+    }
+
+    #[test]
+    fn pop_max_is_globally_decreasing() {
+        let mut savl = SAvl::new(4);
+        let scores = [12.0, 3.0, 9.0, 1.0, 14.0, 7.0, 5.0, 11.0, 2.0, 8.0];
+        let mut kept = Vec::new();
+        for (i, s) in scores.iter().enumerate() {
+            if savl.offer(key(1000 - i as u64, *s)) {
+                kept.push(*s);
+            }
+            savl.check_invariants();
+        }
+        let mut popped = Vec::new();
+        while let Some(k) = savl.pop_max() {
+            popped.push(k.score);
+            savl.check_invariants();
+        }
+        let mut sorted = kept.clone();
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(popped, sorted, "pop_max must drain in descending order");
+    }
+
+    #[test]
+    fn expiry_pops_oldest_tops() {
+        let mut savl = SAvl::new(2);
+        // reverse arrival scan: ids 10 (newest) down to 7 (oldest)
+        savl.offer(key(10, 5.0)); // stack S1
+        savl.offer(key(9, 7.0)); // stack S2
+        savl.offer(key(8, 6.0)); // onto S1: [5.0@10, 6.0@8]
+        savl.offer(key(7, 8.0)); // onto S2: [7.0@9, 8.0@7]
+        savl.check_invariants();
+        // cutoff 9: the two oldest entries (ids 7, 8) are exactly the stack
+        // tops; popping them reveals ids 9 and 10.
+        savl.expire_below(9);
+        savl.check_invariants();
+        let mut ids: Vec<u64> = savl.tops_desc().map(|k| k.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![9, 10]);
+        assert_eq!(savl.len(), 2);
+        // everything expires
+        savl.expire_below(100);
+        assert!(savl.is_empty());
+        savl.check_invariants();
+    }
+
+    #[test]
+    fn zero_stacks_accepts_nothing() {
+        let mut savl = SAvl::new(0);
+        assert!(!savl.offer(key(1, 100.0)));
+        assert_eq!(savl.max_key(), None);
+    }
+
+    #[test]
+    fn picks_largest_eligible_stack() {
+        // §5.1: "If there are more than one stack satisfying this
+        // condition, we pick the one with the largest top entry value."
+        let mut savl = SAvl::new(2);
+        savl.offer(key(10, 30.0));
+        savl.offer(key(9, 31.0));
+        // 34 fits on both; must land on the 31-stack
+        savl.offer(key(8, 34.0));
+        savl.check_invariants();
+        let tops: Vec<f64> = savl.tops_desc().map(|k| k.score).collect();
+        assert_eq!(tops, vec![34.0, 30.0]);
+        // popping 34 reveals 31
+        savl.pop_max();
+        let tops: Vec<f64> = savl.tops_desc().map(|k| k.score).collect();
+        assert_eq!(tops, vec![31.0, 30.0]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Time-based sliding windows (paper Appendix A).
+//!
+//! A time-based query `W⟨n, s⟩` returns the top-k objects of the last `n`
+//! time units, sliding every `s` time units. Unlike the count-based model,
+//! the number of objects per slide varies. Appendix A's observation makes
+//! the count-based machinery reusable: objects arriving within one slide
+//! share an arrival time, so same-slide dominance applies and **only the
+//! top-k objects of each slide can ever appear in a result**. The query
+//! results are therefore covered by at most `n·k/s` objects.
+//!
+//! [`TimeBasedSap`] implements exactly that reduction: each closed slide is
+//! reduced to its top-k objects (padded with sentinel objects so every
+//! slide contributes the same count), and the stream of reduced slides is
+//! fed to the count-based [`Sap`] engine with `⟨n' = (n/s)·k, k, s' = k⟩`.
+//! The partition bounds of Appendix A (`|C ∪ M_0| ≤ mk + nk/(sm)`,
+//! minimized at the same `m*`) follow from the count-based analysis on the
+//! reduced stream.
+
+use std::collections::VecDeque;
+
+use sap_stream::{Object, SlidingTopK};
+use sap_stream::{SpecError, WindowSpec};
+
+use crate::config::SapConfig;
+use crate::engine::Sap;
+
+/// An object with an explicit event timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedObject {
+    /// Caller-provided identifier (returned in results).
+    pub id: u64,
+    /// Event time in arbitrary integer units.
+    pub timestamp: u64,
+    /// The preference score `F(o)`.
+    pub score: f64,
+}
+
+/// Sentinel score used for padding slides with fewer than `k` objects;
+/// below every finite real score of interest and filtered from results.
+const PAD_SCORE: f64 = f64::MIN;
+
+/// A time-based continuous top-k query answered by the SAP framework.
+#[derive(Debug)]
+pub struct TimeBasedSap {
+    inner: Sap,
+    k: usize,
+    slide_duration: u64,
+    /// End (exclusive) of the slide currently accumulating.
+    current_slide_end: u64,
+    pending: Vec<TimedObject>,
+    /// synthetic id → original object (None for padding), ring of the last
+    /// `n'` synthetic slots.
+    ring: VecDeque<Option<TimedObject>>,
+    ring_base: u64,
+    next_synth_id: u64,
+    result: Vec<TimedObject>,
+}
+
+impl TimeBasedSap {
+    /// Creates a time-based query returning the top `k` of the last
+    /// `window_duration` time units, sliding every `slide_duration`.
+    /// `slide_duration` must divide `window_duration`.
+    pub fn new(
+        window_duration: u64,
+        slide_duration: u64,
+        k: usize,
+    ) -> Result<Self, SpecError> {
+        if slide_duration == 0 || window_duration == 0 || !window_duration.is_multiple_of(slide_duration)
+        {
+            return Err(SpecError::SlideNotDivisor {
+                s: slide_duration as usize,
+                n: window_duration as usize,
+            });
+        }
+        let slides = (window_duration / slide_duration) as usize;
+        let spec = WindowSpec::new(slides * k, k, k)?;
+        Ok(TimeBasedSap {
+            inner: Sap::new(SapConfig::new(spec)),
+            k,
+            slide_duration,
+            current_slide_end: slide_duration,
+            pending: Vec::new(),
+            ring: VecDeque::with_capacity(slides * k + k),
+            ring_base: 0,
+            next_synth_id: 0,
+            result: Vec::new(),
+        })
+    }
+
+    /// Number of time units per slide.
+    pub fn slide_duration(&self) -> u64 {
+        self.slide_duration
+    }
+
+    /// Ingests one object. Timestamps must be non-decreasing. Returns the
+    /// updated top-k for every slide boundary the timestamp crosses (empty
+    /// when the object lands in the still-open slide).
+    pub fn ingest(&mut self, o: TimedObject) -> Vec<Vec<TimedObject>> {
+        let mut results = Vec::new();
+        while o.timestamp >= self.current_slide_end {
+            results.push(self.close_slide());
+        }
+        self.pending.push(o);
+        results
+    }
+
+    /// Closes the current slide even if its time has not elapsed (useful at
+    /// end of stream), returning the updated top-k.
+    pub fn close_slide(&mut self) -> Vec<TimedObject> {
+        // Reduce the slide to its top-k (same-slide dominance makes the
+        // remainder provably useless, Appendix A) and pad to exactly k.
+        // Equal scores sort by ascending caller id so the newer object
+        // receives the higher synthetic id — the engine's tie-break then
+        // matches the time-based result order (newer wins).
+        self.pending
+            .sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        self.pending.truncate(self.k);
+        let mut batch = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let synth_id = self.next_synth_id;
+            self.next_synth_id += 1;
+            match self.pending.get(i) {
+                Some(&orig) => {
+                    batch.push(Object::new(synth_id, orig.score));
+                    self.ring.push_back(Some(orig));
+                }
+                None => {
+                    batch.push(Object::new(synth_id, PAD_SCORE));
+                    self.ring.push_back(None);
+                }
+            }
+        }
+        self.pending.clear();
+        while self.ring.len() > self.inner.spec().n {
+            self.ring.pop_front();
+            self.ring_base += 1;
+        }
+        let top = self.inner.slide(&batch);
+        self.result.clear();
+        for obj in top {
+            if obj.score == PAD_SCORE {
+                continue;
+            }
+            let idx = (obj.id - self.ring_base) as usize;
+            if let Some(Some(orig)) = self.ring.get(idx) {
+                self.result.push(*orig);
+            }
+        }
+        self.current_slide_end += self.slide_duration;
+        self.result.clone()
+    }
+
+    /// Current candidate count of the underlying engine.
+    pub fn candidate_count(&self) -> usize {
+        self.inner.candidate_count()
+    }
+
+    /// The most recent result.
+    pub fn last_result(&self) -> &[TimedObject] {
+        &self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: u64, timestamp: u64, score: f64) -> TimedObject {
+        TimedObject {
+            id,
+            timestamp,
+            score,
+        }
+    }
+
+    /// Time-based oracle: top-k of all objects with
+    /// `timestamp ∈ [window_end - duration, window_end)`.
+    fn oracle(
+        all: &[TimedObject],
+        window_end: u64,
+        duration: u64,
+        k: usize,
+    ) -> Vec<TimedObject> {
+        let lo = window_end.saturating_sub(duration);
+        let mut alive: Vec<TimedObject> = all
+            .iter()
+            .filter(|o| o.timestamp >= lo && o.timestamp < window_end)
+            .copied()
+            .collect();
+        alive.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(b.id.cmp(&a.id)));
+        alive.truncate(k);
+        alive
+    }
+
+    #[test]
+    fn rejects_bad_durations() {
+        assert!(TimeBasedSap::new(100, 30, 5).is_err());
+        assert!(TimeBasedSap::new(100, 0, 5).is_err());
+        assert!(TimeBasedSap::new(100, 20, 5).is_ok());
+    }
+
+    #[test]
+    fn matches_time_based_oracle_with_variable_rates() {
+        // bursty arrivals: the number of objects per slide varies 0..40
+        let duration = 100u64;
+        let slide = 10u64;
+        let k = 3usize;
+        let mut q = TimeBasedSap::new(duration, slide, k).unwrap();
+        let mut all = Vec::new();
+        let mut id = 0u64;
+        let mut state = 12345u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for t in 0..600u64 {
+            let burst = match t % 30 {
+                0..=9 => 4,
+                10..=19 => 1,
+                _ => 0,
+            };
+            for _ in 0..burst {
+                let o = obj(id, t, (rnd() % 10_000) as f64);
+                id += 1;
+                all.push(o);
+            }
+        }
+        let mut boundary = slide;
+        for &o in &all {
+            for res in q.ingest(o) {
+                // this result corresponds to the window ending at `boundary`
+                let expect = oracle(&all, boundary, duration, k);
+                assert_eq!(res, expect, "window ending at {boundary}");
+                boundary += slide;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slides_are_fine() {
+        let mut q = TimeBasedSap::new(40, 10, 2).unwrap();
+        q.ingest(obj(0, 5, 7.0));
+        // jump far ahead: several empty slides close
+        let results = q.ingest(obj(1, 38, 3.0));
+        assert_eq!(results.len(), 3);
+        // the first closed window still contains object 0
+        assert_eq!(results[0].len(), 1);
+        assert_eq!(results[0][0].id, 0);
+        let last = q.close_slide();
+        assert!(last.iter().any(|o| o.id == 1));
+    }
+
+    #[test]
+    fn window_expiry_by_time() {
+        let mut q = TimeBasedSap::new(20, 10, 1).unwrap();
+        q.ingest(obj(0, 0, 100.0));
+        q.ingest(obj(1, 11, 5.0));
+        // closing at t=20 → window [0,20): object 0 alive
+        // at t=30 → window [10,30): object 0 expired
+        let r1 = q.close_slide(); // window [.., 20)
+        assert_eq!(r1[0].id, 0);
+        let r2 = q.close_slide(); // window [10, 30)
+        assert_eq!(r2[0].id, 1, "the 100-score object must have expired");
+    }
+}

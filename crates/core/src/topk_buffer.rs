@@ -1,0 +1,172 @@
+//! `P^k` maintenance: the running top-k of a partition or unit.
+//!
+//! §3.1: "`P^k_m` uses a AVL-Tree to maintain the k objects with highest
+//! scores in `P_m`" — insertion is `O(log k)`, the source of the framework's
+//! logarithmic incremental cost (§4.1).
+
+use sap_avltree::AvlSet;
+use sap_stream::ScoreKey;
+
+/// A bounded top-k set over [`ScoreKey`]s backed by the order-statistic AVL
+/// tree.
+#[derive(Debug, Clone)]
+pub struct TopKBuffer {
+    set: AvlSet<ScoreKey>,
+    cap: usize,
+}
+
+impl TopKBuffer {
+    /// Creates a buffer keeping the `cap` largest keys offered.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "top-k buffer needs capacity of at least 1");
+        TopKBuffer {
+            set: AvlSet::with_capacity(cap + 1),
+            cap,
+        }
+    }
+
+    /// Offers a key; returns `true` if it was retained (it is among the
+    /// `cap` largest seen so far).
+    pub fn offer(&mut self, key: ScoreKey) -> bool {
+        if self.set.len() < self.cap {
+            self.set.insert(key);
+            return true;
+        }
+        let min = *self.set.min().expect("buffer at capacity is non-empty");
+        if key > min {
+            self.set.pop_min();
+            self.set.insert(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The smallest retained key (the k-th best), if any.
+    pub fn min(&self) -> Option<ScoreKey> {
+        self.set.min().copied()
+    }
+
+    /// The largest retained key.
+    pub fn max(&self) -> Option<ScoreKey> {
+        self.set.max().copied()
+    }
+
+    /// Whether `key` is currently retained.
+    pub fn contains(&self, key: &ScoreKey) -> bool {
+        self.set.contains(key)
+    }
+
+    /// Number of retained keys (≤ cap).
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Capacity (the `k` of `P^k`).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Clears all retained keys.
+    pub fn clear(&mut self) {
+        self.set.clear();
+    }
+
+    /// Descending iterator over retained keys.
+    pub fn iter_desc(&self) -> impl Iterator<Item = &ScoreKey> {
+        self.set.iter_rev()
+    }
+
+    /// Collects the retained keys in descending order.
+    pub fn to_vec_desc(&self) -> Vec<ScoreKey> {
+        self.iter_desc().copied().collect()
+    }
+
+    /// Absorbs every key retained by `other` (used when a unit merges into
+    /// the growing partition, §4.2).
+    pub fn absorb(&mut self, other: &TopKBuffer) {
+        for key in other.iter_desc() {
+            if !self.offer(*key) {
+                // keys come in descending order: once one is rejected, the
+                // rest are smaller and rejected too
+                break;
+            }
+        }
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.set.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u64, score: f64) -> ScoreKey {
+        ScoreKey { score, id }
+    }
+
+    #[test]
+    fn keeps_largest_k() {
+        let mut b = TopKBuffer::new(3);
+        for (i, s) in [5.0, 1.0, 9.0, 3.0, 7.0, 2.0].iter().enumerate() {
+            b.offer(key(i as u64, *s));
+        }
+        let top: Vec<f64> = b.iter_desc().map(|k| k.score).collect();
+        assert_eq!(top, vec![9.0, 7.0, 5.0]);
+        assert_eq!(b.min().unwrap().score, 5.0);
+        assert_eq!(b.max().unwrap().score, 9.0);
+    }
+
+    #[test]
+    fn offer_reports_retention() {
+        let mut b = TopKBuffer::new(2);
+        assert!(b.offer(key(0, 1.0)));
+        assert!(b.offer(key(1, 2.0)));
+        assert!(!b.offer(key(2, 0.5)), "below min with full buffer");
+        assert!(b.offer(key(3, 3.0)));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn ties_prefer_newer() {
+        let mut b = TopKBuffer::new(1);
+        b.offer(key(1, 5.0));
+        assert!(b.offer(key(2, 5.0)), "newer equal-score key replaces older");
+        assert_eq!(b.max().unwrap().id, 2);
+    }
+
+    #[test]
+    fn absorb_merges_two_buffers() {
+        let mut a = TopKBuffer::new(3);
+        let mut b = TopKBuffer::new(3);
+        for (i, s) in [1.0, 5.0, 3.0].iter().enumerate() {
+            a.offer(key(i as u64, *s));
+        }
+        for (i, s) in [4.0, 2.0, 6.0].iter().enumerate() {
+            b.offer(key(10 + i as u64, *s));
+        }
+        a.absorb(&b);
+        let top: Vec<f64> = a.iter_desc().map(|k| k.score).collect();
+        assert_eq!(top, vec![6.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn to_vec_desc_sorted() {
+        let mut b = TopKBuffer::new(5);
+        for (i, s) in [2.0, 8.0, 4.0].iter().enumerate() {
+            b.offer(key(i as u64, *s));
+        }
+        assert_eq!(
+            b.to_vec_desc().iter().map(|k| k.score).collect::<Vec<_>>(),
+            vec![8.0, 4.0, 2.0]
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! TBUI — the threshold-based k-unit identification algorithm
+//! (Algorithm 2, §4.3).
+//!
+//! TBUI maintains a self-adaptive threshold `τ` and, per unit, the set
+//! `U^τ` of objects scoring at least `τ`. The threshold is raised (to the
+//! ζ\*-th highest of `U^τ`) whenever `U^τ` outgrows its bounds, and reset
+//! on a downtrend. At unit completion the unit is labelled:
+//!
+//! * `|U^τ| ≥ k` — the unit provisionally remains a k-unit and, by
+//!   Theorem 2, *disqualifies the previous provisional unit* (demoted to a
+//!   non-k-unit storing only its top-1);
+//! * `|U^τ| < k` — downtrend: the unit keeps its (fewer than k) top keys,
+//!   the previous provisional unit is *confirmed* as a k-unit, and `τ`
+//!   re-initializes.
+//!
+//! Because `U^τ` holds exactly the objects above the final threshold, and
+//! every object outside it is strictly below every object inside it, the
+//! stored keys are the unit's exact top-`|keys|` (the property UBSA's
+//! phase-2 skip rule relies on).
+
+use sap_stream::{OpStats, ScoreKey};
+
+use crate::partition::LiEntry;
+
+/// The TBUI state machine.
+#[derive(Debug)]
+pub struct Tbui {
+    tau: f64,
+    /// `flag_i` of Algorithm 2: whether threshold initialization is in
+    /// progress.
+    flag: bool,
+    utau: Vec<ScoreKey>,
+    /// Whether `τ` was re-initialized since the last label — Theorem 2's
+    /// demotion requires both units measured against a comparable
+    /// threshold, so a reset invalidates demoting the predecessor.
+    reset_since_label: bool,
+    k: usize,
+    zeta_star: usize,
+    zeta_max: usize,
+}
+
+/// The label produced at unit completion.
+#[derive(Debug)]
+pub struct UnitLabel {
+    /// The `L_i` entry for the completed unit.
+    pub entry: LiEntry,
+    /// Whether the *previous* provisional k-unit entry must be demoted to
+    /// a non-k-unit (Theorem 2).
+    pub demote_previous: bool,
+}
+
+impl Tbui {
+    /// Creates the TBUI state for result size `k`.
+    pub fn new(k: usize) -> Self {
+        Tbui {
+            tau: f64::NEG_INFINITY,
+            flag: true,
+            utau: Vec::new(),
+            reset_since_label: true,
+            k,
+            zeta_star: sap_stats::zeta_star(k),
+            zeta_max: sap_stats::zeta_max(k),
+        }
+    }
+
+    /// Current threshold (for tests/diagnostics).
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Raises `τ` to the ζ\*-th highest score of `U^τ` (`med-search` in the
+    /// paper) and drops entries below the new threshold.
+    fn raise(&mut self) {
+        debug_assert!(self.utau.len() >= self.zeta_star);
+        let idx = self.zeta_star - 1;
+        // ζ*-th highest = element at idx when sorted descending
+        self.utau
+            .select_nth_unstable_by(idx, |a, b| b.cmp(a));
+        self.tau = self.utau[idx].score;
+        let tau = self.tau;
+        self.utau.retain(|key| key.score >= tau);
+    }
+
+    /// Processes one arriving object (Algorithm 2 lines 3–9).
+    pub fn on_object(&mut self, key: ScoreKey) {
+        if key.score >= self.tau || self.tau == f64::NEG_INFINITY {
+            self.utau.push(key);
+            if self.flag {
+                if self.utau.len() >= 2 * self.zeta_star {
+                    self.raise();
+                }
+            } else if self.utau.len() > (2 * self.zeta_star).max(self.zeta_max) {
+                // uptrend: scores shot past the old threshold (case (i))
+                self.raise();
+                self.flag = true;
+            }
+        }
+    }
+
+    /// Completes the current unit (Algorithm 2 lines 10–16). `unit_max` is
+    /// the unit's true maximum, used when `U^τ` ended up empty (all objects
+    /// below an inherited threshold).
+    pub fn on_unit_complete(&mut self, unit_max: ScoreKey, stats: &mut OpStats) -> UnitLabel {
+        let label = if self.utau.len() >= self.k {
+            if self.flag {
+                // finish initialization: τ ← ζ*-th highest of U^τ
+                if self.utau.len() >= self.zeta_star {
+                    self.raise();
+                }
+                self.flag = false;
+            }
+            let mut keys = std::mem::take(&mut self.utau);
+            keys.sort_unstable_by(|a, b| b.cmp(a));
+            keys.truncate(self.k);
+            stats.k_units += 1;
+            let demote = !self.reset_since_label;
+            self.reset_since_label = false;
+            UnitLabel {
+                entry: LiEntry::KUnit { keys },
+                demote_previous: demote,
+            }
+        } else {
+            // downtrend (case (ii)): re-initialize τ; previous provisional
+            // unit is confirmed as a k-unit (no demotion)
+            let mut keys = std::mem::take(&mut self.utau);
+            keys.sort_unstable_by(|a, b| b.cmp(a));
+            if keys.is_empty() {
+                keys.push(unit_max);
+            }
+            self.tau = f64::NEG_INFINITY;
+            self.flag = true;
+            self.reset_since_label = true;
+            stats.k_units += 1;
+            UnitLabel {
+                entry: LiEntry::KUnit { keys },
+                demote_previous: false,
+            }
+        };
+        self.utau.clear();
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u64, score: f64) -> ScoreKey {
+        ScoreKey { score, id }
+    }
+
+    fn run_units(tbui: &mut Tbui, scores: &[f64], unit_len: usize) -> Vec<UnitLabel> {
+        let mut labels = Vec::new();
+        let mut stats = OpStats::default();
+        for (u, chunk) in scores.chunks(unit_len).enumerate() {
+            let mut max = key(0, f64::NEG_INFINITY);
+            for (i, &s) in chunk.iter().enumerate() {
+                let k = key((u * unit_len + i) as u64, s);
+                if k.score > max.score {
+                    max = k;
+                }
+                tbui.on_object(k);
+            }
+            labels.push(tbui.on_unit_complete(max, &mut stats));
+        }
+        labels
+    }
+
+    #[test]
+    fn steady_distribution_demotes_predecessors() {
+        // Units with the same score distribution: each completed unit has
+        // |U^τ| ≥ k objects above the inherited threshold (Theorem 3), so
+        // each new unit demotes its predecessor — the trail is non-k-units.
+        let mut tbui = Tbui::new(2);
+        let scores: Vec<f64> = (0..300).map(|i| ((i * 37) % 100) as f64).collect();
+        let labels = run_units(&mut tbui, &scores, 100);
+        assert_eq!(labels.len(), 3);
+        assert!(!labels[0].demote_previous, "first unit has no predecessor");
+        assert!(labels[1].demote_previous);
+        assert!(labels[2].demote_previous);
+    }
+
+    #[test]
+    fn downtrend_confirms_predecessor() {
+        // First unit high scores, second unit dramatically lower: the
+        // second unit's U^τ stays below k → downtrend → no demotion (the
+        // predecessor is confirmed a k-unit), τ re-initializes.
+        let mut tbui = Tbui::new(3);
+        let mut scores: Vec<f64> = (0..100).map(|i| 1000.0 + (i % 50) as f64).collect();
+        scores.extend((0..100).map(|i| (i % 10) as f64));
+        let labels = run_units(&mut tbui, &scores, 100);
+        assert!(!labels[1].demote_previous, "downtrend must not demote");
+        match &labels[1].entry {
+            LiEntry::KUnit { keys } => assert!(keys.len() < 3, "U^τ below k"),
+            other => panic!("unexpected label {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tau_rises_with_uptrend() {
+        let mut tbui = Tbui::new(2);
+        let mut stats = OpStats::default();
+        // steady low unit
+        for i in 0..100 {
+            tbui.on_object(key(i, (i % 10) as f64));
+        }
+        tbui.on_unit_complete(key(9, 9.0), &mut stats);
+        let tau_before = tbui.tau();
+        // strong uptrend in the next unit: many objects above τ
+        for i in 100..200 {
+            tbui.on_object(key(i, 100.0 + (i % 10) as f64));
+        }
+        tbui.on_unit_complete(key(199, 109.0), &mut stats);
+        assert!(
+            tbui.tau() > tau_before,
+            "τ must rise on uptrend: {} → {}",
+            tau_before,
+            tbui.tau()
+        );
+    }
+
+    #[test]
+    fn stored_keys_are_exact_unit_top() {
+        let mut tbui = Tbui::new(3);
+        let mut stats = OpStats::default();
+        let scores = [5.0, 80.0, 12.0, 77.0, 3.0, 91.0, 15.0, 60.0];
+        let mut max = key(0, f64::NEG_INFINITY);
+        for (i, &s) in scores.iter().enumerate() {
+            let k = key(i as u64, s);
+            if s > max.score {
+                max = k;
+            }
+            tbui.on_object(k);
+        }
+        let label = tbui.on_unit_complete(max, &mut stats);
+        match label.entry {
+            LiEntry::KUnit { keys } => {
+                let got: Vec<f64> = keys.iter().map(|k| k.score).collect();
+                assert_eq!(got, vec![91.0, 80.0, 77.0]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_utau_falls_back_to_unit_max() {
+        let mut tbui = Tbui::new(2);
+        let mut stats = OpStats::default();
+        // first unit very high → τ locks in high
+        for i in 0..200 {
+            tbui.on_object(key(i, 1000.0 + (i % 100) as f64));
+        }
+        tbui.on_unit_complete(key(199, 1099.0), &mut stats);
+        // second unit entirely below τ → U^τ empty → fall back to top-1
+        for i in 200..400 {
+            tbui.on_object(key(i, (i % 5) as f64));
+        }
+        let label = tbui.on_unit_complete(key(204, 4.0), &mut stats);
+        match label.entry {
+            LiEntry::KUnit { keys } => {
+                assert_eq!(keys.len(), 1);
+                assert_eq!(keys[0].score, 4.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!label.demote_previous);
+    }
+}

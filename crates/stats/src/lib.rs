@@ -1,0 +1,33 @@
+//! Statistics substrate for the SAP continuous top-k reproduction.
+//!
+//! The SAP paper (Zhu et al., TKDE 2017) relies on a handful of classic
+//! statistical tools that are not part of the Rust standard library:
+//!
+//! * the **Mann–Whitney rank-sum test** (the paper calls it *WRT*, §2.2),
+//!   used by the dynamic partition algorithm (§4.2) to decide whether the
+//!   candidate partition's top-k objects "tend to be larger" than the
+//!   high-score objects observed earlier in the window;
+//! * the **standard normal distribution** (CDF, quantiles), used by the
+//!   normal approximation of the rank-sum statistic (Eq. 2) and by the
+//!   3-sigma-rule derivations behind Theorems 1–3;
+//! * **linear-time selection** (`med-search` in Algorithm 2, citing CLRS),
+//!   used by the TBUI threshold maintenance and by the Appendix-C buffered
+//!   S-AVL construction;
+//! * the closed-form **parameter solvers** for η, ζ\*, ζ_max, l_min, l_max
+//!   and m\* that appear throughout §4.
+//!
+//! Everything here is deterministic and allocation-light so it can sit on the
+//! hot path of a streaming system.
+
+pub mod mann_whitney;
+pub mod normal;
+pub mod params;
+pub mod select;
+
+pub use mann_whitney::{
+    exact_u_distribution, exact_upper_critical, rank_sum, MannWhitney, RankSumDecision,
+    WrtOutcome,
+};
+pub use normal::{inverse_normal_cdf, normal_cdf, normal_pdf, upper_quantile};
+pub use params::{eta, eta_k, lmax, lmin, m_star, zeta_max, zeta_star, PaperParams};
+pub use select::{median_of_medians, select_kth_largest, select_kth_smallest};

@@ -1,0 +1,391 @@
+//! The Mann–Whitney rank-sum test ("WRT" in the paper, §2.2).
+//!
+//! Given two samples `SD1` and `SD2`, the combined values are ranked in
+//! ascending order (midranks on ties) and `R1` — the rank sum of `SD1` — is
+//! compared against the null hypothesis that both samples come from the same
+//! distribution. The paper's dynamic partition algorithm (§4.2, Eq. 2) asks
+//! a one-sided question: *do the top-k objects of the candidate partition
+//! tend to be larger than the top-ηk objects seen earlier in the window?*
+//! If yes (`F > 0`), the partition is deemed improper and sealed.
+//!
+//! Two decision procedures are implemented, matching Eq. (2):
+//!
+//! * **small samples** (`k ≤ 10`): the exact upper critical value
+//!   `T_up(n1, n2)` of the rank-sum distribution, computed by dynamic
+//!   programming over the exact null distribution (the "table of the
+//!   rank-sum test" the paper cites, computed instead of hard-coded);
+//! * **large samples** (`k ≥ 10`): the normal approximation with mean
+//!   `n1(n1+n2+1)/2` and variance `n1·n2(n1+n2+1)/12`, compared against
+//!   `u_{1-α/2}` with the paper's default `α = 0.05`.
+
+use crate::normal::upper_quantile;
+
+/// Outcome of the one-sided WRT comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankSumDecision {
+    /// Sample 1 tends to contain larger values (`F > 0` in Eq. 2).
+    Sample1Greater,
+    /// No evidence that sample 1 is larger (`F ≤ 0`).
+    NoEvidence,
+}
+
+/// Full result of a WRT evaluation: the raw rank sum, the statistic actually
+/// compared (rank sum for the exact test, z-score for the approximation),
+/// the decision threshold, and the paper's `F = statistic − threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WrtOutcome {
+    /// Rank sum of sample 1 over the combined ascending ranking.
+    pub r1: f64,
+    /// The compared statistic: `R1` (exact path) or the z-score (normal path).
+    pub statistic: f64,
+    /// Critical value: `T_up` (exact path) or `u_{1-α/2}` (normal path).
+    pub threshold: f64,
+    /// Whether the exact small-sample procedure was used.
+    pub exact: bool,
+    /// The decision.
+    pub decision: RankSumDecision,
+}
+
+impl WrtOutcome {
+    /// The paper's evaluation function `F` (Eq. 2): positive iff sample 1
+    /// tends to be larger.
+    #[inline]
+    pub fn f_value(&self) -> f64 {
+        self.statistic - self.threshold
+    }
+}
+
+/// Computes the rank sum `R1` of `sample1` within the combined ascending
+/// ranking of `sample1 ∪ sample2`. Ties receive midranks, the standard
+/// treatment (the paper assumes continuous scores where ties have measure
+/// zero; midranks keep the statistic well-defined when real streams repeat
+/// values).
+pub fn rank_sum(sample1: &[f64], sample2: &[f64]) -> f64 {
+    let n = sample1.len() + sample2.len();
+    let mut combined: Vec<(f64, bool)> = Vec::with_capacity(n);
+    combined.extend(sample1.iter().map(|&v| (v, true)));
+    combined.extend(sample2.iter().map(|&v| (v, false)));
+    combined.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut r1 = 0.0;
+    let mut i = 0;
+    while i < combined.len() {
+        let mut j = i;
+        while j + 1 < combined.len() && combined[j + 1].0 == combined[i].0 {
+            j += 1;
+        }
+        // ranks i+1 ..= j+1 share the midrank
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &combined[i..=j] {
+            if item.1 {
+                r1 += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    r1
+}
+
+/// Exact upper critical value `T_up(n1, n2, α)` for the **rank sum** `W1` of
+/// sample 1: the smallest integer `w` such that `P(W1 ≥ w) ≤ α/2` under the
+/// null hypothesis.
+pub fn exact_upper_critical(n1: usize, n2: usize, alpha: f64) -> f64 {
+    let counts = exact_u_distribution(n1, n2);
+    let total: f64 = counts.iter().sum();
+    let offset = n1 * (n1 + 1) / 2; // W1 = U1 + n1(n1+1)/2
+    // scan from the top accumulating tail probability
+    let mut tail = 0.0;
+    let target = alpha / 2.0;
+    for u in (0..counts.len()).rev() {
+        tail += counts[u] / total;
+        if tail > target {
+            // w = (u + 1) + offset is the smallest with tail ≤ target
+            return (u + 1 + offset) as f64;
+        }
+    }
+    offset as f64
+}
+
+/// Exact null distribution of the Mann–Whitney `U` statistic for sample
+/// sizes `(n1, n2)`: unnormalized counts over `U ∈ [0, n1·n2]`, via the
+/// textbook recurrence
+/// `N(u; n1, n2) = N(u − n2; n1 − 1, n2) + N(u; n1, n2 − 1)`.
+///
+/// Counts are held as `f64` — exact for the sample sizes the partition
+/// algorithms use (binomials up to C(50, 10) fit comfortably in 53 bits).
+pub fn exact_u_distribution(n1: usize, n2: usize) -> Vec<f64> {
+    let umax = n1 * n2;
+    // memo[a][b] lazily filled; a ≤ n1, b ≤ n2, each a vector of counts.
+    // Bottom-up over a, b.
+    let mut prev_row: Vec<Vec<f64>> = Vec::new(); // a - 1
+    let mut cur_row: Vec<Vec<f64>> = Vec::with_capacity(n2 + 1);
+    for a in 0..=n1 {
+        cur_row.clear();
+        for b in 0..=n2 {
+            let size = a * b + 1;
+            let mut v = vec![0.0f64; size.min(umax + 1)];
+            if a == 0 || b == 0 {
+                v[0] = 1.0;
+            } else {
+                for (u, slot) in v.iter_mut().enumerate() {
+                    let mut c = 0.0;
+                    // N(u - b; a-1, b)
+                    if u >= b {
+                        let pv = &prev_row[b];
+                        if u - b < pv.len() {
+                            c += pv[u - b];
+                        }
+                    }
+                    // N(u; a, b-1)
+                    let left = &cur_row[b - 1];
+                    if u < left.len() {
+                        c += left[u];
+                    }
+                    *slot = c;
+                }
+            }
+            cur_row.push(v);
+        }
+        prev_row = std::mem::take(&mut cur_row);
+    }
+    let mut out = prev_row.pop().unwrap_or_else(|| vec![1.0]);
+    out.resize(umax + 1, 0.0);
+    out
+}
+
+/// The configured WRT, as used by the dynamic partition algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct MannWhitney {
+    /// Type-I error probability; the paper's default is 0.05.
+    pub alpha: f64,
+    /// Sample-size bound below which the exact distribution is used
+    /// (paper: `k ≤ 10`).
+    pub exact_below: usize,
+}
+
+impl Default for MannWhitney {
+    fn default() -> Self {
+        MannWhitney {
+            alpha: 0.05,
+            exact_below: 10,
+        }
+    }
+}
+
+impl MannWhitney {
+    /// Creates a WRT with the given α (0 < α < 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        MannWhitney {
+            alpha,
+            exact_below: 10,
+        }
+    }
+
+    /// One-sided test of Eq. (2): does `sample1` tend to contain larger
+    /// values than `sample2`?
+    ///
+    /// Degenerate inputs (either sample empty) return `NoEvidence` — in the
+    /// engine this corresponds to a warm-up window with no history to
+    /// compare against, where growing the partition is always acceptable.
+    pub fn tends_greater(&self, sample1: &[f64], sample2: &[f64]) -> WrtOutcome {
+        let n1 = sample1.len();
+        let n2 = sample2.len();
+        if n1 == 0 || n2 == 0 {
+            return WrtOutcome {
+                r1: 0.0,
+                statistic: 0.0,
+                threshold: 0.0,
+                exact: false,
+                decision: RankSumDecision::NoEvidence,
+            };
+        }
+        let r1 = rank_sum(sample1, sample2);
+        if n1 <= self.exact_below && n1 * n2 <= 4096 {
+            let t_up = exact_upper_critical(n1, n2, self.alpha);
+            let decision = if r1 > t_up {
+                RankSumDecision::Sample1Greater
+            } else {
+                RankSumDecision::NoEvidence
+            };
+            WrtOutcome {
+                r1,
+                statistic: r1,
+                threshold: t_up,
+                exact: true,
+                decision,
+            }
+        } else {
+            let n1f = n1 as f64;
+            let n2f = n2 as f64;
+            let mean = n1f * (n1f + n2f + 1.0) / 2.0;
+            let var = n1f * n2f * (n1f + n2f + 1.0) / 12.0;
+            let z = (r1 - mean) / var.sqrt();
+            let u = upper_quantile(self.alpha);
+            let decision = if z > u {
+                RankSumDecision::Sample1Greater
+            } else {
+                RankSumDecision::NoEvidence
+            };
+            WrtOutcome {
+                r1,
+                statistic: z,
+                threshold: u,
+                exact: false,
+                decision,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_sum_simple() {
+        // sample1 = {5, 6}, sample2 = {1, 2}: ranks 3+4 = 7.
+        assert_eq!(rank_sum(&[5.0, 6.0], &[1.0, 2.0]), 7.0);
+        // reversed
+        assert_eq!(rank_sum(&[1.0, 2.0], &[5.0, 6.0]), 3.0);
+    }
+
+    #[test]
+    fn rank_sum_midranks_on_ties() {
+        // sample1 = {2}, sample2 = {2}: both share midrank 1.5.
+        assert_eq!(rank_sum(&[2.0], &[2.0]), 1.5);
+        // all equal: each of sample1's 2 entries gets midrank 2.5 (of 4).
+        assert_eq!(rank_sum(&[7.0, 7.0], &[7.0, 7.0]), 5.0);
+    }
+
+    #[test]
+    fn rank_sums_partition_total() {
+        let s1 = [0.3, 9.1, 4.4, 2.2];
+        let s2 = [1.0, 8.8, 7.7];
+        let n = (s1.len() + s2.len()) as f64;
+        let total = n * (n + 1.0) / 2.0;
+        assert!((rank_sum(&s1, &s2) + rank_sum(&s2, &s1) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_distribution_tiny_cases() {
+        // n1 = n2 = 1: U ∈ {0, 1}, each 1 way.
+        assert_eq!(exact_u_distribution(1, 1), vec![1.0, 1.0]);
+        // n1 = 2, n2 = 1: U ∈ {0, 1, 2}, counts 1, 1, 1 (C(3,2) = 3 total).
+        assert_eq!(exact_u_distribution(2, 1), vec![1.0, 1.0, 1.0]);
+        // n1 = 2, n2 = 2: total C(4,2) = 6; counts 1,1,2,1,1.
+        assert_eq!(exact_u_distribution(2, 2), vec![1.0, 1.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn exact_distribution_total_is_binomial() {
+        let counts = exact_u_distribution(5, 7);
+        let total: f64 = counts.iter().sum();
+        // C(12, 5) = 792
+        assert_eq!(total, 792.0);
+        // symmetry of the U distribution
+        let m = counts.len();
+        for i in 0..m {
+            assert_eq!(counts[i], counts[m - 1 - i], "asymmetry at {i}");
+        }
+    }
+
+    #[test]
+    fn critical_value_sane() {
+        // For n1 = n2 = 5, α = 0.05 two-sided the rejection region is
+        // W1 ≥ 38: P(U ≥ 23) = 4/252 ≈ 0.0159 ≤ 0.025 while
+        // P(U ≥ 22) = 7/252 ≈ 0.0278 > 0.025 (classic tables state this as
+        // "critical value 37", i.e. reject when W1 > 37).
+        let t = exact_upper_critical(5, 5, 0.05);
+        assert_eq!(t, 38.0);
+    }
+
+    #[test]
+    fn exact_test_detects_clear_separation() {
+        let wrt = MannWhitney::default();
+        let high: Vec<f64> = (0..5).map(|i| 100.0 + i as f64).collect();
+        let low: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let out = wrt.tends_greater(&high, &low);
+        assert!(out.exact);
+        assert_eq!(out.decision, RankSumDecision::Sample1Greater);
+        assert!(out.f_value() > 0.0);
+    }
+
+    #[test]
+    fn exact_test_accepts_same_distribution() {
+        let wrt = MannWhitney::default();
+        // interleaved values from one arithmetic sequence
+        let s1: Vec<f64> = (0..6).map(|i| (i * 5) as f64).collect();
+        let s2: Vec<f64> = (0..24).map(|i| (i as f64) * 1.23 + 0.5).collect();
+        let out = wrt.tends_greater(&s1, &s2);
+        assert_eq!(out.decision, RankSumDecision::NoEvidence);
+    }
+
+    #[test]
+    fn normal_path_matches_paper_formula() {
+        let wrt = MannWhitney::default();
+        let k = 20usize;
+        let etak = 40usize;
+        let s1: Vec<f64> = (0..k).map(|i| 1000.0 + i as f64).collect();
+        let s2: Vec<f64> = (0..etak).map(|i| i as f64).collect();
+        let out = wrt.tends_greater(&s1, &s2);
+        assert!(!out.exact);
+        // sample1 occupies the top k ranks: R1 = sum of (etak+1..=etak+k)
+        let r1_expect: f64 = ((etak + 1)..=(etak + k)).map(|r| r as f64).sum();
+        assert_eq!(out.r1, r1_expect);
+        let mean = (k as f64) * ((k + etak + 1) as f64) / 2.0;
+        let var = (k as f64) * (etak as f64) * ((k + etak + 1) as f64) / 12.0;
+        let z = (r1_expect - mean) / var.sqrt();
+        assert!((out.statistic - z).abs() < 1e-12);
+        assert_eq!(out.decision, RankSumDecision::Sample1Greater);
+    }
+
+    #[test]
+    fn normal_path_no_evidence_when_sample1_low() {
+        let wrt = MannWhitney::default();
+        let s1: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let s2: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
+        let out = wrt.tends_greater(&s1, &s2);
+        assert_eq!(out.decision, RankSumDecision::NoEvidence);
+        assert!(out.f_value() <= 0.0);
+    }
+
+    #[test]
+    fn empty_samples_are_no_evidence() {
+        let wrt = MannWhitney::default();
+        assert_eq!(
+            wrt.tends_greater(&[], &[1.0]).decision,
+            RankSumDecision::NoEvidence
+        );
+        assert_eq!(
+            wrt.tends_greater(&[1.0], &[]).decision,
+            RankSumDecision::NoEvidence
+        );
+    }
+
+    #[test]
+    fn exact_and_normal_roughly_agree_at_boundary() {
+        // At n1 = 10 (the paper's switch point) both procedures should give
+        // the same decision on clearly separated and clearly mixed samples.
+        let exact = MannWhitney {
+            alpha: 0.05,
+            exact_below: 10,
+        };
+        let approx = MannWhitney {
+            alpha: 0.05,
+            exact_below: 0,
+        };
+        let high: Vec<f64> = (0..10).map(|i| 50.0 + i as f64).collect();
+        let low: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        assert_eq!(
+            exact.tends_greater(&high, &low).decision,
+            approx.tends_greater(&high, &low).decision
+        );
+        let mixed1: Vec<f64> = (0..10).map(|i| (i * 3) as f64).collect();
+        let mixed2: Vec<f64> = (0..25).map(|i| (i as f64) * 1.2 + 0.1).collect();
+        assert_eq!(
+            exact.tends_greater(&mixed1, &mixed2).decision,
+            approx.tends_greater(&mixed1, &mixed2).decision
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Closed-form solvers for the parameters the SAP paper derives from the
+//! 3-sigma rule (Theorems 1 and 3) and from the cost model of §4.
+//!
+//! * `η` — solution of `(ηk − k)/√(ηk) = 3` (Theorem 1): the sample-size
+//!   ratio that makes `Pr(θ^k_1 > θ^k_2) ≈ 1` when `|SD1| = η·|SD2|`.
+//! * `ζ*` — solution of `(ζ − k)/√ζ = 3` (Theorem 3): the threshold rank
+//!   used by TBUI when initializing and raising `τ`.
+//! * `ζ_max` — solution of `(ζ_max − ζ*)/√ζ* = 3` (Theorem 3).
+//! * `l_min = √(n·max(s,k))` — the minimal partition size (§4.2), equal to
+//!   `n/m*` where `m* = ⌈√(n/max(s,k))⌉` minimizes the bound of Eq. (1).
+//! * `l_max` — solution of `(n − l_max)/l_max = η` (§4.2): the maximal
+//!   partition size that still leaves `I_ηk` enough objects for the WRT.
+//!
+//! All quantities are solved exactly: `(x − k)/√x = 3` rearranges to
+//! `√x = (3 + √(9 + 4k))/2`.
+
+/// Solves `(x - k)/sqrt(x) = c` for `x >= k`, i.e. `x - c*sqrt(x) - k = 0`.
+fn solve_shifted_sqrt(k: f64, c: f64) -> f64 {
+    let root = (c + (c * c + 4.0 * k).sqrt()) / 2.0;
+    root * root
+}
+
+/// `ηk`: the size of the larger sample in Theorem 1, i.e. the exact solution
+/// of `(ηk − k)/√(ηk) = 3`, returned as a rounded-up object count.
+pub fn eta_k(k: usize) -> usize {
+    assert!(k >= 1, "k must be at least 1");
+    solve_shifted_sqrt(k as f64, 3.0).ceil() as usize
+}
+
+/// `η` itself (the ratio of Theorem 1). For k = 10 this is 2.5; it decays
+/// towards 1 as k grows.
+pub fn eta(k: usize) -> f64 {
+    eta_k(k) as f64 / k as f64
+}
+
+/// `ζ*` of Theorem 3: the rank whose score TBUI adopts as the threshold τ.
+/// Identical functional form to `ηk` (both solve `(x − k)/√x = 3`).
+pub fn zeta_star(k: usize) -> usize {
+    assert!(k >= 1, "k must be at least 1");
+    solve_shifted_sqrt(k as f64, 3.0).ceil() as usize
+}
+
+/// `ζ_max` of Theorem 3: `ζ* + 3·√ζ*` rounded up. When a unit accumulates
+/// more than `max(2ζ*, ζ_max)` objects above τ, TBUI raises the threshold.
+pub fn zeta_max(k: usize) -> usize {
+    let zs = zeta_star(k) as f64;
+    (zs + 3.0 * zs.sqrt()).ceil() as usize
+}
+
+/// `m*` of §4.1: the partition count minimizing the candidate bound of
+/// Eq. (1), `⌈√(n / max(s, k))⌉`, never below 1.
+pub fn m_star(n: usize, s: usize, k: usize) -> usize {
+    assert!(n >= 1 && s >= 1 && k >= 1);
+    let m = ((n as f64) / (s.max(k) as f64)).sqrt().ceil() as usize;
+    m.max(1)
+}
+
+/// `l_min` of §4.2: the minimal partition size `√(n·max(s,k))` (= `n/m*`
+/// up to rounding), returned as an object count of at least `max(s, k)`.
+pub fn lmin(n: usize, s: usize, k: usize) -> usize {
+    assert!(n >= 1 && s >= 1 && k >= 1);
+    let raw = ((n as f64) * (s.max(k) as f64)).sqrt().ceil() as usize;
+    raw.max(s.max(k))
+}
+
+/// `l_max` of §4.2: the largest allowed partition, solving
+/// `(n − l_max)/l_max = η`, i.e. `l_max = n / (1 + η)`. Clamped to at least
+/// `l_min` so the dynamic policy stays well-formed for tiny windows.
+pub fn lmax(n: usize, s: usize, k: usize) -> usize {
+    let lm = (n as f64 / (1.0 + eta(k))).floor() as usize;
+    lm.max(lmin(n, s, k))
+}
+
+/// Bundle of every derived parameter for a query `⟨n, k, s⟩`, computed once
+/// at configuration time (§4's quantities are static per query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperParams {
+    /// Window size.
+    pub n: usize,
+    /// Result size.
+    pub k: usize,
+    /// Slide size.
+    pub s: usize,
+    /// `m*` — equal-partition count minimizing Eq. (1).
+    pub m_star: usize,
+    /// `ηk` — larger-sample size for the WRT (Theorem 1).
+    pub eta_k: usize,
+    /// `ζ*` — TBUI threshold rank (Theorem 3).
+    pub zeta_star: usize,
+    /// `ζ_max` — TBUI uptrend bound (Theorem 3).
+    pub zeta_max: usize,
+    /// `l_min` — minimal partition / unit size (§4.2).
+    pub lmin: usize,
+    /// `l_max` — maximal partition size (§4.2).
+    pub lmax: usize,
+}
+
+impl PaperParams {
+    /// Computes every derived parameter for the query `⟨n, k, s⟩`.
+    pub fn derive(n: usize, k: usize, s: usize) -> Self {
+        PaperParams {
+            n,
+            k,
+            s,
+            m_star: m_star(n, s, k),
+            eta_k: eta_k(k),
+            zeta_star: zeta_star(k),
+            zeta_max: zeta_max(k),
+            lmin: lmin(n, s, k),
+            lmax: lmax(n, s, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_k_solves_equation() {
+        for &k in &[1usize, 2, 5, 10, 50, 100, 500, 1000] {
+            let x = eta_k(k) as f64;
+            let lhs = (x - k as f64) / x.sqrt();
+            // ceil rounding can only push lhs above 3, never more than one
+            // unit of 1/sqrt(x) above.
+            assert!(lhs >= 3.0 - 1e-9, "k={k}: lhs={lhs}");
+            let x_less = x - 1.0;
+            let lhs_less = (x_less - k as f64) / x_less.sqrt();
+            assert!(lhs_less < 3.0 + 1e-9, "k={k} not tight: {lhs_less}");
+        }
+    }
+
+    #[test]
+    fn paper_worked_values() {
+        // k = 10: √x = (3+√49)/2 = 5 → ηk = 25, η = 2.5, ζ* = 25, ζmax = 40.
+        assert_eq!(eta_k(10), 25);
+        assert!((eta(10) - 2.5).abs() < 1e-12);
+        assert_eq!(zeta_star(10), 25);
+        assert_eq!(zeta_max(10), 40);
+    }
+
+    #[test]
+    fn eta_decays_with_k() {
+        assert!(eta(10) > eta(100));
+        assert!(eta(100) > eta(1000));
+        assert!(eta(1000) > 1.0);
+    }
+
+    #[test]
+    fn m_star_examples_from_paper() {
+        // §4.1 figure 6 example: n = 10^6, s = 10^4, k = 10 → m = 10.
+        assert_eq!(m_star(1_000_000, 10_000, 10), 10);
+        // Table 2 header: m* = ⌈√(n/max(s,k))⌉; with n = 10^4, k = 100,
+        // s = 10 → √(10^4/100) = 10.
+        assert_eq!(m_star(10_000, 10, 100), 10);
+    }
+
+    #[test]
+    fn lmin_lmax_relationship() {
+        let p = PaperParams::derive(100_000, 100, 100);
+        assert!(p.lmin >= 100);
+        assert!(p.lmax >= p.lmin);
+        assert!(p.lmax <= p.n);
+        // l_min ≈ √(n·max(s,k)) = √(10^7) ≈ 3163
+        assert!((p.lmin as f64 - 3163.0).abs() < 2.0);
+        // l_max = n/(1+η)
+        let expect = (100_000.0 / (1.0 + eta(100))).floor();
+        assert_eq!(p.lmax, expect as usize);
+    }
+
+    #[test]
+    fn lmin_is_at_least_max_s_k() {
+        assert!(lmin(100, 50, 10) >= 50);
+        assert!(lmin(100, 10, 50) >= 50);
+        // degenerate: tiny window
+        assert!(lmin(4, 2, 2) >= 2);
+    }
+
+    #[test]
+    fn derive_is_consistent() {
+        let p = PaperParams::derive(10_000, 100, 10);
+        assert_eq!(p.m_star, m_star(10_000, 10, 100));
+        assert_eq!(p.eta_k, eta_k(100));
+        assert_eq!(p.lmin, lmin(10_000, 10, 100));
+    }
+}

@@ -1,0 +1,199 @@
+//! Selection algorithms: quickselect and the deterministic median-of-medians.
+//!
+//! Algorithm 2 of the paper calls `med-search(U^τ_v, ζ*)` — the classic
+//! worst-case linear-time selection of CLRS §9.3 — while maintaining the
+//! TBUI threshold, and Appendix C uses the same routine when trimming the
+//! temporary buffer `B` during the s-aware S-AVL construction.
+//!
+//! Two entry points are provided:
+//! * [`select_kth_smallest`] / [`select_kth_largest`] — in-place quickselect
+//!   with median-of-three pivoting (expected linear, tiny constants); this is
+//!   what the hot paths use.
+//! * [`median_of_medians`] — the deterministic CLRS algorithm with guaranteed
+//!   `O(n)` worst case, provided for completeness and used as a test oracle
+//!   for the quickselect implementation.
+
+use std::cmp::Ordering;
+
+/// Partially sorts `data` so that the element with rank `k` (0-based, by the
+/// `Ord` order, smallest first) is at index `k`, everything before it is
+/// `<=` it and everything after is `>=` it. Returns a reference to that
+/// element.
+///
+/// Panics if `data` is empty or `k >= data.len()`.
+pub fn select_kth_smallest<T: Ord>(data: &mut [T], k: usize) -> &T {
+    assert!(!data.is_empty(), "cannot select from an empty slice");
+    assert!(k < data.len(), "rank {k} out of bounds for {}", data.len());
+    let (_, kth, _) = data.select_nth_unstable(k);
+    kth
+}
+
+/// Like [`select_kth_smallest`] but ranks from the top: `k = 0` yields the
+/// maximum, `k = 1` the second largest, and so on.
+pub fn select_kth_largest<T: Ord>(data: &mut [T], k: usize) -> &T {
+    let n = data.len();
+    assert!(k < n, "rank {k} out of bounds for {n}");
+    select_kth_smallest(data, n - 1 - k)
+}
+
+/// Selects the k-th smallest element (0-based) using a caller-provided
+/// comparator; used where keys are composite and no total `Ord` is derived.
+pub fn select_kth_smallest_by<T, F>(data: &mut [T], k: usize, mut cmp: F) -> &T
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    assert!(!data.is_empty(), "cannot select from an empty slice");
+    assert!(k < data.len(), "rank {k} out of bounds for {}", data.len());
+    let (_, kth, _) = data.select_nth_unstable_by(k, &mut cmp);
+    kth
+}
+
+/// Deterministic worst-case linear selection (CLRS §9.3, groups of five).
+///
+/// Returns the value with rank `k` (0-based, smallest first). Operates on a
+/// scratch copy so the input order is preserved; the SAP hot paths use the
+/// in-place quickselect instead, this guaranteed-linear variant exists as the
+/// faithful `med-search` of the paper's Algorithm 2 and as a cross-check.
+pub fn median_of_medians<T: Ord + Clone>(data: &[T], k: usize) -> T {
+    assert!(!data.is_empty(), "cannot select from an empty slice");
+    assert!(k < data.len(), "rank {k} out of bounds for {}", data.len());
+    let mut scratch: Vec<T> = data.to_vec();
+    mom_select(&mut scratch, k)
+}
+
+fn mom_select<T: Ord + Clone>(data: &mut Vec<T>, k: usize) -> T {
+    loop {
+        if data.len() <= 10 {
+            data.sort_unstable();
+            return data[k].clone();
+        }
+        let pivot = pivot_of_medians(data);
+        let mut less: Vec<T> = Vec::with_capacity(data.len() / 2);
+        let mut equal = 0usize;
+        let mut greater: Vec<T> = Vec::with_capacity(data.len() / 2);
+        for v in data.drain(..) {
+            match v.cmp(&pivot) {
+                Ordering::Less => less.push(v),
+                Ordering::Equal => equal += 1,
+                Ordering::Greater => greater.push(v),
+            }
+        }
+        if k < less.len() {
+            *data = less;
+            // k unchanged
+        } else if k < less.len() + equal {
+            return pivot;
+        } else {
+            let skip = less.len() + equal;
+            *data = greater;
+            return mom_select_at(data, k - skip);
+        }
+    }
+}
+
+fn mom_select_at<T: Ord + Clone>(data: &mut Vec<T>, k: usize) -> T {
+    mom_select(data, k)
+}
+
+/// Median of the group-of-five medians — the pivot that guarantees a 30/70
+/// worst-case split.
+fn pivot_of_medians<T: Ord + Clone>(data: &[T]) -> T {
+    let mut medians: Vec<T> = data
+        .chunks(5)
+        .map(|chunk| {
+            let mut c: Vec<T> = chunk.to_vec();
+            c.sort_unstable();
+            c[c.len() / 2].clone()
+        })
+        .collect();
+    let mid = medians.len() / 2;
+    mom_select(&mut medians, mid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(data: &[i64], k: usize) -> i64 {
+        let mut v = data.to_vec();
+        v.sort_unstable();
+        v[k]
+    }
+
+    #[test]
+    fn quickselect_small_cases() {
+        let mut v = vec![3, 1, 2];
+        assert_eq!(*select_kth_smallest(&mut v, 0), 1);
+        let mut v = vec![3, 1, 2];
+        assert_eq!(*select_kth_smallest(&mut v, 1), 2);
+        let mut v = vec![3, 1, 2];
+        assert_eq!(*select_kth_smallest(&mut v, 2), 3);
+    }
+
+    #[test]
+    fn kth_largest_mirrors_kth_smallest() {
+        let data = vec![9, 4, 7, 7, 1, 0, 3];
+        for k in 0..data.len() {
+            let mut a = data.clone();
+            let mut b = data.clone();
+            let hi = *select_kth_largest(&mut a, k);
+            let lo = *select_kth_smallest(&mut b, data.len() - 1 - k);
+            assert_eq!(hi, lo);
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let mut v = vec![5, 5, 5, 5, 5];
+        assert_eq!(*select_kth_smallest(&mut v, 2), 5);
+        let data = vec![2, 2, 1, 1, 3, 3, 2];
+        for k in 0..data.len() {
+            let mut v = data.clone();
+            assert_eq!(*select_kth_smallest(&mut v, k), oracle(&data, k));
+        }
+    }
+
+    #[test]
+    fn median_of_medians_matches_sort() {
+        let data: Vec<i64> = (0..503).map(|i| (i * 7919) % 211 - 100).collect();
+        for &k in &[0, 1, 50, 251, 400, 502] {
+            assert_eq!(median_of_medians(&data, k), oracle(&data, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn median_of_medians_preserves_input() {
+        let data = vec![4, 2, 9, 1];
+        let before = data.clone();
+        let _ = median_of_medians(&data, 2);
+        assert_eq!(data, before);
+    }
+
+    #[test]
+    fn quickselect_agrees_with_mom_on_adversarial_orders() {
+        // sorted, reverse-sorted, organ-pipe
+        let sorted: Vec<i64> = (0..300).collect();
+        let reverse: Vec<i64> = (0..300).rev().collect();
+        let pipe: Vec<i64> = (0..150).chain((0..150).rev()).collect();
+        for data in [sorted, reverse, pipe] {
+            for &k in &[0usize, 10, 149, 150, 299] {
+                let mut v = data.clone();
+                assert_eq!(*select_kth_smallest(&mut v, k), median_of_medians(&data, k));
+            }
+        }
+    }
+
+    #[test]
+    fn select_by_comparator() {
+        let mut pairs = vec![(3, 'a'), (1, 'b'), (2, 'c')];
+        let kth = select_kth_smallest_by(&mut pairs, 1, |x, y| x.0.cmp(&y.0));
+        assert_eq!(kth.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_slice_panics() {
+        let mut v: Vec<i32> = vec![];
+        select_kth_smallest(&mut v, 0);
+    }
+}

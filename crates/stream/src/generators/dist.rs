@@ -1,0 +1,114 @@
+//! Distribution sampling built on `rand`'s uniform source.
+//!
+//! `rand_distr` is not among the approved offline crates, so the classic
+//! samplers are implemented here: Box–Muller (polar variant) for the normal
+//! distribution, exponentiation for the lognormal, and Marsaglia–Tsang for
+//! the gamma distribution. These feed the STOCK/TRIP/PLANET simulators.
+
+use rand::{Rng, RngExt};
+
+/// Standard normal sample via the Marsaglia polar method.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.random::<f64>() - 1.0;
+        let v = 2.0 * rng.random::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Lognormal sample: `exp(mu + sigma · Z)`.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * sample_normal(rng)).exp()
+}
+
+/// Gamma(shape, scale) sample via Marsaglia–Tsang (2000). For `shape < 1`
+/// the standard boost `Gamma(a) = Gamma(a+1) · U^{1/a}` is applied.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    if shape < 1.0 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.random();
+        // squeeze then full acceptance test
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3 * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| sample_normal(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| sample_lognormal(&mut rng, 1.0, 0.75))
+            .collect();
+        samples.sort_unstable_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        // median of lognormal(mu, sigma) is e^mu
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median = {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for &(shape, scale) in &[(0.5, 1.0), (1.0, 2.0), (3.0, 0.5), (9.0, 1.0)] {
+            let samples: Vec<f64> =
+                (0..40_000).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+            let (mean, var) = mean_var(&samples);
+            let em = shape * scale;
+            let ev = shape * scale * scale;
+            assert!(
+                (mean - em).abs() / em < 0.05,
+                "gamma({shape},{scale}) mean {mean} vs {em}"
+            );
+            assert!(
+                (var - ev).abs() / ev < 0.12,
+                "gamma({shape},{scale}) var {var} vs {ev}"
+            );
+            assert!(samples.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gamma_rejects_bad_params() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        sample_gamma(&mut rng, 0.0, 1.0);
+    }
+}

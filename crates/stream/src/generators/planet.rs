@@ -1,0 +1,76 @@
+//! Simulated PLANET dataset.
+//!
+//! The paper's PLANET stream is the MPCAT-OBS minor-planet observation
+//! catalogue scored by `F = dist(r, o)` — the distance between a fixed
+//! query point and each observation coordinate (§6.1). Observation
+//! campaigns sweep sky regions, so coordinates arrive in *clusters*: the
+//! simulation draws cluster centers on the unit square, emits a burst of
+//! observations around each center, then jumps to a new cluster. Scores are
+//! therefore multi-modal with abrupt level shifts at cluster boundaries.
+
+use crate::generators::dist::sample_normal;
+use crate::object::Object;
+use rand::{Rng, RngExt};
+
+pub(super) fn generate<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<Object> {
+    let query = (0.5, 0.5);
+    let mut out = Vec::with_capacity(len);
+    let mut remaining_in_cluster = 0usize;
+    let mut center = (0.0, 0.0);
+    let mut spread = 0.02;
+    for i in 0..len {
+        if remaining_in_cluster == 0 {
+            center = (rng.random::<f64>(), rng.random::<f64>());
+            spread = 0.01 + 0.04 * rng.random::<f64>();
+            remaining_in_cluster = rng.random_range(200..2000);
+        }
+        remaining_in_cluster -= 1;
+        let x = center.0 + spread * sample_normal(rng);
+        let y = center.1 + spread * sample_normal(rng);
+        let d = ((x - query.0).powi(2) + (y - query.1).powi(2)).sqrt();
+        out.push(Object::new(i as u64, d));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distances_non_negative() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let objs = generate(20_000, &mut rng);
+        assert!(objs.iter().all(|o| o.score >= 0.0));
+        // unit square distances from center stay below ~0.9 + cluster noise
+        assert!(objs.iter().all(|o| o.score < 2.0));
+    }
+
+    #[test]
+    fn clustering_creates_level_shifts() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let objs = generate(50_000, &mut rng);
+        // within-block variance far below global variance → clustered levels
+        let block = 200;
+        let global_mean = objs.iter().map(|o| o.score).sum::<f64>() / objs.len() as f64;
+        let global_var = objs
+            .iter()
+            .map(|o| (o.score - global_mean).powi(2))
+            .sum::<f64>()
+            / objs.len() as f64;
+        let mut within = 0.0;
+        let mut blocks = 0.0;
+        for c in objs.chunks(block) {
+            let m = c.iter().map(|o| o.score).sum::<f64>() / c.len() as f64;
+            within += c.iter().map(|o| (o.score - m).powi(2)).sum::<f64>() / c.len() as f64;
+            blocks += 1.0;
+        }
+        within /= blocks;
+        assert!(
+            within < global_var * 0.5,
+            "no clustering: within {within:.5} vs global {global_var:.5}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulated TRIP dataset.
+//!
+//! The paper's TRIP stream is six years of NYC taxi records scored by
+//! `F = distance / (drop-off − pick-up)` — i.e. average trip speed (§6.1).
+//! The simulation samples bounded positive speeds from a gamma distribution
+//! whose scale is modulated by a diurnal rush-hour cycle: speeds dip during
+//! congestion peaks and recover at night, giving the stream slow periodic
+//! drift plus per-trip noise.
+
+use crate::generators::dist::sample_gamma;
+use crate::object::Object;
+use rand::{Rng, RngExt};
+
+pub(super) fn generate<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<Object> {
+    let mut out = Vec::with_capacity(len);
+    // one simulated "day" every 50k trips
+    let day = 50_000.0;
+    for i in 0..len {
+        let phase = 2.0 * std::f64::consts::PI * (i as f64) / day;
+        // congestion factor in [0.55, 1.45]: two rush hours per day
+        let congestion = 1.0 - 0.45 * (2.0 * phase).sin();
+        let speed = sample_gamma(rng, 3.0, 4.0) * congestion;
+        // occasional highway trips with high average speed
+        let speed = if rng.random::<f64>() < 0.01 {
+            speed + 40.0 + 20.0 * rng.random::<f64>()
+        } else {
+            speed
+        };
+        out.push(Object::new(i as u64, speed));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn speeds_positive_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let objs = generate(30_000, &mut rng);
+        assert!(objs.iter().all(|o| o.score > 0.0));
+        assert!(objs.iter().all(|o| o.score < 500.0));
+    }
+
+    #[test]
+    fn diurnal_modulation_visible() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let objs = generate(100_000, &mut rng);
+        // compare mean speed in congestion peak vs trough quarters
+        let day = 50_000usize;
+        let quarter = day / 4;
+        let mean = |range: std::ops::Range<usize>| {
+            objs[range.clone()].iter().map(|o| o.score).sum::<f64>() / range.len() as f64
+        };
+        // phase: congestion = 1 - 0.45 sin(2·phase). First dip around
+        // phase = π/4 → i ≈ day/8.
+        let dip = mean(day / 8 - quarter / 4..day / 8 + quarter / 4);
+        let peak = mean(3 * day / 8 - quarter / 4..3 * day / 8 + quarter / 4);
+        assert!(
+            peak > dip * 1.3,
+            "no diurnal cycle: peak {peak:.2} vs dip {dip:.2}"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Streaming data model for continuous top-k queries over sliding windows.
+//!
+//! This crate hosts everything the algorithms (both the SAP framework and
+//! the baselines) share:
+//!
+//! * the [`Object`]/[`ScoreKey`] data model with the paper's dominance
+//!   relation (§2.1) and a deterministic total order for tie-breaking;
+//! * [`WindowSpec`] — the query tuple `⟨n, k, s⟩` (the preference function
+//!   `F` is applied up front, so objects carry their scores);
+//! * the [`SlidingTopK`] trait every algorithm implements, plus the
+//!   operation counters ([`OpStats`]) used by the complexity assertions and
+//!   the evaluation harness;
+//! * the workload [`generators`] reproducing the paper's five datasets
+//!   (§6.1) — simulated STOCK/TRIP/PLANET plus the exact synthetic TIMER
+//!   and TIMEU — and extra adversarial streams;
+//! * the instrumented [`driver`] that feeds a stream through an algorithm
+//!   and records time, candidate counts, and memory.
+
+pub mod driver;
+pub mod generators;
+pub mod metrics;
+pub mod object;
+pub mod window;
+
+pub use driver::{run, run_collecting, RunSummary};
+pub use generators::{Dataset, Workload};
+pub use metrics::OpStats;
+pub use object::{Object, ScoreKey};
+pub use window::{SlidingTopK, SpecError, WindowSpec};

@@ -1,0 +1,74 @@
+//! Operation counters shared by every algorithm.
+//!
+//! The paper's analyses (§2, §3.2, §4.1) reason in terms of *insertions*,
+//! *deletions*, and *re-scans* — e.g. Figure 5 compares MinTopK and SAP by
+//! exactly these counts. Each algorithm updates an [`OpStats`] as it runs so
+//! that tests can assert the complexity claims and the harness can report
+//! them alongside wall-clock time.
+
+/// Cumulative operation counters. Fields irrelevant to a given algorithm
+/// simply stay zero.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Candidate-structure insertions (the `u+` of Figures 2 and 5).
+    pub insertions: u64,
+    /// Candidate-structure deletions/evictions (the `v−` of Figures 2 and 5).
+    pub deletions: u64,
+    /// Full or partial window re-scans (multi-pass algorithms; the `w^r`
+    /// of Figure 5).
+    pub rescans: u64,
+    /// Objects touched during scans (re-scans, meaningful-set formation,
+    /// merges) — a machine-independent cost proxy.
+    pub objects_scanned: u64,
+    /// Number of partitions sealed (SAP only).
+    pub partitions_sealed: u64,
+    /// Number of meaningful-object sets actually formed (SAP only); the
+    /// delay policy of Algorithm 1 exists to keep this low.
+    pub meaningful_sets_formed: u64,
+    /// Number of meaningful-set formations skipped thanks to `ρ ≥ k`
+    /// (SAP only).
+    pub meaningful_sets_skipped: u64,
+    /// Mann–Whitney evaluations performed (dynamic partition only).
+    pub wrt_tests: u64,
+    /// Units labelled as k-units by TBUI (enhanced dynamic only).
+    pub k_units: u64,
+    /// Units whose scan was skipped by UBSA's `F_θ` test (enhanced only).
+    pub unit_scans_skipped: u64,
+}
+
+impl OpStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = OpStats::default();
+    }
+
+    /// Sum of structure mutations — a coarse "work" measure used by the
+    /// complexity regression tests.
+    pub fn mutations(&self) -> u64 {
+        self.insertions + self.deletions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = OpStats::default();
+        assert_eq!(s.mutations(), 0);
+        assert_eq!(s.rescans, 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = OpStats {
+            insertions: 5,
+            deletions: 3,
+            ..OpStats::default()
+        };
+        assert_eq!(s.mutations(), 8);
+        s.reset();
+        assert_eq!(s, OpStats::default());
+    }
+}

@@ -1,0 +1,206 @@
+//! Stream objects and their ordering.
+//!
+//! Each object carries its arrival order `id` (the paper's `o.t`) and its
+//! already-evaluated preference score `F(o)`. Two relations matter:
+//!
+//! * the **result order** — a total order by `(score, id)` where equal
+//!   scores are broken in favour of the *newer* object; the continuous
+//!   top-k query returns the `k` maximal objects of the window under this
+//!   order, deterministically;
+//! * the **dominance relation** (§2.1) — `a` dominates `b` iff
+//!   `a.score > b.score` (strictly) and `a` arrived later. An object
+//!   dominated by ≥ k window objects can never be a result. Equal-score
+//!   objects never dominate each other (the strict inequality), which keeps
+//!   every skyband-style pruning conservative under ties.
+
+/// One stream object: arrival order plus evaluated preference score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Object {
+    /// Arrival order (`o.t` in the paper); unique and increasing.
+    pub id: u64,
+    /// The preference score `F(o)`. Must be finite.
+    pub score: f64,
+}
+
+impl Object {
+    /// Creates an object, checking score finiteness in debug builds.
+    #[inline]
+    pub fn new(id: u64, score: f64) -> Self {
+        debug_assert!(score.is_finite(), "object {id} has non-finite score {score}");
+        Object { id, score }
+    }
+
+    /// The object's total-order key.
+    #[inline]
+    pub fn key(&self) -> ScoreKey {
+        ScoreKey {
+            score: self.score,
+            id: self.id,
+        }
+    }
+
+    /// Whether `self` dominates `other` (paper §2.1): strictly higher score
+    /// **and** later arrival. Dominators expire after the objects they
+    /// dominate, which is what makes dominance-based pruning safe.
+    #[inline]
+    pub fn dominates(&self, other: &Object) -> bool {
+        self.score > other.score && self.id > other.id
+    }
+}
+
+/// Total-order key: score first (via IEEE `total_cmp`), then arrival id.
+/// Between equal scores the newer object ranks higher, consistent with
+/// dominance being strict on scores (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreKey {
+    /// The object's score.
+    pub score: f64,
+    /// The object's arrival id.
+    pub id: u64,
+}
+
+impl ScoreKey {
+    /// Rebuilds the object this key was derived from.
+    #[inline]
+    pub fn to_object(self) -> Object {
+        Object {
+            id: self.id,
+            score: self.score,
+        }
+    }
+
+    /// Whether `self` dominates `other` under the paper's relation.
+    #[inline]
+    pub fn dominates(&self, other: &ScoreKey) -> bool {
+        self.score > other.score && self.id > other.id
+    }
+}
+
+impl Eq for ScoreKey {}
+
+impl PartialOrd for ScoreKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoreKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl From<Object> for ScoreKey {
+    #[inline]
+    fn from(o: Object) -> Self {
+        o.key()
+    }
+}
+
+impl From<ScoreKey> for Object {
+    #[inline]
+    fn from(k: ScoreKey) -> Self {
+        k.to_object()
+    }
+}
+
+/// Selects the top-`k` objects of `objects` under the result order,
+/// returned in descending order. A reference implementation used by the
+/// naive oracle and by tests; `O(n + k log k)` via partial selection.
+pub fn top_k_of(objects: &[Object], k: usize) -> Vec<Object> {
+    let mut keys: Vec<ScoreKey> = objects.iter().map(Object::key).collect();
+    let len = keys.len();
+    if k == 0 || len == 0 {
+        return Vec::new();
+    }
+    if k < len {
+        // partition so the k largest occupy the tail, then sort just those
+        keys.select_nth_unstable(len - k);
+        keys.drain(..len - k);
+    }
+    keys.sort_unstable_by(|a, b| b.cmp(a));
+    keys.truncate(k);
+    keys.into_iter().map(ScoreKey::to_object).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_ordering_by_score_then_recency() {
+        let older = Object::new(1, 5.0);
+        let newer = Object::new(2, 5.0);
+        let higher = Object::new(0, 6.0);
+        assert!(newer.key() > older.key(), "newer wins ties");
+        assert!(higher.key() > newer.key(), "score outranks recency");
+    }
+
+    #[test]
+    fn dominance_is_strict_on_scores() {
+        let a = Object::new(2, 5.0);
+        let b = Object::new(1, 5.0);
+        assert!(!a.dominates(&b), "equal scores never dominate");
+        let c = Object::new(3, 5.1);
+        assert!(c.dominates(&b));
+        assert!(!b.dominates(&c), "older cannot dominate newer");
+        let d = Object::new(0, 9.9);
+        assert!(!d.dominates(&b), "higher score but older: no dominance");
+    }
+
+    #[test]
+    fn negative_and_tiny_scores_order_correctly() {
+        let a = Object::new(1, -0.0);
+        let b = Object::new(2, 0.0);
+        // total_cmp: -0.0 < 0.0
+        assert!(a.key() < b.key());
+        let c = Object::new(3, -1e300);
+        let d = Object::new(4, 1e-300);
+        assert!(c.key() < d.key());
+    }
+
+    #[test]
+    fn top_k_basic() {
+        let objs: Vec<Object> = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Object::new(i as u64, s))
+            .collect();
+        let top = top_k_of(&objs, 3);
+        let scores: Vec<f64> = top.iter().map(|o| o.score).collect();
+        assert_eq!(scores, vec![9.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn top_k_ties_prefer_newer() {
+        let objs = vec![
+            Object::new(0, 7.0),
+            Object::new(1, 7.0),
+            Object::new(2, 7.0),
+        ];
+        let top = top_k_of(&objs, 2);
+        assert_eq!(top[0].id, 2);
+        assert_eq!(top[1].id, 1);
+    }
+
+    #[test]
+    fn top_k_edge_sizes() {
+        let objs = vec![Object::new(0, 1.0), Object::new(1, 2.0)];
+        assert!(top_k_of(&objs, 0).is_empty());
+        assert_eq!(top_k_of(&objs, 2).len(), 2);
+        assert_eq!(top_k_of(&objs, 5).len(), 2, "k beyond n yields all");
+        assert!(top_k_of(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let o = Object::new(42, 3.25);
+        assert_eq!(Object::from(o.key()), o);
+        let k: ScoreKey = o.into();
+        assert_eq!(k.to_object(), o);
+    }
+}

@@ -1,0 +1,155 @@
+//! The query specification `⟨n, k, s⟩` and the algorithm trait.
+
+use crate::metrics::OpStats;
+use crate::object::Object;
+
+/// Validation errors for [`WindowSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// `n` must be at least 1.
+    WindowEmpty,
+    /// `k` must satisfy `1 ≤ k ≤ n`.
+    KOutOfRange { k: usize, n: usize },
+    /// `s` must satisfy `1 ≤ s ≤ n`.
+    SlideOutOfRange { s: usize, n: usize },
+    /// The paper's count-based model assumes `m = n/s` is an integer (§2.1);
+    /// the engines rely on slides aligning with window boundaries.
+    SlideNotDivisor { s: usize, n: usize },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::WindowEmpty => write!(f, "window size n must be at least 1"),
+            SpecError::KOutOfRange { k, n } => {
+                write!(f, "k = {k} out of range: must satisfy 1 <= k <= n = {n}")
+            }
+            SpecError::SlideOutOfRange { s, n } => {
+                write!(f, "slide s = {s} out of range: must satisfy 1 <= s <= n = {n}")
+            }
+            SpecError::SlideNotDivisor { s, n } => {
+                write!(f, "slide s = {s} must divide the window size n = {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A continuous top-k query `⟨n, k, s⟩` over a count-based sliding window
+/// (§1). The preference function `F` is applied when objects are created,
+/// so it does not appear here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowSpec {
+    /// Window size: the query window holds the last `n` objects.
+    pub n: usize,
+    /// Number of results returned per slide.
+    pub k: usize,
+    /// Slide size: `s` objects arrive (and, once the window is full,
+    /// `s` objects expire) per slide.
+    pub s: usize,
+}
+
+impl WindowSpec {
+    /// Validates and builds a spec. Requires `1 ≤ k ≤ n`, `1 ≤ s ≤ n`, and
+    /// `s | n` (the paper's `m = n/s` integrality assumption).
+    pub fn new(n: usize, k: usize, s: usize) -> Result<Self, SpecError> {
+        if n == 0 {
+            return Err(SpecError::WindowEmpty);
+        }
+        if k == 0 || k > n {
+            return Err(SpecError::KOutOfRange { k, n });
+        }
+        if s == 0 || s > n {
+            return Err(SpecError::SlideOutOfRange { s, n });
+        }
+        if !n.is_multiple_of(s) {
+            return Err(SpecError::SlideNotDivisor { s, n });
+        }
+        Ok(WindowSpec { n, k, s })
+    }
+
+    /// `m = n/s`: the number of slides spanning one window.
+    #[inline]
+    pub fn slides_per_window(&self) -> usize {
+        self.n / self.s
+    }
+}
+
+/// A continuous top-k algorithm over a count-based sliding window.
+///
+/// The driver feeds the stream in batches of exactly `s` objects with
+/// strictly increasing ids. After each [`slide`](SlidingTopK::slide) call
+/// the algorithm's window logically contains the last `min(arrived, n)`
+/// objects; the call returns the current top-k (descending result order).
+/// During warm-up (fewer than `k` objects arrived) the result may be
+/// shorter than `k`.
+pub trait SlidingTopK {
+    /// The query this instance answers.
+    fn spec(&self) -> WindowSpec;
+
+    /// Processes one slide: `batch.len() == s` new objects arrive and, once
+    /// the window is full, the `s` oldest expire. Returns the window's
+    /// current top-k in descending order.
+    fn slide(&mut self, batch: &[Object]) -> &[Object];
+
+    /// Current number of maintained candidates (the paper's |C|, plus any
+    /// auxiliary candidate sets such as SAP's M₀). Raw window storage is
+    /// *not* counted — see DESIGN.md §4.8.
+    fn candidate_count(&self) -> usize;
+
+    /// Estimated bytes held by the algorithm's candidate/index structures
+    /// (Appendix F methodology). Raw window buffers are excluded for every
+    /// algorithm so the comparison matches the paper's.
+    fn memory_bytes(&self) -> usize;
+
+    /// Cumulative operation counters.
+    fn stats(&self) -> OpStats;
+
+    /// Human-readable algorithm name used in reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_specs() {
+        let w = WindowSpec::new(100, 10, 5).unwrap();
+        assert_eq!(w.slides_per_window(), 20);
+        assert!(WindowSpec::new(1, 1, 1).is_ok());
+        assert!(WindowSpec::new(10, 10, 10).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_specs() {
+        assert_eq!(WindowSpec::new(0, 1, 1), Err(SpecError::WindowEmpty));
+        assert_eq!(
+            WindowSpec::new(10, 0, 1),
+            Err(SpecError::KOutOfRange { k: 0, n: 10 })
+        );
+        assert_eq!(
+            WindowSpec::new(10, 11, 1),
+            Err(SpecError::KOutOfRange { k: 11, n: 10 })
+        );
+        assert_eq!(
+            WindowSpec::new(10, 5, 0),
+            Err(SpecError::SlideOutOfRange { s: 0, n: 10 })
+        );
+        assert_eq!(
+            WindowSpec::new(10, 5, 11),
+            Err(SpecError::SlideOutOfRange { s: 11, n: 10 })
+        );
+        assert_eq!(
+            WindowSpec::new(10, 5, 3),
+            Err(SpecError::SlideNotDivisor { s: 3, n: 10 })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = WindowSpec::new(10, 5, 3).unwrap_err();
+        assert!(e.to_string().contains("divide"));
+    }
+}

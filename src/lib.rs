@@ -1,0 +1,47 @@
+//! # sap — continuous top-k queries over streaming data
+//!
+//! A complete Rust reproduction of *"SAP: Improving Continuous Top-K
+//! Queries over Streaming Data"* (Zhu, Wang, Yang, Zheng, Wang — IEEE TKDE
+//! 29(6), 2017), packaged as a workspace facade:
+//!
+//! * [`core`] — the SAP framework: self-adaptive partitioning, the S-AVL
+//!   structure, equal / dynamic / enhanced-dynamic partition policies, and
+//!   a time-based window adapter;
+//! * [`baselines`] — the paper's competitors: the naive re-scanning
+//!   oracle, the k-skyband algorithm, MinTopK, and SMA with a grid index;
+//! * [`stream`] — the shared data model, workload generators (simulated
+//!   STOCK/TRIP/PLANET plus the exact TIMER/TIMEU), and the instrumented
+//!   driver;
+//! * [`stats`] — the Mann–Whitney rank test, selection algorithms, and the
+//!   paper's parameter solvers;
+//! * [`avltree`] — the order-statistic AVL tree underneath it all.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sap::core::{Sap, SapConfig};
+//! use sap::stream::{Object, SlidingTopK, WindowSpec};
+//!
+//! // top-5 of the last 1000 objects, sliding 10 objects at a time
+//! let spec = WindowSpec::new(1000, 5, 10).unwrap();
+//! let mut query = Sap::new(SapConfig::new(spec));
+//!
+//! let mut id = 0u64;
+//! for _ in 0..200 {
+//!     let batch: Vec<Object> = (0..10)
+//!         .map(|_| {
+//!             let o = Object::new(id, (id % 97) as f64);
+//!             id += 1;
+//!             o
+//!         })
+//!         .collect();
+//!     let top = query.slide(&batch);
+//!     assert!(top.len() <= 5);
+//! }
+//! ```
+
+pub use sap_avltree as avltree;
+pub use sap_baselines as baselines;
+pub use sap_core as core;
+pub use sap_stats as stats;
+pub use sap_stream as stream;

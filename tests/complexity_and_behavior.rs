@@ -1,0 +1,246 @@
+//! Behavioral assertions from the paper's analysis sections: candidate
+//! bounds, the delay-policy benefit, WRT-driven partition adaptation,
+//! TBUI/UBSA scan savings, and relative algorithm sensitivities.
+
+use sap::baselines::{KSkyband, MinTopK, Sma};
+use sap::core::{Sap, SapConfig};
+use sap::stream::generators::{Dataset, Workload};
+use sap::stream::{run, WindowSpec};
+
+#[test]
+fn sap_keeps_fewest_candidates_on_paper_suite() {
+    // Appendix E: SAP < MinTopK < k-skyband in average candidate count.
+    let len = 60_000;
+    let spec = WindowSpec::new(3_000, 50, 30).unwrap();
+    for ds in Dataset::paper_suite(len) {
+        let data = ds.generate(len, 5);
+        let sap = run(&mut Sap::new(SapConfig::new(spec)), &data);
+        let mtk = run(&mut MinTopK::new(spec), &data);
+        let ksb = run(&mut KSkyband::new(spec), &data);
+        assert!(
+            sap.avg_candidates <= mtk.avg_candidates * 1.05,
+            "{}: SAP {} vs MinTopK {}",
+            ds.name(),
+            sap.avg_candidates,
+            mtk.avg_candidates
+        );
+        assert!(
+            mtk.avg_candidates <= ksb.avg_candidates * 1.05,
+            "{}: MinTopK {} vs k-skyband {}",
+            ds.name(),
+            mtk.avg_candidates,
+            ksb.avg_candidates
+        );
+    }
+}
+
+#[test]
+fn sap_uses_least_memory_among_one_pass_algorithms() {
+    // Appendix F: SAP < MinTopK < k-skyband in candidate memory.
+    let len = 40_000;
+    let spec = WindowSpec::new(2_000, 100, 20).unwrap();
+    let data = Dataset::Stock.generate(len, 6);
+    let sap = run(&mut Sap::new(SapConfig::new(spec)), &data);
+    let mtk = run(&mut MinTopK::new(spec), &data);
+    let ksb = run(&mut KSkyband::new(spec), &data);
+    assert!(sap.avg_memory_bytes < mtk.avg_memory_bytes);
+    assert!(sap.avg_memory_bytes < ksb.avg_memory_bytes * 2.0);
+}
+
+#[test]
+fn delay_policy_cuts_formations_and_time() {
+    // Table 2's core claim: delaying M_i formation skips most of them.
+    let len = 60_000;
+    let spec = WindowSpec::new(2_000, 20, 20).unwrap();
+    let data = Dataset::Trip.generate(len, 7);
+    let delayed = run(&mut Sap::new(SapConfig::equal(spec, None)), &data);
+    let eager = run(
+        &mut Sap::new(SapConfig::equal(spec, None).without_delay()),
+        &data,
+    );
+    assert!(
+        delayed.stats.meaningful_sets_formed * 2 < eager.stats.meaningful_sets_formed,
+        "delayed {} vs eager {}",
+        delayed.stats.meaningful_sets_formed,
+        eager.stats.meaningful_sets_formed
+    );
+    assert!(delayed.stats.meaningful_sets_skipped > 0);
+}
+
+#[test]
+fn mintopk_candidates_grow_as_s_shrinks() {
+    // §2.1 / Fig 9(g-i): MinTopK must maintain more candidates when the
+    // slide is small relative to k.
+    let len = 40_000;
+    let data = Dataset::TimeU.generate(len, 8);
+    let small_s = run(
+        &mut MinTopK::new(WindowSpec::new(2_000, 40, 10).unwrap()),
+        &data,
+    );
+    let large_s = run(
+        &mut MinTopK::new(WindowSpec::new(2_000, 40, 200).unwrap()),
+        &data,
+    );
+    assert!(
+        small_s.avg_candidates > 1.5 * large_s.avg_candidates,
+        "{} vs {}",
+        small_s.avg_candidates,
+        large_s.avg_candidates
+    );
+}
+
+#[test]
+fn sap_candidates_stay_flat_as_s_shrinks() {
+    // SAP's partition bound depends on max(s, k): shrinking s below k
+    // must NOT inflate its candidate set the way it inflates MinTopK's.
+    let len = 40_000;
+    let data = Dataset::TimeU.generate(len, 9);
+    let small_s = run(
+        &mut Sap::new(SapConfig::new(WindowSpec::new(2_000, 40, 10).unwrap())),
+        &data,
+    );
+    let large_s = run(
+        &mut Sap::new(SapConfig::new(WindowSpec::new(2_000, 40, 200).unwrap())),
+        &data,
+    );
+    assert!(
+        small_s.avg_candidates < 1.6 * large_s.avg_candidates.max(1.0),
+        "{} vs {}",
+        small_s.avg_candidates,
+        large_s.avg_candidates
+    );
+}
+
+#[test]
+fn kskyband_explodes_on_anticorrelated_streams() {
+    // Figure 1(a): on decreasing scores the k-skyband is the whole window.
+    let len = 20_000;
+    let spec = WindowSpec::new(1_000, 10, 10).unwrap();
+    let down = run(
+        &mut KSkyband::new(spec),
+        &Dataset::Decreasing.generate(len, 10),
+    );
+    let rand = run(&mut KSkyband::new(spec), &Dataset::TimeU.generate(len, 10));
+    assert!(down.avg_candidates > 990.0, "got {}", down.avg_candidates);
+    assert!(rand.avg_candidates < 200.0, "got {}", rand.avg_candidates);
+    // SAP on the same adversarial stream keeps far fewer candidates
+    let sap_down = run(
+        &mut Sap::new(SapConfig::new(spec)),
+        &Dataset::Decreasing.generate(len, 10),
+    );
+    assert!(
+        sap_down.avg_candidates < down.avg_candidates / 2.0,
+        "SAP {} vs k-skyband {}",
+        sap_down.avg_candidates,
+        down.avg_candidates
+    );
+}
+
+#[test]
+fn sma_rescans_cluster_on_downtrends() {
+    // §6.3: SMA's re-scans concentrate where scores keep decreasing.
+    let len = 20_000;
+    let spec = WindowSpec::new(1_000, 10, 20).unwrap();
+    let mut down = Sma::new(spec);
+    run(&mut down, &Dataset::Decreasing.generate(len, 11));
+    let mut up = Sma::new(spec);
+    run(&mut up, &Dataset::Increasing.generate(len, 11));
+    assert!(
+        down.rescan_count() > 10 * (up.rescan_count() + 1),
+        "down {} vs up {}",
+        down.rescan_count(),
+        up.rescan_count()
+    );
+}
+
+#[test]
+fn wrt_merges_partitions_under_stationary_scores() {
+    // §4.2: stationary distribution → WRT accepts merges → fewer, larger
+    // partitions than the equal policy's m*.
+    let len = 60_000;
+    let spec = WindowSpec::new(4_000, 20, 20).unwrap();
+    let data = Dataset::TimeU.generate(len, 12);
+    let dynamic = run(&mut Sap::new(SapConfig::dynamic(spec)), &data);
+    let equal = run(&mut Sap::new(SapConfig::equal(spec, None)), &data);
+    assert!(
+        dynamic.stats.partitions_sealed < equal.stats.partitions_sealed,
+        "dynamic {} vs equal {} seals",
+        dynamic.stats.partitions_sealed,
+        equal.stats.partitions_sealed
+    );
+}
+
+#[test]
+fn wrt_splits_partitions_on_uptrends() {
+    // Rising scores: the candidate partition's top-k tends to beat the
+    // window history, so the WRT seals early — more partitions per object
+    // than on a stationary stream.
+    let len = 60_000;
+    let spec = WindowSpec::new(4_000, 20, 20).unwrap();
+    let rising = run(
+        &mut Sap::new(SapConfig::dynamic(spec)),
+        &Dataset::Increasing.generate(len, 13),
+    );
+    let flat = run(
+        &mut Sap::new(SapConfig::dynamic(spec)),
+        &Dataset::TimeU.generate(len, 13),
+    );
+    assert!(
+        rising.stats.partitions_sealed > flat.stats.partitions_sealed,
+        "rising {} vs flat {}",
+        rising.stats.partitions_sealed,
+        flat.stats.partitions_sealed
+    );
+}
+
+#[test]
+fn ubsa_skips_unit_scans() {
+    // §5.2: the enhanced policy's F_θ tests skip the scanning of units
+    // that provably hold no k-skyband objects.
+    let len = 80_000;
+    let spec = WindowSpec::new(4_000, 10, 10).unwrap();
+    let data = Dataset::Stock.generate(len, 14);
+    let enhanced = run(&mut Sap::new(SapConfig::enhanced(spec)), &data);
+    assert!(
+        enhanced.stats.unit_scans_skipped > 0,
+        "UBSA never skipped a unit scan"
+    );
+    assert!(enhanced.stats.k_units > 0, "TBUI labelled no units");
+}
+
+#[test]
+fn equal_partition_candidate_counts_track_eq1_across_m() {
+    // Eq. (1): the bound is minimized near m*; candidate counts under
+    // other m values must still respect their own bounds.
+    let len = 30_000;
+    let data = Dataset::TimeU.generate(len, 15);
+    let spec = WindowSpec::new(1_500, 15, 15).unwrap();
+    for m in [2usize, 5, 10, 25] {
+        let mut alg = Sap::new(SapConfig::equal(spec, Some(m)));
+        let p = alg.unit_target();
+        let parts = spec.n.div_ceil(p);
+        let summary = run(&mut alg, &data);
+        let bound = (parts * spec.k + p * spec.k / spec.s.max(spec.k) + 2 * spec.k) as f64;
+        assert!(
+            summary.peak_candidates as f64 <= bound,
+            "m={m}: peak {} > bound {bound}",
+            summary.peak_candidates
+        );
+    }
+}
+
+#[test]
+fn operation_counters_are_plausible() {
+    let len = 20_000;
+    let spec = WindowSpec::new(1_000, 10, 10).unwrap();
+    let data = Dataset::TimeU.generate(len, 16);
+    let summary = run(&mut Sap::new(SapConfig::new(spec)), &data);
+    let st = summary.stats;
+    // every sealed partition contributes ≤ k inserts at merge time
+    assert!(st.partitions_sealed > 0);
+    assert!(st.insertions > 0);
+    // deletions never exceed insertions (nothing deleted twice)
+    assert!(st.deletions <= st.insertions);
+    // formations + skips = number of front promotions with a pivot
+    assert!(st.meaningful_sets_formed + st.meaningful_sets_skipped > 0);
+}

@@ -1,0 +1,126 @@
+//! Every algorithm must produce exactly the oracle's top-k sequence on
+//! every dataset and parameter combination — warm-up, ties, tumbling
+//! windows, and adversarial orderings included.
+
+use sap::baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
+use sap::core::{Sap, SapConfig};
+use sap::stream::generators::{Dataset, Workload};
+use sap::stream::{run_collecting, Object, SlidingTopK, WindowSpec};
+
+fn all_algorithms(spec: WindowSpec) -> Vec<Box<dyn SlidingTopK>> {
+    vec![
+        Box::new(Sap::new(SapConfig::new(spec))),
+        Box::new(Sap::new(SapConfig::dynamic(spec))),
+        Box::new(Sap::new(SapConfig::equal(spec, None))),
+        Box::new(Sap::new(SapConfig::equal(spec, Some(5)))),
+        Box::new(Sap::new(SapConfig::equal(spec, None).without_savl())),
+        Box::new(Sap::new(SapConfig::equal(spec, None).without_delay())),
+        Box::new(Sap::new(SapConfig::enhanced(spec).without_delay())),
+        Box::new(MinTopK::new(spec)),
+        Box::new(KSkyband::new(spec)),
+        Box::new(Sma::new(spec)),
+    ]
+}
+
+fn check_all(ds: Dataset, len: usize, n: usize, k: usize, s: usize, seed: u64) {
+    let data = ds.generate(len, seed);
+    let spec = WindowSpec::new(n, k, s).unwrap();
+    let (_, expect) = run_collecting(&mut NaiveTopK::new(spec), &data);
+    for mut alg in all_algorithms(spec) {
+        let name = alg.name().to_string();
+        let (_, got) = run_collecting(alg.as_mut(), &data);
+        assert_eq!(got.len(), expect.len());
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(
+                g, e,
+                "{name} diverged from oracle at slide {i} on {} (n={n},k={k},s={s},seed={seed})",
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_dataset_default_geometry() {
+    for (i, ds) in [
+        Dataset::Stock,
+        Dataset::Trip,
+        Dataset::Planet,
+        Dataset::TimeU,
+        Dataset::TimeR { period: 300.0 },
+        Dataset::Decreasing,
+        Dataset::Increasing,
+        Dataset::Sawtooth { ramp: 41 },
+        Dataset::Constant,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        check_all(ds, 2_000, 200, 8, 10, 100 + i as u64);
+    }
+}
+
+#[test]
+fn parameter_grid_on_random_stream() {
+    // (n, k, s) combinations stressing every regime the paper discusses
+    let grid = [
+        (100, 1, 1),    // minimal k
+        (100, 1, 100),  // tumbling, k = 1
+        (120, 12, 4),   // k > s
+        (120, 4, 12),   // s > k
+        (200, 20, 200), // tumbling with large k
+        (150, 50, 5),   // k = n/3
+        (90, 89, 3),    // k ≈ n (degenerate geometry)
+        (64, 8, 8),     // powers of two
+        (500, 10, 25),  // typical
+    ];
+    for (i, (n, k, s)) in grid.into_iter().enumerate() {
+        check_all(Dataset::TimeU, 6 * n, n, k, s, 200 + i as u64);
+    }
+}
+
+#[test]
+fn parameter_grid_on_trending_streams() {
+    let grid = [(150, 10, 5), (150, 10, 30), (200, 5, 40)];
+    for (i, (n, k, s)) in grid.into_iter().enumerate() {
+        check_all(Dataset::Decreasing, 6 * n, n, k, s, 300 + i as u64);
+        check_all(Dataset::Sawtooth { ramp: 77 }, 6 * n, n, k, s, 400 + i as u64);
+        check_all(Dataset::TimeR { period: 100.0 }, 6 * n, n, k, s, 500 + i as u64);
+    }
+}
+
+#[test]
+fn heavy_tie_streams() {
+    // blocks of identical scores interleaved — worst case for every
+    // tie-break path
+    let len = 1200usize;
+    let data: Vec<Object> = (0..len)
+        .map(|i| Object::new(i as u64, ((i / 7) % 5) as f64))
+        .collect();
+    let spec = WindowSpec::new(120, 9, 6).unwrap();
+    let (_, expect) = run_collecting(&mut NaiveTopK::new(spec), &data);
+    for mut alg in all_algorithms(spec) {
+        let name = alg.name().to_string();
+        let (_, got) = run_collecting(alg.as_mut(), &data);
+        assert_eq!(got, expect, "{name} mishandles ties");
+    }
+}
+
+#[test]
+fn stream_shorter_than_window() {
+    // the window never fills: pure warm-up behaviour
+    let data = Dataset::TimeU.generate(90, 1);
+    let spec = WindowSpec::new(300, 7, 30).unwrap();
+    let (_, expect) = run_collecting(&mut NaiveTopK::new(spec), &data);
+    for mut alg in all_algorithms(spec) {
+        let name = alg.name().to_string();
+        let (_, got) = run_collecting(alg.as_mut(), &data);
+        assert_eq!(got, expect, "{name} warm-up divergence");
+    }
+}
+
+#[test]
+fn long_run_stability() {
+    // many window turnovers: state must not rot over time
+    check_all(Dataset::Stock, 30_000, 300, 10, 15, 9_001);
+}

@@ -1,0 +1,253 @@
+//! Cross-crate structural tests: the S-AVL against a brute-force
+//! meaningful-set model, the candidate list against a reference dominance
+//! counter, and the statistics substrate against closed forms.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sap::avltree::{AvlMap, AvlSet};
+use sap::stats::{exact_u_distribution, rank_sum};
+use sap::stream::{Object, ScoreKey};
+
+fn key(id: u64, score: f64) -> ScoreKey {
+    ScoreKey { score, id }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// AvlMap behaves exactly like BTreeMap under arbitrary operation
+    /// sequences, including order statistics.
+    #[test]
+    fn avl_map_model_test(ops in vec((0u8..4, 0u32..64), 0..300)) {
+        let mut subject: AvlMap<u32, u32> = AvlMap::new();
+        let mut model = std::collections::BTreeMap::new();
+        for (i, (op, k)) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    prop_assert_eq!(subject.insert(k, i as u32), model.insert(k, i as u32));
+                }
+                1 => {
+                    prop_assert_eq!(subject.remove(&k), model.remove(&k));
+                }
+                2 => {
+                    prop_assert_eq!(subject.get(&k), model.get(&k));
+                    // rank = number of keys strictly below k
+                    let rank = model.range(..k).count();
+                    prop_assert_eq!(subject.rank(&k), rank);
+                }
+                _ => {
+                    prop_assert_eq!(subject.pop_min(), model.pop_first());
+                }
+            }
+            prop_assert_eq!(subject.len(), model.len());
+        }
+        // order statistics across the final state
+        for (i, (k, v)) in model.iter().enumerate() {
+            prop_assert_eq!(subject.select(i), Some((k, v)));
+        }
+        prop_assert!(subject.iter().map(|(k, _)| *k).eq(model.keys().copied()));
+        prop_assert!(subject
+            .iter_rev()
+            .map(|(k, _)| *k)
+            .eq(model.keys().rev().copied()));
+    }
+
+    /// AvlSet pop_max drains in strictly descending order.
+    #[test]
+    fn avl_set_drains_descending(keys in vec(0u32..1000, 0..200)) {
+        let mut s = AvlSet::new();
+        for k in &keys {
+            s.insert(*k);
+        }
+        let mut prev: Option<u32> = None;
+        while let Some(m) = s.pop_max() {
+            if let Some(p) = prev {
+                prop_assert!(m < p);
+            }
+            prev = Some(m);
+        }
+        prop_assert!(s.is_empty());
+    }
+
+    /// Rank sums of the two samples always add to N(N+1)/2, ties included.
+    #[test]
+    fn rank_sum_partition_property(
+        a in vec(0u8..20, 1..30),
+        b in vec(0u8..20, 1..30),
+    ) {
+        let s1: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let s2: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        let n = (s1.len() + s2.len()) as f64;
+        let total = n * (n + 1.0) / 2.0;
+        let r1 = rank_sum(&s1, &s2);
+        let r2 = rank_sum(&s2, &s1);
+        prop_assert!((r1 + r2 - total).abs() < 1e-9);
+        // each rank sum is within its feasible range
+        let n1 = s1.len() as f64;
+        prop_assert!(r1 >= n1 * (n1 + 1.0) / 2.0 - 1e-9);
+        prop_assert!(r1 <= n1 * (2.0 * n - n1 + 1.0) / 2.0 + 1e-9);
+    }
+
+    /// The exact Mann–Whitney U distribution sums to C(n1+n2, n1) and is
+    /// symmetric for every small sample size.
+    #[test]
+    fn u_distribution_properties(n1 in 1usize..7, n2 in 1usize..7) {
+        let counts = exact_u_distribution(n1, n2);
+        prop_assert_eq!(counts.len(), n1 * n2 + 1);
+        let total: f64 = counts.iter().sum();
+        let binom = {
+            let mut c = 1f64;
+            for i in 0..n1 {
+                c = c * (n1 + n2 - i) as f64 / (i + 1) as f64;
+            }
+            c
+        };
+        prop_assert!((total - binom).abs() < 1e-6, "total {} vs C = {}", total, binom);
+        for i in 0..counts.len() {
+            prop_assert_eq!(counts[i], counts[counts.len() - 1 - i]);
+        }
+    }
+}
+
+mod savl_model {
+    use super::*;
+    use sap::core::meaningful::build_savl;
+    use sap::stream::OpStats;
+
+    /// Brute-force reference: an object can still become a result iff
+    /// fewer than `budget` *newer* objects outrank it under the result
+    /// order (score, then recency). Equal-score newer objects count: they
+    /// outrank and outlive the older one, which is exactly why the S-AVL
+    /// may prune on ties.
+    fn reference(objs: &[Object], budget: usize) -> Vec<ScoreKey> {
+        objs.iter()
+            .filter(|o| {
+                objs.iter()
+                    .filter(|d| d.id > o.id && d.key() > o.key())
+                    .count()
+                    < budget
+            })
+            .map(Object::key)
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The S-AVL never loses a true k-skyband object, for arbitrary
+        /// streams and stack budgets, and drains in descending order.
+        #[test]
+        fn savl_completeness(
+            scores in vec(0u16..64, 1..120),
+            budget in 1usize..8,
+        ) {
+            let objs: Vec<Object> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Object::new(i as u64, s as f64))
+                .collect();
+            let mut stats = OpStats::default();
+            let mut savl = build_savl(&objs, 0, &[], None, budget, 1, budget, &mut stats);
+            let mut drained = Vec::new();
+            while let Some(k) = savl.pop_max() {
+                drained.push(k);
+            }
+            // descending pops
+            for w in drained.windows(2) {
+                prop_assert!(w[0] > w[1]);
+            }
+            // completeness
+            for want in reference(&objs, budget) {
+                prop_assert!(
+                    drained.contains(&want),
+                    "lost true skyband object {:?}",
+                    want
+                );
+            }
+        }
+
+        /// Expiry + pops interleaved: no dead object ever escapes, no live
+        /// skyband object is lost.
+        #[test]
+        fn savl_expiry_safety(
+            scores in vec(0u16..64, 10..120),
+            budget in 1usize..6,
+            cut in 0usize..10,
+        ) {
+            let objs: Vec<Object> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Object::new(i as u64, s as f64))
+                .collect();
+            let cutoff = (objs.len() * cut / 10) as u64;
+            let mut stats = OpStats::default();
+            let mut savl = build_savl(&objs, 0, &[], None, budget, 1, budget, &mut stats);
+            let mut drained = Vec::new();
+            while let Some(k) = savl.pop_max_alive(cutoff) {
+                prop_assert!(k.id >= cutoff, "expired object escaped");
+                drained.push(k);
+            }
+            // completeness among live objects: every true skyband member of
+            // the ORIGINAL slice that is still alive must come out
+            let alive_ref: Vec<ScoreKey> = reference(&objs, budget)
+                .into_iter()
+                .filter(|k| k.id >= cutoff)
+                .collect();
+            for want in alive_ref {
+                prop_assert!(drained.contains(&want), "lost live object {:?}", want);
+            }
+        }
+    }
+}
+
+mod candidate_model {
+    use super::*;
+    use sap::core::candidates::CandidateList;
+    use sap::stream::OpStats;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// After merging any sequence of partitions, every surviving
+        /// candidate has fewer than k candidate-dominators, and no object
+        /// with fewer than k dominators among all merged keys was evicted.
+        #[test]
+        fn merge_refine_is_exact_skyband_over_pk_union(
+            partitions in vec(vec(0u16..50, 1..6), 1..8),
+            k in 1usize..5,
+        ) {
+            let mut c = CandidateList::new(k);
+            let mut stats = OpStats::default();
+            let mut all: Vec<ScoreKey> = Vec::new();
+            let mut id = 0u64;
+            for (pid, scores) in partitions.iter().enumerate() {
+                let mut keys: Vec<ScoreKey> = scores
+                    .iter()
+                    .map(|&s| {
+                        let kk = key(id, s as f64);
+                        id += 1;
+                        kk
+                    })
+                    .collect();
+                all.extend(keys.iter().copied());
+                keys.sort_unstable_by(|a, b| b.cmp(a));
+                c.merge_seal(pid as u32, &keys, &mut stats);
+            }
+            let surviving: Vec<ScoreKey> = c.iter_desc().copied().collect();
+            for x in &all {
+                // key-order outranking by newer objects (the refinement
+                // counts equal-score newer entries, which outrank and
+                // outlive the older one)
+                let dom = all.iter().filter(|d| d.id > x.id && *d > x).count();
+                if dom < k {
+                    prop_assert!(
+                        surviving.contains(x),
+                        "non-dominated key {:?} was evicted (dom={} < k={})",
+                        x, dom, k
+                    );
+                }
+            }
+        }
+    }
+}

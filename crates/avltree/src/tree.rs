@@ -750,7 +750,9 @@ mod tests {
         // simple LCG so the test is deterministic without rand
         let mut state = 0x243F6A8885A308D3u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let mut t = AvlMap::new();
@@ -779,10 +781,7 @@ mod tests {
         }
         t.check_invariants();
         assert_eq!(t.len(), reference.len());
-        assert_eq!(
-            t.min().map(|(k, _)| *k),
-            reference.keys().next().copied()
-        );
+        assert_eq!(t.min().map(|(k, _)| *k), reference.keys().next().copied());
         assert_eq!(
             t.max().map(|(k, _)| *k),
             reference.keys().next_back().copied()

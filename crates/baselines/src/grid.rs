@@ -174,7 +174,9 @@ mod tests {
     #[test]
     fn collect_top_is_exact_across_bucket_boundaries() {
         let mut g = ScoreGrid::new(4);
-        let batch: Vec<Object> = (0..1000).map(|i| obj(i, (i as f64 * 7.3) % 100.0)).collect();
+        let batch: Vec<Object> = (0..1000)
+            .map(|i| obj(i, (i as f64 * 7.3) % 100.0))
+            .collect();
         g.insert_batch(&batch);
         let mut out = Vec::new();
         g.collect_top(50, &mut out);

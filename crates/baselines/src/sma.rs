@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use sap_stream::{Object, OpStats, ScoreKey, SlidingTopK, WindowSpec};
+use sap_stream::{Object, OpStats, SapError, ScoreKey, SlidingTopK, WindowSpec};
 
 use crate::common::{btreemap_bytes, top_k_desc, WindowRing};
 use crate::grid::ScoreGrid;
@@ -46,8 +46,20 @@ impl Sma {
 
     /// Creates SMA with explicit `k_max` (must be ≥ k) and grid resolution.
     pub fn with_params(spec: WindowSpec, kmax: usize, grid_buckets: usize) -> Self {
-        assert!(kmax >= spec.k, "k_max must be at least k");
-        Sma {
+        Self::try_with_params(spec, kmax, grid_buckets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`with_params`](Sma::with_params): rejects
+    /// `k_max < k` and an empty grid through the unified error type (the
+    /// rules live in `sap_stream::query` so builder-side and
+    /// constructor-side validation cannot drift).
+    pub fn try_with_params(
+        spec: WindowSpec,
+        kmax: usize,
+        grid_buckets: usize,
+    ) -> Result<Self, SapError> {
+        sap_stream::query::check_sma_params(spec.k, Some(kmax), Some(grid_buckets))?;
+        Ok(Sma {
             spec,
             kmax,
             grid: ScoreGrid::new(grid_buckets),
@@ -58,7 +70,7 @@ impl Sma {
             evict: Vec::new(),
             result: Vec::with_capacity(spec.k),
             stats: OpStats::default(),
-        }
+        })
     }
 
     /// Number of grid re-scans performed so far.
@@ -210,8 +222,7 @@ mod tests {
         let data = Dataset::TimeU.generate(1500, 6);
         let spec = WindowSpec::new(100, 10, 10).unwrap();
         for kmax in [10, 15, 40] {
-            let (_, got) =
-                run_collecting(&mut Sma::with_params(spec, kmax, 64), &data);
+            let (_, got) = run_collecting(&mut Sma::with_params(spec, kmax, 64), &data);
             let (_, expect) = run_collecting(&mut NaiveTopK::new(spec), &data);
             assert_eq!(got, expect, "kmax={kmax}");
         }

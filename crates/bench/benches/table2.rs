@@ -16,10 +16,20 @@ fn bench_table2(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for m in [5usize, 13, 21, 29, 37] {
         group.bench_with_input(BenchmarkId::new("non_delay", m), &m, |b, &m| {
-            b.iter(|| run(&mut Sap::new(SapConfig::equal(spec, Some(m)).without_delay()), &data))
+            b.iter(|| {
+                run(
+                    &mut Sap::new(SapConfig::equal(spec, Some(m)).without_delay()),
+                    &data,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("algo1", m), &m, |b, &m| {
-            b.iter(|| run(&mut Sap::new(SapConfig::equal(spec, Some(m)).without_savl()), &data))
+            b.iter(|| {
+                run(
+                    &mut Sap::new(SapConfig::equal(spec, Some(m)).without_savl()),
+                    &data,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("algo1_savl", m), &m, |b, &m| {
             b.iter(|| run(&mut Sap::new(SapConfig::equal(spec, Some(m))), &data))

@@ -11,7 +11,11 @@ fn bench_table3(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for ds in [Dataset::Stock, Dataset::TimeU, Dataset::TimeR { period: 4_000.0 }] {
+    for ds in [
+        Dataset::Stock,
+        Dataset::TimeU,
+        Dataset::TimeR { period: 4_000.0 },
+    ] {
         let data = ds.generate(len, 2);
         let spec = WindowSpec::new(2_000, 50, 10).unwrap();
         group.bench_with_input(BenchmarkId::new("EN-DYNA", ds.name()), &(), |b, _| {

@@ -98,7 +98,9 @@ fn table2(len: usize, seed: u64) {
             ("non-delay", |sp, m| {
                 SapConfig::equal(sp, Some(m)).without_delay()
             }),
-            ("Algo 1", |sp, m| SapConfig::equal(sp, Some(m)).without_savl()),
+            ("Algo 1", |sp, m| {
+                SapConfig::equal(sp, Some(m)).without_savl()
+            }),
             ("Algo 1+S-AVL", |sp, m| SapConfig::equal(sp, Some(m))),
         ];
         for (label, mk) in variants {
@@ -166,8 +168,21 @@ fn competitor_sweep(
         let mut t = Table::new(
             format!("{title} [{}]", ds.name()),
             &[
-                "algorithm", "n=2k", "n=5k", "n=10k", "n=20k", "k=10", "k=50", "k=100", "k=500",
-                "k=1000", "s=1", "s=10", "s=100", "s=500", "s=1000",
+                "algorithm",
+                "n=2k",
+                "n=5k",
+                "n=10k",
+                "n=20k",
+                "k=10",
+                "k=50",
+                "k=100",
+                "k=500",
+                "k=1000",
+                "s=1",
+                "s=10",
+                "s=100",
+                "s=500",
+                "s=1000",
             ],
         );
         for &algo in algos {
@@ -233,30 +248,60 @@ fn high_speed_sweep(
         let data = ds.generate(hs_len, seed);
         let header: Vec<&str> = if wide {
             vec![
-                "algorithm", "n=10%", "n=20%", "n=30%", "n=40%", "n=50%", "k=500", "k=1000",
-                "k=2000", "s=0.1%", "s=1%", "s=5%", "s=10%",
+                "algorithm",
+                "n=10%",
+                "n=20%",
+                "n=30%",
+                "n=40%",
+                "n=50%",
+                "k=500",
+                "k=1000",
+                "k=2000",
+                "s=0.1%",
+                "s=1%",
+                "s=5%",
+                "s=10%",
             ]
         } else {
             vec![
-                "algorithm", "n=10%", "n=30%", "n=50%", "k=500", "k=2000", "s=1%", "s=10%",
+                "algorithm",
+                "n=10%",
+                "n=30%",
+                "n=50%",
+                "k=500",
+                "k=2000",
+                "s=1%",
+                "s=10%",
             ]
         };
         let mut t = Table::new(format!("{title} [{}]", ds.name()), &header);
         for algo in [Algo::Sap, Algo::MinTopK] {
             let mut row = vec![algo.label().to_string()];
-            let n_pcts: &[usize] = if wide { &[10, 20, 30, 40, 50] } else { &[10, 30, 50] };
+            let n_pcts: &[usize] = if wide {
+                &[10, 20, 30, 40, 50]
+            } else {
+                &[10, 30, 50]
+            };
             for &pct in n_pcts {
                 let n = hs_len * pct / 100;
                 let spec = WindowSpec::new(n, 1000, n / 50).unwrap();
                 row.push(metric(&measure_on(algo, &data, spec)));
             }
             let n = hs_len / 5;
-            let ks: &[usize] = if wide { &[500, 1000, 2000] } else { &[500, 2000] };
+            let ks: &[usize] = if wide {
+                &[500, 1000, 2000]
+            } else {
+                &[500, 2000]
+            };
             for &k in ks {
                 let spec = WindowSpec::new(n, k, n / 50).unwrap();
                 row.push(metric(&measure_on(algo, &data, spec)));
             }
-            let sdivs: &[usize] = if wide { &[1000, 100, 20, 10] } else { &[100, 10] };
+            let sdivs: &[usize] = if wide {
+                &[1000, 100, 20, 10]
+            } else {
+                &[100, 10]
+            };
             for &sdiv in sdivs {
                 let spec = WindowSpec::new(n, 1000, (n / sdiv).max(1)).unwrap();
                 row.push(metric(&measure_on(algo, &data, spec)));
@@ -270,7 +315,13 @@ fn high_speed_sweep(
 /// Table 5 (Appendix D): high-speed streams — large windows, large k,
 /// large slides; SAP vs MinTopK running time.
 fn table5(len: usize, seed: u64) {
-    high_speed_sweep("Table 5: high-speed streams, seconds", len, seed, secs, true);
+    high_speed_sweep(
+        "Table 5: high-speed streams, seconds",
+        len,
+        seed,
+        secs,
+        true,
+    );
 }
 
 /// Table 6 (Appendix E): average candidate counts across the sweeps.

@@ -124,7 +124,10 @@ impl Table {
             println!("{}", line.join("  "));
         };
         fmt_row(&self.header);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             fmt_row(row);
         }

@@ -134,13 +134,7 @@ impl CandidateList {
     /// Collects the scores of the top `limit` candidates whose arrival ids
     /// fall in `[lo_id, hi_id)` — the `I_ηk` sample of the WRT evaluation
     /// (§4.2).
-    pub fn top_scores_in_id_range(
-        &self,
-        lo_id: u64,
-        hi_id: u64,
-        limit: usize,
-        out: &mut Vec<f64>,
-    ) {
+    pub fn top_scores_in_id_range(&self, lo_id: u64, hi_id: u64, limit: usize, out: &mut Vec<f64>) {
         out.clear();
         for key in self.map.keys().rev() {
             if key.id >= lo_id && key.id < hi_id {
@@ -159,8 +153,7 @@ impl CandidateList {
 
     /// Estimated heap bytes (BTreeMap entries with node overhead).
     pub fn memory_bytes(&self) -> usize {
-        self.map.len()
-            * (std::mem::size_of::<ScoreKey>() + std::mem::size_of::<CandEntry>() + 16)
+        self.map.len() * (std::mem::size_of::<ScoreKey>() + std::mem::size_of::<CandEntry>() + 16)
     }
 }
 
@@ -191,7 +184,10 @@ mod tests {
         // partition 2: scores 9.5, 8.5 → 9 gains 1 (9.5); 8 gains 2 → evicted
         c.merge_seal(2, &keys_desc(&[(20, 9.5), (21, 8.5)]), &mut stats);
         let scores: Vec<f64> = c.iter_desc().map(|k| k.score).collect();
-        assert!(!scores.contains(&8.0), "8 dominated by 9.5 and 8.5: {scores:?}");
+        assert!(
+            !scores.contains(&8.0),
+            "8 dominated by 9.5 and 8.5: {scores:?}"
+        );
         assert!(scores.contains(&10.0));
         assert!(scores.contains(&9.0), "9 has only one dominator");
     }
@@ -229,9 +225,17 @@ mod tests {
         let mut c = CandidateList::new(3);
         let mut stats = OpStats::default();
         // front partition 0 with pivot 50 (k-th best)
-        c.merge_seal(0, &keys_desc(&[(0, 60.0), (1, 55.0), (2, 50.0)]), &mut stats);
+        c.merge_seal(
+            0,
+            &keys_desc(&[(0, 60.0), (1, 55.0), (2, 50.0)]),
+            &mut stats,
+        );
         // later partition with two objects above the pivot
-        c.merge_seal(1, &keys_desc(&[(10, 58.0), (11, 52.0), (12, 40.0)]), &mut stats);
+        c.merge_seal(
+            1,
+            &keys_desc(&[(10, 58.0), (11, 52.0), (12, 40.0)]),
+            &mut stats,
+        );
         let pivot = key(2, 50.0);
         assert_eq!(c.rho(pivot, 0), 2, "58 and 52 dominate the pivot");
         // own-partition higher scorers (60, 55) must not count
@@ -241,7 +245,11 @@ mod tests {
     fn rho_saturates_at_k() {
         let mut c = CandidateList::new(2);
         let mut stats = OpStats::default();
-        c.merge_seal(1, &keys_desc(&[(10, 9.0), (11, 8.0), (12, 7.0)]), &mut stats);
+        c.merge_seal(
+            1,
+            &keys_desc(&[(10, 9.0), (11, 8.0), (12, 7.0)]),
+            &mut stats,
+        );
         let rho = c.rho(key(0, 1.0), 0);
         assert_eq!(rho, 2, "counting stops at k");
     }

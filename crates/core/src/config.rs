@@ -2,7 +2,7 @@
 //! algorithm variants.
 
 use sap_stats::PaperParams;
-use sap_stream::WindowSpec;
+use sap_stream::{AlgorithmKind, SapError, SapPolicy, WindowSpec};
 
 /// Which partition algorithm the engine runs (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +87,45 @@ impl SapConfig {
     /// Enhanced dynamic partition (§4.3) — same as [`SapConfig::new`].
     pub fn enhanced(spec: WindowSpec) -> Self {
         Self::new(spec)
+    }
+
+    /// Maps a query-layer [`AlgorithmKind`] onto an engine configuration.
+    /// Returns `None` when the kind selects a different algorithm, and
+    /// `Some(Err(_))` when the SAP parameters are invalid.
+    pub fn from_kind(spec: WindowSpec, kind: &AlgorithmKind) -> Option<Result<Self, SapError>> {
+        let AlgorithmKind::Sap {
+            policy,
+            delay_formation,
+            use_savl,
+            alpha,
+        } = *kind
+        else {
+            return None;
+        };
+        let policy = match policy {
+            SapPolicy::Equal { m } => PartitionPolicy::Equal { m },
+            SapPolicy::Dynamic => PartitionPolicy::Dynamic,
+            SapPolicy::EnhancedDynamic => PartitionPolicy::EnhancedDynamic,
+        };
+        Some(
+            SapConfig {
+                spec,
+                policy,
+                delay_formation,
+                use_savl,
+                alpha,
+            }
+            .validated(),
+        )
+    }
+
+    /// Checks the non-spec configuration parameters (the rules live in
+    /// `sap_stream::query` so builder-side and constructor-side
+    /// validation cannot drift), consuming and returning the config so
+    /// constructors can chain it.
+    pub fn validated(self) -> Result<Self, SapError> {
+        sap_stream::query::check_alpha(self.alpha)?;
+        Ok(self)
     }
 
     /// Returns the configuration with delayed formation disabled

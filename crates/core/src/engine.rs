@@ -84,6 +84,11 @@ pub struct Sap {
     /// (§4.1); an unchanged result is reused without touching any
     /// structure.
     dirty: bool,
+    /// Snapshot of `dirty` taken at the last `slide` call, backing
+    /// [`SlidingTopK::last_slide_changed`]: when the slide found the
+    /// engine clean, the emitted result is provably identical to the
+    /// previous one and delta consumers report `Unchanged` in O(1).
+    changed_last_slide: bool,
 }
 
 impl Sap {
@@ -98,8 +103,8 @@ impl Sap {
                 (params.lmin.div_ceil(spec.s) * spec.s).min(spec.n)
             }
         };
-        let tbui = matches!(cfg.policy, PartitionPolicy::EnhancedDynamic)
-            .then(|| Tbui::new(spec.k));
+        let tbui =
+            matches!(cfg.policy, PartitionPolicy::EnhancedDynamic).then(|| Tbui::new(spec.k));
         Sap {
             cfg,
             params,
@@ -123,6 +128,7 @@ impl Sap {
             stats: OpStats::default(),
             last_kth: None,
             dirty: true,
+            changed_last_slide: true,
         }
     }
 
@@ -178,10 +184,7 @@ impl Sap {
 
     fn unit_label(&mut self) -> Option<LiEntry> {
         let tbui = self.tbui.as_mut()?;
-        let unit_max = self
-            .unit_pk
-            .max()
-            .expect("completed unit is non-empty");
+        let unit_max = self.unit_pk.max().expect("completed unit is non-empty");
         let label = tbui.on_unit_complete(unit_max, &mut self.stats);
         if label.demote_previous {
             // demote the previous provisional k-unit in the live partition
@@ -209,8 +212,7 @@ impl Sap {
                     return;
                 }
                 let improper = self.evaluate_wrt();
-                let too_big =
-                    self.live_objects.len() + self.unit_buf.len() > self.params.lmax;
+                let too_big = self.live_objects.len() + self.unit_buf.len() > self.params.lmax;
                 if improper || too_big {
                     self.seal_live();
                 }
@@ -341,7 +343,10 @@ impl Sap {
     // ----- expiry ----------------------------------------------------------
 
     fn promote_front(&mut self) {
-        let partition = self.sealed.pop_front().expect("promotion needs a partition");
+        let partition = self
+            .sealed
+            .pop_front()
+            .expect("promotion needs a partition");
         let k = self.cfg.spec.k;
         let rho = partition
             .pivot()
@@ -554,6 +559,7 @@ impl SlidingTopK for Sap {
         if cutoff > 0 {
             self.expire(cutoff);
         }
+        self.changed_last_slide = self.dirty;
         if self.dirty {
             self.compute_result(cutoff);
             self.last_kth = if self.result.len() >= self.cfg.spec.k {
@@ -598,6 +604,10 @@ impl SlidingTopK for Sap {
 
     fn stats(&self) -> OpStats {
         self.stats
+    }
+
+    fn last_slide_changed(&self) -> bool {
+        self.changed_last_slide
     }
 
     fn name(&self) -> &str {

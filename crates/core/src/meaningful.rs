@@ -110,9 +110,7 @@ impl SortedM {
             for key in &keys[i..=j] {
                 let pos = (key.id - base) as usize;
                 let num = added - fen.prefix(pos);
-                if (num as usize) < budget
-                    && !is_pk(key)
-                    && f_theta.is_none_or(|t| key.score >= t)
+                if (num as usize) < budget && !is_pk(key) && f_theta.is_none_or(|t| key.score >= t)
                 {
                     kept_desc.push(*key);
                 }
@@ -124,9 +122,7 @@ impl SortedM {
             i = j + 1;
         }
         kept_desc.reverse();
-        SortedM {
-            entries: kept_desc,
-        }
+        SortedM { entries: kept_desc }
     }
 
     /// Largest live entry (requires [`expire_below`](Self::expire_below) to
@@ -253,9 +249,7 @@ fn scan_into_savl(
     k: usize,
     stats: &mut OpStats,
 ) {
-    let member = |set: &[ScoreKey], key: &ScoreKey| {
-        set.binary_search_by(|p| key.cmp(p)).is_ok()
-    };
+    let member = |set: &[ScoreKey], key: &ScoreKey| set.binary_search_by(|p| key.cmp(p)).is_ok();
     let mut offer = |o: &Object, stats: &mut OpStats| {
         stats.objects_scanned += 1;
         let key = o.key();
@@ -414,12 +408,8 @@ impl SegmentedM {
             }
         }
         seg.pending.reverse(); // ascending unit order
-        // phase 2 starts immediately for the two oldest units
-        while seg
-            .pending
-            .first()
-            .is_some_and(|p| p.unit_idx <= 1)
-        {
+                               // phase 2 starts immediately for the two oldest units
+        while seg.pending.first().is_some_and(|p| p.unit_idx <= 1) {
             let p = seg.pending.remove(0);
             seg.build_unit(partition, p, stats);
         }
@@ -504,11 +494,7 @@ impl SegmentedM {
     ) -> Option<ScoreKey> {
         loop {
             let best = self.max_key()?;
-            if let Some(pos) = self
-                .pending
-                .iter()
-                .position(|p| p.min_key == best)
-            {
+            if let Some(pos) = self.pending.iter().position(|p| p.min_key == best) {
                 let p = self.pending.remove(pos);
                 self.build_unit(partition, p, stats);
                 continue;
@@ -698,10 +684,7 @@ mod tests {
             if f_theta.is_some_and(|t| key.score < t) {
                 continue;
             }
-            let dom = objs
-                .iter()
-                .filter(|x| x.dominates(o))
-                .count();
+            let dom = objs.iter().filter(|x| x.dominates(o)).count();
             if dom < budget {
                 out.push(key);
             }
@@ -732,10 +715,7 @@ mod tests {
             for f_theta in [None, Some(4.5)] {
                 let m = SortedM::build(&objs, 0, &pk, f_theta, budget, 1, 2, &mut stats);
                 let expect = reference_meaningful(&objs, &pk, f_theta, budget);
-                assert_eq!(
-                    m.entries, expect,
-                    "budget={budget} f_theta={f_theta:?}"
-                );
+                assert_eq!(m.entries, expect, "budget={budget} f_theta={f_theta:?}");
             }
         }
     }
@@ -800,8 +780,7 @@ mod tests {
         while start < objs.len() {
             let end = (start + unit_len).min(objs.len());
             let li = if label {
-                let mut keys: Vec<ScoreKey> =
-                    objs[start..end].iter().map(Object::key).collect();
+                let mut keys: Vec<ScoreKey> = objs[start..end].iter().map(Object::key).collect();
                 keys.sort_unstable_by(|a, b| b.cmp(a));
                 keys.truncate(k);
                 Some(LiEntry::KUnit { keys })
@@ -823,9 +802,7 @@ mod tests {
 
     #[test]
     fn segmented_pop_order_is_descending_and_complete() {
-        let scores: Vec<f64> = (0..40)
-            .map(|i| ((i * 37) % 41) as f64 + 0.5)
-            .collect();
+        let scores: Vec<f64> = (0..40).map(|i| ((i * 37) % 41) as f64 + 0.5).collect();
         let k = 3;
         let part = sealed_with_units(&scores, 8, k, true);
         let mut stats = OpStats::default();

@@ -60,12 +60,10 @@ impl TimeBasedSap {
     /// Creates a time-based query returning the top `k` of the last
     /// `window_duration` time units, sliding every `slide_duration`.
     /// `slide_duration` must divide `window_duration`.
-    pub fn new(
-        window_duration: u64,
-        slide_duration: u64,
-        k: usize,
-    ) -> Result<Self, SpecError> {
-        if slide_duration == 0 || window_duration == 0 || !window_duration.is_multiple_of(slide_duration)
+    pub fn new(window_duration: u64, slide_duration: u64, k: usize) -> Result<Self, SpecError> {
+        if slide_duration == 0
+            || window_duration == 0
+            || !window_duration.is_multiple_of(slide_duration)
         {
             return Err(SpecError::SlideNotDivisor {
                 s: slide_duration as usize,
@@ -175,12 +173,7 @@ mod tests {
 
     /// Time-based oracle: top-k of all objects with
     /// `timestamp ∈ [window_end - duration, window_end)`.
-    fn oracle(
-        all: &[TimedObject],
-        window_end: u64,
-        duration: u64,
-        k: usize,
-    ) -> Vec<TimedObject> {
+    fn oracle(all: &[TimedObject], window_end: u64, duration: u64, k: usize) -> Vec<TimedObject> {
         let lo = window_end.saturating_sub(duration);
         let mut alive: Vec<TimedObject> = all
             .iter()
@@ -210,7 +203,9 @@ mod tests {
         let mut id = 0u64;
         let mut state = 12345u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for t in 0..600u64 {

@@ -74,8 +74,7 @@ impl Tbui {
         debug_assert!(self.utau.len() >= self.zeta_star);
         let idx = self.zeta_star - 1;
         // ζ*-th highest = element at idx when sorted descending
-        self.utau
-            .select_nth_unstable_by(idx, |a, b| b.cmp(a));
+        self.utau.select_nth_unstable_by(idx, |a, b| b.cmp(a));
         self.tau = self.utau[idx].score;
         let tau = self.tau;
         self.utau.retain(|key| key.score >= tau);

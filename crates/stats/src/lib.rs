@@ -25,8 +25,7 @@ pub mod params;
 pub mod select;
 
 pub use mann_whitney::{
-    exact_u_distribution, exact_upper_critical, rank_sum, MannWhitney, RankSumDecision,
-    WrtOutcome,
+    exact_u_distribution, exact_upper_critical, rank_sum, MannWhitney, RankSumDecision, WrtOutcome,
 };
 pub use normal::{inverse_normal_cdf, normal_cdf, normal_pdf, upper_quantile};
 pub use params::{eta, eta_k, lmax, lmin, m_star, zeta_max, zeta_star, PaperParams};

@@ -93,7 +93,7 @@ pub fn exact_upper_critical(n1: usize, n2: usize, alpha: f64) -> f64 {
     let counts = exact_u_distribution(n1, n2);
     let total: f64 = counts.iter().sum();
     let offset = n1 * (n1 + 1) / 2; // W1 = U1 + n1(n1+1)/2
-    // scan from the top accumulating tail probability
+                                    // scan from the top accumulating tail probability
     let mut tail = 0.0;
     let target = alpha / 2.0;
     for u in (0..counts.len()).rev() {

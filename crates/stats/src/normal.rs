@@ -36,7 +36,7 @@ fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         poly
     } else {
@@ -147,7 +147,9 @@ mod tests {
 
     #[test]
     fn quantile_round_trip() {
-        for &p in &[0.001, 0.01, 0.025, 0.1, 0.3, 0.5, 0.7, 0.9, 0.975, 0.99, 0.999] {
+        for &p in &[
+            0.001, 0.01, 0.025, 0.1, 0.3, 0.5, 0.7, 0.9, 0.975, 0.99, 0.999,
+        ] {
             let x = inverse_normal_cdf(p);
             assert!(
                 (normal_cdf(x) - p).abs() < 1e-8,

@@ -30,6 +30,14 @@ pub struct RunSummary {
     /// Order-sensitive checksum over all emitted results; two algorithms
     /// answering the same query identically produce identical checksums.
     pub checksum: u64,
+    /// Objects at the tail of the input that did not fill a whole slide
+    /// and were therefore **not** fed to the algorithm (always `< s`).
+    /// The count-based model only slides in full steps of `s`, so a
+    /// ragged stream length always strands `len % s` objects; callers
+    /// that must not lose them should ingest through a
+    /// [`Session`](crate::session::Session), which buffers the remainder
+    /// for the next push instead of dropping it.
+    pub leftover: usize,
     /// The algorithm's cumulative operation counters.
     pub stats: OpStats,
 }
@@ -41,8 +49,14 @@ impl RunSummary {
     }
 }
 
-fn checksum_fold(acc: u64, result: &[Object]) -> u64 {
-    // FNV-1a over (id, score bits) pairs, order sensitive.
+/// Initial accumulator for [`checksum_fold`] (the FNV-1a offset basis).
+pub const CHECKSUM_SEED: u64 = 0xcbf29ce484222325;
+
+/// Folds one emitted result into the running [`RunSummary::checksum`]:
+/// FNV-1a over `(id, score bits)` pairs, order sensitive. Public so other
+/// delivery paths (e.g. the session layer) can be checked for
+/// byte-identical output against a driver run.
+pub fn checksum_fold(acc: u64, result: &[Object]) -> u64 {
     let mut h = acc;
     for o in result {
         for chunk in [o.id, o.score.to_bits()] {
@@ -58,8 +72,9 @@ fn checksum_fold(acc: u64, result: &[Object]) -> u64 {
 }
 
 /// Runs `alg` over `data` in batches of `s`, returning the metric summary.
-/// Any trailing partial batch is ignored (the window only slides in full
-/// steps of `s`, per the count-based model).
+/// Any trailing partial batch is **not** fed to the algorithm (the window
+/// only slides in full steps of `s`, per the count-based model); its size
+/// is reported in [`RunSummary::leftover`] so the omission is visible.
 pub fn run<A: SlidingTopK + ?Sized>(alg: &mut A, data: &[Object]) -> RunSummary {
     run_impl(alg, data, None)
 }
@@ -83,7 +98,7 @@ fn run_impl<A: SlidingTopK + ?Sized>(
     let spec = alg.spec();
     let s = spec.s;
     let mut slides = 0usize;
-    let mut checksum = 0xcbf29ce484222325u64;
+    let mut checksum = CHECKSUM_SEED;
     let mut cand_sum = 0f64;
     let mut cand_peak = 0usize;
     let mut mem_sum = 0f64;
@@ -123,6 +138,7 @@ fn run_impl<A: SlidingTopK + ?Sized>(
         avg_memory_bytes: mem_sum / denom,
         peak_memory_bytes: mem_peak,
         checksum,
+        leftover: data.len() - slides * s,
         stats: alg.stats(),
     }
 }
@@ -186,6 +202,17 @@ mod tests {
         let mut alg = toy(20, 3, 10);
         let summary = run(&mut alg, &data);
         assert_eq!(summary.slides, 10, "partial trailing batch must be ignored");
+        assert_eq!(
+            summary.leftover, 3,
+            "stranded tail objects must be reported"
+        );
+    }
+
+    #[test]
+    fn exact_streams_have_no_leftover() {
+        let data = stream(100);
+        let summary = run(&mut toy(20, 3, 10), &data);
+        assert_eq!(summary.leftover, 0);
     }
 
     #[test]

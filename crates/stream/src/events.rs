@@ -1,0 +1,188 @@
+//! Typed result deltas for the session API.
+//!
+//! The paper's engines emit a full top-k snapshot per slide, but a
+//! subscription system serving many standing queries wants *what changed*
+//! (cf. *Monitoring the Top-m Aggregation in a Sliding Window*): an object
+//! entering the result, an object leaving it, or — the common case on
+//! stable streams — nothing at all. [`SlideResult`] carries the snapshot
+//! together with [`TopKEvent`] deltas computed against the previous
+//! emission of the same query.
+//!
+//! When the engine can prove the result did not change (SAP's `dirty`
+//! flag, see `sap_core`), the delta is the single [`TopKEvent::Unchanged`]
+//! marker produced in `O(1)` without any comparison.
+
+use crate::object::Object;
+
+/// One delta between consecutive top-k emissions of a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopKEvent {
+    /// The object is in the current result but was not in the previous one.
+    Entered(Object),
+    /// The object was in the previous result but is not in the current one.
+    Exited(Object),
+    /// The result is identical to the previous emission. Always the sole
+    /// event when present.
+    Unchanged,
+}
+
+/// One completed slide of a query session: the snapshot plus its deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlideResult {
+    /// 0-based index of the slide within the session's lifetime.
+    pub slide: u64,
+    /// The window's current top-k, descending (the paper's per-slide
+    /// output).
+    pub snapshot: Vec<Object>,
+    /// Deltas against the previous slide's snapshot: every `Exited` first
+    /// (in previous-snapshot order), then every `Entered` (in current
+    /// order); or exactly `[Unchanged]`; or empty for the very first
+    /// emission of an empty result.
+    pub events: Vec<TopKEvent>,
+}
+
+impl SlideResult {
+    /// Whether this slide changed the result. The first emission of a
+    /// non-empty result counts as changed; an empty event list (an empty
+    /// result following an empty result) does not.
+    pub fn changed(&self) -> bool {
+        !self.events.is_empty() && !matches!(self.events.as_slice(), [TopKEvent::Unchanged])
+    }
+
+    /// Iterates the objects that entered the result this slide.
+    pub fn entered(&self) -> impl Iterator<Item = &Object> {
+        self.events.iter().filter_map(|e| match e {
+            TopKEvent::Entered(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    /// Iterates the objects that exited the result this slide.
+    pub fn exited(&self) -> impl Iterator<Item = &Object> {
+        self.events.iter().filter_map(|e| match e {
+            TopKEvent::Exited(o) => Some(o),
+            _ => None,
+        })
+    }
+}
+
+/// Computes the delta events between two consecutive snapshots.
+///
+/// `known_unchanged` short-circuits the diff: when the algorithm has
+/// already proved the result identical (e.g. SAP's clean `dirty` flag),
+/// the comparison is skipped entirely and `[Unchanged]` is returned —
+/// this is the `O(1)` path for quiet slides. Without that proof the two
+/// snapshots are diffed by object id in `O(k)`.
+pub fn diff_snapshots(prev: &[Object], next: &[Object], known_unchanged: bool) -> Vec<TopKEvent> {
+    if known_unchanged || prev == next {
+        return if next.is_empty() && prev.is_empty() {
+            Vec::new()
+        } else {
+            vec![TopKEvent::Unchanged]
+        };
+    }
+    let mut events = Vec::new();
+    // k is small; membership via a sorted id list keeps this allocation-lean
+    let mut next_ids: Vec<u64> = next.iter().map(|o| o.id).collect();
+    next_ids.sort_unstable();
+    let mut prev_ids: Vec<u64> = prev.iter().map(|o| o.id).collect();
+    prev_ids.sort_unstable();
+    for o in prev {
+        if next_ids.binary_search(&o.id).is_err() {
+            events.push(TopKEvent::Exited(*o));
+        }
+    }
+    for o in next {
+        if prev_ids.binary_search(&o.id).is_err() {
+            events.push(TopKEvent::Entered(*o));
+        }
+    }
+    if events.is_empty() {
+        // same membership, possibly reordered — the result order is total,
+        // so identical membership implies an identical sequence
+        events.push(TopKEvent::Unchanged);
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(id: u64, score: f64) -> Object {
+        Object::new(id, score)
+    }
+
+    #[test]
+    fn first_emission_is_all_entered() {
+        let next = vec![o(3, 9.0), o(1, 5.0)];
+        let ev = diff_snapshots(&[], &next, false);
+        assert_eq!(
+            ev,
+            vec![TopKEvent::Entered(next[0]), TopKEvent::Entered(next[1])]
+        );
+    }
+
+    #[test]
+    fn churn_reports_exits_then_entries() {
+        let prev = vec![o(3, 9.0), o(1, 5.0)];
+        let next = vec![o(4, 11.0), o(3, 9.0)];
+        let ev = diff_snapshots(&prev, &next, false);
+        assert_eq!(
+            ev,
+            vec![TopKEvent::Exited(prev[1]), TopKEvent::Entered(next[0])]
+        );
+    }
+
+    #[test]
+    fn identical_snapshots_are_unchanged() {
+        let snap = vec![o(3, 9.0)];
+        assert_eq!(
+            diff_snapshots(&snap, &snap, false),
+            vec![TopKEvent::Unchanged]
+        );
+    }
+
+    #[test]
+    fn known_unchanged_skips_diff() {
+        // deliberately different slices: the caller's proof wins
+        let prev = vec![o(3, 9.0)];
+        let next = vec![o(3, 9.0)];
+        assert_eq!(
+            diff_snapshots(&prev, &next, true),
+            vec![TopKEvent::Unchanged]
+        );
+    }
+
+    #[test]
+    fn empty_to_empty_has_no_events() {
+        assert!(diff_snapshots(&[], &[], false).is_empty());
+        assert!(diff_snapshots(&[], &[], true).is_empty());
+        let r = SlideResult {
+            slide: 0,
+            snapshot: Vec::new(),
+            events: Vec::new(),
+        };
+        assert!(!r.changed(), "empty-to-empty is not a change");
+    }
+
+    #[test]
+    fn slide_result_accessors() {
+        let prev = vec![o(1, 5.0)];
+        let next = vec![o(2, 6.0)];
+        let r = SlideResult {
+            slide: 7,
+            snapshot: next.clone(),
+            events: diff_snapshots(&prev, &next, false),
+        };
+        assert!(r.changed());
+        assert_eq!(r.entered().copied().collect::<Vec<_>>(), next);
+        assert_eq!(r.exited().copied().collect::<Vec<_>>(), prev);
+        let quiet = SlideResult {
+            slide: 8,
+            snapshot: next.clone(),
+            events: vec![TopKEvent::Unchanged],
+        };
+        assert!(!quiet.changed());
+    }
+}

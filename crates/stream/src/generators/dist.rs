@@ -27,7 +27,10 @@ pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f6
 /// Gamma(shape, scale) sample via Marsaglia–Tsang (2000). For `shape < 1`
 /// the standard boost `Gamma(a) = Gamma(a+1) · U^{1/a}` is applied.
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma parameters must be positive"
+    );
     if shape < 1.0 {
         let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
         return sample_gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
@@ -88,8 +91,9 @@ mod tests {
     fn gamma_moments() {
         let mut rng = SmallRng::seed_from_u64(3);
         for &(shape, scale) in &[(0.5, 1.0), (1.0, 2.0), (3.0, 0.5), (9.0, 1.0)] {
-            let samples: Vec<f64> =
-                (0..40_000).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+            let samples: Vec<f64> = (0..40_000)
+                .map(|_| sample_gamma(&mut rng, shape, scale))
+                .collect();
             let (mean, var) = mean_var(&samples);
             let em = shape * scale;
             let ev = shape * scale * scale;

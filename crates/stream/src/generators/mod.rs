@@ -109,19 +109,12 @@ impl Workload for Dataset {
                 .map(|i| Object::new(i as u64, rng.random::<f64>()))
                 .collect(),
             Dataset::TimeR { period } => (0..len)
-                .map(|i| {
-                    Object::new(
-                        i as u64,
-                        (std::f64::consts::PI * i as f64 / period).sin(),
-                    )
-                })
+                .map(|i| Object::new(i as u64, (std::f64::consts::PI * i as f64 / period).sin()))
                 .collect(),
             Dataset::Decreasing => (0..len)
                 .map(|i| Object::new(i as u64, (len - i) as f64))
                 .collect(),
-            Dataset::Increasing => (0..len)
-                .map(|i| Object::new(i as u64, i as f64))
-                .collect(),
+            Dataset::Increasing => (0..len).map(|i| Object::new(i as u64, i as f64)).collect(),
             Dataset::Sawtooth { ramp } => {
                 let ramp = (*ramp).max(2);
                 (0..len)

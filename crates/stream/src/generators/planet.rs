@@ -28,7 +28,8 @@ pub(super) fn generate<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<Object> 
         let x = center.0 + spread * sample_normal(rng);
         let y = center.1 + spread * sample_normal(rng);
         let d = ((x - query.0).powi(2) + (y - query.1).powi(2)).sqrt();
-        out.push(Object::new(i as u64, d));
+        let o = Object::try_new(i as u64, d).expect("PLANET generator produced a non-finite score");
+        out.push(o);
     }
     out
 }

@@ -39,7 +39,12 @@ pub(super) fn generate<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<Object> 
         if rng.random::<f64>() < 1.0e-3 {
             volume *= 50.0;
         }
-        out.push(Object::new(i as u64, price * volume));
+        // the lognormal volume and the price walk both involve exp():
+        // construct through the checked boundary so a runaway overflow
+        // can never leak a non-finite score into the engines
+        let o = Object::try_new(i as u64, price * volume)
+            .expect("STOCK generator produced a non-finite score");
+        out.push(o);
     }
     out
 }

@@ -26,7 +26,9 @@ pub(super) fn generate<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<Object> 
         } else {
             speed
         };
-        out.push(Object::new(i as u64, speed));
+        let o =
+            Object::try_new(i as u64, speed).expect("TRIP generator produced a non-finite score");
+        out.push(o);
     }
     out
 }

@@ -14,16 +14,27 @@
 //!   (§6.1) — simulated STOCK/TRIP/PLANET plus the exact synthetic TIMER
 //!   and TIMEU — and extra adversarial streams;
 //! * the instrumented [`driver`] that feeds a stream through an algorithm
-//!   and records time, candidate counts, and memory.
+//!   and records time, candidate counts, and memory;
+//! * the **query-session layer**: the fluent [`Query`] builder and unified
+//!   [`SapError`], flexible ingestion ([`Ingest`]/[`Session`]) that
+//!   re-chunks arbitrary-size pushes into `s`-aligned slides, the
+//!   multi-query [`Hub`] fanning one stream out to many standing queries,
+//!   and typed [`TopKEvent`] result deltas.
 
 pub mod driver;
+pub mod events;
 pub mod generators;
 pub mod metrics;
 pub mod object;
+pub mod query;
+pub mod session;
 pub mod window;
 
-pub use driver::{run, run_collecting, RunSummary};
+pub use driver::{checksum_fold, run, run_collecting, RunSummary, CHECKSUM_SEED};
+pub use events::{diff_snapshots, SlideResult, TopKEvent};
 pub use generators::{Dataset, Workload};
 pub use metrics::OpStats;
 pub use object::{Object, ScoreKey};
-pub use window::{SlidingTopK, SpecError, WindowSpec};
+pub use query::{AlgorithmKind, Query, SapError, SapPolicy};
+pub use session::{Hub, QueryId, QueryUpdate, Session};
+pub use window::{Ingest, SlidingTopK, SpecError, WindowSpec};

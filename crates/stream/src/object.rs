@@ -26,8 +26,28 @@ impl Object {
     /// Creates an object, checking score finiteness in debug builds.
     #[inline]
     pub fn new(id: u64, score: f64) -> Self {
-        debug_assert!(score.is_finite(), "object {id} has non-finite score {score}");
+        debug_assert!(
+            score.is_finite(),
+            "object {id} has non-finite score {score}"
+        );
         Object { id, score }
+    }
+
+    /// Creates an object, rejecting non-finite scores in **all** builds.
+    ///
+    /// The algorithms' total order ([`ScoreKey`]) is well-defined for any
+    /// `f64`, but a NaN or infinite score almost always means a broken
+    /// preference function upstream; boundaries that evaluate `F` on
+    /// external data (the workload generators, any real feed adapter)
+    /// should construct through this instead of [`Object::new`], whose
+    /// check vanishes in release builds.
+    #[inline]
+    pub fn try_new(id: u64, score: f64) -> Result<Self, crate::query::SapError> {
+        if score.is_finite() {
+            Ok(Object { id, score })
+        } else {
+            Err(crate::query::SapError::NonFiniteScore { id, score })
+        }
     }
 
     /// The object's total-order key.
@@ -194,6 +214,26 @@ mod tests {
         assert_eq!(top_k_of(&objs, 2).len(), 2);
         assert_eq!(top_k_of(&objs, 5).len(), 2, "k beyond n yields all");
         assert!(top_k_of(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_scores() {
+        use crate::query::SapError;
+        assert_eq!(Object::try_new(1, 2.5), Ok(Object { id: 1, score: 2.5 }));
+        assert_eq!(
+            Object::try_new(2, f64::INFINITY),
+            Err(SapError::NonFiniteScore {
+                id: 2,
+                score: f64::INFINITY
+            })
+        );
+        match Object::try_new(3, f64::NAN) {
+            Err(SapError::NonFiniteScore { id: 3, score }) => assert!(score.is_nan()),
+            other => panic!("NaN must be rejected, got {other:?}"),
+        }
+        // extreme but finite magnitudes pass
+        assert!(Object::try_new(4, f64::MAX).is_ok());
+        assert!(Object::try_new(5, -f64::MAX).is_ok());
     }
 
     #[test]

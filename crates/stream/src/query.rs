@@ -1,0 +1,359 @@
+//! The query description layer: a fluent builder for continuous top-k
+//! queries and the workspace-wide [`SapError`].
+//!
+//! The paper fixes one algorithm per experiment and wires it up through a
+//! bespoke config struct; a serving system instead wants to describe a
+//! query — `⟨n, k, s⟩` plus which engine answers it — as a value that can
+//! be validated, stored, and registered with a [`Hub`](crate::session::Hub)
+//! at runtime. [`Query`] is that value:
+//!
+//! ```
+//! use sap_stream::{AlgorithmKind, Query};
+//!
+//! let q = Query::window(1000).top(5).slide(10).algorithm(AlgorithmKind::MinTopK);
+//! let spec = q.validate().unwrap();
+//! assert_eq!(spec.slides_per_window(), 100);
+//! ```
+//!
+//! Construction of the boxed engine happens one layer up (the `sap` facade
+//! crate's `prelude`), where the algorithm crates are all in scope.
+
+use crate::window::{SpecError, WindowSpec};
+
+/// Unified error type of the query API, absorbing window-spec validation
+/// ([`SpecError`]), per-algorithm configuration errors, and data errors at
+/// the ingestion boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SapError {
+    /// The `⟨n, k, s⟩` tuple is invalid.
+    Spec(SpecError),
+    /// The builder was finalized without a result size (`.top(k)`).
+    MissingK,
+    /// An object carried a non-finite score (see `Object::try_new`).
+    NonFiniteScore {
+        /// The offending object's arrival id.
+        id: u64,
+        /// The offending score (NaN or ±∞).
+        score: f64,
+    },
+    /// SMA's `k_max` must satisfy `k_max ≥ k`.
+    KMaxTooSmall {
+        /// The configured `k_max`.
+        kmax: usize,
+        /// The query's `k`.
+        k: usize,
+    },
+    /// SMA's grid needs at least one bucket.
+    GridEmpty,
+    /// The WRT type-I error probability must lie strictly inside `(0, 1)`.
+    AlphaOutOfRange {
+        /// The configured probability.
+        alpha: f64,
+    },
+}
+
+impl std::fmt::Display for SapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SapError::Spec(e) => write!(f, "invalid window spec: {e}"),
+            SapError::MissingK => write!(f, "query has no result size: call .top(k)"),
+            SapError::NonFiniteScore { id, score } => {
+                write!(f, "object {id} has non-finite score {score}")
+            }
+            SapError::KMaxTooSmall { kmax, k } => {
+                write!(f, "SMA k_max = {kmax} must be at least k = {k}")
+            }
+            SapError::GridEmpty => write!(f, "SMA grid needs at least one bucket"),
+            SapError::AlphaOutOfRange { alpha } => {
+                write!(f, "WRT alpha = {alpha} must lie strictly between 0 and 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SapError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for SapError {
+    fn from(e: SpecError) -> Self {
+        SapError::Spec(e)
+    }
+}
+
+/// SAP's partition policy, mirrored here so a [`Query`] can describe a SAP
+/// configuration without depending on the engine crate (which depends on
+/// this one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SapPolicy {
+    /// Equal partition (§4.1); `None` uses the cost-model optimum `m*`.
+    Equal {
+        /// Number of partitions per window; `None` = `m*`.
+        m: Option<usize>,
+    },
+    /// Dynamic partition driven by the Mann–Whitney rank test (§4.2).
+    Dynamic,
+    /// Enhanced dynamic partition with TBUI/UBSA (§4.3 + §5.2) — the
+    /// configuration the paper evaluates as "SAP".
+    #[default]
+    EnhancedDynamic,
+}
+
+/// Which algorithm answers a query. Carries the full per-algorithm
+/// configuration so a `Query` is self-contained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgorithmKind {
+    /// The SAP framework (the default, in its paper configuration).
+    Sap {
+        /// Partition policy (§4).
+        policy: SapPolicy,
+        /// Delay `M_i` formation until front duty (Algorithm 1 lines
+        /// 15-16).
+        delay_formation: bool,
+        /// Represent `M_i` as an S-AVL (§5.1) instead of a sorted skyband.
+        use_savl: bool,
+        /// Type-I error probability for the WRT (paper default 0.05).
+        alpha: f64,
+    },
+    /// The re-scanning oracle.
+    Naive,
+    /// One-pass k-skyband maintenance (Shen et al.).
+    KSkyband,
+    /// MinTopK (Yang et al.).
+    MinTopK,
+    /// SMA over a grid index (Mouratidis et al.).
+    Sma {
+        /// Candidate set size `k ≤ k_max`; `None` uses the customary `2k`.
+        kmax: Option<usize>,
+        /// Grid resolution; `None` uses the implementation default.
+        grid_buckets: Option<usize>,
+    },
+}
+
+impl Default for AlgorithmKind {
+    fn default() -> Self {
+        AlgorithmKind::sap()
+    }
+}
+
+impl AlgorithmKind {
+    /// SAP in the paper's evaluated configuration: enhanced dynamic
+    /// partitioning, delayed formation, S-AVL, `alpha = 0.05`.
+    pub fn sap() -> Self {
+        AlgorithmKind::Sap {
+            policy: SapPolicy::EnhancedDynamic,
+            delay_formation: true,
+            use_savl: true,
+            alpha: 0.05,
+        }
+    }
+
+    /// SMA with the customary `k_max = 2k` and default grid.
+    pub fn sma() -> Self {
+        AlgorithmKind::Sma {
+            kmax: None,
+            grid_buckets: None,
+        }
+    }
+
+    /// Display name matching the algorithms' `SlidingTopK::name`
+    /// conventions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Sap { .. } => "SAP",
+            AlgorithmKind::Naive => "naive",
+            AlgorithmKind::KSkyband => "k-skyband",
+            AlgorithmKind::MinTopK => "MinTopK",
+            AlgorithmKind::Sma { .. } => "SMA",
+        }
+    }
+
+    /// Validates the per-algorithm configuration against a window spec.
+    pub fn validate(&self, spec: WindowSpec) -> Result<(), SapError> {
+        match *self {
+            AlgorithmKind::Sap { alpha, .. } => check_alpha(alpha),
+            AlgorithmKind::Sma { kmax, grid_buckets } => {
+                check_sma_params(spec.k, kmax, grid_buckets)
+            }
+            AlgorithmKind::Naive | AlgorithmKind::KSkyband | AlgorithmKind::MinTopK => Ok(()),
+        }
+    }
+}
+
+/// Single source of truth for the WRT `alpha` rule; also called by the
+/// engine crate's `SapConfig::validated`, so the builder and the
+/// constructor can never disagree.
+pub fn check_alpha(alpha: f64) -> Result<(), SapError> {
+    if alpha > 0.0 && alpha < 1.0 {
+        Ok(())
+    } else {
+        Err(SapError::AlphaOutOfRange { alpha })
+    }
+}
+
+/// Single source of truth for SMA's parameter rules; also called by
+/// `Sma::try_with_params` in the baselines crate.
+pub fn check_sma_params(
+    k: usize,
+    kmax: Option<usize>,
+    grid_buckets: Option<usize>,
+) -> Result<(), SapError> {
+    if let Some(kmax) = kmax {
+        if kmax < k {
+            return Err(SapError::KMaxTooSmall { kmax, k });
+        }
+    }
+    if grid_buckets == Some(0) {
+        return Err(SapError::GridEmpty);
+    }
+    Ok(())
+}
+
+/// A continuous top-k query under construction: window geometry plus the
+/// algorithm that answers it. Build fluently, then [`validate`](Query::validate)
+/// (or hand it to the facade's `build()`/`Hub::register`, which validate
+/// internally).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    n: usize,
+    k: Option<usize>,
+    s: usize,
+    algorithm: AlgorithmKind,
+}
+
+impl Query {
+    /// Starts a query over the last `n` objects. The slide defaults to 1
+    /// (re-evaluate on every arrival) and the algorithm to the paper's SAP.
+    pub fn window(n: usize) -> Query {
+        Query {
+            n,
+            k: None,
+            s: 1,
+            algorithm: AlgorithmKind::default(),
+        }
+    }
+
+    /// Sets the result size `k`.
+    pub fn top(mut self, k: usize) -> Query {
+        self.k = Some(k);
+        self
+    }
+
+    /// Sets the slide size `s` (must divide `n`).
+    pub fn slide(mut self, s: usize) -> Query {
+        self.s = s;
+        self
+    }
+
+    /// Selects the answering algorithm.
+    pub fn algorithm(mut self, kind: AlgorithmKind) -> Query {
+        self.algorithm = kind;
+        self
+    }
+
+    /// The configured algorithm.
+    pub fn kind(&self) -> &AlgorithmKind {
+        &self.algorithm
+    }
+
+    /// Validates the full query: the `⟨n, k, s⟩` tuple and the algorithm
+    /// configuration. Returns the window spec on success.
+    pub fn validate(&self) -> Result<WindowSpec, SapError> {
+        let k = self.k.ok_or(SapError::MissingK)?;
+        let spec = WindowSpec::new(self.n, k, self.s)?;
+        self.algorithm.validate(spec)?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let q = Query::window(100).top(5).slide(10);
+        let spec = q.validate().unwrap();
+        assert_eq!((spec.n, spec.k, spec.s), (100, 5, 10));
+        assert_eq!(q.kind().label(), "SAP");
+    }
+
+    #[test]
+    fn slide_defaults_to_one() {
+        let spec = Query::window(7).top(2).validate().unwrap();
+        assert_eq!(spec.s, 1);
+    }
+
+    #[test]
+    fn missing_k_is_an_error() {
+        assert_eq!(Query::window(10).validate(), Err(SapError::MissingK));
+    }
+
+    #[test]
+    fn spec_errors_pass_through() {
+        let err = Query::window(10).top(5).slide(3).validate().unwrap_err();
+        assert!(matches!(
+            err,
+            SapError::Spec(SpecError::SlideNotDivisor { .. })
+        ));
+        assert!(err.to_string().contains("divide"));
+    }
+
+    #[test]
+    fn sma_kmax_validated_against_k() {
+        let q = Query::window(100)
+            .top(10)
+            .slide(10)
+            .algorithm(AlgorithmKind::Sma {
+                kmax: Some(5),
+                grid_buckets: None,
+            });
+        assert_eq!(q.validate(), Err(SapError::KMaxTooSmall { kmax: 5, k: 10 }));
+        let ok = Query::window(100)
+            .top(10)
+            .slide(10)
+            .algorithm(AlgorithmKind::sma());
+        assert!(ok.validate().is_ok());
+        let empty_grid = Query::window(100)
+            .top(10)
+            .slide(10)
+            .algorithm(AlgorithmKind::Sma {
+                kmax: None,
+                grid_buckets: Some(0),
+            });
+        assert_eq!(empty_grid.validate(), Err(SapError::GridEmpty));
+    }
+
+    #[test]
+    fn sap_alpha_validated() {
+        let q = Query::window(100)
+            .top(10)
+            .slide(10)
+            .algorithm(AlgorithmKind::Sap {
+                policy: SapPolicy::Dynamic,
+                delay_formation: true,
+                use_savl: true,
+                alpha: 1.5,
+            });
+        assert_eq!(q.validate(), Err(SapError::AlphaOutOfRange { alpha: 1.5 }));
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        use std::error::Error;
+        let e: SapError = SpecError::WindowEmpty.into();
+        assert!(e.source().is_some());
+        assert!(SapError::MissingK.source().is_none());
+        assert!(SapError::NonFiniteScore {
+            id: 3,
+            score: f64::NAN
+        }
+        .to_string()
+        .contains("non-finite"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Query sessions and the multi-query hub.
+//!
+//! A [`Session`] wraps one algorithm instance and lifts it from the
+//! paper's lock-step batch model (`slide(&[Object])` with exactly `s`
+//! objects) to flexible ingestion: arbitrary-size [`push`](Ingest::push)
+//! calls are buffered and re-chunked into `s`-aligned slides, and every
+//! completed slide yields a [`SlideResult`] — snapshot plus
+//! [`TopKEvent`](crate::events::TopKEvent) deltas against the previous
+//! emission.
+//!
+//! A [`Hub`] owns many sessions at once — the regime of *Continuous Top-k
+//! Queries over Real-Time Web Streams*, where millions of standing
+//! subscriptions share one ingestion path. Queries register and
+//! unregister at runtime via [`QueryId`] handles; each arriving object
+//! fans out to every subscribed query, and results come back tagged with
+//! the query that produced them.
+
+use crate::events::{diff_snapshots, SlideResult};
+use crate::object::Object;
+use crate::window::{Ingest, SlidingTopK, WindowSpec};
+
+/// A session: one algorithm instance plus the ingestion buffer, the id
+/// translation ring, and the previous emission used for delta
+/// computation.
+///
+/// ## External ids vs arrival ordinals
+///
+/// The engines require object ids to be their 0-based arrival ordinals —
+/// the paper's `o.t`, which the expiry machinery depends on. Callers of a
+/// session are freed from that: pushed objects may carry **any** id
+/// (a transaction number, a sensor code, …). The session renumbers
+/// arrivals internally and translates emitted snapshots and events back
+/// to the caller's ids. Two consequences worth knowing:
+///
+/// * equal scores tie-break by **arrival recency**, never by the external
+///   id's numeric value;
+/// * deltas pair `Entered`/`Exited` by external id, so ids should be
+///   unique among objects alive in the same window (reuse across
+///   non-overlapping window spans is fine).
+#[derive(Debug)]
+pub struct Session<A: SlidingTopK> {
+    alg: A,
+    pending: Vec<Object>,
+    prev: Vec<Object>,
+    slides: u64,
+    /// Total objects ever pushed = the next internal arrival ordinal.
+    next_ordinal: u64,
+    /// External id of ordinal `o`, at slot `o % ring.len()`; the ring
+    /// spans `n + s` ordinals, covering every object an emission can
+    /// reference.
+    ring: Vec<u64>,
+}
+
+impl<A: SlidingTopK> Session<A> {
+    /// Wraps an algorithm instance.
+    pub fn new(alg: A) -> Self {
+        let spec = alg.spec();
+        Session {
+            pending: Vec::with_capacity(spec.s),
+            prev: Vec::new(),
+            slides: 0,
+            next_ordinal: 0,
+            ring: vec![0; spec.n + spec.s],
+            alg,
+        }
+    }
+
+    /// The query this session answers.
+    pub fn spec(&self) -> WindowSpec {
+        self.alg.spec()
+    }
+
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// Number of slides completed so far.
+    pub fn slides(&self) -> u64 {
+        self.slides
+    }
+
+    /// The most recently emitted top-k (descending), empty before the
+    /// first completed slide.
+    pub fn last_snapshot(&self) -> &[Object] {
+        &self.prev
+    }
+
+    /// Unwraps the session, discarding any buffered objects.
+    pub fn into_inner(self) -> A {
+        self.alg
+    }
+
+    /// Feeds the full pending buffer (exactly `s` renumbered objects) to
+    /// the engine and translates the emission back to external ids.
+    fn complete_slide(&mut self) -> SlideResult {
+        let cap = self.ring.len() as u64;
+        let snapshot: Vec<Object> = self
+            .alg
+            .slide(&self.pending)
+            .iter()
+            .map(|o| Object::new(self.ring[(o.id % cap) as usize], o.score))
+            .collect();
+        self.pending.clear();
+        let events = diff_snapshots(&self.prev, &snapshot, !self.alg.last_slide_changed());
+        let result = SlideResult {
+            slide: self.slides,
+            snapshot: snapshot.clone(),
+            events,
+        };
+        self.prev = snapshot;
+        self.slides += 1;
+        result
+    }
+}
+
+impl<A: SlidingTopK> Ingest for Session<A> {
+    fn push(&mut self, objects: &[Object]) -> Vec<SlideResult> {
+        let s = self.alg.spec().s;
+        let cap = self.ring.len() as u64;
+        let mut out = Vec::new();
+        let mut rest = objects;
+        loop {
+            // renumber one slide's worth at a time so the ring always
+            // covers every ordinal the next emission can reference
+            let take = (s - self.pending.len()).min(rest.len());
+            for o in &rest[..take] {
+                let ordinal = self.next_ordinal;
+                self.next_ordinal += 1;
+                self.ring[(ordinal % cap) as usize] = o.id;
+                self.pending.push(Object::new(ordinal, o.score));
+            }
+            rest = &rest[take..];
+            if self.pending.len() == s {
+                out.push(self.complete_slide());
+            }
+            if rest.is_empty() {
+                return out;
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Handle identifying a query registered with a [`Hub`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// One query's output from a [`Hub`] publish call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryUpdate {
+    /// Which registered query produced this result.
+    pub query: QueryId,
+    /// The completed slide.
+    pub result: SlideResult,
+}
+
+/// A set of concurrently served continuous top-k queries over one stream.
+///
+/// Each query keeps its own [`Session`], so heterogeneous `⟨n, k, s⟩`
+/// geometries and algorithms coexist: a published object is appended to
+/// every session's buffer, and each session slides exactly when *its* `s`
+/// is reached. Results are delivered in registration order.
+#[derive(Default)]
+pub struct Hub {
+    sessions: Vec<(QueryId, Session<Box<dyn SlidingTopK>>)>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for Hub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hub")
+            .field("queries", &self.sessions.len())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl Hub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Hub::default()
+    }
+
+    /// Registers an algorithm instance as a new standing query and
+    /// returns its handle.
+    pub fn register_boxed(&mut self, alg: Box<dyn SlidingTopK>) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.sessions.push((id, Session::new(alg)));
+        id
+    }
+
+    /// Registers an owned algorithm instance (convenience over
+    /// [`register_boxed`](Hub::register_boxed)).
+    pub fn register_alg<A: SlidingTopK + 'static>(&mut self, alg: A) -> QueryId {
+        self.register_boxed(Box::new(alg))
+    }
+
+    /// Removes a query, returning its session (with the algorithm's full
+    /// state) or `None` for an unknown or already-removed handle.
+    pub fn unregister(&mut self, id: QueryId) -> Option<Session<Box<dyn SlidingTopK>>> {
+        let pos = self.sessions.iter().position(|(q, _)| *q == id)?;
+        Some(self.sessions.remove(pos).1)
+    }
+
+    /// Publishes a batch of objects to every registered query. Returns
+    /// every slide completed by any query, in registration order, each
+    /// tagged with its query handle.
+    pub fn publish(&mut self, objects: &[Object]) -> Vec<QueryUpdate> {
+        let mut out = Vec::new();
+        for (id, session) in &mut self.sessions {
+            for result in session.push(objects) {
+                out.push(QueryUpdate { query: *id, result });
+            }
+        }
+        out
+    }
+
+    /// Publishes one object (convenience over [`publish`](Hub::publish)).
+    pub fn publish_one(&mut self, object: Object) -> Vec<QueryUpdate> {
+        self.publish(std::slice::from_ref(&object))
+    }
+
+    /// The session behind a handle.
+    pub fn session(&self, id: QueryId) -> Option<&Session<Box<dyn SlidingTopK>>> {
+        self.sessions.iter().find(|(q, _)| *q == id).map(|(_, s)| s)
+    }
+
+    /// Iterates the registered query handles in registration order.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.sessions.iter().map(|(id, _)| *id)
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::TopKEvent;
+    use crate::metrics::OpStats;
+    use crate::object::top_k_of;
+
+    /// The same minimal reference algorithm the driver tests use.
+    struct Toy {
+        spec: WindowSpec,
+        window: Vec<Object>,
+        result: Vec<Object>,
+    }
+
+    impl Toy {
+        fn new(n: usize, k: usize, s: usize) -> Self {
+            Toy {
+                spec: WindowSpec::new(n, k, s).unwrap(),
+                window: Vec::new(),
+                result: Vec::new(),
+            }
+        }
+    }
+
+    impl SlidingTopK for Toy {
+        fn spec(&self) -> WindowSpec {
+            self.spec
+        }
+        fn slide(&mut self, batch: &[Object]) -> &[Object] {
+            assert_eq!(batch.len(), self.spec.s, "session must re-chunk to s");
+            self.window.extend_from_slice(batch);
+            let excess = self.window.len().saturating_sub(self.spec.n);
+            self.window.drain(..excess);
+            self.result = top_k_of(&self.window, self.spec.k);
+            &self.result
+        }
+        fn candidate_count(&self) -> usize {
+            self.window.len()
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> OpStats {
+            OpStats::default()
+        }
+        fn name(&self) -> &str {
+            "toy"
+        }
+    }
+
+    fn stream(len: usize) -> Vec<Object> {
+        (0..len)
+            .map(|i| Object::new(i as u64, ((i * 37) % 101) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn push_rechunks_to_slides() {
+        let mut session = Session::new(Toy::new(20, 3, 10));
+        let data = stream(35);
+        // 7 + 20 + 8 = 35 objects → slides complete at 10, 20, 30
+        let a = session.push(&data[..7]);
+        assert!(a.is_empty());
+        assert_eq!(session.pending(), 7);
+        let b = session.push(&data[7..27]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(session.pending(), 7);
+        let c = session.push(&data[27..]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(session.pending(), 5);
+        assert_eq!(session.slides(), 3);
+        // snapshots equal the exact-s reference
+        let expect = top_k_of(&data[10..30], 3);
+        assert_eq!(c[0].snapshot, expect);
+        assert_eq!(session.last_snapshot(), expect.as_slice());
+    }
+
+    #[test]
+    fn push_one_completes_at_slide_boundary() {
+        let mut session = Session::new(Toy::new(4, 1, 2));
+        assert!(session.push_one(Object::new(0, 1.0)).is_none());
+        let r = session.push_one(Object::new(1, 5.0)).unwrap();
+        assert_eq!(r.slide, 0);
+        assert_eq!(r.snapshot[0].id, 1);
+        assert_eq!(r.events, vec![TopKEvent::Entered(Object::new(1, 5.0))]);
+    }
+
+    #[test]
+    fn events_track_result_churn() {
+        let mut session = Session::new(Toy::new(2, 1, 1));
+        let r0 = session.push_one(Object::new(0, 5.0)).unwrap();
+        assert_eq!(r0.events, vec![TopKEvent::Entered(Object::new(0, 5.0))]);
+        // lower score arrives: top-1 unchanged
+        let r1 = session.push_one(Object::new(1, 3.0)).unwrap();
+        assert_eq!(r1.events, vec![TopKEvent::Unchanged]);
+        // object 0 expires (n = 2): object 1 takes over
+        let r2 = session.push_one(Object::new(2, 1.0)).unwrap();
+        assert_eq!(
+            r2.events,
+            vec![
+                TopKEvent::Exited(Object::new(0, 5.0)),
+                TopKEvent::Entered(Object::new(1, 3.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn hub_fans_out_to_heterogeneous_queries() {
+        let mut hub = Hub::new();
+        let fast = hub.register_alg(Toy::new(4, 1, 2));
+        let slow = hub.register_alg(Toy::new(8, 2, 4));
+        assert_eq!(hub.len(), 2);
+
+        let updates = hub.publish(&stream(4));
+        // fast slid twice (s=2), slow once (s=4)
+        let fast_updates: Vec<_> = updates.iter().filter(|u| u.query == fast).collect();
+        let slow_updates: Vec<_> = updates.iter().filter(|u| u.query == slow).collect();
+        assert_eq!(fast_updates.len(), 2);
+        assert_eq!(slow_updates.len(), 1);
+        assert_eq!(updates.len(), 3);
+
+        // per-query slide counters advance independently
+        assert_eq!(hub.session(fast).unwrap().slides(), 2);
+        assert_eq!(hub.session(slow).unwrap().slides(), 1);
+    }
+
+    #[test]
+    fn hub_register_unregister_at_runtime() {
+        let mut hub = Hub::new();
+        let a = hub.register_alg(Toy::new(2, 1, 1));
+        let b = hub.register_alg(Toy::new(2, 1, 1));
+        assert_ne!(a, b);
+        assert_eq!(hub.query_ids().collect::<Vec<_>>(), vec![a, b]);
+
+        let removed = hub.unregister(a).expect("a is registered");
+        assert_eq!(removed.spec().n, 2);
+        assert!(hub.unregister(a).is_none(), "double unregister is None");
+        assert_eq!(hub.len(), 1);
+
+        // b keeps running; new registrations get fresh ids
+        let c = hub.register_alg(Toy::new(4, 1, 2));
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        let updates = hub.publish(&stream(2));
+        assert!(updates.iter().all(|u| u.query != a));
+        assert!(updates.iter().any(|u| u.query == b));
+        assert_eq!(format!("{c}"), "q2");
+    }
+
+    #[test]
+    fn external_ids_are_translated_round_trip() {
+        // same stream twice: once with ordinal ids, once with arbitrary
+        // external ids — scores and ordering must match exactly, ids must
+        // come back as the caller's
+        let data = stream(35);
+        let relabeled: Vec<Object> = data
+            .iter()
+            .map(|o| Object::new(o.id * 1000 + 7, o.score))
+            .collect();
+        let mut plain = Session::new(Toy::new(20, 3, 10));
+        let mut ext = Session::new(Toy::new(20, 3, 10));
+        let a = plain.push(&data);
+        let b = ext.push(&relabeled);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            let translated: Vec<Object> = ra
+                .snapshot
+                .iter()
+                .map(|o| Object::new(o.id * 1000 + 7, o.score))
+                .collect();
+            assert_eq!(rb.snapshot, translated, "slide {}", ra.slide);
+        }
+    }
+
+    #[test]
+    fn external_ids_may_be_non_monotonic() {
+        // ids identify, arrival orders: ties go to the later arrival even
+        // when its external id is smaller
+        let mut session = Session::new(Toy::new(2, 1, 2));
+        let r = session
+            .push(&[Object::new(900, 5.0), Object::new(100, 5.0)])
+            .pop()
+            .unwrap();
+        assert_eq!(r.snapshot[0].id, 100, "later arrival wins the tie");
+    }
+
+    #[test]
+    fn hub_registration_mid_stream_starts_clean() {
+        let mut hub = Hub::new();
+        let early = hub.register_alg(Toy::new(4, 1, 2));
+        hub.publish(&stream(10));
+        // a query joining after 10 objects must slide on *its* arrivals
+        let late = hub.register_alg(Toy::new(4, 1, 2));
+        let updates = hub.publish(&stream(4));
+        assert_eq!(hub.session(early).unwrap().slides(), 7);
+        assert_eq!(hub.session(late).unwrap().slides(), 2);
+        assert_eq!(updates.len(), 2 + 2);
+    }
+
+    #[test]
+    fn empty_hub_publish_is_noop() {
+        let mut hub = Hub::new();
+        assert!(hub.is_empty());
+        assert!(hub.publish(&stream(10)).is_empty());
+        assert!(hub.session(QueryId(0)).is_none());
+    }
+}

@@ -25,7 +25,10 @@ impl std::fmt::Display for SpecError {
                 write!(f, "k = {k} out of range: must satisfy 1 <= k <= n = {n}")
             }
             SpecError::SlideOutOfRange { s, n } => {
-                write!(f, "slide s = {s} out of range: must satisfy 1 <= s <= n = {n}")
+                write!(
+                    f,
+                    "slide s = {s} out of range: must satisfy 1 <= s <= n = {n}"
+                )
             }
             SpecError::SlideNotDivisor { s, n } => {
                 write!(f, "slide s = {s} must divide the window size n = {n}")
@@ -108,6 +111,88 @@ pub trait SlidingTopK {
 
     /// Human-readable algorithm name used in reports.
     fn name(&self) -> &str;
+
+    /// Whether the most recent [`slide`](SlidingTopK::slide) may have
+    /// changed the returned top-k relative to the slide before it.
+    ///
+    /// `false` is a *guarantee* of no change, letting delta consumers emit
+    /// [`TopKEvent::Unchanged`](crate::events::TopKEvent::Unchanged) in
+    /// `O(1)`; `true` (the conservative default) merely permits a change —
+    /// the session layer then diffs the snapshots in `O(k)`. SAP overrides
+    /// this from its `dirty` tracking; the paper reports results only
+    /// "when they are changed" (§4.1), and this hook surfaces that
+    /// machinery to the public API.
+    fn last_slide_changed(&self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for dyn SlidingTopK + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let spec = self.spec();
+        write!(
+            f,
+            "SlidingTopK({} over ⟨n={}, k={}, s={}⟩)",
+            self.name(),
+            spec.n,
+            spec.k,
+            spec.s
+        )
+    }
+}
+
+impl<T: SlidingTopK + ?Sized> SlidingTopK for Box<T> {
+    fn spec(&self) -> WindowSpec {
+        (**self).spec()
+    }
+    fn slide(&mut self, batch: &[Object]) -> &[Object] {
+        (**self).slide(batch)
+    }
+    fn candidate_count(&self) -> usize {
+        (**self).candidate_count()
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn stats(&self) -> OpStats {
+        (**self).stats()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn last_slide_changed(&self) -> bool {
+        (**self).last_slide_changed()
+    }
+}
+
+/// Arbitrary-size ingestion on top of the paper's slide-by-slide batch
+/// model.
+///
+/// [`SlidingTopK::slide`] requires batches of exactly `s` objects whose
+/// ids are 0-based arrival ordinals — the paper's count-based model.
+/// Real feeds deliver whatever they deliver, identified however they
+/// like; implementors of this trait (see
+/// [`Session`](crate::session::Session) and
+/// [`Hub`](crate::session::Hub)) buffer arrivals internally, re-chunk
+/// them into `s`-aligned slides, and renumber them to the engines'
+/// arrival ordinals (translating results back), so callers never think
+/// about batch boundaries or id bookkeeping. One push may therefore
+/// complete zero, one, or many slides.
+pub trait Ingest {
+    /// Feeds a batch of any size, returning one [`SlideResult`]
+    /// (snapshot + delta events) per slide it completed.
+    ///
+    /// [`SlideResult`]: crate::events::SlideResult
+    fn push(&mut self, objects: &[Object]) -> Vec<crate::events::SlideResult>;
+
+    /// Feeds one object; returns the slide it completed, if any.
+    fn push_one(&mut self, object: Object) -> Option<crate::events::SlideResult> {
+        self.push(std::slice::from_ref(&object)).pop()
+    }
+
+    /// Number of buffered objects not yet spanning a full slide
+    /// (always `< s`).
+    fn pending(&self) -> usize;
 }
 
 #[cfg(test)]

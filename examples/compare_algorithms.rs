@@ -1,46 +1,53 @@
 //! Side-by-side comparison of SAP against the paper's baselines on every
-//! built-in dataset — a miniature of the §6.3 evaluation. All algorithms
-//! must (and do) return identical results; what differs is cost.
+//! built-in dataset — a miniature of the §6.3 evaluation, driven entirely
+//! through the query builder. All algorithms must (and do) return
+//! identical results; what differs is cost.
 //!
 //! ```text
 //! cargo run --release --example compare_algorithms
 //! ```
 
-use sap::baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
-use sap::core::{Sap, SapConfig};
-use sap::stream::generators::{Dataset, Workload};
-use sap::stream::{run, SlidingTopK, WindowSpec};
+use sap::prelude::*;
 
 fn main() {
     let len = 100_000usize;
-    let spec = WindowSpec::new(5_000, 50, 50).expect("valid window spec");
+    let base = Query::window(5_000).top(50).slide(50);
 
+    let kinds = [
+        AlgorithmKind::sap(),
+        AlgorithmKind::MinTopK,
+        AlgorithmKind::KSkyband,
+        AlgorithmKind::sma(),
+        AlgorithmKind::Naive,
+    ];
+
+    let spec = base.validate().expect("valid query");
     println!(
         "n={} k={} s={}, |D|={}  (times in ms, cand = avg candidates)\n",
         spec.n, spec.k, spec.s, len
     );
-    println!(
-        "{:8} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "dataset", "SAP", "MinTopK", "k-skyband", "SMA", "naive"
-    );
+    print!("{:8}", "dataset");
+    for kind in &kinds {
+        print!(" {:>12}", kind.label());
+    }
+    println!();
 
     for ds in Dataset::paper_suite(len) {
         let data = ds.generate(len, 31337);
         let mut cells: Vec<String> = Vec::new();
         let mut reference_checksum = None;
-        let mut algs: Vec<Box<dyn SlidingTopK>> = vec![
-            Box::new(Sap::new(SapConfig::new(spec))),
-            Box::new(MinTopK::new(spec)),
-            Box::new(KSkyband::new(spec)),
-            Box::new(Sma::new(spec)),
-            Box::new(NaiveTopK::new(spec)),
-        ];
-        for alg in &mut algs {
+        for kind in &kinds {
+            let mut alg = base
+                .clone()
+                .algorithm(*kind)
+                .build()
+                .expect("valid algorithm config");
             let summary = run(alg.as_mut(), &data);
             match reference_checksum {
                 None => reference_checksum = Some(summary.checksum),
                 Some(c) => assert_eq!(
-                    c, summary.checksum,
+                    c,
+                    summary.checksum,
                     "{} disagrees with SAP on {}",
                     summary.name,
                     ds.name()
@@ -52,15 +59,11 @@ fn main() {
                 summary.avg_candidates
             ));
         }
-        println!(
-            "{:8} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            ds.name(),
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3],
-            cells[4]
-        );
+        print!("{:8}", ds.name());
+        for cell in &cells {
+            print!(" {cell:>12}");
+        }
+        println!();
     }
     println!("\nall five algorithms returned identical top-k sequences (checksums match)");
 }

@@ -1,0 +1,100 @@
+//! Multi-query serving: 100 concurrent standing subscriptions — mixed
+//! window geometries ⟨n, k, s⟩ *and* mixed algorithms — over one stock
+//! stream, through a single `Hub`. This is the regime the ROADMAP's
+//! production north-star targets (many users, one ingestion path) and the
+//! setting of *Continuous Top-k Queries over Real-Time Web Streams*:
+//! subscriptions come and go at runtime while the stream keeps flowing.
+//!
+//! ```text
+//! cargo run --release --example multi_query
+//! ```
+
+use sap::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let feed = Dataset::Stock.generate(200_000, 7);
+
+    // 100 heterogeneous queries: windows from 500 to 5000 ticks, result
+    // sizes from 3 to 43, slides from 10 to 500 ticks, spread across SAP
+    // and every baseline family
+    let kinds = [
+        AlgorithmKind::sap(),
+        AlgorithmKind::MinTopK,
+        AlgorithmKind::KSkyband,
+        AlgorithmKind::sma(),
+    ];
+    let mut hub = Hub::new();
+    let mut handles = Vec::new();
+    for i in 0..100usize {
+        let s = [10, 20, 50, 100, 500][i % 5];
+        let n = s * [10, 25, 50][i % 3].min(5000 / s);
+        let k = 3 + (i % 5) * 10;
+        let query = Query::window(n)
+            .top(k.min(n))
+            .slide(s)
+            .algorithm(kinds[i % kinds.len()]);
+        handles.push((i, hub.register(&query).expect("valid query"), query));
+    }
+    println!("registered {} queries on one hub", hub.len());
+
+    // serve the stream in ragged bursts; count per-query activity
+    let started = Instant::now();
+    let mut slides = 0u64;
+    let mut quiet = 0u64;
+    let mut churn = 0u64;
+    for burst in feed.chunks(997) {
+        for update in hub.publish(burst) {
+            slides += 1;
+            if update.result.changed() {
+                churn += update.result.entered().count() as u64;
+            } else {
+                quiet += 1;
+            }
+        }
+    }
+    let serve_time = started.elapsed();
+
+    // subscriptions are dynamic: drop half the queries mid-flight and
+    // keep serving the remainder
+    for (i, id, _) in &handles {
+        if i % 2 == 1 {
+            hub.unregister(*id).expect("registered above");
+        }
+    }
+    let more = Dataset::Stock.generate(20_000, 8);
+    let tail_updates = hub.publish(&more).len();
+
+    println!(
+        "served {} slides across 100 queries in {:.2}s ({:.1}M object-deliveries/s)",
+        slides,
+        serve_time.as_secs_f64(),
+        (feed.len() * 100) as f64 / serve_time.as_secs_f64() / 1e6
+    );
+    println!("  quiet slides:   {quiet} (delta = [Unchanged], O(1) to report)");
+    println!("  result entries: {churn}");
+    println!(
+        "  after dropping 50 queries: {} sessions, {} more slides served",
+        hub.len(),
+        tail_updates
+    );
+
+    // spot-check: the hub's output for one query is byte-identical to the
+    // same query run in isolation over the same total stream
+    let (_, probe_id, probe_query) = &handles[0];
+    let hub_session = hub.session(*probe_id).expect("query 0 still registered");
+    let mut isolated = probe_query.session().expect("valid query");
+    isolated.push(&feed);
+    isolated.push(&more);
+    assert_eq!(
+        hub_session.slides(),
+        isolated.slides(),
+        "hub and isolated runs must slide in lock-step"
+    );
+    assert_eq!(
+        hub_session.last_snapshot(),
+        isolated.last_snapshot(),
+        "hub serving must not change any query's answer"
+    );
+    println!("spot-check passed: hub output matches an isolated run exactly");
+}

@@ -1,43 +1,72 @@
-//! Quickstart: run a continuous top-k query over a synthetic stream.
+//! Quickstart: describe a continuous top-k query with the builder, open a
+//! session, and feed it a stream in whatever chunks arrive.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use sap::core::{Sap, SapConfig};
-use sap::stream::generators::{Dataset, Workload};
-use sap::stream::{SlidingTopK, WindowSpec};
+use sap::prelude::*;
 
 fn main() {
     // Query ⟨n, k, s⟩: the top 5 objects of the last 1000, re-evaluated
-    // every 50 arrivals.
-    let spec = WindowSpec::new(1000, 5, 50).expect("valid window spec");
-
-    // The default configuration is the paper's full SAP: enhanced dynamic
-    // partitioning with the S-AVL meaningful-object structure.
-    let mut query = Sap::new(SapConfig::new(spec));
+    // every 50 arrivals. The default algorithm is the paper's full SAP:
+    // enhanced dynamic partitioning with the S-AVL structure.
+    let query = Query::window(1000).top(5).slide(50);
+    let mut session = query.session().expect("valid query");
 
     // A uniform random stream (the paper's TIMEU dataset).
     let stream = Dataset::TimeU.generate(10_000, 7);
+    let spec = session.spec();
+    println!(
+        "continuous top-{} over the last {} objects (slide {})",
+        spec.k, spec.n, spec.s
+    );
 
-    println!("continuous top-{} over the last {} objects (slide {})", spec.k, spec.n, spec.s);
-    for (i, batch) in stream.chunks_exact(spec.s).enumerate() {
-        let top = query.slide(batch);
-        // print every 40th result to keep the output short
-        if i % 40 == 39 {
-            let formatted: Vec<String> = top
-                .iter()
-                .map(|o| format!("#{}:{:.4}", o.id, o.score))
-                .collect();
-            println!("slide {:4}: {}", i + 1, formatted.join("  "));
+    // The session re-chunks pushes internally — deliver the stream in
+    // ragged bursts and react to the typed deltas each slide emits.
+    let mut entered = 0usize;
+    let mut quiet = 0usize;
+    for burst in stream.chunks(37) {
+        for slide in session.push(burst) {
+            entered += slide.entered().count();
+            if !slide.changed() {
+                quiet += 1;
+            }
+            // print every 40th result to keep the output short
+            if (slide.slide + 1) % 40 == 0 {
+                let formatted: Vec<String> = slide
+                    .snapshot
+                    .iter()
+                    .map(|o| format!("#{}:{:.4}", o.id, o.score))
+                    .collect();
+                println!("slide {:4}: {}", slide.slide + 1, formatted.join("  "));
+            }
         }
     }
 
-    let stats = query.stats();
+    println!("\nsession summary:");
+    println!("  slides completed:  {}", session.slides());
+    println!(
+        "  buffered tail:     {} objects (next push completes the slide)",
+        session.pending()
+    );
+    println!("  result entries:    {entered}");
+    println!("  unchanged slides:  {quiet} (reported in O(1) via SAP's dirty flag)");
+
+    let stats = session.algorithm().stats();
     println!("\nengine counters:");
     println!("  partitions sealed:        {}", stats.partitions_sealed);
-    println!("  meaningful sets formed:   {}", stats.meaningful_sets_formed);
-    println!("  meaningful sets skipped:  {} (delayed-formation wins)", stats.meaningful_sets_skipped);
+    println!(
+        "  meaningful sets formed:   {}",
+        stats.meaningful_sets_formed
+    );
+    println!(
+        "  meaningful sets skipped:  {} (delayed-formation wins)",
+        stats.meaningful_sets_skipped
+    );
     println!("  WRT evaluations:          {}", stats.wrt_tests);
-    println!("  candidates maintained:    {}", query.candidate_count());
+    println!(
+        "  candidates maintained:    {}",
+        session.algorithm().candidate_count()
+    );
 }

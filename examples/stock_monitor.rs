@@ -1,22 +1,22 @@
 //! The paper's opening example (§1): monitor stock transactions and keep
 //! the 10 most significant ones — `F = price × volume` — within a sliding
-//! window, continuously.
+//! window, continuously. Rewritten on the session API: the feed arrives
+//! in ragged bursts, and hotspot alerts are driven by `Entered` deltas
+//! instead of re-inspecting every snapshot.
 //!
 //! ```text
 //! cargo run --release --example stock_monitor
 //! ```
 
-use sap::core::{Sap, SapConfig};
-use sap::stream::generators::{Dataset, Workload};
-use sap::stream::{SlidingTopK, WindowSpec};
+use sap::prelude::*;
 use std::time::Instant;
 
 fn main() {
     // "retrieve the 10 most significant transactions within the last 30
     // minutes": at ~100 transactions/minute this is a 3000-transaction
     // window; results refresh every 100 transactions (~1 minute).
-    let spec = WindowSpec::new(3000, 10, 100).expect("valid window spec");
-    let mut monitor = Sap::new(SapConfig::new(spec));
+    let query = Query::window(3000).top(10).slide(100);
+    let mut monitor = query.session().expect("valid query");
 
     // Simulated exchange feed: geometric-Brownian prices × heavy-tailed
     // volumes with regime switches (see DESIGN.md §4.8).
@@ -25,34 +25,43 @@ fn main() {
     let started = Instant::now();
     let mut hotspots = 0usize;
     let mut last_best = f64::NEG_INFINITY;
-    for batch in feed.chunks_exact(spec.s) {
-        let top = monitor.slide(batch);
-        // a "market hotspot": the most significant transaction changed and
-        // its notional is 3x the previous leader
-        if let Some(best) = top.first() {
-            if best.score > 3.0 * last_best && last_best > 0.0 {
-                hotspots += 1;
-                println!(
-                    "hotspot: txn #{:7} notional {:12.0} ({}x previous leader)",
-                    best.id,
-                    best.score,
-                    (best.score / last_best) as u64
-                );
+    // exchanges do not deliver ticks in neat batches of s = 100; push
+    // prime-sized bursts and let the session re-chunk
+    for burst in feed.chunks(731) {
+        for slide in monitor.push(burst) {
+            // a "market hotspot": a transaction *entered* the leaderboard
+            // at the top with 3x the previous leader's notional
+            if let Some(best) = slide.snapshot.first() {
+                let new_leader = slide.entered().any(|o| o.id == best.id);
+                if new_leader && best.score > 3.0 * last_best && last_best > 0.0 {
+                    hotspots += 1;
+                    println!(
+                        "hotspot: txn #{:7} notional {:12.0} ({}x previous leader)",
+                        best.id,
+                        best.score,
+                        (best.score / last_best) as u64
+                    );
+                }
+                last_best = best.score;
             }
-            last_best = best.score;
         }
     }
     let elapsed = started.elapsed();
 
-    println!("\nprocessed {} transactions in {:.3}s", feed.len(), elapsed.as_secs_f64());
+    println!(
+        "\nprocessed {} transactions in {:.3}s",
+        feed.len(),
+        elapsed.as_secs_f64()
+    );
     println!(
         "throughput: {:.1}M transactions/s",
         feed.len() as f64 / elapsed.as_secs_f64() / 1.0e6
     );
     println!("hotspot alerts: {hotspots}");
     println!(
-        "working set: {} candidates (window holds {} transactions)",
-        monitor.candidate_count(),
-        spec.n
+        "working set: {} candidates (window holds {} transactions, {} buffered)",
+        monitor.algorithm().candidate_count(),
+        monitor.spec().n,
+        monitor.pending()
     );
 }

@@ -1,17 +1,17 @@
 //! The paper's traffic example (§1): RFID readers stream (speed, density)
 //! readings; a continuous top-k query tracks the 10 most congested regions
-//! in the sliding window. Demonstrates configuring the individual partition
-//! policies and comparing their behaviour on the same feed.
+//! in the sliding window. Demonstrates selecting the individual partition
+//! policies through `AlgorithmKind::Sap` and comparing their behaviour on
+//! the same feed.
 //!
 //! ```text
 //! cargo run --release --example traffic_congestion
 //! ```
 
-use sap::core::{PartitionPolicy, Sap, SapConfig};
-use sap::stream::generators::{sample_gamma, sample_normal};
-use sap::stream::{Object, SlidingTopK, WindowSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use sap::prelude::*;
+use sap::stream::generators::{sample_gamma, sample_normal};
 
 /// Congestion score: slow *and* dense traffic is congested.
 fn congestion(speed_kmh: f64, density_vehicles_km: f64) -> f64 {
@@ -28,32 +28,36 @@ fn main() {
             let rush = (-((i as f64 / len as f64 - 0.5) / 0.15).powi(2)).exp();
             let speed = (65.0 - 45.0 * rush + 8.0 * sample_normal(&mut rng)).clamp(2.0, 130.0);
             let density = sample_gamma(&mut rng, 2.0, 12.0) * (1.0 + 2.5 * rush);
-            Object::new(i as u64, congestion(speed, density))
+            Object::try_new(i as u64, congestion(speed, density))
+                .expect("congestion() produces finite scores")
         })
         .collect();
 
-    let spec = WindowSpec::new(5000, 10, 50).expect("valid window spec");
-    for (label, cfg) in [
-        ("equal partition (m*)", SapConfig::equal(spec, None)),
-        ("dynamic partition", SapConfig::dynamic(spec)),
-        ("enhanced dynamic", SapConfig::enhanced(spec)),
+    let base = Query::window(5000).top(10).slide(50);
+    let sap_kind = |policy| AlgorithmKind::Sap {
+        policy,
+        delay_formation: true,
+        use_savl: true,
+        alpha: 0.05,
+    };
+    for (label, policy) in [
+        ("equal partition (m*)", SapPolicy::Equal { m: None }),
+        ("dynamic partition", SapPolicy::Dynamic),
+        ("enhanced dynamic", SapPolicy::EnhancedDynamic),
     ] {
-        let mut query = Sap::new(cfg);
-        assert!(matches!(
-            cfg.policy,
-            PartitionPolicy::Equal { .. } | PartitionPolicy::Dynamic | PartitionPolicy::EnhancedDynamic
-        ));
+        let query = base.clone().algorithm(sap_kind(policy));
+        let mut alg = query.build().expect("valid SAP config");
         let started = std::time::Instant::now();
         let mut peak: Option<Object> = None;
-        for batch in feed.chunks_exact(spec.s) {
-            let top = query.slide(batch);
+        for batch in feed.chunks_exact(50) {
+            let top = alg.slide(batch);
             if let Some(first) = top.first() {
                 if peak.is_none_or(|p| first.score > p.score) {
                     peak = Some(*first);
                 }
             }
         }
-        let stats = query.stats();
+        let stats = alg.stats();
         println!("{label:22}: {:>7.1?}", started.elapsed());
         println!(
             "    seals={:3}  M-sets formed={:2} skipped={:2}  WRT={:3}  candidates={}",
@@ -61,10 +65,13 @@ fn main() {
             stats.meaningful_sets_formed,
             stats.meaningful_sets_skipped,
             stats.wrt_tests,
-            query.candidate_count()
+            alg.candidate_count()
         );
         if let Some(p) = peak {
-            println!("    worst congestion: reading #{} score {:.2}", p.id, p.score);
+            println!(
+                "    worst congestion: reading #{} score {:.2}",
+                p.id, p.score
+            );
         }
     }
 }

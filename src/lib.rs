@@ -2,42 +2,75 @@
 //!
 //! A complete Rust reproduction of *"SAP: Improving Continuous Top-K
 //! Queries over Streaming Data"* (Zhu, Wang, Yang, Zheng, Wang — IEEE TKDE
-//! 29(6), 2017), packaged as a workspace facade:
+//! 29(6), 2017), grown into a query-serving library. The workspace:
 //!
 //! * [`core`] — the SAP framework: self-adaptive partitioning, the S-AVL
 //!   structure, equal / dynamic / enhanced-dynamic partition policies, and
 //!   a time-based window adapter;
 //! * [`baselines`] — the paper's competitors: the naive re-scanning
 //!   oracle, the k-skyband algorithm, MinTopK, and SMA with a grid index;
-//! * [`stream`] — the shared data model, workload generators (simulated
-//!   STOCK/TRIP/PLANET plus the exact TIMER/TIMEU), and the instrumented
-//!   driver;
+//! * [`stream`] — the shared data model, workload generators, the
+//!   instrumented driver, and the query-session API re-exported through
+//!   [`prelude`];
 //! * [`stats`] — the Mann–Whitney rank test, selection algorithms, and the
 //!   paper's parameter solvers;
 //! * [`avltree`] — the order-statistic AVL tree underneath it all.
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use sap::core::{Sap, SapConfig};
-//! use sap::stream::{Object, SlidingTopK, WindowSpec};
+//! Describe a query with the fluent builder, [`build`] it into an engine,
+//! and feed it through a [`Session`](prelude::Session) — pushes of *any*
+//! size are re-chunked internally, and every completed slide reports both
+//! the snapshot and what changed:
 //!
-//! // top-5 of the last 1000 objects, sliding 10 objects at a time
-//! let spec = WindowSpec::new(1000, 5, 10).unwrap();
-//! let mut query = Sap::new(SapConfig::new(spec));
+//! ```
+//! use sap::prelude::*;
+//!
+//! // top-5 of the last 1000 objects, re-evaluated every 10 arrivals
+//! let query = Query::window(1000).top(5).slide(10);
+//! let mut session = query.session().unwrap();
 //!
 //! let mut id = 0u64;
-//! for _ in 0..200 {
-//!     let batch: Vec<Object> = (0..10)
+//! for burst in [3usize, 17, 256, 41] {
+//!     let batch: Vec<Object> = (0..burst)
 //!         .map(|_| {
 //!             let o = Object::new(id, (id % 97) as f64);
 //!             id += 1;
 //!             o
 //!         })
 //!         .collect();
-//!     let top = query.slide(&batch);
-//!     assert!(top.len() <= 5);
+//!     for slide in session.push(&batch) {
+//!         assert!(slide.snapshot.len() <= 5);
+//!         for event in &slide.events {
+//!             match event {
+//!                 TopKEvent::Entered(o) => assert!(slide.snapshot.contains(o)),
+//!                 TopKEvent::Exited(o) => assert!(!slide.snapshot.contains(o)),
+//!                 TopKEvent::Unchanged => {}
+//!             }
+//!         }
+//!     }
 //! }
+//! ```
+//!
+//! Many standing queries — mixed geometries *and* mixed algorithms —
+//! share one stream through a [`Hub`](prelude::Hub):
+//!
+//! ```
+//! use sap::prelude::*;
+//!
+//! let mut hub = Hub::new();
+//! let fast = hub.register(&Query::window(100).top(3).slide(10)).unwrap();
+//! let deep = hub
+//!     .register(&Query::window(500).top(20).slide(50).algorithm(AlgorithmKind::MinTopK))
+//!     .unwrap();
+//!
+//! for o in (0..1000).map(|i| Object::new(i, (i % 31) as f64)) {
+//!     for update in hub.publish_one(o) {
+//!         assert!(update.query == fast || update.query == deep);
+//!     }
+//! }
+//! assert_eq!(hub.session(fast).unwrap().slides(), 100);
+//! assert_eq!(hub.session(deep).unwrap().slides(), 20);
 //! ```
 
 pub use sap_avltree as avltree;
@@ -45,3 +78,136 @@ pub use sap_baselines as baselines;
 pub use sap_core as core;
 pub use sap_stats as stats;
 pub use sap_stream as stream;
+
+pub mod prelude;
+
+use sap_stream::{Hub, Query, QueryId, SapError, Session, SlidingTopK};
+
+/// Builds the boxed engine a [`Query`] describes, dispatching
+/// [`AlgorithmKind::Sap`](stream::AlgorithmKind::Sap) to the [`core`]
+/// engine and every other kind to [`baselines`]. Validates the query
+/// first; all failures surface as [`SapError`].
+pub fn build(query: &Query) -> Result<Box<dyn SlidingTopK>, SapError> {
+    let spec = query.validate()?;
+    if let Some(cfg) = sap_core::SapConfig::from_kind(spec, query.kind()) {
+        return Ok(Box::new(sap_core::Sap::new(cfg?)));
+    }
+    sap_baselines::from_kind(spec, query.kind())
+        .expect("every non-SAP algorithm kind is a baseline")
+}
+
+/// Builder finalizers on [`Query`], available via [`prelude`].
+///
+/// `Query` lives in `sap_stream`, below the algorithm crates, so the
+/// construction step lands here where SAP and the baselines are both in
+/// scope.
+pub trait QueryExt {
+    /// Validates and constructs the described algorithm.
+    fn build(&self) -> Result<Box<dyn SlidingTopK>, SapError>;
+
+    /// Validates, constructs, and wraps the algorithm in a
+    /// [`Session`] accepting arbitrary-size pushes.
+    fn session(&self) -> Result<Session<Box<dyn SlidingTopK>>, SapError>;
+}
+
+impl QueryExt for Query {
+    fn build(&self) -> Result<Box<dyn SlidingTopK>, SapError> {
+        build(self)
+    }
+
+    fn session(&self) -> Result<Session<Box<dyn SlidingTopK>>, SapError> {
+        Ok(Session::new(build(self)?))
+    }
+}
+
+/// Query registration on [`Hub`], available via [`prelude`].
+pub trait HubExt {
+    /// Validates and constructs a query, then registers it as a standing
+    /// subscription, returning its handle.
+    fn register(&mut self, query: &Query) -> Result<QueryId, SapError>;
+}
+
+impl HubExt for Hub {
+    fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        Ok(self.register_boxed(build(query)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn build_dispatches_sap_and_baselines() {
+        let base = Query::window(100).top(5).slide(10);
+        assert_eq!(base.build().unwrap().name(), "SAP");
+        for (kind, name) in [
+            (AlgorithmKind::Naive, "naive"),
+            (AlgorithmKind::KSkyband, "k-skyband"),
+            (AlgorithmKind::MinTopK, "MinTopK"),
+            (AlgorithmKind::sma(), "SMA"),
+        ] {
+            assert_eq!(base.clone().algorithm(kind).build().unwrap().name(), name);
+        }
+        let dyna = base
+            .clone()
+            .algorithm(AlgorithmKind::Sap {
+                policy: SapPolicy::Dynamic,
+                delay_formation: true,
+                use_savl: true,
+                alpha: 0.05,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(dyna.name(), "SAP-dyna");
+    }
+
+    #[test]
+    fn build_propagates_validation_errors() {
+        assert!(matches!(
+            Query::window(0).top(1).build(),
+            Err(SapError::Spec(_))
+        ));
+        assert!(matches!(
+            Query::window(100)
+                .top(10)
+                .slide(10)
+                .algorithm(AlgorithmKind::Sma {
+                    kmax: Some(1),
+                    grid_buckets: None
+                })
+                .build(),
+            Err(SapError::KMaxTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn hub_register_validates() {
+        let mut hub = Hub::new();
+        assert!(hub.register(&Query::window(10)).is_err(), "missing k");
+        assert_eq!(hub.len(), 0, "failed registration leaves no session");
+        let id = hub.register(&Query::window(10).top(2).slide(5)).unwrap();
+        assert_eq!(hub.session(id).unwrap().spec().k, 2);
+    }
+
+    #[test]
+    fn session_and_direct_slides_agree() {
+        let query = Query::window(60).top(4).slide(6);
+        let data: Vec<Object> = (0..240)
+            .map(|i| Object::new(i, ((i * 37) % 101) as f64))
+            .collect();
+        let mut direct = query.build().unwrap();
+        let mut session = query.session().unwrap();
+        let mut expected = Vec::new();
+        for batch in data.chunks_exact(6) {
+            expected.push(direct.slide(batch).to_vec());
+        }
+        // deliver the same stream in ragged chunks
+        let got: Vec<Vec<Object>> = [&data[..5], &data[5..9], &data[9..200], &data[200..]]
+            .into_iter()
+            .flat_map(|chunk| session.push(chunk))
+            .map(|r| r.snapshot)
+            .collect();
+        assert_eq!(got, expected);
+    }
+}

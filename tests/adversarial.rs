@@ -45,7 +45,11 @@ fn extreme_score_magnitudes() {
         5 => -0.0,
         _ => (i as f64) * 1.0e150,
     }));
-    check(&data, WindowSpec::new(80, 6, 8).unwrap(), "extreme magnitudes");
+    check(
+        &data,
+        WindowSpec::new(80, 6, 8).unwrap(),
+        "extreme magnitudes",
+    );
 }
 
 #[test]
@@ -55,13 +59,17 @@ fn regime_whiplash() {
     let data = objects((0..3000).map(|i| {
         let regime = (i / 100) % 4;
         match regime {
-            0 => 100.0,                       // constant plateau (all ties)
-            1 => 1.0e6 + i as f64,            // spike, rising
-            2 => 1.0 / (1.0 + i as f64),      // crash, falling
-            _ => ((i * 7919) % 1000) as f64,  // noise
+            0 => 100.0,                      // constant plateau (all ties)
+            1 => 1.0e6 + i as f64,           // spike, rising
+            2 => 1.0 / (1.0 + i as f64),     // crash, falling
+            _ => ((i * 7919) % 1000) as f64, // noise
         }
     }));
-    check(&data, WindowSpec::new(300, 10, 10).unwrap(), "regime whiplash");
+    check(
+        &data,
+        WindowSpec::new(300, 10, 10).unwrap(),
+        "regime whiplash",
+    );
 }
 
 #[test]
@@ -80,14 +88,12 @@ fn k_equals_n() {
 #[test]
 fn duplicate_heavy_blocks() {
     // long runs of one value punctuated by single outliers
-    let data = objects((0..2000).map(|i| {
-        if i % 97 == 0 {
-            1000.0 + i as f64
-        } else {
-            42.0
-        }
-    }));
-    check(&data, WindowSpec::new(200, 5, 20).unwrap(), "duplicate blocks");
+    let data = objects((0..2000).map(|i| if i % 97 == 0 { 1000.0 + i as f64 } else { 42.0 }));
+    check(
+        &data,
+        WindowSpec::new(200, 5, 20).unwrap(),
+        "duplicate blocks",
+    );
 }
 
 #[test]

@@ -1,0 +1,229 @@
+//! Ingestion re-chunking equivalence: delivering a stream through
+//! arbitrary-size `push()` calls must be indistinguishable from the
+//! paper's exact-`s` `slide()` protocol — byte-identical snapshots and
+//! driver checksums — for SAP and every baseline. Also checks the delta
+//! events against a model: replaying each slide's events over the
+//! previous snapshot must reproduce the next snapshot's membership.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sap::prelude::*;
+use sap::stream::{checksum_fold, CHECKSUM_SEED};
+
+/// Tie-heavy stream from a small score alphabet.
+fn stream(scores: Vec<u8>) -> Vec<Object> {
+    scores
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| Object::try_new(i as u64, s as f64).expect("finite"))
+        .collect()
+}
+
+/// Window geometry: s divides n, 1 ≤ k ≤ n.
+fn geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=12, 1usize..=8).prop_flat_map(|(m, s)| {
+        let n = m * s;
+        (Just(n), 1..=n, Just(s))
+    })
+}
+
+fn all_kinds() -> [AlgorithmKind; 5] {
+    [
+        AlgorithmKind::sap(),
+        AlgorithmKind::Naive,
+        AlgorithmKind::KSkyband,
+        AlgorithmKind::MinTopK,
+        AlgorithmKind::sma(),
+    ]
+}
+
+/// Splits `data` into chunks whose sizes cycle through `cuts` (falling
+/// back to single objects when `cuts` is empty) and pushes each through
+/// the session, folding the driver checksum over every emitted snapshot.
+fn push_chunked(
+    session: &mut Session<Box<dyn SlidingTopK>>,
+    data: &[Object],
+    cuts: &[usize],
+) -> (u64, Vec<Vec<Object>>) {
+    let mut checksum = CHECKSUM_SEED;
+    let mut snapshots = Vec::new();
+    let mut offset = 0usize;
+    let mut turn = 0usize;
+    while offset < data.len() {
+        let take = if cuts.is_empty() {
+            1
+        } else {
+            cuts[turn % cuts.len()]
+        }
+        .min(data.len() - offset);
+        turn += 1;
+        for result in session.push(&data[offset..offset + take]) {
+            checksum = checksum_fold(checksum, &result.snapshot);
+            snapshots.push(result.snapshot);
+        }
+        offset += take;
+    }
+    (checksum, snapshots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance property: arbitrary chunking through `push()`
+    /// matches exact-`s` `slide()` checksums for SAP and all four
+    /// baselines.
+    #[test]
+    fn push_matches_slide_for_every_algorithm(
+        scores in vec(0u8..16, 0..300),
+        (n, k, s) in geometry(),
+        cuts in vec(1usize..=23, 0..12),
+    ) {
+        let data = stream(scores);
+        for kind in all_kinds() {
+            let query = Query::window(n).top(k).slide(s).algorithm(kind);
+
+            // reference: the instrumented driver feeding exact slides
+            let mut reference = query.build().unwrap();
+            let summary = run(reference.as_mut(), &data);
+
+            // subject: the same stream in ragged chunks through a session
+            let mut session = query.session().unwrap();
+            let (checksum, snapshots) = push_chunked(&mut session, &data, &cuts);
+
+            prop_assert_eq!(
+                checksum, summary.checksum,
+                "{} diverged under re-chunking (n={}, k={}, s={}, cuts={:?})",
+                kind.label(), n, k, s, cuts
+            );
+            prop_assert_eq!(snapshots.len(), summary.slides);
+            // both paths strand the same tail
+            prop_assert_eq!(session.pending(), summary.leftover);
+            prop_assert_eq!(session.pending(), data.len() % s);
+        }
+    }
+
+    /// Replaying each slide's delta events over the previous snapshot
+    /// reproduces the next snapshot, and `Unchanged` appears exactly when
+    /// the snapshot is identical to the previous one.
+    #[test]
+    fn events_replay_to_snapshots(
+        scores in vec(0u8..8, 0..250),
+        (n, k, s) in geometry(),
+    ) {
+        let data = stream(scores);
+        let query = Query::window(n).top(k).slide(s);
+        let mut session = query.session().unwrap();
+        let mut prev: Vec<Object> = Vec::new();
+        for result in session.push(&data) {
+            if !result.changed() {
+                prop_assert_eq!(&result.snapshot, &prev, "Unchanged must mean identical");
+            } else {
+                let mut replay: Vec<Object> = prev.clone();
+                for gone in result.exited() {
+                    let pos = replay.iter().position(|o| o.id == gone.id);
+                    prop_assert!(pos.is_some(), "Exited object {:?} absent from prev", gone);
+                    replay.remove(pos.unwrap());
+                }
+                for new in result.entered() {
+                    prop_assert!(
+                        !replay.iter().any(|o| o.id == new.id),
+                        "Entered object {:?} already present", new
+                    );
+                    replay.push(*new);
+                }
+                replay.sort_unstable_by_key(|o| std::cmp::Reverse(o.key()));
+                prop_assert_eq!(&replay, &result.snapshot, "event replay diverged");
+            }
+            prev = result.snapshot;
+        }
+    }
+
+    /// Hub fan-out serves heterogeneous concurrent queries exactly as the
+    /// same queries run in isolation.
+    #[test]
+    fn hub_matches_isolated_sessions(
+        scores in vec(0u8..32, 50..250),
+        geoms in vec(geometry(), 1..6),
+        cuts in vec(1usize..=31, 0..8),
+    ) {
+        let data = stream(scores);
+        let mut hub = Hub::new();
+        let kinds = all_kinds();
+        let mut expected = Vec::new();
+        let mut ids = Vec::new();
+        for (i, (n, k, s)) in geoms.iter().copied().enumerate() {
+            let query = Query::window(n).top(k).slide(s).algorithm(kinds[i % kinds.len()]);
+            ids.push(hub.register(&query).unwrap());
+            let mut session = query.session().unwrap();
+            let (checksum, _) = push_chunked(&mut session, &data, &cuts);
+            expected.push(checksum);
+        }
+
+        // publish the same ragged chunks to the hub
+        let mut checksums = vec![CHECKSUM_SEED; ids.len()];
+        let mut offset = 0usize;
+        let mut turn = 0usize;
+        while offset < data.len() {
+            let take = if cuts.is_empty() { 1 } else { cuts[turn % cuts.len()] }
+                .min(data.len() - offset);
+            turn += 1;
+            for update in hub.publish(&data[offset..offset + take]) {
+                let slot = ids.iter().position(|id| *id == update.query).unwrap();
+                checksums[slot] = checksum_fold(checksums[slot], &update.result.snapshot);
+            }
+            offset += take;
+        }
+        prop_assert_eq!(checksums, expected, "hub fan-out diverged from isolated sessions");
+    }
+}
+
+/// SAP's `dirty` machinery backs the O(1) `Unchanged` path: on a stream
+/// where one high-scoring burst per window carries the whole top-k, the
+/// slides that only shuffle low scorers are provably quiet — the engine
+/// reports `last_slide_changed() == false` and the session emits
+/// `[Unchanged]` without diffing.
+#[test]
+fn sap_quiet_slides_report_unchanged_cheaply() {
+    let query = Query::window(100).top(5).slide(10);
+    let mut session = query.session().unwrap();
+    // every 10th slide delivers a burst of distinct high scores; the
+    // other nine slides carry low churn that never reaches the top-5
+    let data: Vec<Object> = (0..1000u64)
+        .map(|i| {
+            let score = if (i / 10) % 10 == 0 {
+                1000.0 + (i % 10) as f64
+            } else {
+                (i % 7) as f64
+            };
+            Object::new(i, score)
+        })
+        .collect();
+    let results = session.push(&data);
+    assert_eq!(results.len(), 100);
+    let quiet = results.iter().filter(|r| !r.changed()).count();
+    assert!(
+        quiet >= 40,
+        "burst stream should be mostly quiet, saw {quiet}/100 quiet slides"
+    );
+    for r in &results {
+        if !r.changed() {
+            assert_eq!(r.events, vec![TopKEvent::Unchanged]);
+        }
+    }
+    // an empty push completes no slides
+    assert!(session.push(&[]).is_empty());
+    // the quiet flag is a guarantee, never a guess: replay must confirm
+    let mut prev: Vec<Object> = Vec::new();
+    let mut fresh = query.session().unwrap();
+    for r in fresh.push(&data) {
+        if !r.changed() {
+            assert_eq!(
+                r.snapshot, prev,
+                "slide {} claimed Unchanged wrongly",
+                r.slide
+            );
+        }
+        prev = r.snapshot;
+    }
+}

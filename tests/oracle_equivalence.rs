@@ -32,7 +32,8 @@ fn check_all(ds: Dataset, len: usize, n: usize, k: usize, s: usize, seed: u64) {
         assert_eq!(got.len(), expect.len());
         for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
             assert_eq!(
-                g, e,
+                g,
+                e,
                 "{name} diverged from oracle at slide {i} on {} (n={n},k={k},s={s},seed={seed})",
                 ds.name()
             );
@@ -84,8 +85,22 @@ fn parameter_grid_on_trending_streams() {
     let grid = [(150, 10, 5), (150, 10, 30), (200, 5, 40)];
     for (i, (n, k, s)) in grid.into_iter().enumerate() {
         check_all(Dataset::Decreasing, 6 * n, n, k, s, 300 + i as u64);
-        check_all(Dataset::Sawtooth { ramp: 77 }, 6 * n, n, k, s, 400 + i as u64);
-        check_all(Dataset::TimeR { period: 100.0 }, 6 * n, n, k, s, 500 + i as u64);
+        check_all(
+            Dataset::Sawtooth { ramp: 77 },
+            6 * n,
+            n,
+            k,
+            s,
+            400 + i as u64,
+        );
+        check_all(
+            Dataset::TimeR { period: 100.0 },
+            6 * n,
+            n,
+            k,
+            s,
+            500 + i as u64,
+        );
     }
 }
 

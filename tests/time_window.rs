@@ -53,8 +53,11 @@ fn bursty_stream(len_time: u64, seed: u64) -> Vec<TimedObject> {
 
 #[test]
 fn matches_oracle_over_long_bursty_stream() {
-    for (duration, slide, k, seed) in [(200u64, 20u64, 5usize, 1u64), (120, 10, 3, 2), (90, 30, 8, 3)]
-    {
+    for (duration, slide, k, seed) in [
+        (200u64, 20u64, 5usize, 1u64),
+        (120, 10, 3, 2),
+        (90, 30, 8, 3),
+    ] {
         let all = bursty_stream(2_000, seed);
         let mut q = TimeBasedSap::new(duration, slide, k).unwrap();
         let mut boundary = slide;

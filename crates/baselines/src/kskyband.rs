@@ -1,4 +1,4 @@
-//! The one-pass k-skyband algorithm (Shen et al. [19]; paper §2.1).
+//! The one-pass k-skyband algorithm (Shen et al. \[19\]; paper §2.1).
 //!
 //! The candidate set holds every window object dominated by fewer than `k`
 //! objects. When a new object `o_in` arrives, every candidate with a lower

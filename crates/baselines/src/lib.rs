@@ -4,12 +4,12 @@
 //!
 //! * [`NaiveTopK`] — re-scans the whole window on every slide; the
 //!   correctness oracle every other algorithm is tested against;
-//! * [`KSkyband`] — the one-pass k-skyband algorithm of Shen et al. [19]:
+//! * [`KSkyband`] — the one-pass k-skyband algorithm of Shen et al. \[19\]:
 //!   maintains every window object dominated by fewer than `k` others;
-//! * [`MinTopK`] — Yang et al. [25]: exploits the slide size `s` by keeping,
+//! * [`MinTopK`] — Yang et al. \[25\]: exploits the slide size `s` by keeping,
 //!   per future window, a predicted top-k result set (equivalently the
 //!   k-skyband at slide granularity — see DESIGN.md §4.4);
-//! * [`Sma`] — Mouratidis et al. [17]: a multi-pass algorithm keeping the
+//! * [`Sma`] — Mouratidis et al. \[17\]: a multi-pass algorithm keeping the
 //!   top-`k_max` window objects as candidates over a grid index, re-scanning
 //!   the grid whenever the candidate set drops below `k`.
 //!
@@ -35,10 +35,14 @@ use sap_stream::{AlgorithmKind, SapError, SlidingTopK, WindowSpec};
 /// Constructs the baseline selected by a query-layer [`AlgorithmKind`].
 /// Returns `None` for [`AlgorithmKind::Sap`], which is built by the
 /// engine crate; `Some(Err(_))` reports invalid baseline parameters.
+///
+/// The box is `Send` so built engines can cross into a
+/// [`ShardedHub`](sap_stream::ShardedHub) worker thread; it coerces to a
+/// plain `Box<dyn SlidingTopK>` wherever `Send` is not needed.
 pub fn from_kind(
     spec: WindowSpec,
     kind: &AlgorithmKind,
-) -> Option<Result<Box<dyn SlidingTopK>, SapError>> {
+) -> Option<Result<Box<dyn SlidingTopK + Send>, SapError>> {
     match *kind {
         AlgorithmKind::Sap { .. } => None,
         AlgorithmKind::Naive => Some(Ok(Box::new(NaiveTopK::new(spec)))),

@@ -1,4 +1,4 @@
-//! MinTopK (Yang et al. [25]; paper §2.1 and Figure 2).
+//! MinTopK (Yang et al. \[25\]; paper §2.1 and Figure 2).
 //!
 //! MinTopK maintains, for the current window and each of the `m − 1` future
 //! windows it overlaps, a *predicted result set* `R_i` — the top-k of the

@@ -1,4 +1,4 @@
-//! SMA — the multi-pass grid-indexed algorithm (Mouratidis et al. [17];
+//! SMA — the multi-pass grid-indexed algorithm (Mouratidis et al. \[17\];
 //! paper §2.1).
 //!
 //! SMA maintains a candidate set of the top-`k'` window objects with

@@ -7,9 +7,20 @@
 //! ```
 //!
 //! Subcommands: `table2 table3 fig9 fig10 table5 table6 table7 table8
-//! table9 all`. See EXPERIMENTS.md for the paper-vs-measured record.
+//! table9 all` regenerate the paper's evaluation (see EXPERIMENTS.md for
+//! the paper-vs-measured record); `hub` measures sequential-vs-sharded
+//! hub throughput and writes the machine-readable `BENCH_hub.json` the CI
+//! perf trajectory is built from:
+//!
+//! ```text
+//! cargo run --release -p sap-bench --bin experiments -- hub \
+//!     --len 20000 --queries 10000 --shards 1,2,4,8 --json-out BENCH_hub.json
+//! ```
 
-use sap_bench::{cands, measure_on, mem_kb, secs, Algo, Table};
+use sap_bench::{
+    cands, hub_query_mix, measure_on, mem_kb, run_hub_sequential, run_hub_sharded, secs, Algo,
+    HubRun, Table,
+};
 use sap_core::{Sap, SapConfig};
 use sap_stream::generators::{Dataset, Workload};
 use sap_stream::{run, RunSummary, WindowSpec};
@@ -18,50 +29,174 @@ type ConfigFactory = fn(WindowSpec) -> SapConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut len = 200_000usize;
+    let mut len: Option<usize> = None;
+    let mut queries = 10_000usize;
+    let mut shards: Vec<usize> = vec![1, 2, 4, 8];
+    let mut json_out = String::from("BENCH_hub.json");
     let mut cmd = String::from("all");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--len" => {
-                len = it
+                len = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--len needs a number"),
+                );
+            }
+            "--queries" => {
+                queries = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--len needs a number");
+                    .expect("--queries needs a number");
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .expect("--shards needs a comma-separated list")
+                    .split(',')
+                    .map(|v| v.parse().expect("--shards entries must be numbers"))
+                    .collect();
+            }
+            "--json-out" => {
+                json_out = it.next().expect("--json-out needs a path").clone();
             }
             other => cmd = other.to_string(),
         }
     }
     let seed = 20_170_601; // the paper's publication month
 
+    // the paper tables share one default stream length; the hub bench
+    // defaults shorter because every object fans out to every one of the
+    // (default 10⁴) queries — 2×10⁴ objects is already 2×10⁸
+    // object-deliveries per configuration
+    let paper_len = len.unwrap_or(200_000);
+
     match cmd.as_str() {
-        "table2" => table2(len, seed),
-        "table3" => table3(len, seed),
-        "fig9" => fig9(len, seed),
-        "fig10" => fig10(len, seed),
-        "table5" => table5(len, seed),
-        "table6" => table6(len, seed),
-        "table7" => table7(len, seed),
-        "table8" => table8(len, seed),
-        "table9" => table9(len, seed),
+        "table2" => table2(paper_len, seed),
+        "table3" => table3(paper_len, seed),
+        "fig9" => fig9(paper_len, seed),
+        "fig10" => fig10(paper_len, seed),
+        "table5" => table5(paper_len, seed),
+        "table6" => table6(paper_len, seed),
+        "table7" => table7(paper_len, seed),
+        "table8" => table8(paper_len, seed),
+        "table9" => table9(paper_len, seed),
+        "hub" => hub(len.unwrap_or(20_000), queries, &shards, &json_out, seed),
         "all" => {
-            table2(len, seed);
-            table3(len, seed);
-            fig9(len, seed);
-            fig10(len, seed);
-            table5(len, seed);
-            table6(len, seed);
-            table7(len, seed);
-            table8(len, seed);
-            table9(len, seed);
+            table2(paper_len, seed);
+            table3(paper_len, seed);
+            fig9(paper_len, seed);
+            fig10(paper_len, seed);
+            table5(paper_len, seed);
+            table6(paper_len, seed);
+            table7(paper_len, seed);
+            table8(paper_len, seed);
+            table9(paper_len, seed);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 all"
+                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub all"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// Hub scaling: sequential `Hub` vs `ShardedHub` at each shard count,
+/// all serving the same query mix over the same stream. Prints the
+/// paper-style table and writes `BENCH_hub.json` for the CI perf
+/// trajectory. Panics on non-finite throughput and on any determinism
+/// violation (sharded checksum != sequential checksum), so a CI run of
+/// this subcommand is simultaneously a perf datapoint and an
+/// equivalence check.
+fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) {
+    let chunk = 1_000usize; // publish granularity = drain granularity
+    let data = Dataset::Stock.generate(len, seed);
+    let mix = hub_query_mix(queries);
+
+    let mut t = Table::new(
+        format!("Hub scaling: {queries} queries, {len} objects (chunk = {chunk})"),
+        &[
+            "hub",
+            "shards",
+            "seconds",
+            "objects/s",
+            "updates",
+            "speedup",
+        ],
+    );
+    let check = |label: &str, run: &HubRun| {
+        let ops = run.objects_per_sec(len);
+        assert!(
+            ops.is_finite() && ops > 0.0,
+            "{label}: non-finite or zero throughput ({ops})"
+        );
+        ops
+    };
+
+    let seq = run_hub_sequential(&mix, &data, chunk);
+    let seq_ops = check("sequential", &seq);
+    t.row(vec![
+        "sequential".into(),
+        "-".into(),
+        format!("{:.3}", seq.elapsed.as_secs_f64()),
+        format!("{seq_ops:.0}"),
+        seq.updates.to_string(),
+        "1.00x".into(),
+    ]);
+
+    let mut measured: Vec<(usize, HubRun, f64)> = Vec::new();
+    for &n in shards {
+        let par = run_hub_sharded(&mix, &data, chunk, n);
+        let ops = check(&format!("sharded({n})"), &par);
+        assert_eq!(
+            par.updates, seq.updates,
+            "sharded({n}) delivered a different number of updates"
+        );
+        assert_eq!(
+            par.checksum, seq.checksum,
+            "sharded({n}) diverged from the sequential hub"
+        );
+        t.row(vec![
+            "sharded".into(),
+            n.to_string(),
+            format!("{:.3}", par.elapsed.as_secs_f64()),
+            format!("{ops:.0}"),
+            par.updates.to_string(),
+            format!("{:.2}x", ops / seq_ops),
+        ]);
+        measured.push((n, par, ops));
+    }
+    t.print();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut runs = vec![format!(
+        "    {{\"hub\": \"sequential\", \"shards\": 1, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1}, \"updates\": {}, \"checksum\": {}, \"speedup_vs_sequential\": 1.0}}",
+        seq.elapsed.as_secs_f64(),
+        seq_ops,
+        seq.updates,
+        seq.checksum
+    )];
+    for (n, par, ops) in &measured {
+        runs.push(format!(
+            "    {{\"hub\": \"sharded\", \"shards\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1}, \"updates\": {}, \"checksum\": {}, \"speedup_vs_sequential\": {:.3}}}",
+            n,
+            par.elapsed.as_secs_f64(),
+            ops,
+            par.updates,
+            par.checksum,
+            ops / seq_ops
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"hub_scaling\",\n  \"dataset\": \"stock\",\n  \"seed\": {seed},\n  \"len\": {len},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"host_cpus\": {host_cpus},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    );
+    std::fs::write(json_out, &json).expect("write BENCH_hub.json");
+    println!("\nwrote {json_out} (host_cpus = {host_cpus})");
 }
 
 fn paper_datasets(len: usize) -> Vec<Dataset> {

@@ -8,10 +8,15 @@
 //! relative behaviour — who wins, how costs scale along each axis — is
 //! comparable even though absolute numbers differ. See EXPERIMENTS.md.
 
+use std::time::{Duration, Instant};
+
 use sap_baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
 use sap_core::{Sap, SapConfig};
 use sap_stream::generators::{Dataset, Workload};
-use sap_stream::{run, RunSummary, SlidingTopK, WindowSpec};
+use sap_stream::{
+    checksum_fold, run, Hub, Object, QueryUpdate, RunSummary, ShardedHub, SlidingTopK, WindowSpec,
+    CHECKSUM_SEED,
+};
 
 /// Default stream length per measurement run.
 pub const DEFAULT_LEN: usize = 200_000;
@@ -55,8 +60,10 @@ impl Algo {
         }
     }
 
-    /// Instantiates the algorithm for a query.
-    pub fn build(&self, spec: WindowSpec) -> Box<dyn SlidingTopK> {
+    /// Instantiates the algorithm for a query. The box is `Send` so the
+    /// same factory serves the sharded hub's worker threads; it coerces
+    /// to a plain `Box<dyn SlidingTopK>` where `Send` is not needed.
+    pub fn build(&self, spec: WindowSpec) -> Box<dyn SlidingTopK + Send> {
         match self {
             Algo::Sap => Box::new(Sap::new(SapConfig::new(spec))),
             Algo::SapDynamic => Box::new(Sap::new(SapConfig::dynamic(spec))),
@@ -134,6 +141,115 @@ impl Table {
     }
 }
 
+/// One measured hub configuration from [`run_hub_sequential`] /
+/// [`run_hub_sharded`]: wall-clock time plus the evidence needed to call
+/// the runs equivalent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HubRun {
+    /// Total wall-clock time for publishing (and, for the sharded hub,
+    /// draining) the whole stream.
+    pub elapsed: Duration,
+    /// Number of `QueryUpdate`s delivered across all queries.
+    pub updates: u64,
+    /// Order-sensitive checksum over every update in `(QueryId, slide)`
+    /// order — identical between the sequential and sharded hubs when
+    /// (and only when) they delivered identical results.
+    pub checksum: u64,
+}
+
+impl HubRun {
+    /// Ingested objects per second — the hub throughput metric. `len` is
+    /// the stream length in objects (each object fans out to every
+    /// registered query, so compare runs only at equal query counts).
+    pub fn objects_per_sec(&self, len: usize) -> f64 {
+        len as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Deterministic heterogeneous query mix for the hub-scaling bench:
+/// cheap windows (so 10⁴ of them fit comfortably in memory) cycling
+/// through SAP, MinTopK, and k-skyband with varied `⟨n, k, s⟩`.
+pub fn hub_query_mix(count: usize) -> Vec<(Algo, WindowSpec)> {
+    let algos = [Algo::Sap, Algo::MinTopK, Algo::KSkyband];
+    (0..count)
+        .map(|i| {
+            let s = [50usize, 100, 200][i % 3];
+            let m = [2usize, 4, 8][(i / 3) % 3];
+            let k = 1 + (i % 10);
+            let spec = WindowSpec::new(s * m, k, s).expect("mix spec is valid");
+            (algos[i % algos.len()], spec)
+        })
+        .collect()
+}
+
+/// Folds one update into the running hub checksum: the query handle, the
+/// slide index, and the driver's snapshot checksum. Updates must be fed
+/// in `(QueryId, slide)` order for cross-run comparability — exactly the
+/// order `ShardedHub::drain` returns and the order the sequential hub's
+/// per-publish batches already have.
+pub fn hub_checksum_fold(acc: u64, update: &QueryUpdate) -> u64 {
+    let tagged = [
+        Object::new(update.result.slide, 0.0),
+        Object::new(update.result.snapshot.len() as u64, 0.0),
+    ];
+    checksum_fold(checksum_fold(acc, &tagged), &update.result.snapshot)
+}
+
+/// Publishes `data` to a sequential [`Hub`] serving `mix`, in chunks of
+/// `chunk` objects, timing the publish loop.
+pub fn run_hub_sequential(mix: &[(Algo, WindowSpec)], data: &[Object], chunk: usize) -> HubRun {
+    let mut hub = Hub::new();
+    for (algo, spec) in mix {
+        hub.register_boxed(algo.build(*spec));
+    }
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        for u in hub.publish(c) {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    HubRun {
+        elapsed: started.elapsed(),
+        updates,
+        checksum,
+    }
+}
+
+/// Publishes `data` to a [`ShardedHub`] with `shards` workers serving
+/// `mix`, draining after every chunk (which bounds the shard-side update
+/// accumulation and exercises the determinism barrier). Timing covers
+/// publish + drain, so the comparison against [`run_hub_sequential`]
+/// includes all coordination overhead.
+pub fn run_hub_sharded(
+    mix: &[(Algo, WindowSpec)],
+    data: &[Object],
+    chunk: usize,
+    shards: usize,
+) -> HubRun {
+    let mut hub = ShardedHub::new(shards);
+    for (algo, spec) in mix {
+        hub.register_boxed(algo.build(*spec));
+    }
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        hub.publish(c);
+        for u in hub.drain() {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    HubRun {
+        elapsed: started.elapsed(),
+        updates,
+        checksum,
+    }
+}
+
 /// Formats seconds with millisecond precision.
 pub fn secs(summary: &RunSummary) -> String {
     format!("{:.3}", summary.elapsed.as_secs_f64())
@@ -184,5 +300,20 @@ mod tests {
         let mut t = Table::new("demo", &["a", "bb"]);
         t.row(vec!["1".into(), "2".into()]);
         t.print(); // must not panic
+    }
+
+    #[test]
+    fn hub_runs_agree_across_shard_counts() {
+        let mix = hub_query_mix(17);
+        assert_eq!(mix.len(), 17);
+        let data = Dataset::Stock.generate(3_000, 11);
+        let seq = run_hub_sequential(&mix, &data, 250);
+        assert!(seq.updates > 0);
+        assert!(seq.objects_per_sec(data.len()).is_finite());
+        for shards in [1, 2, 4] {
+            let par = run_hub_sharded(&mix, &data, 250, shards);
+            assert_eq!(par.updates, seq.updates, "shards={shards}");
+            assert_eq!(par.checksum, seq.checksum, "shards={shards}");
+        }
     }
 }

@@ -19,7 +19,38 @@
 //!   [`SapError`], flexible ingestion ([`Ingest`]/[`Session`]) that
 //!   re-chunks arbitrary-size pushes into `s`-aligned slides, the
 //!   multi-query [`Hub`] fanning one stream out to many standing queries,
-//!   and typed [`TopKEvent`] result deltas.
+//!   and typed [`TopKEvent`] result deltas;
+//! * the **sharded hub** ([`ShardedHub`]) — the same fan-out distributed
+//!   across worker threads, with backpressure on `publish`.
+//!
+//! ## Scaling
+//!
+//! Two hubs serve many standing queries over one stream:
+//!
+//! * [`Hub`] is synchronous and single-threaded: `publish` walks every
+//!   session in the caller's thread and returns the completed slides
+//!   immediately. Simple, deterministic, and the reference semantics.
+//! * [`ShardedHub`] partitions queries across N **shards** (hash of
+//!   [`QueryId`], fixed for the query's lifetime), each shard owned by
+//!   one worker thread. A session is only ever touched by its owning
+//!   thread — shard ownership replaces locking. `publish` enqueues one
+//!   [`Arc`](std::sync::Arc) of the batch per shard on a **bounded**
+//!   queue and blocks while any queue is full, so a publisher can never
+//!   run unboundedly ahead of the slowest shard (backpressure, not
+//!   buffering).
+//!
+//! Parallel execution stays observably equivalent to the sequential hub
+//! through the **determinism barrier**: results accumulate shard-side,
+//! and [`ShardedHub::drain`] waits for every shard to catch up, then
+//! returns the accumulated updates sorted by `(QueryId, slide)` — an
+//! order independent of shard count and thread timing. Per-query outputs
+//! are byte-identical to [`Hub`]'s because each session sees exactly the
+//! same object sequence either way; `tests/hub_sharded_equivalence.rs`
+//! property-checks this for SAP and all four baselines, including
+//! mid-stream registration and unregistration. SAP's per-slide dirty
+//! flag keeps quiet queries at O(1) per slide, which is what makes
+//! hash-partitioning (no work stealing) balance well even under skewed
+//! query mixes.
 
 pub mod driver;
 pub mod events;
@@ -28,6 +59,7 @@ pub mod metrics;
 pub mod object;
 pub mod query;
 pub mod session;
+pub mod shard;
 pub mod window;
 
 pub use driver::{checksum_fold, run, run_collecting, RunSummary, CHECKSUM_SEED};
@@ -37,4 +69,5 @@ pub use metrics::OpStats;
 pub use object::{Object, ScoreKey};
 pub use query::{AlgorithmKind, Query, SapError, SapPolicy};
 pub use session::{Hub, QueryId, QueryUpdate, Session};
+pub use shard::{QueryState, ShardSession, ShardedHub, DEFAULT_QUEUE_CAPACITY};
 pub use window::{Ingest, SlidingTopK, SpecError, WindowSpec};

@@ -50,6 +50,12 @@ pub enum SapError {
         /// The configured probability.
         alpha: f64,
     },
+    /// The handle does not name a query registered with this hub (wrong
+    /// hub, never registered, or already unregistered).
+    UnknownQuery {
+        /// The unrecognized handle.
+        query: crate::session::QueryId,
+    },
 }
 
 impl std::fmt::Display for SapError {
@@ -66,6 +72,9 @@ impl std::fmt::Display for SapError {
             SapError::GridEmpty => write!(f, "SMA grid needs at least one bucket"),
             SapError::AlphaOutOfRange { alpha } => {
                 write!(f, "WRT alpha = {alpha} must lie strictly between 0 and 1")
+            }
+            SapError::UnknownQuery { query } => {
+                write!(f, "no query {query} is registered with this hub")
             }
         }
     }
@@ -355,5 +364,13 @@ mod tests {
         }
         .to_string()
         .contains("non-finite"));
+        let unknown = SapError::UnknownQuery {
+            query: crate::session::QueryId::from_raw(3),
+        };
+        assert_eq!(
+            unknown.to_string(),
+            "no query q3 is registered with this hub"
+        );
+        assert!(unknown.source().is_none());
     }
 }

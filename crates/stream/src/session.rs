@@ -17,6 +17,7 @@
 
 use crate::events::{diff_snapshots, SlideResult};
 use crate::object::Object;
+use crate::query::SapError;
 use crate::window::{Ingest, SlidingTopK, WindowSpec};
 
 /// A session: one algorithm instance plus the ingestion buffer, the id
@@ -145,9 +146,24 @@ impl<A: SlidingTopK> Ingest for Session<A> {
     }
 }
 
-/// Handle identifying a query registered with a [`Hub`].
+/// Handle identifying a query registered with a [`Hub`] or a
+/// [`ShardedHub`](crate::shard::ShardedHub). Ids are handed out
+/// monotonically, so ascending `QueryId` order *is* registration order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(u64);
+
+impl QueryId {
+    /// Builds a handle from its raw counter value (hub-internal; the
+    /// sharded hub allocates ids with the same scheme as [`Hub`]).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        QueryId(raw)
+    }
+
+    /// The raw counter value, used for shard routing.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 impl std::fmt::Display for QueryId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -207,16 +223,30 @@ impl Hub {
     }
 
     /// Removes a query, returning its session (with the algorithm's full
-    /// state) or `None` for an unknown or already-removed handle.
-    pub fn unregister(&mut self, id: QueryId) -> Option<Session<Box<dyn SlidingTopK>>> {
-        let pos = self.sessions.iter().position(|(q, _)| *q == id)?;
-        Some(self.sessions.remove(pos).1)
+    /// state). An unknown or already-removed handle is a typed
+    /// [`SapError::UnknownQuery`] — never a silent no-op, so callers
+    /// cannot mistake a stale handle for a successful removal.
+    pub fn unregister(&mut self, id: QueryId) -> Result<Session<Box<dyn SlidingTopK>>, SapError> {
+        let pos = self
+            .sessions
+            .iter()
+            .position(|(q, _)| *q == id)
+            .ok_or(SapError::UnknownQuery { query: id })?;
+        Ok(self.sessions.remove(pos).1)
     }
 
     /// Publishes a batch of objects to every registered query. Returns
     /// every slide completed by any query, in registration order, each
     /// tagged with its query handle.
+    ///
+    /// With zero registered queries this is an explicit no-op: the batch
+    /// is dropped (no buffering for future registrations — a query that
+    /// joins later starts from *its* first published object) and the
+    /// returned updates are empty.
     pub fn publish(&mut self, objects: &[Object]) -> Vec<QueryUpdate> {
+        if self.sessions.is_empty() {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         for (id, session) in &mut self.sessions {
             for result in session.push(objects) {
@@ -388,7 +418,11 @@ mod tests {
 
         let removed = hub.unregister(a).expect("a is registered");
         assert_eq!(removed.spec().n, 2);
-        assert!(hub.unregister(a).is_none(), "double unregister is None");
+        assert_eq!(
+            hub.unregister(a).unwrap_err(),
+            SapError::UnknownQuery { query: a },
+            "double unregister is a typed error"
+        );
         assert_eq!(hub.len(), 1);
 
         // b keeps running; new registrations get fresh ids
@@ -457,5 +491,18 @@ mod tests {
         assert!(hub.is_empty());
         assert!(hub.publish(&stream(10)).is_empty());
         assert!(hub.session(QueryId(0)).is_none());
+        // the no-op really drops the batch: a query registered afterwards
+        // starts from its own first published object, not the dropped one
+        let late = hub.register_alg(Toy::new(2, 1, 1));
+        let updates = hub.publish(&stream(1));
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].query, late);
+        assert_eq!(hub.session(late).unwrap().slides(), 1);
+        // unregistering on an empty-again hub is the same typed error
+        hub.unregister(late).expect("registered");
+        assert_eq!(
+            hub.unregister(late).unwrap_err(),
+            SapError::UnknownQuery { query: late }
+        );
     }
 }

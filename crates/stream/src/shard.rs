@@ -1,0 +1,574 @@
+//! The sharded, thread-parallel multi-query hub.
+//!
+//! [`Hub`](crate::session::Hub) fans every published object out to every
+//! registered query *in the caller's thread*: one slow subscription stalls
+//! the whole ingestion path, and throughput is capped at a single core.
+//! [`ShardedHub`] is the parallel counterpart on the road from hundreds of
+//! standing queries toward the millions of *Continuous Top-k Queries over
+//! Real-Time Web Streams*:
+//!
+//! * registered queries are **partitioned across N shards** by hash of
+//!   their [`QueryId`]; each shard is owned by a dedicated worker thread,
+//!   so a query's session is only ever touched by one thread and needs no
+//!   locking;
+//! * [`publish`](ShardedHub::publish) hands each shard an [`Arc`] of the
+//!   batch through a **bounded** channel — when a shard's queue is full
+//!   the publisher blocks until the worker catches up (backpressure on
+//!   the ingestion path instead of unbounded input buffering). Completed
+//!   results, by contrast, are *retained* shard-side until collected —
+//!   drain at your publish cadence to bound them (see
+//!   [`publish`](ShardedHub::publish));
+//! * [`drain`](ShardedHub::drain) is a **barrier**: it waits until every
+//!   shard has processed everything published so far and returns the
+//!   accumulated [`QueryUpdate`]s sorted by `(QueryId, slide)` — a
+//!   deterministic order, independent of shard count and thread timing,
+//!   that matches the sequential [`Hub`](crate::session::Hub)'s
+//!   registration-order delivery (ids are handed out in registration
+//!   order, and each query's slides are naturally ascending).
+//!
+//! Per-query results are **byte-identical** to the sequential hub: each
+//! session observes exactly the same object sequence in the same order,
+//! only the fan-out loop is distributed. SAP's per-slide dirty flag makes
+//! this sharding profitable even with many quiet queries — a quiet slide
+//! costs O(1) on its shard, so shards stay balanced without work stealing.
+//!
+//! ```
+//! use sap_stream::{Object, ShardedHub};
+//! # use sap_stream::{OpStats, SlidingTopK, WindowSpec};
+//! # struct Toy(WindowSpec, Vec<Object>);
+//! # impl SlidingTopK for Toy {
+//! #     fn spec(&self) -> WindowSpec { self.0 }
+//! #     fn slide(&mut self, b: &[Object]) -> &[Object] { self.1 = b.to_vec(); &self.1 }
+//! #     fn candidate_count(&self) -> usize { 0 }
+//! #     fn memory_bytes(&self) -> usize { 0 }
+//! #     fn stats(&self) -> OpStats { OpStats::default() }
+//! #     fn name(&self) -> &str { "toy" }
+//! # }
+//! let mut hub = ShardedHub::new(4);
+//! let q = hub.register_alg(Toy(WindowSpec::new(2, 1, 2).unwrap(), Vec::new()));
+//! hub.publish(&[Object::new(0, 1.0), Object::new(1, 5.0)]);
+//! let updates = hub.drain(); // barrier: all shards caught up
+//! assert_eq!(updates.len(), 1);
+//! assert_eq!(updates[0].query, q);
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::object::Object;
+use crate::query::SapError;
+use crate::session::{QueryId, QueryUpdate, Session};
+use crate::window::{Ingest, SlidingTopK};
+
+/// Default bound on each shard's queue, in published batches. Deep enough
+/// to keep workers busy across bursty publishes, shallow enough that a
+/// stalled shard pushes back on the publisher instead of buffering the
+/// stream.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// A query session whose engine can cross threads — what a
+/// [`ShardedHub`] hands back on [`unregister`](ShardedHub::unregister).
+pub type ShardSession = Session<Box<dyn SlidingTopK + Send>>;
+
+/// A point-in-time view of one query, fetched across the shard boundary
+/// by [`ShardedHub::inspect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryState {
+    /// Number of slides the query has completed.
+    pub slides: u64,
+    /// The query's most recent top-k emission (descending), empty before
+    /// the first completed slide.
+    pub last_snapshot: Vec<Object>,
+}
+
+/// What the publisher sends down a shard's queue. Control commands travel
+/// the same channel as data, so registration and unregistration are
+/// totally ordered with respect to the publishes around them — a query
+/// registered after `publish(a)` and before `publish(b)` sees exactly the
+/// objects of `b` onward, same as with the sequential hub.
+enum Command {
+    Publish(Arc<[Object]>),
+    Register(QueryId, Box<dyn SlidingTopK + Send>),
+    Unregister(QueryId, mpsc::Sender<ShardSession>),
+    Inspect(QueryId, mpsc::Sender<QueryState>),
+    Flush(mpsc::Sender<()>),
+    Drain(mpsc::Sender<Vec<QueryUpdate>>),
+}
+
+struct Shard {
+    tx: SyncSender<Command>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// The shard worker: owns its slice of the sessions, drains the command
+/// queue in order, and accumulates completed slides until the next drain.
+fn shard_worker(rx: Receiver<Command>) {
+    let mut sessions: Vec<(QueryId, ShardSession)> = Vec::new();
+    let mut updates: Vec<QueryUpdate> = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Publish(batch) => {
+                for (id, session) in &mut sessions {
+                    for result in session.push(&batch) {
+                        updates.push(QueryUpdate { query: *id, result });
+                    }
+                }
+            }
+            Command::Register(id, alg) => sessions.push((id, Session::new(alg))),
+            Command::Unregister(id, reply) => {
+                // membership is checked hub-side; a miss here would be a
+                // routing bug, surfaced as a RecvError on the hub's reply
+                if let Some(pos) = sessions.iter().position(|(q, _)| *q == id) {
+                    let _ = reply.send(sessions.remove(pos).1);
+                }
+            }
+            Command::Inspect(id, reply) => {
+                if let Some((_, session)) = sessions.iter().find(|(q, _)| *q == id) {
+                    let _ = reply.send(QueryState {
+                        slides: session.slides(),
+                        last_snapshot: session.last_snapshot().to_vec(),
+                    });
+                }
+            }
+            Command::Flush(reply) => {
+                let _ = reply.send(());
+            }
+            Command::Drain(reply) => {
+                let _ = reply.send(std::mem::take(&mut updates));
+            }
+        }
+    }
+}
+
+/// A [`Hub`](crate::session::Hub)-equivalent set of standing queries
+/// partitioned across worker threads.
+///
+/// See the [module docs](self) for the architecture. Differences from the
+/// sequential hub's API surface:
+///
+/// * [`publish`](ShardedHub::publish) returns nothing — results
+///   accumulate shard-side and are collected by
+///   [`drain`](ShardedHub::drain), which doubles as the determinism
+///   barrier;
+/// * registered engines must be [`Send`] (they move to a worker thread);
+///   every algorithm in this workspace is;
+/// * `publish` may **block** (backpressure) while any shard's queue is
+///   full.
+pub struct ShardedHub {
+    shards: Vec<Shard>,
+    /// Number of live queries on each shard, maintained hub-side so empty
+    /// shards can be skipped on publish.
+    shard_len: Vec<usize>,
+    registered: BTreeSet<QueryId>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for ShardedHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHub")
+            .field("shards", &self.shards.len())
+            .field("queries", &self.registered.len())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl ShardedHub {
+    /// Spawns `num_shards` worker threads (at least one) with the
+    /// [`DEFAULT_QUEUE_CAPACITY`].
+    pub fn new(num_shards: usize) -> Self {
+        ShardedHub::with_capacity(num_shards, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Spawns `num_shards` worker threads whose queues hold at most
+    /// `queue_capacity` pending commands each. Both are clamped to ≥ 1;
+    /// a capacity of 1 makes every publish rendezvous with the slowest
+    /// shard (maximum backpressure, minimum buffering).
+    pub fn with_capacity(num_shards: usize, queue_capacity: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let queue_capacity = queue_capacity.max(1);
+        let shards = (0..num_shards)
+            .map(|i| {
+                let (tx, rx) = mpsc::sync_channel(queue_capacity);
+                let worker = std::thread::Builder::new()
+                    .name(format!("sap-shard-{i}"))
+                    .spawn(move || shard_worker(rx))
+                    .expect("spawn shard worker");
+                Shard {
+                    tx,
+                    worker: Some(worker),
+                }
+            })
+            .collect();
+        ShardedHub {
+            shard_len: vec![0; num_shards],
+            shards,
+            registered: BTreeSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Which shard owns a query: a Fibonacci hash of the id, fixed for the
+    /// query's lifetime. Deterministic across runs, so a given
+    /// registration order always produces the same partitioning.
+    fn shard_of(&self, id: QueryId) -> usize {
+        let h = id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    fn send(&self, shard: usize, cmd: Command) {
+        self.shards[shard]
+            .tx
+            .send(cmd)
+            .expect("shard worker terminated (a registered engine panicked)");
+    }
+
+    /// Registers a boxed engine as a new standing query and returns its
+    /// handle. The engine moves to its shard's worker thread.
+    pub fn register_boxed(&mut self, alg: Box<dyn SlidingTopK + Send>) -> QueryId {
+        let id = QueryId::from_raw(self.next_id);
+        self.next_id += 1;
+        let shard = self.shard_of(id);
+        self.send(shard, Command::Register(id, alg));
+        self.shard_len[shard] += 1;
+        self.registered.insert(id);
+        id
+    }
+
+    /// Registers an owned engine (convenience over
+    /// [`register_boxed`](ShardedHub::register_boxed)).
+    pub fn register_alg<A: SlidingTopK + Send + 'static>(&mut self, alg: A) -> QueryId {
+        self.register_boxed(Box::new(alg))
+    }
+
+    /// Removes a query and returns its session (with the engine's full
+    /// state) once its shard has processed everything published before
+    /// this call. Unknown or already-removed handles are a typed
+    /// [`SapError::UnknownQuery`].
+    pub fn unregister(&mut self, id: QueryId) -> Result<ShardSession, SapError> {
+        if !self.registered.remove(&id) {
+            return Err(SapError::UnknownQuery { query: id });
+        }
+        let shard = self.shard_of(id);
+        let (reply, rx) = mpsc::channel();
+        self.send(shard, Command::Unregister(id, reply));
+        self.shard_len[shard] -= 1;
+        Ok(rx.recv().expect("shard worker dropped an owned query"))
+    }
+
+    /// Publishes a batch of objects to every registered query.
+    ///
+    /// The batch is copied once into an [`Arc`] and enqueued on every
+    /// non-empty shard; workers apply it concurrently. **Blocks** while
+    /// any recipient shard's queue is full — that backpressure is the
+    /// flow-control contract: a publisher can never run unboundedly ahead
+    /// of the slowest shard. With zero registered queries (or an empty
+    /// batch) this is an explicit no-op: nothing is enqueued, no worker
+    /// wakes.
+    ///
+    /// Results are *not* returned here — they accumulate shard-side and
+    /// are collected, in deterministic order, by
+    /// [`drain`](ShardedHub::drain).
+    ///
+    /// **Drain regularly.** Backpressure bounds the *input* queues, but
+    /// completed [`QueryUpdate`]s are retained (never dropped — they are
+    /// the queries' answers) until the next drain, so accumulation grows
+    /// with the volume published since the last [`drain`](ShardedHub::drain)
+    /// — across every registered query. A caller that publishes a long
+    /// stream without draining trades memory for results it never looked
+    /// at; draining once per publish chunk (as the benches do) keeps the
+    /// retained set proportional to one chunk.
+    pub fn publish(&mut self, objects: &[Object]) {
+        if objects.is_empty() || self.registered.is_empty() {
+            return;
+        }
+        let batch: Arc<[Object]> = Arc::from(objects);
+        for shard in 0..self.shards.len() {
+            if self.shard_len[shard] > 0 {
+                self.send(shard, Command::Publish(Arc::clone(&batch)));
+            }
+        }
+    }
+
+    /// Publishes one object (convenience over
+    /// [`publish`](ShardedHub::publish)).
+    pub fn publish_one(&mut self, object: Object) {
+        self.publish(std::slice::from_ref(&object));
+    }
+
+    /// Barrier without collection: returns once every shard has processed
+    /// everything published so far. Accumulated updates stay shard-side
+    /// for a later [`drain`](ShardedHub::drain).
+    pub fn flush(&mut self) {
+        let acks: Vec<mpsc::Receiver<()>> = (0..self.shards.len())
+            .map(|shard| {
+                let (reply, rx) = mpsc::channel();
+                self.send(shard, Command::Flush(reply));
+                rx
+            })
+            .collect();
+        for ack in acks {
+            ack.recv().expect("shard worker terminated during flush");
+        }
+    }
+
+    /// The barrier that makes sharding observable-equivalent to the
+    /// sequential hub: waits until every shard has processed everything
+    /// published so far, then returns all slides completed since the last
+    /// drain, sorted by `(QueryId, slide)` — an order independent of
+    /// shard count and thread scheduling.
+    pub fn drain(&mut self) -> Vec<QueryUpdate> {
+        // enqueue every drain first, then collect: shards retire their
+        // backlogs in parallel instead of one at a time
+        let replies: Vec<mpsc::Receiver<Vec<QueryUpdate>>> = (0..self.shards.len())
+            .map(|shard| {
+                let (reply, rx) = mpsc::channel();
+                self.send(shard, Command::Drain(reply));
+                rx
+            })
+            .collect();
+        let mut updates = Vec::new();
+        for rx in replies {
+            updates.extend(rx.recv().expect("shard worker terminated during drain"));
+        }
+        updates.sort_unstable_by_key(|u| (u.query, u.result.slide));
+        updates
+    }
+
+    /// A point-in-time view of one query (slide count + last snapshot),
+    /// reflecting everything published before this call. Unknown handles
+    /// are a typed [`SapError::UnknownQuery`].
+    pub fn inspect(&mut self, id: QueryId) -> Result<QueryState, SapError> {
+        if !self.registered.contains(&id) {
+            return Err(SapError::UnknownQuery { query: id });
+        }
+        let (reply, rx) = mpsc::channel();
+        self.send(self.shard_of(id), Command::Inspect(id, reply));
+        Ok(rx.recv().expect("shard worker dropped an owned query"))
+    }
+
+    /// Iterates the registered query handles in ascending (= registration)
+    /// order.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.registered.iter().copied()
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.registered.is_empty()
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Drop for ShardedHub {
+    /// Closes every shard's queue and joins the workers. Outstanding
+    /// publishes are processed before the workers exit; accumulated
+    /// updates that were never [`drain`](ShardedHub::drain)ed are
+    /// discarded. Worker panics are *not* re-raised here (aborting inside
+    /// a drop during unwinding would mask the original panic); they
+    /// surface as hub-side panics on the next send instead.
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            // drop the sender first so the worker's recv loop ends
+            let (closed, _) = mpsc::sync_channel(1);
+            shard.tx = closed;
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::OpStats;
+    use crate::object::top_k_of;
+    use crate::session::Hub;
+    use crate::window::WindowSpec;
+
+    /// The reference toy algorithm the sequential hub tests use.
+    struct Toy {
+        spec: WindowSpec,
+        window: Vec<Object>,
+        result: Vec<Object>,
+    }
+
+    impl Toy {
+        fn new(n: usize, k: usize, s: usize) -> Self {
+            Toy {
+                spec: WindowSpec::new(n, k, s).unwrap(),
+                window: Vec::new(),
+                result: Vec::new(),
+            }
+        }
+    }
+
+    impl SlidingTopK for Toy {
+        fn spec(&self) -> WindowSpec {
+            self.spec
+        }
+        fn slide(&mut self, batch: &[Object]) -> &[Object] {
+            assert_eq!(batch.len(), self.spec.s);
+            self.window.extend_from_slice(batch);
+            let excess = self.window.len().saturating_sub(self.spec.n);
+            self.window.drain(..excess);
+            self.result = top_k_of(&self.window, self.spec.k);
+            &self.result
+        }
+        fn candidate_count(&self) -> usize {
+            self.window.len()
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> OpStats {
+            OpStats::default()
+        }
+        fn name(&self) -> &str {
+            "toy"
+        }
+    }
+
+    fn stream(len: usize) -> Vec<Object> {
+        (0..len)
+            .map(|i| Object::new(i as u64, ((i * 37) % 101) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_hub_update_for_update() {
+        for shards in [1, 2, 8] {
+            let mut seq = Hub::new();
+            let mut par = ShardedHub::new(shards);
+            for i in 0..13usize {
+                let (n, k, s) = (4 * (1 + i % 3), 1 + i % 4, 2 * (1 + i % 3));
+                seq.register_alg(Toy::new(n, k, s));
+                par.register_alg(Toy::new(n, k, s));
+            }
+            let data = stream(97);
+            let mut expected = Vec::new();
+            for chunk in data.chunks(17) {
+                expected.extend(seq.publish(chunk));
+                par.publish(chunk);
+            }
+            // one big drain returns everything in global (QueryId, slide)
+            // order; the sequential per-publish batches, re-sorted the same
+            // way, must be the identical sequence
+            expected.sort_unstable_by_key(|u| (u.query, u.result.slide));
+            let got = par.drain();
+            assert_eq!(got, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn drain_is_a_barrier_and_clears() {
+        let mut hub = ShardedHub::with_capacity(3, 1);
+        let q = hub.register_alg(Toy::new(4, 2, 2));
+        // capacity 1: these publishes exercise the backpressure path
+        for chunk in stream(40).chunks(2) {
+            hub.publish(chunk);
+        }
+        let first = hub.drain();
+        assert_eq!(first.len(), 20);
+        assert!(first.iter().all(|u| u.query == q));
+        assert_eq!(
+            first.iter().map(|u| u.result.slide).collect::<Vec<_>>(),
+            (0..20).collect::<Vec<_>>()
+        );
+        assert!(hub.drain().is_empty(), "drain must clear the accumulator");
+    }
+
+    #[test]
+    fn flush_preserves_updates_for_drain() {
+        let mut hub = ShardedHub::new(2);
+        hub.register_alg(Toy::new(2, 1, 2));
+        hub.publish(&stream(10));
+        hub.flush();
+        assert_eq!(hub.drain().len(), 5, "flush must not consume updates");
+    }
+
+    #[test]
+    fn unregister_returns_session_and_types_unknown() {
+        let mut hub = ShardedHub::new(4);
+        let a = hub.register_alg(Toy::new(4, 1, 2));
+        let b = hub.register_alg(Toy::new(4, 1, 2));
+        hub.publish(&stream(8));
+        // updates accumulated before an unregister stay shard-side until
+        // drained, even for the removed query — collect them first
+        assert_eq!(hub.drain().len(), 8);
+        let session = hub.unregister(a).expect("a is registered");
+        assert_eq!(session.slides(), 4, "session state travels back intact");
+        assert_eq!(
+            hub.unregister(a).unwrap_err(),
+            SapError::UnknownQuery { query: a },
+            "double unregister is a typed error"
+        );
+        assert_eq!(hub.len(), 1);
+        assert_eq!(hub.query_ids().collect::<Vec<_>>(), vec![b]);
+        // the survivor keeps serving
+        hub.publish(&stream(4));
+        assert!(hub.drain().iter().all(|u| u.query == b));
+    }
+
+    #[test]
+    fn mid_stream_registration_is_ordered_with_publishes() {
+        let mut hub = ShardedHub::new(2);
+        let early = hub.register_alg(Toy::new(4, 1, 2));
+        hub.publish(&stream(10));
+        let late = hub.register_alg(Toy::new(4, 1, 2));
+        hub.publish(&stream(4));
+        let updates = hub.drain();
+        let early_slides = updates.iter().filter(|u| u.query == early).count();
+        let late_slides = updates.iter().filter(|u| u.query == late).count();
+        assert_eq!(early_slides, 7, "early query saw all 14 objects");
+        assert_eq!(late_slides, 2, "late query saw only the last 4");
+    }
+
+    #[test]
+    fn empty_publish_and_empty_hub_are_noops() {
+        let mut hub = ShardedHub::new(2);
+        hub.publish(&stream(100)); // zero queries: explicit no-op
+        let q = hub.register_alg(Toy::new(2, 1, 2));
+        hub.publish(&[]); // empty batch: explicit no-op
+        assert!(hub.drain().is_empty());
+        assert_eq!(hub.inspect(q).unwrap().slides, 0);
+    }
+
+    #[test]
+    fn inspect_reflects_all_prior_publishes() {
+        let mut hub = ShardedHub::new(3);
+        let q = hub.register_alg(Toy::new(4, 2, 2));
+        let data = stream(12);
+        hub.publish(&data);
+        let state = hub.inspect(q).unwrap();
+        assert_eq!(state.slides, 6);
+        assert_eq!(state.last_snapshot, top_k_of(&data[8..], 2));
+        let ghost = QueryId::from_raw(999);
+        assert_eq!(
+            hub.inspect(ghost),
+            Err(SapError::UnknownQuery { query: ghost })
+        );
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let mut hub = ShardedHub::with_capacity(0, 0);
+        assert_eq!(hub.num_shards(), 1);
+        assert!(hub.is_empty());
+        hub.register_alg(Toy::new(2, 1, 1));
+        hub.publish(&stream(3));
+        assert_eq!(hub.drain().len(), 3);
+    }
+}

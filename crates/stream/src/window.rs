@@ -141,6 +141,15 @@ impl std::fmt::Debug for dyn SlidingTopK + '_ {
     }
 }
 
+impl std::fmt::Debug for dyn SlidingTopK + Send + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `dyn SlidingTopK + Send` is a distinct type from
+        // `dyn SlidingTopK`, so the impl above does not cover it — and the
+        // sharded hub's sessions carry the `Send` form across threads
+        (self as &dyn SlidingTopK).fmt(f)
+    }
+}
+
 impl<T: SlidingTopK + ?Sized> SlidingTopK for Box<T> {
     fn spec(&self) -> WindowSpec {
         (**self).spec()

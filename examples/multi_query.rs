@@ -1,9 +1,11 @@
 //! Multi-query serving: 100 concurrent standing subscriptions — mixed
 //! window geometries ⟨n, k, s⟩ *and* mixed algorithms — over one stock
-//! stream, through a single `Hub`. This is the regime the ROADMAP's
-//! production north-star targets (many users, one ingestion path) and the
-//! setting of *Continuous Top-k Queries over Real-Time Web Streams*:
-//! subscriptions come and go at runtime while the stream keeps flowing.
+//! stream, through a single `Hub`; then the same regime scaled 100× onto
+//! a thread-parallel `ShardedHub` serving **10,000** queries. This is the
+//! regime the ROADMAP's production north-star targets (many users, one
+//! ingestion path) and the setting of *Continuous Top-k Queries over
+//! Real-Time Web Streams*: subscriptions come and go at runtime while the
+//! stream keeps flowing.
 //!
 //! ```text
 //! cargo run --release --example multi_query
@@ -13,6 +15,99 @@ use sap::prelude::*;
 use std::time::Instant;
 
 fn main() {
+    sequential_hub_100();
+    sharded_hub_10k();
+}
+
+/// 10,000 standing queries on one stream: the sequential `Hub` walks all
+/// of them in the publisher's thread; the `ShardedHub` partitions them
+/// across worker threads by hash of `QueryId` and applies backpressure on
+/// `publish` when a shard falls behind. Results are byte-identical — the
+/// drain barrier returns updates in deterministic `(QueryId, slide)`
+/// order regardless of shard count.
+fn sharded_hub_10k() {
+    const QUERIES: usize = 10_000;
+    let shards = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(2, 8);
+    let feed = Dataset::Stock.generate(5_000, 9);
+    let kinds = [
+        AlgorithmKind::sap(),
+        AlgorithmKind::MinTopK,
+        AlgorithmKind::KSkyband,
+    ];
+    let query_at = |i: usize| {
+        let s = [50usize, 100, 200][i % 3];
+        let n = s * [2usize, 4, 8][(i / 3) % 3];
+        Query::window(n)
+            .top(1 + (i % 10))
+            .slide(s)
+            .algorithm(kinds[i % kinds.len()])
+    };
+
+    // sequential reference: every publish fans out in this thread
+    let mut seq = Hub::new();
+    for i in 0..QUERIES {
+        seq.register(&query_at(i)).expect("valid query");
+    }
+    let started = Instant::now();
+    let mut seq_updates = 0u64;
+    for burst in feed.chunks(1000) {
+        seq_updates += seq.publish(burst).len() as u64;
+    }
+    let seq_time = started.elapsed();
+
+    // sharded: same queries, fan-out distributed across worker threads
+    let mut hub = ShardedHub::new(shards);
+    let mut probe = None;
+    for i in 0..QUERIES {
+        let id = hub.register(&query_at(i)).expect("valid query");
+        if i == 0 {
+            probe = Some(id);
+        }
+    }
+    let started = Instant::now();
+    let mut par_updates = 0u64;
+    for burst in feed.chunks(1000) {
+        hub.publish(burst); // blocks only if a shard's queue fills
+        par_updates += hub.drain().len() as u64; // barrier: deterministic order
+    }
+    let par_time = started.elapsed();
+
+    let deliveries = (feed.len() * QUERIES) as f64;
+    println!(
+        "\n=== sharded hub: {QUERIES} queries, {} objects ===",
+        feed.len()
+    );
+    println!(
+        "  sequential: {seq_updates} updates in {:.2}s ({:.1}M object-deliveries/s)",
+        seq_time.as_secs_f64(),
+        deliveries / seq_time.as_secs_f64() / 1e6
+    );
+    println!(
+        "  sharded({shards}): {par_updates} updates in {:.2}s ({:.1}M object-deliveries/s, {:.2}x)",
+        par_time.as_secs_f64(),
+        deliveries / par_time.as_secs_f64() / 1e6,
+        seq_time.as_secs_f64() / par_time.as_secs_f64()
+    );
+    assert_eq!(
+        seq_updates, par_updates,
+        "both hubs must complete the same slides"
+    );
+
+    // spot-check: pull query 0's session out of the sharded hub and
+    // compare against the sequential hub's — byte-identical state
+    let probe = probe.expect("query 0 registered");
+    let state = hub.inspect(probe).expect("query 0 still registered");
+    let reference = seq.session(probe).expect("query 0 on the sequential hub");
+    assert_eq!(state.slides, reference.slides());
+    assert_eq!(state.last_snapshot, reference.last_snapshot());
+    println!("spot-check passed: sharded output matches the sequential hub exactly");
+}
+
+/// The original 100-query tour of the sequential `Hub` API.
+fn sequential_hub_100() {
     let feed = Dataset::Stock.generate(200_000, 7);
 
     // 100 heterogeneous queries: windows from 500 to 5000 ticks, result

@@ -19,7 +19,7 @@
 //! ## Quickstart
 //!
 //! Describe a query with the fluent builder, [`build`] it into an engine,
-//! and feed it through a [`Session`](prelude::Session) — pushes of *any*
+//! and feed it through a [`Session`] — pushes of *any*
 //! size are re-chunked internally, and every completed slide reports both
 //! the snapshot and what changed:
 //!
@@ -53,7 +53,7 @@
 //! ```
 //!
 //! Many standing queries — mixed geometries *and* mixed algorithms —
-//! share one stream through a [`Hub`](prelude::Hub):
+//! share one stream through a [`Hub`]:
 //!
 //! ```
 //! use sap::prelude::*;
@@ -81,13 +81,23 @@ pub use sap_stream as stream;
 
 pub mod prelude;
 
-use sap_stream::{Hub, Query, QueryId, SapError, Session, SlidingTopK};
+use sap_stream::{Hub, Query, QueryId, SapError, Session, ShardedHub, SlidingTopK};
 
 /// Builds the boxed engine a [`Query`] describes, dispatching
 /// [`AlgorithmKind::Sap`](stream::AlgorithmKind::Sap) to the [`core`]
 /// engine and every other kind to [`baselines`]. Validates the query
 /// first; all failures surface as [`SapError`].
 pub fn build(query: &Query) -> Result<Box<dyn SlidingTopK>, SapError> {
+    let alg: Box<dyn SlidingTopK + Send> = build_send(query)?;
+    Ok(alg)
+}
+
+/// Like [`build`], but the box is [`Send`] so the engine can be
+/// registered with a [`ShardedHub`], whose workers
+/// own their queries on dedicated threads. Every algorithm in this
+/// workspace is `Send`; the separate entry point only exists because
+/// `dyn SlidingTopK + Send` and `dyn SlidingTopK` are distinct types.
+pub fn build_send(query: &Query) -> Result<Box<dyn SlidingTopK + Send>, SapError> {
     let spec = query.validate()?;
     if let Some(cfg) = sap_core::SapConfig::from_kind(spec, query.kind()) {
         return Ok(Box::new(sap_core::Sap::new(cfg?)));
@@ -120,7 +130,8 @@ impl QueryExt for Query {
     }
 }
 
-/// Query registration on [`Hub`], available via [`prelude`].
+/// Query registration on [`Hub`] and [`ShardedHub`], available via
+/// [`prelude`].
 pub trait HubExt {
     /// Validates and constructs a query, then registers it as a standing
     /// subscription, returning its handle.
@@ -130,6 +141,12 @@ pub trait HubExt {
 impl HubExt for Hub {
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
         Ok(self.register_boxed(build(query)?))
+    }
+}
+
+impl HubExt for ShardedHub {
+    fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        Ok(self.register_boxed(build_send(query)?))
     }
 }
 

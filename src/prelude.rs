@@ -3,16 +3,17 @@
 //!
 //! Brings in the fluent [`Query`] builder with its facade finalizers
 //! ([`QueryExt::build`]/[`QueryExt::session`]), the multi-query [`Hub`]
-//! with [`HubExt::register`], flexible ingestion ([`Ingest`]), typed
-//! result deltas ([`TopKEvent`]/[`SlideResult`]), the data model, and the
-//! algorithm entry points.
+//! and thread-parallel [`ShardedHub`] with [`HubExt::register`], flexible
+//! ingestion ([`Ingest`]), typed result deltas
+//! ([`TopKEvent`]/[`SlideResult`]), the data model, and the algorithm
+//! entry points.
 
-pub use crate::{build, HubExt, QueryExt};
+pub use crate::{build, build_send, HubExt, QueryExt};
 
 pub use sap_stream::{
     run, run_collecting, AlgorithmKind, Dataset, Hub, Ingest, Object, OpStats, Query, QueryId,
-    QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, SlideResult, SlidingTopK,
-    SpecError, TopKEvent, WindowSpec, Workload,
+    QueryState, QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, ShardSession,
+    ShardedHub, SlideResult, SlidingTopK, SpecError, TopKEvent, WindowSpec, Workload,
 };
 
 pub use sap_core::{Sap, SapConfig, TimeBasedSap, TimedObject};

@@ -1,0 +1,252 @@
+//! Sharded-hub equivalence: a `ShardedHub` with 1, 2, and 8 shards must
+//! produce **checksum-identical `TopKEvent` streams** to the sequential
+//! `Hub` for SAP and all four baselines — with queries registering and
+//! unregistering mid-stream, ragged publish chunking, and drains
+//! interleaved at arbitrary points. Parallel fan-out is an optimization,
+//! never a semantic: every query's slides, snapshots, and deltas are
+//! byte-identical to the single-threaded reference.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sap::prelude::*;
+
+/// Tie-heavy stream from a small score alphabet.
+fn stream(scores: &[u8]) -> Vec<Object> {
+    scores
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Object::try_new(i as u64, *s as f64).expect("finite"))
+        .collect()
+}
+
+/// Window geometry: s divides n, 1 ≤ k ≤ n.
+fn geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=10, 1usize..=8).prop_flat_map(|(m, s)| {
+        let n = m * s;
+        (Just(n), 1..=n, Just(s))
+    })
+}
+
+fn all_kinds() -> [AlgorithmKind; 5] {
+    [
+        AlgorithmKind::sap(),
+        AlgorithmKind::Naive,
+        AlgorithmKind::KSkyband,
+        AlgorithmKind::MinTopK,
+        AlgorithmKind::sma(),
+    ]
+}
+
+/// FNV-1a step over one u64 word.
+fn fold_word(acc: u64, word: u64) -> u64 {
+    let mut h = acc;
+    let mut x = word;
+    for _ in 0..8 {
+        h ^= x & 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        x >>= 8;
+    }
+    h
+}
+
+/// Folds one update — slide index, the full `TopKEvent` delta stream,
+/// and the snapshot — into a query's running checksum. Order sensitive,
+/// so two hubs agree iff they emitted identical event streams.
+fn fold_update(acc: u64, result: &SlideResult) -> u64 {
+    let mut h = fold_word(acc, result.slide);
+    for event in &result.events {
+        h = match event {
+            TopKEvent::Entered(o) => fold_word(fold_word(fold_word(h, 1), o.id), o.score.to_bits()),
+            TopKEvent::Exited(o) => fold_word(fold_word(fold_word(h, 2), o.id), o.score.to_bits()),
+            TopKEvent::Unchanged => fold_word(h, 3),
+        };
+    }
+    for o in &result.snapshot {
+        h = fold_word(fold_word(h, o.id), o.score.to_bits());
+    }
+    h
+}
+
+const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The scripted schedule both hubs replay: register `early` queries,
+/// publish the first half in ragged chunks, register `late` queries and
+/// unregister one early query, publish the rest. Returns per-query event
+/// checksums keyed by `QueryId` (identical registration order ⇒
+/// identical ids across hubs) plus the dropped query's id.
+struct Schedule<'a> {
+    queries: &'a [Query],
+    early: usize,
+    data: &'a [Object],
+    cuts: &'a [usize],
+}
+
+impl Schedule<'_> {
+    fn chunks(&self, lo: usize, hi: usize) -> Vec<&[Object]> {
+        let mut out = Vec::new();
+        let mut offset = lo;
+        let mut turn = 0usize;
+        while offset < hi {
+            let take = if self.cuts.is_empty() {
+                1
+            } else {
+                self.cuts[turn % self.cuts.len()]
+            }
+            .min(hi - offset);
+            turn += 1;
+            out.push(&self.data[offset..offset + take]);
+            offset += take;
+        }
+        out
+    }
+
+    /// Replays the schedule on the sequential hub.
+    fn run_sequential(&self) -> (BTreeMap<QueryId, u64>, Option<QueryId>) {
+        let mut hub = Hub::new();
+        let mut sums = BTreeMap::new();
+        let fold = |sums: &mut BTreeMap<QueryId, u64>, updates: Vec<QueryUpdate>| {
+            for u in updates {
+                let acc = sums.entry(u.query).or_insert(SEED);
+                *acc = fold_update(*acc, &u.result);
+            }
+        };
+        for q in &self.queries[..self.early] {
+            hub.register(q).unwrap();
+        }
+        let mid = self.data.len() / 2;
+        for chunk in self.chunks(0, mid) {
+            let updates = hub.publish(chunk);
+            fold(&mut sums, updates);
+        }
+        let ids: Vec<QueryId> = hub.query_ids().collect();
+        let dropped = (ids.len() > 1).then(|| ids[0]);
+        if let Some(id) = dropped {
+            hub.unregister(id).expect("registered in phase one");
+        }
+        for q in &self.queries[self.early..] {
+            hub.register(q).unwrap();
+        }
+        for chunk in self.chunks(mid, self.data.len()) {
+            let updates = hub.publish(chunk);
+            fold(&mut sums, updates);
+        }
+        (sums, dropped)
+    }
+
+    /// Replays the schedule on a sharded hub, draining every chunk so
+    /// barrier crossings interleave with publishes.
+    fn run_sharded(&self, shards: usize) -> (BTreeMap<QueryId, u64>, Option<QueryId>) {
+        let mut hub = ShardedHub::new(shards);
+        let mut sums = BTreeMap::new();
+        let fold = |sums: &mut BTreeMap<QueryId, u64>, updates: Vec<QueryUpdate>| {
+            for u in updates {
+                let acc = sums.entry(u.query).or_insert(SEED);
+                *acc = fold_update(*acc, &u.result);
+            }
+        };
+        for q in &self.queries[..self.early] {
+            hub.register(q).unwrap();
+        }
+        let mid = self.data.len() / 2;
+        for chunk in self.chunks(0, mid) {
+            hub.publish(chunk);
+            let updates = hub.drain();
+            fold(&mut sums, updates);
+        }
+        let ids: Vec<QueryId> = hub.query_ids().collect();
+        let dropped = (ids.len() > 1).then(|| ids[0]);
+        if let Some(id) = dropped {
+            hub.unregister(id).expect("registered in phase one");
+        }
+        for q in &self.queries[self.early..] {
+            hub.register(q).unwrap();
+        }
+        for chunk in self.chunks(mid, self.data.len()) {
+            hub.publish(chunk);
+            let updates = hub.drain();
+            fold(&mut sums, updates);
+        }
+        hub.flush();
+        let updates = hub.drain();
+        fold(&mut sums, updates);
+        (sums, dropped)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance property: 1, 2, and 8 shards each reproduce the
+    /// sequential hub's per-query event streams exactly — SAP and all
+    /// four baselines, mid-stream register and unregister included.
+    #[test]
+    fn sharded_hub_matches_sequential_event_streams(
+        scores in vec(0u8..24, 40..220),
+        geoms in vec(geometry(), 2..7),
+        cuts in vec(1usize..=29, 0..8),
+        early_frac in 1usize..=100,
+    ) {
+        let data = stream(&scores);
+        let kinds = all_kinds();
+        let queries: Vec<Query> = geoms
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, k, s))| {
+                Query::window(n).top(k).slide(s).algorithm(kinds[i % kinds.len()])
+            })
+            .collect();
+        let schedule = Schedule {
+            early: (early_frac * queries.len()).div_ceil(100).min(queries.len()),
+            queries: &queries,
+            data: &data,
+            cuts: &cuts,
+        };
+
+        let (expected, seq_dropped) = schedule.run_sequential();
+        for shards in [1usize, 2, 8] {
+            let (got, par_dropped) = schedule.run_sharded(shards);
+            prop_assert_eq!(par_dropped, seq_dropped, "unregister targets diverged");
+            prop_assert_eq!(
+                &got, &expected,
+                "event streams diverged at {} shards (queries={}, early={})",
+                shards, queries.len(), schedule.early
+            );
+        }
+    }
+}
+
+/// Pinned non-property case: a mixed register/unregister schedule over a
+/// real generated stream, large enough that every algorithm leaves
+/// warm-up and expires objects. Catches regressions even if the property
+/// generator drifts toward tiny cases.
+#[test]
+fn sharded_hub_matches_sequential_on_stock_stream() {
+    let data = Dataset::Stock.generate(4_000, 42);
+    let kinds = all_kinds();
+    let queries: Vec<Query> = (0..12)
+        .map(|i| {
+            let s = [10usize, 20, 50][i % 3];
+            let n = s * [4usize, 8, 10][i % 3];
+            Query::window(n)
+                .top(1 + 3 * (i % 4))
+                .slide(s)
+                .algorithm(kinds[i % kinds.len()])
+        })
+        .collect();
+    let cuts = [317usize, 89, 411];
+    let schedule = Schedule {
+        early: 7,
+        queries: &queries,
+        data: &data,
+        cuts: &cuts,
+    };
+    let (expected, _) = schedule.run_sequential();
+    assert!(!expected.is_empty());
+    for shards in [1usize, 2, 8] {
+        let (got, _) = schedule.run_sharded(shards);
+        assert_eq!(got, expected, "diverged at {shards} shards");
+    }
+}

@@ -10,19 +10,23 @@
 //! table9 all` regenerate the paper's evaluation (see EXPERIMENTS.md for
 //! the paper-vs-measured record); `hub` measures sequential-vs-sharded
 //! hub throughput and writes the machine-readable `BENCH_hub.json` the CI
-//! perf trajectory is built from:
+//! perf trajectory is built from; `timed` does the same for a
+//! heterogeneous count+time-based query mix over a Poisson-arrival
+//! stream (`BENCH_timed.json`):
 //!
 //! ```text
 //! cargo run --release -p sap-bench --bin experiments -- hub \
 //!     --len 20000 --queries 10000 --shards 1,2,4,8 --json-out BENCH_hub.json
+//! cargo run --release -p sap-bench --bin experiments -- timed \
+//!     --len 20000 --queries 2000 --shards 1,2,4,8 --json-out BENCH_timed.json
 //! ```
 
 use sap_bench::{
-    cands, hub_query_mix, measure_on, mem_kb, run_hub_sequential, run_hub_sharded, secs, Algo,
-    HubRun, Table,
+    cands, hub_query_mix, measure_on, mem_kb, run_hub_sequential, run_hub_sharded,
+    run_timed_hub_sequential, run_timed_hub_sharded, secs, timed_query_mix, Algo, HubRun, Table,
 };
 use sap_core::{Sap, SapConfig};
-use sap_stream::generators::{Dataset, Workload};
+use sap_stream::generators::{ArrivalProcess, Dataset, Workload};
 use sap_stream::{run, RunSummary, WindowSpec};
 
 type ConfigFactory = fn(WindowSpec) -> SapConfig;
@@ -30,9 +34,9 @@ type ConfigFactory = fn(WindowSpec) -> SapConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut len: Option<usize> = None;
-    let mut queries = 10_000usize;
+    let mut queries: Option<usize> = None;
     let mut shards: Vec<usize> = vec![1, 2, 4, 8];
-    let mut json_out = String::from("BENCH_hub.json");
+    let mut json_out: Option<String> = None;
     let mut cmd = String::from("all");
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -45,10 +49,11 @@ fn main() {
                 );
             }
             "--queries" => {
-                queries = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--queries needs a number");
+                queries = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--queries needs a number"),
+                );
             }
             "--shards" => {
                 shards = it
@@ -59,7 +64,7 @@ fn main() {
                     .collect();
             }
             "--json-out" => {
-                json_out = it.next().expect("--json-out needs a path").clone();
+                json_out = Some(it.next().expect("--json-out needs a path").clone());
             }
             other => cmd = other.to_string(),
         }
@@ -82,7 +87,20 @@ fn main() {
         "table7" => table7(paper_len, seed),
         "table8" => table8(paper_len, seed),
         "table9" => table9(paper_len, seed),
-        "hub" => hub(len.unwrap_or(20_000), queries, &shards, &json_out, seed),
+        "hub" => hub(
+            len.unwrap_or(20_000),
+            queries.unwrap_or(10_000),
+            &shards,
+            json_out.as_deref().unwrap_or("BENCH_hub.json"),
+            seed,
+        ),
+        "timed" => timed(
+            len.unwrap_or(20_000),
+            queries.unwrap_or(2_000),
+            &shards,
+            json_out.as_deref().unwrap_or("BENCH_timed.json"),
+            seed,
+        ),
         "all" => {
             table2(paper_len, seed);
             table3(paper_len, seed);
@@ -96,27 +114,37 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub all"
+                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed all"
             );
             std::process::exit(2);
         }
     }
 }
 
-/// Hub scaling: sequential `Hub` vs `ShardedHub` at each shard count,
-/// all serving the same query mix over the same stream. Prints the
-/// paper-style table and writes `BENCH_hub.json` for the CI perf
-/// trajectory. Panics on non-finite throughput and on any determinism
-/// violation (sharded checksum != sequential checksum), so a CI run of
-/// this subcommand is simultaneously a perf datapoint and an
-/// equivalence check.
-fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) {
-    let chunk = 1_000usize; // publish granularity = drain granularity
-    let data = Dataset::Stock.generate(len, seed);
-    let mix = hub_query_mix(queries);
-
+/// Shared measurement + reporting loop of the `hub` and `timed`
+/// subcommands: runs the sequential reference, then each shard count,
+/// asserting finite throughput and sequential == sharded
+/// updates/checksums (so a green run is simultaneously a perf datapoint
+/// and an equivalence proof), prints the paper-style table, and writes
+/// the machine-readable `BENCH_*.json` the CI perf trajectory is built
+/// from. `extra_json` holds pre-rendered top-level fields (e.g. the
+/// arrival model) spliced into the JSON header.
+#[allow(clippy::too_many_arguments)]
+fn scaling_bench(
+    bench: &str,
+    title: String,
+    extra_json: &[(&str, &str)],
+    len: usize,
+    queries: usize,
+    chunk: usize,
+    seed: u64,
+    shards: &[usize],
+    json_out: &str,
+    run_seq: &dyn Fn() -> HubRun,
+    run_shard: &dyn Fn(usize) -> HubRun,
+) {
     let mut t = Table::new(
-        format!("Hub scaling: {queries} queries, {len} objects (chunk = {chunk})"),
+        title,
         &[
             "hub",
             "shards",
@@ -135,7 +163,7 @@ fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) 
         ops
     };
 
-    let seq = run_hub_sequential(&mix, &data, chunk);
+    let seq = run_seq();
     let seq_ops = check("sequential", &seq);
     t.row(vec![
         "sequential".into(),
@@ -148,15 +176,15 @@ fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) 
 
     let mut measured: Vec<(usize, HubRun, f64)> = Vec::new();
     for &n in shards {
-        let par = run_hub_sharded(&mix, &data, chunk, n);
+        let par = run_shard(n);
         let ops = check(&format!("sharded({n})"), &par);
         assert_eq!(
             par.updates, seq.updates,
-            "sharded({n}) delivered a different number of updates"
+            "[{bench}] sharded({n}) delivered a different number of updates"
         );
         assert_eq!(
             par.checksum, seq.checksum,
-            "sharded({n}) diverged from the sequential hub"
+            "[{bench}] sharded({n}) diverged from the sequential hub"
         );
         t.row(vec![
             "sharded".into(),
@@ -191,12 +219,60 @@ fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) 
             ops / seq_ops
         ));
     }
+    let extra: String = extra_json
+        .iter()
+        .map(|(key, value)| format!("  \"{key}\": {value},\n"))
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"hub_scaling\",\n  \"dataset\": \"stock\",\n  \"seed\": {seed},\n  \"len\": {len},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"host_cpus\": {host_cpus},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{bench}\",\n{extra}  \"seed\": {seed},\n  \"len\": {len},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"host_cpus\": {host_cpus},\n  \"runs\": [\n{}\n  ]\n}}\n",
         runs.join(",\n")
     );
-    std::fs::write(json_out, &json).expect("write BENCH_hub.json");
+    std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
     println!("\nwrote {json_out} (host_cpus = {host_cpus})");
+}
+
+/// Hub scaling: sequential `Hub` vs `ShardedHub` at each shard count,
+/// all serving the same count-based query mix over the same stream.
+fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) {
+    let chunk = 1_000usize; // publish granularity = drain granularity
+    let data = Dataset::Stock.generate(len, seed);
+    let mix = hub_query_mix(queries);
+    scaling_bench(
+        "hub_scaling",
+        format!("Hub scaling: {queries} queries, {len} objects (chunk = {chunk})"),
+        &[("dataset", "\"stock\"")],
+        len,
+        queries,
+        chunk,
+        seed,
+        shards,
+        json_out,
+        &|| run_hub_sequential(&mix, &data, chunk),
+        &|n| run_hub_sharded(&mix, &data, chunk, n),
+    );
+}
+
+/// Timed-hub scaling: a heterogeneous count+time-based query mix served
+/// over one Poisson-arrival stream. The mix's slide durations straddle
+/// the stream's ~25-unit mean gap, so timed slides range from empty to
+/// dozens of objects.
+fn timed(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) {
+    let chunk = 1_000usize;
+    let data = Dataset::Stock.generate_timed(len, seed, ArrivalProcess::poisson(25.0));
+    let mix = timed_query_mix(queries);
+    scaling_bench(
+        "timed_hub_scaling",
+        format!("Timed hub scaling: {queries} mixed queries, {len} objects (chunk = {chunk})"),
+        &[("dataset", "\"stock\""), ("arrival", "\"poisson(25)\"")],
+        len,
+        queries,
+        chunk,
+        seed,
+        shards,
+        json_out,
+        &|| run_timed_hub_sequential(&mix, &data, chunk),
+        &|n| run_timed_hub_sharded(&mix, &data, chunk, n),
+    );
 }
 
 fn paper_datasets(len: usize) -> Vec<Dataset> {

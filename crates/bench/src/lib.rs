@@ -11,11 +11,11 @@
 use std::time::{Duration, Instant};
 
 use sap_baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
-use sap_core::{Sap, SapConfig};
+use sap_core::{Sap, SapConfig, TimeBased};
 use sap_stream::generators::{Dataset, Workload};
 use sap_stream::{
-    checksum_fold, run, Hub, Object, QueryUpdate, RunSummary, ShardedHub, SlidingTopK, WindowSpec,
-    CHECKSUM_SEED,
+    checksum_fold, run, Hub, Object, QuerySpec, QueryUpdate, RunSummary, ShardedHub, SlidingTopK,
+    TimedObject, TimedSpec, TimedTopK, WindowSpec, CHECKSUM_SEED,
 };
 
 /// Default stream length per measurement run.
@@ -231,18 +231,144 @@ pub fn run_hub_sharded(
 ) -> HubRun {
     let mut hub = ShardedHub::new(shards);
     for (algo, spec) in mix {
-        hub.register_boxed(algo.build(*spec));
+        hub.register_boxed(algo.build(*spec)).expect("fresh shards");
     }
     let mut updates = 0u64;
     let mut checksum = CHECKSUM_SEED;
     let started = Instant::now();
     for c in data.chunks(chunk) {
-        hub.publish(c);
-        for u in hub.drain() {
+        hub.publish(c).expect("no engine panics in the bench mix");
+        for u in hub.drain().expect("no engine panics in the bench mix") {
             updates += 1;
             checksum = hub_checksum_fold(checksum, &u);
         }
     }
+    HubRun {
+        elapsed: started.elapsed(),
+        updates,
+        checksum,
+    }
+}
+
+/// Heterogeneous **mixed-model** query set for the timed hub bench:
+/// entries alternate between count-based geometries (the
+/// [`hub_query_mix`] shapes) and time-based geometries whose slide
+/// durations straddle the stream's mean inter-arrival gap, so timed
+/// slides range from packed to empty.
+pub fn timed_query_mix(count: usize) -> Vec<(Algo, QuerySpec)> {
+    let algos = [Algo::Sap, Algo::MinTopK, Algo::KSkyband];
+    (0..count)
+        .map(|i| {
+            let algo = algos[i % algos.len()];
+            if i % 2 == 0 {
+                let s = [50usize, 100, 200][(i / 2) % 3];
+                let m = [2usize, 4, 8][(i / 6) % 3];
+                let k = 1 + (i % 10);
+                let spec = WindowSpec::new(s * m, k, s).expect("mix spec is valid");
+                (algo, QuerySpec::Count(spec))
+            } else {
+                let sd = [20u64, 50, 120][(i / 2) % 3];
+                let m = [2u64, 4, 8][(i / 6) % 3];
+                let k = 1 + (i % 10);
+                let spec = TimedSpec::new(sd * m, sd, k).expect("mix spec is valid");
+                (algo, QuerySpec::Timed(spec))
+            }
+        })
+        .collect()
+}
+
+/// Instantiates one mixed-model query: time-based specs get the
+/// algorithm wrapped in the Appendix-A [`TimeBased`] adapter over the
+/// reduced spec.
+fn build_timed_entry(algo: Algo, spec: TimedSpec) -> Box<dyn TimedTopK + Send> {
+    let inner = algo.build(spec.reduced().expect("mix spec is valid"));
+    Box::new(
+        TimeBased::from_engine(inner, spec.window_duration, spec.slide_duration)
+            .expect("reduced spec matches by construction"),
+    )
+}
+
+/// Publishes a timed stream to a sequential [`Hub`] serving a mixed
+/// count+timed `mix`, in chunks of `chunk` objects, closing trailing
+/// slides with a final watermark. Timing covers the full publish loop.
+pub fn run_timed_hub_sequential(
+    mix: &[(Algo, QuerySpec)],
+    data: &[TimedObject],
+    chunk: usize,
+) -> HubRun {
+    let mut hub = Hub::new();
+    for (algo, spec) in mix {
+        match spec {
+            QuerySpec::Count(spec) => {
+                hub.register_boxed(algo.build(*spec));
+            }
+            QuerySpec::Timed(spec) => {
+                let engine: Box<dyn TimedTopK> = build_timed_entry(*algo, *spec);
+                hub.register_timed_boxed(engine);
+            }
+        }
+    }
+    let horizon = data.last().map_or(0, |o| o.timestamp) + 1;
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        for u in hub.publish_timed(c) {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    for u in hub.advance_time(horizon) {
+        updates += 1;
+        checksum = hub_checksum_fold(checksum, &u);
+    }
+    HubRun {
+        elapsed: started.elapsed(),
+        updates,
+        checksum,
+    }
+}
+
+/// The sharded counterpart of [`run_timed_hub_sequential`]: publishes
+/// the timed stream to a [`ShardedHub`] with `shards` workers, draining
+/// after every chunk. Checksums are comparable across the two runners —
+/// equal iff the hubs delivered identical results.
+pub fn run_timed_hub_sharded(
+    mix: &[(Algo, QuerySpec)],
+    data: &[TimedObject],
+    chunk: usize,
+    shards: usize,
+) -> HubRun {
+    let mut hub = ShardedHub::new(shards);
+    for (algo, spec) in mix {
+        match spec {
+            QuerySpec::Count(spec) => {
+                hub.register_boxed(algo.build(*spec)).expect("fresh shards");
+            }
+            QuerySpec::Timed(spec) => {
+                hub.register_timed_boxed(build_timed_entry(*algo, *spec))
+                    .expect("fresh shards");
+            }
+        }
+    }
+    let horizon = data.last().map_or(0, |o| o.timestamp) + 1;
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    let fold = |hub: &mut ShardedHub, updates: &mut u64, checksum: &mut u64| {
+        for u in hub.drain().expect("no engine panics in the bench mix") {
+            *updates += 1;
+            *checksum = hub_checksum_fold(*checksum, &u);
+        }
+    };
+    for c in data.chunks(chunk) {
+        hub.publish_timed(c)
+            .expect("no engine panics in the bench mix");
+        fold(&mut hub, &mut updates, &mut checksum);
+    }
+    hub.advance_time(horizon)
+        .expect("no engine panics in the bench mix");
+    fold(&mut hub, &mut updates, &mut checksum);
     HubRun {
         elapsed: started.elapsed(),
         updates,
@@ -312,6 +438,22 @@ mod tests {
         assert!(seq.objects_per_sec(data.len()).is_finite());
         for shards in [1, 2, 4] {
             let par = run_hub_sharded(&mix, &data, 250, shards);
+            assert_eq!(par.updates, seq.updates, "shards={shards}");
+            assert_eq!(par.checksum, seq.checksum, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn timed_hub_runs_agree_across_shard_counts() {
+        use sap_stream::ArrivalProcess;
+        let mix = timed_query_mix(13);
+        assert!(mix.iter().any(|(_, s)| matches!(s, QuerySpec::Timed(_))));
+        assert!(mix.iter().any(|(_, s)| matches!(s, QuerySpec::Count(_))));
+        let data = Dataset::Stock.generate_timed(3_000, 11, ArrivalProcess::poisson(8.0));
+        let seq = run_timed_hub_sequential(&mix, &data, 250);
+        assert!(seq.updates > 0);
+        for shards in [1, 2, 4] {
+            let par = run_timed_hub_sharded(&mix, &data, 250, shards);
             assert_eq!(par.updates, seq.updates, "shards={shards}");
             assert_eq!(par.checksum, seq.checksum, "shards={shards}");
         }

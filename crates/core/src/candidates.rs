@@ -1,6 +1,19 @@
 //! The global candidate set `C = ∪ P^k_i` with merge-refinement (Figure 4),
 //! the group dominance number ρ (Definition 1), and the global pruning
 //! threshold `F_θ` (Lemma 2).
+//!
+//! ```
+//! use sap_core::candidates::CandidateList;
+//! use sap_stream::{OpStats, ScoreKey};
+//!
+//! let mut c = CandidateList::new(2);
+//! let mut stats = OpStats::default();
+//! let keys = [ScoreKey { score: 9.0, id: 1 }, ScoreKey { score: 5.0, id: 0 }];
+//! c.merge_seal(0, &keys, &mut stats);
+//! assert_eq!(c.len(), 2);
+//! // ρ of a later partition whose pivot scores 7.0: one candidate above it
+//! assert_eq!(c.rho(ScoreKey { score: 7.0, id: 2 }, 1), 0);
+//! ```
 
 use std::collections::BTreeMap;
 

@@ -1,5 +1,15 @@
 //! Configuration of the SAP engine: partition policy and the Table-2
 //! algorithm variants.
+//!
+//! ```
+//! use sap_core::{PartitionPolicy, SapConfig};
+//! use sap_stream::WindowSpec;
+//!
+//! let spec = WindowSpec::new(1000, 10, 10).unwrap();
+//! let cfg = SapConfig::new(spec);
+//! assert!(matches!(cfg.policy, PartitionPolicy::EnhancedDynamic));
+//! assert!(SapConfig::equal(spec, Some(7)).validated().is_ok());
+//! ```
 
 use sap_stats::PaperParams;
 use sap_stream::{AlgorithmKind, SapError, SapPolicy, WindowSpec};

@@ -22,6 +22,16 @@
 //!    they expire.
 //!
 //! Every slide returns `max_k(C ∪ P^k_m ∪ M_0)` (Lemma 1).
+//!
+//! ```
+//! use sap_core::{Sap, SapConfig};
+//! use sap_stream::{Object, SlidingTopK, WindowSpec};
+//!
+//! let spec = WindowSpec::new(20, 2, 5).unwrap();
+//! let mut sap = Sap::new(SapConfig::new(spec));
+//! let batch: Vec<Object> = (0..5).map(|i| Object::new(i, i as f64)).collect();
+//! assert_eq!(sap.slide(&batch)[0].score, 4.0);
+//! ```
 
 use std::collections::VecDeque;
 

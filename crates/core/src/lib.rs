@@ -44,5 +44,5 @@ pub mod units;
 
 pub use config::{MeaningfulMode, PartitionPolicy, SapConfig};
 pub use engine::Sap;
-pub use time_window::{TimeBasedSap, TimedObject};
+pub use time_window::{reduced_spec, TimeBased, TimeBasedSap, TimedObject};
 pub use topk_buffer::TopKBuffer;

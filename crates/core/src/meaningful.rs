@@ -13,6 +13,21 @@
 //! k-skyband object of the alive part of the partition, its maximum can be
 //! pulled in descending order, and expiry never lets a dead object escape
 //! through `pop_max`.
+//!
+//! ```
+//! use sap_core::meaningful::SortedM;
+//! use sap_stream::{Object, OpStats};
+//!
+//! let objects: Vec<Object> = [5.0, 9.0, 1.0, 7.0, 3.0, 8.0]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, &s)| Object::new(i as u64, s))
+//!     .collect();
+//! let mut stats = OpStats::default();
+//! let mut m = SortedM::build(&objects, 0, &[], None, 2, 3, 2, &mut stats);
+//! assert!(!m.is_empty());
+//! assert_eq!(m.pop_max(0).unwrap().score, 9.0);
+//! ```
 
 use sap_stream::{Object, OpStats, ScoreKey};
 

@@ -1,4 +1,15 @@
 //! Sealed partitions and their unit metadata.
+//!
+//! ```
+//! use sap_core::partition::LiEntry;
+//! use sap_stream::ScoreKey;
+//!
+//! let unit = LiEntry::KUnit {
+//!     keys: vec![ScoreKey { score: 9.0, id: 4 }, ScoreKey { score: 7.0, id: 2 }],
+//! };
+//! assert_eq!(unit.key_count(), 2);
+//! assert_eq!(unit.top().score, 9.0);
+//! ```
 
 use sap_stream::{Object, ScoreKey};
 

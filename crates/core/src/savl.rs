@@ -19,6 +19,18 @@
 //! object below all `k − ρ` tops is pruned: those tops are all newer and
 //! at least as high, and together with the `ρ` external dominators they
 //! pin it out of every future top-k.
+//!
+//! ```
+//! use sap_core::savl::SAvl;
+//! use sap_stream::ScoreKey;
+//!
+//! let mut savl = SAvl::new(2);
+//! // reverse-arrival scan: offer newest first
+//! for (id, score) in [(3u64, 5.0), (2, 7.0), (1, 6.0), (0, 9.0)] {
+//!     savl.offer(ScoreKey { score, id });
+//! }
+//! assert_eq!(savl.pop_max().unwrap().score, 9.0);
+//! ```
 
 use sap_avltree::AvlMap;
 use sap_stream::ScoreKey;

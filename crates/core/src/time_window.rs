@@ -8,42 +8,58 @@
 //! top-k objects of each slide can ever appear in a result**. The query
 //! results are therefore covered by at most `n·k/s` objects.
 //!
-//! [`TimeBasedSap`] implements exactly that reduction: each closed slide is
-//! reduced to its top-k objects (padded with sentinel objects so every
-//! slide contributes the same count), and the stream of reduced slides is
-//! fed to the count-based [`Sap`] engine with `⟨n' = (n/s)·k, k, s' = k⟩`.
-//! The partition bounds of Appendix A (`|C ∪ M_0| ≤ mk + nk/(sm)`,
-//! minimized at the same `m*`) follow from the count-based analysis on the
-//! reduced stream.
+//! [`TimeBased`] implements exactly that reduction as an adapter around
+//! **any** count-based engine: each closed slide is reduced to its top-k
+//! objects (padded with sentinel objects so every slide contributes the
+//! same count), and the stream of reduced slides is fed to the wrapped
+//! [`SlidingTopK`] over `⟨n' = (n/s)·k, k, s' = k⟩`. [`TimeBasedSap`] is
+//! the paper's instantiation over the [`Sap`] engine. The partition
+//! bounds of Appendix A (`|C ∪ M_0| ≤ mk + nk/(sm)`, minimized at the
+//! same `m*`) follow from the count-based analysis on the reduced stream.
+//!
+//! The adapter implements [`TimedTopK`], which is what plugs it into the
+//! session layer: `TimedSession`, `Hub::register_timed_boxed`, and the
+//! sharded hub all speak that trait, so a time-based query built from
+//! `Query::window_duration(..)` rides the same event/delta machinery as
+//! the count-based ones.
+//!
+//! ```
+//! use sap_core::TimeBasedSap;
+//! use sap_stream::{TimedObject, TimedTopK};
+//!
+//! // top-2 of the last 100 time units, re-evaluated every 10
+//! let mut q = TimeBasedSap::new(100, 10, 2).unwrap();
+//! assert!(q.ingest(TimedObject::new(0, 3, 5.0)).is_empty());
+//! // crossing t = 10 closes the first slide
+//! let results = q.ingest(TimedObject::new(1, 12, 9.0));
+//! assert_eq!(results.len(), 1);
+//! assert_eq!(results[0][0].id, 0);
+//! ```
 
 use std::collections::VecDeque;
 
-use sap_stream::{Object, SlidingTopK};
+use sap_stream::{Object, OpStats, SlidingTopK, TimedSpec, TimedTopK};
 use sap_stream::{SpecError, WindowSpec};
 
 use crate::config::SapConfig;
 use crate::engine::Sap;
 
-/// An object with an explicit event timestamp.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TimedObject {
-    /// Caller-provided identifier (returned in results).
-    pub id: u64,
-    /// Event time in arbitrary integer units.
-    pub timestamp: u64,
-    /// The preference score `F(o)`.
-    pub score: f64,
-}
+pub use sap_stream::TimedObject;
 
 /// Sentinel score used for padding slides with fewer than `k` objects;
 /// below every finite real score of interest and filtered from results.
 const PAD_SCORE: f64 = f64::MIN;
 
-/// A time-based continuous top-k query answered by the SAP framework.
+/// A time-based continuous top-k query answered by a count-based engine
+/// through the Appendix-A reduction. `E` is the wrapped engine; the
+/// paper's configuration is [`TimeBasedSap`] (= `TimeBased<Sap>`), and
+/// the facade crate instantiates `TimeBased<Box<dyn SlidingTopK + Send>>`
+/// so every algorithm in the workspace can answer time-based queries.
 #[derive(Debug)]
-pub struct TimeBasedSap {
-    inner: Sap,
+pub struct TimeBased<E: SlidingTopK> {
+    inner: E,
     k: usize,
+    window_duration: u64,
     slide_duration: u64,
     /// End (exclusive) of the slide currently accumulating.
     current_slide_end: u64,
@@ -56,33 +72,75 @@ pub struct TimeBasedSap {
     result: Vec<TimedObject>,
 }
 
+/// The paper's time-based query: the Appendix-A reduction over the SAP
+/// engine.
+pub type TimeBasedSap = TimeBased<Sap>;
+
 impl TimeBasedSap {
     /// Creates a time-based query returning the top `k` of the last
-    /// `window_duration` time units, sliding every `slide_duration`.
+    /// `window_duration` time units, sliding every `slide_duration`,
+    /// answered by a fresh [`Sap`] engine in its default configuration.
     /// `slide_duration` must divide `window_duration`.
     pub fn new(window_duration: u64, slide_duration: u64, k: usize) -> Result<Self, SpecError> {
-        if slide_duration == 0
-            || window_duration == 0
-            || !window_duration.is_multiple_of(slide_duration)
-        {
-            return Err(SpecError::SlideNotDivisor {
-                s: slide_duration as usize,
-                n: window_duration as usize,
-            });
+        let spec = reduced_spec(window_duration, slide_duration, k)?;
+        TimeBased::from_engine(
+            Sap::new(SapConfig::new(spec)),
+            window_duration,
+            slide_duration,
+        )
+    }
+}
+
+/// The Appendix-A reduction of `W⟨window_duration, slide_duration⟩` with
+/// result size `k`: the count-based spec `⟨(n/s)·k, k, k⟩`. Thin
+/// delegate to `sap_stream`'s [`TimedSpec`] so the reduction (and its
+/// validation errors) has exactly one definition.
+pub fn reduced_spec(
+    window_duration: u64,
+    slide_duration: u64,
+    k: usize,
+) -> Result<WindowSpec, SpecError> {
+    TimedSpec::new(window_duration, slide_duration, k)?.reduced()
+}
+
+impl<E: SlidingTopK> TimeBased<E> {
+    /// Wraps an existing count-based engine as a time-based query over
+    /// the last `window_duration` time units, sliding every
+    /// `slide_duration`. The engine must already be configured over the
+    /// reduction of those durations — `⟨(n/s)·k, k, k⟩` for its own `k` —
+    /// else [`SpecError::ReducedSpecMismatch`]; and it must be fresh (the
+    /// adapter's id translation assumes the reduced stream starts at
+    /// arrival ordinal 0), else [`SpecError::EngineNotFresh`].
+    pub fn from_engine(
+        inner: E,
+        window_duration: u64,
+        slide_duration: u64,
+    ) -> Result<Self, SpecError> {
+        let got = inner.spec();
+        let expected = reduced_spec(window_duration, slide_duration, got.k)?;
+        if got != expected {
+            return Err(SpecError::ReducedSpecMismatch { expected, got });
         }
-        let slides = (window_duration / slide_duration) as usize;
-        let spec = WindowSpec::new(slides * k, k, k)?;
-        Ok(TimeBasedSap {
-            inner: Sap::new(SapConfig::new(spec)),
-            k,
+        if inner.candidate_count() != 0 || inner.stats() != OpStats::default() {
+            return Err(SpecError::EngineNotFresh);
+        }
+        Ok(TimeBased {
+            k: got.k,
+            inner,
+            window_duration,
             slide_duration,
             current_slide_end: slide_duration,
             pending: Vec::new(),
-            ring: VecDeque::with_capacity(slides * k + k),
+            ring: VecDeque::with_capacity(expected.n.saturating_add(expected.k)),
             ring_base: 0,
             next_synth_id: 0,
             result: Vec::new(),
         })
+    }
+
+    /// Number of time units per window.
+    pub fn window_duration(&self) -> u64 {
+        self.window_duration
     }
 
     /// Number of time units per slide.
@@ -90,15 +148,33 @@ impl TimeBasedSap {
         self.slide_duration
     }
 
+    /// Result size per slide.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The wrapped count-based engine (serving the reduced stream).
+    pub fn engine(&self) -> &E {
+        &self.inner
+    }
+
     /// Ingests one object. Timestamps must be non-decreasing. Returns the
     /// updated top-k for every slide boundary the timestamp crosses (empty
     /// when the object lands in the still-open slide).
     pub fn ingest(&mut self, o: TimedObject) -> Vec<Vec<TimedObject>> {
+        let results = self.advance_to(o.timestamp);
+        self.pending.push(o);
+        results
+    }
+
+    /// Closes every slide ending at or before `watermark` (empty slides
+    /// included), returning one updated top-k per closed slide. Raising
+    /// the watermark is how trailing slides are flushed at end of stream.
+    pub fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>> {
         let mut results = Vec::new();
-        while o.timestamp >= self.current_slide_end {
+        while watermark >= self.current_slide_end {
             results.push(self.close_slide());
         }
-        self.pending.push(o);
         results
     }
 
@@ -107,12 +183,18 @@ impl TimeBasedSap {
     pub fn close_slide(&mut self) -> Vec<TimedObject> {
         // Reduce the slide to its top-k (same-slide dominance makes the
         // remainder provably useless, Appendix A) and pad to exactly k.
-        // Equal scores sort by ascending caller id so the newer object
-        // receives the higher synthetic id — the engine's tie-break then
-        // matches the time-based result order (newer wins).
+        // Selection breaks equal scores toward the HIGHER caller id —
+        // the time-based result order says newer wins, so when a tie
+        // straddles the top-k boundary the newer object must be the one
+        // that survives the truncation.
         self.pending
-            .sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+            .sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(b.id.cmp(&a.id)));
         self.pending.truncate(self.k);
+        // Synthetic ids are assigned in batch order, and the engine
+        // tie-breaks equal scores by the higher synthetic id — so hand
+        // the kept objects over in ascending caller-id order, making the
+        // newer of two equal-score survivors win inside the engine too.
+        self.pending.sort_unstable_by_key(|o| o.id);
         let mut batch = Vec::with_capacity(self.k);
         for i in 0..self.k {
             let synth_id = self.next_synth_id;
@@ -159,6 +241,47 @@ impl TimeBasedSap {
     }
 }
 
+/// The adapter's public face to the session layer: `TimedSession`, the
+/// hubs, and the facade builders all drive a `TimeBased<E>` through this
+/// trait.
+impl<E: SlidingTopK> TimedTopK for TimeBased<E> {
+    fn window_duration(&self) -> u64 {
+        TimeBased::window_duration(self)
+    }
+
+    fn slide_duration(&self) -> u64 {
+        TimeBased::slide_duration(self)
+    }
+
+    fn k(&self) -> usize {
+        TimeBased::k(self)
+    }
+
+    fn ingest(&mut self, o: TimedObject) -> Vec<Vec<TimedObject>> {
+        TimeBased::ingest(self, o)
+    }
+
+    fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>> {
+        TimeBased::advance_to(self, watermark)
+    }
+
+    fn last_result(&self) -> &[TimedObject] {
+        TimeBased::last_result(self)
+    }
+
+    fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn candidate_count(&self) -> usize {
+        TimeBased::candidate_count(self)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +313,99 @@ mod tests {
         assert!(TimeBasedSap::new(100, 30, 5).is_err());
         assert!(TimeBasedSap::new(100, 0, 5).is_err());
         assert!(TimeBasedSap::new(100, 20, 5).is_ok());
+    }
+
+    #[test]
+    fn equal_scores_at_the_truncation_boundary_keep_the_newer_object() {
+        // k = 1 and two equal-score objects in one slide: the documented
+        // tie-break (newer = higher id wins) must decide which one
+        // survives the slide's top-k reduction
+        let mut q = TimeBasedSap::new(10, 10, 1).unwrap();
+        q.ingest(obj(1, 0, 5.0));
+        q.ingest(obj(2, 0, 5.0));
+        let results = q.advance_to(10);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0], vec![obj(2, 0, 5.0)], "higher id wins the tie");
+        // and among survivors of a larger slide, ties still order newest
+        // first in the result
+        let mut q = TimeBasedSap::new(20, 10, 2).unwrap();
+        q.ingest(obj(7, 0, 3.0));
+        q.ingest(obj(5, 1, 3.0));
+        q.ingest(obj(3, 2, 1.0));
+        let results = q.advance_to(10);
+        assert_eq!(results[0], vec![obj(7, 0, 3.0), obj(5, 1, 3.0)]);
+    }
+
+    #[test]
+    fn cross_slide_ties_resolve_by_slide_recency_not_raw_id() {
+        // equal scores in different slides: the later slide's object wins
+        // even when its caller id is numerically smaller (ids are opaque
+        // across slides; see the TimedObject docs)
+        let mut q = TimeBasedSap::new(20, 10, 2).unwrap();
+        q.ingest(obj(10, 0, 5.0));
+        q.ingest(obj(3, 12, 5.0));
+        let results = q.advance_to(20);
+        assert_eq!(
+            results.last().unwrap(),
+            &vec![obj(3, 12, 5.0), obj(10, 0, 5.0)]
+        );
+    }
+
+    #[test]
+    fn from_engine_validates_the_reduction() {
+        // ⟨100, 5, 10⟩ is not the reduction of W⟨100, 10⟩ with k = 5
+        let wrong = Sap::new(SapConfig::new(WindowSpec::new(100, 5, 10).unwrap()));
+        assert!(matches!(
+            TimeBased::from_engine(wrong, 100, 10),
+            Err(SpecError::ReducedSpecMismatch { .. })
+        ));
+        // the reduction is ⟨(100/10)·5, 5, 5⟩ = ⟨50, 5, 5⟩
+        let right = Sap::new(SapConfig::new(WindowSpec::new(50, 5, 5).unwrap()));
+        let q = TimeBased::from_engine(right, 100, 10).unwrap();
+        assert_eq!(q.window_duration(), 100);
+        assert_eq!(q.slide_duration(), 10);
+        assert_eq!(q.k(), 5);
+        assert_eq!(q.engine().spec(), WindowSpec::new(50, 5, 5).unwrap());
+    }
+
+    #[test]
+    fn from_engine_rejects_used_engines() {
+        // a used engine's window holds arrival ordinals the adapter's id
+        // translation would collide with — must be rejected, not wrapped
+        let mut used = Sap::new(SapConfig::new(WindowSpec::new(50, 5, 5).unwrap()));
+        let batch: Vec<Object> = (0..5).map(|i| Object::new(i, i as f64)).collect();
+        used.slide(&batch);
+        assert_eq!(
+            TimeBased::from_engine(used, 100, 10).unwrap_err(),
+            SpecError::EngineNotFresh
+        );
+    }
+
+    #[test]
+    fn reduction_overflow_is_rejected_not_wrapped() {
+        // (2^62 + 8) slides × k = 12 overflows usize; must be a typed
+        // error, never a silently tiny wrapped window
+        assert!(matches!(
+            TimeBasedSap::new((1u64 << 62) + 8, 1, 12),
+            Err(SpecError::ReductionOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn advance_to_closes_empty_slides_through_the_trait() {
+        let mut q: Box<dyn TimedTopK> = Box::new(TimeBasedSap::new(40, 10, 2).unwrap());
+        assert_eq!(q.name(), "SAP");
+        q.ingest(obj(0, 5, 7.0));
+        assert_eq!(q.pending(), 1);
+        // watermark 40 closes [0,10) .. [30,40): 4 slides, 3 of them empty
+        let results = q.advance_to(40);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], vec![obj(0, 5, 7.0)]);
+        assert_eq!(results[3], vec![obj(0, 5, 7.0)], "still alive in [0,40)");
+        assert_eq!(q.pending(), 0);
+        // one more slide expires it
+        assert!(q.advance_to(50).pop().unwrap().is_empty());
+        assert!(q.last_result().is_empty());
     }
 
     #[test]

@@ -3,6 +3,19 @@
 //! §3.1: "`P^k_m` uses a AVL-Tree to maintain the k objects with highest
 //! scores in `P_m`" — insertion is `O(log k)`, the source of the framework's
 //! logarithmic incremental cost (§4.1).
+//!
+//! ```
+//! use sap_core::TopKBuffer;
+//! use sap_stream::ScoreKey;
+//!
+//! let mut top = TopKBuffer::new(2);
+//! for (id, score) in [(0u64, 3.0), (1, 9.0), (2, 5.0), (3, 1.0)] {
+//!     top.offer(ScoreKey { score, id });
+//! }
+//! assert_eq!(top.len(), 2);
+//! assert_eq!(top.max().unwrap().score, 9.0);
+//! assert_eq!(top.min().unwrap().score, 5.0);
+//! ```
 
 use sap_avltree::AvlSet;
 use sap_stream::ScoreKey;

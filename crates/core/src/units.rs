@@ -17,6 +17,19 @@
 //! every object outside it is strictly below every object inside it, the
 //! stored keys are the unit's exact top-`|keys|` (the property UBSA's
 //! phase-2 skip rule relies on).
+//!
+//! ```
+//! use sap_core::units::Tbui;
+//! use sap_stream::{OpStats, ScoreKey};
+//!
+//! let mut tbui = Tbui::new(2);
+//! let mut stats = OpStats::default();
+//! for id in 0..8u64 {
+//!     tbui.on_object(ScoreKey { score: id as f64, id });
+//! }
+//! let label = tbui.on_unit_complete(ScoreKey { score: 7.0, id: 7 }, &mut stats);
+//! assert!(label.entry.key_count() >= 1);
+//! ```
 
 use sap_stream::{OpStats, ScoreKey};
 

@@ -1,6 +1,15 @@
 //! The instrumented driver: feeds a stream through an algorithm slide by
 //! slide, recording wall-clock time, candidate counts, and memory — the
 //! three metrics of the paper's evaluation (§6.1 and Appendices E–F).
+//!
+//! ```
+//! use sap_stream::{checksum_fold, Object, CHECKSUM_SEED};
+//!
+//! let snapshot = [Object::new(0, 1.5), Object::new(1, 0.5)];
+//! let sum = checksum_fold(CHECKSUM_SEED, &snapshot);
+//! assert_eq!(sum, checksum_fold(CHECKSUM_SEED, &snapshot), "deterministic");
+//! assert_ne!(sum, CHECKSUM_SEED);
+//! ```
 
 use std::time::{Duration, Instant};
 

@@ -11,6 +11,17 @@
 //! When the engine can prove the result did not change (SAP's `dirty`
 //! flag, see `sap_core`), the delta is the single [`TopKEvent::Unchanged`]
 //! marker produced in `O(1)` without any comparison.
+//!
+//! ```
+//! use sap_stream::{diff_snapshots, Object, TopKEvent};
+//!
+//! let prev = vec![Object::new(1, 5.0)];
+//! let next = vec![Object::new(2, 6.0)];
+//! assert_eq!(
+//!     diff_snapshots(&prev, &next, false),
+//!     vec![TopKEvent::Exited(prev[0]), TopKEvent::Entered(next[0])]
+//! );
+//! ```
 
 use crate::object::Object;
 

@@ -51,6 +51,29 @@
 //! flag keeps quiet queries at O(1) per slide, which is what makes
 //! hash-partitioning (no work stealing) balance well even under skewed
 //! query mixes.
+//!
+//! ## Window models
+//!
+//! Queries window on one of two clocks, chosen by the [`Query`] builder's
+//! constructor and served side by side on either hub:
+//!
+//! * **count-based** (`Query::window(n)`) — the last `n` *objects*,
+//!   sliding every `s` arrivals; the paper's primary model;
+//! * **time-based** (`Query::window_duration(n)`) — the last `n` *time
+//!   units*, sliding every `s` time units (Appendix A), where the number
+//!   of objects per slide varies with the arrival rate and empty slides
+//!   are real slides. Timed streams enter through
+//!   [`Hub::publish_timed`]/[`TimedIngest`], and quiescence is published
+//!   by raising the event-time watermark ([`Hub::advance_time`]).
+//!
+//! ```
+//! use sap_stream::{Query, WindowSpec};
+//!
+//! let spec = Query::window(100).top(5).slide(10).validate().unwrap();
+//! assert_eq!(spec, WindowSpec::new(100, 5, 10).unwrap());
+//! let timed = Query::window_duration(3_600).top(5).slide_duration(60);
+//! assert_eq!(timed.validate_timed().unwrap().slides_per_window(), 60);
+//! ```
 
 pub mod driver;
 pub mod events;
@@ -60,14 +83,16 @@ pub mod object;
 pub mod query;
 pub mod session;
 pub mod shard;
+#[cfg(test)]
+mod test_support;
 pub mod window;
 
 pub use driver::{checksum_fold, run, run_collecting, RunSummary, CHECKSUM_SEED};
 pub use events::{diff_snapshots, SlideResult, TopKEvent};
-pub use generators::{Dataset, Workload};
+pub use generators::{ArrivalProcess, Dataset, Workload};
 pub use metrics::OpStats;
-pub use object::{Object, ScoreKey};
-pub use query::{AlgorithmKind, Query, SapError, SapPolicy};
-pub use session::{Hub, QueryId, QueryUpdate, Session};
+pub use object::{Object, ScoreKey, TimedObject};
+pub use query::{AlgorithmKind, Query, QuerySpec, SapError, SapPolicy, TimedSpec};
+pub use session::{AnySession, Hub, HubSession, QueryId, QueryUpdate, Session, TimedSession};
 pub use shard::{QueryState, ShardSession, ShardedHub, DEFAULT_QUEUE_CAPACITY};
-pub use window::{Ingest, SlidingTopK, SpecError, WindowSpec};
+pub use window::{Ingest, SlidingTopK, SpecError, TimedIngest, TimedTopK, WindowSpec};

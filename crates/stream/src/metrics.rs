@@ -5,6 +5,17 @@
 //! exactly these counts. Each algorithm updates an [`OpStats`] as it runs so
 //! that tests can assert the complexity claims and the harness can report
 //! them alongside wall-clock time.
+//!
+//! ```
+//! use sap_stream::OpStats;
+//!
+//! let mut stats = OpStats::default();
+//! stats.insertions += 3;
+//! stats.deletions += 1;
+//! assert_eq!(stats.mutations(), 4);
+//! stats.reset();
+//! assert_eq!(stats, OpStats::default());
+//! ```
 
 /// Cumulative operation counters. Fields irrelevant to a given algorithm
 /// simply stay zero.

@@ -12,6 +12,19 @@
 //!   dominated by ≥ k window objects can never be a result. Equal-score
 //!   objects never dominate each other (the strict inequality), which keeps
 //!   every skyband-style pruning conservative under ties.
+//!
+//! ```
+//! use sap_stream::object::{top_k_of, Object};
+//!
+//! let objs: Vec<Object> = [3.0, 9.0, 5.0]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, &s)| Object::new(i as u64, s))
+//!     .collect();
+//! assert_eq!(top_k_of(&objs, 2)[0].score, 9.0);
+//! // equal scores: the newer object ranks higher
+//! assert!(Object::new(2, 5.0).key() > Object::new(1, 5.0).key());
+//! ```
 
 /// One stream object: arrival order plus evaluated preference score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +78,71 @@ impl Object {
     #[inline]
     pub fn dominates(&self, other: &Object) -> bool {
         self.score > other.score && self.id > other.id
+    }
+}
+
+/// One stream object carrying an explicit event timestamp, the input of
+/// the **time-based** query model `W⟨n, s⟩` (paper Appendix A): the window
+/// holds the objects of the last `n` *time units* and slides every `s`
+/// time units, so the number of objects per slide varies with the arrival
+/// rate.
+///
+/// Unlike the count-based [`Object`], whose `id` doubles as the arrival
+/// ordinal, a `TimedObject`'s `id` is purely the caller's identifier:
+/// arrival position is determined by `timestamp`. Equal scores tie-break
+/// by **recency**: the object from the later slide wins, and within one
+/// slide the higher id wins. Callers that hand out ids in arrival order
+/// therefore get uniform "newer wins" semantics (the higher id wins every
+/// tie); with arbitrary ids, cross-slide ties still resolve by slide
+/// recency, not by the ids' numeric values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedObject {
+    /// Caller-provided identifier (returned in results).
+    pub id: u64,
+    /// Event time in arbitrary integer units. Streams must present
+    /// non-decreasing timestamps.
+    pub timestamp: u64,
+    /// The preference score `F(o)`. Must be finite.
+    pub score: f64,
+}
+
+impl TimedObject {
+    /// Creates a timed object, checking score finiteness in debug builds.
+    #[inline]
+    pub fn new(id: u64, timestamp: u64, score: f64) -> Self {
+        debug_assert!(
+            score.is_finite(),
+            "object {id} has non-finite score {score}"
+        );
+        TimedObject {
+            id,
+            timestamp,
+            score,
+        }
+    }
+
+    /// Creates a timed object, rejecting non-finite scores in **all**
+    /// builds — the counterpart of [`Object::try_new`] for boundaries that
+    /// evaluate `F` on external data.
+    #[inline]
+    pub fn try_new(id: u64, timestamp: u64, score: f64) -> Result<Self, crate::query::SapError> {
+        if score.is_finite() {
+            Ok(TimedObject {
+                id,
+                timestamp,
+                score,
+            })
+        } else {
+            Err(crate::query::SapError::NonFiniteScore { id, score })
+        }
+    }
+
+    /// Drops the timestamp, keeping `(id, score)` — how count-based
+    /// sessions observe a timed stream (they window on arrival counts, so
+    /// event time is irrelevant to them).
+    #[inline]
+    pub fn untimed(&self) -> Object {
+        Object::new(self.id, self.score)
     }
 }
 

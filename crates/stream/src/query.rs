@@ -56,6 +56,28 @@ pub enum SapError {
         /// The unrecognized handle.
         query: crate::session::QueryId,
     },
+    /// The builder mixed count-based geometry (`window`/`slide`) with
+    /// time-based geometry (`window_duration`/`slide_duration`); a query
+    /// windows on arrival counts or on event time, never both.
+    MixedWindowKinds,
+    /// A time-based query was handed to an entry point that requires a
+    /// count-based one (e.g. `build()`/`session()`); use the `timed`
+    /// counterparts, or `Hub`/`ShardedHub` registration, which accept
+    /// both.
+    NotCountBased,
+    /// A count-based query was handed to an entry point that requires a
+    /// time-based one (e.g. `timed_session()`).
+    NotTimeBased,
+    /// A sharded hub worker thread is gone — a registered engine panicked,
+    /// killing the shard. The queries owned by that shard are lost; the
+    /// other shards are unaffected but the hub as a whole can no longer
+    /// guarantee full fan-out, so the recovery story is to drop the hub,
+    /// build a fresh one, and re-register the standing queries (engines on
+    /// surviving shards can be rescued first via `unregister`).
+    ShardDown {
+        /// Index of the dead shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for SapError {
@@ -75,6 +97,26 @@ impl std::fmt::Display for SapError {
             }
             SapError::UnknownQuery { query } => {
                 write!(f, "no query {query} is registered with this hub")
+            }
+            SapError::MixedWindowKinds => {
+                write!(
+                    f,
+                    "query mixes count-based (window/slide) and time-based \
+                     (window_duration/slide_duration) geometry"
+                )
+            }
+            SapError::NotCountBased => {
+                write!(f, "expected a count-based query, got a time-based one")
+            }
+            SapError::NotTimeBased => {
+                write!(f, "expected a time-based query, got a count-based one")
+            }
+            SapError::ShardDown { shard } => {
+                write!(
+                    f,
+                    "shard {shard} worker is dead (an engine panicked); \
+                     rebuild the hub and re-register its queries"
+                )
             }
         }
     }
@@ -223,27 +265,164 @@ pub fn check_sma_params(
     Ok(())
 }
 
+/// A validated **time-based** query `W⟨n, s⟩` (paper Appendix A): the
+/// top `k` of the objects whose timestamps fall in the last
+/// `window_duration` time units, re-evaluated every `slide_duration` time
+/// units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimedSpec {
+    /// Window length in time units.
+    pub window_duration: u64,
+    /// Slide length in time units; divides `window_duration`.
+    pub slide_duration: u64,
+    /// Number of results returned per slide.
+    pub k: usize,
+}
+
+impl TimedSpec {
+    /// Validates and builds a timed spec. Requires positive durations,
+    /// `slide_duration | window_duration`, and `k ≥ 1`.
+    pub fn new(window_duration: u64, slide_duration: u64, k: usize) -> Result<Self, SpecError> {
+        if window_duration == 0 {
+            return Err(SpecError::WindowEmpty);
+        }
+        if slide_duration == 0
+            || slide_duration > window_duration
+            || !window_duration.is_multiple_of(slide_duration)
+        {
+            return Err(SpecError::SlideNotDivisor {
+                s: slide_duration as usize,
+                n: window_duration as usize,
+            });
+        }
+        if k == 0 {
+            // a time window has no object-count upper bound on k, so the
+            // only constraint is k ≥ 1; report it against the duration
+            return Err(SpecError::KOutOfRange {
+                k,
+                n: window_duration as usize,
+            });
+        }
+        let spec = TimedSpec {
+            window_duration,
+            slide_duration,
+            k,
+        };
+        // k must make the reduced count-based spec valid (k ≥ 1)
+        spec.reduced()?;
+        Ok(spec)
+    }
+
+    /// `m = n/s`: the number of slides spanning one window, saturated to
+    /// `usize::MAX` on targets where it does not fit (the reduction
+    /// itself rejects such specs — see [`reduced`](TimedSpec::reduced)).
+    #[inline]
+    pub fn slides_per_window(&self) -> usize {
+        usize::try_from(self.window_duration / self.slide_duration).unwrap_or(usize::MAX)
+    }
+
+    /// The Appendix-A reduction: reducing each slide to its top-`k` makes
+    /// the time-based query answerable by a count-based engine over
+    /// `⟨n' = (n/s)·k, k, s' = k⟩`. Computed in `u64` and converted
+    /// checked, so an unrepresentable reduction is a typed
+    /// [`SpecError::ReductionOverflow`] on every target width — never a
+    /// silently tiny wrapped window.
+    pub fn reduced(&self) -> Result<WindowSpec, SpecError> {
+        let slides = self.window_duration / self.slide_duration;
+        let n = slides
+            .checked_mul(self.k as u64)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or(SpecError::ReductionOverflow { slides, k: self.k })?;
+        WindowSpec::new(n, self.k, self.k)
+    }
+}
+
+/// What a [`Query`] validates into: the count-based tuple `⟨n, k, s⟩` or
+/// the time-based `W⟨n, s⟩` durations — one query is exactly one of the
+/// two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuerySpec {
+    /// A count-based query (`Query::window(..)`).
+    Count(WindowSpec),
+    /// A time-based query (`Query::window_duration(..)`).
+    Timed(TimedSpec),
+}
+
+impl QuerySpec {
+    /// The result size, whichever the window model.
+    pub fn k(&self) -> usize {
+        match self {
+            QuerySpec::Count(spec) => spec.k,
+            QuerySpec::Timed(spec) => spec.k,
+        }
+    }
+}
+
 /// A continuous top-k query under construction: window geometry plus the
 /// algorithm that answers it. Build fluently, then [`validate`](Query::validate)
 /// (or hand it to the facade's `build()`/`Hub::register`, which validate
 /// internally).
+///
+/// Two window models share the one builder, chosen by the constructor and
+/// **mutually exclusive** (mixing them is [`SapError::MixedWindowKinds`]):
+///
+/// * [`Query::window(n)`](Query::window)` + `[`slide(s)`](Query::slide) —
+///   count-based: the last `n` *objects*, re-evaluated every `s` arrivals;
+/// * [`Query::window_duration(n)`](Query::window_duration)` +
+///   `[`slide_duration(s)`](Query::slide_duration) — time-based: the last
+///   `n` *time units*, re-evaluated every `s` time units (paper
+///   Appendix A).
+///
+/// ```
+/// use sap_stream::{Query, QuerySpec};
+///
+/// let timed = Query::window_duration(3_600).top(10).slide_duration(60);
+/// match timed.validate_any().unwrap() {
+///     QuerySpec::Timed(spec) => assert_eq!(spec.slides_per_window(), 60),
+///     QuerySpec::Count(_) => unreachable!(),
+/// }
+/// assert!(Query::window(100).top(5).slide_duration(60).validate_any().is_err());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
-    n: usize,
+    n: Option<usize>,
+    s: Option<usize>,
+    window_duration: Option<u64>,
+    slide_duration: Option<u64>,
     k: Option<usize>,
-    s: usize,
     algorithm: AlgorithmKind,
 }
 
 impl Query {
-    /// Starts a query over the last `n` objects. The slide defaults to 1
-    /// (re-evaluate on every arrival) and the algorithm to the paper's SAP.
+    fn empty() -> Query {
+        Query {
+            n: None,
+            s: None,
+            window_duration: None,
+            slide_duration: None,
+            k: None,
+            algorithm: AlgorithmKind::default(),
+        }
+    }
+
+    /// Starts a count-based query over the last `n` objects. The slide
+    /// defaults to 1 (re-evaluate on every arrival) and the algorithm to
+    /// the paper's SAP.
     pub fn window(n: usize) -> Query {
         Query {
-            n,
-            k: None,
-            s: 1,
-            algorithm: AlgorithmKind::default(),
+            n: Some(n),
+            ..Query::empty()
+        }
+    }
+
+    /// Starts a time-based query over the last `duration` time units. The
+    /// slide defaults to 1 time unit and the algorithm to the paper's SAP;
+    /// the engine is constructed through the Appendix-A reduction (see
+    /// [`TimedSpec::reduced`]).
+    pub fn window_duration(duration: u64) -> Query {
+        Query {
+            window_duration: Some(duration),
+            ..Query::empty()
         }
     }
 
@@ -253,9 +432,19 @@ impl Query {
         self
     }
 
-    /// Sets the slide size `s` (must divide `n`).
+    /// Sets the count-based slide size `s` (must divide `n`). On a
+    /// time-based query this records a geometry mix, surfaced by
+    /// validation as [`SapError::MixedWindowKinds`].
     pub fn slide(mut self, s: usize) -> Query {
-        self.s = s;
+        self.s = Some(s);
+        self
+    }
+
+    /// Sets the time-based slide duration (must divide the window
+    /// duration). On a count-based query this records a geometry mix,
+    /// surfaced by validation as [`SapError::MixedWindowKinds`].
+    pub fn slide_duration(mut self, duration: u64) -> Query {
+        self.slide_duration = Some(duration);
         self
     }
 
@@ -270,13 +459,56 @@ impl Query {
         &self.algorithm
     }
 
-    /// Validates the full query: the `⟨n, k, s⟩` tuple and the algorithm
-    /// configuration. Returns the window spec on success.
-    pub fn validate(&self) -> Result<WindowSpec, SapError> {
+    /// Whether this query windows on event time (built with
+    /// [`Query::window_duration`]) rather than arrival counts. Geometry
+    /// mixes report as their *constructor's* kind; validation rejects them
+    /// either way.
+    pub fn is_time_based(&self) -> bool {
+        self.window_duration.is_some()
+    }
+
+    /// Validates the full query — geometry (of either window model) and
+    /// algorithm configuration — returning which model it is along with
+    /// its validated spec.
+    pub fn validate_any(&self) -> Result<QuerySpec, SapError> {
+        let count = self.n.is_some() || self.s.is_some();
+        let timed = self.window_duration.is_some() || self.slide_duration.is_some();
+        if count && timed {
+            return Err(SapError::MixedWindowKinds);
+        }
         let k = self.k.ok_or(SapError::MissingK)?;
-        let spec = WindowSpec::new(self.n, k, self.s)?;
+        if let Some(duration) = self.window_duration {
+            let spec = TimedSpec::new(duration, self.slide_duration.unwrap_or(1), k)?;
+            self.algorithm.validate(spec.reduced()?)?;
+            return Ok(QuerySpec::Timed(spec));
+        }
+        // `.slide(s)` with no `.window(n)` is not constructible through the
+        // public API (both constructors set a window), but guard anyway
+        let n = self.n.ok_or(SapError::Spec(SpecError::WindowEmpty))?;
+        let spec = WindowSpec::new(n, k, self.s.unwrap_or(1))?;
         self.algorithm.validate(spec)?;
-        Ok(spec)
+        Ok(QuerySpec::Count(spec))
+    }
+
+    /// Validates a **count-based** query: the `⟨n, k, s⟩` tuple and the
+    /// algorithm configuration. Returns the window spec on success; a
+    /// time-based query is [`SapError::NotCountBased`] (use
+    /// [`validate_timed`](Query::validate_timed) or
+    /// [`validate_any`](Query::validate_any) for those).
+    pub fn validate(&self) -> Result<WindowSpec, SapError> {
+        match self.validate_any()? {
+            QuerySpec::Count(spec) => Ok(spec),
+            QuerySpec::Timed(_) => Err(SapError::NotCountBased),
+        }
+    }
+
+    /// Validates a **time-based** query, returning its durations; a
+    /// count-based query is [`SapError::NotTimeBased`].
+    pub fn validate_timed(&self) -> Result<TimedSpec, SapError> {
+        match self.validate_any()? {
+            QuerySpec::Timed(spec) => Ok(spec),
+            QuerySpec::Count(_) => Err(SapError::NotTimeBased),
+        }
     }
 }
 
@@ -311,6 +543,98 @@ mod tests {
             SapError::Spec(SpecError::SlideNotDivisor { .. })
         ));
         assert!(err.to_string().contains("divide"));
+    }
+
+    #[test]
+    fn timed_builder_round_trip() {
+        let q = Query::window_duration(600).top(4).slide_duration(60);
+        assert!(q.is_time_based());
+        let spec = q.validate_timed().unwrap();
+        assert_eq!(spec.window_duration, 600);
+        assert_eq!(spec.slide_duration, 60);
+        assert_eq!(spec.k, 4);
+        assert_eq!(spec.slides_per_window(), 10);
+        let reduced = spec.reduced().unwrap();
+        assert_eq!((reduced.n, reduced.k, reduced.s), (40, 4, 4));
+        assert_eq!(q.validate_any().unwrap(), QuerySpec::Timed(spec));
+        assert_eq!(q.validate_any().unwrap().k(), 4);
+    }
+
+    #[test]
+    fn timed_slide_defaults_to_one_unit() {
+        let spec = Query::window_duration(7).top(2).validate_timed().unwrap();
+        assert_eq!(spec.slide_duration, 1);
+        assert_eq!(spec.slides_per_window(), 7);
+    }
+
+    #[test]
+    fn mixed_geometry_is_one_typed_error() {
+        let from_count = Query::window(100).top(5).slide_duration(10);
+        assert_eq!(from_count.validate_any(), Err(SapError::MixedWindowKinds));
+        assert!(!from_count.is_time_based(), "constructor decides the kind");
+        let from_timed = Query::window_duration(100).top(5).slide(10);
+        assert_eq!(from_timed.validate_any(), Err(SapError::MixedWindowKinds));
+        assert!(from_timed.is_time_based());
+        assert!(from_count
+            .validate_any()
+            .unwrap_err()
+            .to_string()
+            .contains("mixes"));
+    }
+
+    #[test]
+    fn wrong_window_kind_is_typed() {
+        let timed = Query::window_duration(100).top(5).slide_duration(10);
+        assert_eq!(timed.validate(), Err(SapError::NotCountBased));
+        let count = Query::window(100).top(5).slide(10);
+        assert_eq!(count.validate_timed(), Err(SapError::NotTimeBased));
+    }
+
+    #[test]
+    fn timed_spec_rejects_bad_durations() {
+        assert_eq!(TimedSpec::new(0, 1, 3), Err(SpecError::WindowEmpty));
+        assert!(matches!(
+            TimedSpec::new(100, 0, 3),
+            Err(SpecError::SlideNotDivisor { .. })
+        ));
+        assert!(matches!(
+            TimedSpec::new(100, 30, 3),
+            Err(SpecError::SlideNotDivisor { .. })
+        ));
+        assert!(matches!(
+            TimedSpec::new(100, 200, 3),
+            Err(SpecError::SlideNotDivisor { .. })
+        ));
+        assert!(matches!(
+            TimedSpec::new(100, 20, 0),
+            Err(SpecError::KOutOfRange { .. })
+        ));
+        assert!(TimedSpec::new(100, 20, 3).is_ok());
+        // k errors flow through the builder's single SapError path
+        assert!(matches!(
+            Query::window_duration(100)
+                .top(0)
+                .slide_duration(20)
+                .validate_any(),
+            Err(SapError::Spec(SpecError::KOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn timed_algorithm_config_validated_against_reduction() {
+        // SMA k_max is checked against the timed query's k, via the
+        // reduced spec
+        let q = Query::window_duration(100)
+            .top(10)
+            .slide_duration(10)
+            .algorithm(AlgorithmKind::Sma {
+                kmax: Some(5),
+                grid_buckets: None,
+            });
+        assert_eq!(
+            q.validate_any(),
+            Err(SapError::KMaxTooSmall { kmax: 5, k: 10 })
+        );
     }
 
     #[test]

@@ -14,11 +14,36 @@
 //! unregister at runtime via [`QueryId`] handles; each arriving object
 //! fans out to every subscribed query, and results come back tagged with
 //! the query that produced them.
+//!
+//! Time-based queries have the same shape one type over:
+//! [`TimedSession`] wraps a [`TimedTopK`] engine, slides close on
+//! timestamps instead of arrival counts, and both hubs serve the two
+//! models side by side (see [`Hub::publish_timed`]).
+//!
+//! ```
+//! use sap_stream::{Hub, Ingest, Object};
+//! # use sap_stream::{OpStats, SlidingTopK, WindowSpec};
+//! # struct Toy(WindowSpec, Vec<Object>);
+//! # impl SlidingTopK for Toy {
+//! #     fn spec(&self) -> WindowSpec { self.0 }
+//! #     fn slide(&mut self, b: &[Object]) -> &[Object] { self.1 = b.to_vec(); &self.1 }
+//! #     fn candidate_count(&self) -> usize { 0 }
+//! #     fn memory_bytes(&self) -> usize { 0 }
+//! #     fn stats(&self) -> OpStats { OpStats::default() }
+//! #     fn name(&self) -> &str { "toy" }
+//! # }
+//! let mut hub = Hub::new();
+//! let q = hub.register_alg(Toy(WindowSpec::new(2, 1, 2).unwrap(), Vec::new()));
+//! let updates = hub.publish(&[Object::new(0, 1.0), Object::new(1, 5.0)]);
+//! assert_eq!(updates.len(), 1);
+//! assert_eq!(updates[0].query, q);
+//! assert_eq!(hub.session(q).unwrap().slides(), 1);
+//! ```
 
 use crate::events::{diff_snapshots, SlideResult};
-use crate::object::Object;
+use crate::object::{Object, TimedObject};
 use crate::query::SapError;
-use crate::window::{Ingest, SlidingTopK, WindowSpec};
+use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
 
 /// A session: one algorithm instance plus the ingestion buffer, the id
 /// translation ring, and the previous emission used for delta
@@ -146,6 +171,184 @@ impl<A: SlidingTopK> Ingest for Session<A> {
     }
 }
 
+/// A session over a **time-based** query: one [`TimedTopK`] engine plus
+/// the previous emission used for delta computation — the event-time
+/// counterpart of [`Session`].
+///
+/// Slides close when timestamps cross slide boundaries, so one
+/// [`push_timed`](TimedIngest::push_timed) may emit zero, one, or many
+/// [`SlideResult`]s — including results for **empty slides** (a quiet
+/// stretch of stream still re-evaluates the window every `slide_duration`
+/// time units once a later arrival, or an explicit
+/// [`advance_watermark`](TimedIngest::advance_watermark), proves the time
+/// has passed). Emitted snapshots carry the caller's ids and scores; the
+/// `slide` index counts closed slides from 0, exactly like the
+/// count-based session, which is what keeps `(QueryId, slide)` ordering
+/// deterministic across hubs.
+///
+/// Unlike [`Session`], no id renumbering happens here: a
+/// [`TimedObject`]'s position in time is its `timestamp`, and its `id` is
+/// opaque to the engine except for tie-breaking (equal scores resolve by
+/// slide recency, then by descending id within a slide — see the
+/// [`TimedObject`] docs).
+#[derive(Debug)]
+pub struct TimedSession<E: TimedTopK> {
+    engine: E,
+    prev: Vec<Object>,
+    slides: u64,
+}
+
+impl<E: TimedTopK> TimedSession<E> {
+    /// Wraps a time-based engine.
+    pub fn new(engine: E) -> Self {
+        TimedSession {
+            engine,
+            prev: Vec::new(),
+            slides: 0,
+        }
+    }
+
+    /// The validated durations this session answers.
+    pub fn timed_spec(&self) -> crate::query::TimedSpec {
+        crate::query::TimedSpec {
+            window_duration: self.engine.window_duration(),
+            slide_duration: self.engine.slide_duration(),
+            k: self.engine.k(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Number of slides closed so far.
+    pub fn slides(&self) -> u64 {
+        self.slides
+    }
+
+    /// The most recently emitted top-k (descending), empty before the
+    /// first closed slide.
+    pub fn last_snapshot(&self) -> &[Object] {
+        &self.prev
+    }
+
+    /// Unwraps the session, discarding the delta state.
+    pub fn into_inner(self) -> E {
+        self.engine
+    }
+
+    /// Converts one engine snapshot into a [`SlideResult`] against the
+    /// previous emission.
+    fn emit(&mut self, snapshot: Vec<TimedObject>) -> SlideResult {
+        let snapshot: Vec<Object> = snapshot.iter().map(TimedObject::untimed).collect();
+        // engines close slides eagerly inside one ingest call, so a
+        // per-slide dirty flag is not observable here; the O(k) diff is
+        // the honest cost (k is small)
+        let events = diff_snapshots(&self.prev, &snapshot, false);
+        let result = SlideResult {
+            slide: self.slides,
+            snapshot: snapshot.clone(),
+            events,
+        };
+        self.prev = snapshot;
+        self.slides += 1;
+        result
+    }
+}
+
+impl<E: TimedTopK> TimedIngest for TimedSession<E> {
+    fn push_timed(&mut self, objects: &[TimedObject]) -> Vec<SlideResult> {
+        let mut out = Vec::new();
+        for &o in objects {
+            for snapshot in self.engine.ingest(o) {
+                out.push(self.emit(snapshot));
+            }
+        }
+        out
+    }
+
+    fn advance_watermark(&mut self, watermark: u64) -> Vec<SlideResult> {
+        self.engine
+            .advance_to(watermark)
+            .into_iter()
+            .map(|snapshot| self.emit(snapshot))
+            .collect()
+    }
+
+    fn pending(&self) -> usize {
+        self.engine.pending()
+    }
+}
+
+/// A session of either window model — what the hubs store and what
+/// [`Hub::unregister`]/`ShardedHub::unregister` hand back. The `C`/`T`
+/// parameters are the count-based and time-based engine types (boxed
+/// trait objects in the hubs; see [`HubSession`] and
+/// [`ShardSession`](crate::shard::ShardSession)).
+#[derive(Debug)]
+pub enum AnySession<C: SlidingTopK, T: TimedTopK> {
+    /// A count-based session.
+    Count(Session<C>),
+    /// A time-based session.
+    Timed(TimedSession<T>),
+}
+
+impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
+    /// Number of slides completed so far, whichever the window model.
+    pub fn slides(&self) -> u64 {
+        match self {
+            AnySession::Count(s) => s.slides(),
+            AnySession::Timed(s) => s.slides(),
+        }
+    }
+
+    /// The most recently emitted top-k (descending), empty before the
+    /// first completed slide.
+    pub fn last_snapshot(&self) -> &[Object] {
+        match self {
+            AnySession::Count(s) => s.last_snapshot(),
+            AnySession::Timed(s) => s.last_snapshot(),
+        }
+    }
+
+    /// The count-based session, if that is this session's model.
+    pub fn as_count(&self) -> Option<&Session<C>> {
+        match self {
+            AnySession::Count(s) => Some(s),
+            AnySession::Timed(_) => None,
+        }
+    }
+
+    /// The time-based session, if that is this session's model.
+    pub fn as_timed(&self) -> Option<&TimedSession<T>> {
+        match self {
+            AnySession::Timed(s) => Some(s),
+            AnySession::Count(_) => None,
+        }
+    }
+
+    /// Unwraps a count-based session.
+    pub fn into_count(self) -> Option<Session<C>> {
+        match self {
+            AnySession::Count(s) => Some(s),
+            AnySession::Timed(_) => None,
+        }
+    }
+
+    /// Unwraps a time-based session.
+    pub fn into_timed(self) -> Option<TimedSession<T>> {
+        match self {
+            AnySession::Timed(s) => Some(s),
+            AnySession::Count(_) => None,
+        }
+    }
+}
+
+/// The session type a [`Hub`] stores and returns from
+/// [`unregister`](Hub::unregister).
+pub type HubSession = AnySession<Box<dyn SlidingTopK>, Box<dyn TimedTopK>>;
+
 /// Handle identifying a query registered with a [`Hub`] or a
 /// [`ShardedHub`](crate::shard::ShardedHub). Ids are handed out
 /// monotonically, so ascending `QueryId` order *is* registration order.
@@ -182,13 +385,23 @@ pub struct QueryUpdate {
 
 /// A set of concurrently served continuous top-k queries over one stream.
 ///
-/// Each query keeps its own [`Session`], so heterogeneous `⟨n, k, s⟩`
-/// geometries and algorithms coexist: a published object is appended to
-/// every session's buffer, and each session slides exactly when *its* `s`
-/// is reached. Results are delivered in registration order.
+/// Each query keeps its own session, so heterogeneous geometries and
+/// algorithms coexist: a published object is appended to every session's
+/// buffer, and each session slides exactly when *its* boundary is reached.
+/// Results are delivered in registration order.
+///
+/// Both window models share the hub. Count-based queries
+/// ([`register_boxed`](Hub::register_boxed)) slide on arrival counts;
+/// time-based queries ([`register_timed_boxed`](Hub::register_timed_boxed))
+/// slide on event time. A stream published with
+/// [`publish_timed`](Hub::publish_timed) feeds both: count-based sessions
+/// see the objects' `(id, score)` in arrival order, time-based sessions
+/// additionally consume the timestamps. The plain [`publish`](Hub::publish)
+/// path carries no event time and therefore advances count-based queries
+/// only.
 #[derive(Default)]
 pub struct Hub {
-    sessions: Vec<(QueryId, Session<Box<dyn SlidingTopK>>)>,
+    sessions: Vec<(QueryId, HubSession)>,
     next_id: u64,
 }
 
@@ -207,12 +420,13 @@ impl Hub {
         Hub::default()
     }
 
-    /// Registers an algorithm instance as a new standing query and
-    /// returns its handle.
+    /// Registers an algorithm instance as a new standing count-based
+    /// query and returns its handle.
     pub fn register_boxed(&mut self, alg: Box<dyn SlidingTopK>) -> QueryId {
         let id = QueryId(self.next_id);
         self.next_id += 1;
-        self.sessions.push((id, Session::new(alg)));
+        self.sessions
+            .push((id, AnySession::Count(Session::new(alg))));
         id
     }
 
@@ -222,11 +436,29 @@ impl Hub {
         self.register_boxed(Box::new(alg))
     }
 
+    /// Registers a time-based engine as a new standing query and returns
+    /// its handle. The query slides on event time, so it advances on
+    /// [`publish_timed`](Hub::publish_timed) and
+    /// [`advance_time`](Hub::advance_time) only.
+    pub fn register_timed_boxed(&mut self, engine: Box<dyn TimedTopK>) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.sessions
+            .push((id, AnySession::Timed(TimedSession::new(engine))));
+        id
+    }
+
+    /// Registers an owned time-based engine (convenience over
+    /// [`register_timed_boxed`](Hub::register_timed_boxed)).
+    pub fn register_timed_alg<E: TimedTopK + 'static>(&mut self, engine: E) -> QueryId {
+        self.register_timed_boxed(Box::new(engine))
+    }
+
     /// Removes a query, returning its session (with the algorithm's full
     /// state). An unknown or already-removed handle is a typed
     /// [`SapError::UnknownQuery`] — never a silent no-op, so callers
     /// cannot mistake a stale handle for a successful removal.
-    pub fn unregister(&mut self, id: QueryId) -> Result<Session<Box<dyn SlidingTopK>>, SapError> {
+    pub fn unregister(&mut self, id: QueryId) -> Result<HubSession, SapError> {
         let pos = self
             .sessions
             .iter()
@@ -243,14 +475,71 @@ impl Hub {
     /// is dropped (no buffering for future registrations — a query that
     /// joins later starts from *its* first published object) and the
     /// returned updates are empty.
+    ///
+    /// Untimed objects carry no event time, so **time-based queries do
+    /// not advance here** — feed them through
+    /// [`publish_timed`](Hub::publish_timed) (or close their slides with
+    /// [`advance_time`](Hub::advance_time)).
     pub fn publish(&mut self, objects: &[Object]) -> Vec<QueryUpdate> {
         if self.sessions.is_empty() {
             return Vec::new();
         }
         let mut out = Vec::new();
         for (id, session) in &mut self.sessions {
-            for result in session.push(objects) {
+            if let AnySession::Count(session) = session {
+                for result in session.push(objects) {
+                    out.push(QueryUpdate { query: *id, result });
+                }
+            }
+        }
+        out
+    }
+
+    /// Publishes a batch of **timestamped** objects (non-decreasing
+    /// timestamps) to every registered query — the shared ingestion path
+    /// for heterogeneous count- and time-based subscriptions. Count-based
+    /// sessions observe each object's `(id, score)` in arrival order;
+    /// time-based sessions additionally consume the timestamps, closing
+    /// their slides (empty ones included) as boundaries are crossed.
+    /// Returns every completed slide in registration order.
+    pub fn publish_timed(&mut self, objects: &[TimedObject]) -> Vec<QueryUpdate> {
+        if self.sessions.is_empty() || objects.is_empty() {
+            return Vec::new();
+        }
+        // strip the timestamps once, not once per count-based session
+        let plain: Vec<Object> = if self
+            .sessions
+            .iter()
+            .any(|(_, s)| matches!(s, AnySession::Count(_)))
+        {
+            objects.iter().map(TimedObject::untimed).collect()
+        } else {
+            Vec::new()
+        };
+        let mut out = Vec::new();
+        for (id, session) in &mut self.sessions {
+            let results = match session {
+                AnySession::Count(session) => session.push(&plain),
+                AnySession::Timed(session) => session.push_timed(objects),
+            };
+            for result in results {
                 out.push(QueryUpdate { query: *id, result });
+            }
+        }
+        out
+    }
+
+    /// Raises the event-time watermark on every time-based query, closing
+    /// (and returning, in registration order) every slide ending at or
+    /// before `watermark` — the way to flush trailing and empty slides
+    /// when the stream goes quiet. Count-based queries are untouched.
+    pub fn advance_time(&mut self, watermark: u64) -> Vec<QueryUpdate> {
+        let mut out = Vec::new();
+        for (id, session) in &mut self.sessions {
+            if let AnySession::Timed(session) = session {
+                for result in session.advance_watermark(watermark) {
+                    out.push(QueryUpdate { query: *id, result });
+                }
             }
         }
         out
@@ -261,9 +550,28 @@ impl Hub {
         self.publish(std::slice::from_ref(&object))
     }
 
-    /// The session behind a handle.
-    pub fn session(&self, id: QueryId) -> Option<&Session<Box<dyn SlidingTopK>>> {
+    /// Publishes one timestamped object (convenience over
+    /// [`publish_timed`](Hub::publish_timed)).
+    pub fn publish_one_timed(&mut self, object: TimedObject) -> Vec<QueryUpdate> {
+        self.publish_timed(std::slice::from_ref(&object))
+    }
+
+    /// The session behind a handle, whichever its window model.
+    pub fn any_session(&self, id: QueryId) -> Option<&HubSession> {
         self.sessions.iter().find(|(q, _)| *q == id).map(|(_, s)| s)
+    }
+
+    /// The count-based session behind a handle (`None` for unknown
+    /// handles and for time-based queries — see
+    /// [`timed_session`](Hub::timed_session)).
+    pub fn session(&self, id: QueryId) -> Option<&Session<Box<dyn SlidingTopK>>> {
+        self.any_session(id).and_then(AnySession::as_count)
+    }
+
+    /// The time-based session behind a handle (`None` for unknown handles
+    /// and for count-based queries).
+    pub fn timed_session(&self, id: QueryId) -> Option<&TimedSession<Box<dyn TimedTopK>>> {
+        self.any_session(id).and_then(AnySession::as_timed)
     }
 
     /// Iterates the registered query handles in registration order.
@@ -286,51 +594,8 @@ impl Hub {
 mod tests {
     use super::*;
     use crate::events::TopKEvent;
-    use crate::metrics::OpStats;
     use crate::object::top_k_of;
-
-    /// The same minimal reference algorithm the driver tests use.
-    struct Toy {
-        spec: WindowSpec,
-        window: Vec<Object>,
-        result: Vec<Object>,
-    }
-
-    impl Toy {
-        fn new(n: usize, k: usize, s: usize) -> Self {
-            Toy {
-                spec: WindowSpec::new(n, k, s).unwrap(),
-                window: Vec::new(),
-                result: Vec::new(),
-            }
-        }
-    }
-
-    impl SlidingTopK for Toy {
-        fn spec(&self) -> WindowSpec {
-            self.spec
-        }
-        fn slide(&mut self, batch: &[Object]) -> &[Object] {
-            assert_eq!(batch.len(), self.spec.s, "session must re-chunk to s");
-            self.window.extend_from_slice(batch);
-            let excess = self.window.len().saturating_sub(self.spec.n);
-            self.window.drain(..excess);
-            self.result = top_k_of(&self.window, self.spec.k);
-            &self.result
-        }
-        fn candidate_count(&self) -> usize {
-            self.window.len()
-        }
-        fn memory_bytes(&self) -> usize {
-            0
-        }
-        fn stats(&self) -> OpStats {
-            OpStats::default()
-        }
-        fn name(&self) -> &str {
-            "toy"
-        }
-    }
+    use crate::test_support::{Toy, ToyTimed};
 
     fn stream(len: usize) -> Vec<Object> {
         (0..len)
@@ -417,7 +682,7 @@ mod tests {
         assert_eq!(hub.query_ids().collect::<Vec<_>>(), vec![a, b]);
 
         let removed = hub.unregister(a).expect("a is registered");
-        assert_eq!(removed.spec().n, 2);
+        assert_eq!(removed.into_count().expect("count-based").spec().n, 2);
         assert_eq!(
             hub.unregister(a).unwrap_err(),
             SapError::UnknownQuery { query: a },
@@ -483,6 +748,98 @@ mod tests {
         assert_eq!(hub.session(early).unwrap().slides(), 7);
         assert_eq!(hub.session(late).unwrap().slides(), 2);
         assert_eq!(updates.len(), 2 + 2);
+    }
+
+    #[test]
+    fn timed_session_closes_on_boundaries() {
+        let mut session = TimedSession::new(ToyTimed::new(40, 10, 2));
+        assert_eq!(session.timed_spec().slides_per_window(), 4);
+        // two objects in slide [0, 10): nothing closes yet
+        let r = session.push_timed(&[TimedObject::new(0, 3, 5.0), TimedObject::new(1, 7, 9.0)]);
+        assert!(r.is_empty());
+        assert_eq!(session.pending(), 2);
+        // a timestamp jump to 35 closes slides [0,10), [10,20), [20,30)
+        let r = session.push_timed(&[TimedObject::new(2, 35, 7.0)]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].slide, 0);
+        assert_eq!(
+            r[0].snapshot,
+            vec![Object::new(1, 9.0), Object::new(0, 5.0)]
+        );
+        assert_eq!(
+            r[0].events,
+            vec![
+                TopKEvent::Entered(Object::new(1, 9.0)),
+                TopKEvent::Entered(Object::new(0, 5.0)),
+            ]
+        );
+        // the empty middle slides re-emit the same alive window: unchanged
+        assert_eq!(r[1].events, vec![TopKEvent::Unchanged]);
+        assert_eq!(r[2].events, vec![TopKEvent::Unchanged]);
+        // watermark 50 closes [30,40) — object 2 displaces object 0 —
+        // and [40,50), where objects 0 and 1 expire out of the window
+        let r = session.advance_watermark(50);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].slide, 3);
+        assert_eq!(
+            r[0].snapshot,
+            vec![Object::new(1, 9.0), Object::new(2, 7.0)]
+        );
+        assert_eq!(
+            r[0].events,
+            vec![
+                TopKEvent::Exited(Object::new(0, 5.0)),
+                TopKEvent::Entered(Object::new(2, 7.0)),
+            ]
+        );
+        assert_eq!(r[1].slide, 4);
+        assert_eq!(r[1].snapshot, vec![Object::new(2, 7.0)]);
+        assert_eq!(session.slides(), 5);
+        assert_eq!(session.last_snapshot(), &[Object::new(2, 7.0)]);
+    }
+
+    #[test]
+    fn hub_mixes_count_and_timed_queries_on_one_stream() {
+        let mut hub = Hub::new();
+        let count = hub.register_alg(Toy::new(4, 1, 2));
+        let timed = hub.register_timed_alg(ToyTimed::new(20, 10, 1));
+        assert_eq!(hub.len(), 2);
+        assert!(hub.session(count).is_some() && hub.timed_session(count).is_none());
+        assert!(hub.timed_session(timed).is_some() && hub.session(timed).is_none());
+
+        // 6 objects, one per 5 time units: count query slides every 2
+        // arrivals, timed query every 10 time units (= 2 arrivals here)
+        let data: Vec<TimedObject> = (0..6)
+            .map(|i| TimedObject::new(i as u64, 5 * i as u64, ((i * 37) % 101) as f64))
+            .collect();
+        let updates = hub.publish_timed(&data);
+        let count_slides = updates.iter().filter(|u| u.query == count).count();
+        let timed_slides = updates.iter().filter(|u| u.query == timed).count();
+        assert_eq!(count_slides, 3, "count query: 6 arrivals / s=2");
+        // timestamps reach 25, closing timed slides [0,10) and [10,20)
+        assert_eq!(timed_slides, 2);
+        // flushing the watermark closes [20,30) for the timed query only
+        let flushed = hub.advance_time(30);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].query, timed);
+        assert_eq!(hub.timed_session(timed).unwrap().slides(), 3);
+
+        // a timed unregister hands the timed session back
+        let removed = hub.unregister(timed).expect("registered");
+        assert_eq!(removed.slides(), 3);
+        assert!(removed.into_timed().is_some());
+    }
+
+    #[test]
+    fn plain_publish_does_not_advance_timed_queries() {
+        let mut hub = Hub::new();
+        let timed = hub.register_timed_alg(ToyTimed::new(20, 10, 1));
+        let updates = hub.publish(&stream(50));
+        assert!(
+            updates.is_empty(),
+            "untimed objects carry no event time for a timed query"
+        );
+        assert_eq!(hub.timed_session(timed).unwrap().slides(), 0);
     }
 
     #[test]

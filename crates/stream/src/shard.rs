@@ -32,6 +32,28 @@
 //! this sharding profitable even with many quiet queries — a quiet slide
 //! costs O(1) on its shard, so shards stay balanced without work stealing.
 //!
+//! Both window models are served: count-based queries
+//! ([`register_boxed`](ShardedHub::register_boxed)) and time-based
+//! queries ([`register_timed_boxed`](ShardedHub::register_timed_boxed))
+//! coexist on the same shards, fed together by
+//! [`publish_timed`](ShardedHub::publish_timed) (count-based sessions see
+//! arrival order, time-based sessions consume the timestamps). Slide
+//! closure driven by timestamps is just as deterministic as count-driven
+//! closure — it depends only on the published sequence, never on thread
+//! timing — so the drain order contract is unchanged.
+//!
+//! ## When a worker dies
+//!
+//! A panicking engine kills its shard's worker thread. Every fallible
+//! operation reports that as a typed [`SapError::ShardDown`] carrying the
+//! shard index — never a hub-side panic. The queries owned by the dead
+//! shard are lost (their sessions died with the thread); the surviving
+//! shards keep answering, but the hub can no longer fan out to its full
+//! query set, so the recovery story is: rescue what you need from healthy
+//! shards via [`unregister`](ShardedHub::unregister), drop the hub, build
+//! a fresh one, and re-register. The hub never respawns workers silently
+//! — losing standing queries' state is not something to paper over.
+//!
 //! ```
 //! use sap_stream::{Object, ShardedHub};
 //! # use sap_stream::{OpStats, SlidingTopK, WindowSpec};
@@ -45,9 +67,9 @@
 //! #     fn name(&self) -> &str { "toy" }
 //! # }
 //! let mut hub = ShardedHub::new(4);
-//! let q = hub.register_alg(Toy(WindowSpec::new(2, 1, 2).unwrap(), Vec::new()));
-//! hub.publish(&[Object::new(0, 1.0), Object::new(1, 5.0)]);
-//! let updates = hub.drain(); // barrier: all shards caught up
+//! let q = hub.register_alg(Toy(WindowSpec::new(2, 1, 2).unwrap(), Vec::new())).unwrap();
+//! hub.publish(&[Object::new(0, 1.0), Object::new(1, 5.0)]).unwrap();
+//! let updates = hub.drain().unwrap(); // barrier: all shards caught up
 //! assert_eq!(updates.len(), 1);
 //! assert_eq!(updates[0].query, q);
 //! ```
@@ -57,10 +79,10 @@ use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::object::Object;
+use crate::object::{Object, TimedObject};
 use crate::query::SapError;
-use crate::session::{QueryId, QueryUpdate, Session};
-use crate::window::{Ingest, SlidingTopK};
+use crate::session::{AnySession, QueryId, QueryUpdate, Session, TimedSession};
+use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK};
 
 /// Default bound on each shard's queue, in published batches. Deep enough
 /// to keep workers busy across bursty publishes, shallow enough that a
@@ -68,9 +90,10 @@ use crate::window::{Ingest, SlidingTopK};
 /// stream.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
-/// A query session whose engine can cross threads — what a
-/// [`ShardedHub`] hands back on [`unregister`](ShardedHub::unregister).
-pub type ShardSession = Session<Box<dyn SlidingTopK + Send>>;
+/// A query session (of either window model) whose engine can cross
+/// threads — what a [`ShardedHub`] hands back on
+/// [`unregister`](ShardedHub::unregister).
+pub type ShardSession = AnySession<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>>;
 
 /// A point-in-time view of one query, fetched across the shard boundary
 /// by [`ShardedHub::inspect`].
@@ -90,7 +113,10 @@ pub struct QueryState {
 /// objects of `b` onward, same as with the sequential hub.
 enum Command {
     Publish(Arc<[Object]>),
+    PublishTimed(Arc<[TimedObject]>),
+    AdvanceTime(u64),
     Register(QueryId, Box<dyn SlidingTopK + Send>),
+    RegisterTimed(QueryId, Box<dyn TimedTopK + Send>),
     Unregister(QueryId, mpsc::Sender<ShardSession>),
     Inspect(QueryId, mpsc::Sender<QueryState>),
     Flush(mpsc::Sender<()>),
@@ -111,12 +137,49 @@ fn shard_worker(rx: Receiver<Command>) {
         match cmd {
             Command::Publish(batch) => {
                 for (id, session) in &mut sessions {
-                    for result in session.push(&batch) {
+                    if let AnySession::Count(session) = session {
+                        for result in session.push(&batch) {
+                            updates.push(QueryUpdate { query: *id, result });
+                        }
+                    }
+                }
+            }
+            Command::PublishTimed(batch) => {
+                // strip the timestamps once per shard, and only when a
+                // count-based session actually lives here
+                let plain: Vec<Object> = if sessions
+                    .iter()
+                    .any(|(_, s)| matches!(s, AnySession::Count(_)))
+                {
+                    batch.iter().map(TimedObject::untimed).collect()
+                } else {
+                    Vec::new()
+                };
+                for (id, session) in &mut sessions {
+                    let results = match session {
+                        AnySession::Count(session) => session.push(&plain),
+                        AnySession::Timed(session) => session.push_timed(&batch),
+                    };
+                    for result in results {
                         updates.push(QueryUpdate { query: *id, result });
                     }
                 }
             }
-            Command::Register(id, alg) => sessions.push((id, Session::new(alg))),
+            Command::AdvanceTime(watermark) => {
+                for (id, session) in &mut sessions {
+                    if let AnySession::Timed(session) = session {
+                        for result in session.advance_watermark(watermark) {
+                            updates.push(QueryUpdate { query: *id, result });
+                        }
+                    }
+                }
+            }
+            Command::Register(id, alg) => {
+                sessions.push((id, AnySession::Count(Session::new(alg))));
+            }
+            Command::RegisterTimed(id, engine) => {
+                sessions.push((id, AnySession::Timed(TimedSession::new(engine))));
+            }
             Command::Unregister(id, reply) => {
                 // membership is checked hub-side; a miss here would be a
                 // routing bug, surfaced as a RecvError on the hub's reply
@@ -218,44 +281,97 @@ impl ShardedHub {
         ((h >> 32) as usize) % self.shards.len()
     }
 
-    fn send(&self, shard: usize, cmd: Command) {
+    /// Enqueues a command on one shard. A send only fails when the
+    /// worker's receiver is gone — i.e. the worker thread died (an engine
+    /// panicked) — reported as the typed [`SapError::ShardDown`] with the
+    /// shard index; see the [module docs](self) for the recovery story.
+    fn send(&self, shard: usize, cmd: Command) -> Result<(), SapError> {
         self.shards[shard]
             .tx
             .send(cmd)
-            .expect("shard worker terminated (a registered engine panicked)");
+            .map_err(|_| SapError::ShardDown { shard })
     }
 
-    /// Registers a boxed engine as a new standing query and returns its
-    /// handle. The engine moves to its shard's worker thread.
-    pub fn register_boxed(&mut self, alg: Box<dyn SlidingTopK + Send>) -> QueryId {
+    /// Waits for a worker's reply, translating a dropped channel (the
+    /// worker died mid-operation) into [`SapError::ShardDown`].
+    fn recv<T>(&self, shard: usize, rx: &mpsc::Receiver<T>) -> Result<T, SapError> {
+        rx.recv().map_err(|_| SapError::ShardDown { shard })
+    }
+
+    /// Registers a boxed engine as a new standing count-based query and
+    /// returns its handle. The engine moves to its shard's worker thread.
+    pub fn register_boxed(
+        &mut self,
+        alg: Box<dyn SlidingTopK + Send>,
+    ) -> Result<QueryId, SapError> {
+        // burn the id even when the send fails: a dead shard must not
+        // wedge the id sequence, or every retry would re-derive the same
+        // id, hash to the same dead shard, and fail forever — the next
+        // attempt gets a fresh id that may route to a healthy shard
         let id = QueryId::from_raw(self.next_id);
         self.next_id += 1;
         let shard = self.shard_of(id);
-        self.send(shard, Command::Register(id, alg));
+        self.send(shard, Command::Register(id, alg))?;
         self.shard_len[shard] += 1;
         self.registered.insert(id);
-        id
+        Ok(id)
     }
 
     /// Registers an owned engine (convenience over
     /// [`register_boxed`](ShardedHub::register_boxed)).
-    pub fn register_alg<A: SlidingTopK + Send + 'static>(&mut self, alg: A) -> QueryId {
+    pub fn register_alg<A: SlidingTopK + Send + 'static>(
+        &mut self,
+        alg: A,
+    ) -> Result<QueryId, SapError> {
         self.register_boxed(Box::new(alg))
+    }
+
+    /// Registers a boxed time-based engine as a new standing query and
+    /// returns its handle. The query slides on event time, so it advances
+    /// on [`publish_timed`](ShardedHub::publish_timed) and
+    /// [`advance_time`](ShardedHub::advance_time) only.
+    pub fn register_timed_boxed(
+        &mut self,
+        engine: Box<dyn TimedTopK + Send>,
+    ) -> Result<QueryId, SapError> {
+        // same id-burning rationale as register_boxed
+        let id = QueryId::from_raw(self.next_id);
+        self.next_id += 1;
+        let shard = self.shard_of(id);
+        self.send(shard, Command::RegisterTimed(id, engine))?;
+        self.shard_len[shard] += 1;
+        self.registered.insert(id);
+        Ok(id)
+    }
+
+    /// Registers an owned time-based engine (convenience over
+    /// [`register_timed_boxed`](ShardedHub::register_timed_boxed)).
+    pub fn register_timed_alg<E: TimedTopK + Send + 'static>(
+        &mut self,
+        engine: E,
+    ) -> Result<QueryId, SapError> {
+        self.register_timed_boxed(Box::new(engine))
     }
 
     /// Removes a query and returns its session (with the engine's full
     /// state) once its shard has processed everything published before
     /// this call. Unknown or already-removed handles are a typed
-    /// [`SapError::UnknownQuery`].
+    /// [`SapError::UnknownQuery`]; a dead shard is
+    /// [`SapError::ShardDown`] (the query's state died with its worker).
     pub fn unregister(&mut self, id: QueryId) -> Result<ShardSession, SapError> {
-        if !self.registered.remove(&id) {
+        if !self.registered.contains(&id) {
             return Err(SapError::UnknownQuery { query: id });
         }
         let shard = self.shard_of(id);
         let (reply, rx) = mpsc::channel();
-        self.send(shard, Command::Unregister(id, reply));
+        // book-keep only after the session actually came back: a dead
+        // shard must leave the hub's state untouched, so retrying keeps
+        // reporting ShardDown (the query was lost, not unregistered)
+        self.send(shard, Command::Unregister(id, reply))?;
+        let session = self.recv(shard, &rx)?;
+        self.registered.remove(&id);
         self.shard_len[shard] -= 1;
-        Ok(rx.recv().expect("shard worker dropped an owned query"))
+        Ok(session)
     }
 
     /// Publishes a batch of objects to every registered query.
@@ -280,61 +396,101 @@ impl ShardedHub {
     /// stream without draining trades memory for results it never looked
     /// at; draining once per publish chunk (as the benches do) keeps the
     /// retained set proportional to one chunk.
-    pub fn publish(&mut self, objects: &[Object]) {
+    pub fn publish(&mut self, objects: &[Object]) -> Result<(), SapError> {
         if objects.is_empty() || self.registered.is_empty() {
-            return;
+            return Ok(());
         }
         let batch: Arc<[Object]> = Arc::from(objects);
         for shard in 0..self.shards.len() {
             if self.shard_len[shard] > 0 {
-                self.send(shard, Command::Publish(Arc::clone(&batch)));
+                self.send(shard, Command::Publish(Arc::clone(&batch)))?;
             }
         }
+        Ok(())
+    }
+
+    /// Publishes a batch of **timestamped** objects (non-decreasing
+    /// timestamps) to every registered query — the shared ingestion path
+    /// for heterogeneous count- and time-based subscriptions, with the
+    /// same semantics as the sequential
+    /// [`Hub::publish_timed`](crate::session::Hub::publish_timed) and the
+    /// same backpressure/drain contract as
+    /// [`publish`](ShardedHub::publish).
+    pub fn publish_timed(&mut self, objects: &[TimedObject]) -> Result<(), SapError> {
+        if objects.is_empty() || self.registered.is_empty() {
+            return Ok(());
+        }
+        let batch: Arc<[TimedObject]> = Arc::from(objects);
+        for shard in 0..self.shards.len() {
+            if self.shard_len[shard] > 0 {
+                self.send(shard, Command::PublishTimed(Arc::clone(&batch)))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Raises the event-time watermark on every time-based query (see
+    /// [`Hub::advance_time`](crate::session::Hub::advance_time)). The
+    /// closed slides accumulate shard-side like any other update and come
+    /// back through [`drain`](ShardedHub::drain).
+    pub fn advance_time(&mut self, watermark: u64) -> Result<(), SapError> {
+        if self.registered.is_empty() {
+            return Ok(());
+        }
+        for shard in 0..self.shards.len() {
+            if self.shard_len[shard] > 0 {
+                self.send(shard, Command::AdvanceTime(watermark))?;
+            }
+        }
+        Ok(())
     }
 
     /// Publishes one object (convenience over
     /// [`publish`](ShardedHub::publish)).
-    pub fn publish_one(&mut self, object: Object) {
-        self.publish(std::slice::from_ref(&object));
+    pub fn publish_one(&mut self, object: Object) -> Result<(), SapError> {
+        self.publish(std::slice::from_ref(&object))
     }
 
     /// Barrier without collection: returns once every shard has processed
     /// everything published so far. Accumulated updates stay shard-side
     /// for a later [`drain`](ShardedHub::drain).
-    pub fn flush(&mut self) {
-        let acks: Vec<mpsc::Receiver<()>> = (0..self.shards.len())
+    pub fn flush(&mut self) -> Result<(), SapError> {
+        let acks: Vec<(usize, mpsc::Receiver<()>)> = (0..self.shards.len())
             .map(|shard| {
                 let (reply, rx) = mpsc::channel();
-                self.send(shard, Command::Flush(reply));
-                rx
+                self.send(shard, Command::Flush(reply))
+                    .map(|()| (shard, rx))
             })
-            .collect();
-        for ack in acks {
-            ack.recv().expect("shard worker terminated during flush");
+            .collect::<Result<_, _>>()?;
+        for (shard, ack) in acks {
+            self.recv(shard, &ack)?;
         }
+        Ok(())
     }
 
     /// The barrier that makes sharding observable-equivalent to the
     /// sequential hub: waits until every shard has processed everything
     /// published so far, then returns all slides completed since the last
     /// drain, sorted by `(QueryId, slide)` — an order independent of
-    /// shard count and thread scheduling.
-    pub fn drain(&mut self) -> Vec<QueryUpdate> {
+    /// shard count and thread scheduling. Time-based queries keep that
+    /// contract: their slide indices are assigned by event-time closure
+    /// order, a pure function of the published sequence.
+    pub fn drain(&mut self) -> Result<Vec<QueryUpdate>, SapError> {
         // enqueue every drain first, then collect: shards retire their
         // backlogs in parallel instead of one at a time
-        let replies: Vec<mpsc::Receiver<Vec<QueryUpdate>>> = (0..self.shards.len())
+        let replies: Vec<(usize, mpsc::Receiver<Vec<QueryUpdate>>)> = (0..self.shards.len())
             .map(|shard| {
                 let (reply, rx) = mpsc::channel();
-                self.send(shard, Command::Drain(reply));
-                rx
+                self.send(shard, Command::Drain(reply))
+                    .map(|()| (shard, rx))
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let mut updates = Vec::new();
-        for rx in replies {
-            updates.extend(rx.recv().expect("shard worker terminated during drain"));
+        for (shard, rx) in replies {
+            updates.extend(self.recv(shard, &rx)?);
         }
         updates.sort_unstable_by_key(|u| (u.query, u.result.slide));
-        updates
+        Ok(updates)
     }
 
     /// A point-in-time view of one query (slide count + last snapshot),
@@ -344,9 +500,10 @@ impl ShardedHub {
         if !self.registered.contains(&id) {
             return Err(SapError::UnknownQuery { query: id });
         }
+        let shard = self.shard_of(id);
         let (reply, rx) = mpsc::channel();
-        self.send(self.shard_of(id), Command::Inspect(id, reply));
-        Ok(rx.recv().expect("shard worker dropped an owned query"))
+        self.send(shard, Command::Inspect(id, reply))?;
+        self.recv(shard, &rx)
     }
 
     /// Iterates the registered query handles in ascending (= registration)
@@ -396,50 +553,8 @@ mod tests {
     use crate::metrics::OpStats;
     use crate::object::top_k_of;
     use crate::session::Hub;
+    use crate::test_support::{Toy, ToyTimed};
     use crate::window::WindowSpec;
-
-    /// The reference toy algorithm the sequential hub tests use.
-    struct Toy {
-        spec: WindowSpec,
-        window: Vec<Object>,
-        result: Vec<Object>,
-    }
-
-    impl Toy {
-        fn new(n: usize, k: usize, s: usize) -> Self {
-            Toy {
-                spec: WindowSpec::new(n, k, s).unwrap(),
-                window: Vec::new(),
-                result: Vec::new(),
-            }
-        }
-    }
-
-    impl SlidingTopK for Toy {
-        fn spec(&self) -> WindowSpec {
-            self.spec
-        }
-        fn slide(&mut self, batch: &[Object]) -> &[Object] {
-            assert_eq!(batch.len(), self.spec.s);
-            self.window.extend_from_slice(batch);
-            let excess = self.window.len().saturating_sub(self.spec.n);
-            self.window.drain(..excess);
-            self.result = top_k_of(&self.window, self.spec.k);
-            &self.result
-        }
-        fn candidate_count(&self) -> usize {
-            self.window.len()
-        }
-        fn memory_bytes(&self) -> usize {
-            0
-        }
-        fn stats(&self) -> OpStats {
-            OpStats::default()
-        }
-        fn name(&self) -> &str {
-            "toy"
-        }
-    }
 
     fn stream(len: usize) -> Vec<Object> {
         (0..len)
@@ -455,19 +570,19 @@ mod tests {
             for i in 0..13usize {
                 let (n, k, s) = (4 * (1 + i % 3), 1 + i % 4, 2 * (1 + i % 3));
                 seq.register_alg(Toy::new(n, k, s));
-                par.register_alg(Toy::new(n, k, s));
+                par.register_alg(Toy::new(n, k, s)).unwrap();
             }
             let data = stream(97);
             let mut expected = Vec::new();
             for chunk in data.chunks(17) {
                 expected.extend(seq.publish(chunk));
-                par.publish(chunk);
+                par.publish(chunk).unwrap();
             }
             // one big drain returns everything in global (QueryId, slide)
             // order; the sequential per-publish batches, re-sorted the same
             // way, must be the identical sequence
             expected.sort_unstable_by_key(|u| (u.query, u.result.slide));
-            let got = par.drain();
+            let got = par.drain().unwrap();
             assert_eq!(got, expected, "shards={shards}");
         }
     }
@@ -475,39 +590,46 @@ mod tests {
     #[test]
     fn drain_is_a_barrier_and_clears() {
         let mut hub = ShardedHub::with_capacity(3, 1);
-        let q = hub.register_alg(Toy::new(4, 2, 2));
+        let q = hub.register_alg(Toy::new(4, 2, 2)).unwrap();
         // capacity 1: these publishes exercise the backpressure path
         for chunk in stream(40).chunks(2) {
-            hub.publish(chunk);
+            hub.publish(chunk).unwrap();
         }
-        let first = hub.drain();
+        let first = hub.drain().unwrap();
         assert_eq!(first.len(), 20);
         assert!(first.iter().all(|u| u.query == q));
         assert_eq!(
             first.iter().map(|u| u.result.slide).collect::<Vec<_>>(),
             (0..20).collect::<Vec<_>>()
         );
-        assert!(hub.drain().is_empty(), "drain must clear the accumulator");
+        assert!(
+            hub.drain().unwrap().is_empty(),
+            "drain must clear the accumulator"
+        );
     }
 
     #[test]
     fn flush_preserves_updates_for_drain() {
         let mut hub = ShardedHub::new(2);
-        hub.register_alg(Toy::new(2, 1, 2));
-        hub.publish(&stream(10));
-        hub.flush();
-        assert_eq!(hub.drain().len(), 5, "flush must not consume updates");
+        hub.register_alg(Toy::new(2, 1, 2)).unwrap();
+        hub.publish(&stream(10)).unwrap();
+        hub.flush().unwrap();
+        assert_eq!(
+            hub.drain().unwrap().len(),
+            5,
+            "flush must not consume updates"
+        );
     }
 
     #[test]
     fn unregister_returns_session_and_types_unknown() {
         let mut hub = ShardedHub::new(4);
-        let a = hub.register_alg(Toy::new(4, 1, 2));
-        let b = hub.register_alg(Toy::new(4, 1, 2));
-        hub.publish(&stream(8));
+        let a = hub.register_alg(Toy::new(4, 1, 2)).unwrap();
+        let b = hub.register_alg(Toy::new(4, 1, 2)).unwrap();
+        hub.publish(&stream(8)).unwrap();
         // updates accumulated before an unregister stay shard-side until
         // drained, even for the removed query — collect them first
-        assert_eq!(hub.drain().len(), 8);
+        assert_eq!(hub.drain().unwrap().len(), 8);
         let session = hub.unregister(a).expect("a is registered");
         assert_eq!(session.slides(), 4, "session state travels back intact");
         assert_eq!(
@@ -518,18 +640,18 @@ mod tests {
         assert_eq!(hub.len(), 1);
         assert_eq!(hub.query_ids().collect::<Vec<_>>(), vec![b]);
         // the survivor keeps serving
-        hub.publish(&stream(4));
-        assert!(hub.drain().iter().all(|u| u.query == b));
+        hub.publish(&stream(4)).unwrap();
+        assert!(hub.drain().unwrap().iter().all(|u| u.query == b));
     }
 
     #[test]
     fn mid_stream_registration_is_ordered_with_publishes() {
         let mut hub = ShardedHub::new(2);
-        let early = hub.register_alg(Toy::new(4, 1, 2));
-        hub.publish(&stream(10));
-        let late = hub.register_alg(Toy::new(4, 1, 2));
-        hub.publish(&stream(4));
-        let updates = hub.drain();
+        let early = hub.register_alg(Toy::new(4, 1, 2)).unwrap();
+        hub.publish(&stream(10)).unwrap();
+        let late = hub.register_alg(Toy::new(4, 1, 2)).unwrap();
+        hub.publish(&stream(4)).unwrap();
+        let updates = hub.drain().unwrap();
         let early_slides = updates.iter().filter(|u| u.query == early).count();
         let late_slides = updates.iter().filter(|u| u.query == late).count();
         assert_eq!(early_slides, 7, "early query saw all 14 objects");
@@ -539,19 +661,19 @@ mod tests {
     #[test]
     fn empty_publish_and_empty_hub_are_noops() {
         let mut hub = ShardedHub::new(2);
-        hub.publish(&stream(100)); // zero queries: explicit no-op
-        let q = hub.register_alg(Toy::new(2, 1, 2));
-        hub.publish(&[]); // empty batch: explicit no-op
-        assert!(hub.drain().is_empty());
+        hub.publish(&stream(100)).unwrap(); // zero queries: explicit no-op
+        let q = hub.register_alg(Toy::new(2, 1, 2)).unwrap();
+        hub.publish(&[]).unwrap(); // empty batch: explicit no-op
+        assert!(hub.drain().unwrap().is_empty());
         assert_eq!(hub.inspect(q).unwrap().slides, 0);
     }
 
     #[test]
     fn inspect_reflects_all_prior_publishes() {
         let mut hub = ShardedHub::new(3);
-        let q = hub.register_alg(Toy::new(4, 2, 2));
+        let q = hub.register_alg(Toy::new(4, 2, 2)).unwrap();
         let data = stream(12);
-        hub.publish(&data);
+        hub.publish(&data).unwrap();
         let state = hub.inspect(q).unwrap();
         assert_eq!(state.slides, 6);
         assert_eq!(state.last_snapshot, top_k_of(&data[8..], 2));
@@ -567,8 +689,145 @@ mod tests {
         let mut hub = ShardedHub::with_capacity(0, 0);
         assert_eq!(hub.num_shards(), 1);
         assert!(hub.is_empty());
-        hub.register_alg(Toy::new(2, 1, 1));
-        hub.publish(&stream(3));
-        assert_eq!(hub.drain().len(), 3);
+        hub.register_alg(Toy::new(2, 1, 1)).unwrap();
+        hub.publish(&stream(3)).unwrap();
+        assert_eq!(hub.drain().unwrap().len(), 3);
+    }
+
+    /// Irregular-rate timed stream: timestamp gaps cycle through 0..7
+    /// time units, so slides hold wildly varying object counts (empty
+    /// slides included once gaps exceed a slide duration).
+    fn timed_stream(len: usize) -> Vec<TimedObject> {
+        let mut ts = 0u64;
+        (0..len)
+            .map(|i| {
+                ts += (i as u64 * 5 + 3) % 8;
+                TimedObject::new(i as u64, ts, ((i * 37) % 101) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mixed_timed_and_count_queries_match_sequential_hub() {
+        for shards in [1usize, 2, 8] {
+            let mut seq = Hub::new();
+            let mut par = ShardedHub::new(shards);
+            for i in 0..10usize {
+                if i % 2 == 0 {
+                    let (n, k, s) = (4 * (1 + i % 3), 1 + i % 4, 2 * (1 + i % 3));
+                    seq.register_alg(Toy::new(n, k, s));
+                    par.register_alg(Toy::new(n, k, s)).unwrap();
+                } else {
+                    let sd = [5u64, 10, 25][i % 3];
+                    let wd = sd * [2u64, 4][(i / 2) % 2];
+                    let k = 1 + i % 3;
+                    seq.register_timed_alg(ToyTimed::new(wd, sd, k));
+                    par.register_timed_alg(ToyTimed::new(wd, sd, k)).unwrap();
+                }
+            }
+            let data = timed_stream(150);
+            let mut expected = Vec::new();
+            for chunk in data.chunks(23) {
+                expected.extend(seq.publish_timed(chunk));
+                par.publish_timed(chunk).unwrap();
+            }
+            // a final watermark flushes trailing and empty slides on both
+            let horizon = data.last().unwrap().timestamp + 100;
+            expected.extend(seq.advance_time(horizon));
+            par.advance_time(horizon).unwrap();
+            expected.sort_unstable_by_key(|u| (u.query, u.result.slide));
+            let got = par.drain().unwrap();
+            assert_eq!(got, expected, "shards={shards}");
+            assert!(
+                expected.iter().any(|u| u.result.snapshot.is_empty()),
+                "the schedule should exercise empty slides"
+            );
+        }
+    }
+
+    #[test]
+    fn timed_inspect_and_unregister_cross_the_shard_boundary() {
+        let mut hub = ShardedHub::new(3);
+        let q = hub.register_timed_alg(ToyTimed::new(20, 10, 2)).unwrap();
+        hub.publish_timed(&timed_stream(40)).unwrap();
+        hub.flush().unwrap();
+        let state = hub.inspect(q).unwrap();
+        assert!(state.slides > 0);
+        let session = hub.unregister(q).unwrap();
+        assert_eq!(session.slides(), state.slides);
+        assert!(session.into_timed().is_some());
+    }
+
+    /// An engine that kills its worker on the first slide.
+    struct Bomb(WindowSpec);
+    impl SlidingTopK for Bomb {
+        fn spec(&self) -> WindowSpec {
+            self.0
+        }
+        fn slide(&mut self, _: &[Object]) -> &[Object] {
+            panic!("engine bug");
+        }
+        fn candidate_count(&self) -> usize {
+            0
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> OpStats {
+            OpStats::default()
+        }
+        fn name(&self) -> &str {
+            "bomb"
+        }
+    }
+
+    #[test]
+    fn dead_shard_is_a_typed_error_not_a_panic() {
+        let mut hub = ShardedHub::new(1);
+        let q = hub
+            .register_alg(Bomb(WindowSpec::new(1, 1, 1).unwrap()))
+            .unwrap();
+        // the worker dies processing this batch; the publish itself may
+        // still enqueue successfully
+        let _ = hub.publish(&stream(1));
+        let err = hub.flush().unwrap_err();
+        assert_eq!(err, SapError::ShardDown { shard: 0 });
+        assert!(err.to_string().contains("shard 0"));
+        // every later operation keeps reporting the same typed error
+        assert_eq!(hub.drain().unwrap_err(), SapError::ShardDown { shard: 0 });
+        assert_eq!(
+            hub.publish(&stream(2)).unwrap_err(),
+            SapError::ShardDown { shard: 0 }
+        );
+        assert_eq!(
+            hub.inspect(q).unwrap_err(),
+            SapError::ShardDown { shard: 0 }
+        );
+        assert_eq!(
+            hub.unregister(q).unwrap_err(),
+            SapError::ShardDown { shard: 0 }
+        );
+        // a failed unregister leaves the bookkeeping untouched: retrying
+        // keeps reporting the dead shard instead of UnknownQuery
+        assert_eq!(hub.len(), 1);
+        assert_eq!(
+            hub.unregister(q).unwrap_err(),
+            SapError::ShardDown { shard: 0 }
+        );
+    }
+
+    #[test]
+    fn registration_survives_a_dead_shard() {
+        let mut hub = ShardedHub::new(2);
+        hub.register_alg(Bomb(WindowSpec::new(1, 1, 1).unwrap()))
+            .unwrap();
+        let _ = hub.publish(&stream(1)); // kills the Bomb's shard
+        let _ = hub.flush(); // make sure the worker is gone
+                             // failed registrations burn their id, so retries derive fresh ids
+                             // and eventually hash onto the healthy shard
+        let q = (0..8)
+            .find_map(|_| hub.register_alg(Toy::new(2, 1, 1)).ok())
+            .expect("a healthy shard accepted a registration");
+        assert_eq!(hub.inspect(q).unwrap().slides, 0);
     }
 }

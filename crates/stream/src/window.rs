@@ -1,7 +1,18 @@
 //! The query specification `⟨n, k, s⟩` and the algorithm trait.
+//!
+//! ```
+//! use sap_stream::{SpecError, WindowSpec};
+//!
+//! let spec = WindowSpec::new(1000, 10, 50).unwrap();
+//! assert_eq!(spec.slides_per_window(), 20);
+//! assert!(matches!(
+//!     WindowSpec::new(10, 5, 3),
+//!     Err(SpecError::SlideNotDivisor { .. })
+//! ));
+//! ```
 
 use crate::metrics::OpStats;
-use crate::object::Object;
+use crate::object::{Object, TimedObject};
 
 /// Validation errors for [`WindowSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +26,27 @@ pub enum SpecError {
     /// The paper's count-based model assumes `m = n/s` is an integer (§2.1);
     /// the engines rely on slides aligning with window boundaries.
     SlideNotDivisor { s: usize, n: usize },
+    /// A time-based adapter was handed an engine whose spec is not the
+    /// Appendix-A reduction `⟨(n/s)·k, k, k⟩` of the requested durations.
+    ReducedSpecMismatch {
+        /// The spec the durations reduce to.
+        expected: WindowSpec,
+        /// The engine's actual spec.
+        got: WindowSpec,
+    },
+    /// A time-based adapter was handed an engine that has already
+    /// processed slides; the adapter's id translation assumes the reduced
+    /// stream starts at arrival ordinal 0, so only fresh engines can be
+    /// wrapped.
+    EngineNotFresh,
+    /// The Appendix-A reduction `(n/s)·k` of the requested durations does
+    /// not fit in `usize`.
+    ReductionOverflow {
+        /// Slides per window (`n/s`).
+        slides: u64,
+        /// The result size.
+        k: usize,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -32,6 +64,26 @@ impl std::fmt::Display for SpecError {
             }
             SpecError::SlideNotDivisor { s, n } => {
                 write!(f, "slide s = {s} must divide the window size n = {n}")
+            }
+            SpecError::ReducedSpecMismatch { expected, got } => {
+                write!(
+                    f,
+                    "time-based adapter needs an engine over the reduced spec \
+                     ⟨n={}, k={}, s={}⟩, got ⟨n={}, k={}, s={}⟩",
+                    expected.n, expected.k, expected.s, got.n, got.k, got.s
+                )
+            }
+            SpecError::EngineNotFresh => {
+                write!(
+                    f,
+                    "time-based adapter requires a fresh engine (no slides processed yet)"
+                )
+            }
+            SpecError::ReductionOverflow { slides, k } => {
+                write!(
+                    f,
+                    "reduced window (n/s)·k = {slides}·{k} does not fit in usize"
+                )
             }
         }
     }
@@ -174,6 +226,108 @@ impl<T: SlidingTopK + ?Sized> SlidingTopK for Box<T> {
     }
 }
 
+/// A continuous top-k algorithm over a **time-based** sliding window
+/// `W⟨n, s⟩` (paper Appendix A): the window holds the objects of the last
+/// `window_duration` time units and slides every `slide_duration` time
+/// units, so the number of objects per slide varies with the arrival
+/// rate — including down to zero (empty slides are real slides).
+///
+/// Event time only advances when the implementation is told so: either an
+/// [`ingest`](TimedTopK::ingest)ed object carries a timestamp at or past
+/// the open slide's end, or the caller raises the watermark explicitly
+/// with [`advance_to`](TimedTopK::advance_to). Each closed slide yields
+/// one snapshot, so a single call can return many results (a timestamp
+/// jump closes every slide it skips over).
+///
+/// The canonical implementation is `sap_core`'s `TimeBased<E>` adapter,
+/// which reduces each slide to its top-k and feeds a count-based
+/// [`SlidingTopK`] engine with the reduced stream.
+pub trait TimedTopK {
+    /// Window length in time units (the paper's `n`).
+    fn window_duration(&self) -> u64;
+
+    /// Slide length in time units (the paper's `s`); divides
+    /// [`window_duration`](TimedTopK::window_duration).
+    fn slide_duration(&self) -> u64;
+
+    /// Result size per slide.
+    fn k(&self) -> usize;
+
+    /// Ingests one object. Timestamps must be non-decreasing across calls.
+    /// Returns the top-k snapshot for every slide boundary the timestamp
+    /// crosses, oldest first — empty when the object lands in the still
+    /// open slide.
+    fn ingest(&mut self, o: TimedObject) -> Vec<Vec<TimedObject>>;
+
+    /// Raises the event-time watermark: closes (and returns the snapshot
+    /// of) every slide ending at or before `watermark`, including empty
+    /// ones. Use at end of stream, or to publish quiescence without new
+    /// arrivals.
+    fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>>;
+
+    /// The most recently emitted snapshot.
+    fn last_result(&self) -> &[TimedObject];
+
+    /// Number of objects buffered in the still-open slide.
+    fn pending(&self) -> usize;
+
+    /// Current candidate count of the underlying machinery (the paper's
+    /// |C| on the reduced stream).
+    fn candidate_count(&self) -> usize;
+
+    /// Human-readable algorithm name used in reports.
+    fn name(&self) -> &str;
+}
+
+impl std::fmt::Debug for dyn TimedTopK + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TimedTopK({} over W⟨n={}, k={}, s={}⟩ time units)",
+            self.name(),
+            self.window_duration(),
+            self.k(),
+            self.slide_duration()
+        )
+    }
+}
+
+impl std::fmt::Debug for dyn TimedTopK + Send + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (self as &dyn TimedTopK).fmt(f)
+    }
+}
+
+impl<T: TimedTopK + ?Sized> TimedTopK for Box<T> {
+    fn window_duration(&self) -> u64 {
+        (**self).window_duration()
+    }
+    fn slide_duration(&self) -> u64 {
+        (**self).slide_duration()
+    }
+    fn k(&self) -> usize {
+        (**self).k()
+    }
+    fn ingest(&mut self, o: TimedObject) -> Vec<Vec<TimedObject>> {
+        (**self).ingest(o)
+    }
+    fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>> {
+        (**self).advance_to(watermark)
+    }
+    fn last_result(&self) -> &[TimedObject] {
+        (**self).last_result()
+    }
+    fn pending(&self) -> usize {
+        (**self).pending()
+    }
+    fn candidate_count(&self) -> usize {
+        (**self).candidate_count()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Arbitrary-size ingestion on top of the paper's slide-by-slide batch
 /// model.
 ///
@@ -201,6 +355,35 @@ pub trait Ingest {
 
     /// Number of buffered objects not yet spanning a full slide
     /// (always `< s`).
+    fn pending(&self) -> usize;
+}
+
+/// Timestamped ingestion for time-based queries — the counterpart of
+/// [`Ingest`] when slides close on event time rather than arrival counts.
+///
+/// One push may close zero, one, or many slides (a timestamp jump closes
+/// every slide it skips over, empty ones included), and unlike the
+/// count-based path a slide can also be closed with **no** new arrivals by
+/// raising the watermark ([`advance_watermark`](TimedIngest::advance_watermark)).
+/// Implemented by [`TimedSession`](crate::session::TimedSession).
+pub trait TimedIngest {
+    /// Feeds a batch of timestamped objects (non-decreasing timestamps),
+    /// returning one [`SlideResult`] per slide it closed, oldest first.
+    ///
+    /// [`SlideResult`]: crate::events::SlideResult
+    fn push_timed(&mut self, objects: &[TimedObject]) -> Vec<crate::events::SlideResult>;
+
+    /// Feeds one timestamped object; returns the slides it closed.
+    fn push_one_timed(&mut self, object: TimedObject) -> Vec<crate::events::SlideResult> {
+        self.push_timed(std::slice::from_ref(&object))
+    }
+
+    /// Raises the event-time watermark, closing (and returning) every
+    /// slide ending at or before it — the only way to observe trailing or
+    /// empty slides when the stream goes quiet.
+    fn advance_watermark(&mut self, watermark: u64) -> Vec<crate::events::SlideResult>;
+
+    /// Number of objects buffered in the still-open slide.
     fn pending(&self) -> usize;
 }
 

@@ -70,8 +70,11 @@ fn sharded_hub_10k() {
     let started = Instant::now();
     let mut par_updates = 0u64;
     for burst in feed.chunks(1000) {
-        hub.publish(burst); // blocks only if a shard's queue fills
-        par_updates += hub.drain().len() as u64; // barrier: deterministic order
+        // blocks only if a shard's queue fills; a dead shard would be a
+        // typed SapError::ShardDown, not a panic
+        hub.publish(burst).expect("shards alive");
+        // barrier: deterministic (QueryId, slide) order
+        par_updates += hub.drain().expect("shards alive").len() as u64;
     }
     let par_time = started.elapsed();
 

@@ -79,14 +79,26 @@ pub use sap_core as core;
 pub use sap_stats as stats;
 pub use sap_stream as stream;
 
+/// Compiles and runs the README's code blocks as doctests, so the
+/// quickstart can never rot: `cargo test --doc` (the CI docs job)
+/// executes them against the real crate.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub mod prelude;
 
-use sap_stream::{Hub, Query, QueryId, SapError, Session, ShardedHub, SlidingTopK};
+use sap_core::TimeBased;
+use sap_stream::{
+    Hub, Query, QueryId, SapError, Session, ShardedHub, SlidingTopK, TimedSession, TimedSpec,
+    TimedTopK, WindowSpec,
+};
 
-/// Builds the boxed engine a [`Query`] describes, dispatching
+/// Builds the boxed engine a count-based [`Query`] describes, dispatching
 /// [`AlgorithmKind::Sap`](stream::AlgorithmKind::Sap) to the [`core`]
 /// engine and every other kind to [`baselines`]. Validates the query
-/// first; all failures surface as [`SapError`].
+/// first; all failures surface as [`SapError`], and a time-based query is
+/// [`SapError::NotCountBased`] (see [`build_timed`]).
 pub fn build(query: &Query) -> Result<Box<dyn SlidingTopK>, SapError> {
     let alg: Box<dyn SlidingTopK + Send> = build_send(query)?;
     Ok(alg)
@@ -98,12 +110,31 @@ pub fn build(query: &Query) -> Result<Box<dyn SlidingTopK>, SapError> {
 /// workspace is `Send`; the separate entry point only exists because
 /// `dyn SlidingTopK + Send` and `dyn SlidingTopK` are distinct types.
 pub fn build_send(query: &Query) -> Result<Box<dyn SlidingTopK + Send>, SapError> {
-    let spec = query.validate()?;
+    build_engine(query.validate()?, query)
+}
+
+/// Engine construction shared by the count-based and time-based paths:
+/// the spec is either the query's own `⟨n, k, s⟩` or the Appendix-A
+/// reduction of its durations.
+fn build_engine(spec: WindowSpec, query: &Query) -> Result<Box<dyn SlidingTopK + Send>, SapError> {
     if let Some(cfg) = sap_core::SapConfig::from_kind(spec, query.kind()) {
         return Ok(Box::new(sap_core::Sap::new(cfg?)));
     }
     sap_baselines::from_kind(spec, query.kind())
         .expect("every non-SAP algorithm kind is a baseline")
+}
+
+/// Builds the boxed time-based engine a [`Query::window_duration`] query
+/// describes: the configured algorithm is constructed over the
+/// Appendix-A reduction and wrapped in [`TimeBased`]
+/// — so SAP *and* every baseline answer time-based queries. A
+/// count-based query is [`SapError::NotTimeBased`].
+pub fn build_timed(query: &Query) -> Result<Box<dyn TimedTopK + Send>, SapError> {
+    let spec: TimedSpec = query.validate_timed()?;
+    let inner = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
+    let adapter = TimeBased::from_engine(inner, spec.window_duration, spec.slide_duration)
+        .expect("validated durations reduce to the engine's spec");
+    Ok(Box::new(adapter))
 }
 
 /// Builder finalizers on [`Query`], available via [`prelude`].
@@ -112,12 +143,20 @@ pub fn build_send(query: &Query) -> Result<Box<dyn SlidingTopK + Send>, SapError
 /// construction step lands here where SAP and the baselines are both in
 /// scope.
 pub trait QueryExt {
-    /// Validates and constructs the described algorithm.
+    /// Validates and constructs the described count-based algorithm.
     fn build(&self) -> Result<Box<dyn SlidingTopK>, SapError>;
 
     /// Validates, constructs, and wraps the algorithm in a
     /// [`Session`] accepting arbitrary-size pushes.
     fn session(&self) -> Result<Session<Box<dyn SlidingTopK>>, SapError>;
+
+    /// Validates and constructs the described time-based engine (see
+    /// [`build_timed`]).
+    fn build_timed(&self) -> Result<Box<dyn TimedTopK + Send>, SapError>;
+
+    /// Validates, constructs, and wraps the time-based engine in a
+    /// [`TimedSession`] accepting timestamped pushes.
+    fn timed_session(&self) -> Result<TimedSession<Box<dyn TimedTopK + Send>>, SapError>;
 }
 
 impl QueryExt for Query {
@@ -128,25 +167,45 @@ impl QueryExt for Query {
     fn session(&self) -> Result<Session<Box<dyn SlidingTopK>>, SapError> {
         Ok(Session::new(build(self)?))
     }
+
+    fn build_timed(&self) -> Result<Box<dyn TimedTopK + Send>, SapError> {
+        build_timed(self)
+    }
+
+    fn timed_session(&self) -> Result<TimedSession<Box<dyn TimedTopK + Send>>, SapError> {
+        Ok(TimedSession::new(build_timed(self)?))
+    }
 }
 
 /// Query registration on [`Hub`] and [`ShardedHub`], available via
 /// [`prelude`].
 pub trait HubExt {
-    /// Validates and constructs a query, then registers it as a standing
-    /// subscription, returning its handle.
+    /// Validates and constructs a query — **of either window model** —
+    /// then registers it as a standing subscription, returning its
+    /// handle. Count-based queries slide on published arrival counts;
+    /// time-based queries (built with [`Query::window_duration`]) slide
+    /// on the timestamps of `publish_timed` streams.
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError>;
 }
 
 impl HubExt for Hub {
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
-        Ok(self.register_boxed(build(query)?))
+        if query.is_time_based() {
+            let engine: Box<dyn TimedTopK> = build_timed(query)?;
+            Ok(self.register_timed_boxed(engine))
+        } else {
+            Ok(self.register_boxed(build(query)?))
+        }
     }
 }
 
 impl HubExt for ShardedHub {
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
-        Ok(self.register_boxed(build_send(query)?))
+        if query.is_time_based() {
+            self.register_timed_boxed(build_timed(query)?)
+        } else {
+            self.register_boxed(build_send(query)?)
+        }
     }
 }
 

@@ -1,21 +1,26 @@
 //! The one-line import for the query-session API:
 //! `use sap::prelude::*;`.
 //!
-//! Brings in the fluent [`Query`] builder with its facade finalizers
-//! ([`QueryExt::build`]/[`QueryExt::session`]), the multi-query [`Hub`]
-//! and thread-parallel [`ShardedHub`] with [`HubExt::register`], flexible
-//! ingestion ([`Ingest`]), typed result deltas
-//! ([`TopKEvent`]/[`SlideResult`]), the data model, and the algorithm
-//! entry points.
+//! Brings in the fluent [`Query`] builder — both window models — with its
+//! facade finalizers ([`QueryExt::build`]/[`QueryExt::session`]/
+//! [`QueryExt::timed_session`]), the multi-query [`Hub`] and
+//! thread-parallel [`ShardedHub`] with [`HubExt::register`], flexible
+//! ingestion ([`Ingest`]/[`TimedIngest`]), typed result deltas
+//! ([`TopKEvent`]/[`SlideResult`]), the data model (count-based
+//! [`Object`] and timestamped [`TimedObject`]), the workload generators
+//! with their [`ArrivalProcess`] timing model, and the algorithm entry
+//! points.
 
-pub use crate::{build, build_send, HubExt, QueryExt};
+pub use crate::{build, build_send, build_timed, HubExt, QueryExt};
 
 pub use sap_stream::{
-    run, run_collecting, AlgorithmKind, Dataset, Hub, Ingest, Object, OpStats, Query, QueryId,
-    QueryState, QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, ShardSession,
-    ShardedHub, SlideResult, SlidingTopK, SpecError, TopKEvent, WindowSpec, Workload,
+    run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, Dataset, Hub, HubSession,
+    Ingest, Object, OpStats, Query, QueryId, QuerySpec, QueryState, QueryUpdate, RunSummary,
+    SapError, SapPolicy, ScoreKey, Session, ShardSession, ShardedHub, SlideResult, SlidingTopK,
+    SpecError, TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent, WindowSpec,
+    Workload,
 };
 
-pub use sap_core::{Sap, SapConfig, TimeBasedSap, TimedObject};
+pub use sap_core::{Sap, SapConfig, TimeBased, TimeBasedSap};
 
 pub use sap_baselines::{KSkyband, MinTopK, NaiveTopK, Sma};

@@ -13,6 +13,9 @@ use proptest::prelude::*;
 
 use sap::prelude::*;
 
+mod common;
+use common::fold_all;
+
 /// Tie-heavy stream from a small score alphabet.
 fn stream(scores: &[u8]) -> Vec<Object> {
     scores
@@ -39,38 +42,6 @@ fn all_kinds() -> [AlgorithmKind; 5] {
         AlgorithmKind::sma(),
     ]
 }
-
-/// FNV-1a step over one u64 word.
-fn fold_word(acc: u64, word: u64) -> u64 {
-    let mut h = acc;
-    let mut x = word;
-    for _ in 0..8 {
-        h ^= x & 0xFF;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        x >>= 8;
-    }
-    h
-}
-
-/// Folds one update — slide index, the full `TopKEvent` delta stream,
-/// and the snapshot — into a query's running checksum. Order sensitive,
-/// so two hubs agree iff they emitted identical event streams.
-fn fold_update(acc: u64, result: &SlideResult) -> u64 {
-    let mut h = fold_word(acc, result.slide);
-    for event in &result.events {
-        h = match event {
-            TopKEvent::Entered(o) => fold_word(fold_word(fold_word(h, 1), o.id), o.score.to_bits()),
-            TopKEvent::Exited(o) => fold_word(fold_word(fold_word(h, 2), o.id), o.score.to_bits()),
-            TopKEvent::Unchanged => fold_word(h, 3),
-        };
-    }
-    for o in &result.snapshot {
-        h = fold_word(fold_word(h, o.id), o.score.to_bits());
-    }
-    h
-}
-
-const SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// The scripted schedule both hubs replay: register `early` queries,
 /// publish the first half in ragged chunks, register `late` queries and
@@ -107,19 +78,13 @@ impl Schedule<'_> {
     fn run_sequential(&self) -> (BTreeMap<QueryId, u64>, Option<QueryId>) {
         let mut hub = Hub::new();
         let mut sums = BTreeMap::new();
-        let fold = |sums: &mut BTreeMap<QueryId, u64>, updates: Vec<QueryUpdate>| {
-            for u in updates {
-                let acc = sums.entry(u.query).or_insert(SEED);
-                *acc = fold_update(*acc, &u.result);
-            }
-        };
         for q in &self.queries[..self.early] {
             hub.register(q).unwrap();
         }
         let mid = self.data.len() / 2;
         for chunk in self.chunks(0, mid) {
             let updates = hub.publish(chunk);
-            fold(&mut sums, updates);
+            fold_all(&mut sums, updates);
         }
         let ids: Vec<QueryId> = hub.query_ids().collect();
         let dropped = (ids.len() > 1).then(|| ids[0]);
@@ -131,7 +96,7 @@ impl Schedule<'_> {
         }
         for chunk in self.chunks(mid, self.data.len()) {
             let updates = hub.publish(chunk);
-            fold(&mut sums, updates);
+            fold_all(&mut sums, updates);
         }
         (sums, dropped)
     }
@@ -141,20 +106,14 @@ impl Schedule<'_> {
     fn run_sharded(&self, shards: usize) -> (BTreeMap<QueryId, u64>, Option<QueryId>) {
         let mut hub = ShardedHub::new(shards);
         let mut sums = BTreeMap::new();
-        let fold = |sums: &mut BTreeMap<QueryId, u64>, updates: Vec<QueryUpdate>| {
-            for u in updates {
-                let acc = sums.entry(u.query).or_insert(SEED);
-                *acc = fold_update(*acc, &u.result);
-            }
-        };
         for q in &self.queries[..self.early] {
             hub.register(q).unwrap();
         }
         let mid = self.data.len() / 2;
         for chunk in self.chunks(0, mid) {
-            hub.publish(chunk);
-            let updates = hub.drain();
-            fold(&mut sums, updates);
+            hub.publish(chunk).expect("shards alive");
+            let updates = hub.drain().expect("shards alive");
+            fold_all(&mut sums, updates);
         }
         let ids: Vec<QueryId> = hub.query_ids().collect();
         let dropped = (ids.len() > 1).then(|| ids[0]);
@@ -165,13 +124,13 @@ impl Schedule<'_> {
             hub.register(q).unwrap();
         }
         for chunk in self.chunks(mid, self.data.len()) {
-            hub.publish(chunk);
-            let updates = hub.drain();
-            fold(&mut sums, updates);
+            hub.publish(chunk).expect("shards alive");
+            let updates = hub.drain().expect("shards alive");
+            fold_all(&mut sums, updates);
         }
-        hub.flush();
-        let updates = hub.drain();
-        fold(&mut sums, updates);
+        hub.flush().expect("shards alive");
+        let updates = hub.drain().expect("shards alive");
+        fold_all(&mut sums, updates);
         (sums, dropped)
     }
 }

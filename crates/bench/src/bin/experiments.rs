@@ -12,18 +12,24 @@
 //! hub throughput and writes the machine-readable `BENCH_hub.json` the CI
 //! perf trajectory is built from; `timed` does the same for a
 //! heterogeneous count+time-based query mix over a Poisson-arrival
-//! stream (`BENCH_timed.json`):
+//! stream (`BENCH_timed.json`); `shared` measures the shared digest
+//! plane against per-session recomputation on a many-queries /
+//! few-slide-durations workload (`BENCH_shared.json`), asserting
+//! byte-identical checksums and a positive digest hit count:
 //!
 //! ```text
 //! cargo run --release -p sap-bench --bin experiments -- hub \
 //!     --len 20000 --queries 10000 --shards 1,2,4,8 --json-out BENCH_hub.json
 //! cargo run --release -p sap-bench --bin experiments -- timed \
 //!     --len 20000 --queries 2000 --shards 1,2,4,8 --json-out BENCH_timed.json
+//! cargo run --release -p sap-bench --bin experiments -- shared \
+//!     --len 20000 --queries 500 --shards 1,2,4,8 --json-out BENCH_shared.json
 //! ```
 
 use sap_bench::{
-    cands, hub_query_mix, measure_on, mem_kb, run_hub_sequential, run_hub_sharded,
-    run_timed_hub_sequential, run_timed_hub_sharded, secs, timed_query_mix, Algo, HubRun, Table,
+    cands, hub_query_mix, measure_on, mem_kb, run_hub_sequential, run_hub_sharded, run_shared_hub,
+    run_shared_hub_sharded, run_shared_isolated, run_timed_hub_sequential, run_timed_hub_sharded,
+    secs, shared_query_mix, timed_query_mix, Algo, HubRun, Table,
 };
 use sap_core::{Sap, SapConfig};
 use sap_stream::generators::{ArrivalProcess, Dataset, Workload};
@@ -101,6 +107,13 @@ fn main() {
             json_out.as_deref().unwrap_or("BENCH_timed.json"),
             seed,
         ),
+        "shared" => shared(
+            len.unwrap_or(20_000),
+            queries.unwrap_or(500),
+            &shards,
+            json_out.as_deref().unwrap_or("BENCH_shared.json"),
+            seed,
+        ),
         "all" => {
             table2(paper_len, seed);
             table3(paper_len, seed);
@@ -114,21 +127,32 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed all"
+                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared all"
             );
             std::process::exit(2);
         }
     }
 }
 
-/// Shared measurement + reporting loop of the `hub` and `timed`
-/// subcommands: runs the sequential reference, then each shard count,
-/// asserting finite throughput and sequential == sharded
+/// One labeled configuration measured by [`scaling_bench`]: a display
+/// label, the shard count (1 for single-threaded runs), and the runner.
+struct BenchCase<'a> {
+    label: &'a str,
+    shards: usize,
+    run: Box<dyn Fn() -> HubRun + 'a>,
+}
+
+/// Shared measurement + reporting loop of the `hub`, `timed`, and
+/// `shared` subcommands: runs the first case as the reference, then every
+/// other case, asserting finite throughput and reference == case
 /// updates/checksums (so a green run is simultaneously a perf datapoint
-/// and an equivalence proof), prints the paper-style table, and writes
-/// the machine-readable `BENCH_*.json` the CI perf trajectory is built
-/// from. `extra_json` holds pre-rendered top-level fields (e.g. the
-/// arrival model) spliced into the JSON header.
+/// and an equivalence proof — for the `shared` preset that equivalence is
+/// shared-plane == per-session recomputation), prints the paper-style
+/// table including the digest hit/rebuild counters, and writes the
+/// machine-readable `BENCH_*.json` the CI perf trajectory is built from.
+/// `extra_json` holds pre-rendered top-level fields (e.g. the arrival
+/// model) spliced into the JSON header. Returns the measured runs in case
+/// order for preset-specific assertions.
 #[allow(clippy::too_many_arguments)]
 fn scaling_bench(
     bench: &str,
@@ -138,11 +162,9 @@ fn scaling_bench(
     queries: usize,
     chunk: usize,
     seed: u64,
-    shards: &[usize],
     json_out: &str,
-    run_seq: &dyn Fn() -> HubRun,
-    run_shard: &dyn Fn(usize) -> HubRun,
-) {
+    cases: Vec<BenchCase<'_>>,
+) -> Vec<HubRun> {
     let mut t = Table::new(
         title,
         &[
@@ -151,6 +173,8 @@ fn scaling_bench(
             "seconds",
             "objects/s",
             "updates",
+            "digest hits",
+            "rebuilds",
             "speedup",
         ],
     );
@@ -163,72 +187,67 @@ fn scaling_bench(
         ops
     };
 
-    let seq = run_seq();
-    let seq_ops = check("sequential", &seq);
-    t.row(vec![
-        "sequential".into(),
-        "-".into(),
-        format!("{:.3}", seq.elapsed.as_secs_f64()),
-        format!("{seq_ops:.0}"),
-        seq.updates.to_string(),
-        "1.00x".into(),
-    ]);
-
-    let mut measured: Vec<(usize, HubRun, f64)> = Vec::new();
-    for &n in shards {
-        let par = run_shard(n);
-        let ops = check(&format!("sharded({n})"), &par);
-        assert_eq!(
-            par.updates, seq.updates,
-            "[{bench}] sharded({n}) delivered a different number of updates"
-        );
-        assert_eq!(
-            par.checksum, seq.checksum,
-            "[{bench}] sharded({n}) diverged from the sequential hub"
-        );
+    let mut measured: Vec<HubRun> = Vec::new();
+    let mut json_runs: Vec<String> = Vec::new();
+    let mut base_ops = 0.0;
+    for case in &cases {
+        let run = (case.run)();
+        let ops = check(case.label, &run);
+        if measured.is_empty() {
+            base_ops = ops;
+        } else {
+            let base = &measured[0];
+            assert_eq!(
+                run.updates, base.updates,
+                "[{bench}] {}({}) delivered a different number of updates",
+                case.label, case.shards
+            );
+            assert_eq!(
+                run.checksum, base.checksum,
+                "[{bench}] {}({}) diverged from the reference run",
+                case.label, case.shards
+            );
+        }
         t.row(vec![
-            "sharded".into(),
-            n.to_string(),
-            format!("{:.3}", par.elapsed.as_secs_f64()),
+            case.label.into(),
+            case.shards.to_string(),
+            format!("{:.3}", run.elapsed.as_secs_f64()),
             format!("{ops:.0}"),
-            par.updates.to_string(),
-            format!("{:.2}x", ops / seq_ops),
+            run.updates.to_string(),
+            run.digest_hits.to_string(),
+            run.digest_rebuilds.to_string(),
+            format!("{:.2}x", ops / base_ops),
         ]);
-        measured.push((n, par, ops));
+        json_runs.push(format!(
+            "    {{\"hub\": \"{}\", \"shards\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1}, \"updates\": {}, \"checksum\": {}, \"digest_hits\": {}, \"digest_rebuilds\": {}, \"speedup_vs_sequential\": {:.3}}}",
+            case.label,
+            case.shards,
+            run.elapsed.as_secs_f64(),
+            ops,
+            run.updates,
+            run.checksum,
+            run.digest_hits,
+            run.digest_rebuilds,
+            ops / base_ops
+        ));
+        measured.push(run);
     }
     t.print();
 
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let mut runs = vec![format!(
-        "    {{\"hub\": \"sequential\", \"shards\": 1, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1}, \"updates\": {}, \"checksum\": {}, \"speedup_vs_sequential\": 1.0}}",
-        seq.elapsed.as_secs_f64(),
-        seq_ops,
-        seq.updates,
-        seq.checksum
-    )];
-    for (n, par, ops) in &measured {
-        runs.push(format!(
-            "    {{\"hub\": \"sharded\", \"shards\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1}, \"updates\": {}, \"checksum\": {}, \"speedup_vs_sequential\": {:.3}}}",
-            n,
-            par.elapsed.as_secs_f64(),
-            ops,
-            par.updates,
-            par.checksum,
-            ops / seq_ops
-        ));
-    }
     let extra: String = extra_json
         .iter()
         .map(|(key, value)| format!("  \"{key}\": {value},\n"))
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"{bench}\",\n{extra}  \"seed\": {seed},\n  \"len\": {len},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"host_cpus\": {host_cpus},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        runs.join(",\n")
+        json_runs.join(",\n")
     );
     std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
     println!("\nwrote {json_out} (host_cpus = {host_cpus})");
+    measured
 }
 
 /// Hub scaling: sequential `Hub` vs `ShardedHub` at each shard count,
@@ -237,6 +256,19 @@ fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) 
     let chunk = 1_000usize; // publish granularity = drain granularity
     let data = Dataset::Stock.generate(len, seed);
     let mix = hub_query_mix(queries);
+    let mut cases = vec![BenchCase {
+        label: "sequential",
+        shards: 1,
+        run: Box::new(|| run_hub_sequential(&mix, &data, chunk)),
+    }];
+    let (mix_ref, data_ref) = (&mix, &data);
+    for &n in shards {
+        cases.push(BenchCase {
+            label: "sharded",
+            shards: n,
+            run: Box::new(move || run_hub_sharded(mix_ref, data_ref, chunk, n)),
+        });
+    }
     scaling_bench(
         "hub_scaling",
         format!("Hub scaling: {queries} queries, {len} objects (chunk = {chunk})"),
@@ -245,10 +277,8 @@ fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) 
         queries,
         chunk,
         seed,
-        shards,
         json_out,
-        &|| run_hub_sequential(&mix, &data, chunk),
-        &|n| run_hub_sharded(&mix, &data, chunk, n),
+        cases,
     );
 }
 
@@ -260,6 +290,19 @@ fn timed(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64
     let chunk = 1_000usize;
     let data = Dataset::Stock.generate_timed(len, seed, ArrivalProcess::poisson(25.0));
     let mix = timed_query_mix(queries);
+    let mut cases = vec![BenchCase {
+        label: "sequential",
+        shards: 1,
+        run: Box::new(|| run_timed_hub_sequential(&mix, &data, chunk)),
+    }];
+    let (mix_ref, data_ref) = (&mix, &data);
+    for &n in shards {
+        cases.push(BenchCase {
+            label: "sharded",
+            shards: n,
+            run: Box::new(move || run_timed_hub_sharded(mix_ref, data_ref, chunk, n)),
+        });
+    }
     scaling_bench(
         "timed_hub_scaling",
         format!("Timed hub scaling: {queries} mixed queries, {len} objects (chunk = {chunk})"),
@@ -268,10 +311,74 @@ fn timed(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64
         queries,
         chunk,
         seed,
-        shards,
         json_out,
-        &|| run_timed_hub_sequential(&mix, &data, chunk),
-        &|n| run_timed_hub_sharded(&mix, &data, chunk, n),
+        cases,
+    );
+}
+
+/// Shared digest plane vs per-session recomputation: `queries` all-timed
+/// queries spread over only four distinct slide durations, served three
+/// ways over one Poisson stream — isolated Appendix-A adapters (the
+/// reference), the sequential hub's shared plane, and the sharded hub's
+/// shard-local groups. Equal checksums across all runs are asserted (the
+/// tentpole's byte-identity claim), the digest hit-rate must be positive,
+/// and the win scales with query count, not cores, so it shows up on a
+/// 1-CPU box.
+fn shared(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) {
+    let chunk = 1_000usize;
+    let data = Dataset::Stock.generate_timed(len, seed, ArrivalProcess::poisson(25.0));
+    let mix = shared_query_mix(queries);
+    let sds: std::collections::BTreeSet<u64> = mix.iter().map(|(_, s)| s.slide_duration).collect();
+    let mut cases = vec![
+        BenchCase {
+            label: "isolated",
+            shards: 1,
+            run: Box::new(|| run_shared_isolated(&mix, &data, chunk)),
+        },
+        BenchCase {
+            label: "shared",
+            shards: 1,
+            run: Box::new(|| run_shared_hub(&mix, &data, chunk)),
+        },
+    ];
+    let (mix_ref, data_ref) = (&mix, &data);
+    for &n in shards {
+        cases.push(BenchCase {
+            label: "shared-sharded",
+            shards: n,
+            run: Box::new(move || run_shared_hub_sharded(mix_ref, data_ref, chunk, n)),
+        });
+    }
+    let groups = sds.len();
+    let measured = scaling_bench(
+        "shared_digest_plane",
+        format!(
+            "Shared digest plane: {queries} timed queries over {groups} slide durations, {len} objects (chunk = {chunk})"
+        ),
+        &[
+            ("dataset", "\"stock\""),
+            ("arrival", "\"poisson(25)\""),
+            ("slide_durations", &format!("{groups}")),
+        ],
+        len,
+        queries,
+        chunk,
+        seed,
+        json_out,
+        cases,
+    );
+    let iso = &measured[0];
+    let shr = &measured[1];
+    assert!(
+        shr.digest_hits > 0,
+        "[shared] the shared run must serve slides from group digests"
+    );
+    let rate = shr.digest_hits as f64 / (shr.digest_hits + shr.digest_rebuilds).max(1) as f64;
+    let speedup = iso.elapsed.as_secs_f64() / shr.elapsed.as_secs_f64();
+    println!(
+        "\nshared vs isolated: {speedup:.2}x objects/sec, digest hit-rate {rate:.3} \
+         ({} hits, {} rebuilds)",
+        shr.digest_hits, shr.digest_rebuilds
     );
 }
 

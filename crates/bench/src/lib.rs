@@ -155,6 +155,12 @@ pub struct HubRun {
     /// order — identical between the sequential and sharded hubs when
     /// (and only when) they delivered identical results.
     pub checksum: u64,
+    /// Slides served to a query from a shared group digest (0 for runs
+    /// that never touch the digest plane).
+    pub digest_hits: u64,
+    /// Slides a shared query recomputed privately (mid-stream joins
+    /// warming up; 0 for non-shared runs).
+    pub digest_rebuilds: u64,
 }
 
 impl HubRun {
@@ -215,6 +221,8 @@ pub fn run_hub_sequential(mix: &[(Algo, WindowSpec)], data: &[Object], chunk: us
         elapsed: started.elapsed(),
         updates,
         checksum,
+        digest_hits: 0,
+        digest_rebuilds: 0,
     }
 }
 
@@ -247,6 +255,8 @@ pub fn run_hub_sharded(
         elapsed: started.elapsed(),
         updates,
         checksum,
+        digest_hits: 0,
+        digest_rebuilds: 0,
     }
 }
 
@@ -326,6 +336,8 @@ pub fn run_timed_hub_sequential(
         elapsed: started.elapsed(),
         updates,
         checksum,
+        digest_hits: 0,
+        digest_rebuilds: 0,
     }
 }
 
@@ -373,6 +385,126 @@ pub fn run_timed_hub_sharded(
         elapsed: started.elapsed(),
         updates,
         checksum,
+        digest_hits: 0,
+        digest_rebuilds: 0,
+    }
+}
+
+/// All-timed query mix for the shared-digest bench: `count` queries over
+/// only **four** distinct slide durations (the many-queries/few-groups
+/// regime the digest plane targets), windows spanning 2–8 slides, `k`
+/// from 1 to 10. Slide durations are large multiples of the generated
+/// stream's mean inter-arrival gap so slides hold many objects — the
+/// per-slide truncation the plane deduplicates is real work.
+pub fn shared_query_mix(count: usize) -> Vec<(Algo, TimedSpec)> {
+    let algos = [Algo::Sap, Algo::MinTopK, Algo::KSkyband];
+    let sds = [1_000u64, 2_000, 4_000, 8_000];
+    (0..count)
+        .map(|i| {
+            let sd = sds[i % sds.len()];
+            let m = [2u64, 4, 8][(i / 4) % 3];
+            let k = 1 + (i % 10);
+            let spec = TimedSpec::new(sd * m, sd, k).expect("mix spec is valid");
+            (algos[i % algos.len()], spec)
+        })
+        .collect()
+}
+
+/// The per-session-recomputation reference for the shared bench: the
+/// same timed mix served by isolated Appendix-A adapters (see
+/// [`run_timed_hub_sequential`]).
+pub fn run_shared_isolated(
+    mix: &[(Algo, TimedSpec)],
+    data: &[TimedObject],
+    chunk: usize,
+) -> HubRun {
+    let isolated: Vec<(Algo, QuerySpec)> =
+        mix.iter().map(|&(a, s)| (a, QuerySpec::Timed(s))).collect();
+    run_timed_hub_sequential(&isolated, data, chunk)
+}
+
+/// Publishes a timed stream to a sequential [`Hub`] serving `mix` on the
+/// **shared digest plane** (`register_shared_boxed`): one digest producer
+/// per distinct slide duration feeds every member query. Checksums are
+/// comparable with [`run_shared_isolated`] — equal iff the plane is
+/// byte-identical to per-session recomputation — and the run records the
+/// hub's digest hit/rebuild counters.
+pub fn run_shared_hub(mix: &[(Algo, TimedSpec)], data: &[TimedObject], chunk: usize) -> HubRun {
+    let mut hub = Hub::new();
+    for (algo, spec) in mix {
+        let engine: Box<dyn SlidingTopK> = algo.build(spec.reduced().expect("mix spec is valid"));
+        hub.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
+            .expect("engine built over the reduced spec");
+    }
+    let horizon = data.last().map_or(0, |o| o.timestamp) + 1;
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        for u in hub.publish_timed(c) {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    for u in hub.advance_time(horizon) {
+        updates += 1;
+        checksum = hub_checksum_fold(checksum, &u);
+    }
+    let elapsed = started.elapsed();
+    let stats = hub.stats();
+    HubRun {
+        elapsed,
+        updates,
+        checksum,
+        digest_hits: stats.digest_hits,
+        digest_rebuilds: stats.digest_rebuilds,
+    }
+}
+
+/// The sharded counterpart of [`run_shared_hub`]: the same shared mix on
+/// a [`ShardedHub`] with `shards` workers, slide groups shard-local,
+/// draining after every chunk.
+pub fn run_shared_hub_sharded(
+    mix: &[(Algo, TimedSpec)],
+    data: &[TimedObject],
+    chunk: usize,
+    shards: usize,
+) -> HubRun {
+    let mut hub = ShardedHub::new(shards);
+    for (algo, spec) in mix {
+        hub.register_shared_boxed(
+            algo.build(spec.reduced().expect("mix spec is valid")),
+            spec.window_duration,
+            spec.slide_duration,
+        )
+        .expect("fresh shards accept valid engines");
+    }
+    let horizon = data.last().map_or(0, |o| o.timestamp) + 1;
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    let fold = |hub: &mut ShardedHub, updates: &mut u64, checksum: &mut u64| {
+        for u in hub.drain().expect("no engine panics in the bench mix") {
+            *updates += 1;
+            *checksum = hub_checksum_fold(*checksum, &u);
+        }
+    };
+    for c in data.chunks(chunk) {
+        hub.publish_timed(c)
+            .expect("no engine panics in the bench mix");
+        fold(&mut hub, &mut updates, &mut checksum);
+    }
+    hub.advance_time(horizon)
+        .expect("no engine panics in the bench mix");
+    fold(&mut hub, &mut updates, &mut checksum);
+    let elapsed = started.elapsed();
+    let stats = hub.stats().expect("no engine panics in the bench mix");
+    HubRun {
+        elapsed,
+        updates,
+        checksum,
+        digest_hits: stats.digest_hits,
+        digest_rebuilds: stats.digest_rebuilds,
     }
 }
 
@@ -456,6 +588,33 @@ mod tests {
             let par = run_timed_hub_sharded(&mix, &data, 250, shards);
             assert_eq!(par.updates, seq.updates, "shards={shards}");
             assert_eq!(par.checksum, seq.checksum, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn shared_runs_match_isolated_recomputation() {
+        use sap_stream::ArrivalProcess;
+        let mix = shared_query_mix(25);
+        let data = Dataset::Stock.generate_timed(3_000, 11, ArrivalProcess::poisson(25.0));
+        let iso = run_shared_isolated(&mix, &data, 250);
+        assert!(iso.updates > 0);
+        assert_eq!(iso.digest_hits, 0, "isolated adapters never share");
+        let shared = run_shared_hub(&mix, &data, 250);
+        assert_eq!(shared.updates, iso.updates);
+        assert_eq!(
+            shared.checksum, iso.checksum,
+            "sharing must not change results"
+        );
+        assert!(
+            shared.digest_hits > 0,
+            "25 queries over 4 groups must share"
+        );
+        assert_eq!(shared.digest_rebuilds, 0, "all registered up front");
+        for shards in [1, 2, 4] {
+            let par = run_shared_hub_sharded(&mix, &data, 250, shards);
+            assert_eq!(par.updates, iso.updates, "shards={shards}");
+            assert_eq!(par.checksum, iso.checksum, "shards={shards}");
+            assert!(par.digest_hits > 0, "shards={shards}");
         }
     }
 }

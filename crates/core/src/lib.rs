@@ -44,5 +44,8 @@ pub mod units;
 
 pub use config::{MeaningfulMode, PartitionPolicy, SapConfig};
 pub use engine::Sap;
-pub use time_window::{reduced_spec, TimeBased, TimeBasedSap, TimedObject};
+pub use time_window::{
+    reduced_spec, DigestProducer, DigestRef, SharedTimed, SlideDigest, TimeBased, TimeBasedSap,
+    TimedObject,
+};
 pub use topk_buffer::TopKBuffer;

@@ -17,6 +17,16 @@
 //! bounds of Appendix A (`|C ∪ M_0| ≤ mk + nk/(sm)`, minimized at the
 //! same `m*`) follow from the count-based analysis on the reduced stream.
 //!
+//! Since the shared digest plane landed, the adapter is a thin
+//! composition of its two halves — a [`DigestProducer`] closing and
+//! truncating slides (the one copy of the tie-break rules in the
+//! workspace) wired to a private [`SharedTimed`] consumer feeding the
+//! count-based reduction. The hubs wire the *same* producer type to many
+//! consumers, which is how overlapping queries share per-slide work; an
+//! isolated adapter is simply a slide group of one. Both halves are
+//! defined in `sap_stream::digest` (the hubs live below this crate) and
+//! re-exported here.
+//!
 //! The adapter implements [`TimedTopK`], which is what plugs it into the
 //! session layer: `TimedSession`, `Hub::register_timed_boxed`, and the
 //! sharded hub all speak that trait, so a time-based query built from
@@ -36,40 +46,27 @@
 //! assert_eq!(results[0][0].id, 0);
 //! ```
 
-use std::collections::VecDeque;
-
-use sap_stream::{Object, OpStats, SlidingTopK, TimedSpec, TimedTopK};
+use sap_stream::{SlidingTopK, TimedSpec, TimedTopK};
 use sap_stream::{SpecError, WindowSpec};
 
 use crate::config::SapConfig;
 use crate::engine::Sap;
 
 pub use sap_stream::TimedObject;
-
-/// Sentinel score used for padding slides with fewer than `k` objects;
-/// below every finite real score of interest and filtered from results.
-const PAD_SCORE: f64 = f64::MIN;
+pub use sap_stream::{DigestProducer, DigestRef, SharedTimed, SlideDigest};
 
 /// A time-based continuous top-k query answered by a count-based engine
-/// through the Appendix-A reduction. `E` is the wrapped engine; the
-/// paper's configuration is [`TimeBasedSap`] (= `TimeBased<Sap>`), and
-/// the facade crate instantiates `TimeBased<Box<dyn SlidingTopK + Send>>`
-/// so every algorithm in the workspace can answer time-based queries.
+/// through the Appendix-A reduction: one [`DigestProducer`] closing and
+/// truncating slides, wired to one private [`SharedTimed`] consumer
+/// feeding the reduced stream to the engine. `E` is the wrapped engine;
+/// the paper's configuration is [`TimeBasedSap`] (= `TimeBased<Sap>`),
+/// and the facade crate instantiates
+/// `TimeBased<Box<dyn SlidingTopK + Send>>` so every algorithm in the
+/// workspace can answer time-based queries.
 #[derive(Debug)]
 pub struct TimeBased<E: SlidingTopK> {
-    inner: E,
-    k: usize,
-    window_duration: u64,
-    slide_duration: u64,
-    /// End (exclusive) of the slide currently accumulating.
-    current_slide_end: u64,
-    pending: Vec<TimedObject>,
-    /// synthetic id → original object (None for padding), ring of the last
-    /// `n'` synthetic slots.
-    ring: VecDeque<Option<TimedObject>>,
-    ring_base: u64,
-    next_synth_id: u64,
-    result: Vec<TimedObject>,
+    producer: DigestProducer,
+    consumer: SharedTimed<E>,
 }
 
 /// The paper's time-based query: the Appendix-A reduction over the SAP
@@ -116,128 +113,81 @@ impl<E: SlidingTopK> TimeBased<E> {
         window_duration: u64,
         slide_duration: u64,
     ) -> Result<Self, SpecError> {
-        let got = inner.spec();
-        let expected = reduced_spec(window_duration, slide_duration, got.k)?;
-        if got != expected {
-            return Err(SpecError::ReducedSpecMismatch { expected, got });
-        }
-        if inner.candidate_count() != 0 || inner.stats() != OpStats::default() {
-            return Err(SpecError::EngineNotFresh);
-        }
+        let consumer = SharedTimed::from_engine(inner, window_duration, slide_duration)?;
         Ok(TimeBased {
-            k: got.k,
-            inner,
-            window_duration,
-            slide_duration,
-            current_slide_end: slide_duration,
-            pending: Vec::new(),
-            ring: VecDeque::with_capacity(expected.n.saturating_add(expected.k)),
-            ring_base: 0,
-            next_synth_id: 0,
-            result: Vec::new(),
+            producer: DigestProducer::new(slide_duration, consumer.k()),
+            consumer,
         })
     }
 
     /// Number of time units per window.
     pub fn window_duration(&self) -> u64 {
-        self.window_duration
+        self.consumer.window_duration()
     }
 
     /// Number of time units per slide.
     pub fn slide_duration(&self) -> u64 {
-        self.slide_duration
+        self.consumer.slide_duration()
     }
 
     /// Result size per slide.
     pub fn k(&self) -> usize {
-        self.k
+        self.consumer.k()
     }
 
     /// The wrapped count-based engine (serving the reduced stream).
     pub fn engine(&self) -> &E {
-        &self.inner
+        self.consumer.engine()
+    }
+
+    /// The digest consumer half of the adapter (the producer half is
+    /// private: an isolated adapter is a slide group of one).
+    pub fn consumer(&self) -> &SharedTimed<E> {
+        &self.consumer
     }
 
     /// Ingests one object. Timestamps must be non-decreasing. Returns the
     /// updated top-k for every slide boundary the timestamp crosses (empty
     /// when the object lands in the still-open slide).
     pub fn ingest(&mut self, o: TimedObject) -> Vec<Vec<TimedObject>> {
-        let results = self.advance_to(o.timestamp);
-        self.pending.push(o);
-        results
+        let digests = self.producer.ingest(o);
+        self.apply(digests)
     }
 
     /// Closes every slide ending at or before `watermark` (empty slides
     /// included), returning one updated top-k per closed slide. Raising
     /// the watermark is how trailing slides are flushed at end of stream.
     pub fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>> {
-        let mut results = Vec::new();
-        while watermark >= self.current_slide_end {
-            results.push(self.close_slide());
-        }
-        results
+        let digests = self.producer.advance_to(watermark);
+        self.apply(digests)
     }
 
     /// Closes the current slide even if its time has not elapsed (useful at
-    /// end of stream), returning the updated top-k.
+    /// end of stream), returning the updated top-k. The slide reduces to
+    /// its top-k (same-slide dominance makes the remainder provably
+    /// useless, Appendix A); truncation and its newer-wins tie-break live
+    /// in [`DigestProducer::close_slide`], the workspace's single copy of
+    /// that rule.
     pub fn close_slide(&mut self) -> Vec<TimedObject> {
-        // Reduce the slide to its top-k (same-slide dominance makes the
-        // remainder provably useless, Appendix A) and pad to exactly k.
-        // Selection breaks equal scores toward the HIGHER caller id —
-        // the time-based result order says newer wins, so when a tie
-        // straddles the top-k boundary the newer object must be the one
-        // that survives the truncation.
-        self.pending
-            .sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(b.id.cmp(&a.id)));
-        self.pending.truncate(self.k);
-        // Synthetic ids are assigned in batch order, and the engine
-        // tie-breaks equal scores by the higher synthetic id — so hand
-        // the kept objects over in ascending caller-id order, making the
-        // newer of two equal-score survivors win inside the engine too.
-        self.pending.sort_unstable_by_key(|o| o.id);
-        let mut batch = Vec::with_capacity(self.k);
-        for i in 0..self.k {
-            let synth_id = self.next_synth_id;
-            self.next_synth_id += 1;
-            match self.pending.get(i) {
-                Some(&orig) => {
-                    batch.push(Object::new(synth_id, orig.score));
-                    self.ring.push_back(Some(orig));
-                }
-                None => {
-                    batch.push(Object::new(synth_id, PAD_SCORE));
-                    self.ring.push_back(None);
-                }
-            }
-        }
-        self.pending.clear();
-        while self.ring.len() > self.inner.spec().n {
-            self.ring.pop_front();
-            self.ring_base += 1;
-        }
-        let top = self.inner.slide(&batch);
-        self.result.clear();
-        for obj in top {
-            if obj.score == PAD_SCORE {
-                continue;
-            }
-            let idx = (obj.id - self.ring_base) as usize;
-            if let Some(Some(orig)) = self.ring.get(idx) {
-                self.result.push(*orig);
-            }
-        }
-        self.current_slide_end += self.slide_duration;
-        self.result.clone()
+        let digest = self.producer.close_slide();
+        self.consumer.apply_digest(&digest)
+    }
+
+    fn apply(&mut self, digests: Vec<DigestRef>) -> Vec<Vec<TimedObject>> {
+        digests
+            .into_iter()
+            .map(|d| self.consumer.apply_digest(&d))
+            .collect()
     }
 
     /// Current candidate count of the underlying engine.
     pub fn candidate_count(&self) -> usize {
-        self.inner.candidate_count()
+        self.consumer.candidate_count()
     }
 
     /// The most recent result.
     pub fn last_result(&self) -> &[TimedObject] {
-        &self.result
+        self.consumer.last_result()
     }
 }
 
@@ -270,7 +220,7 @@ impl<E: SlidingTopK> TimedTopK for TimeBased<E> {
     }
 
     fn pending(&self) -> usize {
-        self.pending.len()
+        self.producer.pending_len()
     }
 
     fn candidate_count(&self) -> usize {
@@ -278,13 +228,14 @@ impl<E: SlidingTopK> TimedTopK for TimeBased<E> {
     }
 
     fn name(&self) -> &str {
-        self.inner.name()
+        self.consumer.name()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sap_stream::Object;
 
     fn obj(id: u64, timestamp: u64, score: f64) -> TimedObject {
         TimedObject {

@@ -1,0 +1,530 @@
+//! The shared per-slide digest plane (paper Appendix A, shared across
+//! queries).
+//!
+//! SAP's Appendix-A reduction answers a time-based query by reducing each
+//! closed slide to its top-`k` objects and feeding that reduced stream to
+//! a count-based engine. The key observation behind *sharing* (cf.
+//! Vouzoukidou et al., "Continuous Top-k Queries over Real-Time Web
+//! Streams"): every timed query with the same `slide_duration` closes
+//! slides at identical watermarks, regardless of `window_duration` — so
+//! the per-slide top-`k_max` list is one artifact that can serve **every**
+//! overlapping query with `k ≤ k_max`. This module promotes that artifact
+//! to a first-class type and splits the old monolithic adapter in two:
+//!
+//! * [`DigestProducer`] — ingests the raw timed stream once per *slide
+//!   group* and emits immutable, refcounted [`SlideDigest`]s: the slide's
+//!   top-`k_max`, in result order. This is the **one copy** of the
+//!   slide-truncation and tie-break rules in the workspace;
+//! * [`SharedTimed`] — a consumer that slices its own `k ≤ k_max` prefix
+//!   from each digest and feeds its private count-based reduction (the
+//!   synthetic-id ring + padding machinery), producing results
+//!   byte-identical to an isolated session.
+//!
+//! `sap_core`'s `TimeBased<E>` is one producer wired to one consumer; the
+//! hubs wire one producer to *many* consumers (see
+//! `Hub::register_shared_boxed`), which is where the shared plane earns
+//! its keep: 500 queries over 4 slide durations cost 4 truncation passes
+//! per slide instead of 500.
+//!
+//! ```
+//! use sap_stream::{DigestProducer, TimedObject};
+//!
+//! // one digest plane for every query sliding each 10 time units,
+//! // deep enough for the largest subscriber (k_max = 2)
+//! let mut producer = DigestProducer::new(10, 2);
+//! assert!(producer.ingest(TimedObject::new(0, 3, 5.0)).is_empty());
+//! assert!(producer.ingest(TimedObject::new(1, 7, 9.0)).is_empty());
+//! // crossing t = 10 closes the slide [0, 10)
+//! let digests = producer.ingest(TimedObject::new(2, 12, 7.0));
+//! assert_eq!(digests.len(), 1);
+//! assert_eq!(digests[0].slide, 0);
+//! assert_eq!(digests[0].top[0].id, 1, "descending result order");
+//! // a consumer with k = 1 slices its prefix from the same digest
+//! assert_eq!(digests[0].prefix(1).len(), 1);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::metrics::OpStats;
+use crate::object::{Object, TimedObject};
+use crate::query::TimedSpec;
+use crate::window::{SlidingTopK, SpecError, WindowSpec};
+
+/// Sentinel score used for padding slides with fewer than `k` objects;
+/// below every finite real score of interest and filtered from results.
+const PAD_SCORE: f64 = f64::MIN;
+
+/// The per-slide artifact of the shared digest plane: one closed slide's
+/// top-`k_max` objects, immutable once built. Handed out refcounted (see
+/// [`DigestRef`]) so a hub can fan one digest out to every member of a
+/// slide group without copying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlideDigest {
+    /// 0-based index of the closed slide.
+    pub slide: u64,
+    /// The slide's end timestamp (exclusive); the slide covered
+    /// `[end - slide_duration, end)`.
+    pub end: u64,
+    /// The slide's top objects in **result order** (descending score,
+    /// ties to the higher id), at most `k_max` of them — fewer when the
+    /// slide held fewer objects, empty for an empty slide.
+    pub top: Vec<TimedObject>,
+}
+
+impl SlideDigest {
+    /// The top-`k` prefix of this digest — exactly what a consumer with
+    /// result size `k ≤ k_max` would have computed from the raw slide
+    /// (the result order is total, so prefixes of the truncation are
+    /// truncations).
+    #[inline]
+    pub fn prefix(&self, k: usize) -> &[TimedObject] {
+        &self.top[..k.min(self.top.len())]
+    }
+}
+
+/// A refcounted [`SlideDigest`]: what [`DigestProducer`] emits and what
+/// the hubs fan out to slide-group members.
+pub type DigestRef = Arc<SlideDigest>;
+
+/// Ingests a timed stream once and reduces every closed slide to its
+/// top-`k_max` digest — the producer half of the shared digest plane.
+///
+/// Holds only the still-open slide's objects (untruncated), so
+/// [`grow_k_max`](DigestProducer::grow_k_max) is exact at any point:
+/// truncation happens at close time, never earlier. Slide boundaries are
+/// global multiples of `slide_duration` starting at time 0, which is what
+/// lets every producer (and every isolated adapter) with the same
+/// `slide_duration` agree on slide indices.
+#[derive(Debug)]
+pub struct DigestProducer {
+    slide_duration: u64,
+    k_max: usize,
+    /// End (exclusive) of the slide currently accumulating.
+    slide_end: u64,
+    /// Index of the slide currently accumulating (= slides closed so far).
+    next_slide: u64,
+    pending: Vec<TimedObject>,
+}
+
+impl DigestProducer {
+    /// A fresh producer for slides of `slide_duration` time units, keeping
+    /// each slide's top `k_max`. `slide_duration` must be positive and
+    /// `k_max` at least 1 (callers validate through [`TimedSpec`]).
+    pub fn new(slide_duration: u64, k_max: usize) -> Self {
+        assert!(slide_duration > 0, "slide_duration must be positive");
+        assert!(k_max > 0, "k_max must be at least 1");
+        DigestProducer {
+            slide_duration,
+            k_max,
+            slide_end: slide_duration,
+            next_slide: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Time units per slide.
+    pub fn slide_duration(&self) -> u64 {
+        self.slide_duration
+    }
+
+    /// Current digest depth: how many objects each closed slide retains.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Index of the slide currently accumulating (= digests emitted so
+    /// far).
+    pub fn next_slide(&self) -> u64 {
+        self.next_slide
+    }
+
+    /// Number of objects buffered in the still-open slide.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the producer has never ingested anything (no closed slides
+    /// and an empty open slide) — the state in which a new consumer can
+    /// attach with nothing to catch up on.
+    pub fn is_pristine(&self) -> bool {
+        self.next_slide == 0 && self.pending.is_empty()
+    }
+
+    /// Deepens the digests to `k_max ≥` the current depth (shrinking is a
+    /// no-op: digests may always be deeper than a consumer needs). Exact
+    /// even mid-slide, because the open slide is held untruncated.
+    pub fn grow_k_max(&mut self, k_max: usize) {
+        self.k_max = self.k_max.max(k_max);
+    }
+
+    /// Sets the digest depth exactly — including shrinking it, when the
+    /// deepest consumer leaves. Exact at any point for the same reason as
+    /// [`grow_k_max`](DigestProducer::grow_k_max): truncation only
+    /// happens at close time, never on the open slide.
+    pub fn set_k_max(&mut self, k_max: usize) {
+        assert!(k_max > 0, "k_max must be at least 1");
+        self.k_max = k_max;
+    }
+
+    /// Ingests one object. Timestamps must be non-decreasing. Returns a
+    /// digest for every slide boundary the timestamp crosses (empty when
+    /// the object lands in the still-open slide).
+    pub fn ingest(&mut self, o: TimedObject) -> Vec<DigestRef> {
+        let digests = self.advance_to(o.timestamp);
+        self.pending.push(o);
+        digests
+    }
+
+    /// Closes every slide ending at or before `watermark` (empty slides
+    /// included), returning one digest per closed slide, oldest first.
+    pub fn advance_to(&mut self, watermark: u64) -> Vec<DigestRef> {
+        let mut digests = Vec::new();
+        while watermark >= self.slide_end {
+            digests.push(self.close_slide());
+        }
+        digests
+    }
+
+    /// Closes the open slide even if its time has not elapsed (useful at
+    /// end of stream), returning its digest.
+    ///
+    /// This is the workspace's single copy of the slide truncation rule:
+    /// the slide reduces to its top-`k_max` under the result order, where
+    /// equal scores break toward the **higher id** — the time-based result
+    /// order says newer wins, so when a tie straddles the top-`k` boundary
+    /// of any consumer the newer object must be the one that survives.
+    pub fn close_slide(&mut self) -> DigestRef {
+        self.pending
+            .sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(b.id.cmp(&a.id)));
+        self.pending.truncate(self.k_max);
+        let digest = SlideDigest {
+            slide: self.next_slide,
+            end: self.slide_end,
+            top: std::mem::take(&mut self.pending),
+        };
+        self.next_slide += 1;
+        self.slide_end += self.slide_duration;
+        Arc::new(digest)
+    }
+}
+
+/// The consumer half of the shared digest plane: answers one time-based
+/// query `W⟨window_duration, slide_duration⟩` with result size `k` by
+/// slicing its `k ≤ k_max` prefix from each [`SlideDigest`] and feeding
+/// its private count-based reduction — the wrapped engine `E` over the
+/// Appendix-A spec `⟨(n/s)·k, k, k⟩`, with the synthetic-id ring that
+/// translates engine output back to the caller's objects.
+///
+/// Results are **byte-identical** to an isolated adapter over the same
+/// stream: the digest's prefix is exactly the truncation the consumer
+/// would have computed itself (the result order is total), and everything
+/// downstream of the truncation is private per-consumer state.
+#[derive(Debug)]
+pub struct SharedTimed<E: SlidingTopK> {
+    inner: E,
+    k: usize,
+    window_duration: u64,
+    slide_duration: u64,
+    /// synthetic id → original object (None for padding), ring of the last
+    /// `n'` synthetic slots.
+    ring: VecDeque<Option<TimedObject>>,
+    ring_base: u64,
+    next_synth_id: u64,
+    /// Digests applied so far = the slide index expected next.
+    slides_applied: u64,
+    result: Vec<TimedObject>,
+}
+
+impl<E: SlidingTopK> SharedTimed<E> {
+    /// Wraps an existing count-based engine as a digest consumer for the
+    /// last `window_duration` time units, sliding every `slide_duration`.
+    /// The engine must already be configured over the reduction of those
+    /// durations — `⟨(n/s)·k, k, k⟩` for its own `k` — else
+    /// [`SpecError::ReducedSpecMismatch`]; and it must be fresh (the id
+    /// translation assumes the reduced stream starts at arrival ordinal
+    /// 0), else [`SpecError::EngineNotFresh`].
+    pub fn from_engine(
+        inner: E,
+        window_duration: u64,
+        slide_duration: u64,
+    ) -> Result<Self, SpecError> {
+        let got = inner.spec();
+        let expected = TimedSpec::new(window_duration, slide_duration, got.k)?.reduced()?;
+        if got != expected {
+            return Err(SpecError::ReducedSpecMismatch { expected, got });
+        }
+        if inner.candidate_count() != 0 || inner.stats() != OpStats::default() {
+            return Err(SpecError::EngineNotFresh);
+        }
+        Ok(SharedTimed {
+            k: got.k,
+            inner,
+            window_duration,
+            slide_duration,
+            ring: VecDeque::with_capacity(expected.n.saturating_add(expected.k)),
+            ring_base: 0,
+            next_synth_id: 0,
+            slides_applied: 0,
+            result: Vec::new(),
+        })
+    }
+
+    /// Number of time units per window.
+    pub fn window_duration(&self) -> u64 {
+        self.window_duration
+    }
+
+    /// Number of time units per slide.
+    pub fn slide_duration(&self) -> u64 {
+        self.slide_duration
+    }
+
+    /// Result size per slide.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The wrapped count-based engine (serving the reduced stream).
+    pub fn engine(&self) -> &E {
+        &self.inner
+    }
+
+    /// The engine's reduced-stream spec `⟨(n/s)·k, k, k⟩`.
+    pub fn reduced_spec(&self) -> WindowSpec {
+        self.inner.spec()
+    }
+
+    /// Digests applied so far = the slide index the next digest must
+    /// carry.
+    pub fn slides_applied(&self) -> u64 {
+        self.slides_applied
+    }
+
+    /// Current candidate count of the underlying engine.
+    pub fn candidate_count(&self) -> usize {
+        self.inner.candidate_count()
+    }
+
+    /// The most recent result.
+    pub fn last_result(&self) -> &[TimedObject] {
+        &self.result
+    }
+
+    /// The engine's display name.
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Applies one closed slide's digest: slices the own-`k` prefix, pads
+    /// it to exactly `k` synthetic objects, advances the wrapped engine by
+    /// one reduced-stream slide, and translates the emission back to the
+    /// caller's objects. Digests must arrive gap-free in slide order, from
+    /// a producer with `k_max ≥ k` — the hubs and `TimeBased` guarantee
+    /// both.
+    pub fn apply_digest(&mut self, digest: &SlideDigest) -> Vec<TimedObject> {
+        debug_assert_eq!(
+            digest.slide, self.slides_applied,
+            "digests must be applied gap-free in slide order"
+        );
+        // Synthetic ids are assigned in batch order, and the engine
+        // tie-breaks equal scores by the higher synthetic id — so hand
+        // the kept objects over in ascending caller-id order, making the
+        // newer of two equal-score survivors win inside the engine too.
+        let mut kept: Vec<TimedObject> = digest.prefix(self.k).to_vec();
+        kept.sort_unstable_by_key(|o| o.id);
+        let mut batch = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let synth_id = self.next_synth_id;
+            self.next_synth_id += 1;
+            match kept.get(i) {
+                Some(&orig) => {
+                    batch.push(Object::new(synth_id, orig.score));
+                    self.ring.push_back(Some(orig));
+                }
+                None => {
+                    batch.push(Object::new(synth_id, PAD_SCORE));
+                    self.ring.push_back(None);
+                }
+            }
+        }
+        while self.ring.len() > self.inner.spec().n {
+            self.ring.pop_front();
+            self.ring_base += 1;
+        }
+        let top = self.inner.slide(&batch);
+        self.result.clear();
+        for obj in top {
+            if obj.score == PAD_SCORE {
+                continue;
+            }
+            let idx = (obj.id - self.ring_base) as usize;
+            if let Some(Some(orig)) = self.ring.get(idx) {
+                self.result.push(*orig);
+            }
+        }
+        self.slides_applied += 1;
+        self.result.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: u64, timestamp: u64, score: f64) -> TimedObject {
+        TimedObject {
+            id,
+            timestamp,
+            score,
+        }
+    }
+
+    #[test]
+    fn producer_truncates_with_the_newer_wins_tie_break() {
+        let mut p = DigestProducer::new(10, 2);
+        p.ingest(obj(1, 0, 5.0));
+        p.ingest(obj(2, 1, 5.0));
+        p.ingest(obj(3, 2, 1.0));
+        let digests = p.advance_to(10);
+        assert_eq!(digests.len(), 1);
+        // ties break to the higher id, result order is descending
+        assert_eq!(digests[0].top, vec![obj(2, 1, 5.0), obj(1, 0, 5.0)]);
+        assert_eq!(digests[0].prefix(1), &[obj(2, 1, 5.0)]);
+        assert_eq!(digests[0].end, 10);
+        assert_eq!(p.next_slide(), 1);
+    }
+
+    #[test]
+    fn producer_closes_empty_slides_on_jumps() {
+        let mut p = DigestProducer::new(10, 1);
+        p.ingest(obj(0, 5, 7.0));
+        let digests = p.ingest(obj(1, 38, 3.0));
+        assert_eq!(digests.len(), 3, "slides [0,10) [10,20) [20,30) close");
+        assert_eq!(digests[0].top.len(), 1);
+        assert!(digests[1].top.is_empty());
+        assert!(digests[2].top.is_empty());
+        assert_eq!(digests[2].slide, 2);
+        assert_eq!(p.pending_len(), 1);
+    }
+
+    #[test]
+    fn grow_k_max_is_exact_mid_slide() {
+        let mut p = DigestProducer::new(10, 1);
+        p.ingest(obj(0, 0, 1.0));
+        p.ingest(obj(1, 1, 2.0));
+        p.ingest(obj(2, 2, 3.0));
+        // the open slide is untruncated, so deepening now still yields the
+        // full top-3 at close
+        p.grow_k_max(3);
+        p.grow_k_max(2); // shrinking is a no-op
+        assert_eq!(p.k_max(), 3);
+        let d = p.close_slide();
+        assert_eq!(d.top.len(), 3);
+        assert_eq!(d.top[0], obj(2, 2, 3.0));
+    }
+
+    #[test]
+    fn pristine_reflects_ingestion_not_time() {
+        let mut p = DigestProducer::new(10, 1);
+        assert!(p.is_pristine());
+        p.ingest(obj(0, 3, 1.0));
+        assert!(!p.is_pristine(), "pending objects end pristineness");
+        let mut p = DigestProducer::new(10, 1);
+        p.advance_to(25);
+        assert!(!p.is_pristine(), "closed slides end pristineness");
+    }
+
+    /// Reference count-based engine over the reduced spec.
+    struct Toy {
+        spec: WindowSpec,
+        window: Vec<Object>,
+        result: Vec<Object>,
+    }
+
+    impl Toy {
+        fn reduced(wd: u64, sd: u64, k: usize) -> Self {
+            Toy {
+                spec: TimedSpec::new(wd, sd, k).unwrap().reduced().unwrap(),
+                window: Vec::new(),
+                result: Vec::new(),
+            }
+        }
+    }
+
+    impl SlidingTopK for Toy {
+        fn spec(&self) -> WindowSpec {
+            self.spec
+        }
+        fn slide(&mut self, batch: &[Object]) -> &[Object] {
+            self.window.extend_from_slice(batch);
+            let excess = self.window.len().saturating_sub(self.spec.n);
+            self.window.drain(..excess);
+            self.result = crate::object::top_k_of(&self.window, self.spec.k);
+            &self.result
+        }
+        fn candidate_count(&self) -> usize {
+            0
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> OpStats {
+            OpStats::default()
+        }
+        fn name(&self) -> &str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn consumer_validates_the_reduction() {
+        // ⟨100, 5, 10⟩ is not the reduction of W⟨100, 10⟩ for k = 5
+        let wrong = Toy {
+            spec: WindowSpec::new(100, 5, 10).unwrap(),
+            window: Vec::new(),
+            result: Vec::new(),
+        };
+        assert!(matches!(
+            SharedTimed::from_engine(wrong, 100, 10),
+            Err(SpecError::ReducedSpecMismatch { .. })
+        ));
+        let right = Toy::reduced(100, 10, 5);
+        let c = SharedTimed::from_engine(right, 100, 10).unwrap();
+        assert_eq!(c.k(), 5);
+        assert_eq!(c.window_duration(), 100);
+        assert_eq!(c.slide_duration(), 10);
+        assert_eq!(c.reduced_spec(), WindowSpec::new(50, 5, 5).unwrap());
+        assert_eq!(c.name(), "toy");
+    }
+
+    #[test]
+    fn consumer_slices_its_own_k_from_a_deeper_digest() {
+        // one producer at k_max = 3 serves consumers with k = 1 and k = 3
+        let mut producer = DigestProducer::new(10, 3);
+        let mut narrow = SharedTimed::from_engine(Toy::reduced(20, 10, 1), 20, 10).unwrap();
+        let mut wide = SharedTimed::from_engine(Toy::reduced(20, 10, 3), 20, 10).unwrap();
+        for o in [obj(0, 1, 5.0), obj(1, 2, 9.0), obj(2, 3, 7.0)] {
+            assert!(producer.ingest(o).is_empty());
+        }
+        for d in producer.advance_to(10) {
+            assert_eq!(narrow.apply_digest(&d), vec![obj(1, 2, 9.0)]);
+            assert_eq!(
+                wide.apply_digest(&d),
+                vec![obj(1, 2, 9.0), obj(2, 3, 7.0), obj(0, 1, 5.0)]
+            );
+        }
+        assert_eq!(narrow.slides_applied(), 1);
+        assert_eq!(narrow.last_result(), &[obj(1, 2, 9.0)]);
+        // an empty slide expires nothing yet (window spans 2 slides)
+        for d in producer.advance_to(20) {
+            assert_eq!(narrow.apply_digest(&d), vec![obj(1, 2, 9.0)]);
+            assert_eq!(wide.apply_digest(&d).len(), 3);
+        }
+        // one more slide expires everything
+        for d in producer.advance_to(30) {
+            assert!(narrow.apply_digest(&d).is_empty());
+            assert!(wide.apply_digest(&d).is_empty());
+        }
+    }
+}

@@ -21,7 +21,11 @@
 //!   multi-query [`Hub`] fanning one stream out to many standing queries,
 //!   and typed [`TopKEvent`] result deltas;
 //! * the **sharded hub** ([`ShardedHub`]) — the same fan-out distributed
-//!   across worker threads, with backpressure on `publish`.
+//!   across worker threads, with backpressure on `publish`;
+//! * the **shared digest plane** ([`digest`]) — per-slide top-`k_max`
+//!   digests computed once per slide group (queries with equal
+//!   `slide_duration`) and served to every overlapping time-based query,
+//!   with [`HubStats`] reporting how much work the sharing saved.
 //!
 //! ## Scaling
 //!
@@ -75,24 +79,30 @@
 //! assert_eq!(timed.validate_timed().unwrap().slides_per_window(), 60);
 //! ```
 
+pub mod digest;
 pub mod driver;
 pub mod events;
 pub mod generators;
 pub mod metrics;
 pub mod object;
 pub mod query;
+mod registry;
 pub mod session;
 pub mod shard;
 #[cfg(test)]
 mod test_support;
 pub mod window;
 
+pub use digest::{DigestProducer, DigestRef, SharedTimed, SlideDigest};
 pub use driver::{checksum_fold, run, run_collecting, RunSummary, CHECKSUM_SEED};
 pub use events::{diff_snapshots, SlideResult, TopKEvent};
 pub use generators::{ArrivalProcess, Dataset, Workload};
 pub use metrics::OpStats;
 pub use object::{Object, ScoreKey, TimedObject};
 pub use query::{AlgorithmKind, Query, QuerySpec, SapError, SapPolicy, TimedSpec};
-pub use session::{AnySession, Hub, HubSession, QueryId, QueryUpdate, Session, TimedSession};
+pub use registry::HubStats;
+pub use session::{
+    AnySession, Hub, HubSession, QueryId, QueryUpdate, Session, SharedSession, TimedSession,
+};
 pub use shard::{QueryState, ShardSession, ShardedHub, DEFAULT_QUEUE_CAPACITY};
 pub use window::{Ingest, SlidingTopK, SpecError, TimedIngest, TimedTopK, WindowSpec};

@@ -1,0 +1,412 @@
+//! The session registry: one copy of the fan-out, digest-group, and
+//! statistics bookkeeping shared by the sequential [`Hub`] and every
+//! [`ShardedHub`] worker.
+//!
+//! Before the shared digest plane, the hub and the shard workers each
+//! carried their own `Vec<(QueryId, AnySession)>` dispatch loop; adding
+//! slide groups to both would have meant two copies of the trickiest
+//! bookkeeping in the crate (group membership, warm-up promotion, digest
+//! fan-out). [`Registry`] is that logic extracted once: the sequential
+//! hub *is* a registry driven from the caller's thread, and each shard
+//! worker *is* a registry driven from its queue — which is also what
+//! keeps the two byte-identical by construction.
+//!
+//! ## Slide groups
+//!
+//! Shared time-based sessions are grouped by `slide_duration`: every
+//! member of a group closes slides at identical watermarks, so the group
+//! owns one [`DigestProducer`] (at `k_max` = the largest member `k`,
+//! grown on registration) and each published object is ingested **once
+//! per group** instead of once per query. Closed digests fan out to the
+//! members, each slicing its own `k` prefix.
+//!
+//! A member registering mid-stream must only observe objects published
+//! after its registration (exactly like an isolated session). Until the
+//! group slide it joined during has closed, the member therefore runs on
+//! a private warm-up producer fed the raw stream; once that slide closes,
+//! the private and shared views provably coincide (every later slide
+//! started after the registration) and the member is promoted to shared
+//! consumption. Warm-up slides are counted as
+//! [`digest_rebuilds`](HubStats::digest_rebuilds), shared consumptions as
+//! [`digest_hits`](HubStats::digest_hits).
+//!
+//! [`Hub`]: crate::session::Hub
+//! [`ShardedHub`]: crate::shard::ShardedHub
+
+use std::collections::HashMap;
+
+use crate::digest::{DigestProducer, DigestRef, SharedTimed};
+use crate::events::SlideResult;
+use crate::object::{Object, TimedObject};
+use crate::session::{AnySession, QueryId, QueryUpdate, Session, SharedSession, TimedSession};
+use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK};
+
+/// A point-in-time summary of a hub's registered queries and how much
+/// per-slide work the shared digest plane is saving — what
+/// `Hub::stats()`/`ShardedHub::stats()` report, so benches and examples
+/// can measure sharing instead of guessing at it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HubStats {
+    /// Total registered queries.
+    pub queries: usize,
+    /// Count-based queries (window on arrival counts).
+    pub count_queries: usize,
+    /// Time-based queries running isolated (private Appendix-A adapter).
+    pub timed_queries: usize,
+    /// Time-based queries served by the shared digest plane.
+    pub shared_queries: usize,
+    /// Live slide groups (distinct `slide_duration`s with ≥ 1 shared
+    /// member).
+    pub digest_groups: u64,
+    /// Slides served to a shared member from its group's digest — work
+    /// the member did **not** redo.
+    pub digest_hits: u64,
+    /// Slides a shared member computed from its private warm-up producer
+    /// (mid-stream joins catching up to their group).
+    pub digest_rebuilds: u64,
+}
+
+impl HubStats {
+    /// Fraction of shared-member slides served from a group digest:
+    /// `hits / (hits + rebuilds)`, or 0 before any shared slide closed.
+    pub fn digest_hit_rate(&self) -> f64 {
+        let total = self.digest_hits + self.digest_rebuilds;
+        if total == 0 {
+            0.0
+        } else {
+            self.digest_hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise accumulation — how `ShardedHub::stats()` folds its
+    /// per-shard partials into one hub-wide view.
+    pub fn merge(&mut self, other: &HubStats) {
+        self.queries += other.queries;
+        self.count_queries += other.count_queries;
+        self.timed_queries += other.timed_queries;
+        self.shared_queries += other.shared_queries;
+        self.digest_groups += other.digest_groups;
+        self.digest_hits += other.digest_hits;
+        self.digest_rebuilds += other.digest_rebuilds;
+    }
+}
+
+/// One slide group: the shared producer plus its member count (sessions
+/// in [`Registry::sessions`] with this `slide_duration`).
+struct DigestGroup {
+    producer: DigestProducer,
+    members: usize,
+}
+
+/// The session store and dispatch logic shared by the sequential hub and
+/// the shard workers. Sessions are kept in registration order (which is
+/// ascending `QueryId` order), so emitted updates are naturally ordered
+/// per publish call.
+pub(crate) struct Registry<C: SlidingTopK, T: TimedTopK> {
+    sessions: Vec<(QueryId, AnySession<C, T>)>,
+    /// `slide_duration` → the group serving every shared session with it.
+    groups: HashMap<u64, DigestGroup>,
+    digest_hits: u64,
+    digest_rebuilds: u64,
+}
+
+impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
+    fn default() -> Self {
+        Registry {
+            sessions: Vec::new(),
+            groups: HashMap::new(),
+            digest_hits: 0,
+            digest_rebuilds: 0,
+        }
+    }
+}
+
+impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
+    pub(crate) fn new() -> Self {
+        Registry::default()
+    }
+
+    pub(crate) fn register_count(&mut self, id: QueryId, alg: C) {
+        self.sessions
+            .push((id, AnySession::Count(Session::new(alg))));
+    }
+
+    pub(crate) fn register_timed(&mut self, id: QueryId, engine: T) {
+        self.sessions
+            .push((id, AnySession::Timed(TimedSession::new(engine))));
+    }
+
+    /// Registers a digest consumer, joining (or founding) the slide group
+    /// for its `slide_duration`. The group's digest depth grows to cover
+    /// the new member's `k`; a member joining a group that has already
+    /// ingested stream starts in warm-up (see the [module docs](self)).
+    pub(crate) fn register_shared(&mut self, id: QueryId, consumer: SharedTimed<C>) {
+        let sd = consumer.slide_duration();
+        let k = consumer.k();
+        let group = self.groups.entry(sd).or_insert_with(|| DigestGroup {
+            producer: DigestProducer::new(sd, k),
+            members: 0,
+        });
+        group.producer.grow_k_max(k);
+        group.members += 1;
+        let join_slide = if group.producer.is_pristine() {
+            None
+        } else {
+            Some(group.producer.next_slide())
+        };
+        self.sessions.push((
+            id,
+            AnySession::Shared(SharedSession::new(consumer, join_slide)),
+        ));
+    }
+
+    /// Removes a query, handing its session back; `None` for unknown ids.
+    /// A shared session leaves its group; the last member out drops the
+    /// group entirely (so a later registrant founds a fresh, pristine
+    /// one), and a departing deepest member shrinks the group's digest
+    /// depth back to the remaining members' maximum `k` — exact even
+    /// mid-slide, for the same reason `k_max` growth is.
+    pub(crate) fn unregister(&mut self, id: QueryId) -> Option<AnySession<C, T>> {
+        let pos = self.sessions.iter().position(|(q, _)| *q == id)?;
+        let (_, session) = self.sessions.remove(pos);
+        if let AnySession::Shared(s) = &session {
+            let sd = s.slide_duration();
+            if let Some(group) = self.groups.get_mut(&sd) {
+                group.members -= 1;
+                if group.members == 0 {
+                    self.groups.remove(&sd);
+                } else if s.consumer().k() >= group.producer.k_max() {
+                    let k_max = self
+                        .sessions
+                        .iter()
+                        .filter_map(|(_, sess)| match sess {
+                            AnySession::Shared(m) if m.slide_duration() == sd => {
+                                Some(m.consumer().k())
+                            }
+                            _ => None,
+                        })
+                        .max()
+                        .expect("a surviving group has members");
+                    group.producer.set_k_max(k_max);
+                }
+            }
+        }
+        Some(session)
+    }
+
+    /// Fans an untimed batch out to every count-based session. Time-based
+    /// sessions (isolated and shared) carry no event time here and do not
+    /// advance.
+    pub(crate) fn publish(&mut self, objects: &[Object]) -> Vec<QueryUpdate> {
+        if self.sessions.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (id, session) in &mut self.sessions {
+            if let AnySession::Count(session) = session {
+                for result in session.push(objects) {
+                    out.push(QueryUpdate { query: *id, result });
+                }
+            }
+        }
+        out
+    }
+
+    /// Fans a timed batch out to every session: each slide group ingests
+    /// the batch **once**, then sessions are walked in registration order
+    /// — count-based sessions see the untimed view, isolated timed
+    /// sessions consume the raw batch, shared sessions apply their
+    /// group's closed digests (or, during warm-up, their private view).
+    pub(crate) fn publish_timed(&mut self, objects: &[TimedObject]) -> Vec<QueryUpdate> {
+        if self.sessions.is_empty() || objects.is_empty() {
+            return Vec::new();
+        }
+        // strip the timestamps once, not once per count-based session
+        let plain: Vec<Object> = if self
+            .sessions
+            .iter()
+            .any(|(_, s)| matches!(s, AnySession::Count(_)))
+        {
+            objects.iter().map(TimedObject::untimed).collect()
+        } else {
+            Vec::new()
+        };
+        let closed = Self::close_groups(&mut self.groups, |producer| {
+            let mut digests = Vec::new();
+            for &o in objects {
+                digests.extend(producer.ingest(o));
+            }
+            digests
+        });
+        let mut out = Vec::new();
+        for (id, session) in &mut self.sessions {
+            let results = match session {
+                AnySession::Count(session) => session.push(&plain),
+                AnySession::Timed(session) => session.push_timed(objects),
+                AnySession::Shared(session) => Self::serve_shared(
+                    &mut self.digest_hits,
+                    &mut self.digest_rebuilds,
+                    session,
+                    &closed,
+                    |s| s.push_warmup(objects),
+                ),
+            };
+            for result in results {
+                out.push(QueryUpdate { query: *id, result });
+            }
+        }
+        self.promote_ready();
+        out
+    }
+
+    /// Raises the event-time watermark on every time-based session —
+    /// groups advance once, members consume the closed digests, isolated
+    /// sessions advance privately. Count-based sessions are untouched.
+    pub(crate) fn advance_time(&mut self, watermark: u64) -> Vec<QueryUpdate> {
+        let closed =
+            Self::close_groups(&mut self.groups, |producer| producer.advance_to(watermark));
+        let mut out = Vec::new();
+        for (id, session) in &mut self.sessions {
+            let results = match session {
+                AnySession::Count(_) => continue,
+                AnySession::Timed(session) => session.advance_watermark(watermark),
+                AnySession::Shared(session) => Self::serve_shared(
+                    &mut self.digest_hits,
+                    &mut self.digest_rebuilds,
+                    session,
+                    &closed,
+                    |s| s.advance_warmup(watermark),
+                ),
+            };
+            for result in results {
+                out.push(QueryUpdate { query: *id, result });
+            }
+        }
+        self.promote_ready();
+        out
+    }
+
+    /// Drives every group's producer once per call (`drive` is the
+    /// batch-ingest or watermark step) and collects the slides each group
+    /// closed, keyed by slide duration.
+    fn close_groups(
+        groups: &mut HashMap<u64, DigestGroup>,
+        mut drive: impl FnMut(&mut DigestProducer) -> Vec<DigestRef>,
+    ) -> HashMap<u64, Vec<DigestRef>> {
+        let mut closed = HashMap::new();
+        for (sd, group) in groups {
+            let digests = drive(&mut group.producer);
+            if !digests.is_empty() {
+                closed.insert(*sd, digests);
+            }
+        }
+        closed
+    }
+
+    /// Serves one shared session its slides for this call: the private
+    /// warm-up view (counted as rebuilds) while it is catching up, its
+    /// group's closed digests (counted as hits) once promoted. One copy
+    /// of the hit/rebuild accounting for both the publish and the
+    /// watermark path, so `HubStats` can never drift between them.
+    fn serve_shared(
+        hits: &mut u64,
+        rebuilds: &mut u64,
+        session: &mut SharedSession<C>,
+        closed: &HashMap<u64, Vec<DigestRef>>,
+        warmup: impl FnOnce(&mut SharedSession<C>) -> Vec<SlideResult>,
+    ) -> Vec<SlideResult> {
+        if session.is_warming_up() {
+            let results = warmup(session);
+            *rebuilds += results.len() as u64;
+            results
+        } else {
+            match closed.get(&session.slide_duration()) {
+                Some(digests) => {
+                    *hits += digests.len() as u64;
+                    session.apply_digests(digests)
+                }
+                None => Vec::new(),
+            }
+        }
+    }
+
+    /// Promotes every warm-up member whose group has closed the slide it
+    /// joined during: both producers processed the same timestamps, so
+    /// from the next slide on the private and shared views are identical.
+    fn promote_ready(&mut self) {
+        for (_, session) in &mut self.sessions {
+            if let AnySession::Shared(s) = session {
+                if let Some(group) = self.groups.get(&s.slide_duration()) {
+                    s.maybe_promote(group.producer.next_slide());
+                }
+            }
+        }
+    }
+
+    pub(crate) fn session(&self, id: QueryId) -> Option<&AnySession<C, T>> {
+        self.sessions.iter().find(|(q, _)| *q == id).map(|(_, s)| s)
+    }
+
+    pub(crate) fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.sessions.iter().map(|(id, _)| *id)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    pub(crate) fn stats(&self) -> HubStats {
+        let mut stats = HubStats {
+            queries: self.sessions.len(),
+            digest_groups: self.groups.len() as u64,
+            digest_hits: self.digest_hits,
+            digest_rebuilds: self.digest_rebuilds,
+            ..HubStats::default()
+        };
+        for (_, session) in &self.sessions {
+            match session {
+                AnySession::Count(_) => stats.count_queries += 1,
+                AnySession::Timed(_) => stats.timed_queries += 1,
+                AnySession::Shared(_) => stats.shared_queries += 1,
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::TimedSpec;
+    use crate::test_support::{Toy, ToyTimed};
+
+    fn consumer(wd: u64, sd: u64, k: usize) -> SharedTimed<Toy> {
+        let reduced = TimedSpec::new(wd, sd, k).unwrap().reduced().unwrap();
+        SharedTimed::from_engine(Toy::new(reduced.n, reduced.k, reduced.s), wd, sd).unwrap()
+    }
+
+    #[test]
+    fn digest_depth_follows_the_deepest_member() {
+        let mut reg: Registry<Toy, ToyTimed> = Registry::new();
+        reg.register_shared(QueryId::from_raw(0), consumer(20, 10, 1));
+        assert_eq!(reg.groups[&10].producer.k_max(), 1);
+        reg.register_shared(QueryId::from_raw(1), consumer(40, 10, 5));
+        assert_eq!(reg.groups[&10].producer.k_max(), 5, "grows on join");
+        // the deepest member leaving shrinks the depth back
+        reg.unregister(QueryId::from_raw(1)).unwrap();
+        assert_eq!(reg.groups[&10].producer.k_max(), 1, "shrinks on leave");
+        // a non-deepest member leaving does not
+        reg.register_shared(QueryId::from_raw(2), consumer(40, 10, 3));
+        reg.register_shared(QueryId::from_raw(3), consumer(20, 10, 2));
+        reg.unregister(QueryId::from_raw(3)).unwrap();
+        assert_eq!(reg.groups[&10].producer.k_max(), 3);
+        // the last member out retires the group
+        reg.unregister(QueryId::from_raw(0)).unwrap();
+        reg.unregister(QueryId::from_raw(2)).unwrap();
+        assert!(reg.groups.is_empty());
+    }
+}

@@ -40,9 +40,11 @@
 //! assert_eq!(hub.session(q).unwrap().slides(), 1);
 //! ```
 
+use crate::digest::{DigestProducer, DigestRef, SharedTimed};
 use crate::events::{diff_snapshots, SlideResult};
 use crate::object::{Object, TimedObject};
-use crate::query::SapError;
+use crate::query::{SapError, TimedSpec};
+use crate::registry::{HubStats, Registry};
 use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
 
 /// A session: one algorithm instance plus the ingestion buffer, the id
@@ -241,20 +243,33 @@ impl<E: TimedTopK> TimedSession<E> {
     /// Converts one engine snapshot into a [`SlideResult`] against the
     /// previous emission.
     fn emit(&mut self, snapshot: Vec<TimedObject>) -> SlideResult {
-        let snapshot: Vec<Object> = snapshot.iter().map(TimedObject::untimed).collect();
-        // engines close slides eagerly inside one ingest call, so a
-        // per-slide dirty flag is not observable here; the O(k) diff is
-        // the honest cost (k is small)
-        let events = diff_snapshots(&self.prev, &snapshot, false);
-        let result = SlideResult {
-            slide: self.slides,
-            snapshot: snapshot.clone(),
-            events,
-        };
-        self.prev = snapshot;
-        self.slides += 1;
-        result
+        emit_timed_snapshot(&mut self.prev, &mut self.slides, snapshot)
     }
+}
+
+/// The delta emission shared by [`TimedSession`] and [`SharedSession`]:
+/// converts one timed snapshot into a [`SlideResult`] against `prev`,
+/// advancing the slide counter. One definition, so the two time-based
+/// session flavors can never emit differently shaped results.
+///
+/// Engines close slides eagerly inside one ingest call, so a per-slide
+/// dirty flag is not observable here; the O(k) diff is the honest cost
+/// (k is small).
+fn emit_timed_snapshot(
+    prev: &mut Vec<Object>,
+    slides: &mut u64,
+    snapshot: Vec<TimedObject>,
+) -> SlideResult {
+    let snapshot: Vec<Object> = snapshot.iter().map(TimedObject::untimed).collect();
+    let events = diff_snapshots(prev, &snapshot, false);
+    let result = SlideResult {
+        slide: *slides,
+        snapshot: snapshot.clone(),
+        events,
+    };
+    *prev = snapshot;
+    *slides += 1;
+    result
 }
 
 impl<E: TimedTopK> TimedIngest for TimedSession<E> {
@@ -281,17 +296,167 @@ impl<E: TimedTopK> TimedIngest for TimedSession<E> {
     }
 }
 
-/// A session of either window model — what the hubs store and what
+/// A session over a time-based query served by the **shared digest
+/// plane**: a [`SharedTimed`] consumer plus the same delta machinery as
+/// [`TimedSession`]. Where an isolated timed session truncates every
+/// slide itself, a shared session is handed its slide group's
+/// [`SlideDigest`](crate::digest::SlideDigest)s by the hub and only runs
+/// its private count-based reduction — results are byte-identical, the
+/// per-slide truncation happens once per group instead of once per query.
+///
+/// A session registered mid-stream must only observe objects published
+/// after its registration, so it starts in **warm-up**: a private
+/// [`DigestProducer`] serves it until the group slide it joined during
+/// has closed, at which point the private and shared views coincide and
+/// the hub promotes it to digest consumption (see
+/// `crate::registry` for the full protocol).
+#[derive(Debug)]
+pub struct SharedSession<C: SlidingTopK> {
+    consumer: SharedTimed<C>,
+    warmup: Option<Warmup>,
+    prev: Vec<Object>,
+    slides: u64,
+}
+
+/// The private catch-up view of a freshly joined shared session.
+#[derive(Debug)]
+struct Warmup {
+    producer: DigestProducer,
+    /// The group's open slide index at registration; once the group has
+    /// closed it, every later slide started after the registration and
+    /// the private view equals the shared one.
+    join_slide: u64,
+}
+
+impl<C: SlidingTopK> SharedSession<C> {
+    /// Wraps a digest consumer. `join_slide` is the group's open slide
+    /// index at registration, or `None` when the group was pristine (the
+    /// member missed nothing, so no warm-up is needed).
+    pub(crate) fn new(consumer: SharedTimed<C>, join_slide: Option<u64>) -> Self {
+        let warmup = join_slide.map(|join_slide| Warmup {
+            producer: DigestProducer::new(consumer.slide_duration(), consumer.k()),
+            join_slide,
+        });
+        SharedSession {
+            consumer,
+            warmup,
+            prev: Vec::new(),
+            slides: 0,
+        }
+    }
+
+    /// The validated durations this session answers.
+    pub fn timed_spec(&self) -> TimedSpec {
+        TimedSpec {
+            window_duration: self.consumer.window_duration(),
+            slide_duration: self.consumer.slide_duration(),
+            k: self.consumer.k(),
+        }
+    }
+
+    /// The session's slide-group key.
+    pub fn slide_duration(&self) -> u64 {
+        self.consumer.slide_duration()
+    }
+
+    /// The digest consumer (and through it, the wrapped engine).
+    pub fn consumer(&self) -> &SharedTimed<C> {
+        &self.consumer
+    }
+
+    /// The wrapped count-based engine (serving the reduced stream).
+    pub fn engine(&self) -> &C {
+        self.consumer.engine()
+    }
+
+    /// Number of slides closed so far.
+    pub fn slides(&self) -> u64 {
+        self.slides
+    }
+
+    /// The most recently emitted top-k (descending), empty before the
+    /// first closed slide.
+    pub fn last_snapshot(&self) -> &[Object] {
+        &self.prev
+    }
+
+    /// Whether the session is still catching up on its private view (a
+    /// mid-stream join whose group slide has not closed yet).
+    pub fn is_warming_up(&self) -> bool {
+        self.warmup.is_some()
+    }
+
+    /// Unwraps the session, discarding the delta state.
+    pub fn into_inner(self) -> SharedTimed<C> {
+        self.consumer
+    }
+
+    /// Applies a run of closed digests — the group's, or during warm-up
+    /// the private producer's (the hub guarantees they are gap-free and
+    /// in slide order either way).
+    pub(crate) fn apply_digests(&mut self, digests: &[DigestRef]) -> Vec<SlideResult> {
+        digests
+            .iter()
+            .map(|d| {
+                let snapshot = self.consumer.apply_digest(d);
+                emit_timed_snapshot(&mut self.prev, &mut self.slides, snapshot)
+            })
+            .collect()
+    }
+
+    /// Warm-up ingestion: feeds the raw batch to the private producer and
+    /// applies whatever slides it closes.
+    pub(crate) fn push_warmup(&mut self, objects: &[TimedObject]) -> Vec<SlideResult> {
+        let warmup = self.warmup.as_mut().expect("push_warmup requires warm-up");
+        let mut digests = Vec::new();
+        for &o in objects {
+            digests.extend(warmup.producer.ingest(o));
+        }
+        self.apply_digests(&digests)
+    }
+
+    /// Warm-up watermark: closes private slides up to `watermark`.
+    pub(crate) fn advance_warmup(&mut self, watermark: u64) -> Vec<SlideResult> {
+        let warmup = self
+            .warmup
+            .as_mut()
+            .expect("advance_warmup requires warm-up");
+        let digests = warmup.producer.advance_to(watermark);
+        self.apply_digests(&digests)
+    }
+
+    /// Ends warm-up once the group has closed the join slide: from
+    /// `group_next_slide` on, the private and shared views are the same
+    /// (both producers processed identical timestamps, and every slide
+    /// past the join slide started after this session registered).
+    pub(crate) fn maybe_promote(&mut self, group_next_slide: u64) {
+        if let Some(warmup) = &self.warmup {
+            if group_next_slide > warmup.join_slide {
+                debug_assert_eq!(
+                    self.consumer.slides_applied(),
+                    group_next_slide,
+                    "warm-up must hand off exactly at the group's slide cursor"
+                );
+                self.warmup = None;
+            }
+        }
+    }
+}
+
+/// A session of any window model — what the hubs store and what
 /// [`Hub::unregister`]/`ShardedHub::unregister` hand back. The `C`/`T`
 /// parameters are the count-based and time-based engine types (boxed
 /// trait objects in the hubs; see [`HubSession`] and
-/// [`ShardSession`](crate::shard::ShardSession)).
+/// [`ShardSession`](crate::shard::ShardSession)); shared-digest sessions
+/// reuse `C`, their reduction engine being count-based.
 #[derive(Debug)]
 pub enum AnySession<C: SlidingTopK, T: TimedTopK> {
     /// A count-based session.
     Count(Session<C>),
-    /// A time-based session.
+    /// A time-based session (isolated: private Appendix-A adapter).
     Timed(TimedSession<T>),
+    /// A time-based session served by the shared digest plane.
+    Shared(SharedSession<C>),
 }
 
 impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
@@ -300,6 +465,7 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
         match self {
             AnySession::Count(s) => s.slides(),
             AnySession::Timed(s) => s.slides(),
+            AnySession::Shared(s) => s.slides(),
         }
     }
 
@@ -309,6 +475,7 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
         match self {
             AnySession::Count(s) => s.last_snapshot(),
             AnySession::Timed(s) => s.last_snapshot(),
+            AnySession::Shared(s) => s.last_snapshot(),
         }
     }
 
@@ -316,15 +483,23 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
     pub fn as_count(&self) -> Option<&Session<C>> {
         match self {
             AnySession::Count(s) => Some(s),
-            AnySession::Timed(_) => None,
+            _ => None,
         }
     }
 
-    /// The time-based session, if that is this session's model.
+    /// The (isolated) time-based session, if that is this session's model.
     pub fn as_timed(&self) -> Option<&TimedSession<T>> {
         match self {
             AnySession::Timed(s) => Some(s),
-            AnySession::Count(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The shared-digest session, if that is this session's model.
+    pub fn as_shared(&self) -> Option<&SharedSession<C>> {
+        match self {
+            AnySession::Shared(s) => Some(s),
+            _ => None,
         }
     }
 
@@ -332,15 +507,23 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
     pub fn into_count(self) -> Option<Session<C>> {
         match self {
             AnySession::Count(s) => Some(s),
-            AnySession::Timed(_) => None,
+            _ => None,
         }
     }
 
-    /// Unwraps a time-based session.
+    /// Unwraps an (isolated) time-based session.
     pub fn into_timed(self) -> Option<TimedSession<T>> {
         match self {
             AnySession::Timed(s) => Some(s),
-            AnySession::Count(_) => None,
+            _ => None,
+        }
+    }
+
+    /// Unwraps a shared-digest session.
+    pub fn into_shared(self) -> Option<SharedSession<C>> {
+        match self {
+            AnySession::Shared(s) => Some(s),
+            _ => None,
         }
     }
 }
@@ -390,25 +573,29 @@ pub struct QueryUpdate {
 /// buffer, and each session slides exactly when *its* boundary is reached.
 /// Results are delivered in registration order.
 ///
-/// Both window models share the hub. Count-based queries
+/// All window models share the hub. Count-based queries
 /// ([`register_boxed`](Hub::register_boxed)) slide on arrival counts;
-/// time-based queries ([`register_timed_boxed`](Hub::register_timed_boxed))
-/// slide on event time. A stream published with
-/// [`publish_timed`](Hub::publish_timed) feeds both: count-based sessions
-/// see the objects' `(id, score)` in arrival order, time-based sessions
-/// additionally consume the timestamps. The plain [`publish`](Hub::publish)
-/// path carries no event time and therefore advances count-based queries
-/// only.
+/// time-based queries slide on event time, either isolated
+/// ([`register_timed_boxed`](Hub::register_timed_boxed)) or on the
+/// **shared digest plane**
+/// ([`register_shared_boxed`](Hub::register_shared_boxed)), where every
+/// query with the same `slide_duration` is served from one per-slide
+/// top-`k_max` digest instead of recomputing it per session. A stream
+/// published with [`publish_timed`](Hub::publish_timed) feeds all of
+/// them: count-based sessions see the objects' `(id, score)` in arrival
+/// order, time-based sessions additionally consume the timestamps. The
+/// plain [`publish`](Hub::publish) path carries no event time and
+/// therefore advances count-based queries only.
 #[derive(Default)]
 pub struct Hub {
-    sessions: Vec<(QueryId, HubSession)>,
+    registry: Registry<Box<dyn SlidingTopK>, Box<dyn TimedTopK>>,
     next_id: u64,
 }
 
 impl std::fmt::Debug for Hub {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hub")
-            .field("queries", &self.sessions.len())
+            .field("queries", &self.registry.len())
             .field("next_id", &self.next_id)
             .finish()
     }
@@ -420,13 +607,17 @@ impl Hub {
         Hub::default()
     }
 
+    fn next_id(&mut self) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
     /// Registers an algorithm instance as a new standing count-based
     /// query and returns its handle.
     pub fn register_boxed(&mut self, alg: Box<dyn SlidingTopK>) -> QueryId {
-        let id = QueryId(self.next_id);
-        self.next_id += 1;
-        self.sessions
-            .push((id, AnySession::Count(Session::new(alg))));
+        let id = self.next_id();
+        self.registry.register_count(id, alg);
         id
     }
 
@@ -440,11 +631,14 @@ impl Hub {
     /// its handle. The query slides on event time, so it advances on
     /// [`publish_timed`](Hub::publish_timed) and
     /// [`advance_time`](Hub::advance_time) only.
+    ///
+    /// The engine is private to this query — every registered adapter
+    /// re-derives its own per-slide truncation. Queries that share a
+    /// `slide_duration` can split that work through the digest plane
+    /// instead: see [`register_shared_boxed`](Hub::register_shared_boxed).
     pub fn register_timed_boxed(&mut self, engine: Box<dyn TimedTopK>) -> QueryId {
-        let id = QueryId(self.next_id);
-        self.next_id += 1;
-        self.sessions
-            .push((id, AnySession::Timed(TimedSession::new(engine))));
+        let id = self.next_id();
+        self.registry.register_timed(id, engine);
         id
     }
 
@@ -454,17 +648,54 @@ impl Hub {
         self.register_timed_boxed(Box::new(engine))
     }
 
+    /// Registers a time-based query `W⟨window_duration, slide_duration⟩`
+    /// on the **shared digest plane**: the hub computes each slide's
+    /// top-`k_max` digest once per distinct `slide_duration` and serves
+    /// every member query its own `k ≤ k_max` prefix, so the per-slide
+    /// truncation cost scales with the number of slide groups instead of
+    /// the number of queries. Results are byte-identical to an isolated
+    /// registration of the same engine.
+    ///
+    /// `engine` answers the private count-based reduction and must be
+    /// fresh and configured over `⟨(n/s)·k, k, k⟩` for its own `k` —
+    /// validated here, wrong geometry is a typed [`SapError::Spec`].
+    /// Queries may join and leave groups at runtime; a mid-stream join
+    /// warms up privately for at most the remainder of the open slide
+    /// before sharing begins (see `Hub::stats` for hit/rebuild counts).
+    pub fn register_shared_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK>,
+        window_duration: u64,
+        slide_duration: u64,
+    ) -> Result<QueryId, SapError> {
+        let consumer = SharedTimed::from_engine(engine, window_duration, slide_duration)
+            .map_err(SapError::Spec)?;
+        let id = self.next_id();
+        self.registry.register_shared(id, consumer);
+        Ok(id)
+    }
+
+    /// Registers an owned engine on the shared digest plane (convenience
+    /// over [`register_shared_boxed`](Hub::register_shared_boxed)).
+    pub fn register_shared_alg<A: SlidingTopK + 'static>(
+        &mut self,
+        engine: A,
+        window_duration: u64,
+        slide_duration: u64,
+    ) -> Result<QueryId, SapError> {
+        self.register_shared_boxed(Box::new(engine), window_duration, slide_duration)
+    }
+
     /// Removes a query, returning its session (with the algorithm's full
     /// state). An unknown or already-removed handle is a typed
     /// [`SapError::UnknownQuery`] — never a silent no-op, so callers
-    /// cannot mistake a stale handle for a successful removal.
+    /// cannot mistake a stale handle for a successful removal. A shared
+    /// query leaves its slide group; the last member out retires the
+    /// group's digest producer.
     pub fn unregister(&mut self, id: QueryId) -> Result<HubSession, SapError> {
-        let pos = self
-            .sessions
-            .iter()
-            .position(|(q, _)| *q == id)
-            .ok_or(SapError::UnknownQuery { query: id })?;
-        Ok(self.sessions.remove(pos).1)
+        self.registry
+            .unregister(id)
+            .ok_or(SapError::UnknownQuery { query: id })
     }
 
     /// Publishes a batch of objects to every registered query. Returns
@@ -481,18 +712,7 @@ impl Hub {
     /// [`publish_timed`](Hub::publish_timed) (or close their slides with
     /// [`advance_time`](Hub::advance_time)).
     pub fn publish(&mut self, objects: &[Object]) -> Vec<QueryUpdate> {
-        if self.sessions.is_empty() {
-            return Vec::new();
-        }
-        let mut out = Vec::new();
-        for (id, session) in &mut self.sessions {
-            if let AnySession::Count(session) = session {
-                for result in session.push(objects) {
-                    out.push(QueryUpdate { query: *id, result });
-                }
-            }
-        }
-        out
+        self.registry.publish(objects)
     }
 
     /// Publishes a batch of **timestamped** objects (non-decreasing
@@ -501,48 +721,20 @@ impl Hub {
     /// sessions observe each object's `(id, score)` in arrival order;
     /// time-based sessions additionally consume the timestamps, closing
     /// their slides (empty ones included) as boundaries are crossed.
-    /// Returns every completed slide in registration order.
+    /// Shared queries are served group-wise: each slide group ingests the
+    /// batch once and its closed digests fan out to the members. Returns
+    /// every completed slide in registration order.
     pub fn publish_timed(&mut self, objects: &[TimedObject]) -> Vec<QueryUpdate> {
-        if self.sessions.is_empty() || objects.is_empty() {
-            return Vec::new();
-        }
-        // strip the timestamps once, not once per count-based session
-        let plain: Vec<Object> = if self
-            .sessions
-            .iter()
-            .any(|(_, s)| matches!(s, AnySession::Count(_)))
-        {
-            objects.iter().map(TimedObject::untimed).collect()
-        } else {
-            Vec::new()
-        };
-        let mut out = Vec::new();
-        for (id, session) in &mut self.sessions {
-            let results = match session {
-                AnySession::Count(session) => session.push(&plain),
-                AnySession::Timed(session) => session.push_timed(objects),
-            };
-            for result in results {
-                out.push(QueryUpdate { query: *id, result });
-            }
-        }
-        out
+        self.registry.publish_timed(objects)
     }
 
-    /// Raises the event-time watermark on every time-based query, closing
-    /// (and returning, in registration order) every slide ending at or
-    /// before `watermark` — the way to flush trailing and empty slides
-    /// when the stream goes quiet. Count-based queries are untouched.
+    /// Raises the event-time watermark on every time-based query (shared
+    /// groups advance once, members consume the digests), closing (and
+    /// returning, in registration order) every slide ending at or before
+    /// `watermark` — the way to flush trailing and empty slides when the
+    /// stream goes quiet. Count-based queries are untouched.
     pub fn advance_time(&mut self, watermark: u64) -> Vec<QueryUpdate> {
-        let mut out = Vec::new();
-        for (id, session) in &mut self.sessions {
-            if let AnySession::Timed(session) = session {
-                for result in session.advance_watermark(watermark) {
-                    out.push(QueryUpdate { query: *id, result });
-                }
-            }
-        }
-        out
+        self.registry.advance_time(watermark)
     }
 
     /// Publishes one object (convenience over [`publish`](Hub::publish)).
@@ -558,7 +750,7 @@ impl Hub {
 
     /// The session behind a handle, whichever its window model.
     pub fn any_session(&self, id: QueryId) -> Option<&HubSession> {
-        self.sessions.iter().find(|(q, _)| *q == id).map(|(_, s)| s)
+        self.registry.session(id)
     }
 
     /// The count-based session behind a handle (`None` for unknown
@@ -568,25 +760,37 @@ impl Hub {
         self.any_session(id).and_then(AnySession::as_count)
     }
 
-    /// The time-based session behind a handle (`None` for unknown handles
-    /// and for count-based queries).
+    /// The (isolated) time-based session behind a handle (`None` for
+    /// unknown handles and for other models).
     pub fn timed_session(&self, id: QueryId) -> Option<&TimedSession<Box<dyn TimedTopK>>> {
         self.any_session(id).and_then(AnySession::as_timed)
     }
 
+    /// The shared-digest session behind a handle (`None` for unknown
+    /// handles and for other models).
+    pub fn shared_session(&self, id: QueryId) -> Option<&SharedSession<Box<dyn SlidingTopK>>> {
+        self.any_session(id).and_then(AnySession::as_shared)
+    }
+
+    /// Registered-query counts plus the digest plane's sharing metrics
+    /// (groups, hits, warm-up rebuilds) — see [`HubStats`].
+    pub fn stats(&self) -> HubStats {
+        self.registry.stats()
+    }
+
     /// Iterates the registered query handles in registration order.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.sessions.iter().map(|(id, _)| *id)
+        self.registry.query_ids()
     }
 
     /// Number of registered queries.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.registry.len()
     }
 
     /// Whether no queries are registered.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.registry.is_empty()
     }
 }
 
@@ -828,6 +1032,139 @@ mod tests {
         let removed = hub.unregister(timed).expect("registered");
         assert_eq!(removed.slides(), 3);
         assert!(removed.into_timed().is_some());
+    }
+
+    /// Irregular-rate timed stream: gaps cycle 0..7 time units, covering
+    /// bursts, quiet stretches, and empty slides.
+    fn timed_stream(len: usize) -> Vec<TimedObject> {
+        let mut ts = 0u64;
+        (0..len)
+            .map(|i| {
+                ts += (i as u64 * 5 + 3) % 8;
+                TimedObject::new(i as u64, ts, ((i * 37) % 101) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shared_queries_match_isolated_sessions_exactly() {
+        use std::collections::HashMap;
+        // one hub serving the same three queries twice — isolated ToyTimed
+        // sessions vs shared consumers over the reduced-spec Toy engine —
+        // must emit byte-identical per-query results, while the digest
+        // plane runs one producer per distinct slide duration
+        let mut hub = Hub::new();
+        let geoms = [(40u64, 10u64, 2usize), (20, 10, 1), (50, 25, 3)];
+        let mut pairs = Vec::new();
+        for &(wd, sd, k) in &geoms {
+            let iso = hub.register_timed_alg(ToyTimed::new(wd, sd, k));
+            let reduced = (wd / sd) as usize * k;
+            let shared = hub
+                .register_shared_alg(Toy::new(reduced, k, k), wd, sd)
+                .unwrap();
+            pairs.push((iso, shared));
+        }
+        let data = timed_stream(120);
+        let mut by_query: HashMap<QueryId, Vec<SlideResult>> = HashMap::new();
+        for chunk in data.chunks(13) {
+            for u in hub.publish_timed(chunk) {
+                by_query.entry(u.query).or_default().push(u.result);
+            }
+        }
+        for u in hub.advance_time(data.last().unwrap().timestamp + 200) {
+            by_query.entry(u.query).or_default().push(u.result);
+        }
+        for (iso, shared) in pairs {
+            assert_eq!(
+                by_query.get(&iso),
+                by_query.get(&shared),
+                "shared {shared} diverged from isolated {iso}"
+            );
+        }
+        let stats = hub.stats();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.count_queries, 0);
+        assert_eq!(stats.timed_queries, 3);
+        assert_eq!(stats.shared_queries, 3);
+        assert_eq!(stats.digest_groups, 2, "slide durations 10 and 25");
+        assert!(stats.digest_hits > 0);
+        assert_eq!(stats.digest_rebuilds, 0, "everyone registered up front");
+        assert_eq!(stats.digest_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn mid_stream_shared_join_warms_up_then_promotes() {
+        use std::collections::HashMap;
+        let mut hub = Hub::new();
+        let data = timed_stream(160);
+        let early_iso = hub.register_timed_alg(ToyTimed::new(40, 10, 2));
+        let early_shared = hub.register_shared_alg(Toy::new(8, 2, 2), 40, 10).unwrap();
+        let mut by_query: HashMap<QueryId, Vec<SlideResult>> = HashMap::new();
+        let fold = |updates: Vec<QueryUpdate>,
+                    by_query: &mut HashMap<QueryId, Vec<SlideResult>>| {
+            for u in updates {
+                by_query.entry(u.query).or_default().push(u.result);
+            }
+        };
+        for chunk in data[..80].chunks(11) {
+            let updates = hub.publish_timed(chunk);
+            fold(updates, &mut by_query);
+        }
+        // a mid-stream join with a LARGER k deepens the group's digests;
+        // until its join slide closes it runs on a private warm-up view
+        let late_iso = hub.register_timed_alg(ToyTimed::new(20, 10, 4));
+        let late_shared = hub.register_shared_alg(Toy::new(8, 4, 4), 20, 10).unwrap();
+        assert!(hub.shared_session(late_shared).unwrap().is_warming_up());
+        for chunk in data[80..].chunks(11) {
+            let updates = hub.publish_timed(chunk);
+            fold(updates, &mut by_query);
+        }
+        let updates = hub.advance_time(data.last().unwrap().timestamp + 100);
+        fold(updates, &mut by_query);
+        assert!(
+            !hub.shared_session(late_shared).unwrap().is_warming_up(),
+            "the group closed the join slide, so the member promoted"
+        );
+        assert_eq!(by_query.get(&early_iso), by_query.get(&early_shared));
+        assert_eq!(by_query.get(&late_iso), by_query.get(&late_shared));
+        let stats = hub.stats();
+        assert_eq!(stats.digest_groups, 1, "both shared queries share sd 10");
+        assert!(
+            stats.digest_rebuilds > 0,
+            "the late join warmed up privately"
+        );
+        assert!(stats.digest_hits > 0);
+        assert!(stats.digest_hit_rate() > 0.0 && stats.digest_hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn shared_unregister_hands_back_the_session_and_retires_empty_groups() {
+        let mut hub = Hub::new();
+        // wrong engine geometry never registers: ⟨6, 2, 2⟩ is not the
+        // reduction of W⟨20, 10⟩ for k = 2
+        assert!(matches!(
+            hub.register_shared_alg(Toy::new(6, 2, 2), 20, 10),
+            Err(SapError::Spec(_))
+        ));
+        assert!(hub.is_empty());
+        let q = hub.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
+        hub.publish_timed(&[TimedObject::new(0, 5, 1.0), TimedObject::new(1, 12, 2.0)]);
+        assert_eq!(hub.stats().digest_groups, 1);
+        assert_eq!(hub.shared_session(q).unwrap().slides(), 1);
+        assert!(hub.session(q).is_none() && hub.timed_session(q).is_none());
+        let session = hub.unregister(q).unwrap();
+        let shared = session.into_shared().expect("shared model");
+        assert_eq!(shared.slides(), 1);
+        assert_eq!(shared.timed_spec().slide_duration, 10);
+        assert_eq!(shared.engine().spec().k, 2);
+        assert_eq!(
+            hub.stats().digest_groups,
+            0,
+            "the last member out retires the group"
+        );
+        // a later registrant founds a fresh, pristine group: no warm-up
+        let q2 = hub.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
+        assert!(!hub.shared_session(q2).unwrap().is_warming_up());
     }
 
     #[test]

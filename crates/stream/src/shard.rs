@@ -32,15 +32,25 @@
 //! this sharding profitable even with many quiet queries — a quiet slide
 //! costs O(1) on its shard, so shards stay balanced without work stealing.
 //!
-//! Both window models are served: count-based queries
-//! ([`register_boxed`](ShardedHub::register_boxed)) and time-based
-//! queries ([`register_timed_boxed`](ShardedHub::register_timed_boxed))
+//! All window models are served: count-based queries
+//! ([`register_boxed`](ShardedHub::register_boxed)), isolated time-based
+//! queries ([`register_timed_boxed`](ShardedHub::register_timed_boxed)),
+//! and shared-digest time-based queries
+//! ([`register_shared_boxed`](ShardedHub::register_shared_boxed))
 //! coexist on the same shards, fed together by
 //! [`publish_timed`](ShardedHub::publish_timed) (count-based sessions see
 //! arrival order, time-based sessions consume the timestamps). Slide
 //! closure driven by timestamps is just as deterministic as count-driven
 //! closure — it depends only on the published sequence, never on thread
 //! timing — so the drain order contract is unchanged.
+//!
+//! Shared queries add one placement rule: a slide group's digest
+//! producer is **shard-local** state, so every member of a group lives
+//! on the shard where the group was founded — a query joining an
+//! existing group is routed there even when the Fibonacci hash of its id
+//! points elsewhere. Placement is invisible in the output: the drain
+//! barrier sorts globally by `(QueryId, slide)`, and per-query results
+//! do not depend on which thread computed them.
 //!
 //! ## When a worker dies
 //!
@@ -74,15 +84,17 @@
 //! assert_eq!(updates[0].query, q);
 //! ```
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::digest::SharedTimed;
 use crate::object::{Object, TimedObject};
 use crate::query::SapError;
-use crate::session::{AnySession, QueryId, QueryUpdate, Session, TimedSession};
-use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK};
+use crate::registry::{HubStats, Registry};
+use crate::session::{AnySession, QueryId, QueryUpdate};
+use crate::window::{SlidingTopK, TimedTopK};
 
 /// Default bound on each shard's queue, in published batches. Deep enough
 /// to keep workers busy across bursty publishes, shallow enough that a
@@ -117,8 +129,10 @@ enum Command {
     AdvanceTime(u64),
     Register(QueryId, Box<dyn SlidingTopK + Send>),
     RegisterTimed(QueryId, Box<dyn TimedTopK + Send>),
+    RegisterShared(QueryId, SharedTimed<Box<dyn SlidingTopK + Send>>),
     Unregister(QueryId, mpsc::Sender<ShardSession>),
     Inspect(QueryId, mpsc::Sender<QueryState>),
+    Stats(mpsc::Sender<HubStats>),
     Flush(mpsc::Sender<()>),
     Drain(mpsc::Sender<Vec<QueryUpdate>>),
 }
@@ -128,72 +142,40 @@ struct Shard {
     worker: Option<JoinHandle<()>>,
 }
 
-/// The shard worker: owns its slice of the sessions, drains the command
-/// queue in order, and accumulates completed slides until the next drain.
+/// The shard worker: a [`Registry`] — the same session store and
+/// fan-out/digest-group logic the sequential hub runs, which is what
+/// keeps the two byte-identical by construction — driven from the
+/// command queue in order, accumulating completed slides until the next
+/// drain.
 fn shard_worker(rx: Receiver<Command>) {
-    let mut sessions: Vec<(QueryId, ShardSession)> = Vec::new();
+    let mut registry: Registry<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>> =
+        Registry::new();
     let mut updates: Vec<QueryUpdate> = Vec::new();
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            Command::Publish(batch) => {
-                for (id, session) in &mut sessions {
-                    if let AnySession::Count(session) = session {
-                        for result in session.push(&batch) {
-                            updates.push(QueryUpdate { query: *id, result });
-                        }
-                    }
-                }
-            }
-            Command::PublishTimed(batch) => {
-                // strip the timestamps once per shard, and only when a
-                // count-based session actually lives here
-                let plain: Vec<Object> = if sessions
-                    .iter()
-                    .any(|(_, s)| matches!(s, AnySession::Count(_)))
-                {
-                    batch.iter().map(TimedObject::untimed).collect()
-                } else {
-                    Vec::new()
-                };
-                for (id, session) in &mut sessions {
-                    let results = match session {
-                        AnySession::Count(session) => session.push(&plain),
-                        AnySession::Timed(session) => session.push_timed(&batch),
-                    };
-                    for result in results {
-                        updates.push(QueryUpdate { query: *id, result });
-                    }
-                }
-            }
-            Command::AdvanceTime(watermark) => {
-                for (id, session) in &mut sessions {
-                    if let AnySession::Timed(session) = session {
-                        for result in session.advance_watermark(watermark) {
-                            updates.push(QueryUpdate { query: *id, result });
-                        }
-                    }
-                }
-            }
-            Command::Register(id, alg) => {
-                sessions.push((id, AnySession::Count(Session::new(alg))));
-            }
-            Command::RegisterTimed(id, engine) => {
-                sessions.push((id, AnySession::Timed(TimedSession::new(engine))));
-            }
+            Command::Publish(batch) => updates.extend(registry.publish(&batch)),
+            Command::PublishTimed(batch) => updates.extend(registry.publish_timed(&batch)),
+            Command::AdvanceTime(watermark) => updates.extend(registry.advance_time(watermark)),
+            Command::Register(id, alg) => registry.register_count(id, alg),
+            Command::RegisterTimed(id, engine) => registry.register_timed(id, engine),
+            Command::RegisterShared(id, consumer) => registry.register_shared(id, consumer),
             Command::Unregister(id, reply) => {
                 // membership is checked hub-side; a miss here would be a
                 // routing bug, surfaced as a RecvError on the hub's reply
-                if let Some(pos) = sessions.iter().position(|(q, _)| *q == id) {
-                    let _ = reply.send(sessions.remove(pos).1);
+                if let Some(session) = registry.unregister(id) {
+                    let _ = reply.send(session);
                 }
             }
             Command::Inspect(id, reply) => {
-                if let Some((_, session)) = sessions.iter().find(|(q, _)| *q == id) {
+                if let Some(session) = registry.session(id) {
                     let _ = reply.send(QueryState {
                         slides: session.slides(),
                         last_snapshot: session.last_snapshot().to_vec(),
                     });
                 }
+            }
+            Command::Stats(reply) => {
+                let _ = reply.send(registry.stats());
             }
             Command::Flush(reply) => {
                 let _ = reply.send(());
@@ -225,6 +207,19 @@ pub struct ShardedHub {
     /// shards can be skipped on publish.
     shard_len: Vec<usize>,
     registered: BTreeSet<QueryId>,
+    /// `slide_duration` → (owning shard, member count) for the shared
+    /// digest plane. Slide groups are **shard-local** (a digest producer
+    /// lives where its members live), so every member of a group must
+    /// land on one shard: the first member places the group by hash of
+    /// its id, later members follow the group even when their own hash
+    /// disagrees. Which shard a query runs on never affects results —
+    /// [`drain`](ShardedHub::drain) sorts globally by `(QueryId, slide)`
+    /// — so group-aware placement preserves the deterministic drain
+    /// contract by construction.
+    shared_groups: HashMap<u64, (usize, usize)>,
+    /// Slide-group key of each registered shared query, for unregister
+    /// bookkeeping.
+    shared_sd: HashMap<QueryId, u64>,
     next_id: u64,
 }
 
@@ -269,16 +264,33 @@ impl ShardedHub {
             shard_len: vec![0; num_shards],
             shards,
             registered: BTreeSet::new(),
+            shared_groups: HashMap::new(),
+            shared_sd: HashMap::new(),
             next_id: 0,
         }
     }
 
-    /// Which shard owns a query: a Fibonacci hash of the id, fixed for the
-    /// query's lifetime. Deterministic across runs, so a given
-    /// registration order always produces the same partitioning.
+    /// The default placement: a Fibonacci hash of the id. Deterministic
+    /// across runs, so a given registration order always produces the
+    /// same partitioning.
     fn shard_of(&self, id: QueryId) -> usize {
         let h = id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Which shard actually owns a registered query, fixed for the
+    /// query's lifetime: its slide group's shard for shared queries
+    /// (group-aware placement may override the hash), the Fibonacci hash
+    /// otherwise.
+    fn home_shard(&self, id: QueryId) -> usize {
+        match self
+            .shared_sd
+            .get(&id)
+            .and_then(|sd| self.shared_groups.get(sd))
+        {
+            Some(&(shard, _)) => shard,
+            None => self.shard_of(id),
+        }
     }
 
     /// Enqueues a command on one shard. A send only fails when the
@@ -353,6 +365,60 @@ impl ShardedHub {
         self.register_timed_boxed(Box::new(engine))
     }
 
+    /// Registers a time-based query `W⟨window_duration, slide_duration⟩`
+    /// on the **shared digest plane** (see
+    /// `Hub::register_shared_boxed` for the semantics; results are
+    /// byte-identical to an isolated registration). A query joining an
+    /// existing slide group is placed on that group's shard — overriding
+    /// the id hash, because digest producers are shard-local state — and
+    /// a query founding a new group places it by the usual hash. The
+    /// deterministic `(QueryId, slide)` drain order is unaffected by
+    /// placement.
+    ///
+    /// Wrong engine geometry is a typed [`SapError::Spec`] and burns no
+    /// id. A dead target shard is [`SapError::ShardDown`]; the failed
+    /// registration burns its id (same rationale as
+    /// [`register_boxed`](ShardedHub::register_boxed)) but leaves the
+    /// group's membership bookkeeping untouched, so the hub never counts
+    /// a member that no shard owns.
+    pub fn register_shared_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK + Send>,
+        window_duration: u64,
+        slide_duration: u64,
+    ) -> Result<QueryId, SapError> {
+        let consumer = SharedTimed::from_engine(engine, window_duration, slide_duration)
+            .map_err(SapError::Spec)?;
+        // same id-burning rationale as register_boxed
+        let id = QueryId::from_raw(self.next_id);
+        self.next_id += 1;
+        let shard = match self.shared_groups.get(&slide_duration) {
+            Some(&(shard, _)) => shard,
+            None => self.shard_of(id),
+        };
+        self.send(shard, Command::RegisterShared(id, consumer))?;
+        let members = self
+            .shared_groups
+            .entry(slide_duration)
+            .or_insert((shard, 0));
+        members.1 += 1;
+        self.shard_len[shard] += 1;
+        self.registered.insert(id);
+        self.shared_sd.insert(id, slide_duration);
+        Ok(id)
+    }
+
+    /// Registers an owned engine on the shared digest plane (convenience
+    /// over [`register_shared_boxed`](ShardedHub::register_shared_boxed)).
+    pub fn register_shared_alg<A: SlidingTopK + Send + 'static>(
+        &mut self,
+        engine: A,
+        window_duration: u64,
+        slide_duration: u64,
+    ) -> Result<QueryId, SapError> {
+        self.register_shared_boxed(Box::new(engine), window_duration, slide_duration)
+    }
+
     /// Removes a query and returns its session (with the engine's full
     /// state) once its shard has processed everything published before
     /// this call. Unknown or already-removed handles are a typed
@@ -362,7 +428,7 @@ impl ShardedHub {
         if !self.registered.contains(&id) {
             return Err(SapError::UnknownQuery { query: id });
         }
-        let shard = self.shard_of(id);
+        let shard = self.home_shard(id);
         let (reply, rx) = mpsc::channel();
         // book-keep only after the session actually came back: a dead
         // shard must leave the hub's state untouched, so retrying keeps
@@ -371,6 +437,16 @@ impl ShardedHub {
         let session = self.recv(shard, &rx)?;
         self.registered.remove(&id);
         self.shard_len[shard] -= 1;
+        if let Some(sd) = self.shared_sd.remove(&id) {
+            if let Some(members) = self.shared_groups.get_mut(&sd) {
+                members.1 -= 1;
+                if members.1 == 0 {
+                    // last member out: retire the group so a later
+                    // registrant founds a fresh one, placed anew
+                    self.shared_groups.remove(&sd);
+                }
+            }
+        }
         Ok(session)
     }
 
@@ -500,10 +576,29 @@ impl ShardedHub {
         if !self.registered.contains(&id) {
             return Err(SapError::UnknownQuery { query: id });
         }
-        let shard = self.shard_of(id);
+        let shard = self.home_shard(id);
         let (reply, rx) = mpsc::channel();
         self.send(shard, Command::Inspect(id, reply))?;
         self.recv(shard, &rx)
+    }
+
+    /// Hub-wide query counts and digest-plane sharing metrics, summed
+    /// across the shards' per-worker partials (each shard reports its
+    /// own groups/hits/rebuilds; group state is shard-local, so the sum
+    /// is exact). A dead shard is [`SapError::ShardDown`].
+    pub fn stats(&mut self) -> Result<HubStats, SapError> {
+        let replies: Vec<(usize, mpsc::Receiver<HubStats>)> = (0..self.shards.len())
+            .map(|shard| {
+                let (reply, rx) = mpsc::channel();
+                self.send(shard, Command::Stats(reply))
+                    .map(|()| (shard, rx))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut total = HubStats::default();
+        for (shard, rx) in replies {
+            total.merge(&self.recv(shard, &rx)?);
+        }
+        Ok(total)
     }
 
     /// Iterates the registered query handles in ascending (= registration)
@@ -743,6 +838,94 @@ mod tests {
                 "the schedule should exercise empty slides"
             );
         }
+    }
+
+    #[test]
+    fn shared_queries_follow_their_group_even_when_the_hash_disagrees() {
+        let mut hub = ShardedHub::new(8);
+        let founder = hub.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
+        let home = hub.shared_groups[&10].0;
+        assert_eq!(home, hub.shard_of(founder), "the founder places the group");
+        let mut members = vec![founder];
+        let mut disagreements = 0usize;
+        for _ in 0..12 {
+            let q = hub.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
+            if hub.shard_of(q) != home {
+                disagreements += 1;
+            }
+            assert_eq!(
+                hub.home_shard(q),
+                home,
+                "group-aware placement must override the hash"
+            );
+            members.push(q);
+        }
+        assert!(disagreements > 0, "the hash must disagree for this to bite");
+        assert_eq!(hub.shared_groups[&10].1, 13);
+        // placement is invisible in the output: byte-identical to the
+        // sequential hub's registration-order delivery
+        let mut seq = Hub::new();
+        for _ in 0..13 {
+            seq.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
+        }
+        let data = timed_stream(60);
+        let mut expected = Vec::new();
+        for chunk in data.chunks(9) {
+            expected.extend(seq.publish_timed(chunk));
+            hub.publish_timed(chunk).unwrap();
+        }
+        expected.sort_unstable_by_key(|u| (u.query, u.result.slide));
+        assert_eq!(hub.drain().unwrap(), expected);
+        // stats aggregate the per-shard registries
+        let stats = hub.stats().unwrap();
+        assert_eq!(stats.queries, 13);
+        assert_eq!(stats.shared_queries, 13);
+        assert_eq!(stats.digest_groups, 1, "one group, wholly on one shard");
+        assert!(stats.digest_hits > 0);
+        // inspect and unregister route through the group's shard too
+        let probe = *members.last().unwrap();
+        assert!(hub.inspect(probe).unwrap().slides > 0);
+        for q in members {
+            assert!(hub.unregister(q).unwrap().into_shared().is_some());
+        }
+        assert!(
+            hub.shared_groups.is_empty(),
+            "the last member out retires the group's placement"
+        );
+    }
+
+    #[test]
+    fn dead_shard_does_not_strand_shared_group_bookkeeping() {
+        let mut hub = ShardedHub::new(1);
+        // a Bomb on the shared plane: ⟨1, 1, 1⟩ is the reduction of
+        // W⟨10, 10⟩ with k = 1, and the first closed slide kills shard 0
+        let bomb = hub
+            .register_shared_boxed(Box::new(Bomb(WindowSpec::new(1, 1, 1).unwrap())), 10, 10)
+            .unwrap();
+        assert_eq!(hub.shared_groups[&10], (0, 1));
+        let _ = hub.publish_timed(&[TimedObject::new(0, 5, 1.0), TimedObject::new(1, 15, 2.0)]);
+        let _ = hub.flush();
+        // a registration into the group now targets the dead shard: a
+        // typed error that must NOT join the membership bookkeeping
+        assert_eq!(
+            hub.register_shared_alg(Toy::new(1, 1, 1), 10, 10)
+                .unwrap_err(),
+            SapError::ShardDown { shard: 0 }
+        );
+        assert_eq!(
+            hub.shared_groups[&10],
+            (0, 1),
+            "a failed registration never counts as a member"
+        );
+        assert_eq!(hub.len(), 1);
+        assert_eq!(hub.stats().unwrap_err(), SapError::ShardDown { shard: 0 });
+        // unregistering the lost query keeps reporting the dead shard and
+        // leaves membership intact (the query was lost, not removed)
+        assert_eq!(
+            hub.unregister(bomb).unwrap_err(),
+            SapError::ShardDown { shard: 0 }
+        );
+        assert_eq!(hub.shared_groups[&10], (0, 1));
     }
 
     #[test]

@@ -17,6 +17,93 @@ use std::time::Instant;
 fn main() {
     sequential_hub_100();
     sharded_hub_10k();
+    shared_digest_plane_500();
+}
+
+/// 500 time-based queries over just 3 distinct slide durations — the
+/// shared digest plane computes each slide's top-`k_max` once per
+/// duration and serves every overlapping query its own `k`-prefix,
+/// byte-identically to per-session recomputation. `Hub::stats()` reports
+/// the sharing instead of leaving us to guess at it.
+fn shared_digest_plane_500() {
+    const QUERIES: usize = 500;
+    let feed = Dataset::Stock.generate_timed(20_000, 11, ArrivalProcess::poisson(25.0));
+    let horizon = feed.last().unwrap().timestamp + 1;
+    let query_at = |i: usize| {
+        let sd = [1_000u64, 2_000, 4_000][i % 3];
+        Query::window_duration(sd * [2u64, 4, 8][(i / 3) % 3])
+            .top(1 + (i % 10))
+            .slide_duration(sd)
+            .algorithm([AlgorithmKind::sap(), AlgorithmKind::MinTopK][i % 2])
+    };
+
+    // isolated reference: every query re-derives its own per-slide top-k
+    let mut isolated = Hub::new();
+    for i in 0..QUERIES {
+        isolated.register(&query_at(i)).expect("valid query");
+    }
+    let started = Instant::now();
+    let mut iso_updates = 0u64;
+    for burst in feed.chunks(1000) {
+        iso_updates += isolated.publish_timed(burst).len() as u64;
+    }
+    iso_updates += isolated.advance_time(horizon).len() as u64;
+    let iso_time = started.elapsed();
+
+    // shared plane: same queries, one digest producer per slide duration
+    let mut shared = Hub::new();
+    let mut probe = None;
+    for i in 0..QUERIES {
+        let id = shared.register_shared(&query_at(i)).expect("valid query");
+        if i == 0 {
+            probe = Some(id);
+        }
+    }
+    let started = Instant::now();
+    let mut shared_updates = 0u64;
+    for burst in feed.chunks(1000) {
+        shared_updates += shared.publish_timed(burst).len() as u64;
+    }
+    shared_updates += shared.advance_time(horizon).len() as u64;
+    let shared_time = started.elapsed();
+
+    let stats = shared.stats();
+    println!(
+        "\n=== shared digest plane: {QUERIES} timed queries, {} objects ===",
+        feed.len()
+    );
+    println!(
+        "  isolated: {iso_updates} updates in {:.2}s",
+        iso_time.as_secs_f64()
+    );
+    println!(
+        "  shared:   {shared_updates} updates in {:.2}s ({:.2}x)",
+        shared_time.as_secs_f64(),
+        iso_time.as_secs_f64() / shared_time.as_secs_f64()
+    );
+    println!(
+        "  stats: {} shared queries in {} digest groups, {} digest hits, {} rebuilds (hit-rate {:.3})",
+        stats.shared_queries,
+        stats.digest_groups,
+        stats.digest_hits,
+        stats.digest_rebuilds,
+        stats.digest_hit_rate()
+    );
+    assert_eq!(stats.shared_queries, QUERIES);
+    assert_eq!(stats.digest_groups, 3, "three distinct slide durations");
+    assert!(stats.digest_hits > 0, "sharing must actually happen");
+    assert_eq!(
+        iso_updates, shared_updates,
+        "the plane must complete the same slides"
+    );
+
+    // spot-check: query 0's answers are byte-identical on both hubs
+    let probe = probe.expect("query 0 registered");
+    let shared_session = shared.shared_session(probe).expect("shared model");
+    let reference = isolated.timed_session(probe).expect("isolated model");
+    assert_eq!(shared_session.slides(), reference.slides());
+    assert_eq!(shared_session.last_snapshot(), reference.last_snapshot());
+    println!("spot-check passed: shared results match isolated recomputation exactly");
 }
 
 /// 10,000 standing queries on one stream: the sequential `Hub` walks all
@@ -107,6 +194,11 @@ fn sharded_hub_10k() {
     assert_eq!(state.slides, reference.slides());
     assert_eq!(state.last_snapshot, reference.last_snapshot());
     println!("spot-check passed: sharded output matches the sequential hub exactly");
+    let stats = hub.stats().expect("shards alive");
+    println!(
+        "  stats: {} queries ({} count-based) across {shards} shards",
+        stats.queries, stats.count_queries
+    );
 }
 
 /// The original 100-query tour of the sequential `Hub` API.

@@ -184,8 +184,18 @@ pub trait HubExt {
     /// then registers it as a standing subscription, returning its
     /// handle. Count-based queries slide on published arrival counts;
     /// time-based queries (built with [`Query::window_duration`]) slide
-    /// on the timestamps of `publish_timed` streams.
+    /// on the timestamps of `publish_timed` streams, each running its own
+    /// isolated Appendix-A adapter (see
+    /// [`register_shared`](HubExt::register_shared) for the sharing
+    /// alternative).
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError>;
+
+    /// Validates and constructs a **time-based** query, then registers it
+    /// on the hub's shared digest plane: every registered query with the
+    /// same `slide_duration` is served from one per-slide top-`k_max`
+    /// digest instead of recomputing its own, with byte-identical
+    /// results. A count-based query is [`SapError::NotTimeBased`].
+    fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError>;
 }
 
 impl HubExt for Hub {
@@ -197,6 +207,12 @@ impl HubExt for Hub {
             Ok(self.register_boxed(build(query)?))
         }
     }
+
+    fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        let spec = query.validate_timed()?;
+        let engine = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
+        self.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
+    }
 }
 
 impl HubExt for ShardedHub {
@@ -206,6 +222,12 @@ impl HubExt for ShardedHub {
         } else {
             self.register_boxed(build_send(query)?)
         }
+    }
+
+    fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        let spec = query.validate_timed()?;
+        let engine = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
+        self.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
     }
 }
 

@@ -4,7 +4,9 @@
 //! Brings in the fluent [`Query`] builder — both window models — with its
 //! facade finalizers ([`QueryExt::build`]/[`QueryExt::session`]/
 //! [`QueryExt::timed_session`]), the multi-query [`Hub`] and
-//! thread-parallel [`ShardedHub`] with [`HubExt::register`], flexible
+//! thread-parallel [`ShardedHub`] with [`HubExt::register`] and the
+//! shared digest plane's [`HubExt::register_shared`] (plus its
+//! [`HubStats`] sharing metrics), flexible
 //! ingestion ([`Ingest`]/[`TimedIngest`]), typed result deltas
 //! ([`TopKEvent`]/[`SlideResult`]), the data model (count-based
 //! [`Object`] and timestamped [`TimedObject`]), the workload generators
@@ -14,11 +16,11 @@
 pub use crate::{build, build_send, build_timed, HubExt, QueryExt};
 
 pub use sap_stream::{
-    run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, Dataset, Hub, HubSession,
-    Ingest, Object, OpStats, Query, QueryId, QuerySpec, QueryState, QueryUpdate, RunSummary,
-    SapError, SapPolicy, ScoreKey, Session, ShardSession, ShardedHub, SlideResult, SlidingTopK,
-    SpecError, TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent, WindowSpec,
-    Workload,
+    run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, Dataset, DigestProducer,
+    DigestRef, Hub, HubSession, HubStats, Ingest, Object, OpStats, Query, QueryId, QuerySpec,
+    QueryState, QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, ShardSession,
+    ShardedHub, SharedSession, SharedTimed, SlideDigest, SlideResult, SlidingTopK, SpecError,
+    TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent, WindowSpec, Workload,
 };
 
 pub use sap_core::{Sap, SapConfig, TimeBased, TimeBasedSap};

@@ -33,6 +33,9 @@ pub struct MinTopK {
     batch_top: Vec<ScoreKey>,
     evict: Vec<ScoreKey>,
     result: Vec<Object>,
+    /// Recycled per-slide key list: the expired slide's `Vec` becomes the
+    /// next slide's, so steady-state slides never allocate one.
+    spare: Vec<ScoreKey>,
     stats: OpStats,
 }
 
@@ -46,6 +49,7 @@ impl MinTopK {
             batch_top: Vec::with_capacity(spec.s.min(spec.k)),
             evict: Vec::new(),
             result: Vec::with_capacity(spec.k),
+            spare: Vec::with_capacity(spec.s.min(spec.k)),
             stats: OpStats::default(),
         }
     }
@@ -100,7 +104,9 @@ impl SlidingTopK for MinTopK {
         // Insert the slide's own candidates: the i-th highest has i
         // same-slide objects above it (which count toward its suffix
         // dominators). With c ≤ k these all start below the threshold.
-        let mut inserted = Vec::with_capacity(c);
+        // The key list recycles the previously expired slide's Vec.
+        let mut inserted = std::mem::take(&mut self.spare);
+        debug_assert!(inserted.is_empty());
         for (i, key) in self.batch_top.iter().enumerate() {
             self.candidates.insert(*key, i as u32);
             self.stats.insertions += 1;
@@ -108,14 +114,16 @@ impl SlidingTopK for MinTopK {
         }
         self.slides.push_back(inserted);
 
-        // Expire the slide that left the window.
+        // Expire the slide that left the window, keeping its key list for
+        // the next slide to fill.
         if self.slides.len() > self.spec.slides_per_window() {
-            let old = self.slides.pop_front().expect("len checked");
-            for key in old {
+            let mut old = self.slides.pop_front().expect("len checked");
+            for key in old.drain(..) {
                 if self.candidates.remove(&key).is_some() {
                     self.stats.deletions += 1;
                 }
             }
+            self.spare = old;
         }
 
         top_k_desc(&self.candidates, k, &mut self.result);

@@ -66,7 +66,7 @@ fn bench_wrt(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_wrt");
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    let wrt = MannWhitney::default();
+    let mut wrt = MannWhitney::default();
     let s1: Vec<f64> = (0..100).map(|i| (i * 37 % 101) as f64).collect();
     let s2: Vec<f64> = (0..135).map(|i| (i * 53 % 97) as f64).collect();
     group.bench_function("normal_approx_100v135", |b| {

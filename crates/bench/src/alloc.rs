@@ -1,0 +1,127 @@
+//! A counting global allocator: the measurement half of the
+//! zero-allocation publish plane.
+//!
+//! The hot-path claims in this workspace ("a warm session completes a
+//! slide with at most one allocation", "a buffering push never touches
+//! the heap") are *proved*, not asserted in prose: binaries that care
+//! install a [`CountingAlloc`] as their `#[global_allocator]` and read
+//! the allocation counter around the code under measurement. The
+//! `experiments hotpath` preset uses it to record `allocs_per_object`
+//! into `BENCH_hotpath.json`, and `tests/alloc_regression.rs` pins the
+//! per-slide allocation bound so a regression fails CI instead of
+//! landing silently.
+//!
+//! The counter costs two relaxed atomic increments per allocation —
+//! cheap enough to leave installed for every preset, and irrelevant to
+//! the paths whose whole point is not to allocate.
+//!
+//! ```
+//! use sap_bench::CountingAlloc;
+//!
+//! // In a binary: #[global_allocator] static ALLOC: CountingAlloc = CountingAlloc::new();
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//! let before = ALLOC.allocations();
+//! // ... code under measurement ...
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts every allocation.
+///
+/// Counts `alloc`, `alloc_zeroed`, and `realloc` calls (a `realloc` is
+/// the growth of a buffer that should have been pooled, so it counts as
+/// an allocation for regression purposes); `dealloc` is free. Counters
+/// are process-global and monotonic — measure with before/after deltas,
+/// and serialize measured regions when the process is multi-threaded.
+#[derive(Debug)]
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter, usable in `static` position.
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total heap allocations (including reallocations) since process
+    /// start.
+    #[inline]
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested from the heap since process start.
+    #[inline]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn record(&self, size: usize) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(size as u64, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.record(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOT installed as the test binary's global allocator: these tests
+    // exercise the counter directly.
+    #[test]
+    fn counts_allocations_and_bytes() {
+        let counter = CountingAlloc::new();
+        assert_eq!(counter.allocations(), 0);
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = counter.alloc(layout);
+            assert!(!p.is_null());
+            let p = counter.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            let grown = Layout::from_size_align(128, 8).unwrap();
+            counter.dealloc(p, grown);
+            let z = counter.alloc_zeroed(layout);
+            assert!(!z.is_null());
+            assert_eq!(*z, 0);
+            counter.dealloc(z, layout);
+        }
+        assert_eq!(counter.allocations(), 3, "alloc + realloc + alloc_zeroed");
+        assert_eq!(counter.allocated_bytes(), 64 + 128 + 64);
+        assert_eq!(CountingAlloc::default().allocations(), 0);
+    }
+}

@@ -8,15 +8,20 @@
 //! relative behaviour — who wins, how costs scale along each axis — is
 //! comparable even though absolute numbers differ. See EXPERIMENTS.md.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use sap_baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
 use sap_core::{Sap, SapConfig, TimeBased};
 use sap_stream::generators::{Dataset, Workload};
 use sap_stream::{
-    checksum_fold, run, Hub, Object, QuerySpec, QueryUpdate, RunSummary, ShardedHub, SlidingTopK,
-    TimedObject, TimedSpec, TimedTopK, WindowSpec, CHECKSUM_SEED,
+    checksum_fold, diff_snapshots, run, Hub, Object, QueryId, QuerySpec, QueryUpdate, RunSummary,
+    ShardedHub, SlidingTopK, TimedObject, TimedSpec, TimedTopK, WindowSpec, CHECKSUM_SEED,
 };
+
+mod alloc;
+
+pub use alloc::CountingAlloc;
 
 /// Default stream length per measurement run.
 pub const DEFAULT_LEN: usize = 200_000;
@@ -508,6 +513,416 @@ pub fn run_shared_hub_sharded(
     }
 }
 
+/// One standing query of the `hotpath` preset's **mixed-model** set:
+/// count-based, isolated time-based, or shared-plane time-based — the
+/// three session flavors whose slide-completion paths the zero-allocation
+/// refactor touches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HotQuery {
+    /// A count-based session (`AnySession::Count`).
+    Count(Algo, WindowSpec),
+    /// An isolated Appendix-A adapter session (`AnySession::Timed`).
+    Timed(Algo, TimedSpec),
+    /// A shared-digest-plane session (`AnySession::Shared`).
+    Shared(Algo, TimedSpec),
+}
+
+/// Mixed count/timed/shared query set for the `hotpath` preset, cycling
+/// evenly through the three session flavors. Count geometries use small
+/// slides (`s ∈ {10, 20, 50}`) and small `k`, so slide completion — the
+/// path the allocation discipline targets — fires densely; timed slide
+/// durations straddle a few multiples of the generated stream's ~25-unit
+/// mean gap; shared entries use two distinct slide durations so digest
+/// groups actually form.
+pub fn hotpath_query_mix(count: usize) -> Vec<HotQuery> {
+    let algos = [Algo::Sap, Algo::MinTopK, Algo::KSkyband];
+    (0..count)
+        .map(|i| {
+            let algo = algos[(i / 3) % algos.len()];
+            match i % 3 {
+                0 => {
+                    let s = [5usize, 10, 20][(i / 3) % 3];
+                    let m = [4usize, 8, 16][(i / 9) % 3];
+                    let k = 1 + (i % 3);
+                    HotQuery::Count(
+                        algo,
+                        WindowSpec::new(s * m, k, s).expect("mix spec is valid"),
+                    )
+                }
+                1 => {
+                    let sd = [50u64, 100, 200][(i / 3) % 3];
+                    let m = [4u64, 8][(i / 9) % 2];
+                    let k = 1 + (i % 5);
+                    HotQuery::Timed(
+                        algo,
+                        TimedSpec::new(sd * m, sd, k).expect("mix spec is valid"),
+                    )
+                }
+                _ => {
+                    let sd = [400u64, 800][(i / 3) % 2];
+                    let m = [2u64, 4][(i / 9) % 2];
+                    let k = 1 + (i % 10);
+                    HotQuery::Shared(
+                        algo,
+                        TimedSpec::new(sd * m, sd, k).expect("mix spec is valid"),
+                    )
+                }
+            }
+        })
+        .collect()
+}
+
+/// How the pre-refactor publish plane treated a query's slides — drives
+/// the per-update allocation replay of [`HotpathMode::Legacy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LegacyFlavor {
+    /// Count-based SAP: had the O(1) dirty flag, so a provably quiet
+    /// slide skipped the diff (but still collected and cloned the
+    /// snapshot).
+    CountSap,
+    /// Count-based baseline: no dirty flag, the diff always ran.
+    Count,
+    /// Isolated Appendix-A adapter: materialized a refcounted digest per
+    /// slide and copied through the consumer (kept prefix, padded batch,
+    /// cloned result, collected outer list) before the session's own
+    /// snapshot copies.
+    Timed,
+    /// Shared-plane member: the group digest was shared, but the consumer
+    /// still copied its kept prefix, batch, and result per applied slide.
+    Shared,
+}
+
+fn register_hotpath_sequential(hub: &mut Hub, mix: &[HotQuery]) -> HashMap<QueryId, LegacyFlavor> {
+    let mut flavors = HashMap::new();
+    for q in mix {
+        let (id, flavor) = match *q {
+            HotQuery::Count(algo, spec) => (
+                hub.register_boxed(algo.build(spec)),
+                if matches!(algo, Algo::Sap | Algo::SapDynamic | Algo::SapEqual) {
+                    LegacyFlavor::CountSap
+                } else {
+                    LegacyFlavor::Count
+                },
+            ),
+            HotQuery::Timed(algo, spec) => {
+                let engine: Box<dyn TimedTopK> = build_timed_entry(algo, spec);
+                (hub.register_timed_boxed(engine), LegacyFlavor::Timed)
+            }
+            HotQuery::Shared(algo, spec) => (
+                hub.register_shared_boxed(
+                    algo.build(spec.reduced().expect("mix spec is valid")),
+                    spec.window_duration,
+                    spec.slide_duration,
+                )
+                .expect("engine built over the reduced spec"),
+                LegacyFlavor::Shared,
+            ),
+        };
+        flavors.insert(id, flavor);
+    }
+    flavors
+}
+
+/// Which per-update cost model a [`run_hotpath`] case charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotpathMode {
+    /// The pre-refactor publish plane, re-enacted: on top of the shared
+    /// computation, every update performs the allocations the seed code
+    /// performed per completed slide — the snapshot `collect`, the
+    /// `snapshot.clone()` into the emitted result, and the allocating
+    /// [`diff_snapshots`] — plus the per-publish timestamp-strip `Vec`.
+    /// (The two paths cannot coexist as code, so the legacy case replays
+    /// the old *allocation profile* on identical results; the replay is
+    /// generous to the legacy side — updates the pooled path proved
+    /// unchanged skip the diff's id buffers, which the old diff-proven
+    /// path still allocated.)
+    Legacy,
+    /// The pooled plane as shipped: `Arc`-shared snapshots, per-session
+    /// scratch, registry-pooled staging.
+    Pooled,
+}
+
+/// One measured `hotpath` case: whole-stream equivalence evidence plus
+/// steady-state (post-warm-up) throughput and allocator pressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathRun {
+    /// Wall-clock time of the steady phase (everything after warm-up,
+    /// including the final watermark).
+    pub elapsed: Duration,
+    /// Objects published during the steady phase.
+    pub steady_objects: u64,
+    /// Heap allocations during the steady phase — `None` for sharded
+    /// runs, whose worker threads share the process-global counter.
+    pub steady_allocs: Option<u64>,
+    /// `QueryUpdate`s delivered across the whole stream.
+    pub updates: u64,
+    /// Order-sensitive checksum over every update of the whole stream.
+    pub checksum: u64,
+    /// Digest-plane hit/rebuild counters (shared sessions only).
+    pub digest_hits: u64,
+    /// See [`HotpathRun::digest_hits`].
+    pub digest_rebuilds: u64,
+}
+
+impl HotpathRun {
+    /// Steady-phase ingest throughput.
+    pub fn objects_per_sec(&self) -> f64 {
+        self.steady_objects as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Steady-phase allocations per published object — the
+    /// `BENCH_hotpath.json` headline metric.
+    pub fn allocs_per_object(&self) -> Option<f64> {
+        self.steady_allocs
+            .map(|a| a as f64 / self.steady_objects as f64)
+    }
+}
+
+/// The pre-refactor allocation profile, re-enacted per update (see
+/// [`HotpathMode::Legacy`]).
+struct LegacyReplay {
+    prev: HashMap<QueryId, Vec<Object>>,
+    flavors: HashMap<QueryId, LegacyFlavor>,
+}
+
+impl LegacyReplay {
+    fn new(flavors: HashMap<QueryId, LegacyFlavor>) -> Self {
+        LegacyReplay {
+            prev: HashMap::new(),
+            flavors,
+        }
+    }
+
+    /// The seed registry stripped timestamps into a fresh `Vec` on every
+    /// `publish_timed` call.
+    fn strip(&self, chunk: &[TimedObject]) {
+        let plain: Vec<Object> = chunk.iter().map(TimedObject::untimed).collect();
+        std::hint::black_box(&plain);
+    }
+
+    /// Per-publish costs of the old plane that today's registry pools:
+    /// the `Vec<QueryUpdate>` grown unhinted from empty (today: one
+    /// reserve from the retained high-water hint), and one result `Vec`
+    /// per session that completed slides (the old per-call trait
+    /// contract; today sessions stage into the registry's pooled buffer).
+    /// Footprints match the old structs: an update was two ids plus two
+    /// `Vec` headers, a session result entry was a 64-byte `SlideResult`.
+    fn replay_publish(&self, updates: &[QueryUpdate]) {
+        let mut unhinted: Vec<(u64, u64, Vec<Object>, Vec<Object>)> = Vec::new();
+        for u in updates {
+            unhinted.push((0, u.result.slide, Vec::new(), Vec::new()));
+        }
+        std::hint::black_box(&unhinted);
+        let mut i = 0;
+        while i < updates.len() {
+            let mut j = i;
+            while j < updates.len() && updates[j].query == updates[i].query {
+                j += 1;
+            }
+            let mut session_out: Vec<[u64; 8]> = Vec::new();
+            for _ in i..j {
+                session_out.push([0; 8]);
+            }
+            std::hint::black_box(&session_out);
+            i = j;
+        }
+    }
+
+    /// Re-enacts the allocations the pre-refactor code performed for this
+    /// update, per session flavor:
+    ///
+    /// * every flavor: the session's translated-snapshot `collect`, its
+    ///   `clone()` into the emitted `SlideResult`, and the allocating
+    ///   [`diff_snapshots`] (two sorted-id buffers plus the event `Vec`) —
+    ///   skipped only where the old code could: count-based SAP's dirty
+    ///   flag;
+    /// * timed (isolated adapter): the per-slide digest materialization
+    ///   the old `TimeBased::ingest` performed — the refcounted
+    ///   `SlideDigest` and its `top` list, the consumer's kept-prefix and
+    ///   padded-batch copies, the cloned consumer result, and the
+    ///   `Vec<Vec<_>>` collect of the trait contract;
+    /// * shared: the group digest was already shared, but the consumer
+    ///   still copied kept prefix, batch, and result per applied slide,
+    ///   and the session collected the per-call result list.
+    fn replay(&mut self, update: &QueryUpdate) {
+        let snapshot: Vec<Object> = update.result.snapshot.to_vec();
+        match self.flavors.get(&update.query) {
+            Some(LegacyFlavor::Timed) => {
+                // the old close_slide moved its accumulation buffer into
+                // the digest (`mem::take`), so the next slide's buffer
+                // regrew from empty — re-enact the growth pattern
+                let mut regrown: Vec<Object> = Vec::new();
+                for o in &snapshot {
+                    regrown.push(*o);
+                }
+                let digest = std::sync::Arc::new(regrown);
+                let kept = snapshot.clone();
+                let batch: Vec<Object> = Vec::with_capacity(kept.len().max(1));
+                let outer = vec![snapshot.clone()];
+                std::hint::black_box((&digest, &kept, &batch, &outer));
+            }
+            Some(LegacyFlavor::Shared) => {
+                let kept = snapshot.clone();
+                let batch: Vec<Object> = Vec::with_capacity(kept.len().max(1));
+                let outer = vec![snapshot.clone()];
+                std::hint::black_box((&kept, &batch, &outer));
+            }
+            _ => {}
+        }
+        let retained = snapshot.clone();
+        // only count-based SAP had the O(1) no-change proof; every other
+        // flavor diffed unconditionally
+        let known_unchanged = matches!(
+            self.flavors.get(&update.query),
+            Some(LegacyFlavor::CountSap)
+        ) && update.result.events.is_unchanged();
+        let prev = self.prev.entry(update.query).or_default();
+        let events = diff_snapshots(prev, &snapshot, known_unchanged);
+        std::hint::black_box(&events);
+        *prev = retained;
+    }
+}
+
+/// Publishes a timed stream to a sequential [`Hub`] serving the mixed
+/// `mix`, in chunks of `chunk` objects. The first `warmup` objects warm
+/// every pooled buffer (and the digest plane) without being measured;
+/// the remainder — plus the final watermark — is timed, with the heap
+/// pressure read from `allocations` (the caller's counting global
+/// allocator). Checksums cover the whole stream and are comparable
+/// across modes and with [`run_hotpath_sharded`].
+pub fn run_hotpath(
+    mix: &[HotQuery],
+    data: &[TimedObject],
+    chunk: usize,
+    warmup: usize,
+    mode: HotpathMode,
+    allocations: &dyn Fn() -> u64,
+) -> HotpathRun {
+    let mut hub = Hub::new();
+    let flavors = register_hotpath_sequential(&mut hub, mix);
+    let horizon = data.last().map_or(0, |o| o.timestamp) + 1;
+    let mut legacy = match mode {
+        HotpathMode::Legacy => Some(LegacyReplay::new(flavors)),
+        HotpathMode::Pooled => None,
+    };
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let publish = |hub: &mut Hub,
+                   c: &[TimedObject],
+                   legacy: &mut Option<LegacyReplay>,
+                   updates: &mut u64,
+                   checksum: &mut u64| {
+        let batch = hub.publish_timed(c);
+        if let Some(replayer) = legacy {
+            replayer.strip(c);
+            replayer.replay_publish(&batch);
+        }
+        for u in batch {
+            *updates += 1;
+            *checksum = hub_checksum_fold(*checksum, &u);
+            if let Some(replayer) = legacy {
+                replayer.replay(&u);
+            }
+        }
+    };
+    let warmup = warmup.min(data.len());
+    for c in data[..warmup].chunks(chunk) {
+        publish(&mut hub, c, &mut legacy, &mut updates, &mut checksum);
+    }
+    let alloc_base = allocations();
+    let started = Instant::now();
+    for c in data[warmup..].chunks(chunk) {
+        publish(&mut hub, c, &mut legacy, &mut updates, &mut checksum);
+    }
+    for u in hub.advance_time(horizon) {
+        updates += 1;
+        checksum = hub_checksum_fold(checksum, &u);
+        if let Some(replayer) = &mut legacy {
+            replayer.replay(&u);
+        }
+    }
+    let elapsed = started.elapsed();
+    let steady_allocs = allocations() - alloc_base;
+    let stats = hub.stats();
+    HotpathRun {
+        elapsed,
+        steady_objects: (data.len() - warmup) as u64,
+        steady_allocs: Some(steady_allocs),
+        updates,
+        checksum,
+        digest_hits: stats.digest_hits,
+        digest_rebuilds: stats.digest_rebuilds,
+    }
+}
+
+/// The sharded cross-check of [`run_hotpath`]: the same mixed set on a
+/// [`ShardedHub`], draining per chunk — its whole-stream checksum must
+/// equal the sequential runs'. Allocations are not attributed (worker
+/// threads share the global counter), so `steady_allocs` is `None`.
+pub fn run_hotpath_sharded(
+    mix: &[HotQuery],
+    data: &[TimedObject],
+    chunk: usize,
+    warmup: usize,
+    shards: usize,
+) -> HotpathRun {
+    let mut hub = ShardedHub::new(shards);
+    for q in mix {
+        match *q {
+            HotQuery::Count(algo, spec) => {
+                hub.register_boxed(algo.build(spec)).expect("fresh shards");
+            }
+            HotQuery::Timed(algo, spec) => {
+                hub.register_timed_boxed(build_timed_entry(algo, spec))
+                    .expect("fresh shards");
+            }
+            HotQuery::Shared(algo, spec) => {
+                hub.register_shared_boxed(
+                    algo.build(spec.reduced().expect("mix spec is valid")),
+                    spec.window_duration,
+                    spec.slide_duration,
+                )
+                .expect("fresh shards accept valid engines");
+            }
+        }
+    }
+    let horizon = data.last().map_or(0, |o| o.timestamp) + 1;
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let fold = |hub: &mut ShardedHub, updates: &mut u64, checksum: &mut u64| {
+        for u in hub.drain().expect("no engine panics in the bench mix") {
+            *updates += 1;
+            *checksum = hub_checksum_fold(*checksum, &u);
+        }
+    };
+    let warmup = warmup.min(data.len());
+    for c in data[..warmup].chunks(chunk) {
+        hub.publish_timed(c)
+            .expect("no engine panics in the bench mix");
+        fold(&mut hub, &mut updates, &mut checksum);
+    }
+    let started = Instant::now();
+    for c in data[warmup..].chunks(chunk) {
+        hub.publish_timed(c)
+            .expect("no engine panics in the bench mix");
+        fold(&mut hub, &mut updates, &mut checksum);
+    }
+    hub.advance_time(horizon)
+        .expect("no engine panics in the bench mix");
+    fold(&mut hub, &mut updates, &mut checksum);
+    let elapsed = started.elapsed();
+    let stats = hub.stats().expect("no engine panics in the bench mix");
+    HotpathRun {
+        elapsed,
+        steady_objects: (data.len() - warmup) as u64,
+        steady_allocs: None,
+        updates,
+        checksum,
+        digest_hits: stats.digest_hits,
+        digest_rebuilds: stats.digest_rebuilds,
+    }
+}
+
 /// Formats seconds with millisecond precision.
 pub fn secs(summary: &RunSummary) -> String {
     format!("{:.3}", summary.elapsed.as_secs_f64())
@@ -588,6 +1003,35 @@ mod tests {
             let par = run_timed_hub_sharded(&mix, &data, 250, shards);
             assert_eq!(par.updates, seq.updates, "shards={shards}");
             assert_eq!(par.checksum, seq.checksum, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn hotpath_modes_and_hubs_agree() {
+        use sap_stream::ArrivalProcess;
+        let mix = hotpath_query_mix(30);
+        assert!(mix.iter().any(|q| matches!(q, HotQuery::Count(..))));
+        assert!(mix.iter().any(|q| matches!(q, HotQuery::Timed(..))));
+        assert!(mix.iter().any(|q| matches!(q, HotQuery::Shared(..))));
+        let data = Dataset::Stock.generate_timed(4_000, 11, ArrivalProcess::poisson(25.0));
+        // no counting allocator installed here: the counter input only
+        // feeds the reported metric, not the run itself
+        let none = || 0u64;
+        let pooled = run_hotpath(&mix, &data, 250, 1_000, HotpathMode::Pooled, &none);
+        assert!(pooled.updates > 0);
+        assert_eq!(pooled.steady_objects, 3_000);
+        assert!(pooled.digest_hits > 0, "shared members must share");
+        let legacy = run_hotpath(&mix, &data, 250, 1_000, HotpathMode::Legacy, &none);
+        assert_eq!(
+            legacy.checksum, pooled.checksum,
+            "the legacy replay must not change results"
+        );
+        assert_eq!(legacy.updates, pooled.updates);
+        for shards in [1, 2] {
+            let par = run_hotpath_sharded(&mix, &data, 250, 1_000, shards);
+            assert_eq!(par.checksum, pooled.checksum, "shards={shards}");
+            assert_eq!(par.updates, pooled.updates, "shards={shards}");
+            assert_eq!(par.steady_allocs, None);
         }
     }
 

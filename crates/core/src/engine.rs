@@ -40,7 +40,7 @@ use sap_stream::{Object, OpStats, ScoreKey, SlidingTopK, WindowSpec};
 
 use crate::candidates::CandidateList;
 use crate::config::{MeaningfulMode, PartitionPolicy, SapConfig};
-use crate::meaningful::{build_savl, MSet, SegmentedM, SortedM};
+use crate::meaningful::{rebuild_savl, MSet, SegmentedM, SortedM};
 use crate::partition::{LiEntry, SealedPartition, UnitMeta};
 use crate::topk_buffer::TopKBuffer;
 use crate::units::Tbui;
@@ -85,6 +85,18 @@ pub struct Sap {
     pool: Vec<ScoreKey>,
     sample1: Vec<f64>,
     sample2: Vec<f64>,
+    // recycled partition buffers: a fully expired partition's Vecs come
+    // back here (cleared, capacity kept) and the next seal reuses them,
+    // so steady-state sealing allocates nothing
+    spare_objects: Vec<Object>,
+    spare_units: Vec<UnitMeta>,
+    spare_pk: Vec<ScoreKey>,
+    /// The previous front's meaningful set, kept as a carcass: the next
+    /// formation resets and reuses its buffers (see `form_mset`).
+    spare_mset: Option<MSet>,
+    /// Recycled `L_i` key lists harvested from expired units, recycled
+    /// into TBUI's next unit label.
+    spare_labels: Vec<Vec<ScoreKey>>,
     stats: OpStats,
 
     /// The current k-th result key; `None` while the result is not full.
@@ -135,6 +147,11 @@ impl Sap {
             pool: Vec::with_capacity(4 * spec.k),
             sample1: Vec::with_capacity(spec.k),
             sample2: Vec::with_capacity(params.eta_k),
+            spare_objects: Vec::new(),
+            spare_units: Vec::new(),
+            spare_pk: Vec::new(),
+            spare_mset: None,
+            spare_labels: Vec::new(),
             stats: OpStats::default(),
             last_kth: None,
             dirty: true,
@@ -195,16 +212,33 @@ impl Sap {
     fn unit_label(&mut self) -> Option<LiEntry> {
         let tbui = self.tbui.as_mut()?;
         let unit_max = self.unit_pk.max().expect("completed unit is non-empty");
-        let label = tbui.on_unit_complete(unit_max, &mut self.stats);
+        // hand TBUI a recycled key list for the label it is about to emit
+        let spare = self.spare_labels.pop().unwrap_or_default();
+        let label = tbui.on_unit_complete(unit_max, spare, &mut self.stats);
         if label.demote_previous {
             // demote the previous provisional k-unit in the live partition
+            // (take the label only after matching, so a non-KUnit entry —
+            // impossible under TBUI's invariant, but cheap to not rely
+            // on — is left untouched rather than erased)
             if let Some(last) = self.live_units.last_mut() {
-                if let Some(LiEntry::KUnit { keys }) = &last.li {
-                    last.li = Some(LiEntry::NonK { top: keys[0] });
+                if matches!(last.li, Some(LiEntry::KUnit { .. })) {
+                    if let Some(LiEntry::KUnit { keys }) = last.li.take() {
+                        last.li = Some(LiEntry::NonK { top: keys[0] });
+                        self.stash_label(keys);
+                    }
                 }
             }
         }
         Some(label.entry)
+    }
+
+    /// Returns a unit-label key list to the spare pool (bounded so a burst
+    /// of k-units cannot grow it without limit).
+    fn stash_label(&mut self, mut keys: Vec<ScoreKey>) {
+        if self.spare_labels.len() < 32 && keys.capacity() > 0 {
+            keys.clear();
+            self.spare_labels.push(keys);
+        }
     }
 
     fn complete_unit(&mut self) {
@@ -291,13 +325,19 @@ impl Sap {
         }
         let pid = self.next_pid;
         self.next_pid += 1;
-        let pk_desc = self.live_pk.to_vec_desc();
+        // recycled buffers: the seal hands the live Vecs to the partition
+        // and re-arms the live set with a reclaimed (empty) pair
+        let mut pk_desc = std::mem::take(&mut self.spare_pk);
+        self.live_pk.desc_into(&mut pk_desc);
         self.cands.merge_seal(pid, &pk_desc, &mut self.stats);
         let mut partition = SealedPartition {
             pid,
-            objects: std::mem::take(&mut self.live_objects),
+            objects: std::mem::replace(
+                &mut self.live_objects,
+                std::mem::take(&mut self.spare_objects),
+            ),
             pk_desc,
-            units: std::mem::take(&mut self.live_units),
+            units: std::mem::replace(&mut self.live_units, std::mem::take(&mut self.spare_units)),
             expired_upto: 0,
             premade: None,
         };
@@ -310,7 +350,10 @@ impl Sap {
     }
 
     /// Forms the meaningful set of `partition` in the configured
-    /// representation.
+    /// representation — on the carcass of the previously expired front's
+    /// set when one is available, so steady-state formation runs on
+    /// recycled buffers (the representation is fixed per engine, so the
+    /// carcass always matches).
     fn form_mset(
         &mut self,
         partition: &SealedPartition,
@@ -318,35 +361,57 @@ impl Sap {
         budget: usize,
     ) -> MSet {
         let (s, k) = (self.cfg.spec.s, self.cfg.spec.k);
+        let carcass = self.spare_mset.take();
         match self.cfg.meaningful_mode() {
-            MeaningfulMode::Sorted => MSet::Sorted(SortedM::build(
-                &partition.objects,
-                partition.expired_upto,
-                &partition.pk_desc,
-                f_theta,
-                budget,
-                s,
-                k,
-                &mut self.stats,
-            )),
-            MeaningfulMode::SAvl => MSet::SAvl(build_savl(
-                &partition.objects,
-                partition.expired_upto,
-                &partition.pk_desc,
-                f_theta,
-                budget,
-                s,
-                k,
-                &mut self.stats,
-            )),
-            MeaningfulMode::Segmented => MSet::Segmented(SegmentedM::build(
-                partition,
-                f_theta,
-                budget,
-                s,
-                k,
-                &mut self.stats,
-            )),
+            MeaningfulMode::Sorted => {
+                let old = match carcass {
+                    Some(MSet::Sorted(m)) => Some(m),
+                    _ => None,
+                };
+                MSet::Sorted(SortedM::rebuild(
+                    old,
+                    &partition.objects,
+                    partition.expired_upto,
+                    &partition.pk_desc,
+                    f_theta,
+                    budget,
+                    s,
+                    k,
+                    &mut self.stats,
+                ))
+            }
+            MeaningfulMode::SAvl => {
+                let old = match carcass {
+                    Some(MSet::SAvl(m)) => Some(m),
+                    _ => None,
+                };
+                MSet::SAvl(rebuild_savl(
+                    old,
+                    &partition.objects,
+                    partition.expired_upto,
+                    &partition.pk_desc,
+                    f_theta,
+                    budget,
+                    s,
+                    k,
+                    &mut self.stats,
+                ))
+            }
+            MeaningfulMode::Segmented => {
+                let old = match carcass {
+                    Some(MSet::Segmented(m)) => Some(m),
+                    _ => None,
+                };
+                MSet::Segmented(SegmentedM::rebuild(
+                    old,
+                    partition,
+                    f_theta,
+                    budget,
+                    s,
+                    k,
+                    &mut self.stats,
+                ))
+            }
         }
     }
 
@@ -433,10 +498,52 @@ impl Sap {
                 m.advance(partition, &mut self.stats);
             }
             if partition.fully_expired() {
-                self.front = None;
+                let done = self.front.take().expect("front present");
+                self.reclaim(done);
                 continue;
             }
             break;
+        }
+    }
+
+    /// Returns a fully expired front's buffers to the spare pools
+    /// (cleared, capacity kept): the partition's three Vecs (keeping the
+    /// larger of old and new capacity per slot), its units' label key
+    /// lists, and the meaningful-set carcass. The next seal and unit
+    /// label then allocate nothing, and formation runs on recycled
+    /// S-AVL/entry buffers (its remaining transient allocations — e.g.
+    /// `SortedM`'s Fenwick sweep — are amortized per partition, not per
+    /// slide).
+    fn reclaim(&mut self, front: FrontState) {
+        let FrontState {
+            partition, mset, ..
+        } = front;
+        let SealedPartition {
+            mut objects,
+            mut units,
+            mut pk_desc,
+            premade,
+            ..
+        } = partition;
+        if let Some(m) = mset.or(premade) {
+            self.spare_mset = Some(m);
+        }
+        for unit in units.iter_mut() {
+            if let Some(LiEntry::KUnit { keys }) = unit.li.take() {
+                self.stash_label(keys);
+            }
+        }
+        if objects.capacity() > self.spare_objects.capacity() {
+            objects.clear();
+            self.spare_objects = objects;
+        }
+        if units.capacity() > self.spare_units.capacity() {
+            units.clear();
+            self.spare_units = units;
+        }
+        if pk_desc.capacity() > self.spare_pk.capacity() {
+            pk_desc.clear();
+            self.spare_pk = pk_desc;
         }
     }
 

@@ -102,17 +102,46 @@ impl SortedM {
         k: usize,
         stats: &mut OpStats,
     ) -> Self {
+        Self::rebuild(
+            None,
+            objects,
+            expired_upto,
+            pk_desc,
+            f_theta,
+            budget,
+            slide,
+            k,
+            stats,
+        )
+    }
+
+    /// [`build`](SortedM::build) reusing an expired formation's entry
+    /// buffer (carcass), so re-forming on partition churn skips its
+    /// allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild(
+        carcass: Option<SortedM>,
+        objects: &[Object],
+        expired_upto: usize,
+        pk_desc: &[ScoreKey],
+        f_theta: Option<f64>,
+        budget: usize,
+        slide: usize,
+        k: usize,
+        stats: &mut OpStats,
+    ) -> Self {
+        let mut kept_desc = carcass.map(|m| m.entries).unwrap_or_default();
+        kept_desc.clear();
         let alive = &objects[expired_upto..];
         stats.objects_scanned += alive.len() as u64;
         if budget == 0 || alive.is_empty() {
-            return SortedM::default();
+            return SortedM { entries: kept_desc };
         }
         let base = alive.first().map(|o| o.id).unwrap_or(0);
         let mut keys: Vec<ScoreKey> = slide_tops(alive, slide, k);
         keys.sort_unstable_by(|a, b| b.cmp(a));
 
         let mut fen = Fenwick::new(alive.len());
-        let mut kept_desc: Vec<ScoreKey> = Vec::new();
         let mut added = 0u32;
         let mut i = 0;
         let is_pk = |key: &ScoreKey| pk_desc.binary_search_by(|p| key.cmp(p)).is_ok();
@@ -234,7 +263,41 @@ pub fn build_savl(
     k: usize,
     stats: &mut OpStats,
 ) -> SAvl {
-    let mut savl = SAvl::new(budget);
+    rebuild_savl(
+        None,
+        objects,
+        expired_upto,
+        pk_desc,
+        f_theta,
+        budget,
+        slide,
+        k,
+        stats,
+    )
+}
+
+/// [`build_savl`] on the carcass of an expired formation: the S-AVL is
+/// [`reset`](SAvl::reset) in place, so its stack buffers and AVL arena
+/// are reused.
+#[allow(clippy::too_many_arguments)]
+pub fn rebuild_savl(
+    carcass: Option<SAvl>,
+    objects: &[Object],
+    expired_upto: usize,
+    pk_desc: &[ScoreKey],
+    f_theta: Option<f64>,
+    budget: usize,
+    slide: usize,
+    k: usize,
+    stats: &mut OpStats,
+) -> SAvl {
+    let mut savl = match carcass {
+        Some(mut old) => {
+            old.reset(budget);
+            old
+        }
+        None => SAvl::new(budget),
+    };
     scan_into_savl(
         &mut savl,
         &objects[expired_upto..],
@@ -340,6 +403,9 @@ pub struct SegmentedM {
     main: SAvl,
     unit_avls: Vec<SAvl>,
     pending: Vec<PendingUnit>,
+    /// Recycled S-AVL carcasses for phase-2 builds (harvested from a
+    /// previous formation's components on [`SegmentedM::rebuild`]).
+    spare_avls: Vec<SAvl>,
     f_theta: Option<f64>,
     budget: usize,
     slide: usize,
@@ -360,14 +426,45 @@ impl SegmentedM {
         k: usize,
         stats: &mut OpStats,
     ) -> Self {
-        let mut seg = SegmentedM {
-            main: SAvl::new(budget),
-            unit_avls: Vec::new(),
-            pending: Vec::new(),
-            f_theta,
-            budget,
-            slide,
-            k,
+        Self::rebuild(None, partition, f_theta, budget, slide, k, stats)
+    }
+
+    /// [`build`](SegmentedM::build) on the carcass of an expired
+    /// formation: every component (main S-AVL, per-unit S-AVLs, the
+    /// pending list) is reset in place and reused, so re-forming the
+    /// meaningful set of the next front partition allocates nothing at
+    /// steady state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild(
+        carcass: Option<SegmentedM>,
+        partition: &SealedPartition,
+        f_theta: Option<f64>,
+        budget: usize,
+        slide: usize,
+        k: usize,
+        stats: &mut OpStats,
+    ) -> Self {
+        let mut seg = match carcass {
+            Some(mut old) => {
+                old.main.reset(budget);
+                old.spare_avls.append(&mut old.unit_avls);
+                old.pending.clear();
+                old.f_theta = f_theta;
+                old.budget = budget;
+                old.slide = slide;
+                old.k = k;
+                old
+            }
+            None => SegmentedM {
+                main: SAvl::new(budget),
+                unit_avls: Vec::new(),
+                pending: Vec::new(),
+                spare_avls: Vec::new(),
+                f_theta,
+                budget,
+                slide,
+                k,
+            },
         };
         // newest unit first, objects in reverse arrival order throughout
         for (idx, unit) in partition.units.iter().enumerate().rev() {
@@ -444,7 +541,13 @@ impl SegmentedM {
             stats.unit_scans_skipped += 1;
             return;
         }
-        let mut savl = SAvl::new(self.budget);
+        let mut savl = match self.spare_avls.pop() {
+            Some(mut carcass) => {
+                carcass.reset(self.budget);
+                carcass
+            }
+            None => SAvl::new(self.budget),
+        };
         let objects = &partition.objects[unit.start..unit.end];
         scan_into_savl(
             &mut savl,
@@ -477,7 +580,21 @@ impl SegmentedM {
                 break;
             }
         }
-        self.unit_avls.retain(|s| !s.is_empty());
+        self.recycle_drained_units();
+    }
+
+    /// Moves drained per-unit S-AVLs to the spare pool instead of dropping
+    /// them — their buffers serve the next phase-2 build.
+    fn recycle_drained_units(&mut self) {
+        let mut i = 0;
+        while i < self.unit_avls.len() {
+            if self.unit_avls[i].is_empty() {
+                let drained = self.unit_avls.swap_remove(i);
+                self.spare_avls.push(drained);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Largest live entry across all component structures. Deferred unit
@@ -538,7 +655,7 @@ impl SegmentedM {
         for s in &mut self.unit_avls {
             s.expire_below(cutoff);
         }
-        self.unit_avls.retain(|s| !s.is_empty());
+        self.recycle_drained_units();
         self.pending.retain(|p| {
             let unit = &partition.units[p.unit_idx];
             let last_id = partition.objects[unit.end - 1].id;

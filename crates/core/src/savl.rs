@@ -36,9 +36,18 @@ use sap_avltree::AvlMap;
 use sap_stream::ScoreKey;
 
 /// One S-AVL instance.
+///
+/// Recyclable: [`reset`](SAvl::reset) returns the structure to its
+/// freshly-built state while keeping every buffer (stack `Vec`s and the
+/// AVL node arena), so the engine re-forms meaningful sets on recycled
+/// memory — partition churn on small windows stays off the allocator.
 #[derive(Debug)]
 pub struct SAvl {
+    /// Stack storage; `stacks[..active]` are the live stacks, the rest
+    /// are cleared carcasses kept for reuse after a [`reset`](SAvl::reset).
     stacks: Vec<Vec<ScoreKey>>,
+    /// Number of stacks created since the last reset.
+    active: usize,
     /// stack top → stack index
     tops: AvlMap<ScoreKey, u32>,
     max_stacks: usize,
@@ -51,10 +60,24 @@ impl SAvl {
     pub fn new(max_stacks: usize) -> Self {
         SAvl {
             stacks: Vec::with_capacity(max_stacks.min(64)),
+            active: 0,
             tops: AvlMap::new(),
             max_stacks,
             len: 0,
         }
+    }
+
+    /// Returns the structure to the state of `SAvl::new(max_stacks)` while
+    /// keeping every allocation: stack `Vec`s are cleared in place and the
+    /// AVL arena retains its nodes' storage.
+    pub fn reset(&mut self, max_stacks: usize) {
+        for stack in &mut self.stacks[..self.active] {
+            stack.clear();
+        }
+        self.active = 0;
+        self.tops.clear();
+        self.max_stacks = max_stacks;
+        self.len = 0;
     }
 
     /// Number of stacks allowed.
@@ -77,7 +100,7 @@ impl SAvl {
     /// strictly decreasing arrival order (debug-asserted).
     pub fn offer(&mut self, key: ScoreKey) -> bool {
         debug_assert!(
-            self.stacks
+            self.stacks[..self.active]
                 .iter()
                 .flat_map(|s| s.last())
                 .all(|top| top.id > key.id),
@@ -86,10 +109,17 @@ impl SAvl {
         if self.max_stacks == 0 {
             return false;
         }
-        if self.stacks.len() < self.max_stacks {
-            // first k−ρ survivors each found a new stack
-            let idx = self.stacks.len() as u32;
-            self.stacks.push(vec![key]);
+        if self.active < self.max_stacks {
+            // first k−ρ survivors each found a new stack (a recycled
+            // carcass when one is available)
+            let idx = self.active as u32;
+            if let Some(stack) = self.stacks.get_mut(self.active) {
+                debug_assert!(stack.is_empty(), "carcass stacks are cleared");
+                stack.push(key);
+            } else {
+                self.stacks.push(vec![key]);
+            }
+            self.active += 1;
             self.tops.insert(key, idx);
             self.len += 1;
             return true;
@@ -145,7 +175,7 @@ impl SAvl {
     /// top are newer than the top, expired entries are found by repeatedly
     /// popping stack tops.
     pub fn expire_below(&mut self, cutoff: u64) {
-        for si in 0..self.stacks.len() {
+        for si in 0..self.active {
             let needs_pop = matches!(self.stacks[si].last(), Some(top) if top.id < cutoff);
             if !needs_pop {
                 continue;
@@ -172,7 +202,11 @@ impl SAvl {
     #[cfg(test)]
     pub(crate) fn check_invariants(&self) {
         let mut total = 0usize;
-        for (si, stack) in self.stacks.iter().enumerate() {
+        assert!(
+            self.stacks[self.active..].iter().all(Vec::is_empty),
+            "carcass stacks must stay cleared"
+        );
+        for (si, stack) in self.stacks[..self.active].iter().enumerate() {
             total += stack.len();
             for w in stack.windows(2) {
                 assert!(
@@ -323,6 +357,29 @@ mod tests {
         savl.expire_below(100);
         assert!(savl.is_empty());
         savl.check_invariants();
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_behaves_like_new() {
+        let mut savl = SAvl::new(3);
+        let scan = [30.0, 31.0, 36.0, 34.0, 33.0, 35.0];
+        for (i, s) in scan.iter().enumerate() {
+            savl.offer(key(100 - i as u64, *s));
+        }
+        savl.check_invariants();
+        // reset with a different stack budget: same behavior as a fresh
+        // SAvl::new(2), on the old buffers
+        savl.reset(2);
+        savl.check_invariants();
+        assert!(savl.is_empty());
+        assert_eq!(savl.max_stacks(), 2);
+        assert!(savl.offer(key(10, 5.0)));
+        assert!(savl.offer(key(9, 7.0)));
+        assert!(!savl.offer(key(8, 4.0)), "below both tops: pruned");
+        assert!(savl.offer(key(7, 6.0)));
+        savl.check_invariants();
+        assert_eq!(savl.len(), 3);
+        assert_eq!(savl.pop_max().unwrap().score, 7.0);
     }
 
     #[test]

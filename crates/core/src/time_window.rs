@@ -53,7 +53,7 @@ use crate::config::SapConfig;
 use crate::engine::Sap;
 
 pub use sap_stream::TimedObject;
-pub use sap_stream::{DigestProducer, DigestRef, SharedTimed, SlideDigest};
+pub use sap_stream::{DigestProducer, DigestRef, DigestView, SharedTimed, SlideDigest};
 
 /// A time-based continuous top-k query answered by a count-based engine
 /// through the Appendix-A reduction: one [`DigestProducer`] closing and
@@ -150,16 +150,41 @@ impl<E: SlidingTopK> TimeBased<E> {
     /// updated top-k for every slide boundary the timestamp crosses (empty
     /// when the object lands in the still-open slide).
     pub fn ingest(&mut self, o: TimedObject) -> Vec<Vec<TimedObject>> {
-        let digests = self.producer.ingest(o);
-        self.apply(digests)
+        let mut out = Vec::new();
+        self.ingest_each(o, &mut |snapshot| out.push(snapshot.to_vec()));
+        out
     }
 
     /// Closes every slide ending at or before `watermark` (empty slides
     /// included), returning one updated top-k per closed slide. Raising
     /// the watermark is how trailing slides are flushed at end of stream.
     pub fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>> {
-        let digests = self.producer.advance_to(watermark);
-        self.apply(digests)
+        let mut out = Vec::new();
+        self.advance_to_each(watermark, &mut |snapshot| out.push(snapshot.to_vec()));
+        out
+    }
+
+    /// The allocation-free form of [`ingest`](TimeBased::ingest): calls
+    /// `f` with a borrow of the updated top-k for every slide boundary
+    /// `o.timestamp` crosses. The closing slide travels producer →
+    /// consumer as a borrowed [`DigestView`] — no digest, no owned
+    /// snapshot, **zero heap traffic** on the steady-state path (this is
+    /// what `TimedSession` drives).
+    pub fn ingest_each(&mut self, o: TimedObject, f: &mut dyn FnMut(&[TimedObject])) {
+        let TimeBased { producer, consumer } = self;
+        producer.ingest_with(o, &mut |view| {
+            f(consumer.apply_slide_top(view.slide, view.top));
+        });
+    }
+
+    /// The allocation-free form of [`advance_to`](TimeBased::advance_to):
+    /// calls `f` with a borrow of the updated top-k per closed slide,
+    /// oldest first.
+    pub fn advance_to_each(&mut self, watermark: u64, f: &mut dyn FnMut(&[TimedObject])) {
+        let TimeBased { producer, consumer } = self;
+        producer.advance_to_with(watermark, &mut |view| {
+            f(consumer.apply_slide_top(view.slide, view.top));
+        });
     }
 
     /// Closes the current slide even if its time has not elapsed (useful at
@@ -170,14 +195,7 @@ impl<E: SlidingTopK> TimeBased<E> {
     /// that rule.
     pub fn close_slide(&mut self) -> Vec<TimedObject> {
         let digest = self.producer.close_slide();
-        self.consumer.apply_digest(&digest)
-    }
-
-    fn apply(&mut self, digests: Vec<DigestRef>) -> Vec<Vec<TimedObject>> {
-        digests
-            .into_iter()
-            .map(|d| self.consumer.apply_digest(&d))
-            .collect()
+        self.consumer.apply_digest(&digest).to_vec()
     }
 
     /// Current candidate count of the underlying engine.
@@ -213,6 +231,14 @@ impl<E: SlidingTopK> TimedTopK for TimeBased<E> {
 
     fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>> {
         TimeBased::advance_to(self, watermark)
+    }
+
+    fn ingest_each(&mut self, o: TimedObject, f: &mut dyn FnMut(&[TimedObject])) {
+        TimeBased::ingest_each(self, o, f)
+    }
+
+    fn advance_to_each(&mut self, watermark: u64, f: &mut dyn FnMut(&[TimedObject])) {
+        TimeBased::advance_to_each(self, watermark, f)
     }
 
     fn last_result(&self) -> &[TimedObject] {

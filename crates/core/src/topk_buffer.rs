@@ -100,6 +100,15 @@ impl TopKBuffer {
         self.iter_desc().copied().collect()
     }
 
+    /// Writes the retained keys in descending order into `out` (cleared
+    /// first) — the pooled form of
+    /// [`to_vec_desc`](TopKBuffer::to_vec_desc), fed a recycled buffer by
+    /// the engine's seal path.
+    pub fn desc_into(&self, out: &mut Vec<ScoreKey>) {
+        out.clear();
+        out.extend(self.iter_desc().copied());
+    }
+
     /// Absorbs every key retained by `other` (used when a unit merges into
     /// the growing partition, §4.2).
     pub fn absorb(&mut self, other: &TopKBuffer) {

@@ -27,7 +27,7 @@
 //! for id in 0..8u64 {
 //!     tbui.on_object(ScoreKey { score: id as f64, id });
 //! }
-//! let label = tbui.on_unit_complete(ScoreKey { score: 7.0, id: 7 }, &mut stats);
+//! let label = tbui.on_unit_complete(ScoreKey { score: 7.0, id: 7 }, Vec::new(), &mut stats);
 //! assert!(label.entry.key_count() >= 1);
 //! ```
 
@@ -112,7 +112,13 @@ impl Tbui {
     /// Completes the current unit (Algorithm 2 lines 10–16). `unit_max` is
     /// the unit's true maximum, used when `U^τ` ended up empty (all objects
     /// below an inherited threshold).
-    pub fn on_unit_complete(&mut self, unit_max: ScoreKey, stats: &mut OpStats) -> UnitLabel {
+    pub fn on_unit_complete(
+        &mut self,
+        unit_max: ScoreKey,
+        spare: Vec<ScoreKey>,
+        stats: &mut OpStats,
+    ) -> UnitLabel {
+        debug_assert!(spare.is_empty(), "label spares must arrive cleared");
         let label = if self.utau.len() >= self.k {
             if self.flag {
                 // finish initialization: τ ← ζ*-th highest of U^τ
@@ -121,7 +127,7 @@ impl Tbui {
                 }
                 self.flag = false;
             }
-            let mut keys = std::mem::take(&mut self.utau);
+            let mut keys = std::mem::replace(&mut self.utau, spare);
             keys.sort_unstable_by(|a, b| b.cmp(a));
             keys.truncate(self.k);
             stats.k_units += 1;
@@ -134,7 +140,7 @@ impl Tbui {
         } else {
             // downtrend (case (ii)): re-initialize τ; previous provisional
             // unit is confirmed as a k-unit (no demotion)
-            let mut keys = std::mem::take(&mut self.utau);
+            let mut keys = std::mem::replace(&mut self.utau, spare);
             keys.sort_unstable_by(|a, b| b.cmp(a));
             if keys.is_empty() {
                 keys.push(unit_max);
@@ -173,7 +179,7 @@ mod tests {
                 }
                 tbui.on_object(k);
             }
-            labels.push(tbui.on_unit_complete(max, &mut stats));
+            labels.push(tbui.on_unit_complete(max, Vec::new(), &mut stats));
         }
         labels
     }
@@ -216,13 +222,13 @@ mod tests {
         for i in 0..100 {
             tbui.on_object(key(i, (i % 10) as f64));
         }
-        tbui.on_unit_complete(key(9, 9.0), &mut stats);
+        tbui.on_unit_complete(key(9, 9.0), Vec::new(), &mut stats);
         let tau_before = tbui.tau();
         // strong uptrend in the next unit: many objects above τ
         for i in 100..200 {
             tbui.on_object(key(i, 100.0 + (i % 10) as f64));
         }
-        tbui.on_unit_complete(key(199, 109.0), &mut stats);
+        tbui.on_unit_complete(key(199, 109.0), Vec::new(), &mut stats);
         assert!(
             tbui.tau() > tau_before,
             "τ must rise on uptrend: {} → {}",
@@ -244,7 +250,7 @@ mod tests {
             }
             tbui.on_object(k);
         }
-        let label = tbui.on_unit_complete(max, &mut stats);
+        let label = tbui.on_unit_complete(max, Vec::new(), &mut stats);
         match label.entry {
             LiEntry::KUnit { keys } => {
                 let got: Vec<f64> = keys.iter().map(|k| k.score).collect();
@@ -262,12 +268,12 @@ mod tests {
         for i in 0..200 {
             tbui.on_object(key(i, 1000.0 + (i % 100) as f64));
         }
-        tbui.on_unit_complete(key(199, 1099.0), &mut stats);
+        tbui.on_unit_complete(key(199, 1099.0), Vec::new(), &mut stats);
         // second unit entirely below τ → U^τ empty → fall back to top-1
         for i in 200..400 {
             tbui.on_object(key(i, (i % 5) as f64));
         }
-        let label = tbui.on_unit_complete(key(204, 4.0), &mut stats);
+        let label = tbui.on_unit_complete(key(204, 4.0), Vec::new(), &mut stats);
         match label.entry {
             LiEntry::KUnit { keys } => {
                 assert_eq!(keys.len(), 1);

@@ -61,8 +61,14 @@ impl WrtOutcome {
 /// zero; midranks keep the statistic well-defined when real streams repeat
 /// values).
 pub fn rank_sum(sample1: &[f64], sample2: &[f64]) -> f64 {
-    let n = sample1.len() + sample2.len();
-    let mut combined: Vec<(f64, bool)> = Vec::with_capacity(n);
+    rank_sum_with(&mut Vec::new(), sample1, sample2)
+}
+
+/// The pooled core of [`rank_sum`]: borrows the combined-ranking buffer
+/// instead of allocating it — what the engine's per-unit WRT drives, so a
+/// steady-state test touches no heap.
+fn rank_sum_with(combined: &mut Vec<(f64, bool)>, sample1: &[f64], sample2: &[f64]) -> f64 {
+    combined.clear();
     combined.extend(sample1.iter().map(|&v| (v, true)));
     combined.extend(sample2.iter().map(|&v| (v, false)));
     combined.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
@@ -154,32 +160,65 @@ pub fn exact_u_distribution(n1: usize, n2: usize) -> Vec<f64> {
 }
 
 /// The configured WRT, as used by the dynamic partition algorithm.
-#[derive(Debug, Clone, Copy)]
+///
+/// Holds pooled state — the combined-ranking scratch of the rank sum and
+/// a memoized exact-critical-value cache — so the test the engine runs
+/// once per completed unit performs **zero allocations** at steady state
+/// (the exact-distribution recurrence would otherwise allocate `O(n1·n2)`
+/// vectors per call; the engine's sample sizes are constants, so it runs
+/// once per distinct size pair).
+#[derive(Debug, Clone)]
 pub struct MannWhitney {
     /// Type-I error probability; the paper's default is 0.05.
     pub alpha: f64,
     /// Sample-size bound below which the exact distribution is used
     /// (paper: `k ≤ 10`).
     pub exact_below: usize,
+    /// Memoized `(n1, n2, α) → T_up` exact critical values. Entries
+    /// carry the α they were computed under, so mutating the public
+    /// `alpha` field mid-stream can never serve a stale critical value.
+    crit_cache: Vec<(usize, usize, f64, f64)>,
+    /// Pooled combined-ranking buffer of [`rank_sum`].
+    scratch: Vec<(f64, bool)>,
 }
 
 impl Default for MannWhitney {
     fn default() -> Self {
-        MannWhitney {
-            alpha: 0.05,
-            exact_below: 10,
-        }
+        MannWhitney::with_exact_below(0.05, 10)
     }
 }
 
 impl MannWhitney {
     /// Creates a WRT with the given α (0 < α < 1).
     pub fn new(alpha: f64) -> Self {
+        MannWhitney::with_exact_below(alpha, 10)
+    }
+
+    /// Creates a WRT with the given α and exact-distribution bound.
+    pub fn with_exact_below(alpha: f64, exact_below: usize) -> Self {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
         MannWhitney {
             alpha,
-            exact_below: 10,
+            exact_below,
+            crit_cache: Vec::new(),
+            scratch: Vec::new(),
         }
+    }
+
+    /// [`exact_upper_critical`] through the memo: computed once per
+    /// distinct `(n1, n2, α)` triple, then a linear scan of a tiny cache.
+    fn cached_upper_critical(&mut self, n1: usize, n2: usize) -> f64 {
+        let alpha = self.alpha;
+        if let Some(&(_, _, _, t)) = self
+            .crit_cache
+            .iter()
+            .find(|&&(a, b, al, _)| a == n1 && b == n2 && al == alpha)
+        {
+            return t;
+        }
+        let t = exact_upper_critical(n1, n2, alpha);
+        self.crit_cache.push((n1, n2, alpha, t));
+        t
     }
 
     /// One-sided test of Eq. (2): does `sample1` tend to contain larger
@@ -188,7 +227,7 @@ impl MannWhitney {
     /// Degenerate inputs (either sample empty) return `NoEvidence` — in the
     /// engine this corresponds to a warm-up window with no history to
     /// compare against, where growing the partition is always acceptable.
-    pub fn tends_greater(&self, sample1: &[f64], sample2: &[f64]) -> WrtOutcome {
+    pub fn tends_greater(&mut self, sample1: &[f64], sample2: &[f64]) -> WrtOutcome {
         let n1 = sample1.len();
         let n2 = sample2.len();
         if n1 == 0 || n2 == 0 {
@@ -200,9 +239,9 @@ impl MannWhitney {
                 decision: RankSumDecision::NoEvidence,
             };
         }
-        let r1 = rank_sum(sample1, sample2);
+        let r1 = rank_sum_with(&mut self.scratch, sample1, sample2);
         if n1 <= self.exact_below && n1 * n2 <= 4096 {
-            let t_up = exact_upper_critical(n1, n2, self.alpha);
+            let t_up = self.cached_upper_critical(n1, n2);
             let decision = if r1 > t_up {
                 RankSumDecision::Sample1Greater
             } else {
@@ -302,7 +341,7 @@ mod tests {
 
     #[test]
     fn exact_test_detects_clear_separation() {
-        let wrt = MannWhitney::default();
+        let mut wrt = MannWhitney::default();
         let high: Vec<f64> = (0..5).map(|i| 100.0 + i as f64).collect();
         let low: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let out = wrt.tends_greater(&high, &low);
@@ -313,7 +352,7 @@ mod tests {
 
     #[test]
     fn exact_test_accepts_same_distribution() {
-        let wrt = MannWhitney::default();
+        let mut wrt = MannWhitney::default();
         // interleaved values from one arithmetic sequence
         let s1: Vec<f64> = (0..6).map(|i| (i * 5) as f64).collect();
         let s2: Vec<f64> = (0..24).map(|i| (i as f64) * 1.23 + 0.5).collect();
@@ -323,7 +362,7 @@ mod tests {
 
     #[test]
     fn normal_path_matches_paper_formula() {
-        let wrt = MannWhitney::default();
+        let mut wrt = MannWhitney::default();
         let k = 20usize;
         let etak = 40usize;
         let s1: Vec<f64> = (0..k).map(|i| 1000.0 + i as f64).collect();
@@ -342,7 +381,7 @@ mod tests {
 
     #[test]
     fn normal_path_no_evidence_when_sample1_low() {
-        let wrt = MannWhitney::default();
+        let mut wrt = MannWhitney::default();
         let s1: Vec<f64> = (0..15).map(|i| i as f64).collect();
         let s2: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
         let out = wrt.tends_greater(&s1, &s2);
@@ -352,7 +391,7 @@ mod tests {
 
     #[test]
     fn empty_samples_are_no_evidence() {
-        let wrt = MannWhitney::default();
+        let mut wrt = MannWhitney::default();
         assert_eq!(
             wrt.tends_greater(&[], &[1.0]).decision,
             RankSumDecision::NoEvidence
@@ -364,17 +403,29 @@ mod tests {
     }
 
     #[test]
+    fn crit_cache_respects_alpha_changes() {
+        // alpha is a public field; mutating it between tests must not
+        // serve a critical value memoized under the old alpha
+        let mut wrt = MannWhitney::with_exact_below(0.05, 10);
+        let s1: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let s2: Vec<f64> = (0..12).map(|i| (i as f64) * 0.9 + 0.3).collect();
+        let loose = wrt.tends_greater(&s1, &s2).threshold;
+        assert_eq!(loose, exact_upper_critical(5, 12, 0.05));
+        wrt.alpha = 0.001;
+        let strict = wrt.tends_greater(&s1, &s2).threshold;
+        assert_eq!(strict, exact_upper_critical(5, 12, 0.001));
+        assert!(strict > loose, "a stricter alpha needs a higher rank sum");
+        // and flipping back hits the original cached entry
+        wrt.alpha = 0.05;
+        assert_eq!(wrt.tends_greater(&s1, &s2).threshold, loose);
+    }
+
+    #[test]
     fn exact_and_normal_roughly_agree_at_boundary() {
         // At n1 = 10 (the paper's switch point) both procedures should give
         // the same decision on clearly separated and clearly mixed samples.
-        let exact = MannWhitney {
-            alpha: 0.05,
-            exact_below: 10,
-        };
-        let approx = MannWhitney {
-            alpha: 0.05,
-            exact_below: 0,
-        };
+        let mut exact = MannWhitney::with_exact_below(0.05, 10);
+        let mut approx = MannWhitney::with_exact_below(0.05, 0);
         let high: Vec<f64> = (0..10).map(|i| 50.0 + i as f64).collect();
         let low: Vec<f64> = (0..25).map(|i| i as f64).collect();
         assert_eq!(

@@ -87,6 +87,30 @@ impl SlideDigest {
 /// the hubs fan out to slide-group members.
 pub type DigestRef = Arc<SlideDigest>;
 
+/// A borrowed view of a slide the producer is closing *right now* — the
+/// allocation-free sibling of [`SlideDigest`], valid only inside a
+/// [`DigestProducer::close_slide_with`] callback. An isolated consumer
+/// (one producer, one member — `TimeBased<E>`) applies the view directly
+/// and no digest is ever materialized; only the hubs, which fan a slide
+/// out to many members, pay for the refcounted artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct DigestView<'a> {
+    /// 0-based index of the closing slide.
+    pub slide: u64,
+    /// The slide's end timestamp (exclusive).
+    pub end: u64,
+    /// The slide's top objects in result order, at most `k_max`.
+    pub top: &'a [TimedObject],
+}
+
+impl DigestView<'_> {
+    /// The top-`k` prefix — see [`SlideDigest::prefix`].
+    #[inline]
+    pub fn prefix(&self, k: usize) -> &[TimedObject] {
+        &self.top[..k.min(self.top.len())]
+    }
+}
+
 /// Ingests a timed stream once and reduces every closed slide to its
 /// top-`k_max` digest — the producer half of the shared digest plane.
 ///
@@ -186,26 +210,61 @@ impl DigestProducer {
         digests
     }
 
+    /// The allocation-free form of [`ingest`](DigestProducer::ingest):
+    /// calls `f` with a borrowed [`DigestView`] for every slide boundary
+    /// `o.timestamp` crosses, then buffers `o`. The steady-state path of
+    /// an isolated consumer — no digest is materialized.
+    pub fn ingest_with(&mut self, o: TimedObject, f: &mut dyn FnMut(DigestView<'_>)) {
+        self.advance_to_with(o.timestamp, f);
+        self.pending.push(o);
+    }
+
+    /// The allocation-free form of
+    /// [`advance_to`](DigestProducer::advance_to): calls `f` with a
+    /// borrowed [`DigestView`] per closed slide, oldest first.
+    pub fn advance_to_with(&mut self, watermark: u64, f: &mut dyn FnMut(DigestView<'_>)) {
+        while watermark >= self.slide_end {
+            self.close_slide_with(&mut *f);
+        }
+    }
+
     /// Closes the open slide even if its time has not elapsed (useful at
-    /// end of stream), returning its digest.
+    /// end of stream), returning its digest. Materializing form of
+    /// [`close_slide_with`](DigestProducer::close_slide_with) — the hubs
+    /// use it to build the refcounted artifact a slide group fans out.
+    pub fn close_slide(&mut self) -> DigestRef {
+        self.close_slide_with(|view| {
+            Arc::new(SlideDigest {
+                slide: view.slide,
+                end: view.end,
+                top: view.top.to_vec(),
+            })
+        })
+    }
+
+    /// Closes the open slide in place, handing `f` a borrowed view of the
+    /// truncated top list — **zero allocations**: the pending buffer is
+    /// sorted in place, the view borrows it, and the buffer keeps its
+    /// capacity for the next slide.
     ///
     /// This is the workspace's single copy of the slide truncation rule:
     /// the slide reduces to its top-`k_max` under the result order, where
     /// equal scores break toward the **higher id** — the time-based result
     /// order says newer wins, so when a tie straddles the top-`k` boundary
     /// of any consumer the newer object must be the one that survives.
-    pub fn close_slide(&mut self) -> DigestRef {
+    pub fn close_slide_with<R>(&mut self, f: impl FnOnce(DigestView<'_>) -> R) -> R {
         self.pending
             .sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(b.id.cmp(&a.id)));
-        self.pending.truncate(self.k_max);
-        let digest = SlideDigest {
+        let keep = self.k_max.min(self.pending.len());
+        let result = f(DigestView {
             slide: self.next_slide,
             end: self.slide_end,
-            top: std::mem::take(&mut self.pending),
-        };
+            top: &self.pending[..keep],
+        });
+        self.pending.clear();
         self.next_slide += 1;
         self.slide_end += self.slide_duration;
-        Arc::new(digest)
+        result
     }
 }
 
@@ -234,6 +293,12 @@ pub struct SharedTimed<E: SlidingTopK> {
     /// Digests applied so far = the slide index expected next.
     slides_applied: u64,
     result: Vec<TimedObject>,
+    /// Pooled per-digest scratch: the kept prefix re-sorted to ascending
+    /// caller-id order.
+    kept: Vec<TimedObject>,
+    /// Pooled per-digest scratch: the padded reduced-stream batch fed to
+    /// the engine.
+    batch: Vec<Object>,
 }
 
 impl<E: SlidingTopK> SharedTimed<E> {
@@ -267,6 +332,8 @@ impl<E: SlidingTopK> SharedTimed<E> {
             next_synth_id: 0,
             slides_applied: 0,
             result: Vec::new(),
+            kept: Vec::with_capacity(got.k),
+            batch: Vec::with_capacity(got.k),
         })
     }
 
@@ -322,28 +389,45 @@ impl<E: SlidingTopK> SharedTimed<E> {
     /// caller's objects. Digests must arrive gap-free in slide order, from
     /// a producer with `k_max ≥ k` — the hubs and `TimeBased` guarantee
     /// both.
-    pub fn apply_digest(&mut self, digest: &SlideDigest) -> Vec<TimedObject> {
+    ///
+    /// Returns a borrow of the consumer's retained result (valid until
+    /// the next apply), built entirely from pooled buffers: applying a
+    /// digest performs zero allocations after warm-up. Callers that need
+    /// an owned snapshot copy it (`TimeBased`) or stage it into their own
+    /// pooled scratch (the sessions).
+    pub fn apply_digest(&mut self, digest: &SlideDigest) -> &[TimedObject] {
+        self.apply_slide_top(digest.slide, digest.prefix(self.k))
+    }
+
+    /// The borrow-based core of [`apply_digest`](SharedTimed::apply_digest):
+    /// applies one closed
+    /// slide given its index and top list (a digest's, or a live
+    /// [`DigestView`]'s — `top` may be any depth `≥ k`; only the own-`k`
+    /// prefix is consumed). Same contract and same pooled, zero-allocation
+    /// execution.
+    pub fn apply_slide_top(&mut self, slide: u64, top: &[TimedObject]) -> &[TimedObject] {
         debug_assert_eq!(
-            digest.slide, self.slides_applied,
+            slide, self.slides_applied,
             "digests must be applied gap-free in slide order"
         );
         // Synthetic ids are assigned in batch order, and the engine
         // tie-breaks equal scores by the higher synthetic id — so hand
         // the kept objects over in ascending caller-id order, making the
         // newer of two equal-score survivors win inside the engine too.
-        let mut kept: Vec<TimedObject> = digest.prefix(self.k).to_vec();
-        kept.sort_unstable_by_key(|o| o.id);
-        let mut batch = Vec::with_capacity(self.k);
+        self.kept.clear();
+        self.kept.extend_from_slice(&top[..self.k.min(top.len())]);
+        self.kept.sort_unstable_by_key(|o| o.id);
+        self.batch.clear();
         for i in 0..self.k {
             let synth_id = self.next_synth_id;
             self.next_synth_id += 1;
-            match kept.get(i) {
+            match self.kept.get(i) {
                 Some(&orig) => {
-                    batch.push(Object::new(synth_id, orig.score));
+                    self.batch.push(Object::new(synth_id, orig.score));
                     self.ring.push_back(Some(orig));
                 }
                 None => {
-                    batch.push(Object::new(synth_id, PAD_SCORE));
+                    self.batch.push(Object::new(synth_id, PAD_SCORE));
                     self.ring.push_back(None);
                 }
             }
@@ -352,7 +436,7 @@ impl<E: SlidingTopK> SharedTimed<E> {
             self.ring.pop_front();
             self.ring_base += 1;
         }
-        let top = self.inner.slide(&batch);
+        let top = self.inner.slide(&self.batch);
         self.result.clear();
         for obj in top {
             if obj.score == PAD_SCORE {
@@ -364,7 +448,7 @@ impl<E: SlidingTopK> SharedTimed<E> {
             }
         }
         self.slides_applied += 1;
-        self.result.clone()
+        &self.result
     }
 }
 

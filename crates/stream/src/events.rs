@@ -1,4 +1,5 @@
-//! Typed result deltas for the session API.
+//! Typed result deltas for the session API, built for an
+//! allocation-free steady state.
 //!
 //! The paper's engines emit a full top-k snapshot per slide, but a
 //! subscription system serving many standing queries wants *what changed*
@@ -7,6 +8,18 @@
 //! stable streams — nothing at all. [`SlideResult`] carries the snapshot
 //! together with [`TopKEvent`] deltas computed against the previous
 //! emission of the same query.
+//!
+//! Two representation choices keep the publish path off the allocator:
+//!
+//! * the snapshot is a [`Snapshot`] — an immutable, refcounted
+//!   `Arc<[Object]>`. One allocation serves the emitted [`SlideResult`],
+//!   the session's retained previous emission, and every `QueryUpdate`
+//!   fan-out; a slide whose result did not change re-emits the *same*
+//!   `Arc` (a refcount bump, zero copies);
+//! * the events are an [`EventList`] that stores up to
+//!   [`EventList::INLINE`] deltas inline. `[Unchanged]` and small churn —
+//!   the steady-state shapes — never touch the heap; only bursty slides
+//!   spill to a `Vec`.
 //!
 //! When the engine can prove the result did not change (SAP's `dirty`
 //! flag, see `sap_core`), the delta is the single [`TopKEvent::Unchanged`]
@@ -23,6 +36,8 @@
 //! );
 //! ```
 
+use std::sync::{Arc, OnceLock};
+
 use crate::object::Object;
 
 /// One delta between consecutive top-k emissions of a query.
@@ -37,19 +52,324 @@ pub enum TopKEvent {
     Unchanged,
 }
 
+/// An immutable, refcounted top-k snapshot: the **`Arc` snapshot
+/// contract** of the publish plane.
+///
+/// A session materializes each completed slide's top-k exactly once, into
+/// one `Arc<[Object]>`; that single allocation is then shared by
+/// everything that refers to the emission — the [`SlideResult`] handed to
+/// the caller, the session's retained previous snapshot (the baseline of
+/// the next delta), every `QueryUpdate` a hub fans out, and the
+/// shard-crossing `QueryState` of `ShardedHub::inspect`. Cloning a
+/// `Snapshot` is a refcount bump, never a copy.
+///
+/// Two consequences callers can rely on:
+///
+/// * a slide whose result is **unchanged** re-emits the previous `Arc`
+///   itself ([`Snapshot::ptr_eq`] returns `true` against the prior
+///   emission), so quiet slides allocate nothing;
+/// * the objects are immutable once emitted — a snapshot can be retained,
+///   sent across threads, or compared later without defensive copies.
+///
+/// Derefs to `[Object]` and compares against slices and `Vec<Object>`, so
+/// existing snapshot-consuming code reads unchanged.
+///
+/// ```
+/// use sap_stream::{Object, Snapshot};
+///
+/// let snap = Snapshot::from(vec![Object::new(1, 5.0)]);
+/// let shared = snap.clone(); // refcount bump, no copy
+/// assert!(snap.ptr_eq(&shared));
+/// assert_eq!(snap, vec![Object::new(1, 5.0)]);
+/// assert_eq!(snap.len(), 1);
+/// assert!(Snapshot::empty().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Snapshot(Arc<[Object]>);
+
+impl Snapshot {
+    /// The shared empty snapshot. Allocated once per process, then a
+    /// refcount bump — sessions start from this, so constructing a
+    /// session never allocates for its delta state.
+    pub fn empty() -> Self {
+        static EMPTY: OnceLock<Arc<[Object]>> = OnceLock::new();
+        Snapshot(Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))))
+    }
+
+    /// Materializes a snapshot from a built slice: the **one** copy (and
+    /// one allocation) a changed slide performs.
+    pub fn from_slice(objects: &[Object]) -> Self {
+        if objects.is_empty() {
+            return Snapshot::empty();
+        }
+        Snapshot(Arc::from(objects))
+    }
+
+    /// The snapshot contents, in result order (descending).
+    #[inline]
+    pub fn as_slice(&self) -> &[Object] {
+        &self.0
+    }
+
+    /// Copies the snapshot into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<Object> {
+        self.0.to_vec()
+    }
+
+    /// Whether two snapshots share the same allocation — `true` between a
+    /// quiet slide's emission and the emission before it.
+    #[inline]
+    pub fn ptr_eq(&self, other: &Snapshot) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot::empty()
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = [Object];
+    #[inline]
+    fn deref(&self) -> &[Object] {
+        &self.0
+    }
+}
+
+impl From<Vec<Object>> for Snapshot {
+    fn from(objects: Vec<Object>) -> Self {
+        if objects.is_empty() {
+            return Snapshot::empty();
+        }
+        Snapshot(Arc::from(objects))
+    }
+}
+
+impl From<&[Object]> for Snapshot {
+    fn from(objects: &[Object]) -> Self {
+        Snapshot::from_slice(objects)
+    }
+}
+
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[Object]> for Snapshot {
+    fn eq(&self, other: &[Object]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[Object]> for Snapshot {
+    fn eq(&self, other: &&[Object]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<Object>> for Snapshot {
+    fn eq(&self, other: &Vec<Object>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Snapshot> for Vec<Object> {
+    fn eq(&self, other: &Snapshot) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Snapshot> for [Object] {
+    fn eq(&self, other: &Snapshot) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Snapshot {
+    type Item = &'a Object;
+    type IntoIter = std::slice::Iter<'a, Object>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// The delta stream of one slide, stored inline for the steady-state
+/// shapes.
+///
+/// Most slides emit `[Unchanged]` (one event) or a small churn (an
+/// `Exited`/`Entered` pair or two); an `EventList` keeps up to
+/// [`EventList::INLINE`] events in the [`SlideResult`] itself, touching
+/// the heap only when a slide churns more than that (bursts, first
+/// emissions with large `k`). Derefs to `[TopKEvent]` and compares
+/// against `Vec<TopKEvent>`, so delta-consuming code reads unchanged.
+///
+/// ```
+/// use sap_stream::{EventList, Object, TopKEvent};
+///
+/// let mut events = EventList::new();
+/// events.push(TopKEvent::Entered(Object::new(1, 5.0)));
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events, vec![TopKEvent::Entered(Object::new(1, 5.0))]);
+/// assert!(!events.is_unchanged());
+/// assert!(EventList::unchanged().is_unchanged());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventList {
+    /// Inline storage; `len <= INLINE` means `inline[..len]` is the list.
+    inline: [TopKEvent; EventList::INLINE],
+    /// Number of inline events, or `INLINE + 1` when spilled.
+    len: u8,
+    /// Heap storage once the list outgrows the inline capacity.
+    spill: Vec<TopKEvent>,
+}
+
+impl EventList {
+    /// Number of events stored without a heap allocation — sized so a
+    /// full `Exited`/`Entered` churn at `k ≤ INLINE / 2` stays inline.
+    pub const INLINE: usize = 8;
+    const SPILLED: u8 = (EventList::INLINE as u8) + 1;
+
+    /// An empty list (the delta of an empty result following an empty
+    /// result). No allocation.
+    pub fn new() -> Self {
+        EventList {
+            inline: [TopKEvent::Unchanged; EventList::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// The `[Unchanged]` singleton delta. No allocation.
+    pub fn unchanged() -> Self {
+        let mut events = EventList::new();
+        events.push(TopKEvent::Unchanged);
+        events
+    }
+
+    /// Appends one event, spilling to the heap past
+    /// [`INLINE`](EventList::INLINE).
+    pub fn push(&mut self, event: TopKEvent) {
+        if self.len == Self::SPILLED {
+            self.spill.push(event);
+        } else if (self.len as usize) < Self::INLINE {
+            self.inline[self.len as usize] = event;
+            self.len += 1;
+        } else {
+            self.spill.reserve(Self::INLINE * 2);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(event);
+            self.len = Self::SPILLED;
+        }
+    }
+
+    /// Drops every event, keeping any spilled capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The events as a slice: every `Exited` first, then every `Entered`;
+    /// or exactly `[Unchanged]`; or empty.
+    #[inline]
+    pub fn as_slice(&self) -> &[TopKEvent] {
+        if self.len == Self::SPILLED {
+            &self.spill
+        } else {
+            &self.inline[..self.len as usize]
+        }
+    }
+
+    /// Whether the list is exactly the `[Unchanged]` marker.
+    #[inline]
+    pub fn is_unchanged(&self) -> bool {
+        matches!(self.as_slice(), [TopKEvent::Unchanged])
+    }
+}
+
+impl Default for EventList {
+    fn default() -> Self {
+        EventList::new()
+    }
+}
+
+impl std::ops::Deref for EventList {
+    type Target = [TopKEvent];
+    #[inline]
+    fn deref(&self) -> &[TopKEvent] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for EventList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<TopKEvent>> for EventList {
+    fn eq(&self, other: &Vec<TopKEvent>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<EventList> for Vec<TopKEvent> {
+    fn eq(&self, other: &EventList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[TopKEvent]> for EventList {
+    fn eq(&self, other: &[TopKEvent]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl From<Vec<TopKEvent>> for EventList {
+    fn from(events: Vec<TopKEvent>) -> Self {
+        let mut list = EventList::new();
+        for e in events {
+            list.push(e);
+        }
+        list
+    }
+}
+
+impl FromIterator<TopKEvent> for EventList {
+    fn from_iter<I: IntoIterator<Item = TopKEvent>>(iter: I) -> Self {
+        let mut list = EventList::new();
+        for e in iter {
+            list.push(e);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a EventList {
+    type Item = &'a TopKEvent;
+    type IntoIter = std::slice::Iter<'a, TopKEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One completed slide of a query session: the snapshot plus its deltas.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlideResult {
     /// 0-based index of the slide within the session's lifetime.
     pub slide: u64,
     /// The window's current top-k, descending (the paper's per-slide
-    /// output).
-    pub snapshot: Vec<Object>,
+    /// output), shared refcounted with the session's retained state — see
+    /// the [`Snapshot`] contract.
+    pub snapshot: Snapshot,
     /// Deltas against the previous slide's snapshot: every `Exited` first
     /// (in previous-snapshot order), then every `Entered` (in current
     /// order); or exactly `[Unchanged]`; or empty for the very first
     /// emission of an empty result.
-    pub events: Vec<TopKEvent>,
+    pub events: EventList,
 }
 
 impl SlideResult {
@@ -57,7 +377,7 @@ impl SlideResult {
     /// non-empty result counts as changed; an empty event list (an empty
     /// result following an empty result) does not.
     pub fn changed(&self) -> bool {
-        !self.events.is_empty() && !matches!(self.events.as_slice(), [TopKEvent::Unchanged])
+        !self.events.is_empty() && !self.events.is_unchanged()
     }
 
     /// Iterates the objects that entered the result this slide.
@@ -77,43 +397,79 @@ impl SlideResult {
     }
 }
 
-/// Computes the delta events between two consecutive snapshots.
+/// Reusable id buffers for [`diff_snapshots_into`]: two sorted-id lists
+/// that would otherwise be allocated per diffed slide. Owned by each
+/// session's `SlideScratch`, cleared (capacity retained) on every use —
+/// after warm-up the diff runs entirely on recycled memory.
+#[derive(Debug, Default)]
+pub struct DiffScratch {
+    prev_ids: Vec<u64>,
+    next_ids: Vec<u64>,
+}
+
+/// Computes the delta events between two consecutive snapshots into
+/// `events`, borrowing `scratch` for the membership index instead of
+/// allocating — the pooled core of [`diff_snapshots`].
 ///
 /// `known_unchanged` short-circuits the diff: when the algorithm has
 /// already proved the result identical (e.g. SAP's clean `dirty` flag),
-/// the comparison is skipped entirely and `[Unchanged]` is returned —
+/// the comparison is skipped entirely and `[Unchanged]` is produced —
 /// this is the `O(1)` path for quiet slides. Without that proof the two
 /// snapshots are diffed by object id in `O(k)`.
-pub fn diff_snapshots(prev: &[Object], next: &[Object], known_unchanged: bool) -> Vec<TopKEvent> {
+///
+/// `events` is cleared first; with at most [`EventList::INLINE`] deltas
+/// the call performs **zero** allocations after scratch warm-up.
+pub fn diff_snapshots_into(
+    prev: &[Object],
+    next: &[Object],
+    known_unchanged: bool,
+    scratch: &mut DiffScratch,
+    events: &mut EventList,
+) {
+    events.clear();
     if known_unchanged || prev == next {
-        return if next.is_empty() && prev.is_empty() {
-            Vec::new()
-        } else {
-            vec![TopKEvent::Unchanged]
-        };
+        if !(next.is_empty() && prev.is_empty()) {
+            events.push(TopKEvent::Unchanged);
+        }
+        return;
     }
-    let mut events = Vec::new();
-    // k is small; membership via a sorted id list keeps this allocation-lean
-    let mut next_ids: Vec<u64> = next.iter().map(|o| o.id).collect();
-    next_ids.sort_unstable();
-    let mut prev_ids: Vec<u64> = prev.iter().map(|o| o.id).collect();
-    prev_ids.sort_unstable();
+    // k is small; membership via sorted id lists keeps this allocation-free
+    scratch.next_ids.clear();
+    scratch.next_ids.extend(next.iter().map(|o| o.id));
+    scratch.next_ids.sort_unstable();
+    scratch.prev_ids.clear();
+    scratch.prev_ids.extend(prev.iter().map(|o| o.id));
+    scratch.prev_ids.sort_unstable();
+    let mut any = false;
     for o in prev {
-        if next_ids.binary_search(&o.id).is_err() {
+        if scratch.next_ids.binary_search(&o.id).is_err() {
             events.push(TopKEvent::Exited(*o));
+            any = true;
         }
     }
     for o in next {
-        if prev_ids.binary_search(&o.id).is_err() {
+        if scratch.prev_ids.binary_search(&o.id).is_err() {
             events.push(TopKEvent::Entered(*o));
+            any = true;
         }
     }
-    if events.is_empty() {
+    if !any {
         // same membership, possibly reordered — the result order is total,
         // so identical membership implies an identical sequence
         events.push(TopKEvent::Unchanged);
     }
-    events
+}
+
+/// Computes the delta events between two consecutive snapshots.
+///
+/// Convenience wrapper over [`diff_snapshots_into`] that allocates its
+/// own scratch — fine for one-off comparisons; the sessions use the
+/// pooled form on their hot path.
+pub fn diff_snapshots(prev: &[Object], next: &[Object], known_unchanged: bool) -> Vec<TopKEvent> {
+    let mut scratch = DiffScratch::default();
+    let mut events = EventList::new();
+    diff_snapshots_into(prev, next, known_unchanged, &mut scratch, &mut events);
+    events.as_slice().to_vec()
 }
 
 #[cfg(test)]
@@ -171,8 +527,8 @@ mod tests {
         assert!(diff_snapshots(&[], &[], true).is_empty());
         let r = SlideResult {
             slide: 0,
-            snapshot: Vec::new(),
-            events: Vec::new(),
+            snapshot: Snapshot::empty(),
+            events: EventList::new(),
         };
         assert!(!r.changed(), "empty-to-empty is not a change");
     }
@@ -183,17 +539,113 @@ mod tests {
         let next = vec![o(2, 6.0)];
         let r = SlideResult {
             slide: 7,
-            snapshot: next.clone(),
-            events: diff_snapshots(&prev, &next, false),
+            snapshot: Snapshot::from(next.clone()),
+            events: diff_snapshots(&prev, &next, false).into(),
         };
         assert!(r.changed());
         assert_eq!(r.entered().copied().collect::<Vec<_>>(), next);
         assert_eq!(r.exited().copied().collect::<Vec<_>>(), prev);
         let quiet = SlideResult {
             slide: 8,
-            snapshot: next.clone(),
-            events: vec![TopKEvent::Unchanged],
+            snapshot: Snapshot::from(next.clone()),
+            events: EventList::unchanged(),
         };
         assert!(!quiet.changed());
+    }
+
+    #[test]
+    fn snapshot_sharing_and_equality() {
+        let objs = vec![o(1, 5.0), o(2, 3.0)];
+        let snap = Snapshot::from(objs.clone());
+        let shared = snap.clone();
+        assert!(snap.ptr_eq(&shared), "clone must share the allocation");
+        assert_eq!(snap, shared);
+        assert_eq!(snap, objs);
+        assert_eq!(objs, snap);
+        assert_eq!(snap, objs.as_slice());
+        assert_eq!(snap.as_slice(), &objs[..]);
+        assert_eq!(snap.to_vec(), objs);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], objs[0]);
+        assert_eq!((&snap).into_iter().count(), 2);
+        // distinct allocations with equal content still compare equal
+        assert_eq!(snap, Snapshot::from(objs.clone()));
+        // the empty snapshot is one shared allocation
+        assert!(Snapshot::empty().ptr_eq(&Snapshot::empty()));
+        assert!(Snapshot::default().is_empty());
+        assert!(Snapshot::from(Vec::new()).ptr_eq(&Snapshot::empty()));
+        assert!(Snapshot::from_slice(&[]).ptr_eq(&Snapshot::empty()));
+    }
+
+    #[test]
+    fn event_list_inlines_then_spills() {
+        let mut list = EventList::new();
+        assert!(list.is_empty());
+        assert!(!list.is_unchanged());
+        for i in 0..EventList::INLINE {
+            list.push(TopKEvent::Entered(o(i as u64, i as f64)));
+            assert_eq!(list.len(), i + 1);
+        }
+        // one past the inline capacity spills, preserving order
+        list.push(TopKEvent::Exited(o(99, 0.0)));
+        assert_eq!(list.len(), EventList::INLINE + 1);
+        let expect: Vec<TopKEvent> = (0..EventList::INLINE)
+            .map(|i| TopKEvent::Entered(o(i as u64, i as f64)))
+            .chain([TopKEvent::Exited(o(99, 0.0))])
+            .collect();
+        assert_eq!(list, expect);
+        // keep growing past the spill point
+        list.push(TopKEvent::Unchanged);
+        assert_eq!(list.len(), EventList::INLINE + 2);
+        assert_eq!(list.as_slice().last(), Some(&TopKEvent::Unchanged));
+        // clear resets to the inline representation
+        list.clear();
+        assert!(list.is_empty());
+        list.push(TopKEvent::Unchanged);
+        assert!(list.is_unchanged());
+        assert_eq!(list, EventList::unchanged());
+        assert_eq!(EventList::default().len(), 0);
+    }
+
+    #[test]
+    fn event_list_conversions() {
+        let events = vec![TopKEvent::Exited(o(1, 1.0)), TopKEvent::Entered(o(2, 2.0))];
+        let list: EventList = events.clone().into();
+        assert_eq!(list, events);
+        let collected: EventList = events.iter().copied().collect();
+        assert_eq!(collected, events);
+        assert_eq!(list.iter().count(), 2);
+        assert_eq!((&list).into_iter().count(), 2);
+        assert_eq!(list, events.as_slice()[..]);
+    }
+
+    #[test]
+    fn diff_into_reuses_scratch_and_clears_events() {
+        let mut scratch = DiffScratch::default();
+        let mut events = EventList::unchanged();
+        let prev = vec![o(1, 5.0), o(2, 4.0)];
+        let next = vec![o(3, 6.0), o(1, 5.0)];
+        diff_snapshots_into(&prev, &next, false, &mut scratch, &mut events);
+        assert_eq!(
+            events,
+            vec![TopKEvent::Exited(o(2, 4.0)), TopKEvent::Entered(o(3, 6.0))]
+        );
+        // a second diff on the same scratch must not leak prior state
+        diff_snapshots_into(&next, &next, false, &mut scratch, &mut events);
+        assert!(events.is_unchanged());
+        diff_snapshots_into(&[], &[], false, &mut scratch, &mut events);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn reordered_same_membership_is_unchanged() {
+        // can't happen under the total result order, but the diff must
+        // stay honest about membership-only comparison
+        let prev = vec![o(1, 5.0), o(2, 5.0)];
+        let next = vec![o(2, 5.0), o(1, 5.0)];
+        assert_eq!(
+            diff_snapshots(&prev, &next, false),
+            vec![TopKEvent::Unchanged]
+        );
     }
 }

@@ -93,16 +93,21 @@ pub mod shard;
 mod test_support;
 pub mod window;
 
-pub use digest::{DigestProducer, DigestRef, SharedTimed, SlideDigest};
+pub use digest::{DigestProducer, DigestRef, DigestView, SharedTimed, SlideDigest};
 pub use driver::{checksum_fold, run, run_collecting, RunSummary, CHECKSUM_SEED};
-pub use events::{diff_snapshots, SlideResult, TopKEvent};
+pub use events::{
+    diff_snapshots, diff_snapshots_into, DiffScratch, EventList, SlideResult, Snapshot, TopKEvent,
+};
 pub use generators::{ArrivalProcess, Dataset, Workload};
 pub use metrics::OpStats;
 pub use object::{Object, ScoreKey, TimedObject};
 pub use query::{AlgorithmKind, Query, QuerySpec, SapError, SapPolicy, TimedSpec};
 pub use registry::HubStats;
 pub use session::{
-    AnySession, Hub, HubSession, QueryId, QueryUpdate, Session, SharedSession, TimedSession,
+    AnySession, Hub, HubSession, QueryId, QueryUpdate, Session, SharedSession, SlideScratch,
+    TimedSession,
 };
-pub use shard::{QueryState, ShardSession, ShardedHub, DEFAULT_QUEUE_CAPACITY};
+pub use shard::{
+    QueryState, ShardSession, ShardedHub, DEFAULT_QUEUE_CAPACITY, PUBLISH_ONE_COALESCE,
+};
 pub use window::{Ingest, SlidingTopK, SpecError, TimedIngest, TimedTopK, WindowSpec};

@@ -108,6 +108,18 @@ pub(crate) struct Registry<C: SlidingTopK, T: TimedTopK> {
     groups: HashMap<u64, DigestGroup>,
     digest_hits: u64,
     digest_rebuilds: u64,
+    /// Pooled untimed view of a timed batch (for count-based sessions).
+    plain_buf: Vec<Object>,
+    /// Recent high-water mark of updates per publish call — the capacity
+    /// the next returned `Vec<QueryUpdate>` is pre-sized to once its
+    /// first result arrives, so steady-state publishes reallocate the
+    /// output at most once instead of log₂(len) times. A publish that
+    /// completes no slides never allocates the output at all, and the
+    /// hint **decays** (halving per update-emitting call while above the
+    /// observed size — see `note_update_hint`), so one catch-up burst —
+    /// a watermark jump closing thousands of slides — cannot inflate
+    /// every later publish's reservation for the hub's lifetime.
+    update_hint: usize,
 }
 
 impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
@@ -117,7 +129,38 @@ impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
             groups: HashMap::new(),
             digest_hits: 0,
             digest_rebuilds: 0,
+            plain_buf: Vec::new(),
+            update_hint: 0,
         }
+    }
+}
+
+/// The tagged-update sink every publish path hands its sessions: pushes
+/// each emitted [`SlideResult`] straight into the output as a
+/// `QueryUpdate`, pre-sizing the output from the retained hint on the
+/// first (and typically only) allocation. One definition, so the three
+/// publish paths can never diverge on the reservation policy.
+fn tagged_sink<'a>(
+    out: &'a mut Vec<QueryUpdate>,
+    hint: usize,
+    query: QueryId,
+) -> impl FnMut(SlideResult) + 'a {
+    move |result| {
+        if out.capacity() == 0 {
+            out.reserve(hint.max(1));
+        }
+        out.push(QueryUpdate { query, result });
+    }
+}
+
+/// Folds one publish call's update count into the retained hint: track
+/// the recent high-water mark, halving while above it so a catch-up
+/// burst decays instead of inflating every later reservation. A call
+/// that emitted nothing (a buffering-only chunk, or a path with no
+/// eligible sessions) is not an observation and leaves the hint alone.
+fn note_update_hint(hint: &mut usize, emitted: usize) {
+    if emitted > 0 {
+        *hint = emitted.max(*hint / 2);
     }
 }
 
@@ -197,18 +240,26 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// Fans an untimed batch out to every count-based session. Time-based
     /// sessions (isolated and shared) carry no event time here and do not
     /// advance.
+    ///
+    /// The empty fast path (no sessions, or an empty batch) returns
+    /// without touching the heap, and sessions emit their completed
+    /// slides straight into tagged updates through the sink closure —
+    /// each result moves once, and the returned `Vec` is the only
+    /// per-call allocation, pre-sized from the retained hint and skipped
+    /// entirely when no slide completed.
     pub(crate) fn publish(&mut self, objects: &[Object]) -> Vec<QueryUpdate> {
-        if self.sessions.is_empty() {
+        if self.sessions.is_empty() || objects.is_empty() {
             return Vec::new();
         }
         let mut out = Vec::new();
+        let hint = self.update_hint;
         for (id, session) in &mut self.sessions {
             if let AnySession::Count(session) = session {
-                for result in session.push(objects) {
-                    out.push(QueryUpdate { query: *id, result });
-                }
+                let mut sink = tagged_sink(&mut out, hint, *id);
+                session.push_each(objects, &mut sink);
             }
         }
+        note_update_hint(&mut self.update_hint, out.len());
         out
     }
 
@@ -221,17 +272,25 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         if self.sessions.is_empty() || objects.is_empty() {
             return Vec::new();
         }
-        // strip the timestamps once, not once per count-based session
-        let plain: Vec<Object> = if self
-            .sessions
+        let Registry {
+            sessions,
+            groups,
+            digest_hits,
+            digest_rebuilds,
+            plain_buf,
+            update_hint,
+        } = self;
+        // strip the timestamps once, not once per count-based session —
+        // into the pooled buffer, so steady-state publishes reuse its
+        // capacity instead of allocating a fresh Vec per call
+        plain_buf.clear();
+        if sessions
             .iter()
             .any(|(_, s)| matches!(s, AnySession::Count(_)))
         {
-            objects.iter().map(TimedObject::untimed).collect()
-        } else {
-            Vec::new()
-        };
-        let closed = Self::close_groups(&mut self.groups, |producer| {
+            plain_buf.extend(objects.iter().map(TimedObject::untimed));
+        }
+        let closed = Self::close_groups(groups, |producer| {
             let mut digests = Vec::new();
             for &o in objects {
                 digests.extend(producer.ingest(o));
@@ -239,23 +298,24 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digests
         });
         let mut out = Vec::new();
-        for (id, session) in &mut self.sessions {
-            let results = match session {
-                AnySession::Count(session) => session.push(&plain),
-                AnySession::Timed(session) => session.push_timed(objects),
+        let hint = *update_hint;
+        for (id, session) in sessions.iter_mut() {
+            let mut sink = tagged_sink(&mut out, hint, *id);
+            match session {
+                AnySession::Count(session) => session.push_each(plain_buf, &mut sink),
+                AnySession::Timed(session) => session.push_timed_each(objects, &mut sink),
                 AnySession::Shared(session) => Self::serve_shared(
-                    &mut self.digest_hits,
-                    &mut self.digest_rebuilds,
+                    digest_hits,
+                    digest_rebuilds,
                     session,
                     &closed,
-                    |s| s.push_warmup(objects),
+                    &mut sink,
+                    |s, f| s.push_warmup(objects, f),
                 ),
-            };
-            for result in results {
-                out.push(QueryUpdate { query: *id, result });
             }
         }
-        self.promote_ready();
+        note_update_hint(update_hint, out.len());
+        Self::promote_ready(sessions, groups);
         out
     }
 
@@ -263,26 +323,37 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// groups advance once, members consume the closed digests, isolated
     /// sessions advance privately. Count-based sessions are untouched.
     pub(crate) fn advance_time(&mut self, watermark: u64) -> Vec<QueryUpdate> {
-        let closed =
-            Self::close_groups(&mut self.groups, |producer| producer.advance_to(watermark));
+        if self.sessions.is_empty() {
+            return Vec::new();
+        }
+        let Registry {
+            sessions,
+            groups,
+            digest_hits,
+            digest_rebuilds,
+            update_hint,
+            ..
+        } = self;
+        let closed = Self::close_groups(groups, |producer| producer.advance_to(watermark));
         let mut out = Vec::new();
-        for (id, session) in &mut self.sessions {
-            let results = match session {
+        let hint = *update_hint;
+        for (id, session) in sessions.iter_mut() {
+            let mut sink = tagged_sink(&mut out, hint, *id);
+            match session {
                 AnySession::Count(_) => continue,
-                AnySession::Timed(session) => session.advance_watermark(watermark),
+                AnySession::Timed(session) => session.advance_watermark_each(watermark, &mut sink),
                 AnySession::Shared(session) => Self::serve_shared(
-                    &mut self.digest_hits,
-                    &mut self.digest_rebuilds,
+                    digest_hits,
+                    digest_rebuilds,
                     session,
                     &closed,
-                    |s| s.advance_warmup(watermark),
+                    &mut sink,
+                    |s, f| s.advance_warmup(watermark, f),
                 ),
-            };
-            for result in results {
-                out.push(QueryUpdate { query: *id, result });
             }
         }
-        self.promote_ready();
+        note_update_hint(update_hint, out.len());
+        Self::promote_ready(sessions, groups);
         out
     }
 
@@ -303,40 +374,43 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         closed
     }
 
-    /// Serves one shared session its slides for this call: the private
-    /// warm-up view (counted as rebuilds) while it is catching up, its
-    /// group's closed digests (counted as hits) once promoted. One copy
-    /// of the hit/rebuild accounting for both the publish and the
-    /// watermark path, so `HubStats` can never drift between them.
+    /// Serves one shared session its slides for this call, emitting them
+    /// through the caller's sink: the private warm-up view (counted as
+    /// rebuilds) while it is catching up, its group's closed digests
+    /// (counted as hits) once promoted. One copy of the hit/rebuild
+    /// accounting for both the publish and the watermark path, so
+    /// `HubStats` can never drift between them.
     fn serve_shared(
         hits: &mut u64,
         rebuilds: &mut u64,
         session: &mut SharedSession<C>,
         closed: &HashMap<u64, Vec<DigestRef>>,
-        warmup: impl FnOnce(&mut SharedSession<C>) -> Vec<SlideResult>,
-    ) -> Vec<SlideResult> {
+        sink: &mut dyn FnMut(SlideResult),
+        warmup: impl FnOnce(&mut SharedSession<C>, &mut dyn FnMut(SlideResult)),
+    ) {
         if session.is_warming_up() {
-            let results = warmup(session);
-            *rebuilds += results.len() as u64;
-            results
-        } else {
-            match closed.get(&session.slide_duration()) {
-                Some(digests) => {
-                    *hits += digests.len() as u64;
-                    session.apply_digests(digests)
-                }
-                None => Vec::new(),
-            }
+            let mut served = 0u64;
+            warmup(session, &mut |result| {
+                served += 1;
+                sink(result);
+            });
+            *rebuilds += served;
+        } else if let Some(digests) = closed.get(&session.slide_duration()) {
+            *hits += digests.len() as u64;
+            session.apply_digests(digests, sink);
         }
     }
 
     /// Promotes every warm-up member whose group has closed the slide it
     /// joined during: both producers processed the same timestamps, so
     /// from the next slide on the private and shared views are identical.
-    fn promote_ready(&mut self) {
-        for (_, session) in &mut self.sessions {
+    fn promote_ready(
+        sessions: &mut [(QueryId, AnySession<C, T>)],
+        groups: &HashMap<u64, DigestGroup>,
+    ) {
+        for (_, session) in sessions {
             if let AnySession::Shared(s) = session {
-                if let Some(group) = self.groups.get(&s.slide_duration()) {
+                if let Some(group) = groups.get(&s.slide_duration()) {
                     s.maybe_promote(group.producer.next_slide());
                 }
             }

@@ -20,6 +20,17 @@
 //! timestamps instead of arrival counts, and both hubs serve the two
 //! models side by side (see [`Hub::publish_timed`]).
 //!
+//! ## Memory discipline
+//!
+//! Slide completion is the publish path's innermost loop — at hundreds of
+//! standing queries it runs thousands of times per published chunk — so
+//! every session keeps a [`SlideScratch`] and emits
+//! [`Snapshot`]-shared results: a completed
+//! slide performs **at most one** allocation (the shared `Arc` snapshot,
+//! only when the result actually changed) and a quiet slide performs
+//! none, re-emitting the previous `Arc`. See the
+//! [`events`](crate::events) module for the snapshot contract.
+//!
 //! ```
 //! use sap_stream::{Hub, Ingest, Object};
 //! # use sap_stream::{OpStats, SlidingTopK, WindowSpec};
@@ -41,15 +52,105 @@
 //! ```
 
 use crate::digest::{DigestProducer, DigestRef, SharedTimed};
-use crate::events::{diff_snapshots, SlideResult};
+use crate::events::{diff_snapshots_into, EventList, SlideResult, Snapshot};
 use crate::object::{Object, TimedObject};
 use crate::query::{SapError, TimedSpec};
 use crate::registry::{HubStats, Registry};
 use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
 
+/// Reusable per-session buffers for slide completion — the pooled half of
+/// the zero-allocation publish path.
+///
+/// Every session owns one `SlideScratch` and recycles it across slides:
+///
+/// * the **snapshot stage**: the buffer a slide's translated top-k is
+///   built into before it is either published as a fresh
+///   [`Snapshot`] (one `Arc` allocation, only
+///   when the result changed) or discarded in favour of re-emitting the
+///   previous `Arc` (a quiet slide — zero allocations);
+/// * the **diff scratch**: the two sorted-id buffers
+///   [`diff_snapshots_into`] borrows
+///   instead of allocating per slide.
+///
+/// After the first few slides warm the buffers to their steady-state
+/// capacity, completing a slide performs **zero transient allocations**:
+/// the only heap activity left is the emitted `Arc` snapshot itself, and
+/// only on slides whose result changed. The allocation-regression test
+/// (`tests/alloc_regression.rs`) pins this invariant, and the
+/// `experiments hotpath` bench preset measures it end to end.
+#[derive(Debug, Default)]
+pub struct SlideScratch {
+    /// Build buffer for the slide's translated snapshot.
+    snapshot: Vec<Object>,
+    /// Sorted-id membership buffers for the delta diff.
+    diff: crate::events::DiffScratch,
+}
+
+impl SlideScratch {
+    /// Fresh, empty scratch (buffers grow to steady-state capacity over
+    /// the first slides and are then recycled).
+    pub fn new() -> Self {
+        SlideScratch::default()
+    }
+
+    /// Stages the untimed view of a timed snapshot into the build buffer.
+    fn stage_timed(&mut self, snapshot: &[TimedObject]) {
+        self.snapshot.clear();
+        self.snapshot
+            .extend(snapshot.iter().map(TimedObject::untimed));
+    }
+}
+
+/// The one slide-emission routine shared by every session flavor:
+/// converts the snapshot staged in `scratch` into a [`SlideResult`]
+/// against `prev`, advancing the slide counter.
+///
+/// `known_unchanged` is the engine's `O(1)` no-change proof (SAP's
+/// `dirty` flag); with it the diff is skipped outright. When the slide
+/// is *provably* identical to the previous one — the engine's proof, an
+/// empty-to-empty slide, or a byte-equal snapshot — the previous `Arc`
+/// is re-emitted, so quiet slides allocate nothing; otherwise the staged
+/// buffer materializes into one fresh shared `Arc`. The content check
+/// matters beyond saving the allocation: the delta diff pairs objects by
+/// external id, so a caller who reuses an id inside one window (the docs
+/// ask for uniqueness, but nothing rejects it) can produce an
+/// `[Unchanged]` delta over *changed* contents — the emitted snapshot
+/// must still be the fresh one.
+fn emit_staged(
+    prev: &mut Snapshot,
+    slides: &mut u64,
+    scratch: &mut SlideScratch,
+    known_unchanged: bool,
+) -> SlideResult {
+    let mut events = EventList::new();
+    diff_snapshots_into(
+        prev,
+        &scratch.snapshot,
+        known_unchanged,
+        &mut scratch.diff,
+        &mut events,
+    );
+    let proven_identical = known_unchanged
+        || events.is_empty()
+        || (events.is_unchanged() && prev.as_slice() == scratch.snapshot.as_slice());
+    let snapshot = if proven_identical {
+        prev.clone()
+    } else {
+        Snapshot::from_slice(&scratch.snapshot)
+    };
+    let result = SlideResult {
+        slide: *slides,
+        snapshot: snapshot.clone(),
+        events,
+    };
+    *prev = snapshot;
+    *slides += 1;
+    result
+}
+
 /// A session: one algorithm instance plus the ingestion buffer, the id
-/// translation ring, and the previous emission used for delta
-/// computation.
+/// translation ring, the previous emission used for delta computation,
+/// and the pooled [`SlideScratch`].
 ///
 /// ## External ids vs arrival ordinals
 ///
@@ -69,7 +170,7 @@ use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
 pub struct Session<A: SlidingTopK> {
     alg: A,
     pending: Vec<Object>,
-    prev: Vec<Object>,
+    prev: Snapshot,
     slides: u64,
     /// Total objects ever pushed = the next internal arrival ordinal.
     next_ordinal: u64,
@@ -77,6 +178,7 @@ pub struct Session<A: SlidingTopK> {
     /// spans `n + s` ordinals, covering every object an emission can
     /// reference.
     ring: Vec<u64>,
+    scratch: SlideScratch,
 }
 
 impl<A: SlidingTopK> Session<A> {
@@ -85,10 +187,11 @@ impl<A: SlidingTopK> Session<A> {
         let spec = alg.spec();
         Session {
             pending: Vec::with_capacity(spec.s),
-            prev: Vec::new(),
+            prev: Snapshot::empty(),
             slides: 0,
             next_ordinal: 0,
             ring: vec![0; spec.n + spec.s],
+            scratch: SlideScratch::new(),
             alg,
         }
     }
@@ -114,57 +217,88 @@ impl<A: SlidingTopK> Session<A> {
         &self.prev
     }
 
+    /// The most recent emission as a refcounted [`Snapshot`] — shares the
+    /// allocation of the [`SlideResult`] that carried it (see the
+    /// snapshot contract in [`events`](crate::events)).
+    pub fn last_snapshot_shared(&self) -> Snapshot {
+        self.prev.clone()
+    }
+
     /// Unwraps the session, discarding any buffered objects.
     pub fn into_inner(self) -> A {
         self.alg
     }
 
+    /// Renumbers one arrival to its ordinal, recording the external id in
+    /// the translation ring, and buffers it. Never allocates: `pending`
+    /// was sized to `s` at construction and the ring is fixed.
+    #[inline]
+    fn buffer_one(&mut self, o: &Object) {
+        let cap = self.ring.len() as u64;
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        self.ring[(ordinal % cap) as usize] = o.id;
+        self.pending.push(Object::new(ordinal, o.score));
+    }
+
     /// Feeds the full pending buffer (exactly `s` renumbered objects) to
-    /// the engine and translates the emission back to external ids.
+    /// the engine and translates the emission back to external ids —
+    /// staged in the pooled scratch, so the only possible allocation is
+    /// the shared `Arc` snapshot of a *changed* result.
     fn complete_slide(&mut self) -> SlideResult {
         let cap = self.ring.len() as u64;
-        let snapshot: Vec<Object> = self
-            .alg
-            .slide(&self.pending)
-            .iter()
-            .map(|o| Object::new(self.ring[(o.id % cap) as usize], o.score))
-            .collect();
+        {
+            let top = self.alg.slide(&self.pending);
+            self.scratch.snapshot.clear();
+            let ring = &self.ring;
+            self.scratch.snapshot.extend(
+                top.iter()
+                    .map(|o| Object::new(ring[(o.id % cap) as usize], o.score)),
+            );
+        }
         self.pending.clear();
-        let events = diff_snapshots(&self.prev, &snapshot, !self.alg.last_slide_changed());
-        let result = SlideResult {
-            slide: self.slides,
-            snapshot: snapshot.clone(),
-            events,
-        };
-        self.prev = snapshot;
-        self.slides += 1;
-        result
+        let quiet = !self.alg.last_slide_changed();
+        emit_staged(&mut self.prev, &mut self.slides, &mut self.scratch, quiet)
     }
 }
 
 impl<A: SlidingTopK> Ingest for Session<A> {
     fn push(&mut self, objects: &[Object]) -> Vec<SlideResult> {
-        let s = self.alg.spec().s;
-        let cap = self.ring.len() as u64;
         let mut out = Vec::new();
+        self.push_into(objects, &mut out);
+        out
+    }
+
+    fn push_each(&mut self, objects: &[Object], f: &mut dyn FnMut(SlideResult)) {
+        let s = self.alg.spec().s;
         let mut rest = objects;
         loop {
             // renumber one slide's worth at a time so the ring always
             // covers every ordinal the next emission can reference
             let take = (s - self.pending.len()).min(rest.len());
             for o in &rest[..take] {
-                let ordinal = self.next_ordinal;
-                self.next_ordinal += 1;
-                self.ring[(ordinal % cap) as usize] = o.id;
-                self.pending.push(Object::new(ordinal, o.score));
+                self.buffer_one(o);
             }
             rest = &rest[take..];
             if self.pending.len() == s {
-                out.push(self.complete_slide());
+                f(self.complete_slide());
             }
             if rest.is_empty() {
-                return out;
+                return;
             }
+        }
+    }
+
+    /// The buffering fast path: an object that does not complete a slide
+    /// is renumbered into the pre-sized pending buffer and the call
+    /// returns `None` **without touching the heap** — unlike the default,
+    /// which routes through the batch path's output `Vec`.
+    fn push_one(&mut self, object: Object) -> Option<SlideResult> {
+        self.buffer_one(&object);
+        if self.pending.len() == self.alg.spec().s {
+            Some(self.complete_slide())
+        } else {
+            None
         }
     }
 
@@ -196,8 +330,9 @@ impl<A: SlidingTopK> Ingest for Session<A> {
 #[derive(Debug)]
 pub struct TimedSession<E: TimedTopK> {
     engine: E,
-    prev: Vec<Object>,
+    prev: Snapshot,
     slides: u64,
+    scratch: SlideScratch,
 }
 
 impl<E: TimedTopK> TimedSession<E> {
@@ -205,8 +340,9 @@ impl<E: TimedTopK> TimedSession<E> {
     pub fn new(engine: E) -> Self {
         TimedSession {
             engine,
-            prev: Vec::new(),
+            prev: Snapshot::empty(),
             slides: 0,
+            scratch: SlideScratch::new(),
         }
     }
 
@@ -235,60 +371,65 @@ impl<E: TimedTopK> TimedSession<E> {
         &self.prev
     }
 
+    /// The most recent emission as a refcounted [`Snapshot`].
+    pub fn last_snapshot_shared(&self) -> Snapshot {
+        self.prev.clone()
+    }
+
     /// Unwraps the session, discarding the delta state.
     pub fn into_inner(self) -> E {
         self.engine
     }
-
-    /// Converts one engine snapshot into a [`SlideResult`] against the
-    /// previous emission.
-    fn emit(&mut self, snapshot: Vec<TimedObject>) -> SlideResult {
-        emit_timed_snapshot(&mut self.prev, &mut self.slides, snapshot)
-    }
-}
-
-/// The delta emission shared by [`TimedSession`] and [`SharedSession`]:
-/// converts one timed snapshot into a [`SlideResult`] against `prev`,
-/// advancing the slide counter. One definition, so the two time-based
-/// session flavors can never emit differently shaped results.
-///
-/// Engines close slides eagerly inside one ingest call, so a per-slide
-/// dirty flag is not observable here; the O(k) diff is the honest cost
-/// (k is small).
-fn emit_timed_snapshot(
-    prev: &mut Vec<Object>,
-    slides: &mut u64,
-    snapshot: Vec<TimedObject>,
-) -> SlideResult {
-    let snapshot: Vec<Object> = snapshot.iter().map(TimedObject::untimed).collect();
-    let events = diff_snapshots(prev, &snapshot, false);
-    let result = SlideResult {
-        slide: *slides,
-        snapshot: snapshot.clone(),
-        events,
-    };
-    *prev = snapshot;
-    *slides += 1;
-    result
 }
 
 impl<E: TimedTopK> TimedIngest for TimedSession<E> {
     fn push_timed(&mut self, objects: &[TimedObject]) -> Vec<SlideResult> {
         let mut out = Vec::new();
-        for &o in objects {
-            for snapshot in self.engine.ingest(o) {
-                out.push(self.emit(snapshot));
-            }
-        }
+        self.push_timed_into(objects, &mut out);
         out
     }
 
+    /// Slides travel the engine's borrow-based visitor
+    /// ([`TimedTopK::ingest_each`]) straight into the pooled scratch and
+    /// out through `f` in one move: with a pooled engine
+    /// (`TimeBased<E>`) the only heap activity per completed slide is
+    /// the shared `Arc` snapshot of a *changed* result. Engines close
+    /// slides eagerly inside one ingest call, so a per-slide dirty flag
+    /// is not observable here; the O(k) diff is the honest cost (k is
+    /// small), and an unchanged outcome still re-emits the previous
+    /// `Arc`.
+    fn push_timed_each(&mut self, objects: &[TimedObject], f: &mut dyn FnMut(SlideResult)) {
+        let TimedSession {
+            engine,
+            prev,
+            slides,
+            scratch,
+        } = self;
+        for &o in objects {
+            engine.ingest_each(o, &mut |snapshot| {
+                scratch.stage_timed(snapshot);
+                f(emit_staged(prev, slides, scratch, false));
+            });
+        }
+    }
+
     fn advance_watermark(&mut self, watermark: u64) -> Vec<SlideResult> {
-        self.engine
-            .advance_to(watermark)
-            .into_iter()
-            .map(|snapshot| self.emit(snapshot))
-            .collect()
+        let mut out = Vec::new();
+        self.advance_watermark_into(watermark, &mut out);
+        out
+    }
+
+    fn advance_watermark_each(&mut self, watermark: u64, f: &mut dyn FnMut(SlideResult)) {
+        let TimedSession {
+            engine,
+            prev,
+            slides,
+            scratch,
+        } = self;
+        engine.advance_to_each(watermark, &mut |snapshot| {
+            scratch.stage_timed(snapshot);
+            f(emit_staged(prev, slides, scratch, false));
+        });
     }
 
     fn pending(&self) -> usize {
@@ -314,8 +455,9 @@ impl<E: TimedTopK> TimedIngest for TimedSession<E> {
 pub struct SharedSession<C: SlidingTopK> {
     consumer: SharedTimed<C>,
     warmup: Option<Warmup>,
-    prev: Vec<Object>,
+    prev: Snapshot,
     slides: u64,
+    scratch: SlideScratch,
 }
 
 /// The private catch-up view of a freshly joined shared session.
@@ -340,8 +482,9 @@ impl<C: SlidingTopK> SharedSession<C> {
         SharedSession {
             consumer,
             warmup,
-            prev: Vec::new(),
+            prev: Snapshot::empty(),
             slides: 0,
+            scratch: SlideScratch::new(),
         }
     }
 
@@ -380,6 +523,11 @@ impl<C: SlidingTopK> SharedSession<C> {
         &self.prev
     }
 
+    /// The most recent emission as a refcounted [`Snapshot`].
+    pub fn last_snapshot_shared(&self) -> Snapshot {
+        self.prev.clone()
+    }
+
     /// Whether the session is still catching up on its private view (a
     /// mid-stream join whose group slide has not closed yet).
     pub fn is_warming_up(&self) -> bool {
@@ -393,36 +541,42 @@ impl<C: SlidingTopK> SharedSession<C> {
 
     /// Applies a run of closed digests — the group's, or during warm-up
     /// the private producer's (the hub guarantees they are gap-free and
-    /// in slide order either way).
-    pub(crate) fn apply_digests(&mut self, digests: &[DigestRef]) -> Vec<SlideResult> {
-        digests
-            .iter()
-            .map(|d| {
-                let snapshot = self.consumer.apply_digest(d);
-                emit_timed_snapshot(&mut self.prev, &mut self.slides, snapshot)
-            })
-            .collect()
+    /// in slide order either way) — handing one [`SlideResult`] per
+    /// digest to `f`. The digest's `Arc` is borrowed, the consumer's
+    /// reduction output is staged in the pooled scratch: a quiet slide
+    /// costs zero allocations.
+    pub(crate) fn apply_digests(&mut self, digests: &[DigestRef], f: &mut dyn FnMut(SlideResult)) {
+        for d in digests {
+            let snapshot = self.consumer.apply_digest(d);
+            self.scratch.stage_timed(snapshot);
+            f(emit_staged(
+                &mut self.prev,
+                &mut self.slides,
+                &mut self.scratch,
+                false,
+            ));
+        }
     }
 
     /// Warm-up ingestion: feeds the raw batch to the private producer and
     /// applies whatever slides it closes.
-    pub(crate) fn push_warmup(&mut self, objects: &[TimedObject]) -> Vec<SlideResult> {
+    pub(crate) fn push_warmup(&mut self, objects: &[TimedObject], f: &mut dyn FnMut(SlideResult)) {
         let warmup = self.warmup.as_mut().expect("push_warmup requires warm-up");
         let mut digests = Vec::new();
         for &o in objects {
             digests.extend(warmup.producer.ingest(o));
         }
-        self.apply_digests(&digests)
+        self.apply_digests(&digests, f);
     }
 
     /// Warm-up watermark: closes private slides up to `watermark`.
-    pub(crate) fn advance_warmup(&mut self, watermark: u64) -> Vec<SlideResult> {
+    pub(crate) fn advance_warmup(&mut self, watermark: u64, f: &mut dyn FnMut(SlideResult)) {
         let warmup = self
             .warmup
             .as_mut()
             .expect("advance_warmup requires warm-up");
         let digests = warmup.producer.advance_to(watermark);
-        self.apply_digests(&digests)
+        self.apply_digests(&digests, f);
     }
 
     /// Ends warm-up once the group has closed the join slide: from
@@ -476,6 +630,17 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
             AnySession::Count(s) => s.last_snapshot(),
             AnySession::Timed(s) => s.last_snapshot(),
             AnySession::Shared(s) => s.last_snapshot(),
+        }
+    }
+
+    /// The most recent emission as a refcounted [`Snapshot`] — the same
+    /// allocation the emitting [`SlideResult`] carried, so crossing a
+    /// shard boundary with it copies nothing.
+    pub fn last_snapshot_shared(&self) -> Snapshot {
+        match self {
+            AnySession::Count(s) => s.last_snapshot_shared(),
+            AnySession::Timed(s) => s.last_snapshot_shared(),
+            AnySession::Shared(s) => s.last_snapshot_shared(),
         }
     }
 
@@ -562,7 +727,8 @@ impl std::fmt::Display for QueryId {
 pub struct QueryUpdate {
     /// Which registered query produced this result.
     pub query: QueryId,
-    /// The completed slide.
+    /// The completed slide. Its snapshot is refcounted — retaining or
+    /// cloning an update never copies the top-k.
     pub result: SlideResult,
 }
 
@@ -846,6 +1012,8 @@ mod tests {
         // lower score arrives: top-1 unchanged
         let r1 = session.push_one(Object::new(1, 3.0)).unwrap();
         assert_eq!(r1.events, vec![TopKEvent::Unchanged]);
+        // an unchanged slide re-emits the previous Arc: zero-copy fan-out
+        assert!(r1.snapshot.ptr_eq(&r0.snapshot));
         // object 0 expires (n = 2): object 1 takes over
         let r2 = session.push_one(Object::new(2, 1.0)).unwrap();
         assert_eq!(
@@ -855,6 +1023,38 @@ mod tests {
                 TopKEvent::Entered(Object::new(1, 3.0)),
             ]
         );
+        assert!(!r2.snapshot.ptr_eq(&r1.snapshot));
+    }
+
+    #[test]
+    fn emitted_snapshot_shares_the_sessions_retained_arc() {
+        let mut session = Session::new(Toy::new(4, 2, 2));
+        let r = session.push(&stream(2)).pop().unwrap();
+        // the SlideResult and the session's retained previous emission
+        // are the same allocation — the Arc snapshot contract
+        assert!(r.snapshot.ptr_eq(&session.last_snapshot_shared()));
+        assert_eq!(session.last_snapshot(), r.snapshot.as_slice());
+    }
+
+    #[test]
+    fn duplicate_external_id_with_new_score_emits_fresh_contents() {
+        // ids are documented as unique-per-window, but nothing rejects a
+        // duplicate — and the delta diff pairs objects by external id, so
+        // this is exactly the case where membership equality does NOT
+        // imply content equality. The delta may honestly say Unchanged
+        // (same membership), but the snapshot must carry the new score
+        // and the session's retained prev must advance with it.
+        let mut session = Session::new(Toy::new(2, 1, 1));
+        let r0 = session.push_one(Object::new(7, 5.0)).unwrap();
+        assert_eq!(r0.snapshot.as_slice(), &[Object::new(7, 5.0)]);
+        let r1 = session.push_one(Object::new(7, 9.0)).unwrap();
+        assert_eq!(
+            r1.snapshot.as_slice(),
+            &[Object::new(7, 9.0)],
+            "snapshot must show the fresh score, not the stale Arc"
+        );
+        assert!(!r1.snapshot.ptr_eq(&r0.snapshot));
+        assert_eq!(session.last_snapshot(), r1.snapshot.as_slice());
     }
 
     #[test]
@@ -942,6 +1142,26 @@ mod tests {
     }
 
     #[test]
+    fn push_into_appends_without_clearing() {
+        let mut session = Session::new(Toy::new(4, 1, 2));
+        let mut out = Vec::new();
+        session.push_into(&stream(4), &mut out);
+        assert_eq!(out.len(), 2);
+        // a second push appends after the existing results
+        session.push_into(&stream(2), &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out.iter().map(|r| r.slide).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // and matches the owned-Vec path exactly
+        let mut reference = Session::new(Toy::new(4, 1, 2));
+        let mut expect = reference.push(&stream(4));
+        expect.extend(reference.push(&stream(2)));
+        assert_eq!(out, expect);
+    }
+
+    #[test]
     fn hub_registration_mid_stream_starts_clean() {
         let mut hub = Hub::new();
         let early = hub.register_alg(Toy::new(4, 1, 2));
@@ -978,8 +1198,11 @@ mod tests {
             ]
         );
         // the empty middle slides re-emit the same alive window: unchanged
+        // deltas sharing the same Arc snapshot
         assert_eq!(r[1].events, vec![TopKEvent::Unchanged]);
         assert_eq!(r[2].events, vec![TopKEvent::Unchanged]);
+        assert!(r[1].snapshot.ptr_eq(&r[0].snapshot));
+        assert!(r[2].snapshot.ptr_eq(&r[0].snapshot));
         // watermark 50 closes [30,40) — object 2 displaces object 0 —
         // and [40,50), where objects 0 and 1 expire out of the window
         let r = session.advance_watermark(50);

@@ -90,6 +90,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::digest::SharedTimed;
+use crate::events::Snapshot;
 use crate::object::{Object, TimedObject};
 use crate::query::SapError;
 use crate::registry::{HubStats, Registry};
@@ -101,6 +102,14 @@ use crate::window::{SlidingTopK, TimedTopK};
 /// stalled shard pushes back on the publisher instead of buffering the
 /// stream.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// How many singly-published objects [`ShardedHub::publish_one`]
+/// coalesces into one pending batch before forcing a flush. Small enough
+/// that a trickle publisher's objects reach the shards promptly relative
+/// to any barrier, large enough that a tight `publish_one` loop costs one
+/// `Arc` batch per `PUBLISH_ONE_COALESCE` objects instead of one per
+/// object.
+pub const PUBLISH_ONE_COALESCE: usize = 128;
 
 /// A query session (of either window model) whose engine can cross
 /// threads — what a [`ShardedHub`] hands back on
@@ -114,8 +123,9 @@ pub struct QueryState {
     /// Number of slides the query has completed.
     pub slides: u64,
     /// The query's most recent top-k emission (descending), empty before
-    /// the first completed slide.
-    pub last_snapshot: Vec<Object>,
+    /// the first completed slide. Refcounted: crossing the shard boundary
+    /// shares the session's retained `Arc` instead of copying the top-k.
+    pub last_snapshot: Snapshot,
 }
 
 /// What the publisher sends down a shard's queue. Control commands travel
@@ -170,7 +180,7 @@ fn shard_worker(rx: Receiver<Command>) {
                 if let Some(session) = registry.session(id) {
                     let _ = reply.send(QueryState {
                         slides: session.slides(),
-                        last_snapshot: session.last_snapshot().to_vec(),
+                        last_snapshot: session.last_snapshot_shared(),
                     });
                 }
             }
@@ -220,6 +230,13 @@ pub struct ShardedHub {
     /// Slide-group key of each registered shared query, for unregister
     /// bookkeeping.
     shared_sd: HashMap<QueryId, u64>,
+    /// Objects accepted by [`publish_one`](ShardedHub::publish_one) and
+    /// not yet shipped: they coalesce into one `Arc` batch per
+    /// [`PUBLISH_ONE_COALESCE`] objects (or per intervening operation)
+    /// instead of one per object. Flushed — preserving publish order —
+    /// before any other command is enqueued, so ordering guarantees are
+    /// unchanged.
+    pending_one: Vec<Object>,
     next_id: u64,
 }
 
@@ -266,8 +283,27 @@ impl ShardedHub {
             registered: BTreeSet::new(),
             shared_groups: HashMap::new(),
             shared_sd: HashMap::new(),
+            pending_one: Vec::new(),
             next_id: 0,
         }
+    }
+
+    /// Ships the coalesced `publish_one` buffer as one batch, preserving
+    /// publish order. Called before any other command is enqueued (and on
+    /// drop), so a singly-published object is always ordered exactly
+    /// where its `publish_one` call was.
+    fn flush_pending_one(&mut self) -> Result<(), SapError> {
+        if self.pending_one.is_empty() {
+            return Ok(());
+        }
+        let batch: Arc<[Object]> = Arc::from(&self.pending_one[..]);
+        self.pending_one.clear();
+        for shard in 0..self.shards.len() {
+            if self.shard_len[shard] > 0 {
+                self.send(shard, Command::Publish(Arc::clone(&batch)))?;
+            }
+        }
+        Ok(())
     }
 
     /// The default placement: a Fibonacci hash of the id. Deterministic
@@ -316,6 +352,9 @@ impl ShardedHub {
         &mut self,
         alg: Box<dyn SlidingTopK + Send>,
     ) -> Result<QueryId, SapError> {
+        // coalesced publishes precede the registration, so the new query
+        // only ever sees objects published after this call
+        self.flush_pending_one()?;
         // burn the id even when the send fails: a dead shard must not
         // wedge the id sequence, or every retry would re-derive the same
         // id, hash to the same dead shard, and fail forever — the next
@@ -346,6 +385,7 @@ impl ShardedHub {
         &mut self,
         engine: Box<dyn TimedTopK + Send>,
     ) -> Result<QueryId, SapError> {
+        self.flush_pending_one()?;
         // same id-burning rationale as register_boxed
         let id = QueryId::from_raw(self.next_id);
         self.next_id += 1;
@@ -389,6 +429,7 @@ impl ShardedHub {
     ) -> Result<QueryId, SapError> {
         let consumer = SharedTimed::from_engine(engine, window_duration, slide_duration)
             .map_err(SapError::Spec)?;
+        self.flush_pending_one()?;
         // same id-burning rationale as register_boxed
         let id = QueryId::from_raw(self.next_id);
         self.next_id += 1;
@@ -428,6 +469,8 @@ impl ShardedHub {
         if !self.registered.contains(&id) {
             return Err(SapError::UnknownQuery { query: id });
         }
+        // the departing session must process coalesced publishes first
+        self.flush_pending_one()?;
         let shard = self.home_shard(id);
         let (reply, rx) = mpsc::channel();
         // book-keep only after the session actually came back: a dead
@@ -476,6 +519,7 @@ impl ShardedHub {
         if objects.is_empty() || self.registered.is_empty() {
             return Ok(());
         }
+        self.flush_pending_one()?;
         let batch: Arc<[Object]> = Arc::from(objects);
         for shard in 0..self.shards.len() {
             if self.shard_len[shard] > 0 {
@@ -496,6 +540,7 @@ impl ShardedHub {
         if objects.is_empty() || self.registered.is_empty() {
             return Ok(());
         }
+        self.flush_pending_one()?;
         let batch: Arc<[TimedObject]> = Arc::from(objects);
         for shard in 0..self.shards.len() {
             if self.shard_len[shard] > 0 {
@@ -513,6 +558,7 @@ impl ShardedHub {
         if self.registered.is_empty() {
             return Ok(());
         }
+        self.flush_pending_one()?;
         for shard in 0..self.shards.len() {
             if self.shard_len[shard] > 0 {
                 self.send(shard, Command::AdvanceTime(watermark))?;
@@ -521,16 +567,35 @@ impl ShardedHub {
         Ok(())
     }
 
-    /// Publishes one object (convenience over
-    /// [`publish`](ShardedHub::publish)).
+    /// Publishes one object, **coalescing** it into a pending batch
+    /// instead of wrapping every object in its own `Arc` allocation: the
+    /// buffer is shipped as one batch after [`PUBLISH_ONE_COALESCE`]
+    /// objects, or earlier when any other operation (a batch publish, a
+    /// registration, [`flush`](ShardedHub::flush),
+    /// [`drain`](ShardedHub::drain), [`inspect`](ShardedHub::inspect), …)
+    /// needs the queues — so every observable ordering guarantee is
+    /// exactly [`publish`](ShardedHub::publish)'s, and results were never
+    /// visible before a barrier anyway. With zero registered queries the
+    /// object is dropped, same as an empty-hub `publish`. A dead shard
+    /// may therefore be reported by the operation that triggers the
+    /// flush rather than the `publish_one` call that buffered the object.
     pub fn publish_one(&mut self, object: Object) -> Result<(), SapError> {
-        self.publish(std::slice::from_ref(&object))
+        if self.registered.is_empty() {
+            return Ok(());
+        }
+        self.pending_one.push(object);
+        if self.pending_one.len() >= PUBLISH_ONE_COALESCE {
+            self.flush_pending_one()
+        } else {
+            Ok(())
+        }
     }
 
     /// Barrier without collection: returns once every shard has processed
     /// everything published so far. Accumulated updates stay shard-side
     /// for a later [`drain`](ShardedHub::drain).
     pub fn flush(&mut self) -> Result<(), SapError> {
+        self.flush_pending_one()?;
         let acks: Vec<(usize, mpsc::Receiver<()>)> = (0..self.shards.len())
             .map(|shard| {
                 let (reply, rx) = mpsc::channel();
@@ -552,6 +617,7 @@ impl ShardedHub {
     /// contract: their slide indices are assigned by event-time closure
     /// order, a pure function of the published sequence.
     pub fn drain(&mut self) -> Result<Vec<QueryUpdate>, SapError> {
+        self.flush_pending_one()?;
         // enqueue every drain first, then collect: shards retire their
         // backlogs in parallel instead of one at a time
         let replies: Vec<(usize, mpsc::Receiver<Vec<QueryUpdate>>)> = (0..self.shards.len())
@@ -576,6 +642,9 @@ impl ShardedHub {
         if !self.registered.contains(&id) {
             return Err(SapError::UnknownQuery { query: id });
         }
+        // "reflects everything published before this call" includes the
+        // coalesced publish_one buffer
+        self.flush_pending_one()?;
         let shard = self.home_shard(id);
         let (reply, rx) = mpsc::channel();
         self.send(shard, Command::Inspect(id, reply))?;
@@ -587,6 +656,7 @@ impl ShardedHub {
     /// own groups/hits/rebuilds; group state is shard-local, so the sum
     /// is exact). A dead shard is [`SapError::ShardDown`].
     pub fn stats(&mut self) -> Result<HubStats, SapError> {
+        self.flush_pending_one()?;
         let replies: Vec<(usize, mpsc::Receiver<HubStats>)> = (0..self.shards.len())
             .map(|shard| {
                 let (reply, rx) = mpsc::channel();
@@ -631,6 +701,10 @@ impl Drop for ShardedHub {
     /// a drop during unwinding would mask the original panic); they
     /// surface as hub-side panics on the next send instead.
     fn drop(&mut self) {
+        // ship any coalesced publish_one tail so session state is
+        // consistent with every accepted publish (best effort: a dead
+        // shard cannot take it anyway)
+        let _ = self.flush_pending_one();
         for shard in &mut self.shards {
             // drop the sender first so the worker's recv loop ends
             let (closed, _) = mpsc::sync_channel(1);

@@ -265,6 +265,25 @@ pub trait TimedTopK {
     /// arrivals.
     fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>>;
 
+    /// The allocation-free form of [`ingest`](TimedTopK::ingest): calls
+    /// `f` with a borrow of each closed slide's snapshot instead of
+    /// returning owned `Vec`s. The default routes through `ingest`;
+    /// engines with a pooled result (`TimeBased<E>`) override it so the
+    /// session hot path never touches the heap per slide.
+    fn ingest_each(&mut self, o: TimedObject, f: &mut dyn FnMut(&[TimedObject])) {
+        for snapshot in self.ingest(o) {
+            f(&snapshot);
+        }
+    }
+
+    /// The allocation-free form of [`advance_to`](TimedTopK::advance_to)
+    /// — see [`ingest_each`](TimedTopK::ingest_each).
+    fn advance_to_each(&mut self, watermark: u64, f: &mut dyn FnMut(&[TimedObject])) {
+        for snapshot in self.advance_to(watermark) {
+            f(&snapshot);
+        }
+    }
+
     /// The most recently emitted snapshot.
     fn last_result(&self) -> &[TimedObject];
 
@@ -314,6 +333,12 @@ impl<T: TimedTopK + ?Sized> TimedTopK for Box<T> {
     fn advance_to(&mut self, watermark: u64) -> Vec<Vec<TimedObject>> {
         (**self).advance_to(watermark)
     }
+    fn ingest_each(&mut self, o: TimedObject, f: &mut dyn FnMut(&[TimedObject])) {
+        (**self).ingest_each(o, f)
+    }
+    fn advance_to_each(&mut self, watermark: u64, f: &mut dyn FnMut(&[TimedObject])) {
+        (**self).advance_to_each(watermark, f)
+    }
     fn last_result(&self) -> &[TimedObject] {
         (**self).last_result()
     }
@@ -348,7 +373,35 @@ pub trait Ingest {
     /// [`SlideResult`]: crate::events::SlideResult
     fn push(&mut self, objects: &[Object]) -> Vec<crate::events::SlideResult>;
 
+    /// Feeds a batch of any size, handing each completed slide's
+    /// [`SlideResult`] to `f` — the zero-copy form the hubs drive: the
+    /// result moves **once**, straight from the session into whatever
+    /// the caller is building (a tagged `QueryUpdate`, a pooled buffer),
+    /// and a push that completes no slides touches no heap. The default
+    /// routes through [`push`](Ingest::push);
+    /// [`Session`](crate::session::Session) overrides it to emit
+    /// natively.
+    ///
+    /// [`SlideResult`]: crate::events::SlideResult
+    fn push_each(&mut self, objects: &[Object], f: &mut dyn FnMut(crate::events::SlideResult)) {
+        for result in self.push(objects) {
+            f(result);
+        }
+    }
+
+    /// Feeds a batch of any size, **appending** one [`SlideResult`] per
+    /// completed slide to `out` instead of allocating a fresh `Vec` —
+    /// [`push_each`](Ingest::push_each) into an existing buffer.
+    ///
+    /// [`SlideResult`]: crate::events::SlideResult
+    fn push_into(&mut self, objects: &[Object], out: &mut Vec<crate::events::SlideResult>) {
+        self.push_each(objects, &mut |result| out.push(result));
+    }
+
     /// Feeds one object; returns the slide it completed, if any.
+    /// [`Session`](crate::session::Session) overrides this so the
+    /// buffering path (no slide completed) returns without touching the
+    /// heap.
     fn push_one(&mut self, object: Object) -> Option<crate::events::SlideResult> {
         self.push(std::slice::from_ref(&object)).pop()
     }
@@ -373,6 +426,35 @@ pub trait TimedIngest {
     /// [`SlideResult`]: crate::events::SlideResult
     fn push_timed(&mut self, objects: &[TimedObject]) -> Vec<crate::events::SlideResult>;
 
+    /// Feeds a batch, handing each closed slide's [`SlideResult`] to `f`
+    /// — the zero-copy counterpart of
+    /// [`push_timed`](TimedIngest::push_timed), driven by the hubs (see
+    /// [`Ingest::push_each`] for the contract).
+    ///
+    /// [`SlideResult`]: crate::events::SlideResult
+    fn push_timed_each(
+        &mut self,
+        objects: &[TimedObject],
+        f: &mut dyn FnMut(crate::events::SlideResult),
+    ) {
+        for result in self.push_timed(objects) {
+            f(result);
+        }
+    }
+
+    /// Feeds a batch, **appending** the closed slides to `out` instead of
+    /// allocating a fresh `Vec` — [`push_timed_each`](TimedIngest::push_timed_each)
+    /// into an existing buffer.
+    ///
+    /// [`SlideResult`]: crate::events::SlideResult
+    fn push_timed_into(
+        &mut self,
+        objects: &[TimedObject],
+        out: &mut Vec<crate::events::SlideResult>,
+    ) {
+        self.push_timed_each(objects, &mut |result| out.push(result));
+    }
+
     /// Feeds one timestamped object; returns the slides it closed.
     fn push_one_timed(&mut self, object: TimedObject) -> Vec<crate::events::SlideResult> {
         self.push_timed(std::slice::from_ref(&object))
@@ -382,6 +464,30 @@ pub trait TimedIngest {
     /// slide ending at or before it — the only way to observe trailing or
     /// empty slides when the stream goes quiet.
     fn advance_watermark(&mut self, watermark: u64) -> Vec<crate::events::SlideResult>;
+
+    /// Raises the watermark, handing each closed slide's result to `f` —
+    /// the zero-copy counterpart of
+    /// [`advance_watermark`](TimedIngest::advance_watermark).
+    fn advance_watermark_each(
+        &mut self,
+        watermark: u64,
+        f: &mut dyn FnMut(crate::events::SlideResult),
+    ) {
+        for result in self.advance_watermark(watermark) {
+            f(result);
+        }
+    }
+
+    /// Raises the watermark, **appending** the closed slides to `out` —
+    /// [`advance_watermark_each`](TimedIngest::advance_watermark_each)
+    /// into an existing buffer.
+    fn advance_watermark_into(
+        &mut self,
+        watermark: u64,
+        out: &mut Vec<crate::events::SlideResult>,
+    ) {
+        self.advance_watermark_each(watermark, &mut |result| out.push(result));
+    }
 
     /// Number of objects buffered in the still-open slide.
     fn pending(&self) -> usize;

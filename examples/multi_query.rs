@@ -12,6 +12,7 @@
 //! ```
 
 use sap::prelude::*;
+use std::collections::HashMap;
 use std::time::Instant;
 
 fn main() {
@@ -228,11 +229,16 @@ fn sequential_hub_100() {
     }
     println!("registered {} queries on one hub", hub.len());
 
-    // serve the stream in ragged bursts; count per-query activity
+    // serve the stream in ragged bursts; count per-query activity, and
+    // watch the Arc snapshot contract at work: a quiet slide re-emits
+    // the previous slide's snapshot *allocation* (ptr_eq, not just eq),
+    // so fan-out of unchanged results is refcounting, never copying
     let started = Instant::now();
     let mut slides = 0u64;
     let mut quiet = 0u64;
     let mut churn = 0u64;
+    let mut shared_arcs = 0u64;
+    let mut last_snapshots: HashMap<QueryId, Snapshot> = HashMap::new();
     for burst in feed.chunks(997) {
         for update in hub.publish(burst) {
             slides += 1;
@@ -240,7 +246,15 @@ fn sequential_hub_100() {
                 churn += update.result.entered().count() as u64;
             } else {
                 quiet += 1;
+                if let Some(prev) = last_snapshots.get(&update.query) {
+                    assert!(
+                        update.result.snapshot.ptr_eq(prev),
+                        "a quiet slide must re-emit the previous Arc"
+                    );
+                    shared_arcs += 1;
+                }
             }
+            last_snapshots.insert(update.query, update.result.snapshot.clone());
         }
     }
     let serve_time = started.elapsed();
@@ -263,6 +277,10 @@ fn sequential_hub_100() {
     );
     println!("  quiet slides:   {quiet} (delta = [Unchanged], O(1) to report)");
     println!("  result entries: {churn}");
+    println!(
+        "  zero-copy fan-out: {shared_arcs} quiet snapshots shared the previous \
+         Arc allocation (ptr_eq verified)"
+    );
     println!(
         "  after dropping 50 queries: {} sessions, {} more slides served",
         hub.len(),

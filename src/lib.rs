@@ -301,7 +301,7 @@ mod tests {
             expected.push(direct.slide(batch).to_vec());
         }
         // deliver the same stream in ragged chunks
-        let got: Vec<Vec<Object>> = [&data[..5], &data[5..9], &data[9..200], &data[200..]]
+        let got: Vec<Snapshot> = [&data[..5], &data[5..9], &data[9..200], &data[200..]]
             .into_iter()
             .flat_map(|chunk| session.push(chunk))
             .map(|r| r.snapshot)

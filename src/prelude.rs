@@ -17,10 +17,11 @@ pub use crate::{build, build_send, build_timed, HubExt, QueryExt};
 
 pub use sap_stream::{
     run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, Dataset, DigestProducer,
-    DigestRef, Hub, HubSession, HubStats, Ingest, Object, OpStats, Query, QueryId, QuerySpec,
-    QueryState, QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, ShardSession,
-    ShardedHub, SharedSession, SharedTimed, SlideDigest, SlideResult, SlidingTopK, SpecError,
-    TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent, WindowSpec, Workload,
+    DigestRef, DigestView, EventList, Hub, HubSession, HubStats, Ingest, Object, OpStats, Query,
+    QueryId, QuerySpec, QueryState, QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey,
+    Session, ShardSession, ShardedHub, SharedSession, SharedTimed, SlideDigest, SlideResult,
+    SlideScratch, SlidingTopK, Snapshot, SpecError, TimedIngest, TimedObject, TimedSession,
+    TimedSpec, TimedTopK, TopKEvent, WindowSpec, Workload,
 };
 
 pub use sap_core::{Sap, SapConfig, TimeBased, TimeBasedSap};

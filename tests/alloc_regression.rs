@@ -1,0 +1,226 @@
+//! Allocation-regression gate for the zero-allocation publish path.
+//!
+//! The publish plane's contract (see `sap_stream::events` and
+//! `SlideScratch`): after warm-up,
+//!
+//! * a push that only buffers (no slide completed) performs **zero**
+//!   heap allocations;
+//! * a completed slide performs **at most one** allocation in the
+//!   session layer — the shared `Arc` snapshot, and only when the result
+//!   changed (quiet slides re-emit the previous `Arc`);
+//! * engine-internal churn (candidate structures, partition recycling)
+//!   is pooled to amortized ≲1 allocation per slide.
+//!
+//! These tests pin those bounds with a counting global allocator so a
+//! regression fails CI instead of landing silently. The pre-refactor
+//! path allocated 5–10× per slide (snapshot collect + clone, two diff
+//! buffers, event list, digest materialization), so the pinned bounds
+//! have real teeth while leaving room for engine-internal noise.
+//!
+//! Gated to release builds: `cargo test` (debug) reports them as
+//! ignored; the CI release matrix and bench-smoke run them for real.
+//! Allocation counts here are deterministic — the workloads are seeded
+//! and single-threaded — but the counter is process-global, so every
+//! test serializes on one lock.
+
+use std::sync::Mutex;
+
+use sap::prelude::*;
+use sap_bench::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Serializes measured regions: the counter is process-global and the
+/// test harness runs tests on multiple threads.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` and returns (result, allocations performed).
+fn measured<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = ALLOC.allocations();
+    let result = f();
+    (result, ALLOC.allocations() - before)
+}
+
+/// Deterministic score stream (LCG), scores in [0, 1000).
+fn score(i: u64) -> f64 {
+    let x = i
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((x >> 33) % 1000) as f64
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
+fn warm_count_session_buffering_push_is_allocation_free() {
+    let _guard = LOCK.lock().unwrap();
+    let mut session = Query::window(400).top(2).slide(10).session().unwrap();
+    // warm-up: several full windows so partitions have sealed, expired,
+    // and been reclaimed into the spare pools
+    for i in 0..2_000u64 {
+        session.push_one(Object::new(i, score(i)));
+    }
+    // a push that does not complete a slide must never touch the heap
+    for i in 2_000..2_009u64 {
+        let (result, allocs) = measured(|| session.push_one(Object::new(i, score(i))));
+        assert!(result.is_none(), "9 pushes into s = 10 complete no slide");
+        assert_eq!(allocs, 0, "buffering push {i} allocated");
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
+fn warm_count_session_steady_state_stays_under_pinned_bound() {
+    let _guard = LOCK.lock().unwrap();
+    // MinTopK's steady state is fully pooled, so the bound is exact:
+    // at most one allocation (the Arc snapshot) per *changed* slide
+    let mut session = Query::window(400)
+        .top(2)
+        .slide(10)
+        .algorithm(AlgorithmKind::MinTopK)
+        .session()
+        .unwrap();
+    for i in 0..2_000u64 {
+        session.push_one(Object::new(i, score(i)));
+    }
+    let ((slides, changed), allocs) = measured(|| {
+        let mut slides = 0u64;
+        let mut changed = 0u64;
+        for i in 2_000..12_000u64 {
+            if let Some(result) = session.push_one(Object::new(i, score(i))) {
+                slides += 1;
+                if result.changed() {
+                    changed += 1;
+                }
+            }
+        }
+        (slides, changed)
+    });
+    assert_eq!(slides, 1_000);
+    assert!(changed > 0, "workload must exercise changed slides");
+    assert!(
+        allocs <= changed,
+        "steady state: {allocs} allocations for {changed} changed slides \
+         (pinned bound: ≤ 1 per changed slide; the legacy path paid ≥ 5 per slide)"
+    );
+
+    // SAP's partition machinery may churn its candidate BTree, but the
+    // recycled partitions/meaningful sets must keep it ≤ 2 per slide
+    let mut sap = Query::window(400).top(2).slide(10).session().unwrap();
+    for i in 0..2_000u64 {
+        sap.push_one(Object::new(i, score(i)));
+    }
+    let (slides, allocs) = measured(|| {
+        let mut slides = 0u64;
+        for i in 2_000..12_000u64 {
+            if sap.push_one(Object::new(i, score(i))).is_some() {
+                slides += 1;
+            }
+        }
+        slides
+    });
+    assert_eq!(slides, 1_000);
+    assert!(
+        allocs <= 2 * slides,
+        "SAP steady state: {allocs} allocations for {slides} slides \
+         (pinned bound: ≤ 2 per slide)"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
+fn warm_timed_session_steady_state_stays_under_pinned_bound() {
+    let _guard = LOCK.lock().unwrap();
+    let mut session = Query::window_duration(400)
+        .slide_duration(100)
+        .top(3)
+        .timed_session()
+        .unwrap();
+    // ~25 objects per slide; warm through several windows
+    let mut warm_slides = 0usize;
+    for i in 0..500u64 {
+        warm_slides += session
+            .push_timed(&[TimedObject::new(i, i * 4, score(i))])
+            .len();
+    }
+    assert!(warm_slides > 10, "warm-up must close slides");
+    let ((slides, changed), allocs) = measured(|| {
+        let mut slides = 0u64;
+        let mut changed = 0u64;
+        let mut out = Vec::with_capacity(4);
+        for i in 500..4_500u64 {
+            out.clear();
+            session.push_timed_into(&[TimedObject::new(i, i * 4, score(i))], &mut out);
+            for result in &out {
+                slides += 1;
+                if result.changed() {
+                    changed += 1;
+                }
+            }
+        }
+        (slides, changed)
+    });
+    assert_eq!(slides, 160, "4000 objects × 4 ticks / 100-tick slides");
+    assert!(changed > 0);
+    // the adapter's digest plane is borrow-based and the consumer pooled:
+    // the Arc per changed slide plus bounded reduced-engine churn
+    assert!(
+        allocs <= 2 * slides,
+        "timed steady state: {allocs} allocations for {slides} slides \
+         (pinned bound: ≤ 2 per slide; the legacy adapter paid ~10)"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
+fn warm_hub_publish_without_slides_is_allocation_free() {
+    let _guard = LOCK.lock().unwrap();
+    let mut hub = Hub::new();
+    let mut ids = Vec::new();
+    for q in 0..50u64 {
+        let k = 1 + (q as usize % 3);
+        ids.push(hub.register(&Query::window(200).top(k).slide(10)).unwrap());
+    }
+    // warm: every session is phase-aligned (registered together), so
+    // multiples of s = 10 complete slides everywhere
+    let mut warm = Vec::new();
+    for i in 0..1_000u64 {
+        warm.push(Object::new(i, score(i)));
+    }
+    for chunk in warm.chunks(10) {
+        hub.publish(chunk);
+    }
+    // half a slide: every session buffers, none completes — the publish
+    // (including its returned empty Vec) must not touch the heap
+    let half: Vec<Object> = (1_000..1_005u64)
+        .map(|i| Object::new(i, score(i)))
+        .collect();
+    let (updates, allocs) = measured(|| hub.publish(&half).len());
+    assert_eq!(updates, 0);
+    assert_eq!(allocs, 0, "no-slide publish must be allocation-free");
+
+    // completing the slide: one output Vec (reserved once from the
+    // retained hint) plus at most one Arc per changed update
+    let rest: Vec<Object> = (1_005..1_010u64)
+        .map(|i| Object::new(i, score(i)))
+        .collect();
+    let (updates, allocs) = measured(|| hub.publish(&rest).len());
+    assert_eq!(updates, ids.len(), "every session completes");
+    assert!(
+        allocs <= 1 + updates as u64,
+        "slide-completing publish: {allocs} allocations for {updates} updates \
+         (pinned bound: 1 output Vec + ≤ 1 Arc per update)"
+    );
+}

@@ -45,7 +45,7 @@ fn push_chunked(
     session: &mut Session<Box<dyn SlidingTopK>>,
     data: &[Object],
     cuts: &[usize],
-) -> (u64, Vec<Vec<Object>>) {
+) -> (u64, Vec<Snapshot>) {
     let mut checksum = CHECKSUM_SEED;
     let mut snapshots = Vec::new();
     let mut offset = 0usize;
@@ -114,12 +114,18 @@ proptest! {
         let data = stream(scores);
         let query = Query::window(n).top(k).slide(s);
         let mut session = query.session().unwrap();
-        let mut prev: Vec<Object> = Vec::new();
+        let mut prev = Snapshot::empty();
         for result in session.push(&data) {
             if !result.changed() {
                 prop_assert_eq!(&result.snapshot, &prev, "Unchanged must mean identical");
+                // the Arc snapshot contract: an unchanged slide re-emits
+                // the previous allocation itself, not a copy of it
+                prop_assert!(
+                    result.snapshot.ptr_eq(&prev),
+                    "quiet slide must share the previous Arc"
+                );
             } else {
-                let mut replay: Vec<Object> = prev.clone();
+                let mut replay: Vec<Object> = prev.to_vec();
                 for gone in result.exited() {
                     let pos = replay.iter().position(|o| o.id == gone.id);
                     prop_assert!(pos.is_some(), "Exited object {:?} absent from prev", gone);
@@ -214,13 +220,18 @@ fn sap_quiet_slides_report_unchanged_cheaply() {
     // an empty push completes no slides
     assert!(session.push(&[]).is_empty());
     // the quiet flag is a guarantee, never a guess: replay must confirm
-    let mut prev: Vec<Object> = Vec::new();
+    let mut prev = Snapshot::empty();
     let mut fresh = query.session().unwrap();
     for r in fresh.push(&data) {
         if !r.changed() {
             assert_eq!(
                 r.snapshot, prev,
                 "slide {} claimed Unchanged wrongly",
+                r.slide
+            );
+            assert!(
+                r.snapshot.ptr_eq(&prev),
+                "slide {}: the O(1) quiet path must re-emit the previous Arc",
                 r.slide
             );
         }

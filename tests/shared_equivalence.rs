@@ -108,7 +108,7 @@ proptest! {
 
         // an isolated TimedSession over the same stream
         let mut session = query.timed_session().unwrap();
-        let mut isolated: Vec<Vec<Object>> = Vec::new();
+        let mut isolated: Vec<Snapshot> = Vec::new();
         for chunk in data.chunks(7) {
             isolated.extend(session.push_timed(chunk).into_iter().map(|r| r.snapshot));
         }
@@ -119,7 +119,7 @@ proptest! {
         let mut hub = Hub::new();
         hub.register_shared(&deep).unwrap();
         let qid = hub.register_shared(&query).unwrap();
-        let mut got: Vec<Vec<Object>> = Vec::new();
+        let mut got: Vec<Snapshot> = Vec::new();
         for chunk in data.chunks(11) {
             got.extend(
                 hub.publish_timed(chunk)

@@ -102,7 +102,7 @@ proptest! {
 
         // 2. a TimedSession fed in ragged chunks
         let mut session = query.timed_session().unwrap();
-        let mut got: Vec<Vec<Object>> = Vec::new();
+        let mut got: Vec<Snapshot> = Vec::new();
         for chunk in data.chunks(7) {
             got.extend(session.push_timed(chunk).into_iter().map(|r| r.snapshot));
         }
@@ -113,7 +113,7 @@ proptest! {
         // 3. the sequential hub
         let mut hub = Hub::new();
         let qid = hub.register(&query).unwrap();
-        let mut got: Vec<Vec<Object>> = Vec::new();
+        let mut got: Vec<Snapshot> = Vec::new();
         for chunk in data.chunks(11) {
             got.extend(hub.publish_timed(chunk).into_iter().map(|u| u.result.snapshot));
         }
@@ -125,7 +125,7 @@ proptest! {
         for shards in [1usize, 2, 8] {
             let mut par = ShardedHub::new(shards);
             par.register(&query).unwrap();
-            let mut got: Vec<Vec<Object>> = Vec::new();
+            let mut got: Vec<Snapshot> = Vec::new();
             for chunk in data.chunks(11) {
                 par.publish_timed(chunk).unwrap();
                 got.extend(par.drain().unwrap().into_iter().map(|u| u.result.snapshot));

@@ -15,7 +15,12 @@
 //! stream (`BENCH_timed.json`); `shared` measures the shared digest
 //! plane against per-session recomputation on a many-queries /
 //! few-slide-durations workload (`BENCH_shared.json`), asserting
-//! byte-identical checksums and a positive digest hit count:
+//! byte-identical checksums and a positive digest hit count;
+//! `checkpoint` cuts a run in half, checkpoints, restores through the
+//! bench engine factory, and finishes on the restored hub — reporting
+//! checkpoint bytes/query plus checkpoint and restore latency per
+//! session count (`BENCH_checkpoint.json`), with every datapoint
+//! asserted checksum-identical to its uninterrupted reference run:
 //!
 //! ```text
 //! cargo run --release -p sap-bench --bin experiments -- hub \
@@ -24,17 +29,20 @@
 //!     --len 20000 --queries 2000 --shards 1,2,4,8 --json-out BENCH_timed.json
 //! cargo run --release -p sap-bench --bin experiments -- shared \
 //!     --len 20000 --queries 500 --shards 1,2,4,8 --json-out BENCH_shared.json
+//! cargo run --release -p sap-bench --bin experiments -- checkpoint \
+//!     --len 20000 --queries 500 --shards 1,2,4,8 --json-out BENCH_checkpoint.json
 //! ```
 
 use sap_bench::{
-    cands, hotpath_query_mix, hub_query_mix, measure_on, mem_kb, run_hotpath, run_hotpath_sharded,
-    run_hub_sequential, run_hub_sharded, run_shared_hub, run_shared_hub_sharded,
-    run_shared_isolated, run_timed_hub_sequential, run_timed_hub_sharded, secs, shared_query_mix,
-    timed_query_mix, Algo, CountingAlloc, HotpathMode, HotpathRun, HubRun, Table,
+    cands, hotpath_query_mix, hub_checksum_fold, hub_query_mix, measure_on, mem_kb, run_hotpath,
+    run_hotpath_sharded, run_hub_sequential, run_hub_sharded, run_shared_hub,
+    run_shared_hub_sharded, run_shared_isolated, run_timed_hub_sequential, run_timed_hub_sharded,
+    secs, shared_query_mix, timed_query_mix, Algo, BenchEngineFactory, CountingAlloc, HotpathMode,
+    HotpathRun, HubRun, Table,
 };
 use sap_core::{Sap, SapConfig};
 use sap_stream::generators::{ArrivalProcess, Dataset, Workload};
-use sap_stream::{run, RunSummary, WindowSpec};
+use sap_stream::{run, Hub, RunSummary, ShardedHub, WindowSpec, CHECKSUM_SEED};
 
 /// The measurement half of the `hotpath` preset: every allocation in the
 /// process ticks this counter, so steady-state `allocs_per_object` is a
@@ -166,6 +174,14 @@ fn main() {
             algo_filter.as_deref(),
             repeats,
         ),
+        "checkpoint" => checkpoint_bench(
+            len.unwrap_or(20_000),
+            queries.unwrap_or(500),
+            &shards,
+            json_out.as_deref().unwrap_or("BENCH_checkpoint.json"),
+            seed,
+            repeats,
+        ),
         "all" => {
             table2(paper_len, seed);
             table3(paper_len, seed);
@@ -179,7 +195,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared hotpath all"
+                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared hotpath checkpoint all"
             );
             std::process::exit(2);
         }
@@ -332,6 +348,210 @@ fn hub(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) 
         json_out,
         cases,
     );
+}
+
+/// Durability-plane measurement: checkpoint size (bytes per query) and
+/// checkpoint + restore latency as the session count grows, on the
+/// count-based hub mix. Every datapoint is self-asserting: the stream is
+/// cut mid-run, checkpointed, restored through [`BenchEngineFactory`],
+/// and finished on the restored hub — which must land on the
+/// byte-identical update checksum of the uninterrupted reference run.
+/// A final round-trip at the largest requested shard count proves the
+/// sharded plane (checkpoint under `N` workers, restore at the same
+/// count) against the same sequential reference.
+fn checkpoint_bench(
+    len: usize,
+    queries: usize,
+    shards: &[usize],
+    json_out: &str,
+    seed: u64,
+    repeats: usize,
+) {
+    use std::time::Instant;
+    let chunk = 1_000usize;
+    assert!(
+        len >= 2 * chunk,
+        "checkpoint preset needs --len >= {} so the cut falls between publishes",
+        2 * chunk
+    );
+    let data = Dataset::Stock.generate(len, seed);
+    // cut on a chunk boundary so the restored run's publish sequence is
+    // literally the reference's, split in two
+    let warm = (len / 2 / chunk) * chunk;
+
+    let mut ladder: Vec<usize> = [queries / 8, queries / 4, queries / 2, queries]
+        .into_iter()
+        .filter(|&q| q > 0)
+        .collect();
+    ladder.dedup();
+
+    let mut t = Table::new(
+        format!("Checkpoint round-trip: {len} objects, cut at {warm}, {repeats} timing repeats"),
+        &[
+            "hub",
+            "shards",
+            "queries",
+            "bytes",
+            "bytes/query",
+            "checkpoint ms",
+            "restore ms",
+        ],
+    );
+    let mut json_runs: Vec<String> = Vec::new();
+    let mut emit = |hub: &str,
+                    nshards: usize,
+                    count: usize,
+                    bytes: usize,
+                    ckpt_ms: f64,
+                    restore_ms: f64,
+                    checksum: u64| {
+        assert!(
+            ckpt_ms.is_finite() && restore_ms.is_finite(),
+            "non-finite checkpoint timing"
+        );
+        t.row(vec![
+            hub.into(),
+            nshards.to_string(),
+            count.to_string(),
+            bytes.to_string(),
+            format!("{:.0}", bytes as f64 / count as f64),
+            format!("{ckpt_ms:.3}"),
+            format!("{restore_ms:.3}"),
+        ]);
+        json_runs.push(format!(
+            "    {{\"hub\": \"{hub}\", \"shards\": {nshards}, \"queries\": {count}, \"checkpoint_bytes\": {bytes}, \"bytes_per_query\": {:.1}, \"checkpoint_ms\": {ckpt_ms:.4}, \"restore_ms\": {restore_ms:.4}, \"checksum\": {checksum}}}",
+            bytes as f64 / count as f64
+        ));
+    };
+
+    let mut full_reference: Option<HubRun> = None;
+    for &count in &ladder {
+        let mix = hub_query_mix(count);
+        let reference = run_hub_sequential(&mix, &data, chunk);
+
+        let mut hub = Hub::new();
+        for (algo, spec) in &mix {
+            hub.register_boxed(algo.build(*spec));
+        }
+        let mut updates = 0u64;
+        let mut checksum = CHECKSUM_SEED;
+        for c in data[..warm].chunks(chunk) {
+            for u in hub.publish(c) {
+                updates += 1;
+                checksum = hub_checksum_fold(checksum, &u);
+            }
+        }
+
+        let mut ckpt = hub.checkpoint();
+        let started = Instant::now();
+        for _ in 0..repeats {
+            ckpt = hub.checkpoint();
+        }
+        let ckpt_ms = started.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+
+        let mut restored =
+            Hub::restore(&ckpt, &BenchEngineFactory).expect("own checkpoint restores");
+        let started = Instant::now();
+        for _ in 0..repeats {
+            restored = Hub::restore(&ckpt, &BenchEngineFactory).expect("own checkpoint restores");
+        }
+        let restore_ms = started.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+
+        for c in data[warm..].chunks(chunk) {
+            for u in restored.publish(c) {
+                updates += 1;
+                checksum = hub_checksum_fold(checksum, &u);
+            }
+        }
+        assert_eq!(
+            updates, reference.updates,
+            "[checkpoint] restored run lost updates at {count} queries"
+        );
+        assert_eq!(
+            checksum, reference.checksum,
+            "[checkpoint] restored run diverged at {count} queries"
+        );
+        emit(
+            "sequential",
+            1,
+            count,
+            ckpt.len(),
+            ckpt_ms,
+            restore_ms,
+            checksum,
+        );
+        full_reference = Some(reference);
+    }
+
+    // sharded round-trip at the largest requested worker count
+    let nshards = shards.iter().copied().max().unwrap_or(2).max(2);
+    let reference = full_reference.expect("ladder is non-empty");
+    let mix = hub_query_mix(queries);
+    let mut hub = ShardedHub::new(nshards);
+    for (algo, spec) in &mix {
+        hub.register_boxed(algo.build(*spec)).expect("fresh shards");
+    }
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    for c in data[..warm].chunks(chunk) {
+        hub.publish(c).expect("healthy shards");
+        for u in hub.drain().expect("healthy shards") {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    let (mut ckpt, rest) = hub.checkpoint().expect("healthy shards");
+    assert!(rest.is_empty(), "drained before checkpointing");
+    let started = Instant::now();
+    for _ in 0..repeats {
+        let (c, u) = hub.checkpoint().expect("healthy shards");
+        assert!(u.is_empty(), "no publishes between checkpoints");
+        ckpt = c;
+    }
+    let ckpt_ms = started.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+
+    let mut restored = ShardedHub::restore(&ckpt, &BenchEngineFactory, nshards).expect("restores");
+    let started = Instant::now();
+    for _ in 0..repeats {
+        restored = ShardedHub::restore(&ckpt, &BenchEngineFactory, nshards).expect("restores");
+    }
+    let restore_ms = started.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+
+    for c in data[warm..].chunks(chunk) {
+        restored.publish(c).expect("healthy shards");
+        for u in restored.drain().expect("healthy shards") {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    assert_eq!(
+        updates, reference.updates,
+        "[checkpoint] sharded restored run lost updates"
+    );
+    assert_eq!(
+        checksum, reference.checksum,
+        "[checkpoint] sharded restored run diverged from the sequential reference"
+    );
+    emit(
+        "sharded",
+        nshards,
+        queries,
+        ckpt.len(),
+        ckpt_ms,
+        restore_ms,
+        checksum,
+    );
+
+    t.print();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"checkpoint_roundtrip\",\n  \"dataset\": \"stock\",\n  \"seed\": {seed},\n  \"len\": {len},\n  \"cut\": {warm},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"repeats\": {repeats},\n  \"host_cpus\": {host_cpus},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_runs.join(",\n")
+    );
+    std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
+    println!("\nwrote {json_out} (host_cpus = {host_cpus})");
 }
 
 /// Timed-hub scaling: a heterogeneous count+time-based query mix served

@@ -15,8 +15,9 @@ use sap_baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
 use sap_core::{Sap, SapConfig, TimeBased};
 use sap_stream::generators::{Dataset, Workload};
 use sap_stream::{
-    checksum_fold, diff_snapshots, run, Hub, Object, QueryId, QuerySpec, QueryUpdate, RunSummary,
-    ShardedHub, SlidingTopK, TimedObject, TimedSpec, TimedTopK, WindowSpec, CHECKSUM_SEED,
+    checksum_fold, diff_snapshots, run, EngineFactory, Hub, Object, QueryId, QuerySpec,
+    QueryUpdate, RunSummary, SapError, ShardedHub, SlidingTopK, TimedObject, TimedSpec, TimedTopK,
+    WindowSpec, CHECKSUM_SEED,
 };
 
 mod alloc;
@@ -78,6 +79,35 @@ impl Algo {
             Algo::Sma => Box::new(Sma::new(spec)),
             Algo::Naive => Box::new(NaiveTopK::new(spec)),
         }
+    }
+}
+
+/// The harness's [`EngineFactory`]: rebuilds every engine the bench
+/// mixes register ([`Algo::build`] plus the [`TimeBased`] wrapping) from
+/// the name a checkpoint recorded. The bench crate sits below the `sap`
+/// facade, so it carries its own name table instead of reusing the
+/// facade's `DefaultEngineFactory`.
+pub struct BenchEngineFactory;
+
+impl EngineFactory for BenchEngineFactory {
+    fn count(&self, name: &str, spec: WindowSpec) -> Result<Box<dyn SlidingTopK + Send>, SapError> {
+        Ok(match name {
+            "SAP" => Box::new(Sap::new(SapConfig::new(spec))),
+            "SAP-dyna" => Box::new(Sap::new(SapConfig::dynamic(spec))),
+            "SAP-equal+savl" => Box::new(Sap::new(SapConfig::equal(spec, None))),
+            "MinTopK" => Box::new(MinTopK::new(spec)),
+            "k-skyband" => Box::new(KSkyband::new(spec)),
+            "SMA" => Box::new(Sma::new(spec)),
+            "naive" => Box::new(NaiveTopK::new(spec)),
+            other => return Err(SapError::checkpoint_unknown_engine(other)),
+        })
+    }
+
+    fn timed(&self, name: &str, spec: TimedSpec) -> Result<Box<dyn TimedTopK + Send>, SapError> {
+        let inner = self.count(name, spec.reduced().map_err(SapError::Spec)?)?;
+        let adapter = TimeBased::from_engine(inner, spec.window_duration, spec.slide_duration)
+            .expect("a spec that reduces also wraps");
+        Ok(Box::new(adapter))
     }
 }
 

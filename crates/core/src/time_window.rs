@@ -209,6 +209,41 @@ impl<E: SlidingTopK> TimeBased<E> {
     }
 }
 
+/// The adapter's durability hook: unlike count-based engines (restored
+/// by replaying their retained window — the default no-op body), a
+/// timed adapter cannot be replayed from the session layer, because the
+/// raw timed stream is reduced *before* it reaches the inner engine. So
+/// both halves serialize their own state — the producer its open slide,
+/// the consumer its reduced-slide ring — and `decode_engine` rebuilds a
+/// fresh factory-built adapter by replaying the ring into the inner
+/// engine (exact, because engines are deterministic functions of their
+/// window) and reinstating the open slide.
+impl<E: SlidingTopK> sap_stream::CheckpointState for TimeBased<E> {
+    fn encode_engine(&self, enc: &mut sap_stream::Encoder) {
+        self.producer.encode_state(enc);
+        self.consumer.encode_state(enc);
+    }
+
+    fn decode_engine(
+        &mut self,
+        dec: &mut sap_stream::Decoder<'_>,
+    ) -> Result<(), sap_stream::CheckpointError> {
+        let producer = DigestProducer::decode_state(dec)?;
+        if producer.slide_duration() != self.slide_duration() {
+            return Err(sap_stream::CheckpointError::Corrupt(
+                "adapter producer disagrees with its spec on slide duration",
+            ));
+        }
+        if producer.k_max() < self.k() {
+            return Err(sap_stream::CheckpointError::Corrupt(
+                "adapter producer shallower than the query's k",
+            ));
+        }
+        self.producer = producer;
+        self.consumer.restore_state(dec)
+    }
+}
+
 /// The adapter's public face to the session layer: `TimedSession`, the
 /// hubs, and the facade builders all drive a `TimeBased<E>` through this
 /// trait.

@@ -46,6 +46,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use crate::checkpoint::{CheckpointError, CheckpointState, DecodeState, Decoder, Encoder};
 use crate::metrics::OpStats;
 use crate::object::{Object, TimedObject};
 use crate::query::TimedSpec;
@@ -266,6 +267,48 @@ impl DigestProducer {
         self.slide_end += self.slide_duration;
         result
     }
+
+    /// Writes the producer's full state (geometry, slide position, the
+    /// open slide's untruncated buffer) — the digest-group half of a hub
+    /// checkpoint.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.slide_duration);
+        enc.put_usize(self.k_max);
+        enc.put_u64(self.next_slide);
+        enc.put_seq(&self.pending);
+    }
+
+    /// Rebuilds a producer from [`encode_state`](DigestProducer::encode_state)
+    /// bytes, re-deriving `slide_end` from the slide index (boundaries
+    /// are global multiples of `slide_duration`).
+    pub fn decode_state(dec: &mut Decoder<'_>) -> Result<DigestProducer, CheckpointError> {
+        let slide_duration = dec.take_u64()?;
+        let k_max = dec.take_usize()?;
+        let next_slide = dec.take_u64()?;
+        let pending: Vec<TimedObject> = dec.take_seq()?;
+        if slide_duration == 0 {
+            return Err(CheckpointError::Corrupt("digest slide_duration is zero"));
+        }
+        if k_max == 0 {
+            return Err(CheckpointError::Corrupt("digest k_max is zero"));
+        }
+        let slide_end = next_slide
+            .checked_add(1)
+            .and_then(|s| s.checked_mul(slide_duration))
+            .ok_or(CheckpointError::Corrupt("digest slide position overflows"))?;
+        if pending.iter().any(|o| o.timestamp >= slide_end) {
+            return Err(CheckpointError::Corrupt(
+                "digest pending object past the open slide's end",
+            ));
+        }
+        Ok(DigestProducer {
+            slide_duration,
+            k_max,
+            slide_end,
+            next_slide,
+            pending,
+        })
+    }
 }
 
 /// The consumer half of the shared digest plane: answers one time-based
@@ -450,6 +493,89 @@ impl<E: SlidingTopK> SharedTimed<E> {
         self.slides_applied += 1;
         &self.result
     }
+
+    /// Writes the consumer's reduced window — the synthetic-id ring and
+    /// the slide position. Everything else (`ring_base`, `next_synth_id`,
+    /// the retained result, the wrapped engine's candidate structures) is
+    /// reproduced on restore by replaying the ring through the normal
+    /// apply path, so no engine internals ever hit the wire.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.ring.len() as u64);
+        for slot in &self.ring {
+            match slot {
+                Some(o) => {
+                    enc.put_u8(1);
+                    enc.put_u64(o.id);
+                    enc.put_u64(o.timestamp);
+                    enc.put_f64(o.score);
+                }
+                None => enc.put_u8(0),
+            }
+        }
+        enc.put_u64(self.slides_applied);
+    }
+
+    /// Restores [`encode_state`](SharedTimed::encode_state) bytes into a
+    /// **fresh** consumer (as produced by
+    /// [`from_engine`](SharedTimed::from_engine)): each encoded ring
+    /// group is re-applied as a slide through
+    /// [`apply_slide_top`](SharedTimed::apply_slide_top), which rebuilds
+    /// the ring, the retained result, and the wrapped engine's candidate
+    /// state in one pass — the engine is an exact top-k function of its
+    /// window, so the replayed instance emits byte-identical results from
+    /// here on.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        assert!(
+            self.slides_applied == 0 && self.ring.is_empty(),
+            "restore_state requires a fresh consumer"
+        );
+        let len = dec.take_seq_len()?;
+        if len % self.k != 0 {
+            return Err(CheckpointError::Corrupt(
+                "consumer ring length is not a multiple of k",
+            ));
+        }
+        if len > self.inner.spec().n {
+            return Err(CheckpointError::Corrupt("consumer ring exceeds the window"));
+        }
+        let mut slots: Vec<Option<TimedObject>> = Vec::with_capacity(len);
+        for _ in 0..len {
+            slots.push(match dec.take_u8()? {
+                0 => None,
+                1 => Some(TimedObject::decode_state(dec)?),
+                _ => return Err(CheckpointError::Corrupt("bad ring slot flag")),
+            });
+        }
+        let slides_applied = dec.take_u64()?;
+        let groups = (len / self.k) as u64;
+        if slides_applied < groups || (len < self.inner.spec().n && slides_applied != groups) {
+            return Err(CheckpointError::Corrupt(
+                "consumer slide count disagrees with its ring",
+            ));
+        }
+        let mut kept = Vec::with_capacity(self.k);
+        for g in 0..groups {
+            kept.clear();
+            kept.extend(
+                slots[(g as usize) * self.k..(g as usize + 1) * self.k]
+                    .iter()
+                    .flatten()
+                    .copied(),
+            );
+            self.apply_slide_top(g, &kept);
+        }
+        self.slides_applied = slides_applied;
+        Ok(())
+    }
+}
+
+impl<E: SlidingTopK> CheckpointState for SharedTimed<E> {
+    fn encode_engine(&self, enc: &mut Encoder) {
+        self.encode_state(enc)
+    }
+    fn decode_engine(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        self.restore_state(dec)
+    }
 }
 
 #[cfg(test)]
@@ -535,6 +661,8 @@ mod tests {
             }
         }
     }
+
+    impl CheckpointState for Toy {}
 
     impl SlidingTopK for Toy {
         fn spec(&self) -> WindowSpec {

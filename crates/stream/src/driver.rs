@@ -166,6 +166,8 @@ mod tests {
         result: Vec<Object>,
     }
 
+    impl crate::checkpoint::CheckpointState for Toy {}
+
     impl SlidingTopK for Toy {
         fn spec(&self) -> WindowSpec {
             self.spec

@@ -79,6 +79,7 @@
 //! assert_eq!(timed.validate_timed().unwrap().slides_per_window(), 60);
 //! ```
 
+pub mod checkpoint;
 pub mod digest;
 pub mod driver;
 pub mod events;
@@ -93,6 +94,10 @@ pub mod shard;
 mod test_support;
 pub mod window;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointState, DecodeState, Decoder, EncodeState, Encoder,
+    EngineFactory,
+};
 pub use digest::{DigestProducer, DigestRef, DigestView, SharedTimed, SlideDigest};
 pub use driver::{checksum_fold, run, run_collecting, RunSummary, CHECKSUM_SEED};
 pub use events::{

@@ -78,6 +78,11 @@ pub enum SapError {
         /// Index of the dead shard.
         shard: usize,
     },
+    /// A checkpoint could not be decoded or restored — unknown bytes, a
+    /// future format version, corruption, or an engine name the restore
+    /// factory cannot build. See
+    /// [`CheckpointError`](crate::checkpoint::CheckpointError).
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl std::fmt::Display for SapError {
@@ -118,6 +123,7 @@ impl std::fmt::Display for SapError {
                      rebuild the hub and re-register its queries"
                 )
             }
+            SapError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -126,6 +132,7 @@ impl std::error::Error for SapError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SapError::Spec(e) => Some(e),
+            SapError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }

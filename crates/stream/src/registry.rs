@@ -35,11 +35,13 @@
 
 use std::collections::HashMap;
 
+use crate::checkpoint::{tags, CheckpointError, Decoder, Encoder};
 use crate::digest::{DigestProducer, DigestRef, SharedTimed};
 use crate::events::SlideResult;
 use crate::object::{Object, TimedObject};
+use crate::query::{SapError, TimedSpec};
 use crate::session::{AnySession, QueryId, QueryUpdate, Session, SharedSession, TimedSession};
-use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK};
+use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
 
 /// A point-in-time summary of a hub's registered queries and how much
 /// per-slide work the shared digest plane is saving — what
@@ -57,6 +59,14 @@ pub struct HubStats {
     pub shared_queries: usize,
     /// Live slide groups (distinct `slide_duration`s with ≥ 1 shared
     /// member).
+    ///
+    /// **Invariant**: a slide group never spans shards — every member of
+    /// a group lives on one shard, enforced by `ShardedHub`'s group-
+    /// affine routing (`home_shard`) and debug-asserted at registration
+    /// inside `Registry`. Summing this field across shards (see
+    /// [`merge`](HubStats::merge)) is exact *only* because of that
+    /// invariant: shard-local group counts partition the hub-wide set of
+    /// groups, so no group is double-counted.
     pub digest_groups: u64,
     /// Slides served to a shared member from its group's digest — work
     /// the member did **not** redo.
@@ -79,7 +89,11 @@ impl HubStats {
     }
 
     /// Field-wise accumulation — how `ShardedHub::stats()` folds its
-    /// per-shard partials into one hub-wide view.
+    /// per-shard partials into one hub-wide view. Straight sums are
+    /// exact for every field because each query (and — by the
+    /// shard-locality invariant documented on
+    /// [`digest_groups`](HubStats::digest_groups) — each slide group)
+    /// is owned by exactly one shard.
     pub fn merge(&mut self, other: &HubStats) {
         self.queries += other.queries;
         self.count_queries += other.count_queries;
@@ -120,6 +134,11 @@ pub(crate) struct Registry<C: SlidingTopK, T: TimedTopK> {
     /// a watermark jump closing thousands of slides — cannot inflate
     /// every later publish's reservation for the hub's lifetime.
     update_hint: usize,
+    /// Which `ShardedHub` worker owns this registry (`None` for the
+    /// sequential hub) — consulted only by the debug assertion in
+    /// [`register_shared`](Registry::register_shared) that a slide
+    /// group's members all land on the group's home shard.
+    shard: Option<usize>,
 }
 
 impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
@@ -131,7 +150,87 @@ impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
             digest_rebuilds: 0,
             plain_buf: Vec::new(),
             update_hint: 0,
+            shard: None,
         }
+    }
+}
+
+/// A slide group ejected for migration: the shared producer plus its
+/// member sessions in ascending-id order (see
+/// [`Registry::eject_group`]).
+pub(crate) type EjectedGroup<C, T> = (DigestProducer, Vec<(QueryId, AnySession<C, T>)>);
+
+/// A decoded `tags::REGISTRY` section, still loose: sessions with their
+/// replayed engines, slide-group producers, and the sharing counters —
+/// everything needed to rebuild a [`Registry`] (or to scatter across
+/// `ShardedHub` workers) once [`merge`](RegistryParts::merge) has
+/// validated the cross-section invariants.
+pub(crate) struct RegistryParts<C: SlidingTopK, T: TimedTopK> {
+    pub(crate) sessions: Vec<(QueryId, AnySession<C, T>)>,
+    pub(crate) groups: Vec<(u64, DigestProducer)>,
+    pub(crate) digest_hits: u64,
+    pub(crate) digest_rebuilds: u64,
+}
+
+impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
+    /// Folds per-shard registry sections back into one coherent whole:
+    /// sessions concatenated and re-sorted into ascending-id order
+    /// (identical to hub registration order, so a restored hub drains in
+    /// the same global order as the original), groups unioned, counters
+    /// summed. Cross-section structure is validated here — a slide group
+    /// appearing in two sections would mean a group spanned shards, which
+    /// the hub never produces, so it is corruption rather than a merge.
+    pub(crate) fn merge(parts: Vec<Self>) -> Result<Self, CheckpointError> {
+        let mut sessions = Vec::new();
+        let mut groups: Vec<(u64, DigestProducer)> = Vec::new();
+        let mut digest_hits = 0u64;
+        let mut digest_rebuilds = 0u64;
+        for part in parts {
+            sessions.extend(part.sessions);
+            for (sd, producer) in part.groups {
+                if groups.iter().any(|(have, _)| *have == sd) {
+                    return Err(CheckpointError::Corrupt(
+                        "a slide group spans registry sections",
+                    ));
+                }
+                groups.push((sd, producer));
+            }
+            digest_hits = digest_hits.saturating_add(part.digest_hits);
+            digest_rebuilds = digest_rebuilds.saturating_add(part.digest_rebuilds);
+        }
+        sessions.sort_by_key(|(id, _)| *id);
+        if sessions.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(CheckpointError::Corrupt(
+                "duplicate query id across registry sections",
+            ));
+        }
+        groups.sort_unstable_by_key(|(sd, _)| *sd);
+        let mut member_counts = vec![0usize; groups.len()];
+        for (_, session) in &sessions {
+            if let AnySession::Shared(s) = session {
+                let sd = s.slide_duration();
+                let Some(pos) = groups.iter().position(|(have, _)| *have == sd) else {
+                    return Err(CheckpointError::Corrupt(
+                        "shared session without its slide group",
+                    ));
+                };
+                if groups[pos].1.k_max() < s.consumer().k() {
+                    return Err(CheckpointError::Corrupt(
+                        "slide group shallower than a member's k",
+                    ));
+                }
+                member_counts[pos] += 1;
+            }
+        }
+        if member_counts.contains(&0) {
+            return Err(CheckpointError::Corrupt("slide group with no members"));
+        }
+        Ok(RegistryParts {
+            sessions,
+            groups,
+            digest_hits,
+            digest_rebuilds,
+        })
     }
 }
 
@@ -165,8 +264,15 @@ fn note_update_hint(hint: &mut usize, emitted: usize) {
 }
 
 impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
-    pub(crate) fn new() -> Self {
-        Registry::default()
+    /// A registry tagged with its owning shard index, so group-affinity
+    /// routing bugs trip the debug assertion in
+    /// [`register_shared`](Registry::register_shared) instead of silently
+    /// splitting a slide group across workers.
+    pub(crate) fn with_shard(shard: usize) -> Self {
+        Registry {
+            shard: Some(shard),
+            ..Registry::default()
+        }
     }
 
     pub(crate) fn register_count(&mut self, id: QueryId, alg: C) {
@@ -183,7 +289,23 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// for its `slide_duration`. The group's digest depth grows to cover
     /// the new member's `k`; a member joining a group that has already
     /// ingested stream starts in warm-up (see the [module docs](self)).
-    pub(crate) fn register_shared(&mut self, id: QueryId, consumer: SharedTimed<C>) {
+    ///
+    /// `home` is the shard the hub routed this registration to (`None`
+    /// from the sequential hub). It must be the shard that owns this
+    /// registry: a slide group's members all live on the group's home
+    /// shard — the invariant that makes per-shard group counts sum
+    /// exactly in [`HubStats::merge`] and lets a group share one
+    /// producer without cross-thread coordination.
+    pub(crate) fn register_shared(
+        &mut self,
+        id: QueryId,
+        consumer: SharedTimed<C>,
+        home: Option<usize>,
+    ) {
+        debug_assert_eq!(
+            home, self.shard,
+            "slide-group routing bug: members of a group must all land on its home shard"
+        );
         let sd = consumer.slide_duration();
         let k = consumer.k();
         let group = self.groups.entry(sd).or_insert_with(|| DigestGroup {
@@ -279,6 +401,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digest_rebuilds,
             plain_buf,
             update_hint,
+            ..
         } = self;
         // strip the timestamps once, not once per count-based session —
         // into the pooled buffer, so steady-state publishes reuse its
@@ -450,6 +573,302 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         }
         stats
     }
+
+    // ---- durability plane -------------------------------------------------
+
+    /// Serializes this registry's full serving state as one
+    /// `tags::REGISTRY` section body: sessions in registration order
+    /// (each with an engine-name + spec header and a replayable body),
+    /// slide-group producers sorted by slide duration (so the encoding is
+    /// deterministic regardless of `HashMap` iteration order), and the
+    /// sharing counters.
+    pub(crate) fn encode_checkpoint(&self, enc: &mut Encoder) {
+        enc.section(tags::SESSIONS, |e| {
+            e.put_u64(self.sessions.len() as u64);
+            for (id, session) in &self.sessions {
+                e.put_u64(id.raw());
+                match session {
+                    AnySession::Count(s) => {
+                        e.put_u8(0);
+                        e.put_str(s.algorithm().name());
+                        let spec = s.spec();
+                        e.put_usize(spec.n);
+                        e.put_usize(spec.k);
+                        e.put_usize(spec.s);
+                        s.encode_checkpoint_body(e);
+                    }
+                    AnySession::Timed(s) => {
+                        e.put_u8(1);
+                        e.put_str(s.engine().name());
+                        let spec = s.timed_spec();
+                        e.put_u64(spec.window_duration);
+                        e.put_u64(spec.slide_duration);
+                        e.put_usize(spec.k);
+                        s.encode_checkpoint_body(e);
+                    }
+                    AnySession::Shared(s) => {
+                        e.put_u8(2);
+                        e.put_str(s.engine().name());
+                        let spec = s.timed_spec();
+                        e.put_u64(spec.window_duration);
+                        e.put_u64(spec.slide_duration);
+                        e.put_usize(spec.k);
+                        s.encode_checkpoint_body(e);
+                    }
+                }
+            }
+        });
+        enc.section(tags::GROUPS, |e| {
+            let mut sds: Vec<u64> = self.groups.keys().copied().collect();
+            sds.sort_unstable();
+            e.put_u64(sds.len() as u64);
+            for sd in sds {
+                e.put_u64(sd);
+                self.groups[&sd].producer.encode_state(e);
+            }
+        });
+        enc.section(tags::COUNTERS, |e| {
+            e.put_u64(self.digest_hits);
+            e.put_u64(self.digest_rebuilds);
+        });
+    }
+
+    /// Decodes one `tags::REGISTRY` section body into loose
+    /// [`RegistryParts`], building each session's engine through the
+    /// caller's closures (the count closure also serves shared sessions,
+    /// whose inner engine runs on the Appendix-A reduced spec). Every
+    /// structural violation is a typed error — never a panic.
+    pub(crate) fn decode_checkpoint(
+        dec: &mut Decoder<'_>,
+        count: &mut dyn FnMut(&str, WindowSpec) -> Result<C, SapError>,
+        timed: &mut dyn FnMut(&str, TimedSpec) -> Result<T, SapError>,
+    ) -> Result<RegistryParts<C, T>, SapError> {
+        let mut sessions = Vec::new();
+        {
+            let mut sec = dec.section(tags::SESSIONS)?;
+            let n = sec.take_seq_len()?;
+            for _ in 0..n {
+                let id = QueryId::from_raw(sec.take_u64()?);
+                let session = match sec.take_u8()? {
+                    0 => {
+                        let name = sec.take_str()?;
+                        let (wn, wk, ws) =
+                            (sec.take_usize()?, sec.take_usize()?, sec.take_usize()?);
+                        let spec = WindowSpec::new(wn, wk, ws)
+                            .map_err(|_| CheckpointError::Corrupt("invalid count window spec"))?;
+                        if spec.n > crate::checkpoint::MAX_RESTORED_WINDOW {
+                            return Err(CheckpointError::Corrupt(
+                                "restored window implausibly large",
+                            )
+                            .into());
+                        }
+                        let engine = count(name, spec)?;
+                        if engine.spec() != spec {
+                            return Err(
+                                CheckpointError::Corrupt("factory engine spec mismatch").into()
+                            );
+                        }
+                        AnySession::Count(Session::decode_checkpoint_body(engine, &mut sec)?)
+                    }
+                    1 => {
+                        let name = sec.take_str()?;
+                        let (wd, sd, k) = (sec.take_u64()?, sec.take_u64()?, sec.take_usize()?);
+                        let spec = TimedSpec::new(wd, sd, k)
+                            .map_err(|_| CheckpointError::Corrupt("invalid timed window spec"))?;
+                        let reduced = spec
+                            .reduced()
+                            .map_err(|_| CheckpointError::Corrupt("timed spec does not reduce"))?;
+                        if reduced.n > crate::checkpoint::MAX_RESTORED_WINDOW {
+                            return Err(CheckpointError::Corrupt(
+                                "restored window implausibly large",
+                            )
+                            .into());
+                        }
+                        let engine = timed(name, spec)?;
+                        if engine.window_duration() != wd
+                            || engine.slide_duration() != sd
+                            || engine.k() != k
+                        {
+                            return Err(
+                                CheckpointError::Corrupt("factory engine spec mismatch").into()
+                            );
+                        }
+                        AnySession::Timed(TimedSession::decode_checkpoint_body(engine, &mut sec)?)
+                    }
+                    2 => {
+                        let name = sec.take_str()?;
+                        let (wd, sd, k) = (sec.take_u64()?, sec.take_u64()?, sec.take_usize()?);
+                        let reduced = TimedSpec::new(wd, sd, k)
+                            .and_then(|spec| spec.reduced())
+                            .map_err(|_| CheckpointError::Corrupt("invalid shared window spec"))?;
+                        if reduced.n > crate::checkpoint::MAX_RESTORED_WINDOW {
+                            return Err(CheckpointError::Corrupt(
+                                "restored window implausibly large",
+                            )
+                            .into());
+                        }
+                        let engine = count(name, reduced)?;
+                        let consumer = SharedTimed::from_engine(engine, wd, sd).map_err(|_| {
+                            CheckpointError::Corrupt("factory engine is not a fresh reduction")
+                        })?;
+                        AnySession::Shared(SharedSession::decode_checkpoint_body(
+                            consumer, &mut sec,
+                        )?)
+                    }
+                    _ => return Err(CheckpointError::Corrupt("unknown session kind").into()),
+                };
+                sessions.push((id, session));
+            }
+            sec.finish()?;
+        }
+        let mut groups = Vec::new();
+        {
+            let mut sec = dec.section(tags::GROUPS)?;
+            let n = sec.take_seq_len()?;
+            for _ in 0..n {
+                let sd = sec.take_u64()?;
+                let producer = DigestProducer::decode_state(&mut sec)?;
+                if producer.slide_duration() != sd {
+                    return Err(
+                        CheckpointError::Corrupt("group key disagrees with its producer").into(),
+                    );
+                }
+                groups.push((sd, producer));
+            }
+            sec.finish()?;
+        }
+        let (digest_hits, digest_rebuilds);
+        {
+            let mut sec = dec.section(tags::COUNTERS)?;
+            digest_hits = sec.take_u64()?;
+            digest_rebuilds = sec.take_u64()?;
+            sec.finish()?;
+        }
+        Ok(RegistryParts {
+            sessions,
+            groups,
+            digest_hits,
+            digest_rebuilds,
+        })
+    }
+
+    /// Reassembles one registry from decoded parts — possibly several,
+    /// when a sharded checkpoint is restored into a sequential hub.
+    /// Validation happens in [`RegistryParts::merge`]; group member
+    /// counts are recomputed from the shared sessions themselves.
+    pub(crate) fn from_parts(parts: Vec<RegistryParts<C, T>>) -> Result<Self, SapError> {
+        Ok(Self::from_merged(RegistryParts::merge(parts)?, None))
+    }
+
+    /// Builds a registry from already-merged, already-validated parts.
+    pub(crate) fn from_merged(parts: RegistryParts<C, T>, shard: Option<usize>) -> Self {
+        let mut groups: HashMap<u64, DigestGroup> = parts
+            .groups
+            .into_iter()
+            .map(|(sd, producer)| {
+                (
+                    sd,
+                    DigestGroup {
+                        producer,
+                        members: 0,
+                    },
+                )
+            })
+            .collect();
+        for (_, session) in &parts.sessions {
+            if let AnySession::Shared(s) = session {
+                groups
+                    .get_mut(&s.slide_duration())
+                    .expect("merge validated every shared session has its group")
+                    .members += 1;
+            }
+        }
+        Registry {
+            sessions: parts.sessions,
+            groups,
+            digest_hits: parts.digest_hits,
+            digest_rebuilds: parts.digest_rebuilds,
+            plain_buf: Vec::new(),
+            update_hint: 0,
+            shard,
+        }
+    }
+
+    // ---- live migration ---------------------------------------------------
+
+    /// Installs a session that already carries live state (a checkpoint
+    /// restore or a live migration), keeping the store in ascending-id
+    /// order — so drain order is indistinguishable from a hub where the
+    /// query had been registered here originally. A shared session's
+    /// slide group must have been installed first.
+    pub(crate) fn install(&mut self, id: QueryId, session: AnySession<C, T>) {
+        if let AnySession::Shared(s) = &session {
+            self.groups
+                .get_mut(&s.slide_duration())
+                .expect("install a shared session only after its group")
+                .members += 1;
+        }
+        let pos = self.sessions.partition_point(|(have, _)| *have < id);
+        self.sessions.insert(pos, (id, session));
+    }
+
+    /// Installs a slide-group producer ahead of its member sessions.
+    pub(crate) fn install_group(&mut self, sd: u64, producer: DigestProducer) {
+        debug_assert_eq!(producer.slide_duration(), sd);
+        let prev = self.groups.insert(
+            sd,
+            DigestGroup {
+                producer,
+                members: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "installing over a live slide group");
+    }
+
+    /// Adds restored sharing counters (a restore assigns the checkpoint's
+    /// summed counters wholesale to one shard; a migration moves none).
+    pub(crate) fn install_counters(&mut self, hits: u64, rebuilds: u64) {
+        self.digest_hits += hits;
+        self.digest_rebuilds += rebuilds;
+    }
+
+    /// Ejects a slide group and every member session for migration to
+    /// another shard: the shared producer plus the members in
+    /// ascending-id order. `None` if no such group lives here.
+    pub(crate) fn eject_group(&mut self, sd: u64) -> Option<EjectedGroup<C, T>> {
+        let group = self.groups.remove(&sd)?;
+        let mut members = Vec::with_capacity(group.members);
+        let mut i = 0;
+        while i < self.sessions.len() {
+            let is_member =
+                matches!(&self.sessions[i].1, AnySession::Shared(s) if s.slide_duration() == sd);
+            if is_member {
+                members.push(self.sessions.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert_eq!(members.len(), group.members);
+        Some((group.producer, members))
+    }
+
+    /// Ejects everything — sessions, groups, counters — leaving the
+    /// registry empty. The `ShardedHub::resize` path drains each worker
+    /// through this before re-scattering onto the new worker set.
+    pub(crate) fn eject_all(&mut self) -> RegistryParts<C, T> {
+        let mut groups: Vec<(u64, DigestProducer)> = self
+            .groups
+            .drain()
+            .map(|(sd, group)| (sd, group.producer))
+            .collect();
+        groups.sort_unstable_by_key(|(sd, _)| *sd);
+        RegistryParts {
+            sessions: std::mem::take(&mut self.sessions),
+            groups,
+            digest_hits: std::mem::take(&mut self.digest_hits),
+            digest_rebuilds: std::mem::take(&mut self.digest_rebuilds),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -465,17 +884,17 @@ mod tests {
 
     #[test]
     fn digest_depth_follows_the_deepest_member() {
-        let mut reg: Registry<Toy, ToyTimed> = Registry::new();
-        reg.register_shared(QueryId::from_raw(0), consumer(20, 10, 1));
+        let mut reg: Registry<Toy, ToyTimed> = Registry::default();
+        reg.register_shared(QueryId::from_raw(0), consumer(20, 10, 1), None);
         assert_eq!(reg.groups[&10].producer.k_max(), 1);
-        reg.register_shared(QueryId::from_raw(1), consumer(40, 10, 5));
+        reg.register_shared(QueryId::from_raw(1), consumer(40, 10, 5), None);
         assert_eq!(reg.groups[&10].producer.k_max(), 5, "grows on join");
         // the deepest member leaving shrinks the depth back
         reg.unregister(QueryId::from_raw(1)).unwrap();
         assert_eq!(reg.groups[&10].producer.k_max(), 1, "shrinks on leave");
         // a non-deepest member leaving does not
-        reg.register_shared(QueryId::from_raw(2), consumer(40, 10, 3));
-        reg.register_shared(QueryId::from_raw(3), consumer(20, 10, 2));
+        reg.register_shared(QueryId::from_raw(2), consumer(40, 10, 3), None);
+        reg.register_shared(QueryId::from_raw(3), consumer(20, 10, 2), None);
         reg.unregister(QueryId::from_raw(3)).unwrap();
         assert_eq!(reg.groups[&10].producer.k_max(), 3);
         // the last member out retires the group

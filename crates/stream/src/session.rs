@@ -35,6 +35,7 @@
 //! use sap_stream::{Hub, Ingest, Object};
 //! # use sap_stream::{OpStats, SlidingTopK, WindowSpec};
 //! # struct Toy(WindowSpec, Vec<Object>);
+//! # impl sap_stream::checkpoint::CheckpointState for Toy {}
 //! # impl SlidingTopK for Toy {
 //! #     fn spec(&self) -> WindowSpec { self.0 }
 //! #     fn slide(&mut self, b: &[Object]) -> &[Object] { self.1 = b.to_vec(); &self.1 }
@@ -51,6 +52,9 @@
 //! assert_eq!(hub.session(q).unwrap().slides(), 1);
 //! ```
 
+use crate::checkpoint::{
+    tags, Checkpoint, CheckpointError, DecodeState, Decoder, EncodeState, Encoder, EngineFactory,
+};
 use crate::digest::{DigestProducer, DigestRef, SharedTimed};
 use crate::events::{diff_snapshots_into, EventList, SlideResult, Snapshot};
 use crate::object::{Object, TimedObject};
@@ -178,6 +182,12 @@ pub struct Session<A: SlidingTopK> {
     /// spans `n + s` ordinals, covering every object an emission can
     /// reference.
     ring: Vec<u64>,
+    /// Score of ordinal `o`, parallel to `ring`. Emissions don't need it
+    /// (the engine returns scores), but a checkpoint does: it lets the
+    /// session write its full window contents without any engine
+    /// cooperation, which is what makes replay-based restore engine-
+    /// agnostic. Fixed-size, so the publish path stays allocation-free.
+    ring_scores: Vec<f64>,
     scratch: SlideScratch,
 }
 
@@ -191,6 +201,7 @@ impl<A: SlidingTopK> Session<A> {
             slides: 0,
             next_ordinal: 0,
             ring: vec![0; spec.n + spec.s],
+            ring_scores: vec![0.0; spec.n + spec.s],
             scratch: SlideScratch::new(),
             alg,
         }
@@ -238,6 +249,7 @@ impl<A: SlidingTopK> Session<A> {
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
         self.ring[(ordinal % cap) as usize] = o.id;
+        self.ring_scores[(ordinal % cap) as usize] = o.score;
         self.pending.push(Object::new(ordinal, o.score));
     }
 
@@ -259,6 +271,79 @@ impl<A: SlidingTopK> Session<A> {
         self.pending.clear();
         let quiet = !self.alg.last_slide_changed();
         emit_staged(&mut self.prev, &mut self.slides, &mut self.scratch, quiet)
+    }
+
+    /// Writes the session's checkpoint body: the slide counter, the
+    /// engine's current window contents as `(external id, score)` pairs,
+    /// and the pending buffer. No engine internals are written — a
+    /// count-based engine is an exact top-k function of its window, so
+    /// restore rebuilds a fresh engine and **replays** the retained
+    /// window through the normal push path, reproducing the engine's
+    /// observable state (and every future emission) byte-for-byte.
+    pub(crate) fn encode_checkpoint_body(&self, enc: &mut Encoder) {
+        let spec = self.alg.spec();
+        let cap = self.ring.len() as u64;
+        enc.put_u64(self.slides);
+        // ordinals currently inside the engine's window: the last
+        // min(fed, n) of the `fed` objects handed over in full slides
+        let fed = self.next_ordinal - self.pending.len() as u64;
+        let window_len = fed.min(spec.n as u64);
+        enc.put_u64(window_len);
+        for ordinal in (fed - window_len)..fed {
+            let slot = (ordinal % cap) as usize;
+            enc.put_u64(self.ring[slot]);
+            enc.put_f64(self.ring_scores[slot]);
+        }
+        enc.put_u64(self.pending.len() as u64);
+        for o in &self.pending {
+            // pending objects carry their ordinal; the external id lives
+            // in the translation ring
+            enc.put_u64(self.ring[(o.id % cap) as usize]);
+            enc.put_f64(o.score);
+        }
+    }
+
+    /// Rebuilds a session from its checkpoint body by replay: `engine`
+    /// must be fresh (as built by an
+    /// [`EngineFactory`]); the retained window and
+    /// pending buffer are re-pushed through the normal ingestion path
+    /// (emissions discarded), then the slide counter is restored so the
+    /// next emission carries the original slide index. Replayed arrival
+    /// ordinals restart at 0 — harmless, because translation and
+    /// tie-breaks depend only on ordinal *ordering*, which replay
+    /// preserves.
+    pub(crate) fn decode_checkpoint_body(
+        engine: A,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Self, CheckpointError> {
+        let spec = engine.spec();
+        let slides = dec.take_u64()?;
+        let window: Vec<Object> = dec.take_seq()?;
+        let pending: Vec<Object> = dec.take_seq()?;
+        if window.len() > spec.n {
+            return Err(CheckpointError::Corrupt("session window exceeds n"));
+        }
+        if !window.len().is_multiple_of(spec.s) {
+            return Err(CheckpointError::Corrupt(
+                "session window is not slide-aligned",
+            ));
+        }
+        if pending.len() >= spec.s {
+            return Err(CheckpointError::Corrupt(
+                "session pending spans a full slide",
+            ));
+        }
+        if slides < (window.len() / spec.s) as u64 {
+            return Err(CheckpointError::Corrupt(
+                "session slide counter behind its window",
+            ));
+        }
+        let mut session = Session::new(engine);
+        session.push_each(&window, &mut |_| {});
+        session.push_each(&pending, &mut |_| {});
+        debug_assert_eq!(session.pending.len(), pending.len());
+        session.slides = slides;
+        Ok(session)
     }
 }
 
@@ -379,6 +464,38 @@ impl<E: TimedTopK> TimedSession<E> {
     /// Unwraps the session, discarding the delta state.
     pub fn into_inner(self) -> E {
         self.engine
+    }
+
+    /// Writes the session's checkpoint body: the slide counter, the
+    /// previous emission (delta continuity), and the engine's
+    /// [`CheckpointState`] blob in its own frame. Unlike the count-based
+    /// session, a timed engine holds state the session cannot replay
+    /// (the open-slide buffer, the reduced window), so the engine writes
+    /// itself.
+    pub(crate) fn encode_checkpoint_body(&self, enc: &mut Encoder) {
+        enc.put_u64(self.slides);
+        self.prev.encode_state(enc);
+        enc.section(tags::ENGINE, |e| self.engine.encode_engine(e));
+    }
+
+    /// Rebuilds a session from its checkpoint body. `engine` must be
+    /// fresh (as built by an [`EngineFactory`]); its
+    /// [`CheckpointState::decode_engine`] consumes the framed blob.
+    pub(crate) fn decode_checkpoint_body(
+        mut engine: E,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Self, CheckpointError> {
+        let slides = dec.take_u64()?;
+        let prev = Snapshot::decode_state(dec)?;
+        let mut blob = dec.section(tags::ENGINE)?;
+        engine.decode_engine(&mut blob)?;
+        blob.finish()?;
+        Ok(TimedSession {
+            engine,
+            prev,
+            slides,
+            scratch: SlideScratch::new(),
+        })
     }
 }
 
@@ -537,6 +654,62 @@ impl<C: SlidingTopK> SharedSession<C> {
     /// Unwraps the session, discarding the delta state.
     pub fn into_inner(self) -> SharedTimed<C> {
         self.consumer
+    }
+
+    /// Writes the session's checkpoint body: slide counter, previous
+    /// emission, the consumer's reduced window (its own frame), and — for
+    /// a member still warming up — the private producer plus join slide.
+    pub(crate) fn encode_checkpoint_body(&self, enc: &mut Encoder) {
+        enc.put_u64(self.slides);
+        self.prev.encode_state(enc);
+        enc.section(tags::ENGINE, |e| self.consumer.encode_state(e));
+        match &self.warmup {
+            None => enc.put_u8(0),
+            Some(w) => {
+                enc.put_u8(1);
+                enc.put_u64(w.join_slide);
+                w.producer.encode_state(enc);
+            }
+        }
+    }
+
+    /// Rebuilds a session from its checkpoint body. `consumer` must be
+    /// fresh (a [`SharedTimed::from_engine`] over a factory-built
+    /// engine); its reduced window is replayed by
+    /// [`SharedTimed::restore_state`].
+    pub(crate) fn decode_checkpoint_body(
+        mut consumer: SharedTimed<C>,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Self, CheckpointError> {
+        let slides = dec.take_u64()?;
+        let prev = Snapshot::decode_state(dec)?;
+        let mut blob = dec.section(tags::ENGINE)?;
+        consumer.restore_state(&mut blob)?;
+        blob.finish()?;
+        let warmup = match dec.take_u8()? {
+            0 => None,
+            1 => {
+                let join_slide = dec.take_u64()?;
+                let producer = DigestProducer::decode_state(dec)?;
+                if producer.slide_duration() != consumer.slide_duration() {
+                    return Err(CheckpointError::Corrupt(
+                        "warm-up producer disagrees with its session's slide duration",
+                    ));
+                }
+                Some(Warmup {
+                    producer,
+                    join_slide,
+                })
+            }
+            _ => return Err(CheckpointError::Corrupt("bad warm-up flag")),
+        };
+        Ok(SharedSession {
+            consumer,
+            warmup,
+            prev,
+            slides,
+            scratch: SlideScratch::new(),
+        })
     }
 
     /// Applies a run of closed digests — the group's, or during warm-up
@@ -837,7 +1010,7 @@ impl Hub {
         let consumer = SharedTimed::from_engine(engine, window_duration, slide_duration)
             .map_err(SapError::Spec)?;
         let id = self.next_id();
-        self.registry.register_shared(id, consumer);
+        self.registry.register_shared(id, consumer, None);
         Ok(id)
     }
 
@@ -957,6 +1130,57 @@ impl Hub {
     /// Whether no queries are registered.
     pub fn is_empty(&self) -> bool {
         self.registry.is_empty()
+    }
+
+    /// Captures the hub's full serving state as a framed, versioned,
+    /// checksummed [`Checkpoint`]: every session's window and pending
+    /// buffer, slide counters, previous emissions, the digest-group
+    /// producers, and the sharing counters. Engine *code* is not
+    /// captured — sessions record their engine's
+    /// [`name`](SlidingTopK::name) and spec, and
+    /// [`restore`](Hub::restore) rebuilds engines through an
+    /// [`EngineFactory`].
+    ///
+    /// The snapshot is taken between publishes, so it always sits on a
+    /// clean slide boundary per query; a hub restored from it emits
+    /// byte-identical results for any subsequently published stream.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut enc = Encoder::new();
+        enc.put_u64(self.next_id);
+        enc.put_usize(1);
+        enc.section(tags::REGISTRY, |e| self.registry.encode_checkpoint(e));
+        Checkpoint::from_payload(enc.into_payload())
+    }
+
+    /// Rebuilds a hub from a [`Checkpoint`], constructing each session's
+    /// engine through `factory` and replaying the retained state into it.
+    /// Accepts checkpoints from either hub flavor: a sharded checkpoint's
+    /// per-shard registries are merged back into one (sessions in
+    /// registration order, groups unioned, counters summed).
+    ///
+    /// Malformed input is a typed [`SapError::Checkpoint`]; an engine
+    /// name the factory cannot build surfaces as
+    /// [`CheckpointError::UnknownEngine`]. Never panics on foreign bytes.
+    pub fn restore(checkpoint: &Checkpoint, factory: &dyn EngineFactory) -> Result<Hub, SapError> {
+        let mut dec = Decoder::new(checkpoint.payload());
+        let next_id = dec.take_u64()?;
+        let sections = dec.take_usize()?;
+        let mut parts = Vec::new();
+        for _ in 0..sections {
+            let mut registry = dec.section(tags::REGISTRY)?;
+            parts.push(Registry::decode_checkpoint(
+                &mut registry,
+                &mut |name, spec| factory.count(name, spec).map(|b| b as Box<dyn SlidingTopK>),
+                &mut |name, spec| factory.timed(name, spec).map(|b| b as Box<dyn TimedTopK>),
+            )?);
+            registry.finish().map_err(SapError::from)?;
+        }
+        dec.finish().map_err(SapError::from)?;
+        let registry = Registry::from_parts(parts)?;
+        if registry.query_ids().any(|id| id.raw() >= next_id) {
+            return Err(CheckpointError::Corrupt("session id at or past the id counter").into());
+        }
+        Ok(Hub { registry, next_id })
     }
 }
 

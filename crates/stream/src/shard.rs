@@ -63,11 +63,28 @@
 //! shards via [`unregister`](ShardedHub::unregister), drop the hub, build
 //! a fresh one, and re-register. The hub never respawns workers silently
 //! — losing standing queries' state is not something to paper over.
+//! Guarding against that loss *in advance* is what
+//! [`checkpoint`](ShardedHub::checkpoint) is for: snapshot periodically,
+//! and when a shard dies, [`restore`](ShardedHub::restore) the last
+//! checkpoint into a fresh hub (`examples/checkpoint.rs` walks the whole
+//! drill).
+//!
+//! ## Elastic operation
+//!
+//! The durability plane doubles as live migration:
+//! [`move_query`](ShardedHub::move_query) transfers one query's session
+//! (a shared query: its whole slide group) to a chosen shard between two
+//! publishes, and [`resize`](ShardedHub::resize) re-partitions every
+//! session across a new worker count. Neither perturbs results: slides
+//! completed on the old and new shard meet in the next
+//! [`drain`](ShardedHub::drain), whose global `(QueryId, slide)` sort is
+//! placement-blind.
 //!
 //! ```
 //! use sap_stream::{Object, ShardedHub};
 //! # use sap_stream::{OpStats, SlidingTopK, WindowSpec};
 //! # struct Toy(WindowSpec, Vec<Object>);
+//! # impl sap_stream::checkpoint::CheckpointState for Toy {}
 //! # impl SlidingTopK for Toy {
 //! #     fn spec(&self) -> WindowSpec { self.0 }
 //! #     fn slide(&mut self, b: &[Object]) -> &[Object] { self.1 = b.to_vec(); &self.1 }
@@ -89,11 +106,12 @@ use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::digest::SharedTimed;
+use crate::checkpoint::{tags, Checkpoint, CheckpointError, Decoder, Encoder, EngineFactory};
+use crate::digest::{DigestProducer, SharedTimed};
 use crate::events::Snapshot;
 use crate::object::{Object, TimedObject};
 use crate::query::SapError;
-use crate::registry::{HubStats, Registry};
+use crate::registry::{HubStats, Registry, RegistryParts};
 use crate::session::{AnySession, QueryId, QueryUpdate};
 use crate::window::{SlidingTopK, TimedTopK};
 
@@ -115,6 +133,14 @@ pub const PUBLISH_ONE_COALESCE: usize = 128;
 /// threads — what a [`ShardedHub`] hands back on
 /// [`unregister`](ShardedHub::unregister).
 pub type ShardSession = AnySession<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>>;
+
+/// One worker's ejected serving state (plus its undrained updates) —
+/// what travels back on [`ShardedHub::resize`]'s rescatter path.
+type ShardParts = RegistryParts<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>>;
+
+/// The reply channel a worker answers an `EjectAll` on: its full serving
+/// state plus any updates parked in its outbound queue.
+type PartsReply = mpsc::Receiver<(ShardParts, Vec<QueryUpdate>)>;
 
 /// A point-in-time view of one query, fetched across the shard boundary
 /// by [`ShardedHub::inspect`].
@@ -139,12 +165,34 @@ enum Command {
     AdvanceTime(u64),
     Register(QueryId, Box<dyn SlidingTopK + Send>),
     RegisterTimed(QueryId, Box<dyn TimedTopK + Send>),
-    RegisterShared(QueryId, SharedTimed<Box<dyn SlidingTopK + Send>>),
+    /// The trailing `usize` is the hub-computed home shard for the
+    /// query's slide group — the receiving worker debug-asserts it owns
+    /// it, so a group can never silently span shards.
+    RegisterShared(QueryId, SharedTimed<Box<dyn SlidingTopK + Send>>, usize),
     Unregister(QueryId, mpsc::Sender<ShardSession>),
     Inspect(QueryId, mpsc::Sender<QueryState>),
     Stats(mpsc::Sender<HubStats>),
     Flush(mpsc::Sender<()>),
     Drain(mpsc::Sender<Vec<QueryUpdate>>),
+    /// Serialize this worker's registry as one framed `tags::REGISTRY`
+    /// section (the hub splices the per-shard sections into one
+    /// [`Checkpoint`]). Sent right after a drain barrier, so the state
+    /// sits on a per-query slide boundary.
+    CheckpointShard(mpsc::Sender<Vec<u8>>),
+    /// Adopt a session that already carries live state (a restore or a
+    /// live migration). A shared session's group must be installed first.
+    Install(QueryId, ShardSession),
+    InstallGroup(u64, DigestProducer),
+    InstallCounters(u64, u64),
+    /// Hand a slide group — producer plus every member session — to the
+    /// hub for migration to another shard.
+    EjectGroup(
+        u64,
+        mpsc::Sender<(DigestProducer, Vec<(QueryId, ShardSession)>)>,
+    ),
+    /// Hand *everything* back — sessions, groups, counters, and the
+    /// undrained updates — emptying the worker (the resize path).
+    EjectAll(mpsc::Sender<(ShardParts, Vec<QueryUpdate>)>),
 }
 
 struct Shard {
@@ -157,9 +205,9 @@ struct Shard {
 /// keeps the two byte-identical by construction — driven from the
 /// command queue in order, accumulating completed slides until the next
 /// drain.
-fn shard_worker(rx: Receiver<Command>) {
+fn shard_worker(shard: usize, rx: Receiver<Command>) {
     let mut registry: Registry<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>> =
-        Registry::new();
+        Registry::with_shard(shard);
     let mut updates: Vec<QueryUpdate> = Vec::new();
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -168,7 +216,9 @@ fn shard_worker(rx: Receiver<Command>) {
             Command::AdvanceTime(watermark) => updates.extend(registry.advance_time(watermark)),
             Command::Register(id, alg) => registry.register_count(id, alg),
             Command::RegisterTimed(id, engine) => registry.register_timed(id, engine),
-            Command::RegisterShared(id, consumer) => registry.register_shared(id, consumer),
+            Command::RegisterShared(id, consumer, home) => {
+                registry.register_shared(id, consumer, Some(home))
+            }
             Command::Unregister(id, reply) => {
                 // membership is checked hub-side; a miss here would be a
                 // routing bug, surfaced as a RecvError on the hub's reply
@@ -192,6 +242,24 @@ fn shard_worker(rx: Receiver<Command>) {
             }
             Command::Drain(reply) => {
                 let _ = reply.send(std::mem::take(&mut updates));
+            }
+            Command::CheckpointShard(reply) => {
+                let mut enc = Encoder::new();
+                enc.section(tags::REGISTRY, |e| registry.encode_checkpoint(e));
+                let _ = reply.send(enc.into_payload());
+            }
+            Command::Install(id, session) => registry.install(id, session),
+            Command::InstallGroup(sd, producer) => registry.install_group(sd, producer),
+            Command::InstallCounters(hits, rebuilds) => registry.install_counters(hits, rebuilds),
+            Command::EjectGroup(sd, reply) => {
+                // group residence is tracked hub-side; a miss here is a
+                // routing bug, surfaced as a RecvError on the hub's reply
+                if let Some(ejected) = registry.eject_group(sd) {
+                    let _ = reply.send(ejected);
+                }
+            }
+            Command::EjectAll(reply) => {
+                let _ = reply.send((registry.eject_all(), std::mem::take(&mut updates)));
             }
         }
     }
@@ -237,6 +305,19 @@ pub struct ShardedHub {
     /// before any other command is enqueued, so ordering guarantees are
     /// unchanged.
     pending_one: Vec<Object>,
+    /// Placement overrides from [`move_query`](ShardedHub::move_query):
+    /// queries living somewhere other than their id hash. Consulted by
+    /// `home_shard` after the slide-group map (a shared query always
+    /// follows its group), cleared by [`resize`](ShardedHub::resize)
+    /// (which re-scatters by hash under the new shard count).
+    placed: HashMap<QueryId, usize>,
+    /// Updates rescued from workers retired by
+    /// [`resize`](ShardedHub::resize), merged into the next
+    /// [`drain`](ShardedHub::drain) — the global `(QueryId, slide)` sort
+    /// puts them exactly where an uninterrupted run would have.
+    parked_updates: Vec<QueryUpdate>,
+    /// Queue bound each worker was spawned with, reused by `resize`.
+    queue_capacity: usize,
     next_id: u64,
 }
 
@@ -264,27 +345,47 @@ impl ShardedHub {
     pub fn with_capacity(num_shards: usize, queue_capacity: usize) -> Self {
         let num_shards = num_shards.max(1);
         let queue_capacity = queue_capacity.max(1);
-        let shards = (0..num_shards)
+        ShardedHub {
+            shard_len: vec![0; num_shards],
+            shards: Self::spawn_workers(num_shards, queue_capacity),
+            registered: BTreeSet::new(),
+            shared_groups: HashMap::new(),
+            shared_sd: HashMap::new(),
+            pending_one: Vec::new(),
+            placed: HashMap::new(),
+            parked_updates: Vec::new(),
+            queue_capacity,
+            next_id: 0,
+        }
+    }
+
+    fn spawn_workers(num_shards: usize, queue_capacity: usize) -> Vec<Shard> {
+        (0..num_shards)
             .map(|i| {
                 let (tx, rx) = mpsc::sync_channel(queue_capacity);
                 let worker = std::thread::Builder::new()
                     .name(format!("sap-shard-{i}"))
-                    .spawn(move || shard_worker(rx))
+                    .spawn(move || shard_worker(i, rx))
                     .expect("spawn shard worker");
                 Shard {
                     tx,
                     worker: Some(worker),
                 }
             })
-            .collect();
-        ShardedHub {
-            shard_len: vec![0; num_shards],
-            shards,
-            registered: BTreeSet::new(),
-            shared_groups: HashMap::new(),
-            shared_sd: HashMap::new(),
-            pending_one: Vec::new(),
-            next_id: 0,
+            .collect()
+    }
+
+    /// Closes every worker's queue and joins it — after outstanding
+    /// commands are processed. Shared by [`Drop`] and the
+    /// [`resize`](ShardedHub::resize) rescatter.
+    fn shutdown_workers(&mut self) {
+        for shard in &mut self.shards {
+            // drop the sender first so the worker's recv loop ends
+            let (closed, _) = mpsc::sync_channel(1);
+            shard.tx = closed;
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
         }
     }
 
@@ -314,10 +415,10 @@ impl ShardedHub {
         ((h >> 32) as usize) % self.shards.len()
     }
 
-    /// Which shard actually owns a registered query, fixed for the
-    /// query's lifetime: its slide group's shard for shared queries
-    /// (group-aware placement may override the hash), the Fibonacci hash
-    /// otherwise.
+    /// Which shard actually owns a registered query: its slide group's
+    /// shard for shared queries (group-aware placement may override the
+    /// hash), a [`move_query`](ShardedHub::move_query) placement if one
+    /// is in effect, the Fibonacci hash otherwise.
     fn home_shard(&self, id: QueryId) -> usize {
         match self
             .shared_sd
@@ -325,7 +426,10 @@ impl ShardedHub {
             .and_then(|sd| self.shared_groups.get(sd))
         {
             Some(&(shard, _)) => shard,
-            None => self.shard_of(id),
+            None => match self.placed.get(&id) {
+                Some(&shard) => shard,
+                None => self.shard_of(id),
+            },
         }
     }
 
@@ -437,7 +541,7 @@ impl ShardedHub {
             Some(&(shard, _)) => shard,
             None => self.shard_of(id),
         };
-        self.send(shard, Command::RegisterShared(id, consumer))?;
+        self.send(shard, Command::RegisterShared(id, consumer, shard))?;
         let members = self
             .shared_groups
             .entry(slide_duration)
@@ -627,7 +731,10 @@ impl ShardedHub {
                     .map(|()| (shard, rx))
             })
             .collect::<Result<_, _>>()?;
-        let mut updates = Vec::new();
+        // updates rescued from workers a resize retired join here; the
+        // global sort interleaves them exactly where an uninterrupted
+        // run would have
+        let mut updates = std::mem::take(&mut self.parked_updates);
         for (shard, rx) in replies {
             updates.extend(self.recv(shard, &rx)?);
         }
@@ -691,6 +798,241 @@ impl ShardedHub {
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
+
+    // ---- durability plane -------------------------------------------------
+
+    /// Captures the hub's full serving state as a framed, versioned,
+    /// checksummed [`Checkpoint`] — the sharded counterpart of
+    /// [`Hub::checkpoint`](crate::session::Hub::checkpoint), and
+    /// interchangeable with it: either hub flavor can
+    /// [`restore`](ShardedHub::restore) the other's checkpoints, at any
+    /// shard count.
+    ///
+    /// Checkpointing is a **drain-style barrier**: every shard first
+    /// retires its backlog, so the captured state sits on each query's
+    /// current slide boundary. The updates that barrier collected are
+    /// returned alongside the checkpoint — they are slides the captured
+    /// state has already emitted (a restored hub will *not* re-emit
+    /// them), so hand them to whatever consumed your drains.
+    pub fn checkpoint(&mut self) -> Result<(Checkpoint, Vec<QueryUpdate>), SapError> {
+        let updates = self.drain()?;
+        let replies: Vec<(usize, mpsc::Receiver<Vec<u8>>)> = (0..self.shards.len())
+            .map(|shard| {
+                let (reply, rx) = mpsc::channel();
+                self.send(shard, Command::CheckpointShard(reply))
+                    .map(|()| (shard, rx))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut enc = Encoder::new();
+        enc.put_u64(self.next_id);
+        enc.put_usize(replies.len());
+        for (shard, rx) in replies {
+            enc.put_encoded(&self.recv(shard, &rx)?);
+        }
+        Ok((Checkpoint::from_payload(enc.into_payload()), updates))
+    }
+
+    /// Rebuilds a hub with `num_shards` workers from a [`Checkpoint`]
+    /// taken by either hub flavor at any shard count, constructing each
+    /// session's engine through `factory` and replaying the retained
+    /// state into it. Sessions are re-scattered by the id hash under the
+    /// new shard count; each slide group lands wholesale on one shard
+    /// (its lowest-id member's), honoring group affinity.
+    ///
+    /// Malformed input is a typed [`SapError::Checkpoint`]; an engine
+    /// name the factory cannot build surfaces as
+    /// [`CheckpointError::UnknownEngine`]. Never panics on foreign bytes.
+    pub fn restore(
+        checkpoint: &Checkpoint,
+        factory: &dyn EngineFactory,
+        num_shards: usize,
+    ) -> Result<ShardedHub, SapError> {
+        let mut dec = Decoder::new(checkpoint.payload());
+        let next_id = dec.take_u64()?;
+        let sections = dec.take_usize()?;
+        let mut parts = Vec::new();
+        for _ in 0..sections {
+            let mut registry = dec.section(tags::REGISTRY)?;
+            parts.push(Registry::decode_checkpoint(
+                &mut registry,
+                &mut |name, spec| factory.count(name, spec),
+                &mut |name, spec| factory.timed(name, spec),
+            )?);
+            registry.finish().map_err(SapError::from)?;
+        }
+        dec.finish().map_err(SapError::from)?;
+        let merged = RegistryParts::merge(parts).map_err(SapError::from)?;
+        if merged.sessions.iter().any(|(id, _)| id.raw() >= next_id) {
+            return Err(CheckpointError::Corrupt("session id at or past the id counter").into());
+        }
+        let mut hub = ShardedHub::new(num_shards);
+        hub.next_id = next_id;
+        hub.place_parts(merged)?;
+        Ok(hub)
+    }
+
+    /// Scatters merged serving state across this hub's (fresh or freshly
+    /// emptied) workers: groups first — each on the shard its lowest-id
+    /// member hashes to, so every member can follow it — then sessions in
+    /// ascending-id order, then the sharing counters onto shard 0 (they
+    /// are hub-wide sums; where they live only affects which worker
+    /// reports them into the [`stats`](ShardedHub::stats) total).
+    fn place_parts(&mut self, parts: ShardParts) -> Result<(), SapError> {
+        let RegistryParts {
+            sessions,
+            groups,
+            digest_hits,
+            digest_rebuilds,
+        } = parts;
+        let mut group_home: HashMap<u64, usize> = HashMap::new();
+        for (sd, _) in &groups {
+            let lowest = sessions
+                .iter()
+                .find_map(|(id, s)| match s {
+                    AnySession::Shared(m) if m.slide_duration() == *sd => Some(*id),
+                    _ => None,
+                })
+                .expect("merge validated every group has members");
+            group_home.insert(*sd, self.shard_of(lowest));
+        }
+        for (sd, producer) in groups {
+            let shard = group_home[&sd];
+            self.send(shard, Command::InstallGroup(sd, producer))?;
+            self.shared_groups.insert(sd, (shard, 0));
+        }
+        for (id, session) in sessions {
+            let shard = match &session {
+                AnySession::Shared(s) => {
+                    let sd = s.slide_duration();
+                    self.shared_sd.insert(id, sd);
+                    self.shared_groups
+                        .get_mut(&sd)
+                        .expect("group placed above")
+                        .1 += 1;
+                    group_home[&sd]
+                }
+                _ => self.shard_of(id),
+            };
+            self.send(shard, Command::Install(id, session))?;
+            self.shard_len[shard] += 1;
+            self.registered.insert(id);
+        }
+        if digest_hits != 0 || digest_rebuilds != 0 {
+            self.send(0, Command::InstallCounters(digest_hits, digest_rebuilds))?;
+        }
+        Ok(())
+    }
+
+    // ---- elastic operation ------------------------------------------------
+
+    /// Moves one query's live session to `shard`, between two publishes —
+    /// i.e. on a slide boundary of the command stream: the session leaves
+    /// its old worker only after every previously published batch is
+    /// applied there, and lands on the new worker before any later batch,
+    /// so it observes the exact same object sequence as an unmoved query.
+    /// Results are unaffected: slides completed on either side meet in
+    /// the next [`drain`](ShardedHub::drain), whose global
+    /// `(QueryId, slide)` sort is placement-blind.
+    ///
+    /// A shared query moves with its **entire slide group** — the digest
+    /// producer is shard-local state shared with its co-members, so the
+    /// group travels as one unit and the shard-locality invariant holds
+    /// by construction.
+    ///
+    /// Moving a query to the shard it already lives on is a no-op. A
+    /// worker dying mid-move surfaces as [`SapError::ShardDown`]; the
+    /// sessions in flight are lost with it (exactly as if their new home
+    /// had died a moment later).
+    ///
+    /// # Panics
+    ///
+    /// If `shard >= self.num_shards()` — a placement that cannot exist,
+    /// i.e. a caller bug, not a data-dependent condition.
+    pub fn move_query(&mut self, id: QueryId, shard: usize) -> Result<(), SapError> {
+        assert!(
+            shard < self.shards.len(),
+            "move_query target {shard} out of range ({} shards)",
+            self.shards.len()
+        );
+        if !self.registered.contains(&id) {
+            return Err(SapError::UnknownQuery { query: id });
+        }
+        self.flush_pending_one()?;
+        if let Some(&sd) = self.shared_sd.get(&id) {
+            let (source, _) = self.shared_groups[&sd];
+            if source == shard {
+                return Ok(());
+            }
+            let (reply, rx) = mpsc::channel();
+            self.send(source, Command::EjectGroup(sd, reply))?;
+            let (producer, members) = self.recv(source, &rx)?;
+            self.send(shard, Command::InstallGroup(sd, producer))?;
+            let moved = members.len();
+            for (member, session) in members {
+                self.send(shard, Command::Install(member, session))?;
+            }
+            self.shard_len[source] -= moved;
+            self.shard_len[shard] += moved;
+            self.shared_groups.insert(sd, (shard, moved));
+        } else {
+            let source = self.home_shard(id);
+            if source == shard {
+                return Ok(());
+            }
+            let (reply, rx) = mpsc::channel();
+            self.send(source, Command::Unregister(id, reply))?;
+            let session = self.recv(source, &rx)?;
+            self.send(shard, Command::Install(id, session))?;
+            self.shard_len[source] -= 1;
+            self.shard_len[shard] += 1;
+            if self.shard_of(id) == shard {
+                self.placed.remove(&id);
+            } else {
+                self.placed.insert(id, shard);
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-partitions every live session across a fresh set of
+    /// `num_shards` workers (clamped to ≥ 1): each worker hands back its
+    /// entire serving state, the old workers are retired, and the state
+    /// is re-scattered by the id hash under the new count — slide groups
+    /// wholesale, honoring shard affinity. Built on the same
+    /// eject/install plane as [`move_query`](ShardedHub::move_query),
+    /// and results are unaffected for the same reason: sessions observe
+    /// the same object sequence, and updates completed before the resize
+    /// (parked here, returned by the next [`drain`](ShardedHub::drain))
+    /// sort into the same global order.
+    ///
+    /// Placement overrides from earlier `move_query` calls are cleared —
+    /// the new partitioning is pure hash-and-affinity.
+    pub fn resize(&mut self, num_shards: usize) -> Result<(), SapError> {
+        let num_shards = num_shards.max(1);
+        self.flush_pending_one()?;
+        let replies: Vec<(usize, PartsReply)> = (0..self.shards.len())
+            .map(|shard| {
+                let (reply, rx) = mpsc::channel();
+                self.send(shard, Command::EjectAll(reply))
+                    .map(|()| (shard, rx))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut parts = Vec::new();
+        for (shard, rx) in replies {
+            let (part, updates) = self.recv(shard, &rx)?;
+            parts.push(part);
+            self.parked_updates.extend(updates);
+        }
+        let merged = RegistryParts::merge(parts).map_err(SapError::from)?;
+        self.shutdown_workers();
+        self.shards = Self::spawn_workers(num_shards, self.queue_capacity);
+        self.shard_len = vec![0; num_shards];
+        self.registered.clear();
+        self.shared_groups.clear();
+        self.shared_sd.clear();
+        self.placed.clear();
+        self.place_parts(merged)
+    }
 }
 
 impl Drop for ShardedHub {
@@ -705,14 +1047,7 @@ impl Drop for ShardedHub {
         // consistent with every accepted publish (best effort: a dead
         // shard cannot take it anyway)
         let _ = self.flush_pending_one();
-        for shard in &mut self.shards {
-            // drop the sender first so the worker's recv loop ends
-            let (closed, _) = mpsc::sync_channel(1);
-            shard.tx = closed;
-            if let Some(worker) = shard.worker.take() {
-                let _ = worker.join();
-            }
-        }
+        self.shutdown_workers();
     }
 }
 
@@ -1017,6 +1352,7 @@ mod tests {
 
     /// An engine that kills its worker on the first slide.
     struct Bomb(WindowSpec);
+    impl crate::checkpoint::CheckpointState for Bomb {}
     impl SlidingTopK for Bomb {
         fn spec(&self) -> WindowSpec {
             self.0

@@ -3,6 +3,7 @@
 //! oracles by the session, hub, and sharded-hub test modules so every
 //! equivalence test pins the *same* semantics.
 
+use crate::checkpoint::{CheckpointError, CheckpointState, Decoder, Encoder};
 use crate::metrics::OpStats;
 use crate::object::{top_k_of, Object, TimedObject};
 use crate::window::{SlidingTopK, TimedTopK, WindowSpec};
@@ -23,6 +24,8 @@ impl Toy {
         }
     }
 }
+
+impl CheckpointState for Toy {}
 
 impl SlidingTopK for Toy {
     fn spec(&self) -> WindowSpec {
@@ -92,6 +95,31 @@ impl ToyTimed {
         self.result = top.clone();
         self.slide_end += self.slide_duration;
         top
+    }
+}
+
+/// A real (non-default) checkpoint hook, mirroring what `sap_core`'s
+/// `TimeBased` adapter does — this is what lets the session/hub unit
+/// tests in this crate cover the timed restore path without depending on
+/// the engine crates above it.
+impl CheckpointState for ToyTimed {
+    fn encode_engine(&self, enc: &mut Encoder) {
+        enc.put_u64(self.slide_end);
+        enc.put_seq(&self.pending);
+        enc.put_seq(&self.window);
+        enc.put_seq(&self.result);
+    }
+    fn decode_engine(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        self.slide_end = dec.take_u64()?;
+        self.pending = dec.take_seq()?;
+        self.window = dec.take_seq()?;
+        self.result = dec.take_seq()?;
+        if self.slide_end < self.slide_duration
+            || !self.slide_end.is_multiple_of(self.slide_duration)
+        {
+            return Err(CheckpointError::Corrupt("toy-timed slide_end misaligned"));
+        }
+        Ok(())
     }
 }
 

@@ -139,7 +139,12 @@ impl WindowSpec {
 /// objects; the call returns the current top-k (descending result order).
 /// During warm-up (fewer than `k` objects arrived) the result may be
 /// shorter than `k`.
-pub trait SlidingTopK {
+///
+/// The [`CheckpointState`](crate::checkpoint::CheckpointState) supertrait
+/// (default no-op bodies) plugs every engine into the durability plane;
+/// count-based engines are restored by window replay, so most
+/// implementations need not override anything.
+pub trait SlidingTopK: crate::checkpoint::CheckpointState {
     /// The query this instance answers.
     fn spec(&self) -> WindowSpec;
 
@@ -242,7 +247,13 @@ impl<T: SlidingTopK + ?Sized> SlidingTopK for Box<T> {
 /// The canonical implementation is `sap_core`'s `TimeBased<E>` adapter,
 /// which reduces each slide to its top-k and feeds a count-based
 /// [`SlidingTopK`] engine with the reduced stream.
-pub trait TimedTopK {
+///
+/// The [`CheckpointState`](crate::checkpoint::CheckpointState) supertrait
+/// plugs the engine into the durability plane; unlike count-based
+/// engines, a time-based one holds state the session layer cannot replay
+/// (the open-slide buffer, the reduced ring), so real implementations
+/// override both checkpoint hooks — see `sap_core::TimeBased`.
+pub trait TimedTopK: crate::checkpoint::CheckpointState {
     /// Window length in time units (the paper's `n`).
     fn window_duration(&self) -> u64;
 

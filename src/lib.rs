@@ -90,12 +90,12 @@ pub mod prelude;
 
 use sap_core::TimeBased;
 use sap_stream::{
-    Hub, Query, QueryId, SapError, Session, ShardedHub, SlidingTopK, TimedSession, TimedSpec,
-    TimedTopK, WindowSpec,
+    AlgorithmKind, EngineFactory, Hub, Query, QueryId, SapError, Session, ShardedHub, SlidingTopK,
+    TimedSession, TimedSpec, TimedTopK, WindowSpec,
 };
 
 /// Builds the boxed engine a count-based [`Query`] describes, dispatching
-/// [`AlgorithmKind::Sap`](stream::AlgorithmKind::Sap) to the [`core`]
+/// [`AlgorithmKind::Sap`] to the [`core`]
 /// engine and every other kind to [`baselines`]. Validates the query
 /// first; all failures surface as [`SapError`], and a time-based query is
 /// [`SapError::NotCountBased`] (see [`build_timed`]).
@@ -135,6 +135,77 @@ pub fn build_timed(query: &Query) -> Result<Box<dyn TimedTopK + Send>, SapError>
     let adapter = TimeBased::from_engine(inner, spec.window_duration, spec.slide_duration)
         .expect("validated durations reduce to the engine's spec");
     Ok(Box::new(adapter))
+}
+
+/// The facade's [`EngineFactory`]: rebuilds any engine this workspace
+/// ships from the name a checkpoint recorded
+/// ([`SlidingTopK::name`]), so
+/// [`Hub::restore`](stream::Hub::restore) and
+/// [`ShardedHub::restore`](stream::ShardedHub::restore) work
+/// out of the box for every SAP variant and every baseline.
+///
+/// Restored engines use each algorithm's *default* construction for the
+/// recorded spec — tuning knobs that do not change answers (SMA's `kmax`
+/// and grid resolution, SAP's `alpha`) are not captured by the format,
+/// which is sound because every engine is an exact top-k function of its
+/// window: outputs are byte-identical regardless of those knobs. A name
+/// the factory does not recognise (e.g. a checkpoint from a build with a
+/// custom engine) is [`SapError::Checkpoint`] with
+/// [`CheckpointError::UnknownEngine`](stream::checkpoint::CheckpointError::UnknownEngine);
+/// supply your own [`EngineFactory`] to extend the table.
+///
+/// ```
+/// use sap::prelude::*;
+///
+/// let mut hub = Hub::new();
+/// hub.register(&Query::window(100).top(3).slide(10)).unwrap();
+/// let bytes = hub.checkpoint().as_bytes().to_vec();
+///
+/// let restored = Hub::restore(
+///     &Checkpoint::from_bytes(&bytes).unwrap(),
+///     &DefaultEngineFactory,
+/// )
+/// .unwrap();
+/// assert_eq!(restored.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultEngineFactory;
+
+impl DefaultEngineFactory {
+    fn by_name(name: &str, spec: WindowSpec) -> Result<Box<dyn SlidingTopK + Send>, SapError> {
+        let cfg = match name {
+            "SAP" => Some(sap_core::SapConfig::enhanced(spec)),
+            "SAP-dyna" => Some(sap_core::SapConfig::dynamic(spec)),
+            "SAP-equal+savl" => Some(sap_core::SapConfig::equal(spec, None)),
+            "SAP-equal" => Some(sap_core::SapConfig::equal(spec, None).without_savl()),
+            "SAP-equal-nondelay" => Some(sap_core::SapConfig::equal(spec, None).without_delay()),
+            _ => None,
+        };
+        if let Some(cfg) = cfg {
+            return Ok(Box::new(sap_core::Sap::new(cfg)));
+        }
+        let kind = match name {
+            "naive" => AlgorithmKind::Naive,
+            "k-skyband" => AlgorithmKind::KSkyband,
+            "MinTopK" => AlgorithmKind::MinTopK,
+            "SMA" => AlgorithmKind::sma(),
+            _ => return Err(SapError::checkpoint_unknown_engine(name)),
+        };
+        sap_baselines::from_kind(spec, &kind).expect("every mapped name is a baseline kind")
+    }
+}
+
+impl EngineFactory for DefaultEngineFactory {
+    fn count(&self, name: &str, spec: WindowSpec) -> Result<Box<dyn SlidingTopK + Send>, SapError> {
+        Self::by_name(name, spec)
+    }
+
+    fn timed(&self, name: &str, spec: TimedSpec) -> Result<Box<dyn TimedTopK + Send>, SapError> {
+        let inner = Self::by_name(name, spec.reduced().map_err(SapError::Spec)?)?;
+        let adapter = TimeBased::from_engine(inner, spec.window_duration, spec.slide_duration)
+            .expect("a spec that reduces also wraps");
+        Ok(Box::new(adapter))
+    }
 }
 
 /// Builder finalizers on [`Query`], available via [`prelude`].

@@ -10,18 +10,20 @@
 //! ingestion ([`Ingest`]/[`TimedIngest`]), typed result deltas
 //! ([`TopKEvent`]/[`SlideResult`]), the data model (count-based
 //! [`Object`] and timestamped [`TimedObject`]), the workload generators
-//! with their [`ArrivalProcess`] timing model, and the algorithm entry
-//! points.
+//! with their [`ArrivalProcess`] timing model, the durability plane
+//! ([`Checkpoint`]/[`CheckpointError`] with the ready-made
+//! [`DefaultEngineFactory`]), and the algorithm entry points.
 
-pub use crate::{build, build_send, build_timed, HubExt, QueryExt};
+pub use crate::{build, build_send, build_timed, DefaultEngineFactory, HubExt, QueryExt};
 
 pub use sap_stream::{
-    run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, Dataset, DigestProducer,
-    DigestRef, DigestView, EventList, Hub, HubSession, HubStats, Ingest, Object, OpStats, Query,
-    QueryId, QuerySpec, QueryState, QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey,
-    Session, ShardSession, ShardedHub, SharedSession, SharedTimed, SlideDigest, SlideResult,
-    SlideScratch, SlidingTopK, Snapshot, SpecError, TimedIngest, TimedObject, TimedSession,
-    TimedSpec, TimedTopK, TopKEvent, WindowSpec, Workload,
+    run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, Checkpoint, CheckpointError,
+    CheckpointState, Dataset, DigestProducer, DigestRef, DigestView, EngineFactory, EventList, Hub,
+    HubSession, HubStats, Ingest, Object, OpStats, Query, QueryId, QuerySpec, QueryState,
+    QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, ShardSession, ShardedHub,
+    SharedSession, SharedTimed, SlideDigest, SlideResult, SlideScratch, SlidingTopK, Snapshot,
+    SpecError, TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent, WindowSpec,
+    Workload,
 };
 
 pub use sap_core::{Sap, SapConfig, TimeBased, TimeBasedSap};

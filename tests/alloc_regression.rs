@@ -224,3 +224,58 @@ fn warm_hub_publish_without_slides_is_allocation_free() {
          (pinned bound: 1 output Vec + ≤ 1 Arc per update)"
     );
 }
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
+fn checkpoint_leaves_the_warm_publish_path_allocation_free() {
+    let _guard = LOCK.lock().unwrap();
+    // A checkpoint is a read-only borrow of serving state: taking one on a
+    // warm hub must not disturb the pooled scratch or retained hints, so
+    // the very next buffering publish is still allocation-free and the
+    // next slide-completing publish still meets the steady-state bound.
+    let mut hub = Hub::new();
+    for q in 0..50u64 {
+        let k = 1 + (q as usize % 3);
+        hub.register(&Query::window(200).top(k).slide(10)).unwrap();
+    }
+    let mut warm = Vec::new();
+    for i in 0..1_000u64 {
+        warm.push(Object::new(i, score(i)));
+    }
+    for chunk in warm.chunks(10) {
+        hub.publish(chunk);
+    }
+
+    // checkpointing itself allocates (it builds a byte buffer) — that is
+    // off the publish path and unmeasured here; what it must NOT do is
+    // drain pools or clear scratch behind the sessions' backs
+    let ckpt = hub.checkpoint();
+    assert!(
+        !ckpt.is_empty(),
+        "warm hub produces a non-trivial checkpoint"
+    );
+
+    let half: Vec<Object> = (1_000..1_005u64)
+        .map(|i| Object::new(i, score(i)))
+        .collect();
+    let (updates, allocs) = measured(|| hub.publish(&half).len());
+    assert_eq!(updates, 0);
+    assert_eq!(
+        allocs, 0,
+        "buffering publish after checkpoint() must stay allocation-free"
+    );
+
+    let rest: Vec<Object> = (1_005..1_010u64)
+        .map(|i| Object::new(i, score(i)))
+        .collect();
+    let (updates, allocs) = measured(|| hub.publish(&rest).len());
+    assert_eq!(updates, 50, "every session completes");
+    assert!(
+        allocs <= 1 + updates as u64,
+        "slide-completing publish after checkpoint(): {allocs} allocations \
+         for {updates} updates (pinned bound: 1 output Vec + ≤ 1 Arc per update)"
+    );
+}

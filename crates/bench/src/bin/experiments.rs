@@ -20,7 +20,13 @@
 //! bench engine factory, and finishes on the restored hub — reporting
 //! checkpoint bytes/query plus checkpoint and restore latency per
 //! session count (`BENCH_checkpoint.json`), with every datapoint
-//! asserted checksum-identical to its uninterrupted reference run:
+//! asserted checksum-identical to its uninterrupted reference run;
+//! `fanout` climbs a query-count ladder up to `--queries` count-based
+//! queries served two ways — isolated sessions vs the shared count
+//! plane (`register_grouped_boxed`) — asserting byte-identical
+//! checksums and positive count-group hits at every rung, and reporting
+//! the per-object cost growth of both paths so the grouped path's
+//! sub-linear scaling is a committed artifact (`BENCH_fanout.json`):
 //!
 //! ```text
 //! cargo run --release -p sap-bench --bin experiments -- hub \
@@ -31,14 +37,17 @@
 //!     --len 20000 --queries 500 --shards 1,2,4,8 --json-out BENCH_shared.json
 //! cargo run --release -p sap-bench --bin experiments -- checkpoint \
 //!     --len 20000 --queries 500 --shards 1,2,4,8 --json-out BENCH_checkpoint.json
+//! cargo run --release -p sap-bench --bin experiments -- fanout \
+//!     --len 20000 --queries 100000 --shards 1,2,4,8 --json-out BENCH_fanout.json
 //! ```
 
 use sap_bench::{
-    cands, hotpath_query_mix, hub_checksum_fold, hub_query_mix, measure_on, mem_kb, run_hotpath,
+    cands, fanout_query_mix, hotpath_query_mix, hub_checksum_fold, hub_query_mix, measure_on,
+    mem_kb, run_fanout_grouped, run_fanout_grouped_sharded, run_fanout_isolated, run_hotpath,
     run_hotpath_sharded, run_hub_sequential, run_hub_sharded, run_shared_hub,
     run_shared_hub_sharded, run_shared_isolated, run_timed_hub_sequential, run_timed_hub_sharded,
-    secs, shared_query_mix, timed_query_mix, Algo, BenchEngineFactory, CountingAlloc, HotpathMode,
-    HotpathRun, HubRun, Table,
+    secs, shared_query_mix, timed_query_mix, Algo, BenchEngineFactory, CountingAlloc, FanoutRun,
+    HotpathMode, HotpathRun, HubRun, Table,
 };
 use sap_core::{Sap, SapConfig};
 use sap_stream::generators::{ArrivalProcess, Dataset, Workload};
@@ -174,6 +183,13 @@ fn main() {
             algo_filter.as_deref(),
             repeats,
         ),
+        "fanout" => fanout(
+            len.unwrap_or(20_000),
+            queries.unwrap_or(100_000),
+            &shards,
+            json_out.as_deref().unwrap_or("BENCH_fanout.json"),
+            seed,
+        ),
         "checkpoint" => checkpoint_bench(
             len.unwrap_or(20_000),
             queries.unwrap_or(500),
@@ -195,7 +211,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared hotpath checkpoint all"
+                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared hotpath checkpoint fanout all"
             );
             std::process::exit(2);
         }
@@ -552,6 +568,192 @@ fn checkpoint_bench(
     );
     std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
     println!("\nwrote {json_out} (host_cpus = {host_cpus})");
+}
+
+/// Million-query fan-out: count-based queries over three window
+/// geometries served two ways at every rung of a query-count ladder —
+/// isolated sessions (per-query ingest) vs the shared count plane
+/// (per-group ingest, members slicing the group digest). Every rung is
+/// self-asserting: grouped updates and checksums must equal the
+/// per-session reference exactly, count-group hits must be positive
+/// (sharing observed, not assumed), and the grouped path must serve the
+/// ladder top from exactly three groups. A final sharded run at the
+/// largest requested worker count cross-checks the shard-local group
+/// plane against the same reference. The JSON records per-object cost
+/// (ns/object) per rung for both paths plus the ladder-top cost-growth
+/// ratios, so the grouped path's sub-linear scaling is a committed,
+/// machine-checkable artifact rather than a claim.
+fn fanout(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u64) {
+    // half the smallest slide length in the mix: every other publish
+    // completes no slide, isolating the pure ingest fan-out — the cost
+    // term grouping makes independent of the query count
+    let chunk = 125usize;
+    let data = Dataset::Stock.generate(len, seed);
+    let mut ladder: Vec<usize> = [queries / 8, queries / 4, queries / 2, queries]
+        .into_iter()
+        .filter(|&q| q > 0)
+        .collect();
+    ladder.dedup();
+
+    let mut t = Table::new(
+        format!("Query fan-out: ladder to {queries} count-based queries, {len} objects (chunk = {chunk})"),
+        &[
+            "hub",
+            "shards",
+            "queries",
+            "seconds",
+            "objects/s",
+            "ns/object",
+            "quiet ns/obj",
+            "updates",
+            "groups",
+            "group hits",
+            "speedup",
+        ],
+    );
+    let mut json_runs: Vec<String> = Vec::new();
+    let mut emit = |hub: &str, nshards: usize, count: usize, r: &FanoutRun, iso_ops: f64| {
+        let ops = r.run.objects_per_sec(len);
+        assert!(
+            ops.is_finite() && ops > 0.0,
+            "[fanout] {hub}({count}): non-finite or zero throughput ({ops})"
+        );
+        let ns_per_object = r.run.elapsed.as_secs_f64() * 1e9 / len as f64;
+        let quiet_ns = r.quiet_ns_per_object();
+        t.row(vec![
+            hub.into(),
+            nshards.to_string(),
+            count.to_string(),
+            format!("{:.3}", r.run.elapsed.as_secs_f64()),
+            format!("{ops:.0}"),
+            format!("{ns_per_object:.0}"),
+            quiet_ns.map_or("-".into(), |q| format!("{q:.0}")),
+            r.run.updates.to_string(),
+            r.stats.count_groups.to_string(),
+            r.stats.count_group_hits.to_string(),
+            format!("{:.2}x", ops / iso_ops),
+        ]);
+        json_runs.push(format!(
+            "    {{\"hub\": \"{hub}\", \"shards\": {nshards}, \"queries\": {count}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {ops:.1}, \"ns_per_object\": {ns_per_object:.1}, \"quiet_objects\": {}, \"quiet_ns_per_object\": {}, \"updates\": {}, \"checksum\": {}, \"count_groups\": {}, \"count_group_hits\": {}, \"count_group_rebuilds\": {}, \"speedup_vs_isolated\": {:.3}}}",
+            r.run.elapsed.as_secs_f64(),
+            r.quiet_objects,
+            quiet_ns.map_or("null".into(), |q| format!("{q:.1}")),
+            r.run.updates,
+            r.run.checksum,
+            r.stats.count_groups,
+            r.stats.count_group_hits,
+            r.stats.count_group_rebuilds,
+            ops / iso_ops
+        ));
+        (ns_per_object, quiet_ns)
+    };
+
+    // ((total, quiet) isolated, (total, quiet) grouped) at the ladder ends
+    let mut bottom: Option<[(f64, f64); 2]> = None;
+    let mut top: Option<[(f64, f64); 2]> = None;
+    let mut top_reference: Option<FanoutRun> = None;
+    for &count in &ladder {
+        let mix = fanout_query_mix(count);
+        let iso = run_fanout_isolated(&mix, &data, chunk);
+        let iso_ops = iso.run.objects_per_sec(len);
+        assert_eq!(
+            iso.stats.count_group_rebuilds, iso.run.updates,
+            "[fanout] every isolated count slide is a rebuild"
+        );
+        let grp = run_fanout_grouped(&mix, &data, chunk);
+        assert_eq!(
+            grp.run.updates, iso.run.updates,
+            "[fanout] grouped plane delivered a different number of updates at {count} queries"
+        );
+        assert_eq!(
+            grp.run.checksum, iso.run.checksum,
+            "[fanout] grouped plane diverged from per-session serving at {count} queries"
+        );
+        assert!(
+            grp.stats.count_group_hits > 0,
+            "[fanout] {count} queries over 3 geometry classes must share"
+        );
+        assert_eq!(
+            grp.stats.count_group_rebuilds, 0,
+            "[fanout] the grouped hub has no isolated count sessions"
+        );
+        assert_eq!(
+            grp.stats.count_groups, 3,
+            "[fanout] three slide lengths, one offset"
+        );
+        let (iso_total, iso_quiet) = emit("isolated", 1, count, &iso, iso_ops);
+        let (grp_total, grp_quiet) = emit("grouped", 1, count, &grp, iso_ops);
+        let iso_quiet = iso_quiet.expect("sub-slide chunks always produce quiet publishes");
+        let grp_quiet = grp_quiet.expect("sub-slide chunks always produce quiet publishes");
+        let pair = [(iso_total, iso_quiet), (grp_total, grp_quiet)];
+        if bottom.is_none() {
+            bottom = Some(pair);
+        }
+        top = Some(pair);
+        top_reference = Some(iso);
+    }
+
+    // the shard-local group plane must land on the same reference
+    let nshards = shards.iter().copied().max().unwrap_or(2).max(2);
+    let reference = top_reference.expect("ladder is non-empty");
+    let count = *ladder.last().expect("ladder is non-empty");
+    let mix = fanout_query_mix(count);
+    let par = run_fanout_grouped_sharded(&mix, &data, chunk, nshards);
+    assert_eq!(
+        par.run.updates, reference.run.updates,
+        "[fanout] sharded grouped run lost updates"
+    );
+    assert_eq!(
+        par.run.checksum, reference.run.checksum,
+        "[fanout] sharded grouped run diverged from the per-session reference"
+    );
+    assert!(
+        par.stats.count_group_hits > 0,
+        "[fanout] sharded groups must share"
+    );
+    emit(
+        "grouped-sharded",
+        nshards,
+        count,
+        &par,
+        reference.run.objects_per_sec(len),
+    );
+    t.print();
+
+    // cost growth from the bottom rung to the top. The quiet (no-slide)
+    // ratio is the tentpole claim: the isolated ingest path pays every
+    // added query on every object, the grouped path pays per geometry
+    // class — so its quiet cost should barely move across the ladder.
+    // Total cost keeps a linear floor either way (every completed slide
+    // delivers one update per member); the speedup column carries that
+    // story.
+    let ladder_factor = count as f64 / ladder[0] as f64;
+    let [(iso_lo, iso_quiet_lo), (grp_lo, grp_quiet_lo)] = bottom.expect("ladder is non-empty");
+    let [(iso_hi, iso_quiet_hi), (grp_hi, grp_quiet_hi)] = top.expect("ladder is non-empty");
+    let cost_ratio_isolated = iso_hi / iso_lo;
+    let cost_ratio_grouped = grp_hi / grp_lo;
+    let quiet_ratio_isolated = iso_quiet_hi / iso_quiet_lo;
+    let quiet_ratio_grouped = grp_quiet_hi / grp_quiet_lo;
+    println!(
+        "\nper-object cost x{ladder_factor:.0} queries: isolated {cost_ratio_isolated:.2}x \
+         ({iso_lo:.0} -> {iso_hi:.0} ns), grouped {cost_ratio_grouped:.2}x \
+         ({grp_lo:.0} -> {grp_hi:.0} ns)"
+    );
+    println!(
+        "quiet (ingest-only) cost x{ladder_factor:.0} queries: isolated \
+         {quiet_ratio_isolated:.2}x ({iso_quiet_lo:.0} -> {iso_quiet_hi:.0} ns), grouped \
+         {quiet_ratio_grouped:.2}x ({grp_quiet_lo:.0} -> {grp_quiet_hi:.0} ns)"
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"fanout\",\n  \"dataset\": \"stock\",\n  \"seed\": {seed},\n  \"len\": {len},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"geometry_classes\": 3,\n  \"host_cpus\": {host_cpus},\n  \"ladder_factor\": {ladder_factor:.3},\n  \"cost_ratio_isolated\": {cost_ratio_isolated:.3},\n  \"cost_ratio_grouped\": {cost_ratio_grouped:.3},\n  \"quiet_cost_ratio_isolated\": {quiet_ratio_isolated:.3},\n  \"quiet_cost_ratio_grouped\": {quiet_ratio_grouped:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_runs.join(",\n")
+    );
+    std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
+    println!("wrote {json_out} (host_cpus = {host_cpus})");
 }
 
 /// Timed-hub scaling: a heterogeneous count+time-based query mix served

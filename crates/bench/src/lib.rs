@@ -15,7 +15,7 @@ use sap_baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
 use sap_core::{Sap, SapConfig, TimeBased};
 use sap_stream::generators::{Dataset, Workload};
 use sap_stream::{
-    checksum_fold, diff_snapshots, run, EngineFactory, Hub, Object, QueryId, QuerySpec,
+    checksum_fold, diff_snapshots, run, EngineFactory, Hub, HubStats, Object, QueryId, QuerySpec,
     QueryUpdate, RunSummary, SapError, ShardedHub, SlidingTopK, TimedObject, TimedSpec, TimedTopK,
     WindowSpec, CHECKSUM_SEED,
 };
@@ -543,6 +543,174 @@ pub fn run_shared_hub_sharded(
     }
 }
 
+/// Count-based query mix for the `fanout` preset: `count` queries over
+/// only **three** distinct slide lengths (the million-query regime the
+/// shared count plane targets), windows spanning 2–8 slides, `k` from 1
+/// to 10. Registered together at stream offset 0, the mix collapses
+/// into three geometry classes — `(s, 0)` for each distinct `s` — so
+/// per-object ingest work is paid per class, not per query. Slides are
+/// deliberately **coarse** (`s ≥ 250`): the per-object cost the plane
+/// makes sub-linear is the ingest fan-out (every isolated session
+/// buffers every object), while slide-close serving — linear in members
+/// by definition, it produces one update per member — stays rare.
+pub fn fanout_query_mix(count: usize) -> Vec<(Algo, WindowSpec)> {
+    let algos = [Algo::Sap, Algo::MinTopK, Algo::KSkyband];
+    (0..count)
+        .map(|i| {
+            let s = [250usize, 500, 1_000][i % 3];
+            let m = [2usize, 4, 8][(i / 3) % 3];
+            let k = 1 + (i % 10);
+            let spec = WindowSpec::new(s * m, k, s).expect("mix spec is valid");
+            (algos[i % algos.len()], spec)
+        })
+        .collect()
+}
+
+/// One measured `fanout` configuration: the hub run, the hub's sharing
+/// counters, and the **quiet-path split** the preset's sub-linearity
+/// claim rests on. Total cost necessarily has a component linear in the
+/// query count — every completed slide delivers one update per member —
+/// so the preset separates the publishes that completed no slide
+/// anywhere: there the isolated path still pays every session (each one
+/// buffers every object) while the grouped path pays once per geometry
+/// class, independent of membership.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutRun {
+    /// Whole-stream timing and equivalence evidence.
+    pub run: HubRun,
+    /// The hub's counters after the run ([`HubStats::count_group_hits`]
+    /// proves sharing happened; `count_group_rebuilds` counts isolated
+    /// count slides — work grouping would have pooled).
+    pub stats: HubStats,
+    /// Objects published by calls that completed no slide.
+    pub quiet_objects: u64,
+    /// Wall-clock total of those quiet publishes.
+    pub quiet_elapsed: Duration,
+}
+
+impl FanoutRun {
+    /// Per-object cost of the pure ingest path. `None` if the chunking
+    /// never produced a quiet publish (or, sharded, where per-call cost
+    /// cannot be attributed across worker threads).
+    pub fn quiet_ns_per_object(&self) -> Option<f64> {
+        (self.quiet_objects > 0)
+            .then(|| self.quiet_elapsed.as_secs_f64() * 1e9 / self.quiet_objects as f64)
+    }
+}
+
+/// Shared publish loop of the sequential `fanout` runners: times every
+/// publish call individually so quiet (no-slide) chunks can be
+/// attributed, folds the order-sensitive checksum, and reads the hub's
+/// counters back.
+fn run_fanout_on(mut hub: Hub, data: &[Object], chunk: usize) -> FanoutRun {
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let mut quiet_objects = 0u64;
+    let mut quiet_elapsed = Duration::ZERO;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        let before = Instant::now();
+        let batch = hub.publish(c);
+        let took = before.elapsed();
+        if batch.is_empty() {
+            quiet_objects += c.len() as u64;
+            quiet_elapsed += took;
+        }
+        for u in batch {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = hub.stats();
+    FanoutRun {
+        run: HubRun {
+            elapsed,
+            updates,
+            checksum,
+            digest_hits: 0,
+            digest_rebuilds: 0,
+        },
+        stats,
+        quiet_objects,
+        quiet_elapsed,
+    }
+}
+
+/// The per-session reference for the `fanout` preset: the same
+/// count-based mix served by **isolated** sessions ([`Hub::register_boxed`]).
+pub fn run_fanout_isolated(mix: &[(Algo, WindowSpec)], data: &[Object], chunk: usize) -> FanoutRun {
+    let mut hub = Hub::new();
+    for (algo, spec) in mix {
+        hub.register_boxed(algo.build(*spec));
+    }
+    run_fanout_on(hub, data, chunk)
+}
+
+/// Publishes `data` to a sequential [`Hub`] serving `mix` on the
+/// **shared count plane** (`register_grouped_boxed`): queries sharing a
+/// window geometry ingest each object once per group and slice their
+/// `(n, k)` views from the group digest. The checksum is comparable
+/// with [`run_fanout_isolated`] over the same mix — equal iff grouping
+/// is byte-identical to per-session serving.
+pub fn run_fanout_grouped(mix: &[(Algo, WindowSpec)], data: &[Object], chunk: usize) -> FanoutRun {
+    let mut hub = Hub::new();
+    for (algo, spec) in mix {
+        let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
+            .and_then(|t| t.reduced())
+            .expect("mix spec reduces");
+        let engine: Box<dyn SlidingTopK> = algo.build(reduced);
+        hub.register_grouped_boxed(engine, spec.n, spec.s)
+            .expect("engine built over the reduced spec");
+    }
+    run_fanout_on(hub, data, chunk)
+}
+
+/// The sharded counterpart of [`run_fanout_grouped`]: the same grouped
+/// mix on a [`ShardedHub`] with `shards` workers — count groups
+/// shard-local via `home_shard` affinity — draining after every chunk.
+/// Quiet publishes are not attributed (publish is asynchronous and the
+/// drain is a barrier), so `quiet_objects` stays 0.
+pub fn run_fanout_grouped_sharded(
+    mix: &[(Algo, WindowSpec)],
+    data: &[Object],
+    chunk: usize,
+    shards: usize,
+) -> FanoutRun {
+    let mut hub = ShardedHub::new(shards);
+    for (algo, spec) in mix {
+        let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
+            .and_then(|t| t.reduced())
+            .expect("mix spec reduces");
+        hub.register_grouped_boxed(algo.build(reduced), spec.n, spec.s)
+            .expect("fresh shards accept valid engines");
+    }
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        hub.publish(c).expect("no engine panics in the bench mix");
+        for u in hub.drain().expect("no engine panics in the bench mix") {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = hub.stats().expect("no engine panics in the bench mix");
+    FanoutRun {
+        run: HubRun {
+            elapsed,
+            updates,
+            checksum,
+            digest_hits: 0,
+            digest_rebuilds: 0,
+        },
+        stats,
+        quiet_objects: 0,
+        quiet_elapsed: Duration::ZERO,
+    }
+}
+
 /// One standing query of the `hotpath` preset's **mixed-model** set:
 /// count-based, isolated time-based, or shared-plane time-based — the
 /// three session flavors whose slide-completion paths the zero-allocation
@@ -1062,6 +1230,49 @@ mod tests {
             assert_eq!(par.checksum, pooled.checksum, "shards={shards}");
             assert_eq!(par.updates, pooled.updates, "shards={shards}");
             assert_eq!(par.steady_allocs, None);
+        }
+    }
+
+    #[test]
+    fn fanout_runs_match_isolated_serving() {
+        let mix = fanout_query_mix(40);
+        let data = Dataset::Stock.generate(3_000, 11);
+        // chunk 125 halves the smallest slide (250), so every other
+        // publish is quiet and the quiet-path split has data
+        let iso = run_fanout_isolated(&mix, &data, 125);
+        assert!(iso.run.updates > 0);
+        assert!(
+            iso.quiet_objects > 0,
+            "sub-slide chunks must yield quiet publishes"
+        );
+        assert!(iso.quiet_ns_per_object().is_some_and(|ns| ns.is_finite()));
+        assert_eq!(
+            iso.stats.count_group_rebuilds, iso.run.updates,
+            "every isolated count slide is a rebuild"
+        );
+        let grp = run_fanout_grouped(&mix, &data, 125);
+        assert_eq!(grp.run.updates, iso.run.updates);
+        assert_eq!(
+            grp.run.checksum, iso.run.checksum,
+            "grouping must not change results"
+        );
+        assert!(grp.quiet_objects > 0);
+        assert_eq!(grp.stats.count_groups, 3, "three slide lengths, one offset");
+        assert_eq!(grp.stats.grouped_queries, 40);
+        assert!(
+            grp.stats.count_group_hits > 0,
+            "40 queries over 3 groups must share"
+        );
+        assert_eq!(
+            grp.stats.count_group_rebuilds, 0,
+            "no isolated count sessions"
+        );
+        for shards in [1, 2, 4] {
+            let par = run_fanout_grouped_sharded(&mix, &data, 125, shards);
+            assert_eq!(par.run.updates, iso.run.updates, "shards={shards}");
+            assert_eq!(par.run.checksum, iso.run.checksum, "shards={shards}");
+            assert!(par.stats.count_group_hits > 0, "shards={shards}");
+            assert_eq!(par.quiet_objects, 0, "sharded quiet cost is unattributed");
         }
     }
 

@@ -104,9 +104,9 @@ pub const MAGIC: [u8; 8] = *b"SAPCKPT\0";
 /// The payload layout version this build writes and accepts. Bumped on
 /// any layout change; foreign versions are rejected with
 /// [`CheckpointError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
-/// Section tags of the version-1 payload layout (crate-internal; the
+/// Section tags of the version-2 payload layout (crate-internal; the
 /// framing itself is what [`Encoder::section`] exposes publicly).
 pub(crate) mod tags {
     /// One registry's full state (one per shard in a sharded checkpoint).
@@ -119,6 +119,8 @@ pub(crate) mod tags {
     pub const COUNTERS: u8 = 4;
     /// One engine's [`CheckpointState`](super::CheckpointState) blob.
     pub const ENGINE: u8 = 5;
+    /// The count-group state of one registry (version 2).
+    pub const COUNT_GROUPS: u8 = 6;
 }
 
 /// Decode-side sanity bound on a restored query's window dimension `n`

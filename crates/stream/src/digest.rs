@@ -26,6 +26,16 @@
 //! its keep: 500 queries over 4 slide durations cost 4 truncation passes
 //! per slide instead of 500.
 //!
+//! The **count-group plane** (`Hub::register_grouped`) rides the same
+//! two types from the count-based side: a geometry class of count
+//! queries — same slide length `s`, same registration offset mod `s` —
+//! closes slides on the same published object, so the registry runs one
+//! `DigestProducer` per class (object arrival index as the timestamp)
+//! and each member feeds its `(n, k)` reduction through
+//! [`SharedTimed::apply_slide_top`]. One ring of external ids per class
+//! translates the digest's ordinal ids back to real objects at emission
+//! time (see `session::apply_group_slide`).
+//!
 //! ```
 //! use sap_stream::{DigestProducer, TimedObject};
 //!

@@ -25,7 +25,13 @@
 //! * the **shared digest plane** ([`digest`]) — per-slide top-`k_max`
 //!   digests computed once per slide group (queries with equal
 //!   `slide_duration`) and served to every overlapping time-based query,
-//!   with [`HubStats`] reporting how much work the sharing saved.
+//!   with [`HubStats`] reporting how much work the sharing saved;
+//! * the **shared count plane** — the same inversion for count-based
+//!   queries, grouped by window geometry (slide length + registration
+//!   offset mod `s`): each group ingests every object once and members
+//!   slice their `(n, k)` view from the group digest
+//!   ([`Hub::register_grouped_boxed`](session::Hub::register_grouped_boxed),
+//!   [`HubStats::count_group_hits`]).
 //!
 //! ## Scaling
 //!
@@ -109,8 +115,8 @@ pub use object::{Object, ScoreKey, TimedObject};
 pub use query::{AlgorithmKind, Query, QuerySpec, SapError, SapPolicy, TimedSpec};
 pub use registry::HubStats;
 pub use session::{
-    AnySession, Hub, HubSession, QueryId, QueryUpdate, Session, SharedSession, SlideScratch,
-    TimedSession,
+    AnySession, GroupedSession, Hub, HubSession, QueryId, QueryUpdate, Session, SharedSession,
+    SlideScratch, TimedSession,
 };
 pub use shard::{
     QueryState, ShardSession, ShardedHub, DEFAULT_QUEUE_CAPACITY, PUBLISH_ONE_COALESCE,

@@ -380,6 +380,12 @@ impl QuerySpec {
 ///   `n` *time units*, re-evaluated every `s` time units (paper
 ///   Appendix A).
 ///
+/// The slide length is also a count query's sharing key: queries with
+/// the same `s` registered at the same offset mod `s` form one geometry
+/// class, and `Hub::register_grouped` serves the whole class from one
+/// shared ring + digest (see the `digest` module) instead of one
+/// session apiece.
+///
 /// ```
 /// use sap_stream::{Query, QuerySpec};
 ///

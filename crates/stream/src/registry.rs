@@ -30,17 +30,50 @@
 //! [`digest_rebuilds`](HubStats::digest_rebuilds), shared consumptions as
 //! [`digest_hits`](HubStats::digest_hits).
 //!
+//! ## Count groups
+//!
+//! The count-based side has the same sharing opportunity one key over:
+//! every count-based query with slide length `s` registered at the same
+//! stream offset (mod `s`) fills and closes slides on **identical
+//! arrival boundaries**, whatever its `n` and `k`. Such queries form a
+//! *count group* — geometry key `(s, registration offset mod s)` — that
+//! owns one [`DigestProducer`] driven by the group's arrival ordinals
+//! (each ordinal doubling as the synthetic timestamp, so slides close
+//! exactly every `s` arrivals) plus one ring of the last `n_max + s`
+//! external ids. Each published object is ingested **once per group**;
+//! when a slide fills, the group truncates it once at `k_max` and every
+//! member slices its `(n, k)` view through its private [`SharedTimed`]
+//! reduction — byte-identical to an isolated session, O(groups) instead
+//! of O(queries) per object.
+//!
+//! Registration phase is the known blocker for grouping count queries
+//! (equal-`s` sessions generally differ by offset), and the join rule
+//! dissolves it: a new member joins an existing group with its `s` only
+//! when that group's open slide is **empty** — then the member starts on
+//! a fresh slide boundary, has missed nothing, and needs no warm-up
+//! machinery at all. At most one group per `s` can have an empty open
+//! slide at any instant (two same-`s` groups always sit at different
+//! offsets mod `s`), so the rule is deterministic; a registration that
+//! finds no empty-slide group founds a new geometry class at the current
+//! offset. Group slides served to members are counted as
+//! [`count_group_hits`](HubStats::count_group_hits); slides computed by
+//! isolated count sessions (`register_boxed`) as
+//! [`count_group_rebuilds`](HubStats::count_group_rebuilds), so the
+//! sharing ratio is observable.
+//!
 //! [`Hub`]: crate::session::Hub
 //! [`ShardedHub`]: crate::shard::ShardedHub
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::checkpoint::{tags, CheckpointError, Decoder, Encoder};
 use crate::digest::{DigestProducer, DigestRef, SharedTimed};
 use crate::events::SlideResult;
 use crate::object::{Object, TimedObject};
 use crate::query::{SapError, TimedSpec};
-use crate::session::{AnySession, QueryId, QueryUpdate, Session, SharedSession, TimedSession};
+use crate::session::{
+    AnySession, GroupedSession, QueryId, QueryUpdate, Session, SharedSession, TimedSession,
+};
 use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
 
 /// A point-in-time summary of a hub's registered queries and how much
@@ -74,6 +107,20 @@ pub struct HubStats {
     /// Slides a shared member computed from its private warm-up producer
     /// (mid-stream joins catching up to their group).
     pub digest_rebuilds: u64,
+    /// Count-based queries served by the shared count plane
+    /// (`register_grouped_boxed`).
+    pub grouped_queries: usize,
+    /// Live count groups (distinct `(slide length, registration offset)`
+    /// geometry classes with ≥ 1 grouped member). Shard-local for the
+    /// same reason [`digest_groups`](HubStats::digest_groups) is, so
+    /// per-shard sums are exact.
+    pub count_groups: u64,
+    /// Slides served to a grouped count member from its group's shared
+    /// truncation — per-slide work the member did **not** redo.
+    pub count_group_hits: u64,
+    /// Slides computed by **isolated** count sessions outside the shared
+    /// count plane — the per-query work grouping would have pooled.
+    pub count_group_rebuilds: u64,
 }
 
 impl HubStats {
@@ -85,6 +132,18 @@ impl HubStats {
             0.0
         } else {
             self.digest_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of count-based slides served from a shared count group:
+    /// `count_group_hits / (count_group_hits + count_group_rebuilds)`,
+    /// or 0 before any count slide completed.
+    pub fn count_group_hit_rate(&self) -> f64 {
+        let total = self.count_group_hits + self.count_group_rebuilds;
+        if total == 0 {
+            0.0
+        } else {
+            self.count_group_hits as f64 / total as f64
         }
     }
 
@@ -102,6 +161,10 @@ impl HubStats {
         self.digest_groups += other.digest_groups;
         self.digest_hits += other.digest_hits;
         self.digest_rebuilds += other.digest_rebuilds;
+        self.grouped_queries += other.grouped_queries;
+        self.count_groups += other.count_groups;
+        self.count_group_hits += other.count_group_hits;
+        self.count_group_rebuilds += other.count_group_rebuilds;
     }
 }
 
@@ -112,6 +175,53 @@ struct DigestGroup {
     members: usize,
 }
 
+/// One count group — a `(slide length, registration offset mod s)`
+/// geometry class of count-based queries (see the [module docs](self)).
+/// The producer runs on the group's **arrival ordinals** (used as both
+/// id and synthetic timestamp), so the module's one slide-truncation
+/// rule — equal scores break toward the higher id — lands on arrival
+/// recency, exactly matching an isolated [`Session`]'s tie-break.
+struct CountGroup {
+    /// Arrival-count slide length (`s`) shared by every member.
+    slide_len: usize,
+    /// The shared per-slide truncation at `k_max` over group ordinals.
+    producer: DigestProducer,
+    /// External id of group ordinal `r` at `ring[r - ring_base]` — the
+    /// group-wide translation ring every member's emission reads.
+    ring: VecDeque<u64>,
+    ring_base: u64,
+    /// Retention target: `n_max + s` covers every ordinal any member can
+    /// reference at a slide close, because members are served *inside*
+    /// the close (before later arrivals can evict entries). Trimming is
+    /// lazy, so a shrink (deepest member leaving) drains over time.
+    ring_cap: usize,
+    /// Member query ids, ascending — the serving fan-out list, so a
+    /// group's slide close touches only its members, never the full
+    /// session store.
+    member_ids: Vec<QueryId>,
+    /// Objects this group has observed = the next group ordinal.
+    next_ordinal: u64,
+}
+
+/// A count group's portable state — what travels through checkpoints and
+/// whole-group shard migrations. Membership, `ring_cap`, and
+/// `next_ordinal` are recomputed at installation from the member
+/// sessions and the producer's slide position.
+pub(crate) struct CountGroupState {
+    pub(crate) producer: DigestProducer,
+    pub(crate) ring: VecDeque<u64>,
+    pub(crate) ring_base: u64,
+}
+
+impl CountGroupState {
+    /// `next_slide · s + pending` — the group ordinal the next arrival
+    /// gets, re-derived from the producer's position.
+    fn next_ordinal(&self) -> u64 {
+        self.producer.next_slide() * self.producer.slide_duration()
+            + self.producer.pending_len() as u64
+    }
+}
+
 /// The session store and dispatch logic shared by the sequential hub and
 /// the shard workers. Sessions are kept in registration order (which is
 /// ascending `QueryId` order), so emitted updates are naturally ordered
@@ -120,8 +230,23 @@ pub(crate) struct Registry<C: SlidingTopK, T: TimedTopK> {
     sessions: Vec<(QueryId, AnySession<C, T>)>,
     /// `slide_duration` → the group serving every shared session with it.
     groups: HashMap<u64, DigestGroup>,
+    /// Live group id → the count group serving its grouped members. Keys
+    /// are opaque registry-local handles (geometry is *derivable* — a
+    /// group's offset class is `next_ordinal mod s` relative to this
+    /// registry's stream — but never used as an identity, because it
+    /// shifts across checkpoint/restore/resize epochs).
+    count_groups: HashMap<u64, CountGroup>,
+    /// Next live count-group id. Monotonic per registry lifetime; never
+    /// reused, so a stale handle can't alias a newer group.
+    next_count_gid: u64,
+    /// Isolated count sessions currently registered — lets the publish
+    /// paths skip the O(queries) session walk entirely when every
+    /// count-based query is grouped (the million-query regime).
+    isolated_counts: usize,
     digest_hits: u64,
     digest_rebuilds: u64,
+    count_group_hits: u64,
+    count_group_rebuilds: u64,
     /// Pooled untimed view of a timed batch (for count-based sessions).
     plain_buf: Vec<Object>,
     /// Recent high-water mark of updates per publish call — the capacity
@@ -146,8 +271,13 @@ impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
         Registry {
             sessions: Vec::new(),
             groups: HashMap::new(),
+            count_groups: HashMap::new(),
+            next_count_gid: 0,
+            isolated_counts: 0,
             digest_hits: 0,
             digest_rebuilds: 0,
+            count_group_hits: 0,
+            count_group_rebuilds: 0,
             plain_buf: Vec::new(),
             update_hint: 0,
             shard: None,
@@ -160,6 +290,11 @@ impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
 /// [`Registry::eject_group`]).
 pub(crate) type EjectedGroup<C, T> = (DigestProducer, Vec<(QueryId, AnySession<C, T>)>);
 
+/// A count group ejected for whole-group migration: the group's shared
+/// state plus its member sessions in ascending-id order (see
+/// [`Registry::eject_count_group_of`]).
+pub(crate) type EjectedCountGroup<C, T> = (CountGroupState, Vec<(QueryId, AnySession<C, T>)>);
+
 /// A decoded `tags::REGISTRY` section, still loose: sessions with their
 /// replayed engines, slide-group producers, and the sharing counters —
 /// everything needed to rebuild a [`Registry`] (or to scatter across
@@ -168,8 +303,13 @@ pub(crate) type EjectedGroup<C, T> = (DigestProducer, Vec<(QueryId, AnySession<C
 pub(crate) struct RegistryParts<C: SlidingTopK, T: TimedTopK> {
     pub(crate) sessions: Vec<(QueryId, AnySession<C, T>)>,
     pub(crate) groups: Vec<(u64, DigestProducer)>,
+    /// Count groups in canonical section order; a grouped session's
+    /// `group` field indexes this list (rebased during merge).
+    pub(crate) count_groups: Vec<CountGroupState>,
     pub(crate) digest_hits: u64,
     pub(crate) digest_rebuilds: u64,
+    pub(crate) count_group_hits: u64,
+    pub(crate) count_group_rebuilds: u64,
 }
 
 impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
@@ -183,9 +323,25 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
     pub(crate) fn merge(parts: Vec<Self>) -> Result<Self, CheckpointError> {
         let mut sessions = Vec::new();
         let mut groups: Vec<(u64, DigestProducer)> = Vec::new();
+        let mut count_groups: Vec<CountGroupState> = Vec::new();
         let mut digest_hits = 0u64;
         let mut digest_rebuilds = 0u64;
-        for part in parts {
+        let mut count_group_hits = 0u64;
+        let mut count_group_rebuilds = 0u64;
+        for mut part in parts {
+            // rebase this section's group indices onto the concatenated
+            // list BEFORE its sessions dissolve into the shared pool
+            let base = count_groups.len() as u64;
+            for (_, session) in &mut part.sessions {
+                if let AnySession::Grouped(g) = session {
+                    let rebased = g
+                        .group()
+                        .checked_add(base)
+                        .ok_or(CheckpointError::Corrupt("count-group reference overflows"))?;
+                    g.set_group(rebased);
+                }
+            }
+            count_groups.extend(part.count_groups);
             sessions.extend(part.sessions);
             for (sd, producer) in part.groups {
                 if groups.iter().any(|(have, _)| *have == sd) {
@@ -197,6 +353,8 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
             }
             digest_hits = digest_hits.saturating_add(part.digest_hits);
             digest_rebuilds = digest_rebuilds.saturating_add(part.digest_rebuilds);
+            count_group_hits = count_group_hits.saturating_add(part.count_group_hits);
+            count_group_rebuilds = count_group_rebuilds.saturating_add(part.count_group_rebuilds);
         }
         sessions.sort_by_key(|(id, _)| *id);
         if sessions.windows(2).any(|w| w[0].0 == w[1].0) {
@@ -206,30 +364,117 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
         }
         groups.sort_unstable_by_key(|(sd, _)| *sd);
         let mut member_counts = vec![0usize; groups.len()];
+        // per count group: member count and deepest member window
+        let mut count_members = vec![(0usize, 0usize); count_groups.len()];
         for (_, session) in &sessions {
-            if let AnySession::Shared(s) = session {
-                let sd = s.slide_duration();
-                let Some(pos) = groups.iter().position(|(have, _)| *have == sd) else {
-                    return Err(CheckpointError::Corrupt(
-                        "shared session without its slide group",
-                    ));
-                };
-                if groups[pos].1.k_max() < s.consumer().k() {
-                    return Err(CheckpointError::Corrupt(
-                        "slide group shallower than a member's k",
-                    ));
+            match session {
+                AnySession::Shared(s) => {
+                    let sd = s.slide_duration();
+                    let Some(pos) = groups.iter().position(|(have, _)| *have == sd) else {
+                        return Err(CheckpointError::Corrupt(
+                            "shared session without its slide group",
+                        ));
+                    };
+                    if groups[pos].1.k_max() < s.consumer().k() {
+                        return Err(CheckpointError::Corrupt(
+                            "slide group shallower than a member's k",
+                        ));
+                    }
+                    member_counts[pos] += 1;
                 }
-                member_counts[pos] += 1;
+                AnySession::Grouped(g) => {
+                    let Some(state) = count_groups.get(g.group() as usize) else {
+                        return Err(CheckpointError::Corrupt(
+                            "grouped session without its count group",
+                        ));
+                    };
+                    let spec = g.spec();
+                    if state.producer.slide_duration() != spec.s as u64 {
+                        return Err(CheckpointError::Corrupt(
+                            "count group disagrees with a member's slide length",
+                        ));
+                    }
+                    if state.producer.k_max() < spec.k {
+                        return Err(CheckpointError::Corrupt(
+                            "count group shallower than a member's k",
+                        ));
+                    }
+                    let next = state.producer.next_slide();
+                    if g.join_slide() > next {
+                        return Err(CheckpointError::Corrupt(
+                            "count-group member joined past its group",
+                        ));
+                    }
+                    // count slides never straddle a checkpoint boundary,
+                    // so every member is exactly caught up to its group
+                    if g.consumer().slides_applied() != next - g.join_slide() {
+                        return Err(CheckpointError::Corrupt(
+                            "count-group member out of step with its group",
+                        ));
+                    }
+                    let entry = &mut count_members[g.group() as usize];
+                    entry.0 += 1;
+                    entry.1 = entry.1.max(spec.n);
+                }
+                _ => {}
             }
         }
         if member_counts.contains(&0) {
             return Err(CheckpointError::Corrupt("slide group with no members"));
         }
+        for (i, state) in count_groups.iter().enumerate() {
+            let (members, n_max) = count_members[i];
+            if members == 0 {
+                return Err(CheckpointError::Corrupt("count group with no members"));
+            }
+            let sd = state.producer.slide_duration();
+            let pending = state.producer.pending_len() as u64;
+            if pending >= sd {
+                return Err(CheckpointError::Corrupt(
+                    "count group pending spans a full slide",
+                ));
+            }
+            let next_ordinal = state
+                .producer
+                .next_slide()
+                .checked_mul(sd)
+                .and_then(|o| o.checked_add(pending));
+            let Some(next_ordinal) = next_ordinal else {
+                return Err(CheckpointError::Corrupt("count-group ordinal overflows"));
+            };
+            if state.ring_base + state.ring.len() as u64 != next_ordinal {
+                return Err(CheckpointError::Corrupt(
+                    "count-group ring disagrees with its producer",
+                ));
+            }
+            // the ring must reach back far enough to translate every
+            // ordinal the deepest member's next emission can reference
+            let next_close_end = (state.producer.next_slide() + 1).saturating_mul(sd);
+            if state.ring_base > next_close_end.saturating_sub(n_max as u64) {
+                return Err(CheckpointError::Corrupt(
+                    "count-group ring does not cover its members' windows",
+                ));
+            }
+            // distinct same-s groups always sit at distinct offsets
+            // (mod s), i.e. distinct pending fills — a collision means
+            // one geometry class was split, which the hub never produces
+            if count_groups[..i].iter().any(|other| {
+                other.producer.slide_duration() == sd
+                    && other.producer.pending_len() == state.producer.pending_len()
+            }) {
+                return Err(CheckpointError::Corrupt(
+                    "count groups share a geometry class",
+                ));
+            }
+        }
         Ok(RegistryParts {
             sessions,
             groups,
+            count_groups,
             digest_hits,
             digest_rebuilds,
+            count_group_hits,
+            count_group_rebuilds,
         })
     }
 }
@@ -276,8 +521,70 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     }
 
     pub(crate) fn register_count(&mut self, id: QueryId, alg: C) {
+        self.isolated_counts += 1;
         self.sessions
             .push((id, AnySession::Count(Session::new(alg))));
+    }
+
+    /// Registers a count-group member, joining (or founding) the count
+    /// group for its geometry class. The join rule (see the
+    /// [module docs](self)): join the group with this slide length whose
+    /// open slide is **empty** — the member then starts exactly on a
+    /// slide boundary, in step with the group, no warm-up needed — and
+    /// found a fresh group at the current stream offset otherwise. At
+    /// most one group per `s` can have an empty open slide, so the scan
+    /// is deterministic.
+    ///
+    /// `home` is the shard the hub routed this registration to (`None`
+    /// from the sequential hub) — same invariant as
+    /// [`register_shared`](Registry::register_shared): a count group's
+    /// members all live on the group's home shard.
+    pub(crate) fn register_grouped(
+        &mut self,
+        id: QueryId,
+        consumer: SharedTimed<C>,
+        spec: WindowSpec,
+        home: Option<usize>,
+    ) {
+        debug_assert_eq!(
+            home, self.shard,
+            "count-group routing bug: members of a group must all land on its home shard"
+        );
+        let joinable = self
+            .count_groups
+            .iter_mut()
+            .find(|(_, g)| g.slide_len == spec.s && g.producer.pending_len() == 0);
+        let (gid, join_slide) = match joinable {
+            Some((gid, group)) => {
+                group.producer.grow_k_max(spec.k);
+                group.ring_cap = group.ring_cap.max(spec.n + spec.s);
+                // ids are handed out monotonically, so pushing keeps the
+                // member list ascending
+                group.member_ids.push(id);
+                (*gid, group.producer.next_slide())
+            }
+            None => {
+                let gid = self.next_count_gid;
+                self.next_count_gid += 1;
+                self.count_groups.insert(
+                    gid,
+                    CountGroup {
+                        slide_len: spec.s,
+                        producer: DigestProducer::new(spec.s as u64, spec.k),
+                        ring: VecDeque::new(),
+                        ring_base: 0,
+                        ring_cap: spec.n + spec.s,
+                        member_ids: vec![id],
+                        next_ordinal: 0,
+                    },
+                );
+                (gid, 0)
+            }
+        };
+        self.sessions.push((
+            id,
+            AnySession::Grouped(GroupedSession::new(consumer, spec, join_slide, gid)),
+        ));
     }
 
     pub(crate) fn register_timed(&mut self, id: QueryId, engine: T) {
@@ -334,27 +641,57 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     pub(crate) fn unregister(&mut self, id: QueryId) -> Option<AnySession<C, T>> {
         let pos = self.sessions.iter().position(|(q, _)| *q == id)?;
         let (_, session) = self.sessions.remove(pos);
-        if let AnySession::Shared(s) = &session {
-            let sd = s.slide_duration();
-            if let Some(group) = self.groups.get_mut(&sd) {
-                group.members -= 1;
-                if group.members == 0 {
-                    self.groups.remove(&sd);
-                } else if s.consumer().k() >= group.producer.k_max() {
-                    let k_max = self
-                        .sessions
-                        .iter()
-                        .filter_map(|(_, sess)| match sess {
-                            AnySession::Shared(m) if m.slide_duration() == sd => {
-                                Some(m.consumer().k())
-                            }
-                            _ => None,
-                        })
-                        .max()
-                        .expect("a surviving group has members");
-                    group.producer.set_k_max(k_max);
+        match &session {
+            AnySession::Count(_) => self.isolated_counts -= 1,
+            AnySession::Shared(s) => {
+                let sd = s.slide_duration();
+                if let Some(group) = self.groups.get_mut(&sd) {
+                    group.members -= 1;
+                    if group.members == 0 {
+                        self.groups.remove(&sd);
+                    } else if s.consumer().k() >= group.producer.k_max() {
+                        let k_max = self
+                            .sessions
+                            .iter()
+                            .filter_map(|(_, sess)| match sess {
+                                AnySession::Shared(m) if m.slide_duration() == sd => {
+                                    Some(m.consumer().k())
+                                }
+                                _ => None,
+                            })
+                            .max()
+                            .expect("a surviving group has members");
+                        group.producer.set_k_max(k_max);
+                    }
                 }
             }
+            AnySession::Grouped(g) => {
+                let gid = g.group();
+                if let Some(group) = self.count_groups.get_mut(&gid) {
+                    if let Some(p) = group.member_ids.iter().position(|m| *m == id) {
+                        group.member_ids.remove(p);
+                    }
+                    if group.member_ids.is_empty() {
+                        self.count_groups.remove(&gid);
+                    } else {
+                        // recompute the survivors' depth and retention —
+                        // exact even mid-slide, the open slide is held
+                        // untruncated and the ring trims lazily
+                        let (mut k_max, mut n_max) = (0usize, 0usize);
+                        for (_, sess) in &self.sessions {
+                            if let AnySession::Grouped(m) = sess {
+                                if m.group() == gid {
+                                    k_max = k_max.max(m.spec().k);
+                                    n_max = n_max.max(m.spec().n);
+                                }
+                            }
+                        }
+                        group.producer.set_k_max(k_max);
+                        group.ring_cap = n_max + group.slide_len;
+                    }
+                }
+            }
+            AnySession::Timed(_) => {}
         }
         Some(session)
     }
@@ -373,16 +710,109 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         if self.sessions.is_empty() || objects.is_empty() {
             return Vec::new();
         }
+        let Registry {
+            sessions,
+            count_groups,
+            isolated_counts,
+            count_group_hits,
+            count_group_rebuilds,
+            update_hint,
+            ..
+        } = self;
         let mut out = Vec::new();
-        let hint = self.update_hint;
-        for (id, session) in &mut self.sessions {
-            if let AnySession::Count(session) = session {
-                let mut sink = tagged_sink(&mut out, hint, *id);
-                session.push_each(objects, &mut sink);
+        let hint = *update_hint;
+        // isolated count sessions pay the O(queries) walk; skipped
+        // entirely when every count query is grouped
+        if *isolated_counts > 0 {
+            for (id, session) in sessions.iter_mut() {
+                if let AnySession::Count(session) = session {
+                    let mut sink = tagged_sink(&mut out, hint, *id);
+                    session.push_each(objects, &mut sink);
+                }
+            }
+            *count_group_rebuilds += out.len() as u64;
+        }
+        let walked = out.len();
+        Self::serve_count_groups(
+            sessions,
+            count_groups,
+            count_group_hits,
+            objects,
+            &mut out,
+            hint,
+        );
+        if out.len() > walked {
+            // group serving appends per group, not per registered query;
+            // (QueryId, slide) keys are unique and each session's slides
+            // ascend, so this sort IS registration-order delivery
+            out.sort_unstable_by_key(|u| (u.query, u.result.slide));
+        }
+        note_update_hint(update_hint, out.len());
+        out
+    }
+
+    /// Fans an untimed batch out to every count group: each group
+    /// ingests the batch **once** (one ring push + one pending push per
+    /// object), and a filling slide is truncated once at `k_max` and
+    /// served to the members — immediately, inside the close, so the
+    /// translation ring still covers everything the emission references
+    /// even when one batch spans many slides. Per-object cost is
+    /// O(count groups), not O(grouped queries); the member fan-out is
+    /// amortized (each member is touched once per *slide*, not per
+    /// object).
+    fn serve_count_groups(
+        sessions: &mut [(QueryId, AnySession<C, T>)],
+        count_groups: &mut HashMap<u64, CountGroup>,
+        hits: &mut u64,
+        objects: &[Object],
+        out: &mut Vec<QueryUpdate>,
+        hint: usize,
+    ) {
+        for group in count_groups.values_mut() {
+            let CountGroup {
+                slide_len,
+                producer,
+                ring,
+                ring_base,
+                ring_cap,
+                member_ids,
+                next_ordinal,
+            } = group;
+            for o in objects {
+                let r = *next_ordinal;
+                *next_ordinal += 1;
+                ring.push_back(o.id);
+                if ring.len() > *ring_cap {
+                    ring.pop_front();
+                    *ring_base += 1;
+                }
+                // the ordinal doubles as the synthetic timestamp; it
+                // never reaches the open slide's end (r < (j+1)·s for an
+                // object of slide j), so closure is always explicit below
+                producer.ingest_with(TimedObject::new(r, r, o.score), &mut |_| {
+                    debug_assert!(
+                        false,
+                        "count slides close on arrival counts, never on ordinal timestamps"
+                    );
+                });
+                if producer.pending_len() == *slide_len {
+                    producer.close_slide_with(|view| {
+                        for &member in member_ids.iter() {
+                            let idx = sessions
+                                .binary_search_by_key(&member, |(id, _)| *id)
+                                .expect("count-group member ids name registered sessions");
+                            let (id, session) = &mut sessions[idx];
+                            let AnySession::Grouped(session) = session else {
+                                unreachable!("count-group member ids name grouped sessions")
+                            };
+                            let mut sink = tagged_sink(out, hint, *id);
+                            session.apply_group_slide(view, ring, *ring_base, &mut sink);
+                        }
+                    });
+                    *hits += member_ids.len() as u64;
+                }
             }
         }
-        note_update_hint(&mut self.update_hint, out.len());
-        out
     }
 
     /// Fans a timed batch out to every session: each slide group ingests
@@ -397,8 +827,12 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         let Registry {
             sessions,
             groups,
+            count_groups,
+            isolated_counts,
             digest_hits,
             digest_rebuilds,
+            count_group_hits,
+            count_group_rebuilds,
             plain_buf,
             update_hint,
             ..
@@ -407,10 +841,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         // into the pooled buffer, so steady-state publishes reuse its
         // capacity instead of allocating a fresh Vec per call
         plain_buf.clear();
-        if sessions
-            .iter()
-            .any(|(_, s)| matches!(s, AnySession::Count(_)))
-        {
+        if *isolated_counts > 0 || !count_groups.is_empty() {
             plain_buf.extend(objects.iter().map(TimedObject::untimed));
         }
         let closed = Self::close_groups(groups, |producer| {
@@ -423,19 +854,41 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         let mut out = Vec::new();
         let hint = *update_hint;
         for (id, session) in sessions.iter_mut() {
-            let mut sink = tagged_sink(&mut out, hint, *id);
             match session {
-                AnySession::Count(session) => session.push_each(plain_buf, &mut sink),
-                AnySession::Timed(session) => session.push_timed_each(objects, &mut sink),
+                AnySession::Count(session) => {
+                    let before = out.len();
+                    session.push_each(plain_buf, &mut tagged_sink(&mut out, hint, *id));
+                    *count_group_rebuilds += (out.len() - before) as u64;
+                }
+                // grouped sessions are served per group, below
+                AnySession::Grouped(_) => {}
+                AnySession::Timed(session) => {
+                    session.push_timed_each(objects, &mut tagged_sink(&mut out, hint, *id))
+                }
                 AnySession::Shared(session) => Self::serve_shared(
                     digest_hits,
                     digest_rebuilds,
                     session,
                     &closed,
-                    &mut sink,
+                    &mut tagged_sink(&mut out, hint, *id),
                     |s, f| s.push_warmup(objects, f),
                 ),
             }
+        }
+        let walked = out.len();
+        Self::serve_count_groups(
+            sessions,
+            count_groups,
+            count_group_hits,
+            plain_buf,
+            &mut out,
+            hint,
+        );
+        if out.len() > walked {
+            // same argument as `publish`: (QueryId, slide) keys are
+            // unique and ascend per session, so sorting the appended
+            // group output back in IS registration-order delivery
+            out.sort_unstable_by_key(|u| (u.query, u.result.slide));
         }
         note_update_hint(update_hint, out.len());
         Self::promote_ready(sessions, groups);
@@ -463,7 +916,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         for (id, session) in sessions.iter_mut() {
             let mut sink = tagged_sink(&mut out, hint, *id);
             match session {
-                AnySession::Count(_) => continue,
+                AnySession::Count(_) | AnySession::Grouped(_) => continue,
                 AnySession::Timed(session) => session.advance_watermark_each(watermark, &mut sink),
                 AnySession::Shared(session) => Self::serve_shared(
                     digest_hits,
@@ -562,6 +1015,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digest_groups: self.groups.len() as u64,
             digest_hits: self.digest_hits,
             digest_rebuilds: self.digest_rebuilds,
+            count_groups: self.count_groups.len() as u64,
+            count_group_hits: self.count_group_hits,
+            count_group_rebuilds: self.count_group_rebuilds,
             ..HubStats::default()
         };
         for (_, session) in &self.sessions {
@@ -569,6 +1025,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 AnySession::Count(_) => stats.count_queries += 1,
                 AnySession::Timed(_) => stats.timed_queries += 1,
                 AnySession::Shared(_) => stats.shared_queries += 1,
+                AnySession::Grouped(_) => stats.grouped_queries += 1,
             }
         }
         stats
@@ -583,6 +1040,22 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// deterministic regardless of `HashMap` iteration order), and the
     /// sharing counters.
     pub(crate) fn encode_checkpoint(&self, enc: &mut Encoder) {
+        // canonical count-group order: live gids are registry-local and
+        // shift across epochs, so grouped sessions reference their group
+        // by position in this order instead. `(slide length, pending
+        // fill)` is a unique key — distinct same-`s` groups always sit at
+        // distinct offsets mod `s` — and is derived purely from state the
+        // section carries, so encode and decode agree by construction.
+        let mut order: Vec<u64> = self.count_groups.keys().copied().collect();
+        order.sort_unstable_by_key(|gid| {
+            let g = &self.count_groups[gid];
+            (g.slide_len, g.producer.pending_len())
+        });
+        let index_of: HashMap<u64, u64> = order
+            .iter()
+            .enumerate()
+            .map(|(i, gid)| (*gid, i as u64))
+            .collect();
         enc.section(tags::SESSIONS, |e| {
             e.put_u64(self.sessions.len() as u64);
             for (id, session) in &self.sessions {
@@ -615,6 +1088,15 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                         e.put_usize(spec.k);
                         s.encode_checkpoint_body(e);
                     }
+                    AnySession::Grouped(s) => {
+                        e.put_u8(3);
+                        e.put_str(s.engine().name());
+                        let spec = s.spec();
+                        e.put_usize(spec.n);
+                        e.put_usize(spec.k);
+                        e.put_usize(spec.s);
+                        s.encode_checkpoint_body(e, index_of[&s.group()]);
+                    }
                 }
             }
         });
@@ -627,9 +1109,23 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 self.groups[&sd].producer.encode_state(e);
             }
         });
+        enc.section(tags::COUNT_GROUPS, |e| {
+            e.put_u64(order.len() as u64);
+            for gid in &order {
+                let g = &self.count_groups[gid];
+                g.producer.encode_state(e);
+                e.put_u64(g.ring_base);
+                e.put_u64(g.ring.len() as u64);
+                for &ext in &g.ring {
+                    e.put_u64(ext);
+                }
+            }
+        });
         enc.section(tags::COUNTERS, |e| {
             e.put_u64(self.digest_hits);
             e.put_u64(self.digest_rebuilds);
+            e.put_u64(self.count_group_hits);
+            e.put_u64(self.count_group_rebuilds);
         });
     }
 
@@ -715,6 +1211,37 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                             consumer, &mut sec,
                         )?)
                     }
+                    3 => {
+                        let name = sec.take_str()?;
+                        let (wn, wk, ws) =
+                            (sec.take_usize()?, sec.take_usize()?, sec.take_usize()?);
+                        let spec = WindowSpec::new(wn, wk, ws)
+                            .map_err(|_| CheckpointError::Corrupt("invalid count window spec"))?;
+                        let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
+                            .and_then(|t| t.reduced())
+                            .map_err(|_| CheckpointError::Corrupt("count spec does not reduce"))?;
+                        // bound both: the reduced window exceeds the plain
+                        // one whenever k > s
+                        if spec.n > crate::checkpoint::MAX_RESTORED_WINDOW
+                            || reduced.n > crate::checkpoint::MAX_RESTORED_WINDOW
+                        {
+                            return Err(CheckpointError::Corrupt(
+                                "restored window implausibly large",
+                            )
+                            .into());
+                        }
+                        let engine = count(name, reduced)?;
+                        let consumer =
+                            SharedTimed::from_engine(engine, spec.n as u64, spec.s as u64)
+                                .map_err(|_| {
+                                    CheckpointError::Corrupt(
+                                        "factory engine is not a fresh reduction",
+                                    )
+                                })?;
+                        AnySession::Grouped(GroupedSession::decode_checkpoint_body(
+                            consumer, spec, &mut sec,
+                        )?)
+                    }
                     _ => return Err(CheckpointError::Corrupt("unknown session kind").into()),
                 };
                 sessions.push((id, session));
@@ -737,18 +1264,43 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             }
             sec.finish()?;
         }
-        let (digest_hits, digest_rebuilds);
+        let mut count_groups = Vec::new();
+        {
+            let mut sec = dec.section(tags::COUNT_GROUPS)?;
+            let n = sec.take_seq_len()?;
+            for _ in 0..n {
+                let producer = DigestProducer::decode_state(&mut sec)?;
+                let ring_base = sec.take_u64()?;
+                let len = sec.take_seq_len()?;
+                let mut ring = VecDeque::with_capacity(len);
+                for _ in 0..len {
+                    ring.push_back(sec.take_u64()?);
+                }
+                count_groups.push(CountGroupState {
+                    producer,
+                    ring,
+                    ring_base,
+                });
+            }
+            sec.finish()?;
+        }
+        let (digest_hits, digest_rebuilds, count_group_hits, count_group_rebuilds);
         {
             let mut sec = dec.section(tags::COUNTERS)?;
             digest_hits = sec.take_u64()?;
             digest_rebuilds = sec.take_u64()?;
+            count_group_hits = sec.take_u64()?;
+            count_group_rebuilds = sec.take_u64()?;
             sec.finish()?;
         }
         Ok(RegistryParts {
             sessions,
             groups,
+            count_groups,
             digest_hits,
             digest_rebuilds,
+            count_group_hits,
+            count_group_rebuilds,
         })
     }
 
@@ -775,19 +1327,62 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 )
             })
             .collect();
-        for (_, session) in &parts.sessions {
-            if let AnySession::Shared(s) = session {
-                groups
-                    .get_mut(&s.slide_duration())
-                    .expect("merge validated every shared session has its group")
-                    .members += 1;
+        // canonical index = live gid: merge rebased every grouped
+        // session's reference onto the concatenated list, so adopting
+        // positions as ids keeps the references valid verbatim
+        let mut count_groups: HashMap<u64, CountGroup> = parts
+            .count_groups
+            .into_iter()
+            .enumerate()
+            .map(|(gid, state)| {
+                let next_ordinal = state.next_ordinal();
+                (
+                    gid as u64,
+                    CountGroup {
+                        slide_len: state.producer.slide_duration() as usize,
+                        producer: state.producer,
+                        ring: state.ring,
+                        ring_base: state.ring_base,
+                        ring_cap: 0,
+                        member_ids: Vec::new(),
+                        next_ordinal,
+                    },
+                )
+            })
+            .collect();
+        let next_count_gid = count_groups.len() as u64;
+        let mut isolated_counts = 0;
+        for (id, session) in &parts.sessions {
+            match session {
+                AnySession::Count(_) => isolated_counts += 1,
+                AnySession::Shared(s) => {
+                    groups
+                        .get_mut(&s.slide_duration())
+                        .expect("merge validated every shared session has its group")
+                        .members += 1;
+                }
+                AnySession::Grouped(g) => {
+                    let group = count_groups
+                        .get_mut(&g.group())
+                        .expect("merge validated every grouped session has its count group");
+                    // sessions are in ascending-id order, so member lists
+                    // come out ascending too
+                    group.member_ids.push(*id);
+                    group.ring_cap = group.ring_cap.max(g.spec().n + group.slide_len);
+                }
+                AnySession::Timed(_) => {}
             }
         }
         Registry {
             sessions: parts.sessions,
             groups,
+            count_groups,
+            next_count_gid,
+            isolated_counts,
             digest_hits: parts.digest_hits,
             digest_rebuilds: parts.digest_rebuilds,
+            count_group_hits: parts.count_group_hits,
+            count_group_rebuilds: parts.count_group_rebuilds,
             plain_buf: Vec::new(),
             update_hint: 0,
             shard,
@@ -802,11 +1397,18 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// query had been registered here originally. A shared session's
     /// slide group must have been installed first.
     pub(crate) fn install(&mut self, id: QueryId, session: AnySession<C, T>) {
+        debug_assert!(
+            !matches!(session, AnySession::Grouped(_)),
+            "grouped sessions travel with their count group (install_count_group)"
+        );
         if let AnySession::Shared(s) = &session {
             self.groups
                 .get_mut(&s.slide_duration())
                 .expect("install a shared session only after its group")
                 .members += 1;
+        }
+        if matches!(session, AnySession::Count(_)) {
+            self.isolated_counts += 1;
         }
         let pos = self.sessions.partition_point(|(have, _)| *have < id);
         self.sessions.insert(pos, (id, session));
@@ -827,9 +1429,101 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
 
     /// Adds restored sharing counters (a restore assigns the checkpoint's
     /// summed counters wholesale to one shard; a migration moves none).
-    pub(crate) fn install_counters(&mut self, hits: u64, rebuilds: u64) {
+    pub(crate) fn install_counters(
+        &mut self,
+        hits: u64,
+        rebuilds: u64,
+        count_hits: u64,
+        count_rebuilds: u64,
+    ) {
         self.digest_hits += hits;
         self.digest_rebuilds += rebuilds;
+        self.count_group_hits += count_hits;
+        self.count_group_rebuilds += count_rebuilds;
+    }
+
+    /// Installs a count group and its member sessions as one unit (the
+    /// shard restore/resize path — a count group never travels without
+    /// its members). The group gets a fresh local gid; members'
+    /// references are rebound here, so whatever epoch they came from is
+    /// irrelevant.
+    pub(crate) fn install_count_group(
+        &mut self,
+        state: CountGroupState,
+        members: Vec<(QueryId, AnySession<C, T>)>,
+    ) {
+        debug_assert!(!members.is_empty(), "a count group never travels empty");
+        let gid = self.next_count_gid;
+        self.next_count_gid += 1;
+        let next_ordinal = state.next_ordinal();
+        let slide_len = state.producer.slide_duration() as usize;
+        let mut member_ids: Vec<QueryId> = members.iter().map(|(id, _)| *id).collect();
+        member_ids.sort_unstable();
+        let mut ring_cap = 0;
+        for (_, session) in &members {
+            if let AnySession::Grouped(g) = session {
+                ring_cap = ring_cap.max(g.spec().n + slide_len);
+            } else {
+                debug_assert!(false, "count-group members are grouped sessions");
+            }
+        }
+        self.count_groups.insert(
+            gid,
+            CountGroup {
+                slide_len,
+                producer: state.producer,
+                ring: state.ring,
+                ring_base: state.ring_base,
+                ring_cap,
+                member_ids,
+                next_ordinal,
+            },
+        );
+        for (id, mut session) in members {
+            if let AnySession::Grouped(g) = &mut session {
+                g.set_group(gid);
+            }
+            let pos = self.sessions.partition_point(|(have, _)| *have < id);
+            self.sessions.insert(pos, (id, session));
+        }
+    }
+
+    /// Ejects the count group containing `member` and every member
+    /// session, for whole-group migration to another shard (a count
+    /// group's members are inseparable — moving one moves all). `None`
+    /// if `member` is not a grouped session here.
+    pub(crate) fn eject_count_group_of(
+        &mut self,
+        member: QueryId,
+    ) -> Option<EjectedCountGroup<C, T>> {
+        let gid = self.sessions.iter().find_map(|(id, s)| match s {
+            AnySession::Grouped(g) if *id == member => Some(g.group()),
+            _ => None,
+        })?;
+        let group = self
+            .count_groups
+            .remove(&gid)
+            .expect("a grouped session's gid names a live count group");
+        let mut members = Vec::with_capacity(group.member_ids.len());
+        let mut i = 0;
+        while i < self.sessions.len() {
+            let is_member =
+                matches!(&self.sessions[i].1, AnySession::Grouped(g) if g.group() == gid);
+            if is_member {
+                members.push(self.sessions.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert_eq!(members.len(), group.member_ids.len());
+        Some((
+            CountGroupState {
+                producer: group.producer,
+                ring: group.ring,
+                ring_base: group.ring_base,
+            },
+            members,
+        ))
     }
 
     /// Ejects a slide group and every member session for migration to
@@ -862,11 +1556,49 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             .map(|(sd, group)| (sd, group.producer))
             .collect();
         groups.sort_unstable_by_key(|(sd, _)| *sd);
+        // rewrite grouped references from live gids to canonical
+        // positions (same order as encode_checkpoint), since parts carry
+        // count groups as an index-addressed list
+        let mut order: Vec<u64> = self.count_groups.keys().copied().collect();
+        order.sort_unstable_by_key(|gid| {
+            let g = &self.count_groups[gid];
+            (g.slide_len, g.producer.pending_len())
+        });
+        let index_of: HashMap<u64, u64> = order
+            .iter()
+            .enumerate()
+            .map(|(i, gid)| (*gid, i as u64))
+            .collect();
+        let mut sessions = std::mem::take(&mut self.sessions);
+        for (_, session) in &mut sessions {
+            if let AnySession::Grouped(g) = session {
+                g.set_group(index_of[&g.group()]);
+            }
+        }
+        let count_groups = order
+            .into_iter()
+            .map(|gid| {
+                let g = self
+                    .count_groups
+                    .remove(&gid)
+                    .expect("order holds live gids");
+                CountGroupState {
+                    producer: g.producer,
+                    ring: g.ring,
+                    ring_base: g.ring_base,
+                }
+            })
+            .collect();
+        self.next_count_gid = 0;
+        self.isolated_counts = 0;
         RegistryParts {
-            sessions: std::mem::take(&mut self.sessions),
+            sessions,
             groups,
+            count_groups,
             digest_hits: std::mem::take(&mut self.digest_hits),
             digest_rebuilds: std::mem::take(&mut self.digest_rebuilds),
+            count_group_hits: std::mem::take(&mut self.count_group_hits),
+            count_group_rebuilds: std::mem::take(&mut self.count_group_rebuilds),
         }
     }
 }

@@ -770,20 +770,214 @@ impl<C: SlidingTopK> SharedSession<C> {
     }
 }
 
+/// A **count-based** session served by a shared count group: the
+/// geometry-grouped counterpart of [`SharedSession`].
+///
+/// Every count-based query with slide length `s` registered at the same
+/// stream offset (mod `s`) fills and closes its slides on **identical
+/// arrival boundaries**, regardless of `n` and `k` — so the registry
+/// groups them (see `crate::registry`), computes each slide's
+/// top-`k_max` once per group through a [`DigestProducer`] driven by
+/// arrival ordinals, and hands every member a borrowed
+/// [`DigestView`](crate::digest::DigestView) of it. The member slices
+/// its own `(n, k)` answer through a [`SharedTimed`] consumer over the
+/// same `⟨(n/s)·k, k, k⟩` reduction an isolated [`Session`] effectively
+/// computes — results are byte-identical to an isolated registration of
+/// the same query, per-object cost scales with the number of geometry
+/// classes instead of the number of queries.
+///
+/// The consumer runs on **group ordinals** (the group's arrival counter,
+/// used as both synthetic id and timestamp), which keeps equal-score
+/// tie-breaks on arrival recency exactly like [`Session`]'s internal
+/// renumbering; the group's external-id ring translates emissions back
+/// to the caller's ids.
+#[derive(Debug)]
+pub struct GroupedSession<C: SlidingTopK> {
+    consumer: SharedTimed<C>,
+    /// The original count spec `⟨n, k, s⟩` this session answers.
+    spec: WindowSpec,
+    /// The group slide index this member joined at — its private slide 0.
+    /// Members only ever join on empty slide boundaries (the registry's
+    /// join rule), so no warm-up view is needed: the member missed
+    /// nothing of any slide it will be served.
+    join_slide: u64,
+    /// Registry-local count-group handle: the live group id while
+    /// registered, rewritten to the checkpoint section's canonical group
+    /// index while traveling through the durability plane.
+    group: u64,
+    prev: Snapshot,
+    slides: u64,
+    scratch: SlideScratch,
+}
+
+impl<C: SlidingTopK> GroupedSession<C> {
+    /// Wraps a digest consumer as a count-group member. `join_slide` is
+    /// the group's next (empty, open) slide at registration; `group` the
+    /// registry's group handle.
+    pub(crate) fn new(
+        consumer: SharedTimed<C>,
+        spec: WindowSpec,
+        join_slide: u64,
+        group: u64,
+    ) -> Self {
+        GroupedSession {
+            consumer,
+            spec,
+            join_slide,
+            group,
+            prev: Snapshot::empty(),
+            slides: 0,
+            scratch: SlideScratch::new(),
+        }
+    }
+
+    /// The count window `⟨n, k, s⟩` this session answers.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// The registry's handle for this member's count group.
+    pub(crate) fn group(&self) -> u64 {
+        self.group
+    }
+
+    /// Rewrites the group handle (checkpoint canonicalization, merge
+    /// rebasing, and re-installation under a fresh live id).
+    pub(crate) fn set_group(&mut self, group: u64) {
+        self.group = group;
+    }
+
+    /// The group slide index this member joined at.
+    pub(crate) fn join_slide(&self) -> u64 {
+        self.join_slide
+    }
+
+    /// The digest consumer (and through it, the wrapped engine).
+    pub fn consumer(&self) -> &SharedTimed<C> {
+        &self.consumer
+    }
+
+    /// The wrapped count-based engine (serving the reduced stream).
+    pub fn engine(&self) -> &C {
+        self.consumer.engine()
+    }
+
+    /// Number of slides completed so far.
+    pub fn slides(&self) -> u64 {
+        self.slides
+    }
+
+    /// The most recently emitted top-k (descending), empty before the
+    /// first completed slide.
+    pub fn last_snapshot(&self) -> &[Object] {
+        &self.prev
+    }
+
+    /// The most recent emission as a refcounted [`Snapshot`].
+    pub fn last_snapshot_shared(&self) -> Snapshot {
+        self.prev.clone()
+    }
+
+    /// Unwraps the session, discarding the delta state.
+    pub fn into_inner(self) -> SharedTimed<C> {
+        self.consumer
+    }
+
+    /// Applies one closing group slide, emitting the completed
+    /// [`SlideResult`] through `f`. `view.top` carries group ordinals as
+    /// ids; `ring`/`ring_base` is the group's ordinal → external-id
+    /// translation ring, guaranteed by the registry to cover every
+    /// ordinal the emission can reference (the group serves members
+    /// *inside* each slide close, before later arrivals can evict ring
+    /// entries). Zero allocations on a quiet slide, exactly like every
+    /// other session flavor.
+    pub(crate) fn apply_group_slide(
+        &mut self,
+        view: crate::digest::DigestView<'_>,
+        ring: &std::collections::VecDeque<u64>,
+        ring_base: u64,
+        f: &mut dyn FnMut(SlideResult),
+    ) {
+        let GroupedSession {
+            consumer,
+            join_slide,
+            prev,
+            slides,
+            scratch,
+            ..
+        } = self;
+        {
+            let snapshot = consumer.apply_slide_top(view.slide - *join_slide, view.top);
+            scratch.snapshot.clear();
+            scratch.snapshot.extend(
+                snapshot
+                    .iter()
+                    .map(|o| Object::new(ring[(o.id - ring_base) as usize], o.score)),
+            );
+        }
+        f(emit_staged(prev, slides, scratch, false));
+    }
+
+    /// Writes the session's checkpoint body: slide counter, previous
+    /// emission, the consumer's reduced window (its own frame), the join
+    /// slide, and the canonical index of its count group within the
+    /// checkpoint's `COUNT_GROUPS` section (the registry passes it in —
+    /// live group ids are registry-local and not stable across restores).
+    pub(crate) fn encode_checkpoint_body(&self, enc: &mut Encoder, group_index: u64) {
+        enc.put_u64(self.slides);
+        self.prev.encode_state(enc);
+        enc.section(tags::ENGINE, |e| self.consumer.encode_state(e));
+        enc.put_u64(self.join_slide);
+        enc.put_u64(group_index);
+    }
+
+    /// Rebuilds a session from its checkpoint body. `consumer` must be
+    /// fresh (a [`SharedTimed::from_engine`] over a factory-built engine
+    /// on the count spec's reduction); `spec` is the decoded-and-validated
+    /// count spec. The decoded `group` field is the canonical section
+    /// index until `Registry::from_merged`/`install_count_group` rebinds
+    /// it to a live group.
+    pub(crate) fn decode_checkpoint_body(
+        mut consumer: SharedTimed<C>,
+        spec: WindowSpec,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Self, CheckpointError> {
+        let slides = dec.take_u64()?;
+        let prev = Snapshot::decode_state(dec)?;
+        let mut blob = dec.section(tags::ENGINE)?;
+        consumer.restore_state(&mut blob)?;
+        blob.finish()?;
+        let join_slide = dec.take_u64()?;
+        let group = dec.take_u64()?;
+        Ok(GroupedSession {
+            consumer,
+            spec,
+            join_slide,
+            group,
+            prev,
+            slides,
+            scratch: SlideScratch::new(),
+        })
+    }
+}
+
 /// A session of any window model — what the hubs store and what
 /// [`Hub::unregister`]/`ShardedHub::unregister` hand back. The `C`/`T`
 /// parameters are the count-based and time-based engine types (boxed
 /// trait objects in the hubs; see [`HubSession`] and
-/// [`ShardSession`](crate::shard::ShardSession)); shared-digest sessions
-/// reuse `C`, their reduction engine being count-based.
+/// [`ShardSession`](crate::shard::ShardSession)); shared-digest and
+/// count-group sessions reuse `C`, their reduction engines being
+/// count-based.
 #[derive(Debug)]
 pub enum AnySession<C: SlidingTopK, T: TimedTopK> {
-    /// A count-based session.
+    /// A count-based session (isolated: private engine).
     Count(Session<C>),
     /// A time-based session (isolated: private Appendix-A adapter).
     Timed(TimedSession<T>),
     /// A time-based session served by the shared digest plane.
     Shared(SharedSession<C>),
+    /// A count-based session served by a shared count group.
+    Grouped(GroupedSession<C>),
 }
 
 impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
@@ -793,6 +987,7 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
             AnySession::Count(s) => s.slides(),
             AnySession::Timed(s) => s.slides(),
             AnySession::Shared(s) => s.slides(),
+            AnySession::Grouped(s) => s.slides(),
         }
     }
 
@@ -803,6 +998,7 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
             AnySession::Count(s) => s.last_snapshot(),
             AnySession::Timed(s) => s.last_snapshot(),
             AnySession::Shared(s) => s.last_snapshot(),
+            AnySession::Grouped(s) => s.last_snapshot(),
         }
     }
 
@@ -814,6 +1010,7 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
             AnySession::Count(s) => s.last_snapshot_shared(),
             AnySession::Timed(s) => s.last_snapshot_shared(),
             AnySession::Shared(s) => s.last_snapshot_shared(),
+            AnySession::Grouped(s) => s.last_snapshot_shared(),
         }
     }
 
@@ -841,6 +1038,14 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
         }
     }
 
+    /// The count-group session, if that is this session's model.
+    pub fn as_grouped(&self) -> Option<&GroupedSession<C>> {
+        match self {
+            AnySession::Grouped(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Unwraps a count-based session.
     pub fn into_count(self) -> Option<Session<C>> {
         match self {
@@ -861,6 +1066,14 @@ impl<C: SlidingTopK, T: TimedTopK> AnySession<C, T> {
     pub fn into_shared(self) -> Option<SharedSession<C>> {
         match self {
             AnySession::Shared(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a count-group session.
+    pub fn into_grouped(self) -> Option<GroupedSession<C>> {
+        match self {
+            AnySession::Grouped(s) => Some(s),
             _ => None,
         }
     }
@@ -1025,6 +1238,46 @@ impl Hub {
         self.register_shared_boxed(Box::new(engine), window_duration, slide_duration)
     }
 
+    /// Registers a count-based query `⟨n, k, s⟩` on the **shared count
+    /// plane**: queries are grouped by window geometry — slide length
+    /// `s` and registration offset mod `s` — so each slide's top-`k_max`
+    /// is computed once per geometry class and every member slices its
+    /// own `(n, k)` answer from it. Results are byte-identical to an
+    /// isolated [`register_boxed`](Hub::register_boxed) of the same
+    /// query; per-object cost scales with the number of geometry classes
+    /// instead of the number of registered queries (see `Hub::stats` for
+    /// the count-group hit counters).
+    ///
+    /// `engine` answers the private reduction and must be fresh and
+    /// configured over `⟨(n/s)·k, k, k⟩` for its own `k` — the same
+    /// Appendix-A reduction the digest plane uses, with arrival counts
+    /// standing in for timestamps. Wrong geometry (including `k > n` or
+    /// `s ∤ n` on the original spec) is a typed [`SapError::Spec`].
+    pub fn register_grouped_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK>,
+        n: usize,
+        s: usize,
+    ) -> Result<QueryId, SapError> {
+        let spec = WindowSpec::new(n, engine.spec().k, s).map_err(SapError::Spec)?;
+        let consumer =
+            SharedTimed::from_engine(engine, n as u64, s as u64).map_err(SapError::Spec)?;
+        let id = self.next_id();
+        self.registry.register_grouped(id, consumer, spec, None);
+        Ok(id)
+    }
+
+    /// Registers an owned engine on the shared count plane (convenience
+    /// over [`register_grouped_boxed`](Hub::register_grouped_boxed)).
+    pub fn register_grouped_alg<A: SlidingTopK + 'static>(
+        &mut self,
+        engine: A,
+        n: usize,
+        s: usize,
+    ) -> Result<QueryId, SapError> {
+        self.register_grouped_boxed(Box::new(engine), n, s)
+    }
+
     /// Removes a query, returning its session (with the algorithm's full
     /// state). An unknown or already-removed handle is a typed
     /// [`SapError::UnknownQuery`] — never a silent no-op, so callers
@@ -1109,6 +1362,12 @@ impl Hub {
     /// handles and for other models).
     pub fn shared_session(&self, id: QueryId) -> Option<&SharedSession<Box<dyn SlidingTopK>>> {
         self.any_session(id).and_then(AnySession::as_shared)
+    }
+
+    /// The count-group session behind a handle (`None` for unknown
+    /// handles and for other models).
+    pub fn grouped_session(&self, id: QueryId) -> Option<&GroupedSession<Box<dyn SlidingTopK>>> {
+        self.any_session(id).and_then(AnySession::as_grouped)
     }
 
     /// Registered-query counts plus the digest plane's sharing metrics

@@ -111,9 +111,9 @@ use crate::digest::{DigestProducer, SharedTimed};
 use crate::events::Snapshot;
 use crate::object::{Object, TimedObject};
 use crate::query::SapError;
-use crate::registry::{HubStats, Registry, RegistryParts};
+use crate::registry::{CountGroupState, HubStats, Registry, RegistryParts};
 use crate::session::{AnySession, QueryId, QueryUpdate};
-use crate::window::{SlidingTopK, TimedTopK};
+use crate::window::{SlidingTopK, TimedTopK, WindowSpec};
 
 /// Default bound on each shard's queue, in published batches. Deep enough
 /// to keep workers busy across bursty publishes, shallow enough that a
@@ -169,6 +169,15 @@ enum Command {
     /// query's slide group — the receiving worker debug-asserts it owns
     /// it, so a group can never silently span shards.
     RegisterShared(QueryId, SharedTimed<Box<dyn SlidingTopK + Send>>, usize),
+    /// A count-group member: the reduced consumer, the plain `⟨n, k, s⟩`
+    /// spec, and the hub-computed home shard of its geometry class (same
+    /// no-silent-spanning contract as `RegisterShared`).
+    RegisterGrouped(
+        QueryId,
+        SharedTimed<Box<dyn SlidingTopK + Send>>,
+        WindowSpec,
+        usize,
+    ),
     Unregister(QueryId, mpsc::Sender<ShardSession>),
     Inspect(QueryId, mpsc::Sender<QueryState>),
     Stats(mpsc::Sender<HubStats>),
@@ -183,12 +192,21 @@ enum Command {
     /// live migration). A shared session's group must be installed first.
     Install(QueryId, ShardSession),
     InstallGroup(u64, DigestProducer),
-    InstallCounters(u64, u64),
+    /// Adopt a count group and its member sessions as one unit — a count
+    /// group never travels without its members.
+    InstallCountGroup(CountGroupState, Vec<(QueryId, ShardSession)>),
+    InstallCounters(u64, u64, u64, u64),
     /// Hand a slide group — producer plus every member session — to the
     /// hub for migration to another shard.
     EjectGroup(
         u64,
         mpsc::Sender<(DigestProducer, Vec<(QueryId, ShardSession)>)>,
+    ),
+    /// Hand over the count group containing this member, with every
+    /// member session, for whole-group migration.
+    EjectCountGroup(
+        QueryId,
+        mpsc::Sender<(CountGroupState, Vec<(QueryId, ShardSession)>)>,
     ),
     /// Hand *everything* back — sessions, groups, counters, and the
     /// undrained updates — emptying the worker (the resize path).
@@ -218,6 +236,9 @@ fn shard_worker(shard: usize, rx: Receiver<Command>) {
             Command::RegisterTimed(id, engine) => registry.register_timed(id, engine),
             Command::RegisterShared(id, consumer, home) => {
                 registry.register_shared(id, consumer, Some(home))
+            }
+            Command::RegisterGrouped(id, consumer, spec, home) => {
+                registry.register_grouped(id, consumer, spec, Some(home))
             }
             Command::Unregister(id, reply) => {
                 // membership is checked hub-side; a miss here would be a
@@ -250,11 +271,22 @@ fn shard_worker(shard: usize, rx: Receiver<Command>) {
             }
             Command::Install(id, session) => registry.install(id, session),
             Command::InstallGroup(sd, producer) => registry.install_group(sd, producer),
-            Command::InstallCounters(hits, rebuilds) => registry.install_counters(hits, rebuilds),
+            Command::InstallCountGroup(state, members) => {
+                registry.install_count_group(state, members)
+            }
+            Command::InstallCounters(hits, rebuilds, count_hits, count_rebuilds) => {
+                registry.install_counters(hits, rebuilds, count_hits, count_rebuilds)
+            }
             Command::EjectGroup(sd, reply) => {
                 // group residence is tracked hub-side; a miss here is a
                 // routing bug, surfaced as a RecvError on the hub's reply
                 if let Some(ejected) = registry.eject_group(sd) {
+                    let _ = reply.send(ejected);
+                }
+            }
+            Command::EjectCountGroup(id, reply) => {
+                // same hub-side residence contract as EjectGroup
+                if let Some(ejected) = registry.eject_count_group_of(id) {
                     let _ = reply.send(ejected);
                 }
             }
@@ -298,6 +330,25 @@ pub struct ShardedHub {
     /// Slide-group key of each registered shared query, for unregister
     /// bookkeeping.
     shared_sd: HashMap<QueryId, u64>,
+    /// `(slide length, founding offset mod s)` → (owning shard, member
+    /// count) for the shared **count** plane. The hub mirrors the
+    /// workers' join rule arithmetically: a worker group founded when the
+    /// hub had published `o` objects has an empty open slide exactly when
+    /// `published ≡ o (mod s)` — so routing a registration to the group
+    /// keyed `(s, published mod s)` lands it precisely where the worker's
+    /// own join scan will accept it. Count groups are shard-local like
+    /// slide groups, with the same whole-group migration discipline.
+    count_groups_hub: HashMap<(u64, u64), (usize, usize)>,
+    /// Count-group key of each registered grouped query, for routing and
+    /// unregister bookkeeping.
+    grouped_key: HashMap<QueryId, (u64, u64)>,
+    /// Objects accepted hub-wide (all publish paths) — the registration
+    /// offset counter the count-group keys are phased against. Never
+    /// reset: keys only ever use it mod `s`, and
+    /// [`place_parts`](ShardedHub::place_parts) re-derives each restored
+    /// group's founding class from its producer's pending fill, so the
+    /// counter's absolute value is irrelevant across epochs.
+    published: u64,
     /// Objects accepted by [`publish_one`](ShardedHub::publish_one) and
     /// not yet shipped: they coalesce into one `Arc` batch per
     /// [`PUBLISH_ONE_COALESCE`] objects (or per intervening operation)
@@ -351,6 +402,9 @@ impl ShardedHub {
             registered: BTreeSet::new(),
             shared_groups: HashMap::new(),
             shared_sd: HashMap::new(),
+            count_groups_hub: HashMap::new(),
+            grouped_key: HashMap::new(),
+            published: 0,
             pending_one: Vec::new(),
             placed: HashMap::new(),
             parked_updates: Vec::new(),
@@ -399,6 +453,7 @@ impl ShardedHub {
         }
         let batch: Arc<[Object]> = Arc::from(&self.pending_one[..]);
         self.pending_one.clear();
+        self.published += batch.len() as u64;
         for shard in 0..self.shards.len() {
             if self.shard_len[shard] > 0 {
                 self.send(shard, Command::Publish(Arc::clone(&batch)))?;
@@ -416,20 +471,28 @@ impl ShardedHub {
     }
 
     /// Which shard actually owns a registered query: its slide group's
-    /// shard for shared queries (group-aware placement may override the
-    /// hash), a [`move_query`](ShardedHub::move_query) placement if one
-    /// is in effect, the Fibonacci hash otherwise.
+    /// shard for shared queries, its count group's shard for grouped
+    /// queries (group-aware placement may override the hash), a
+    /// [`move_query`](ShardedHub::move_query) placement if one is in
+    /// effect, the Fibonacci hash otherwise.
     fn home_shard(&self, id: QueryId) -> usize {
-        match self
+        if let Some(&(shard, _)) = self
             .shared_sd
             .get(&id)
             .and_then(|sd| self.shared_groups.get(sd))
         {
-            Some(&(shard, _)) => shard,
-            None => match self.placed.get(&id) {
-                Some(&shard) => shard,
-                None => self.shard_of(id),
-            },
+            return shard;
+        }
+        if let Some(&(shard, _)) = self
+            .grouped_key
+            .get(&id)
+            .and_then(|key| self.count_groups_hub.get(key))
+        {
+            return shard;
+        }
+        match self.placed.get(&id) {
+            Some(&shard) => shard,
+            None => self.shard_of(id),
         }
     }
 
@@ -564,6 +627,59 @@ impl ShardedHub {
         self.register_shared_boxed(Box::new(engine), window_duration, slide_duration)
     }
 
+    /// Registers a count-based query `⟨n, k, s⟩` on the **shared count
+    /// plane** (see `Hub::register_grouped_boxed` for the semantics;
+    /// results are byte-identical to an isolated
+    /// [`register_boxed`](ShardedHub::register_boxed)). `engine` runs the
+    /// Appendix-A reduction of the spec, `k` is the engine's; a query
+    /// joining a live geometry class is placed on that class's shard —
+    /// count groups are shard-local state, like slide groups — and a
+    /// query founding a new class places it by the usual id hash.
+    ///
+    /// Wrong engine geometry is a typed [`SapError::Spec`] and burns no
+    /// id; a dead target shard is [`SapError::ShardDown`] with the same
+    /// id-burning/bookkeeping contract as
+    /// [`register_shared_boxed`](ShardedHub::register_shared_boxed).
+    pub fn register_grouped_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK + Send>,
+        n: usize,
+        s: usize,
+    ) -> Result<QueryId, SapError> {
+        let spec = WindowSpec::new(n, engine.spec().k, s).map_err(SapError::Spec)?;
+        let consumer =
+            SharedTimed::from_engine(engine, n as u64, s as u64).map_err(SapError::Spec)?;
+        // coalesced publishes precede the registration — this also settles
+        // `published`, so the geometry key below is phase-exact
+        self.flush_pending_one()?;
+        // same id-burning rationale as register_boxed
+        let id = QueryId::from_raw(self.next_id);
+        self.next_id += 1;
+        let key = (s as u64, self.published % s as u64);
+        let shard = match self.count_groups_hub.get(&key) {
+            Some(&(shard, _)) => shard,
+            None => self.shard_of(id),
+        };
+        self.send(shard, Command::RegisterGrouped(id, consumer, spec, shard))?;
+        let members = self.count_groups_hub.entry(key).or_insert((shard, 0));
+        members.1 += 1;
+        self.shard_len[shard] += 1;
+        self.registered.insert(id);
+        self.grouped_key.insert(id, key);
+        Ok(id)
+    }
+
+    /// Registers an owned engine on the shared count plane (convenience
+    /// over [`register_grouped_boxed`](ShardedHub::register_grouped_boxed)).
+    pub fn register_grouped_alg<A: SlidingTopK + Send + 'static>(
+        &mut self,
+        engine: A,
+        n: usize,
+        s: usize,
+    ) -> Result<QueryId, SapError> {
+        self.register_grouped_boxed(Box::new(engine), n, s)
+    }
+
     /// Removes a query and returns its session (with the engine's full
     /// state) once its shard has processed everything published before
     /// this call. Unknown or already-removed handles are a typed
@@ -591,6 +707,15 @@ impl ShardedHub {
                     // last member out: retire the group so a later
                     // registrant founds a fresh one, placed anew
                     self.shared_groups.remove(&sd);
+                }
+            }
+        }
+        if let Some(key) = self.grouped_key.remove(&id) {
+            if let Some(members) = self.count_groups_hub.get_mut(&key) {
+                members.1 -= 1;
+                if members.1 == 0 {
+                    // mirror the worker, which just retired the group
+                    self.count_groups_hub.remove(&key);
                 }
             }
         }
@@ -625,6 +750,7 @@ impl ShardedHub {
         }
         self.flush_pending_one()?;
         let batch: Arc<[Object]> = Arc::from(objects);
+        self.published += batch.len() as u64;
         for shard in 0..self.shards.len() {
             if self.shard_len[shard] > 0 {
                 self.send(shard, Command::Publish(Arc::clone(&batch)))?;
@@ -646,6 +772,9 @@ impl ShardedHub {
         }
         self.flush_pending_one()?;
         let batch: Arc<[TimedObject]> = Arc::from(objects);
+        // the untimed view feeds count groups too, so timed batches
+        // advance the offset counter exactly like plain ones
+        self.published += batch.len() as u64;
         for shard in 0..self.shards.len() {
             if self.shard_len[shard] > 0 {
                 self.send(shard, Command::PublishTimed(Arc::clone(&batch)))?;
@@ -881,12 +1010,31 @@ impl ShardedHub {
         let RegistryParts {
             sessions,
             groups,
+            count_groups,
             digest_hits,
             digest_rebuilds,
+            count_group_hits,
+            count_group_rebuilds,
         } = parts;
+        // grouped sessions travel with their count group, not alone —
+        // split them out by canonical group index (ascending id within
+        // each group, since the merged session list is ascending)
+        let mut count_members: Vec<Vec<(QueryId, ShardSession)>> =
+            (0..count_groups.len()).map(|_| Vec::new()).collect();
+        let mut loose = Vec::with_capacity(sessions.len());
+        for (id, session) in sessions {
+            let grouped = match &session {
+                AnySession::Grouped(g) => Some(g.group() as usize),
+                _ => None,
+            };
+            match grouped {
+                Some(i) => count_members[i].push((id, session)),
+                None => loose.push((id, session)),
+            }
+        }
         let mut group_home: HashMap<u64, usize> = HashMap::new();
         for (sd, _) in &groups {
-            let lowest = sessions
+            let lowest = loose
                 .iter()
                 .find_map(|(id, s)| match s {
                     AnySession::Shared(m) if m.slide_duration() == *sd => Some(*id),
@@ -900,7 +1048,31 @@ impl ShardedHub {
             self.send(shard, Command::InstallGroup(sd, producer))?;
             self.shared_groups.insert(sd, (shard, 0));
         }
-        for (id, session) in sessions {
+        for (state, members) in count_groups.into_iter().zip(count_members) {
+            let lowest = members
+                .first()
+                .expect("merge validated every count group has members")
+                .0;
+            let shard = self.shard_of(lowest);
+            let sd = state.producer.slide_duration();
+            // re-derive the founding offset class against the current
+            // counter: the installed group's open slide has
+            // `pending` objects, so it last sat empty `pending` objects
+            // ago — class `(published − pending) mod s`. Merge rejected
+            // same-(s, pending) collisions, so keys are unique.
+            let key = (
+                sd,
+                (self.published % sd + sd - state.producer.pending_len() as u64) % sd,
+            );
+            for (id, _) in &members {
+                self.grouped_key.insert(*id, key);
+                self.registered.insert(*id);
+            }
+            self.shard_len[shard] += members.len();
+            self.count_groups_hub.insert(key, (shard, members.len()));
+            self.send(shard, Command::InstallCountGroup(state, members))?;
+        }
+        for (id, session) in loose {
             let shard = match &session {
                 AnySession::Shared(s) => {
                     let sd = s.slide_duration();
@@ -917,8 +1089,20 @@ impl ShardedHub {
             self.shard_len[shard] += 1;
             self.registered.insert(id);
         }
-        if digest_hits != 0 || digest_rebuilds != 0 {
-            self.send(0, Command::InstallCounters(digest_hits, digest_rebuilds))?;
+        if digest_hits != 0
+            || digest_rebuilds != 0
+            || count_group_hits != 0
+            || count_group_rebuilds != 0
+        {
+            self.send(
+                0,
+                Command::InstallCounters(
+                    digest_hits,
+                    digest_rebuilds,
+                    count_group_hits,
+                    count_group_rebuilds,
+                ),
+            )?;
         }
         Ok(())
     }
@@ -974,6 +1158,21 @@ impl ShardedHub {
             self.shard_len[source] -= moved;
             self.shard_len[shard] += moved;
             self.shared_groups.insert(sd, (shard, moved));
+        } else if let Some(&key) = self.grouped_key.get(&id) {
+            // a grouped count query moves with its entire count group —
+            // same shard-local-state rationale as a slide group
+            let (source, _) = self.count_groups_hub[&key];
+            if source == shard {
+                return Ok(());
+            }
+            let (reply, rx) = mpsc::channel();
+            self.send(source, Command::EjectCountGroup(id, reply))?;
+            let (state, members) = self.recv(source, &rx)?;
+            let moved = members.len();
+            self.send(shard, Command::InstallCountGroup(state, members))?;
+            self.shard_len[source] -= moved;
+            self.shard_len[shard] += moved;
+            self.count_groups_hub.insert(key, (shard, moved));
         } else {
             let source = self.home_shard(id);
             if source == shard {
@@ -1030,6 +1229,8 @@ impl ShardedHub {
         self.registered.clear();
         self.shared_groups.clear();
         self.shared_sd.clear();
+        self.count_groups_hub.clear();
+        self.grouped_key.clear();
         self.placed.clear();
         self.place_parts(merged)
     }

@@ -267,6 +267,15 @@ pub trait HubExt {
     /// digest instead of recomputing its own, with byte-identical
     /// results. A count-based query is [`SapError::NotTimeBased`].
     fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError>;
+
+    /// Validates and constructs a **count-based** query, then registers
+    /// it on the hub's shared count plane: queries are grouped by window
+    /// geometry (slide length + registration offset mod `s`), each group
+    /// ingests every published object once, and members slice their
+    /// `(n, k)` view from the group's shared per-slide digest — with
+    /// results byte-identical to [`register`](HubExt::register). A
+    /// time-based query is [`SapError::NotCountBased`].
+    fn register_grouped(&mut self, query: &Query) -> Result<QueryId, SapError>;
 }
 
 impl HubExt for Hub {
@@ -284,6 +293,15 @@ impl HubExt for Hub {
         let engine = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
         self.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
     }
+
+    fn register_grouped(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        let spec = query.validate()?;
+        let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
+            .and_then(|t| t.reduced())
+            .map_err(SapError::Spec)?;
+        let engine: Box<dyn SlidingTopK> = build_engine(reduced, query)?;
+        self.register_grouped_boxed(engine, spec.n, spec.s)
+    }
 }
 
 impl HubExt for ShardedHub {
@@ -299,6 +317,14 @@ impl HubExt for ShardedHub {
         let spec = query.validate_timed()?;
         let engine = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
         self.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
+    }
+
+    fn register_grouped(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        let spec = query.validate()?;
+        let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
+            .and_then(|t| t.reduced())
+            .map_err(SapError::Spec)?;
+        self.register_grouped_boxed(build_engine(reduced, query)?, spec.n, spec.s)
     }
 }
 

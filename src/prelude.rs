@@ -4,8 +4,9 @@
 //! Brings in the fluent [`Query`] builder — both window models — with its
 //! facade finalizers ([`QueryExt::build`]/[`QueryExt::session`]/
 //! [`QueryExt::timed_session`]), the multi-query [`Hub`] and
-//! thread-parallel [`ShardedHub`] with [`HubExt::register`] and the
-//! shared digest plane's [`HubExt::register_shared`] (plus its
+//! thread-parallel [`ShardedHub`] with [`HubExt::register`], the
+//! shared digest plane's [`HubExt::register_shared`], and the shared
+//! count plane's [`HubExt::register_grouped`] (plus their
 //! [`HubStats`] sharing metrics), flexible
 //! ingestion ([`Ingest`]/[`TimedIngest`]), typed result deltas
 //! ([`TopKEvent`]/[`SlideResult`]), the data model (count-based
@@ -18,12 +19,12 @@ pub use crate::{build, build_send, build_timed, DefaultEngineFactory, HubExt, Qu
 
 pub use sap_stream::{
     run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, Checkpoint, CheckpointError,
-    CheckpointState, Dataset, DigestProducer, DigestRef, DigestView, EngineFactory, EventList, Hub,
-    HubSession, HubStats, Ingest, Object, OpStats, Query, QueryId, QuerySpec, QueryState,
-    QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, ShardSession, ShardedHub,
-    SharedSession, SharedTimed, SlideDigest, SlideResult, SlideScratch, SlidingTopK, Snapshot,
-    SpecError, TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent, WindowSpec,
-    Workload,
+    CheckpointState, Dataset, DigestProducer, DigestRef, DigestView, EngineFactory, EventList,
+    GroupedSession, Hub, HubSession, HubStats, Ingest, Object, OpStats, Query, QueryId, QuerySpec,
+    QueryState, QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, ShardSession,
+    ShardedHub, SharedSession, SharedTimed, SlideDigest, SlideResult, SlideScratch, SlidingTopK,
+    Snapshot, SpecError, TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent,
+    WindowSpec, Workload,
 };
 
 pub use sap_core::{Sap, SapConfig, TimeBased, TimeBasedSap};

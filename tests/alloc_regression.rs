@@ -230,6 +230,71 @@ fn warm_hub_publish_without_slides_is_allocation_free() {
     debug_assertions,
     ignore = "allocation bounds are pinned for release builds"
 )]
+fn warm_grouped_hub_publish_meets_the_isolated_pinned_bounds() {
+    let _guard = LOCK.lock().unwrap();
+    // The shared count plane must not regress the zero-allocation
+    // steady state: the group ring, the group digest producer, and every
+    // member's reduced-engine scratch are pooled after warm-up, so a
+    // buffering publish (group slide still open) is allocation-free and
+    // a group hit pays only the output Vec plus per-update Arcs and
+    // bounded reduced-engine churn.
+    let mut hub = Hub::new();
+    let mut ids = Vec::new();
+    for q in 0..50u64 {
+        let k = 1 + (q as usize % 3);
+        let n = 200 + 10 * (q as usize % 4);
+        // varied (n, k) views, one geometry class: registered together
+        // with equal s, so every query shares one group ring and digest
+        ids.push(
+            hub.register_grouped(&Query::window(n).top(k).slide(10))
+                .unwrap(),
+        );
+    }
+    let mut warm = Vec::new();
+    for i in 0..1_000u64 {
+        warm.push(Object::new(i, score(i)));
+    }
+    for chunk in warm.chunks(10) {
+        hub.publish(chunk);
+    }
+    let stats = hub.stats();
+    assert_eq!(stats.count_groups, 1, "one geometry class");
+    assert_eq!(stats.grouped_queries, ids.len());
+    assert!(stats.count_group_hits > 0, "warm-up must serve group hits");
+
+    // half a slide: the group ring appends and the group digest buffers,
+    // no member is touched — the publish must not allocate at all
+    let half: Vec<Object> = (1_000..1_005u64)
+        .map(|i| Object::new(i, score(i)))
+        .collect();
+    let (updates, allocs) = measured(|| hub.publish(&half).len());
+    assert_eq!(updates, 0);
+    assert_eq!(allocs, 0, "group-buffering publish must be allocation-free");
+
+    // completing the group slide serves all 50 members from one shared
+    // digest: one output Vec + ≤ 1 Arc per update + the reduced engines'
+    // pooled churn (≤ 1 per update, same headroom the timed plane gets)
+    let rest: Vec<Object> = (1_005..1_010u64)
+        .map(|i| Object::new(i, score(i)))
+        .collect();
+    let (updates, allocs) = measured(|| hub.publish(&rest).len());
+    assert_eq!(
+        updates,
+        ids.len(),
+        "every member is served on the group hit"
+    );
+    assert!(
+        allocs <= 1 + 2 * updates as u64,
+        "group-hit publish: {allocs} allocations for {updates} updates \
+         (pinned bound: 1 output Vec + ≤ 2 per update)"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
 fn checkpoint_leaves_the_warm_publish_path_allocation_free() {
     let _guard = LOCK.lock().unwrap();
     // A checkpoint is a read-only borrow of serving state: taking one on a

@@ -15,9 +15,9 @@ use sap_baselines::{KSkyband, MinTopK, NaiveTopK, Sma};
 use sap_core::{Sap, SapConfig, TimeBased};
 use sap_stream::generators::{Dataset, Workload};
 use sap_stream::{
-    checksum_fold, diff_snapshots, run, EngineFactory, Hub, HubStats, Object, QueryId, QuerySpec,
-    QueryUpdate, RunSummary, SapError, ShardedHub, SlidingTopK, TimedObject, TimedSpec, TimedTopK,
-    WindowSpec, CHECKSUM_SEED,
+    checksum_fold, diff_snapshots, run, AsyncHub, EngineFactory, FifoScheduler, Hub, HubStats,
+    Object, QueryId, QuerySpec, QueryUpdate, RunSummary, SapError, SeededScheduler, ShardedHub,
+    SlidingTopK, TimedObject, TimedSpec, TimedTopK, WindowSpec, CHECKSUM_SEED,
 };
 
 mod alloc;
@@ -293,6 +293,49 @@ pub fn run_hub_sharded(
         digest_hits: 0,
         digest_rebuilds: 0,
     }
+}
+
+/// Publishes `data` to an [`AsyncHub`] with `shards` logical shards
+/// served by `workers` reactor threads, draining after every chunk —
+/// the same loop as [`run_hub_sharded`], so timing covers publish +
+/// drain including all coordination. `seed` selects a
+/// [`SeededScheduler`] (schedule-fuzzed runs) instead of the production
+/// [`FifoScheduler`]. Returns the run plus the publisher park count —
+/// the non-blocking-publish evidence for `BENCH_async.json`.
+pub fn run_hub_async(
+    mix: &[(Algo, WindowSpec)],
+    data: &[Object],
+    chunk: usize,
+    shards: usize,
+    workers: usize,
+    seed: Option<u64>,
+) -> (HubRun, u64) {
+    let scheduler: Box<dyn sap_stream::Scheduler> = match seed {
+        Some(seed) => Box::new(SeededScheduler::new(seed)),
+        None => Box::new(FifoScheduler),
+    };
+    let mut hub = AsyncHub::with_scheduler(shards, workers, scheduler);
+    for (algo, spec) in mix {
+        hub.register_boxed(algo.build(*spec)).expect("fresh shards");
+    }
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        hub.publish(c).expect("no engine panics in the bench mix");
+        for u in hub.drain().expect("no engine panics in the bench mix") {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    let run = HubRun {
+        elapsed: started.elapsed(),
+        updates,
+        checksum,
+        digest_hits: 0,
+        digest_rebuilds: 0,
+    };
+    (run, hub.publisher_parks())
 }
 
 /// Heterogeneous **mixed-model** query set for the timed hub bench:

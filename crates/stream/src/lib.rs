@@ -35,7 +35,7 @@
 //!
 //! ## Scaling
 //!
-//! Two hubs serve many standing queries over one stream:
+//! Three hubs serve many standing queries over one stream:
 //!
 //! * [`Hub`] is synchronous and single-threaded: `publish` walks every
 //!   session in the caller's thread and returns the completed slides
@@ -48,6 +48,12 @@
 //!   queue and blocks while any queue is full, so a publisher can never
 //!   run unboundedly ahead of the slowest shard (backpressure, not
 //!   buffering).
+//! * [`AsyncHub`] keeps the sharded hub's semantics but multiplexes many
+//!   *logical* shards onto a few reactor worker threads, so the shard
+//!   count is no longer capped by the core count. `publish` is a
+//!   single-lock broadcast that parks on backpressure (or refuses via
+//!   [`AsyncHub::poll_ready`]/[`AsyncHub::try_publish`]), and the ready
+//!   pick order is a pluggable, seedable [`Scheduler`] — see [`exec`].
 //!
 //! Parallel execution stays observably equivalent to the sequential hub
 //! through the **determinism barrier**: results accumulate shard-side,
@@ -89,6 +95,7 @@ pub mod checkpoint;
 pub mod digest;
 pub mod driver;
 pub mod events;
+pub mod exec;
 pub mod generators;
 pub mod metrics;
 pub mod object;
@@ -109,6 +116,7 @@ pub use driver::{checksum_fold, run, run_collecting, RunSummary, CHECKSUM_SEED};
 pub use events::{
     diff_snapshots, diff_snapshots_into, DiffScratch, EventList, SlideResult, Snapshot, TopKEvent,
 };
+pub use exec::{AsyncHub, FifoScheduler, Scheduler, SeededScheduler, COMMANDS_PER_WAKEUP};
 pub use generators::{ArrivalProcess, Dataset, Workload};
 pub use metrics::OpStats;
 pub use object::{Object, ScoreKey, TimedObject};

@@ -168,6 +168,47 @@ impl HubStats {
     }
 }
 
+/// The group identities one registry owns, reported alongside its
+/// [`HubStats`] partial so the hub can audit the **shard-locality
+/// invariant** that makes [`HubStats::merge`]'s straight sums exact:
+/// `digest_groups`/`count_groups` totals are only correct because no
+/// group ever spans two workers. Slide groups are identified by their
+/// `slide_duration`; count groups by `(slide length, pending fill)` —
+/// at a quiesced instant every shard has consumed the same published
+/// prefix, so two count groups with equal `s` sit at the same fill only
+/// if they are the same offset class (the same uniqueness argument the
+/// checkpoint encoding and `RegistryParts::merge` already rely on).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub(crate) struct GroupKeys {
+    pub(crate) digest: Vec<u64>,
+    pub(crate) count: Vec<(u64, u64)>,
+}
+
+impl GroupKeys {
+    /// Debug-asserts that `other` (reported by `shard`) shares no group
+    /// identity with the shards already absorbed, then absorbs it. The
+    /// release build just accumulates; the debug build turns a group
+    /// split across workers — a routing regression that would silently
+    /// double-count groups in [`HubStats`] — into a panic at the merge
+    /// site.
+    pub(crate) fn absorb_disjoint(&mut self, other: &GroupKeys, shard: usize) {
+        debug_assert!(
+            !other.digest.iter().any(|sd| self.digest.contains(sd)),
+            "slide group split across workers: slide_duration {:?} \
+             reported by shard {shard} and an earlier shard",
+            other.digest.iter().find(|sd| self.digest.contains(sd)),
+        );
+        debug_assert!(
+            !other.count.iter().any(|key| self.count.contains(key)),
+            "count group split across workers: geometry class {:?} \
+             reported by shard {shard} and an earlier shard",
+            other.count.iter().find(|key| self.count.contains(key)),
+        );
+        self.digest.extend_from_slice(&other.digest);
+        self.count.extend_from_slice(&other.count);
+    }
+}
+
 /// One slide group: the shared producer plus its member count (sessions
 /// in [`Registry::sessions`] with this `slide_duration`).
 struct DigestGroup {
@@ -1007,6 +1048,19 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
 
     pub(crate) fn is_empty(&self) -> bool {
         self.sessions.is_empty()
+    }
+
+    /// The identities of every group this registry owns, for the
+    /// hub-side shard-locality audit (see [`GroupKeys::absorb_disjoint`]).
+    pub(crate) fn group_keys(&self) -> GroupKeys {
+        GroupKeys {
+            digest: self.groups.keys().copied().collect(),
+            count: self
+                .count_groups
+                .values()
+                .map(|g| (g.slide_len as u64, g.producer.pending_len() as u64))
+                .collect(),
+        }
     }
 
     pub(crate) fn stats(&self) -> HubStats {

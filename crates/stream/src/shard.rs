@@ -111,7 +111,7 @@ use crate::digest::{DigestProducer, SharedTimed};
 use crate::events::Snapshot;
 use crate::object::{Object, TimedObject};
 use crate::query::SapError;
-use crate::registry::{CountGroupState, HubStats, Registry, RegistryParts};
+use crate::registry::{CountGroupState, GroupKeys, HubStats, Registry, RegistryParts};
 use crate::session::{AnySession, QueryId, QueryUpdate};
 use crate::window::{SlidingTopK, TimedTopK, WindowSpec};
 
@@ -136,11 +136,15 @@ pub type ShardSession = AnySession<Box<dyn SlidingTopK + Send>, Box<dyn TimedTop
 
 /// One worker's ejected serving state (plus its undrained updates) —
 /// what travels back on [`ShardedHub::resize`]'s rescatter path.
-type ShardParts = RegistryParts<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>>;
+pub(crate) type ShardParts = RegistryParts<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>>;
 
 /// The reply channel a worker answers an `EjectAll` on: its full serving
 /// state plus any updates parked in its outbound queue.
 type PartsReply = mpsc::Receiver<(ShardParts, Vec<QueryUpdate>)>;
+
+/// The registry flavor every hub worker drives: engines boxed and
+/// [`Send`], because they cross (or may cross) a thread boundary.
+pub(crate) type ShardRegistry = Registry<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>>;
 
 /// A point-in-time view of one query, fetched across the shard boundary
 /// by [`ShardedHub::inspect`].
@@ -158,8 +162,10 @@ pub struct QueryState {
 /// the same channel as data, so registration and unregistration are
 /// totally ordered with respect to the publishes around them — a query
 /// registered after `publish(a)` and before `publish(b)` sees exactly the
-/// objects of `b` onward, same as with the sequential hub.
-enum Command {
+/// objects of `b` onward, same as with the sequential hub. Shared with
+/// [`AsyncHub`](crate::exec::AsyncHub), whose per-shard `VecDeque`s carry
+/// the same commands the channel transport does.
+pub(crate) enum Command {
     Publish(Arc<[Object]>),
     PublishTimed(Arc<[TimedObject]>),
     AdvanceTime(u64),
@@ -180,7 +186,10 @@ enum Command {
     ),
     Unregister(QueryId, mpsc::Sender<ShardSession>),
     Inspect(QueryId, mpsc::Sender<QueryState>),
-    Stats(mpsc::Sender<HubStats>),
+    /// Stats partial plus the group identities backing it, so the hub
+    /// can debug-assert the shard-locality invariant the summed
+    /// `digest_groups`/`count_groups` totals depend on.
+    Stats(mpsc::Sender<(HubStats, GroupKeys)>),
     Flush(mpsc::Sender<()>),
     Drain(mpsc::Sender<Vec<QueryUpdate>>),
     /// Serialize this worker's registry as one framed `tags::REGISTRY`
@@ -224,77 +233,724 @@ struct Shard {
 /// command queue in order, accumulating completed slides until the next
 /// drain.
 fn shard_worker(shard: usize, rx: Receiver<Command>) {
-    let mut registry: Registry<Box<dyn SlidingTopK + Send>, Box<dyn TimedTopK + Send>> =
-        Registry::with_shard(shard);
+    let mut registry: ShardRegistry = Registry::with_shard(shard);
     let mut updates: Vec<QueryUpdate> = Vec::new();
     while let Ok(cmd) = rx.recv() {
-        match cmd {
-            Command::Publish(batch) => updates.extend(registry.publish(&batch)),
-            Command::PublishTimed(batch) => updates.extend(registry.publish_timed(&batch)),
-            Command::AdvanceTime(watermark) => updates.extend(registry.advance_time(watermark)),
-            Command::Register(id, alg) => registry.register_count(id, alg),
-            Command::RegisterTimed(id, engine) => registry.register_timed(id, engine),
-            Command::RegisterShared(id, consumer, home) => {
-                registry.register_shared(id, consumer, Some(home))
+        apply_command(&mut registry, &mut updates, cmd);
+    }
+}
+
+/// Applies one command to one shard's registry, appending any completed
+/// slides to `updates`. The single interpreter both transports share:
+/// [`shard_worker`] calls it from a blocking channel loop, an
+/// [`AsyncHub`](crate::exec::AsyncHub) worker from its batched wakeup —
+/// which is what keeps every hub flavor byte-identical by construction.
+pub(crate) fn apply_command(
+    registry: &mut ShardRegistry,
+    updates: &mut Vec<QueryUpdate>,
+    cmd: Command,
+) {
+    match cmd {
+        Command::Publish(batch) => updates.extend(registry.publish(&batch)),
+        Command::PublishTimed(batch) => updates.extend(registry.publish_timed(&batch)),
+        Command::AdvanceTime(watermark) => updates.extend(registry.advance_time(watermark)),
+        Command::Register(id, alg) => registry.register_count(id, alg),
+        Command::RegisterTimed(id, engine) => registry.register_timed(id, engine),
+        Command::RegisterShared(id, consumer, home) => {
+            registry.register_shared(id, consumer, Some(home))
+        }
+        Command::RegisterGrouped(id, consumer, spec, home) => {
+            registry.register_grouped(id, consumer, spec, Some(home))
+        }
+        Command::Unregister(id, reply) => {
+            // membership is checked hub-side; a miss here would be a
+            // routing bug, surfaced as a RecvError on the hub's reply
+            if let Some(session) = registry.unregister(id) {
+                let _ = reply.send(session);
             }
-            Command::RegisterGrouped(id, consumer, spec, home) => {
-                registry.register_grouped(id, consumer, spec, Some(home))
+        }
+        Command::Inspect(id, reply) => {
+            if let Some(session) = registry.session(id) {
+                let _ = reply.send(QueryState {
+                    slides: session.slides(),
+                    last_snapshot: session.last_snapshot_shared(),
+                });
             }
-            Command::Unregister(id, reply) => {
-                // membership is checked hub-side; a miss here would be a
-                // routing bug, surfaced as a RecvError on the hub's reply
-                if let Some(session) = registry.unregister(id) {
-                    let _ = reply.send(session);
-                }
+        }
+        Command::Stats(reply) => {
+            let _ = reply.send((registry.stats(), registry.group_keys()));
+        }
+        Command::Flush(reply) => {
+            let _ = reply.send(());
+        }
+        Command::Drain(reply) => {
+            let _ = reply.send(std::mem::take(updates));
+        }
+        Command::CheckpointShard(reply) => {
+            let mut enc = Encoder::new();
+            enc.section(tags::REGISTRY, |e| registry.encode_checkpoint(e));
+            let _ = reply.send(enc.into_payload());
+        }
+        Command::Install(id, session) => registry.install(id, session),
+        Command::InstallGroup(sd, producer) => registry.install_group(sd, producer),
+        Command::InstallCountGroup(state, members) => registry.install_count_group(state, members),
+        Command::InstallCounters(hits, rebuilds, count_hits, count_rebuilds) => {
+            registry.install_counters(hits, rebuilds, count_hits, count_rebuilds)
+        }
+        Command::EjectGroup(sd, reply) => {
+            // group residence is tracked hub-side; a miss here is a
+            // routing bug, surfaced as a RecvError on the hub's reply
+            if let Some(ejected) = registry.eject_group(sd) {
+                let _ = reply.send(ejected);
             }
-            Command::Inspect(id, reply) => {
-                if let Some(session) = registry.session(id) {
-                    let _ = reply.send(QueryState {
-                        slides: session.slides(),
-                        last_snapshot: session.last_snapshot_shared(),
-                    });
-                }
+        }
+        Command::EjectCountGroup(id, reply) => {
+            // same hub-side residence contract as EjectGroup
+            if let Some(ejected) = registry.eject_count_group_of(id) {
+                let _ = reply.send(ejected);
             }
-            Command::Stats(reply) => {
-                let _ = reply.send(registry.stats());
-            }
-            Command::Flush(reply) => {
-                let _ = reply.send(());
-            }
-            Command::Drain(reply) => {
-                let _ = reply.send(std::mem::take(&mut updates));
-            }
-            Command::CheckpointShard(reply) => {
-                let mut enc = Encoder::new();
-                enc.section(tags::REGISTRY, |e| registry.encode_checkpoint(e));
-                let _ = reply.send(enc.into_payload());
-            }
-            Command::Install(id, session) => registry.install(id, session),
-            Command::InstallGroup(sd, producer) => registry.install_group(sd, producer),
-            Command::InstallCountGroup(state, members) => {
-                registry.install_count_group(state, members)
-            }
-            Command::InstallCounters(hits, rebuilds, count_hits, count_rebuilds) => {
-                registry.install_counters(hits, rebuilds, count_hits, count_rebuilds)
-            }
-            Command::EjectGroup(sd, reply) => {
-                // group residence is tracked hub-side; a miss here is a
-                // routing bug, surfaced as a RecvError on the hub's reply
-                if let Some(ejected) = registry.eject_group(sd) {
-                    let _ = reply.send(ejected);
-                }
-            }
-            Command::EjectCountGroup(id, reply) => {
-                // same hub-side residence contract as EjectGroup
-                if let Some(ejected) = registry.eject_count_group_of(id) {
-                    let _ = reply.send(ejected);
-                }
-            }
-            Command::EjectAll(reply) => {
-                let _ = reply.send((registry.eject_all(), std::mem::take(&mut updates)));
+        }
+        Command::EjectAll(reply) => {
+            let _ = reply.send((registry.eject_all(), std::mem::take(updates)));
+        }
+    }
+}
+
+// ---- the shared hub-side control plane ---------------------------------
+//
+// Everything between a hub's public API and its transport — placement,
+// group affinity, id allocation, drain ordering, checkpoint framing — is
+// identical for [`ShardedHub`] (thread-per-shard, bounded channels) and
+// [`AsyncHub`](crate::exec::AsyncHub) (few workers, many shards, locked
+// queues). It lives here as free functions over a [`Placement`] and a
+// [`CommandPort`], so the two hubs are thin wrappers that cannot drift
+// apart: they differ only in how a [`Command`] reaches its registry and
+// in their publish paths.
+
+/// The transport a hub enqueues [`Command`]s through: a bounded
+/// `sync_channel` per shard for [`ShardedHub`], the reactor's locked
+/// per-shard queues for [`AsyncHub`](crate::exec::AsyncHub).
+pub(crate) trait CommandPort {
+    /// Enqueues a command on one shard, blocking under backpressure. A
+    /// send only fails when the shard can no longer process commands —
+    /// i.e. its worker died (an engine panicked) — reported as the typed
+    /// [`SapError::ShardDown`] with the shard index; see the
+    /// [module docs](self) for the recovery story.
+    fn send(&self, shard: usize, cmd: Command) -> Result<(), SapError>;
+}
+
+impl CommandPort for [Shard] {
+    fn send(&self, shard: usize, cmd: Command) -> Result<(), SapError> {
+        self[shard]
+            .tx
+            .send(cmd)
+            .map_err(|_| SapError::ShardDown { shard })
+    }
+}
+
+/// Waits for a worker's reply, translating a dropped channel (the worker
+/// died mid-operation — whichever transport carried the command, the
+/// reply itself always travels an `mpsc` channel) into
+/// [`SapError::ShardDown`].
+pub(crate) fn recv_reply<T>(shard: usize, rx: &mpsc::Receiver<T>) -> Result<T, SapError> {
+    rx.recv().map_err(|_| SapError::ShardDown { shard })
+}
+
+/// Hub-side placement bookkeeping: which shard owns each query, the
+/// group-affinity maps, the id allocator, and the published-offset
+/// counter the count plane's `(s, offset mod s)` dispatch keys are
+/// phased against. This map *is* the dispatch table: every control
+/// command is routed by [`home_shard`](Placement::home_shard), and the
+/// publish paths skip shards whose `shard_len` is zero.
+pub(crate) struct Placement {
+    /// Number of live queries on each shard, maintained hub-side so
+    /// empty shards can be skipped on publish.
+    pub(crate) shard_len: Vec<usize>,
+    pub(crate) registered: BTreeSet<QueryId>,
+    /// `slide_duration` → (owning shard, member count) for the shared
+    /// digest plane. Slide groups are **shard-local** (a digest producer
+    /// lives where its members live), so every member of a group must
+    /// land on one shard: the first member places the group by hash of
+    /// its id, later members follow the group even when their own hash
+    /// disagrees. Which shard a query runs on never affects results —
+    /// a drain sorts globally by `(QueryId, slide)` — so group-aware
+    /// placement preserves the deterministic drain contract by
+    /// construction.
+    pub(crate) shared_groups: HashMap<u64, (usize, usize)>,
+    /// Slide-group key of each registered shared query, for unregister
+    /// bookkeeping.
+    pub(crate) shared_sd: HashMap<QueryId, u64>,
+    /// `(slide length, founding offset mod s)` → (owning shard, member
+    /// count) for the shared **count** plane. The hub mirrors the
+    /// workers' join rule arithmetically: a worker group founded when the
+    /// hub had published `o` objects has an empty open slide exactly when
+    /// `published ≡ o (mod s)` — so routing a registration to the group
+    /// keyed `(s, published mod s)` lands it precisely where the worker's
+    /// own join scan will accept it. Count groups are shard-local like
+    /// slide groups, with the same whole-group migration discipline.
+    pub(crate) count_groups_hub: HashMap<(u64, u64), (usize, usize)>,
+    /// Count-group key of each registered grouped query, for routing and
+    /// unregister bookkeeping.
+    pub(crate) grouped_key: HashMap<QueryId, (u64, u64)>,
+    /// Objects accepted hub-wide (all publish paths) — the registration
+    /// offset counter the count-group keys are phased against. Never
+    /// reset: keys only ever use it mod `s`, and [`place_parts_on`]
+    /// re-derives each restored group's founding class from its
+    /// producer's pending fill, so the counter's absolute value is
+    /// irrelevant across epochs.
+    pub(crate) published: u64,
+    /// Placement overrides from `move_query`: queries living somewhere
+    /// other than their id hash. Consulted by
+    /// [`home_shard`](Placement::home_shard) after the group maps (a
+    /// shared query always follows its group), cleared by `resize`
+    /// (which re-scatters by hash under the new shard count).
+    pub(crate) placed: HashMap<QueryId, usize>,
+    pub(crate) next_id: u64,
+}
+
+impl Placement {
+    pub(crate) fn new(num_shards: usize) -> Placement {
+        Placement {
+            shard_len: vec![0; num_shards],
+            registered: BTreeSet::new(),
+            shared_groups: HashMap::new(),
+            shared_sd: HashMap::new(),
+            count_groups_hub: HashMap::new(),
+            grouped_key: HashMap::new(),
+            published: 0,
+            placed: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shard_len.len()
+    }
+
+    /// The default placement: a Fibonacci hash of the id. Deterministic
+    /// across runs, so a given registration order always produces the
+    /// same partitioning.
+    pub(crate) fn shard_of(&self, id: QueryId) -> usize {
+        let h = id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.num_shards()
+    }
+
+    /// Which shard actually owns a registered query: its slide group's
+    /// shard for shared queries, its count group's shard for grouped
+    /// queries (group-aware placement may override the hash), a
+    /// `move_query` placement if one is in effect, the Fibonacci hash
+    /// otherwise.
+    pub(crate) fn home_shard(&self, id: QueryId) -> usize {
+        if let Some(&(shard, _)) = self
+            .shared_sd
+            .get(&id)
+            .and_then(|sd| self.shared_groups.get(sd))
+        {
+            return shard;
+        }
+        if let Some(&(shard, _)) = self
+            .grouped_key
+            .get(&id)
+            .and_then(|key| self.count_groups_hub.get(key))
+        {
+            return shard;
+        }
+        match self.placed.get(&id) {
+            Some(&shard) => shard,
+            None => self.shard_of(id),
+        }
+    }
+
+    /// Allocates the next [`QueryId`]. Callers burn the id even when the
+    /// subsequent send fails: a dead shard must not wedge the id
+    /// sequence, or every retry would re-derive the same id, hash to the
+    /// same dead shard, and fail forever — the next attempt gets a fresh
+    /// id that may route to a healthy shard.
+    fn fresh_id(&mut self) -> QueryId {
+        let id = QueryId::from_raw(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Empties every per-query map for a repartition under `num_shards`.
+    /// `published` and `next_id` survive: the offset counter's absolute
+    /// value is placement-independent, and ids must never be reused.
+    pub(crate) fn reset(&mut self, num_shards: usize) {
+        self.shard_len = vec![0; num_shards];
+        self.registered.clear();
+        self.shared_groups.clear();
+        self.shared_sd.clear();
+        self.count_groups_hub.clear();
+        self.grouped_key.clear();
+        self.placed.clear();
+    }
+}
+
+/// Registers a boxed count-based engine: id by allocator, shard by hash.
+pub(crate) fn register_count_on(
+    p: &mut Placement,
+    port: &(impl CommandPort + ?Sized),
+    alg: Box<dyn SlidingTopK + Send>,
+) -> Result<QueryId, SapError> {
+    let id = p.fresh_id();
+    let shard = p.shard_of(id);
+    port.send(shard, Command::Register(id, alg))?;
+    p.shard_len[shard] += 1;
+    p.registered.insert(id);
+    Ok(id)
+}
+
+/// Registers a boxed time-based engine: id by allocator, shard by hash.
+pub(crate) fn register_timed_on(
+    p: &mut Placement,
+    port: &(impl CommandPort + ?Sized),
+    engine: Box<dyn TimedTopK + Send>,
+) -> Result<QueryId, SapError> {
+    let id = p.fresh_id();
+    let shard = p.shard_of(id);
+    port.send(shard, Command::RegisterTimed(id, engine))?;
+    p.shard_len[shard] += 1;
+    p.registered.insert(id);
+    Ok(id)
+}
+
+/// Registers on the shared digest plane: a query joining an existing
+/// slide group is placed on that group's shard (digest producers are
+/// shard-local state), a founding query places the group by hash. Wrong
+/// engine geometry is a typed [`SapError::Spec`] and burns no id; a dead
+/// target shard burns its id but leaves the group's membership
+/// bookkeeping untouched, so the hub never counts a member no shard
+/// owns.
+pub(crate) fn register_shared_on(
+    p: &mut Placement,
+    port: &(impl CommandPort + ?Sized),
+    engine: Box<dyn SlidingTopK + Send>,
+    window_duration: u64,
+    slide_duration: u64,
+) -> Result<QueryId, SapError> {
+    let consumer = SharedTimed::from_engine(engine, window_duration, slide_duration)
+        .map_err(SapError::Spec)?;
+    let id = p.fresh_id();
+    let shard = match p.shared_groups.get(&slide_duration) {
+        Some(&(shard, _)) => shard,
+        None => p.shard_of(id),
+    };
+    port.send(shard, Command::RegisterShared(id, consumer, shard))?;
+    let members = p.shared_groups.entry(slide_duration).or_insert((shard, 0));
+    members.1 += 1;
+    p.shard_len[shard] += 1;
+    p.registered.insert(id);
+    p.shared_sd.insert(id, slide_duration);
+    Ok(id)
+}
+
+/// Registers on the shared count plane: a query joining a live
+/// `(s, offset mod s)` geometry class is placed on that class's shard,
+/// a founding query places it by hash. The caller must have settled
+/// `published` (flushed any coalesced tail) so the key is phase-exact.
+/// Same error/bookkeeping contract as [`register_shared_on`].
+pub(crate) fn register_grouped_on(
+    p: &mut Placement,
+    port: &(impl CommandPort + ?Sized),
+    engine: Box<dyn SlidingTopK + Send>,
+    n: usize,
+    s: usize,
+) -> Result<QueryId, SapError> {
+    let spec = WindowSpec::new(n, engine.spec().k, s).map_err(SapError::Spec)?;
+    let consumer = SharedTimed::from_engine(engine, n as u64, s as u64).map_err(SapError::Spec)?;
+    let id = p.fresh_id();
+    let key = (s as u64, p.published % s as u64);
+    let shard = match p.count_groups_hub.get(&key) {
+        Some(&(shard, _)) => shard,
+        None => p.shard_of(id),
+    };
+    port.send(shard, Command::RegisterGrouped(id, consumer, spec, shard))?;
+    let members = p.count_groups_hub.entry(key).or_insert((shard, 0));
+    members.1 += 1;
+    p.shard_len[shard] += 1;
+    p.registered.insert(id);
+    p.grouped_key.insert(id, key);
+    Ok(id)
+}
+
+/// Removes a query and returns its session. Bookkeeping is updated only
+/// after the session actually came back: a dead shard must leave the
+/// hub's state untouched, so retrying keeps reporting ShardDown (the
+/// query was lost, not unregistered).
+pub(crate) fn unregister_on(
+    p: &mut Placement,
+    port: &(impl CommandPort + ?Sized),
+    id: QueryId,
+) -> Result<ShardSession, SapError> {
+    if !p.registered.contains(&id) {
+        return Err(SapError::UnknownQuery { query: id });
+    }
+    let shard = p.home_shard(id);
+    let (reply, rx) = mpsc::channel();
+    port.send(shard, Command::Unregister(id, reply))?;
+    let session = recv_reply(shard, &rx)?;
+    p.registered.remove(&id);
+    p.shard_len[shard] -= 1;
+    if let Some(sd) = p.shared_sd.remove(&id) {
+        if let Some(members) = p.shared_groups.get_mut(&sd) {
+            members.1 -= 1;
+            if members.1 == 0 {
+                // last member out: retire the group so a later
+                // registrant founds a fresh one, placed anew
+                p.shared_groups.remove(&sd);
             }
         }
     }
+    if let Some(key) = p.grouped_key.remove(&id) {
+        if let Some(members) = p.count_groups_hub.get_mut(&key) {
+            members.1 -= 1;
+            if members.1 == 0 {
+                // mirror the worker, which just retired the group
+                p.count_groups_hub.remove(&key);
+            }
+        }
+    }
+    Ok(session)
+}
+
+/// A point-in-time view of one query, routed via its home shard.
+pub(crate) fn inspect_on(
+    p: &Placement,
+    port: &(impl CommandPort + ?Sized),
+    id: QueryId,
+) -> Result<QueryState, SapError> {
+    if !p.registered.contains(&id) {
+        return Err(SapError::UnknownQuery { query: id });
+    }
+    let shard = p.home_shard(id);
+    let (reply, rx) = mpsc::channel();
+    port.send(shard, Command::Inspect(id, reply))?;
+    recv_reply(shard, &rx)
+}
+
+/// Sums every shard's [`HubStats`] partial. In debug builds the reported
+/// group identities are audited for the shard-locality invariant the
+/// straight sums depend on: a group split across workers panics at this
+/// merge site instead of silently double-counting
+/// `digest_groups`/`count_groups`.
+pub(crate) fn stats_on(
+    p: &Placement,
+    port: &(impl CommandPort + ?Sized),
+) -> Result<HubStats, SapError> {
+    let replies: Vec<(usize, mpsc::Receiver<(HubStats, GroupKeys)>)> = (0..p.num_shards())
+        .map(|shard| {
+            let (reply, rx) = mpsc::channel();
+            port.send(shard, Command::Stats(reply))
+                .map(|()| (shard, rx))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut total = HubStats::default();
+    let mut seen = GroupKeys::default();
+    for (shard, rx) in replies {
+        let (stats, keys) = recv_reply(shard, &rx)?;
+        seen.absorb_disjoint(&keys, shard);
+        total.merge(&stats);
+    }
+    Ok(total)
+}
+
+/// Barrier without collection: returns once every shard has processed
+/// everything published so far.
+pub(crate) fn flush_on(p: &Placement, port: &(impl CommandPort + ?Sized)) -> Result<(), SapError> {
+    let acks: Vec<(usize, mpsc::Receiver<()>)> = (0..p.num_shards())
+        .map(|shard| {
+            let (reply, rx) = mpsc::channel();
+            port.send(shard, Command::Flush(reply))
+                .map(|()| (shard, rx))
+        })
+        .collect::<Result<_, _>>()?;
+    for (shard, ack) in acks {
+        recv_reply(shard, &ack)?;
+    }
+    Ok(())
+}
+
+/// The determinism barrier: every drain is enqueued first, then
+/// collected — shards retire their backlogs in parallel — and the
+/// result, merged with any `parked` updates rescued from retired
+/// workers, is sorted globally by `(QueryId, slide)`: an order
+/// independent of shard count, worker count, and thread scheduling.
+pub(crate) fn drain_on(
+    p: &Placement,
+    port: &(impl CommandPort + ?Sized),
+    parked: &mut Vec<QueryUpdate>,
+) -> Result<Vec<QueryUpdate>, SapError> {
+    let replies: Vec<(usize, mpsc::Receiver<Vec<QueryUpdate>>)> = (0..p.num_shards())
+        .map(|shard| {
+            let (reply, rx) = mpsc::channel();
+            port.send(shard, Command::Drain(reply))
+                .map(|()| (shard, rx))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut updates = std::mem::take(parked);
+    for (shard, rx) in replies {
+        updates.extend(recv_reply(shard, &rx)?);
+    }
+    updates.sort_unstable_by_key(|u| (u.query, u.result.slide));
+    Ok(updates)
+}
+
+/// Splices every shard's framed registry section into one
+/// [`Checkpoint`]. The caller must have drained first, so the captured
+/// state sits on each query's current slide boundary.
+pub(crate) fn checkpoint_sections_on(
+    p: &Placement,
+    port: &(impl CommandPort + ?Sized),
+) -> Result<Checkpoint, SapError> {
+    let replies: Vec<(usize, mpsc::Receiver<Vec<u8>>)> = (0..p.num_shards())
+        .map(|shard| {
+            let (reply, rx) = mpsc::channel();
+            port.send(shard, Command::CheckpointShard(reply))
+                .map(|()| (shard, rx))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut enc = Encoder::new();
+    enc.put_u64(p.next_id);
+    enc.put_usize(replies.len());
+    for (shard, rx) in replies {
+        enc.put_encoded(&recv_reply(shard, &rx)?);
+    }
+    Ok(Checkpoint::from_payload(enc.into_payload()))
+}
+
+/// Decodes a hub checkpoint (either hub flavor, any shard count) into
+/// the id-allocator watermark and the merged serving state, validating
+/// as it goes. Malformed input is a typed [`SapError::Checkpoint`];
+/// never panics on foreign bytes.
+pub(crate) fn decode_hub_checkpoint(
+    checkpoint: &Checkpoint,
+    factory: &dyn EngineFactory,
+) -> Result<(u64, ShardParts), SapError> {
+    let mut dec = Decoder::new(checkpoint.payload());
+    let next_id = dec.take_u64()?;
+    let sections = dec.take_usize()?;
+    let mut parts = Vec::new();
+    for _ in 0..sections {
+        let mut registry = dec.section(tags::REGISTRY)?;
+        parts.push(Registry::decode_checkpoint(
+            &mut registry,
+            &mut |name, spec| factory.count(name, spec),
+            &mut |name, spec| factory.timed(name, spec),
+        )?);
+        registry.finish().map_err(SapError::from)?;
+    }
+    dec.finish().map_err(SapError::from)?;
+    let merged = RegistryParts::merge(parts).map_err(SapError::from)?;
+    if merged.sessions.iter().any(|(id, _)| id.raw() >= next_id) {
+        return Err(CheckpointError::Corrupt("session id at or past the id counter").into());
+    }
+    Ok((next_id, merged))
+}
+
+/// Scatters merged serving state across a hub's (fresh or freshly
+/// emptied) workers: groups first — each on the shard its lowest-id
+/// member hashes to, so every member can follow it — then sessions in
+/// ascending-id order, then the sharing counters onto shard 0 (they are
+/// hub-wide sums; where they live only affects which worker reports
+/// them into the stats total).
+pub(crate) fn place_parts_on(
+    p: &mut Placement,
+    port: &(impl CommandPort + ?Sized),
+    parts: ShardParts,
+) -> Result<(), SapError> {
+    let RegistryParts {
+        sessions,
+        groups,
+        count_groups,
+        digest_hits,
+        digest_rebuilds,
+        count_group_hits,
+        count_group_rebuilds,
+    } = parts;
+    // grouped sessions travel with their count group, not alone — split
+    // them out by canonical group index (ascending id within each group,
+    // since the merged session list is ascending)
+    let mut count_members: Vec<Vec<(QueryId, ShardSession)>> =
+        (0..count_groups.len()).map(|_| Vec::new()).collect();
+    let mut loose = Vec::with_capacity(sessions.len());
+    for (id, session) in sessions {
+        let grouped = match &session {
+            AnySession::Grouped(g) => Some(g.group() as usize),
+            _ => None,
+        };
+        match grouped {
+            Some(i) => count_members[i].push((id, session)),
+            None => loose.push((id, session)),
+        }
+    }
+    let mut group_home: HashMap<u64, usize> = HashMap::new();
+    for (sd, _) in &groups {
+        let lowest = loose
+            .iter()
+            .find_map(|(id, s)| match s {
+                AnySession::Shared(m) if m.slide_duration() == *sd => Some(*id),
+                _ => None,
+            })
+            .expect("merge validated every group has members");
+        group_home.insert(*sd, p.shard_of(lowest));
+    }
+    for (sd, producer) in groups {
+        let shard = group_home[&sd];
+        port.send(shard, Command::InstallGroup(sd, producer))?;
+        p.shared_groups.insert(sd, (shard, 0));
+    }
+    for (state, members) in count_groups.into_iter().zip(count_members) {
+        let lowest = members
+            .first()
+            .expect("merge validated every count group has members")
+            .0;
+        let shard = p.shard_of(lowest);
+        let sd = state.producer.slide_duration();
+        // re-derive the founding offset class against the current
+        // counter: the installed group's open slide has `pending`
+        // objects, so it last sat empty `pending` objects ago — class
+        // `(published − pending) mod s`. Merge rejected same-(s,
+        // pending) collisions, so keys are unique.
+        let key = (
+            sd,
+            (p.published % sd + sd - state.producer.pending_len() as u64) % sd,
+        );
+        for (id, _) in &members {
+            p.grouped_key.insert(*id, key);
+            p.registered.insert(*id);
+        }
+        p.shard_len[shard] += members.len();
+        p.count_groups_hub.insert(key, (shard, members.len()));
+        port.send(shard, Command::InstallCountGroup(state, members))?;
+    }
+    for (id, session) in loose {
+        let shard = match &session {
+            AnySession::Shared(s) => {
+                let sd = s.slide_duration();
+                p.shared_sd.insert(id, sd);
+                p.shared_groups.get_mut(&sd).expect("group placed above").1 += 1;
+                group_home[&sd]
+            }
+            _ => p.shard_of(id),
+        };
+        port.send(shard, Command::Install(id, session))?;
+        p.shard_len[shard] += 1;
+        p.registered.insert(id);
+    }
+    if digest_hits != 0
+        || digest_rebuilds != 0
+        || count_group_hits != 0
+        || count_group_rebuilds != 0
+    {
+        port.send(
+            0,
+            Command::InstallCounters(
+                digest_hits,
+                digest_rebuilds,
+                count_group_hits,
+                count_group_rebuilds,
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+/// Moves one query's live session (a shared or grouped query: its whole
+/// group) to `shard` — the eject/install plane both hub flavors share.
+/// The caller must have flushed any coalesced `publish_one` tail.
+///
+/// # Panics
+///
+/// If `shard >= p.num_shards()` — a placement that cannot exist, i.e. a
+/// caller bug, not a data-dependent condition.
+pub(crate) fn move_query_on(
+    p: &mut Placement,
+    port: &(impl CommandPort + ?Sized),
+    id: QueryId,
+    shard: usize,
+) -> Result<(), SapError> {
+    assert!(
+        shard < p.num_shards(),
+        "move_query target {shard} out of range ({} shards)",
+        p.num_shards()
+    );
+    if !p.registered.contains(&id) {
+        return Err(SapError::UnknownQuery { query: id });
+    }
+    if let Some(&sd) = p.shared_sd.get(&id) {
+        let (source, _) = p.shared_groups[&sd];
+        if source == shard {
+            return Ok(());
+        }
+        let (reply, rx) = mpsc::channel();
+        port.send(source, Command::EjectGroup(sd, reply))?;
+        let (producer, members) = recv_reply(source, &rx)?;
+        port.send(shard, Command::InstallGroup(sd, producer))?;
+        let moved = members.len();
+        for (member, session) in members {
+            port.send(shard, Command::Install(member, session))?;
+        }
+        p.shard_len[source] -= moved;
+        p.shard_len[shard] += moved;
+        p.shared_groups.insert(sd, (shard, moved));
+    } else if let Some(&key) = p.grouped_key.get(&id) {
+        // a grouped count query moves with its entire count group —
+        // same shard-local-state rationale as a slide group
+        let (source, _) = p.count_groups_hub[&key];
+        if source == shard {
+            return Ok(());
+        }
+        let (reply, rx) = mpsc::channel();
+        port.send(source, Command::EjectCountGroup(id, reply))?;
+        let (state, members) = recv_reply(source, &rx)?;
+        let moved = members.len();
+        port.send(shard, Command::InstallCountGroup(state, members))?;
+        p.shard_len[source] -= moved;
+        p.shard_len[shard] += moved;
+        p.count_groups_hub.insert(key, (shard, moved));
+    } else {
+        let source = p.home_shard(id);
+        if source == shard {
+            return Ok(());
+        }
+        let (reply, rx) = mpsc::channel();
+        port.send(source, Command::Unregister(id, reply))?;
+        let session = recv_reply(source, &rx)?;
+        port.send(shard, Command::Install(id, session))?;
+        p.shard_len[source] -= 1;
+        p.shard_len[shard] += 1;
+        if p.shard_of(id) == shard {
+            p.placed.remove(&id);
+        } else {
+            p.placed.insert(id, shard);
+        }
+    }
+    Ok(())
+}
+
+/// Empties every worker for a repartition: each hands back its entire
+/// serving state plus its undrained updates. Returns the merged state
+/// and the rescued updates (park them for the next drain).
+pub(crate) fn eject_all_on(
+    p: &Placement,
+    port: &(impl CommandPort + ?Sized),
+) -> Result<(ShardParts, Vec<QueryUpdate>), SapError> {
+    let replies: Vec<(usize, PartsReply)> = (0..p.num_shards())
+        .map(|shard| {
+            let (reply, rx) = mpsc::channel();
+            port.send(shard, Command::EjectAll(reply))
+                .map(|()| (shard, rx))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut parts = Vec::new();
+    let mut parked = Vec::new();
+    for (shard, rx) in replies {
+        let (part, updates) = recv_reply(shard, &rx)?;
+        parts.push(part);
+        parked.extend(updates);
+    }
+    let merged = RegistryParts::merge(parts).map_err(SapError::from)?;
+    Ok((merged, parked))
 }
 
 /// A [`Hub`](crate::session::Hub)-equivalent set of standing queries
@@ -313,42 +969,9 @@ fn shard_worker(shard: usize, rx: Receiver<Command>) {
 ///   full.
 pub struct ShardedHub {
     shards: Vec<Shard>,
-    /// Number of live queries on each shard, maintained hub-side so empty
-    /// shards can be skipped on publish.
-    shard_len: Vec<usize>,
-    registered: BTreeSet<QueryId>,
-    /// `slide_duration` → (owning shard, member count) for the shared
-    /// digest plane. Slide groups are **shard-local** (a digest producer
-    /// lives where its members live), so every member of a group must
-    /// land on one shard: the first member places the group by hash of
-    /// its id, later members follow the group even when their own hash
-    /// disagrees. Which shard a query runs on never affects results —
-    /// [`drain`](ShardedHub::drain) sorts globally by `(QueryId, slide)`
-    /// — so group-aware placement preserves the deterministic drain
-    /// contract by construction.
-    shared_groups: HashMap<u64, (usize, usize)>,
-    /// Slide-group key of each registered shared query, for unregister
-    /// bookkeeping.
-    shared_sd: HashMap<QueryId, u64>,
-    /// `(slide length, founding offset mod s)` → (owning shard, member
-    /// count) for the shared **count** plane. The hub mirrors the
-    /// workers' join rule arithmetically: a worker group founded when the
-    /// hub had published `o` objects has an empty open slide exactly when
-    /// `published ≡ o (mod s)` — so routing a registration to the group
-    /// keyed `(s, published mod s)` lands it precisely where the worker's
-    /// own join scan will accept it. Count groups are shard-local like
-    /// slide groups, with the same whole-group migration discipline.
-    count_groups_hub: HashMap<(u64, u64), (usize, usize)>,
-    /// Count-group key of each registered grouped query, for routing and
-    /// unregister bookkeeping.
-    grouped_key: HashMap<QueryId, (u64, u64)>,
-    /// Objects accepted hub-wide (all publish paths) — the registration
-    /// offset counter the count-group keys are phased against. Never
-    /// reset: keys only ever use it mod `s`, and
-    /// [`place_parts`](ShardedHub::place_parts) re-derives each restored
-    /// group's founding class from its producer's pending fill, so the
-    /// counter's absolute value is irrelevant across epochs.
-    published: u64,
+    /// The routing/bookkeeping state shared with
+    /// [`AsyncHub`](crate::exec::AsyncHub) — see [`Placement`].
+    placement: Placement,
     /// Objects accepted by [`publish_one`](ShardedHub::publish_one) and
     /// not yet shipped: they coalesce into one `Arc` batch per
     /// [`PUBLISH_ONE_COALESCE`] objects (or per intervening operation)
@@ -356,12 +979,6 @@ pub struct ShardedHub {
     /// before any other command is enqueued, so ordering guarantees are
     /// unchanged.
     pending_one: Vec<Object>,
-    /// Placement overrides from [`move_query`](ShardedHub::move_query):
-    /// queries living somewhere other than their id hash. Consulted by
-    /// `home_shard` after the slide-group map (a shared query always
-    /// follows its group), cleared by [`resize`](ShardedHub::resize)
-    /// (which re-scatters by hash under the new shard count).
-    placed: HashMap<QueryId, usize>,
     /// Updates rescued from workers retired by
     /// [`resize`](ShardedHub::resize), merged into the next
     /// [`drain`](ShardedHub::drain) — the global `(QueryId, slide)` sort
@@ -369,15 +986,14 @@ pub struct ShardedHub {
     parked_updates: Vec<QueryUpdate>,
     /// Queue bound each worker was spawned with, reused by `resize`.
     queue_capacity: usize,
-    next_id: u64,
 }
 
 impl std::fmt::Debug for ShardedHub {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedHub")
             .field("shards", &self.shards.len())
-            .field("queries", &self.registered.len())
-            .field("next_id", &self.next_id)
+            .field("queries", &self.placement.registered.len())
+            .field("next_id", &self.placement.next_id)
             .finish()
     }
 }
@@ -397,19 +1013,11 @@ impl ShardedHub {
         let num_shards = num_shards.max(1);
         let queue_capacity = queue_capacity.max(1);
         ShardedHub {
-            shard_len: vec![0; num_shards],
             shards: Self::spawn_workers(num_shards, queue_capacity),
-            registered: BTreeSet::new(),
-            shared_groups: HashMap::new(),
-            shared_sd: HashMap::new(),
-            count_groups_hub: HashMap::new(),
-            grouped_key: HashMap::new(),
-            published: 0,
+            placement: Placement::new(num_shards),
             pending_one: Vec::new(),
-            placed: HashMap::new(),
             parked_updates: Vec::new(),
             queue_capacity,
-            next_id: 0,
         }
     }
 
@@ -453,64 +1061,13 @@ impl ShardedHub {
         }
         let batch: Arc<[Object]> = Arc::from(&self.pending_one[..]);
         self.pending_one.clear();
-        self.published += batch.len() as u64;
+        self.placement.published += batch.len() as u64;
         for shard in 0..self.shards.len() {
-            if self.shard_len[shard] > 0 {
-                self.send(shard, Command::Publish(Arc::clone(&batch)))?;
+            if self.placement.shard_len[shard] > 0 {
+                self.shards[..].send(shard, Command::Publish(Arc::clone(&batch)))?;
             }
         }
         Ok(())
-    }
-
-    /// The default placement: a Fibonacci hash of the id. Deterministic
-    /// across runs, so a given registration order always produces the
-    /// same partitioning.
-    fn shard_of(&self, id: QueryId) -> usize {
-        let h = id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((h >> 32) as usize) % self.shards.len()
-    }
-
-    /// Which shard actually owns a registered query: its slide group's
-    /// shard for shared queries, its count group's shard for grouped
-    /// queries (group-aware placement may override the hash), a
-    /// [`move_query`](ShardedHub::move_query) placement if one is in
-    /// effect, the Fibonacci hash otherwise.
-    fn home_shard(&self, id: QueryId) -> usize {
-        if let Some(&(shard, _)) = self
-            .shared_sd
-            .get(&id)
-            .and_then(|sd| self.shared_groups.get(sd))
-        {
-            return shard;
-        }
-        if let Some(&(shard, _)) = self
-            .grouped_key
-            .get(&id)
-            .and_then(|key| self.count_groups_hub.get(key))
-        {
-            return shard;
-        }
-        match self.placed.get(&id) {
-            Some(&shard) => shard,
-            None => self.shard_of(id),
-        }
-    }
-
-    /// Enqueues a command on one shard. A send only fails when the
-    /// worker's receiver is gone — i.e. the worker thread died (an engine
-    /// panicked) — reported as the typed [`SapError::ShardDown`] with the
-    /// shard index; see the [module docs](self) for the recovery story.
-    fn send(&self, shard: usize, cmd: Command) -> Result<(), SapError> {
-        self.shards[shard]
-            .tx
-            .send(cmd)
-            .map_err(|_| SapError::ShardDown { shard })
-    }
-
-    /// Waits for a worker's reply, translating a dropped channel (the
-    /// worker died mid-operation) into [`SapError::ShardDown`].
-    fn recv<T>(&self, shard: usize, rx: &mpsc::Receiver<T>) -> Result<T, SapError> {
-        rx.recv().map_err(|_| SapError::ShardDown { shard })
     }
 
     /// Registers a boxed engine as a new standing count-based query and
@@ -522,17 +1079,7 @@ impl ShardedHub {
         // coalesced publishes precede the registration, so the new query
         // only ever sees objects published after this call
         self.flush_pending_one()?;
-        // burn the id even when the send fails: a dead shard must not
-        // wedge the id sequence, or every retry would re-derive the same
-        // id, hash to the same dead shard, and fail forever — the next
-        // attempt gets a fresh id that may route to a healthy shard
-        let id = QueryId::from_raw(self.next_id);
-        self.next_id += 1;
-        let shard = self.shard_of(id);
-        self.send(shard, Command::Register(id, alg))?;
-        self.shard_len[shard] += 1;
-        self.registered.insert(id);
-        Ok(id)
+        register_count_on(&mut self.placement, &self.shards[..], alg)
     }
 
     /// Registers an owned engine (convenience over
@@ -553,14 +1100,7 @@ impl ShardedHub {
         engine: Box<dyn TimedTopK + Send>,
     ) -> Result<QueryId, SapError> {
         self.flush_pending_one()?;
-        // same id-burning rationale as register_boxed
-        let id = QueryId::from_raw(self.next_id);
-        self.next_id += 1;
-        let shard = self.shard_of(id);
-        self.send(shard, Command::RegisterTimed(id, engine))?;
-        self.shard_len[shard] += 1;
-        self.registered.insert(id);
-        Ok(id)
+        register_timed_on(&mut self.placement, &self.shards[..], engine)
     }
 
     /// Registers an owned time-based engine (convenience over
@@ -594,26 +1134,14 @@ impl ShardedHub {
         window_duration: u64,
         slide_duration: u64,
     ) -> Result<QueryId, SapError> {
-        let consumer = SharedTimed::from_engine(engine, window_duration, slide_duration)
-            .map_err(SapError::Spec)?;
         self.flush_pending_one()?;
-        // same id-burning rationale as register_boxed
-        let id = QueryId::from_raw(self.next_id);
-        self.next_id += 1;
-        let shard = match self.shared_groups.get(&slide_duration) {
-            Some(&(shard, _)) => shard,
-            None => self.shard_of(id),
-        };
-        self.send(shard, Command::RegisterShared(id, consumer, shard))?;
-        let members = self
-            .shared_groups
-            .entry(slide_duration)
-            .or_insert((shard, 0));
-        members.1 += 1;
-        self.shard_len[shard] += 1;
-        self.registered.insert(id);
-        self.shared_sd.insert(id, slide_duration);
-        Ok(id)
+        register_shared_on(
+            &mut self.placement,
+            &self.shards[..],
+            engine,
+            window_duration,
+            slide_duration,
+        )
     }
 
     /// Registers an owned engine on the shared digest plane (convenience
@@ -646,27 +1174,10 @@ impl ShardedHub {
         n: usize,
         s: usize,
     ) -> Result<QueryId, SapError> {
-        let spec = WindowSpec::new(n, engine.spec().k, s).map_err(SapError::Spec)?;
-        let consumer =
-            SharedTimed::from_engine(engine, n as u64, s as u64).map_err(SapError::Spec)?;
         // coalesced publishes precede the registration — this also settles
-        // `published`, so the geometry key below is phase-exact
+        // `published`, so the geometry key is phase-exact
         self.flush_pending_one()?;
-        // same id-burning rationale as register_boxed
-        let id = QueryId::from_raw(self.next_id);
-        self.next_id += 1;
-        let key = (s as u64, self.published % s as u64);
-        let shard = match self.count_groups_hub.get(&key) {
-            Some(&(shard, _)) => shard,
-            None => self.shard_of(id),
-        };
-        self.send(shard, Command::RegisterGrouped(id, consumer, spec, shard))?;
-        let members = self.count_groups_hub.entry(key).or_insert((shard, 0));
-        members.1 += 1;
-        self.shard_len[shard] += 1;
-        self.registered.insert(id);
-        self.grouped_key.insert(id, key);
-        Ok(id)
+        register_grouped_on(&mut self.placement, &self.shards[..], engine, n, s)
     }
 
     /// Registers an owned engine on the shared count plane (convenience
@@ -686,40 +1197,9 @@ impl ShardedHub {
     /// [`SapError::UnknownQuery`]; a dead shard is
     /// [`SapError::ShardDown`] (the query's state died with its worker).
     pub fn unregister(&mut self, id: QueryId) -> Result<ShardSession, SapError> {
-        if !self.registered.contains(&id) {
-            return Err(SapError::UnknownQuery { query: id });
-        }
         // the departing session must process coalesced publishes first
         self.flush_pending_one()?;
-        let shard = self.home_shard(id);
-        let (reply, rx) = mpsc::channel();
-        // book-keep only after the session actually came back: a dead
-        // shard must leave the hub's state untouched, so retrying keeps
-        // reporting ShardDown (the query was lost, not unregistered)
-        self.send(shard, Command::Unregister(id, reply))?;
-        let session = self.recv(shard, &rx)?;
-        self.registered.remove(&id);
-        self.shard_len[shard] -= 1;
-        if let Some(sd) = self.shared_sd.remove(&id) {
-            if let Some(members) = self.shared_groups.get_mut(&sd) {
-                members.1 -= 1;
-                if members.1 == 0 {
-                    // last member out: retire the group so a later
-                    // registrant founds a fresh one, placed anew
-                    self.shared_groups.remove(&sd);
-                }
-            }
-        }
-        if let Some(key) = self.grouped_key.remove(&id) {
-            if let Some(members) = self.count_groups_hub.get_mut(&key) {
-                members.1 -= 1;
-                if members.1 == 0 {
-                    // mirror the worker, which just retired the group
-                    self.count_groups_hub.remove(&key);
-                }
-            }
-        }
-        Ok(session)
+        unregister_on(&mut self.placement, &self.shards[..], id)
     }
 
     /// Publishes a batch of objects to every registered query.
@@ -745,15 +1225,15 @@ impl ShardedHub {
     /// at; draining once per publish chunk (as the benches do) keeps the
     /// retained set proportional to one chunk.
     pub fn publish(&mut self, objects: &[Object]) -> Result<(), SapError> {
-        if objects.is_empty() || self.registered.is_empty() {
+        if objects.is_empty() || self.placement.registered.is_empty() {
             return Ok(());
         }
         self.flush_pending_one()?;
         let batch: Arc<[Object]> = Arc::from(objects);
-        self.published += batch.len() as u64;
+        self.placement.published += batch.len() as u64;
         for shard in 0..self.shards.len() {
-            if self.shard_len[shard] > 0 {
-                self.send(shard, Command::Publish(Arc::clone(&batch)))?;
+            if self.placement.shard_len[shard] > 0 {
+                self.shards[..].send(shard, Command::Publish(Arc::clone(&batch)))?;
             }
         }
         Ok(())
@@ -767,17 +1247,17 @@ impl ShardedHub {
     /// same backpressure/drain contract as
     /// [`publish`](ShardedHub::publish).
     pub fn publish_timed(&mut self, objects: &[TimedObject]) -> Result<(), SapError> {
-        if objects.is_empty() || self.registered.is_empty() {
+        if objects.is_empty() || self.placement.registered.is_empty() {
             return Ok(());
         }
         self.flush_pending_one()?;
         let batch: Arc<[TimedObject]> = Arc::from(objects);
         // the untimed view feeds count groups too, so timed batches
         // advance the offset counter exactly like plain ones
-        self.published += batch.len() as u64;
+        self.placement.published += batch.len() as u64;
         for shard in 0..self.shards.len() {
-            if self.shard_len[shard] > 0 {
-                self.send(shard, Command::PublishTimed(Arc::clone(&batch)))?;
+            if self.placement.shard_len[shard] > 0 {
+                self.shards[..].send(shard, Command::PublishTimed(Arc::clone(&batch)))?;
             }
         }
         Ok(())
@@ -788,13 +1268,13 @@ impl ShardedHub {
     /// closed slides accumulate shard-side like any other update and come
     /// back through [`drain`](ShardedHub::drain).
     pub fn advance_time(&mut self, watermark: u64) -> Result<(), SapError> {
-        if self.registered.is_empty() {
+        if self.placement.registered.is_empty() {
             return Ok(());
         }
         self.flush_pending_one()?;
         for shard in 0..self.shards.len() {
-            if self.shard_len[shard] > 0 {
-                self.send(shard, Command::AdvanceTime(watermark))?;
+            if self.placement.shard_len[shard] > 0 {
+                self.shards[..].send(shard, Command::AdvanceTime(watermark))?;
             }
         }
         Ok(())
@@ -813,7 +1293,7 @@ impl ShardedHub {
     /// may therefore be reported by the operation that triggers the
     /// flush rather than the `publish_one` call that buffered the object.
     pub fn publish_one(&mut self, object: Object) -> Result<(), SapError> {
-        if self.registered.is_empty() {
+        if self.placement.registered.is_empty() {
             return Ok(());
         }
         self.pending_one.push(object);
@@ -829,17 +1309,7 @@ impl ShardedHub {
     /// for a later [`drain`](ShardedHub::drain).
     pub fn flush(&mut self) -> Result<(), SapError> {
         self.flush_pending_one()?;
-        let acks: Vec<(usize, mpsc::Receiver<()>)> = (0..self.shards.len())
-            .map(|shard| {
-                let (reply, rx) = mpsc::channel();
-                self.send(shard, Command::Flush(reply))
-                    .map(|()| (shard, rx))
-            })
-            .collect::<Result<_, _>>()?;
-        for (shard, ack) in acks {
-            self.recv(shard, &ack)?;
-        }
-        Ok(())
+        flush_on(&self.placement, &self.shards[..])
     }
 
     /// The barrier that makes sharding observable-equivalent to the
@@ -851,40 +1321,17 @@ impl ShardedHub {
     /// order, a pure function of the published sequence.
     pub fn drain(&mut self) -> Result<Vec<QueryUpdate>, SapError> {
         self.flush_pending_one()?;
-        // enqueue every drain first, then collect: shards retire their
-        // backlogs in parallel instead of one at a time
-        let replies: Vec<(usize, mpsc::Receiver<Vec<QueryUpdate>>)> = (0..self.shards.len())
-            .map(|shard| {
-                let (reply, rx) = mpsc::channel();
-                self.send(shard, Command::Drain(reply))
-                    .map(|()| (shard, rx))
-            })
-            .collect::<Result<_, _>>()?;
-        // updates rescued from workers a resize retired join here; the
-        // global sort interleaves them exactly where an uninterrupted
-        // run would have
-        let mut updates = std::mem::take(&mut self.parked_updates);
-        for (shard, rx) in replies {
-            updates.extend(self.recv(shard, &rx)?);
-        }
-        updates.sort_unstable_by_key(|u| (u.query, u.result.slide));
-        Ok(updates)
+        drain_on(&self.placement, &self.shards[..], &mut self.parked_updates)
     }
 
     /// A point-in-time view of one query (slide count + last snapshot),
     /// reflecting everything published before this call. Unknown handles
     /// are a typed [`SapError::UnknownQuery`].
     pub fn inspect(&mut self, id: QueryId) -> Result<QueryState, SapError> {
-        if !self.registered.contains(&id) {
-            return Err(SapError::UnknownQuery { query: id });
-        }
         // "reflects everything published before this call" includes the
         // coalesced publish_one buffer
         self.flush_pending_one()?;
-        let shard = self.home_shard(id);
-        let (reply, rx) = mpsc::channel();
-        self.send(shard, Command::Inspect(id, reply))?;
-        self.recv(shard, &rx)
+        inspect_on(&self.placement, &self.shards[..], id)
     }
 
     /// Hub-wide query counts and digest-plane sharing metrics, summed
@@ -893,34 +1340,23 @@ impl ShardedHub {
     /// is exact). A dead shard is [`SapError::ShardDown`].
     pub fn stats(&mut self) -> Result<HubStats, SapError> {
         self.flush_pending_one()?;
-        let replies: Vec<(usize, mpsc::Receiver<HubStats>)> = (0..self.shards.len())
-            .map(|shard| {
-                let (reply, rx) = mpsc::channel();
-                self.send(shard, Command::Stats(reply))
-                    .map(|()| (shard, rx))
-            })
-            .collect::<Result<_, _>>()?;
-        let mut total = HubStats::default();
-        for (shard, rx) in replies {
-            total.merge(&self.recv(shard, &rx)?);
-        }
-        Ok(total)
+        stats_on(&self.placement, &self.shards[..])
     }
 
     /// Iterates the registered query handles in ascending (= registration)
     /// order.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.registered.iter().copied()
+        self.placement.registered.iter().copied()
     }
 
     /// Number of registered queries.
     pub fn len(&self) -> usize {
-        self.registered.len()
+        self.placement.registered.len()
     }
 
     /// Whether no queries are registered.
     pub fn is_empty(&self) -> bool {
-        self.registered.is_empty()
+        self.placement.registered.is_empty()
     }
 
     /// Number of shards (= worker threads).
@@ -945,20 +1381,8 @@ impl ShardedHub {
     /// them), so hand them to whatever consumed your drains.
     pub fn checkpoint(&mut self) -> Result<(Checkpoint, Vec<QueryUpdate>), SapError> {
         let updates = self.drain()?;
-        let replies: Vec<(usize, mpsc::Receiver<Vec<u8>>)> = (0..self.shards.len())
-            .map(|shard| {
-                let (reply, rx) = mpsc::channel();
-                self.send(shard, Command::CheckpointShard(reply))
-                    .map(|()| (shard, rx))
-            })
-            .collect::<Result<_, _>>()?;
-        let mut enc = Encoder::new();
-        enc.put_u64(self.next_id);
-        enc.put_usize(replies.len());
-        for (shard, rx) in replies {
-            enc.put_encoded(&self.recv(shard, &rx)?);
-        }
-        Ok((Checkpoint::from_payload(enc.into_payload()), updates))
+        let checkpoint = checkpoint_sections_on(&self.placement, &self.shards[..])?;
+        Ok((checkpoint, updates))
     }
 
     /// Rebuilds a hub with `num_shards` workers from a [`Checkpoint`]
@@ -976,135 +1400,11 @@ impl ShardedHub {
         factory: &dyn EngineFactory,
         num_shards: usize,
     ) -> Result<ShardedHub, SapError> {
-        let mut dec = Decoder::new(checkpoint.payload());
-        let next_id = dec.take_u64()?;
-        let sections = dec.take_usize()?;
-        let mut parts = Vec::new();
-        for _ in 0..sections {
-            let mut registry = dec.section(tags::REGISTRY)?;
-            parts.push(Registry::decode_checkpoint(
-                &mut registry,
-                &mut |name, spec| factory.count(name, spec),
-                &mut |name, spec| factory.timed(name, spec),
-            )?);
-            registry.finish().map_err(SapError::from)?;
-        }
-        dec.finish().map_err(SapError::from)?;
-        let merged = RegistryParts::merge(parts).map_err(SapError::from)?;
-        if merged.sessions.iter().any(|(id, _)| id.raw() >= next_id) {
-            return Err(CheckpointError::Corrupt("session id at or past the id counter").into());
-        }
+        let (next_id, merged) = decode_hub_checkpoint(checkpoint, factory)?;
         let mut hub = ShardedHub::new(num_shards);
-        hub.next_id = next_id;
-        hub.place_parts(merged)?;
+        hub.placement.next_id = next_id;
+        place_parts_on(&mut hub.placement, &hub.shards[..], merged)?;
         Ok(hub)
-    }
-
-    /// Scatters merged serving state across this hub's (fresh or freshly
-    /// emptied) workers: groups first — each on the shard its lowest-id
-    /// member hashes to, so every member can follow it — then sessions in
-    /// ascending-id order, then the sharing counters onto shard 0 (they
-    /// are hub-wide sums; where they live only affects which worker
-    /// reports them into the [`stats`](ShardedHub::stats) total).
-    fn place_parts(&mut self, parts: ShardParts) -> Result<(), SapError> {
-        let RegistryParts {
-            sessions,
-            groups,
-            count_groups,
-            digest_hits,
-            digest_rebuilds,
-            count_group_hits,
-            count_group_rebuilds,
-        } = parts;
-        // grouped sessions travel with their count group, not alone —
-        // split them out by canonical group index (ascending id within
-        // each group, since the merged session list is ascending)
-        let mut count_members: Vec<Vec<(QueryId, ShardSession)>> =
-            (0..count_groups.len()).map(|_| Vec::new()).collect();
-        let mut loose = Vec::with_capacity(sessions.len());
-        for (id, session) in sessions {
-            let grouped = match &session {
-                AnySession::Grouped(g) => Some(g.group() as usize),
-                _ => None,
-            };
-            match grouped {
-                Some(i) => count_members[i].push((id, session)),
-                None => loose.push((id, session)),
-            }
-        }
-        let mut group_home: HashMap<u64, usize> = HashMap::new();
-        for (sd, _) in &groups {
-            let lowest = loose
-                .iter()
-                .find_map(|(id, s)| match s {
-                    AnySession::Shared(m) if m.slide_duration() == *sd => Some(*id),
-                    _ => None,
-                })
-                .expect("merge validated every group has members");
-            group_home.insert(*sd, self.shard_of(lowest));
-        }
-        for (sd, producer) in groups {
-            let shard = group_home[&sd];
-            self.send(shard, Command::InstallGroup(sd, producer))?;
-            self.shared_groups.insert(sd, (shard, 0));
-        }
-        for (state, members) in count_groups.into_iter().zip(count_members) {
-            let lowest = members
-                .first()
-                .expect("merge validated every count group has members")
-                .0;
-            let shard = self.shard_of(lowest);
-            let sd = state.producer.slide_duration();
-            // re-derive the founding offset class against the current
-            // counter: the installed group's open slide has
-            // `pending` objects, so it last sat empty `pending` objects
-            // ago — class `(published − pending) mod s`. Merge rejected
-            // same-(s, pending) collisions, so keys are unique.
-            let key = (
-                sd,
-                (self.published % sd + sd - state.producer.pending_len() as u64) % sd,
-            );
-            for (id, _) in &members {
-                self.grouped_key.insert(*id, key);
-                self.registered.insert(*id);
-            }
-            self.shard_len[shard] += members.len();
-            self.count_groups_hub.insert(key, (shard, members.len()));
-            self.send(shard, Command::InstallCountGroup(state, members))?;
-        }
-        for (id, session) in loose {
-            let shard = match &session {
-                AnySession::Shared(s) => {
-                    let sd = s.slide_duration();
-                    self.shared_sd.insert(id, sd);
-                    self.shared_groups
-                        .get_mut(&sd)
-                        .expect("group placed above")
-                        .1 += 1;
-                    group_home[&sd]
-                }
-                _ => self.shard_of(id),
-            };
-            self.send(shard, Command::Install(id, session))?;
-            self.shard_len[shard] += 1;
-            self.registered.insert(id);
-        }
-        if digest_hits != 0
-            || digest_rebuilds != 0
-            || count_group_hits != 0
-            || count_group_rebuilds != 0
-        {
-            self.send(
-                0,
-                Command::InstallCounters(
-                    digest_hits,
-                    digest_rebuilds,
-                    count_group_hits,
-                    count_group_rebuilds,
-                ),
-            )?;
-        }
-        Ok(())
     }
 
     // ---- elastic operation ------------------------------------------------
@@ -1133,64 +1433,8 @@ impl ShardedHub {
     /// If `shard >= self.num_shards()` — a placement that cannot exist,
     /// i.e. a caller bug, not a data-dependent condition.
     pub fn move_query(&mut self, id: QueryId, shard: usize) -> Result<(), SapError> {
-        assert!(
-            shard < self.shards.len(),
-            "move_query target {shard} out of range ({} shards)",
-            self.shards.len()
-        );
-        if !self.registered.contains(&id) {
-            return Err(SapError::UnknownQuery { query: id });
-        }
         self.flush_pending_one()?;
-        if let Some(&sd) = self.shared_sd.get(&id) {
-            let (source, _) = self.shared_groups[&sd];
-            if source == shard {
-                return Ok(());
-            }
-            let (reply, rx) = mpsc::channel();
-            self.send(source, Command::EjectGroup(sd, reply))?;
-            let (producer, members) = self.recv(source, &rx)?;
-            self.send(shard, Command::InstallGroup(sd, producer))?;
-            let moved = members.len();
-            for (member, session) in members {
-                self.send(shard, Command::Install(member, session))?;
-            }
-            self.shard_len[source] -= moved;
-            self.shard_len[shard] += moved;
-            self.shared_groups.insert(sd, (shard, moved));
-        } else if let Some(&key) = self.grouped_key.get(&id) {
-            // a grouped count query moves with its entire count group —
-            // same shard-local-state rationale as a slide group
-            let (source, _) = self.count_groups_hub[&key];
-            if source == shard {
-                return Ok(());
-            }
-            let (reply, rx) = mpsc::channel();
-            self.send(source, Command::EjectCountGroup(id, reply))?;
-            let (state, members) = self.recv(source, &rx)?;
-            let moved = members.len();
-            self.send(shard, Command::InstallCountGroup(state, members))?;
-            self.shard_len[source] -= moved;
-            self.shard_len[shard] += moved;
-            self.count_groups_hub.insert(key, (shard, moved));
-        } else {
-            let source = self.home_shard(id);
-            if source == shard {
-                return Ok(());
-            }
-            let (reply, rx) = mpsc::channel();
-            self.send(source, Command::Unregister(id, reply))?;
-            let session = self.recv(source, &rx)?;
-            self.send(shard, Command::Install(id, session))?;
-            self.shard_len[source] -= 1;
-            self.shard_len[shard] += 1;
-            if self.shard_of(id) == shard {
-                self.placed.remove(&id);
-            } else {
-                self.placed.insert(id, shard);
-            }
-        }
-        Ok(())
+        move_query_on(&mut self.placement, &self.shards[..], id, shard)
     }
 
     /// Re-partitions every live session across a fresh set of
@@ -1209,30 +1453,12 @@ impl ShardedHub {
     pub fn resize(&mut self, num_shards: usize) -> Result<(), SapError> {
         let num_shards = num_shards.max(1);
         self.flush_pending_one()?;
-        let replies: Vec<(usize, PartsReply)> = (0..self.shards.len())
-            .map(|shard| {
-                let (reply, rx) = mpsc::channel();
-                self.send(shard, Command::EjectAll(reply))
-                    .map(|()| (shard, rx))
-            })
-            .collect::<Result<_, _>>()?;
-        let mut parts = Vec::new();
-        for (shard, rx) in replies {
-            let (part, updates) = self.recv(shard, &rx)?;
-            parts.push(part);
-            self.parked_updates.extend(updates);
-        }
-        let merged = RegistryParts::merge(parts).map_err(SapError::from)?;
+        let (merged, parked) = eject_all_on(&self.placement, &self.shards[..])?;
+        self.parked_updates.extend(parked);
         self.shutdown_workers();
         self.shards = Self::spawn_workers(num_shards, self.queue_capacity);
-        self.shard_len = vec![0; num_shards];
-        self.registered.clear();
-        self.shared_groups.clear();
-        self.shared_sd.clear();
-        self.count_groups_hub.clear();
-        self.grouped_key.clear();
-        self.placed.clear();
-        self.place_parts(merged)
+        self.placement.reset(num_shards);
+        place_parts_on(&mut self.placement, &self.shards[..], merged)
     }
 }
 
@@ -1454,24 +1680,28 @@ mod tests {
     fn shared_queries_follow_their_group_even_when_the_hash_disagrees() {
         let mut hub = ShardedHub::new(8);
         let founder = hub.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
-        let home = hub.shared_groups[&10].0;
-        assert_eq!(home, hub.shard_of(founder), "the founder places the group");
+        let home = hub.placement.shared_groups[&10].0;
+        assert_eq!(
+            home,
+            hub.placement.shard_of(founder),
+            "the founder places the group"
+        );
         let mut members = vec![founder];
         let mut disagreements = 0usize;
         for _ in 0..12 {
             let q = hub.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
-            if hub.shard_of(q) != home {
+            if hub.placement.shard_of(q) != home {
                 disagreements += 1;
             }
             assert_eq!(
-                hub.home_shard(q),
+                hub.placement.home_shard(q),
                 home,
                 "group-aware placement must override the hash"
             );
             members.push(q);
         }
         assert!(disagreements > 0, "the hash must disagree for this to bite");
-        assert_eq!(hub.shared_groups[&10].1, 13);
+        assert_eq!(hub.placement.shared_groups[&10].1, 13);
         // placement is invisible in the output: byte-identical to the
         // sequential hub's registration-order delivery
         let mut seq = Hub::new();
@@ -1499,7 +1729,7 @@ mod tests {
             assert!(hub.unregister(q).unwrap().into_shared().is_some());
         }
         assert!(
-            hub.shared_groups.is_empty(),
+            hub.placement.shared_groups.is_empty(),
             "the last member out retires the group's placement"
         );
     }
@@ -1512,7 +1742,7 @@ mod tests {
         let bomb = hub
             .register_shared_boxed(Box::new(Bomb(WindowSpec::new(1, 1, 1).unwrap())), 10, 10)
             .unwrap();
-        assert_eq!(hub.shared_groups[&10], (0, 1));
+        assert_eq!(hub.placement.shared_groups[&10], (0, 1));
         let _ = hub.publish_timed(&[TimedObject::new(0, 5, 1.0), TimedObject::new(1, 15, 2.0)]);
         let _ = hub.flush();
         // a registration into the group now targets the dead shard: a
@@ -1523,7 +1753,7 @@ mod tests {
             SapError::ShardDown { shard: 0 }
         );
         assert_eq!(
-            hub.shared_groups[&10],
+            hub.placement.shared_groups[&10],
             (0, 1),
             "a failed registration never counts as a member"
         );
@@ -1535,7 +1765,7 @@ mod tests {
             hub.unregister(bomb).unwrap_err(),
             SapError::ShardDown { shard: 0 }
         );
-        assert_eq!(hub.shared_groups[&10], (0, 1));
+        assert_eq!(hub.placement.shared_groups[&10], (0, 1));
     }
 
     #[test]
@@ -1608,6 +1838,70 @@ mod tests {
             hub.unregister(q).unwrap_err(),
             SapError::ShardDown { shard: 0 }
         );
+    }
+
+    /// The PR 4 caveat, closed: `HubStats.digest_groups`/`count_groups`
+    /// summing is exact *only because* groups are shard-local. If a
+    /// routing regression ever founded the same group on two workers,
+    /// the stats merge must catch it instead of silently double-counting.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "slide group split across workers")]
+    fn stats_merge_catches_a_slide_group_split_across_workers() {
+        // simulate the regression at the registry level: two workers
+        // each founded a slide group with the same slide_duration
+        // (routing gone hash-only instead of group-affine)
+        let mut a: ShardRegistry = Registry::with_shard(0);
+        let mut b: ShardRegistry = Registry::with_shard(1);
+        let consumer = |_: usize| {
+            SharedTimed::from_engine(
+                Box::new(Toy::new(1, 1, 1)) as Box<dyn SlidingTopK + Send>,
+                10,
+                10,
+            )
+            .unwrap()
+        };
+        a.register_shared(QueryId::from_raw(0), consumer(0), Some(0));
+        b.register_shared(QueryId::from_raw(1), consumer(1), Some(1));
+        let mut seen = GroupKeys::default();
+        seen.absorb_disjoint(&a.group_keys(), 0);
+        seen.absorb_disjoint(&b.group_keys(), 1); // must panic here
+    }
+
+    /// Same detector, count plane: two workers holding the same
+    /// `(s, fill)` geometry class is a split count group.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "count group split across workers")]
+    fn stats_merge_catches_a_count_group_split_across_workers() {
+        let mut seen = GroupKeys::default();
+        let shard_keys = GroupKeys {
+            digest: Vec::new(),
+            count: vec![(4, 2)],
+        };
+        seen.absorb_disjoint(&shard_keys, 0);
+        seen.absorb_disjoint(&shard_keys, 1); // must panic here
+    }
+
+    /// The healthy side of the invariant: group-affine routing keeps
+    /// every group on one shard, so the audited stats sums stay exact
+    /// across many shards (this test runs the real merge path, which in
+    /// debug builds would panic on any split).
+    #[test]
+    fn grouped_stats_sums_stay_exact_across_shards() {
+        let mut hub = ShardedHub::new(8);
+        for _ in 0..6 {
+            hub.register_grouped_alg(Toy::new(2, 1, 1), 4, 2).unwrap();
+        }
+        for _ in 0..5 {
+            hub.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
+        }
+        hub.publish(&stream(8)).unwrap();
+        hub.flush().unwrap();
+        let stats = hub.stats().unwrap();
+        assert_eq!(stats.grouped_queries, 6);
+        assert_eq!(stats.count_groups, 1, "one geometry class, one shard");
+        assert_eq!(stats.digest_groups, 1, "one slide group, one shard");
     }
 
     #[test]

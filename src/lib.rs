@@ -90,8 +90,8 @@ pub mod prelude;
 
 use sap_core::TimeBased;
 use sap_stream::{
-    AlgorithmKind, EngineFactory, Hub, Query, QueryId, SapError, Session, ShardedHub, SlidingTopK,
-    TimedSession, TimedSpec, TimedTopK, WindowSpec,
+    AlgorithmKind, AsyncHub, EngineFactory, Hub, Query, QueryId, SapError, Session, ShardedHub,
+    SlidingTopK, TimedSession, TimedSpec, TimedTopK, WindowSpec,
 };
 
 /// Builds the boxed engine a count-based [`Query`] describes, dispatching
@@ -305,6 +305,30 @@ impl HubExt for Hub {
 }
 
 impl HubExt for ShardedHub {
+    fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        if query.is_time_based() {
+            self.register_timed_boxed(build_timed(query)?)
+        } else {
+            self.register_boxed(build_send(query)?)
+        }
+    }
+
+    fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        let spec = query.validate_timed()?;
+        let engine = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
+        self.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
+    }
+
+    fn register_grouped(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        let spec = query.validate()?;
+        let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
+            .and_then(|t| t.reduced())
+            .map_err(SapError::Spec)?;
+        self.register_grouped_boxed(build_engine(reduced, query)?, spec.n, spec.s)
+    }
+}
+
+impl HubExt for AsyncHub {
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
         if query.is_time_based() {
             self.register_timed_boxed(build_timed(query)?)

@@ -3,8 +3,10 @@
 //!
 //! Brings in the fluent [`Query`] builder — both window models — with its
 //! facade finalizers ([`QueryExt::build`]/[`QueryExt::session`]/
-//! [`QueryExt::timed_session`]), the multi-query [`Hub`] and
-//! thread-parallel [`ShardedHub`] with [`HubExt::register`], the
+//! [`QueryExt::timed_session`]), the multi-query [`Hub`], the
+//! thread-parallel [`ShardedHub`], and the reactor-multiplexed
+//! [`AsyncHub`] (with its seedable [`Scheduler`]s) — all with
+//! [`HubExt::register`], the
 //! shared digest plane's [`HubExt::register_shared`], and the shared
 //! count plane's [`HubExt::register_grouped`] (plus their
 //! [`HubStats`] sharing metrics), flexible
@@ -18,13 +20,14 @@
 pub use crate::{build, build_send, build_timed, DefaultEngineFactory, HubExt, QueryExt};
 
 pub use sap_stream::{
-    run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, Checkpoint, CheckpointError,
-    CheckpointState, Dataset, DigestProducer, DigestRef, DigestView, EngineFactory, EventList,
-    GroupedSession, Hub, HubSession, HubStats, Ingest, Object, OpStats, Query, QueryId, QuerySpec,
-    QueryState, QueryUpdate, RunSummary, SapError, SapPolicy, ScoreKey, Session, ShardSession,
-    ShardedHub, SharedSession, SharedTimed, SlideDigest, SlideResult, SlideScratch, SlidingTopK,
-    Snapshot, SpecError, TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent,
-    WindowSpec, Workload,
+    run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, AsyncHub, Checkpoint,
+    CheckpointError, CheckpointState, Dataset, DigestProducer, DigestRef, DigestView,
+    EngineFactory, EventList, FifoScheduler, GroupedSession, Hub, HubSession, HubStats, Ingest,
+    Object, OpStats, Query, QueryId, QuerySpec, QueryState, QueryUpdate, RunSummary, SapError,
+    SapPolicy, Scheduler, ScoreKey, SeededScheduler, Session, ShardSession, ShardedHub,
+    SharedSession, SharedTimed, SlideDigest, SlideResult, SlideScratch, SlidingTopK, Snapshot,
+    SpecError, TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent, WindowSpec,
+    Workload,
 };
 
 pub use sap_core::{Sap, SapConfig, TimeBased, TimeBasedSap};

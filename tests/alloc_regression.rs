@@ -295,6 +295,139 @@ fn warm_grouped_hub_publish_meets_the_isolated_pinned_bounds() {
     debug_assertions,
     ignore = "allocation bounds are pinned for release builds"
 )]
+fn warm_async_hub_quiet_publish_is_allocation_free() {
+    let _guard = LOCK.lock().unwrap();
+    // The async hub's quiet publish is a single lock crossing that
+    // enqueues a pooled `Arc` batch on every non-empty shard: after
+    // warm-up (pool slots filled at this batch length, target scratch
+    // sized, queues at their fixed bound) the hub-side path must not
+    // touch the heap at all. The flush barrier before each measured
+    // publish settles the pool refcounts, so the measurement is
+    // deterministic despite the worker threads.
+    let mut hub = AsyncHub::new(8, 2);
+    for q in 0..50u64 {
+        let k = 1 + (q as usize % 3);
+        hub.register(&Query::window(200).top(k).slide(100)).unwrap();
+    }
+    let warm: Vec<Object> = (0..1_000u64).map(|i| Object::new(i, score(i))).collect();
+    for chunk in warm.chunks(5) {
+        hub.publish(chunk).unwrap();
+    }
+    assert!(
+        !hub.drain().unwrap().is_empty(),
+        "warm-up must close slides"
+    );
+    // Warm-up may legitimately park (the publisher can outrun two
+    // workers across slide boundaries); the quiet path must not add to
+    // that count.
+    let parks_after_warm = hub.publisher_parks();
+
+    let mut next = 1_000u64;
+    for round in 0..8u64 {
+        let batch: Vec<Object> = (next..next + 5).map(|i| Object::new(i, score(i))).collect();
+        next += 5;
+        hub.flush().unwrap();
+        let (result, allocs) = measured(|| hub.publish(&batch));
+        result.unwrap();
+        assert_eq!(allocs, 0, "quiet async publish round {round} allocated");
+    }
+    assert_eq!(
+        hub.drain().unwrap().len(),
+        0,
+        "40 objects into s = 100 complete no slide"
+    );
+    assert_eq!(
+        hub.publisher_parks(),
+        parks_after_warm,
+        "quiet path never parks"
+    );
+}
+
+/// An engine slow enough that a capacity-1 queue is always full when the
+/// publisher returns — every measured publish goes through the
+/// park/wake path.
+#[derive(Debug)]
+struct Sleepy {
+    spec: WindowSpec,
+    empty: Vec<Object>,
+}
+
+impl CheckpointState for Sleepy {}
+
+impl SlidingTopK for Sleepy {
+    fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+    fn slide(&mut self, _batch: &[Object]) -> &[Object] {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        &self.empty
+    }
+    fn candidate_count(&self) -> usize {
+        0
+    }
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+    fn stats(&self) -> OpStats {
+        OpStats::default()
+    }
+    fn name(&self) -> &str {
+        "sleepy"
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
+fn async_park_wake_cycle_stays_under_constant_bound() {
+    let _guard = LOCK.lock().unwrap();
+    // Backpressure parking is a condvar wait plus one relaxed counter
+    // tick: the cycle itself must stay O(1) allocations per publish no
+    // matter how often the publisher parks. A deliberately slow engine
+    // behind a capacity-1 queue forces a park on essentially every
+    // measured publish.
+    let mut hub = AsyncHub::with_config(1, 1, 1, Box::new(FifoScheduler));
+    for _ in 0..4 {
+        hub.register_alg(Sleepy {
+            spec: WindowSpec::new(4, 1, 4).unwrap(),
+            empty: Vec::new(),
+        })
+        .unwrap();
+    }
+    let batch: Vec<Object> = (0..4u64).map(|i| Object::new(i, 7.0)).collect();
+    for _ in 0..10 {
+        hub.publish(&batch).unwrap();
+    }
+    hub.flush().unwrap();
+    hub.drain().unwrap();
+
+    const PUBLISHES: u64 = 50;
+    let (result, allocs) = measured(|| {
+        for _ in 0..PUBLISHES {
+            hub.publish(&batch)?;
+        }
+        Ok::<(), SapError>(())
+    });
+    result.unwrap();
+    assert!(
+        hub.publisher_parks() >= 10,
+        "the workload must actually park (got {} parks)",
+        hub.publisher_parks()
+    );
+    assert!(
+        allocs <= 4 * PUBLISHES,
+        "park/wake cycle: {allocs} allocations across {PUBLISHES} parking \
+         publishes (pinned bound: ≤ 4 per publish, independent of parks)"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
 fn checkpoint_leaves_the_warm_publish_path_allocation_free() {
     let _guard = LOCK.lock().unwrap();
     // A checkpoint is a read-only borrow of serving state: taking one on a

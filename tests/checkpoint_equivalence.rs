@@ -164,6 +164,85 @@ proptest! {
         prop_assert_eq!(&seq_sums, &expect, "sharded {}→sequential cut={}", before, cut);
     }
 
+    /// Async hub: checkpoint mid-stream under a seeded adversarial
+    /// schedule, restore onto a fresh `AsyncHub` at a *different*
+    /// (shards, workers) shape — and also onto a sequential hub and from
+    /// a sharded checkpoint (all three formats are interchangeable) —
+    /// and finish the stream; every variant folds to the uninterrupted
+    /// reference.
+    #[test]
+    fn async_checkpoint_restores_across_hub_flavors(
+        scores in vec(0u8..16, 1..160),
+        (n, k, s) in geometry(),
+        chunk in 1usize..16,
+        cut_seed in 0usize..100,
+        shape_i in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (shards_after, workers_after) = [(1usize, 1usize), (2, 2), (8, 2), (32, 3)][shape_i];
+        let queries = count_fleet(n, k, s);
+        let data = stream(&scores);
+        let expect = sequential_reference(&queries, &data, chunk);
+        let chunks: Vec<&[Object]> = data.chunks(chunk).collect();
+        let cut = cut_seed % (chunks.len() + 1);
+
+        let mut hub =
+            AsyncHub::with_scheduler(5, 2, Box::new(SeededScheduler::new(seed)));
+        for q in &queries {
+            hub.register(q).expect("valid query");
+        }
+        let mut sums = BTreeMap::new();
+        for c in &chunks[..cut] {
+            hub.publish(c).expect("healthy shards");
+        }
+        let (ckpt, drained) = hub.checkpoint().expect("healthy shards");
+        fold_all(&mut sums, drained);
+
+        // resume on a fresh AsyncHub at the new shape, same seed stream
+        let mut resumed =
+            AsyncHub::restore(&ckpt, &DefaultEngineFactory, shards_after, workers_after)
+                .expect("async checkpoint restores");
+        let mut async_sums = sums.clone();
+        for c in &chunks[cut..] {
+            resumed.publish(c).expect("healthy shards");
+        }
+        fold_all(&mut async_sums, resumed.drain().expect("healthy shards"));
+        prop_assert_eq!(
+            &async_sums, &expect,
+            "async→async({}x{}) cut={} seed={:#018x}",
+            shards_after, workers_after, cut, seed
+        );
+
+        // the same bytes also resume on a sequential hub
+        let mut seq = Hub::restore(&ckpt, &DefaultEngineFactory).expect("restores");
+        let mut seq_sums = sums;
+        for c in &chunks[cut..] {
+            fold_all(&mut seq_sums, seq.publish(c));
+        }
+        prop_assert_eq!(&seq_sums, &expect, "async→sequential cut={}", cut);
+
+        // and a *sharded* checkpoint of the same prefix resumes on an
+        // AsyncHub (flavor interchange goes both ways)
+        let mut sharded = ShardedHub::new(3);
+        for q in &queries {
+            sharded.register(q).expect("valid query");
+        }
+        let mut cross_sums = BTreeMap::new();
+        for c in &chunks[..cut] {
+            sharded.publish(c).expect("healthy shards");
+        }
+        let (sharded_ckpt, drained) = sharded.checkpoint().expect("healthy shards");
+        fold_all(&mut cross_sums, drained);
+        let mut crossed =
+            AsyncHub::restore(&sharded_ckpt, &DefaultEngineFactory, shards_after, workers_after)
+                .expect("sharded checkpoint restores on the async hub");
+        for c in &chunks[cut..] {
+            crossed.publish(c).expect("healthy shards");
+        }
+        fold_all(&mut cross_sums, crossed.drain().expect("healthy shards"));
+        prop_assert_eq!(&cross_sums, &expect, "sharded→async cut={}", cut);
+    }
+
     /// Elastic churn: `move_query` and `resize` fired between arbitrary
     /// publishes never change what drains — the global `(query, slide)`
     /// stream is placement-blind.
@@ -372,6 +451,76 @@ fn corrupt_payloads_never_panic() {
             let _ = Hub::restore(&ckpt, &DefaultEngineFactory);
         }
     }
+}
+
+/// The async recovery story end to end: a checkpoint taken *before* an
+/// engine panic kills a shard restores the full fleet onto a fresh
+/// `AsyncHub`, which finishes the stream byte-identical to the
+/// uninterrupted sequential reference — the dead hub's typed
+/// `ShardDown` errors cost nothing durable.
+#[test]
+fn async_checkpoint_taken_before_a_kill_restores_cleanly() {
+    struct Bomb(WindowSpec);
+    impl CheckpointState for Bomb {}
+    impl SlidingTopK for Bomb {
+        fn spec(&self) -> WindowSpec {
+            self.0
+        }
+        fn slide(&mut self, _batch: &[Object]) -> &[Object] {
+            panic!("engine bug")
+        }
+        fn candidate_count(&self) -> usize {
+            0
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> OpStats {
+            OpStats::default()
+        }
+        fn name(&self) -> &str {
+            "bomb"
+        }
+    }
+
+    let queries = count_fleet(8, 2, 4);
+    let data = stream(&[7, 2, 9, 4, 1, 8, 3, 6, 5, 9, 2, 7, 4, 8, 1, 3]);
+    let expect = sequential_reference(&queries, &data, 4);
+    let chunks: Vec<&[Object]> = data.chunks(4).collect();
+    let cut = chunks.len() / 2;
+
+    let mut hub = AsyncHub::new(4, 2);
+    for q in &queries {
+        hub.register(q).expect("valid query");
+    }
+    let mut sums = BTreeMap::new();
+    for c in &chunks[..cut] {
+        hub.publish(c).expect("healthy shards");
+    }
+    // the cut: durable state captured while every shard is healthy
+    let (ckpt, drained) = hub.checkpoint().expect("healthy shards");
+    fold_all(&mut sums, drained);
+
+    // now the production incident: a poisoned engine joins and detonates
+    hub.register_boxed(Box::new(Bomb(WindowSpec::new(4, 1, 2).unwrap())))
+        .expect("registration is healthy");
+    hub.publish(chunks[cut])
+        .expect("death is observed at the barrier");
+    assert!(matches!(hub.drain(), Err(SapError::ShardDown { .. })));
+    drop(hub);
+
+    // recovery: the pre-kill checkpoint restores the full fleet onto a
+    // fresh reactor (different shape), which finishes the stream
+    let mut recovered =
+        AsyncHub::restore(&ckpt, &DefaultEngineFactory, 8, 3).expect("pre-kill bytes restore");
+    for c in &chunks[cut..] {
+        recovered.publish(c).expect("healthy shards");
+    }
+    fold_all(&mut sums, recovered.drain().expect("healthy shards"));
+    assert_eq!(
+        sums, expect,
+        "recovered run must equal the uninterrupted reference"
+    );
 }
 
 /// Unknown engine names surface as the typed

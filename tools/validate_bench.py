@@ -334,6 +334,97 @@ def validate_fanout(artifact, doc):
             )
 
 
+ASYNC_RUN_FIELDS = [
+    "hub",
+    "shards",
+    "workers",
+    "elapsed_s",
+    "objects_per_sec",
+    "updates",
+    "checksum",
+    "publisher_parks",
+    "speedup_vs_sequential",
+]
+
+
+def validate_async(artifact, doc):
+    check(doc.get("bench") == "async_hub", artifact, f'expected bench "async_hub", got {doc.get("bench")!r}')
+    if not require(
+        artifact,
+        doc,
+        ["host_cpus", "logical_shards", "alloc_ceiling", "allocs_per_object", "runs"],
+        "top level",
+    ):
+        return
+    runs = doc.get("runs", [])
+    if not check(len(runs) > 0, artifact, "no runs"):
+        return
+    by_hub = {}
+    for r in runs:
+        if not require(artifact, r, ASYNC_RUN_FIELDS, f'run {r.get("hub")}/{r.get("workers")}w'):
+            return
+        label = f'{r["hub"]}({r["shards"]} shards, {r["workers"]} workers)'
+        check(r["objects_per_sec"] > 0, artifact, f"{label}: zero throughput")
+        check(r["updates"] > 0, artifact, f"{label}: zero updates")
+        check(r["publisher_parks"] >= 0, artifact, f"{label}: negative park count")
+        by_hub.setdefault(r["hub"], []).append(r)
+    if not check(
+        {"sequential", "sharded", "async"} <= set(by_hub),
+        artifact,
+        f"need sequential, sharded, and async runs, got {sorted(by_hub)}",
+    ):
+        return
+    # every run replays the same stream to the same queries
+    check(len({r["updates"] for r in runs}) == 1, artifact, "runs disagree on update count")
+    single_checksum(artifact, runs, "all runs")
+    # the preset exists to prove oversubscribed serving: there must be a
+    # run with more logical shards than cores and one with more workers
+    # than cores, and neither may have stalled the publisher
+    cpus = doc["host_cpus"]
+    check(
+        doc["logical_shards"] > cpus,
+        artifact,
+        f'logical_shards {doc["logical_shards"]} not above host_cpus {cpus}',
+    )
+    async_runs = by_hub["async"]
+    check(
+        any(r["shards"] > cpus for r in async_runs),
+        artifact,
+        "no async run with shards > host_cpus",
+    )
+    check(
+        any(r["workers"] > cpus for r in async_runs),
+        artifact,
+        "no async run with workers > host_cpus",
+    )
+    for r in async_runs:
+        check(
+            r["publisher_parks"] == 0,
+            artifact,
+            f'async({r["workers"]}w) parked the publisher {r["publisher_parks"]} times at bench chunking',
+        )
+    # the quiet-path allocation gate, re-checked from committed numbers
+    check(
+        doc["allocs_per_object"] <= doc["alloc_ceiling"],
+        artifact,
+        f'allocs/object {doc["allocs_per_object"]} over ceiling {doc["alloc_ceiling"]}',
+    )
+    # one reactor thread must hold single-core parity with the
+    # thread-per-shard hub (the binary asserts the same 5% budget)
+    sharded_1 = [r for r in by_hub["sharded"] if r["shards"] == 1]
+    async_1w = [r for r in async_runs if r["workers"] == 1]
+    if check(len(sharded_1) > 0, artifact, "no sharded(1) reference run") and check(
+        len(async_1w) > 0, artifact, "no async 1-worker run"
+    ):
+        floor = 0.95 * sharded_1[0]["objects_per_sec"]
+        check(
+            async_1w[0]["objects_per_sec"] >= floor,
+            artifact,
+            f'async(1w) {async_1w[0]["objects_per_sec"]} obj/s below 95% of sharded(1) '
+            f'{sharded_1[0]["objects_per_sec"]}',
+        )
+
+
 KNOWN = {
     "BENCH_hub.json": validate_hub,
     "BENCH_timed.json": validate_timed,
@@ -341,6 +432,7 @@ KNOWN = {
     "BENCH_hotpath.json": validate_hotpath,
     "BENCH_checkpoint.json": validate_checkpoint,
     "BENCH_fanout.json": validate_fanout,
+    "BENCH_async.json": validate_async,
 }
 
 

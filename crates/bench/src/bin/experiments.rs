@@ -43,11 +43,11 @@
 
 use sap_bench::{
     cands, fanout_query_mix, hotpath_query_mix, hub_checksum_fold, hub_query_mix, measure_on,
-    mem_kb, run_fanout_grouped, run_fanout_grouped_sharded, run_fanout_isolated, run_hotpath,
-    run_hotpath_sharded, run_hub_async, run_hub_sequential, run_hub_sharded, run_shared_hub,
-    run_shared_hub_sharded, run_shared_isolated, run_timed_hub_sequential, run_timed_hub_sharded,
-    secs, shared_query_mix, timed_query_mix, Algo, BenchEngineFactory, CountingAlloc, FanoutRun,
-    HotpathMode, HotpathRun, HubRun, Table,
+    mem_kb, run_fanout_grouped, run_fanout_grouped_sharded, run_fanout_isolated, run_floor,
+    run_hotpath, run_hotpath_sharded, run_hub_async, run_hub_sequential, run_hub_sharded,
+    run_shared_hub, run_shared_hub_sharded, run_shared_isolated, run_timed_hub_sequential,
+    run_timed_hub_sharded, secs, shared_query_mix, timed_query_mix, Algo, BenchEngineFactory,
+    CountingAlloc, FanoutRun, FloorArm, FloorRun, HotpathMode, HotpathRun, HubRun, Table,
 };
 use sap_core::{Sap, SapConfig};
 use sap_stream::generators::{ArrivalProcess, Dataset, Workload};
@@ -197,6 +197,12 @@ fn main() {
             json_out.as_deref().unwrap_or("BENCH_fanout.json"),
             seed,
         ),
+        "floor" => floor(
+            len.unwrap_or(800),
+            queries.unwrap_or(100_000),
+            json_out.as_deref().unwrap_or("BENCH_floor.json"),
+            seed,
+        ),
         "checkpoint" => checkpoint_bench(
             len.unwrap_or(20_000),
             queries.unwrap_or(500),
@@ -218,7 +224,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared hotpath checkpoint fanout async all"
+                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared hotpath checkpoint fanout floor async all"
             );
             std::process::exit(2);
         }
@@ -936,6 +942,144 @@ fn fanout(len: usize, queries: usize, shards: &[usize], json_out: &str, seed: u6
         .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"fanout\",\n  \"dataset\": \"stock\",\n  \"seed\": {seed},\n  \"len\": {len},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"geometry_classes\": 3,\n  \"host_cpus\": {host_cpus},\n  \"ladder_factor\": {ladder_factor:.3},\n  \"cost_ratio_isolated\": {cost_ratio_isolated:.3},\n  \"cost_ratio_grouped\": {cost_ratio_grouped:.3},\n  \"quiet_cost_ratio_isolated\": {quiet_ratio_isolated:.3},\n  \"quiet_cost_ratio_grouped\": {quiet_ratio_grouped:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_runs.join(",\n")
+    );
+    std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
+    println!("wrote {json_out} (host_cpus = {host_cpus})");
+}
+
+/// The per-member update floor: a ladder of same-geometry count queries
+/// (one geometry class, `⟨n=32, k=4, s=8⟩`) served three ways —
+/// isolated sessions, the grouped plane with result-class pooling
+/// disabled (every solo class computes its own close), and the grouped
+/// plane with result classes (one computed close per class, a refcount
+/// bump per member). Every rung asserts byte-identical checksums across
+/// the arms and that classed serving actually happened (`class_hits >
+/// 0`) or could not have (`class_hits == 0` with the knob off). The
+/// JSON splits slide-close µs/member out of total cost, so the
+/// memoization win is a committed, machine-checkable artifact; the
+/// top-rung improvement ratios feed `tools/validate_bench.py`.
+fn floor(len: usize, queries: usize, json_out: &str, seed: u64) {
+    let spec = WindowSpec::new(32, 4, 8).expect("floor spec is valid");
+    // half the slide: publishes alternate strictly between quiet
+    // (ingest-only) and close (serving), so the split is exact
+    let chunk = spec.s / 2;
+    let data = Dataset::Stock.generate(len, seed);
+    let mut ladder: Vec<usize> = [queries / 100, queries / 10, queries]
+        .into_iter()
+        .filter(|&q| q > 0)
+        .collect();
+    ladder.dedup();
+
+    let mut t = Table::new(
+        format!(
+            "Per-member update floor: ladder to {queries} same-geometry queries, \
+             {len} objects (n = {}, k = {}, s = {}, chunk = {chunk})",
+            spec.n, spec.k, spec.s
+        ),
+        &[
+            "arm",
+            "queries",
+            "seconds",
+            "closes",
+            "close us/member",
+            "quiet ns/obj",
+            "updates",
+            "classes",
+            "class hits",
+        ],
+    );
+    let mut json_runs: Vec<String> = Vec::new();
+    let mut emit = |arm: FloorArm, count: usize, r: &FloorRun| {
+        let ops = r.run.objects_per_sec(len);
+        assert!(
+            ops.is_finite() && ops > 0.0,
+            "[floor] {}({count}): non-finite or zero throughput ({ops})",
+            arm.label()
+        );
+        let close_us = r
+            .close_us_per_member(count)
+            .expect("every rung closes slides");
+        let quiet_ns = r.quiet_ns_per_object();
+        t.row(vec![
+            arm.label().into(),
+            count.to_string(),
+            format!("{:.3}", r.run.elapsed.as_secs_f64()),
+            r.closes.to_string(),
+            format!("{close_us:.3}"),
+            quiet_ns.map_or("-".into(), |q| format!("{q:.0}")),
+            r.run.updates.to_string(),
+            r.stats.result_classes.to_string(),
+            r.stats.class_hits.to_string(),
+        ]);
+        json_runs.push(format!(
+            "    {{\"arm\": \"{}\", \"queries\": {count}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {ops:.1}, \"closes\": {}, \"close_us_per_member\": {close_us:.4}, \"quiet_objects\": {}, \"quiet_ns_per_object\": {}, \"updates\": {}, \"checksum\": {}, \"result_classes\": {}, \"class_hits\": {}}}",
+            arm.label(),
+            r.run.elapsed.as_secs_f64(),
+            r.closes,
+            r.quiet_objects,
+            quiet_ns.map_or("null".into(), |q| format!("{q:.1}")),
+            r.run.updates,
+            r.run.checksum,
+            r.stats.result_classes,
+            r.stats.class_hits,
+        ));
+        close_us
+    };
+
+    // (isolated, unclassed, classed) close µs/member at the ladder top
+    let mut top: Option<[f64; 3]> = None;
+    for &count in &ladder {
+        let iso = run_floor(spec, count, &data, chunk, FloorArm::Isolated);
+        let un = run_floor(spec, count, &data, chunk, FloorArm::Unclassed);
+        let cl = run_floor(spec, count, &data, chunk, FloorArm::Classed);
+        for (r, label) in [(&un, "unclassed"), (&cl, "classed")] {
+            assert_eq!(
+                r.run.updates, iso.run.updates,
+                "[floor] {label} arm delivered a different number of updates at {count} queries"
+            );
+            assert_eq!(
+                r.run.checksum, iso.run.checksum,
+                "[floor] {label} arm diverged from isolated serving at {count} queries"
+            );
+        }
+        assert_eq!(
+            cl.stats.result_classes, 1,
+            "[floor] one geometry must form exactly one result class"
+        );
+        assert!(
+            cl.stats.class_hits > 0,
+            "[floor] classed closes must serve members off the class computation"
+        );
+        assert_eq!(
+            un.stats.class_hits, 0,
+            "[floor] the knob-off arm must never serve a memoized close"
+        );
+        let iso_us = emit(FloorArm::Isolated, count, &iso);
+        let un_us = emit(FloorArm::Unclassed, count, &un);
+        let cl_us = emit(FloorArm::Classed, count, &cl);
+        top = Some([iso_us, un_us, cl_us]);
+    }
+    t.print();
+
+    let [iso_us, un_us, cl_us] = top.expect("ladder is non-empty");
+    let top_queries = *ladder.last().expect("ladder is non-empty");
+    let improvement_vs_isolated = iso_us / cl_us;
+    let improvement_vs_unclassed = un_us / cl_us;
+    println!(
+        "\nslide-close cost at {top_queries} queries: isolated {iso_us:.3} µs/member, \
+         unclassed {un_us:.3} µs/member, classed {cl_us:.3} µs/member \
+         ({improvement_vs_isolated:.2}x vs isolated, {improvement_vs_unclassed:.2}x vs unclassed)"
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"floor\",\n  \"dataset\": \"stock\",\n  \"seed\": {seed},\n  \"len\": {len},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"geometry\": {{\"n\": {}, \"k\": {}, \"s\": {}}},\n  \"geometry_classes\": 1,\n  \"host_cpus\": {host_cpus},\n  \"top_queries\": {top_queries},\n  \"improvement_vs_isolated\": {improvement_vs_isolated:.3},\n  \"improvement_vs_unclassed\": {improvement_vs_unclassed:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        spec.n,
+        spec.k,
+        spec.s,
         json_runs.join(",\n")
     );
     std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));

@@ -754,6 +754,144 @@ pub fn run_fanout_grouped_sharded(
     }
 }
 
+/// Which serving shape a `floor` preset arm exercises over one fixed
+/// window geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloorArm {
+    /// Isolated sessions: every member runs a full engine slide per
+    /// close — the reference the checksums are anchored to.
+    Isolated,
+    /// Grouped with result-class pooling disabled
+    /// (`Hub::set_result_class_sharing(false)`): members share the
+    /// group's ingest but each solo class still computes its own
+    /// `apply_slide_top`, diff, and snapshot per close — the
+    /// pre-memoization per-member update floor.
+    Unclassed,
+    /// Grouped with result-class pooling (the default): one computed
+    /// close per class, then a refcount bump plus an id/slide tag per
+    /// member.
+    Classed,
+}
+
+impl FloorArm {
+    /// JSON/table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FloorArm::Isolated => "isolated",
+            FloorArm::Unclassed => "unclassed",
+            FloorArm::Classed => "classed",
+        }
+    }
+}
+
+/// One measured `floor` configuration: whole-stream timing plus the
+/// **slide-close split** the memoization claim rests on. Quiet publishes
+/// (no slide anywhere) price the shared ingest; close publishes price
+/// serving — the per-member cost the result-class tier collapses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorRun {
+    /// Whole-stream timing and equivalence evidence.
+    pub run: HubRun,
+    /// The hub's counters after the run ([`HubStats::class_hits`] proves
+    /// memoized serving happened; zero proves it could not have).
+    pub stats: HubStats,
+    /// Publishes that completed at least one slide.
+    pub closes: u64,
+    /// Wall-clock total of those close publishes.
+    pub close_elapsed: Duration,
+    /// Objects published by calls that completed no slide.
+    pub quiet_objects: u64,
+    /// Wall-clock total of those quiet publishes.
+    pub quiet_elapsed: Duration,
+}
+
+impl FloorRun {
+    /// Mean serving cost per member per close, in microseconds — the
+    /// per-member update floor. `None` before the first close.
+    pub fn close_us_per_member(&self, members: usize) -> Option<f64> {
+        (self.closes > 0 && members > 0)
+            .then(|| self.close_elapsed.as_secs_f64() * 1e6 / (self.closes as f64 * members as f64))
+    }
+
+    /// Per-object cost of the pure ingest path, like
+    /// [`FanoutRun::quiet_ns_per_object`].
+    pub fn quiet_ns_per_object(&self) -> Option<f64> {
+        (self.quiet_objects > 0)
+            .then(|| self.quiet_elapsed.as_secs_f64() * 1e9 / self.quiet_objects as f64)
+    }
+}
+
+/// Serves `members` same-geometry SAP queries over `data` in one of the
+/// three [`FloorArm`] shapes, timing every publish individually so close
+/// and quiet costs separate. Checksums are comparable across arms over
+/// the same inputs — equal iff result classes (and the group plane under
+/// them) are byte-identical to isolated serving.
+pub fn run_floor(
+    spec: WindowSpec,
+    members: usize,
+    data: &[Object],
+    chunk: usize,
+    arm: FloorArm,
+) -> FloorRun {
+    let mut hub = Hub::new();
+    if arm == FloorArm::Unclassed {
+        hub.set_result_class_sharing(false);
+    }
+    for _ in 0..members {
+        match arm {
+            FloorArm::Isolated => {
+                hub.register_boxed(Algo::Sap.build(spec));
+            }
+            FloorArm::Unclassed | FloorArm::Classed => {
+                let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
+                    .and_then(|t| t.reduced())
+                    .expect("floor spec reduces");
+                hub.register_grouped_boxed(Algo::Sap.build(reduced), spec.n, spec.s)
+                    .expect("engine built over the reduced spec");
+            }
+        }
+    }
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let mut closes = 0u64;
+    let mut close_elapsed = Duration::ZERO;
+    let mut quiet_objects = 0u64;
+    let mut quiet_elapsed = Duration::ZERO;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        let before = Instant::now();
+        let batch = hub.publish(c);
+        let took = before.elapsed();
+        if batch.is_empty() {
+            quiet_objects += c.len() as u64;
+            quiet_elapsed += took;
+        } else {
+            closes += 1;
+            close_elapsed += took;
+        }
+        for u in batch {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = hub.stats();
+    FloorRun {
+        run: HubRun {
+            elapsed,
+            updates,
+            checksum,
+            digest_hits: 0,
+            digest_rebuilds: 0,
+        },
+        stats,
+        closes,
+        close_elapsed,
+        quiet_objects,
+        quiet_elapsed,
+    }
+}
+
 /// One standing query of the `hotpath` preset's **mixed-model** set:
 /// count-based, isolated time-based, or shared-plane time-based — the
 /// three session flavors whose slide-completion paths the zero-allocation

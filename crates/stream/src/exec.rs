@@ -10,7 +10,7 @@
 //! assumes — many logical partitions multiplexed onto a small reactor
 //! pool with batched wakeups:
 //!
-//! * every logical shard is a [`Slot`]: a bounded command queue plus the
+//! * every logical shard is a `Slot`: a bounded command queue plus the
 //!   same `Registry` a `ShardedHub` worker drives, applied through the
 //!   same interpreter (`apply_command`) — which is what keeps results
 //!   **byte-identical** to the sequential [`Hub`](crate::session::Hub)
@@ -121,7 +121,6 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
@@ -226,6 +225,15 @@ struct Slot {
     /// (dropping queued reply senders, so waiting hub calls observe
     /// `ShardDown`) and every later send is refused.
     dead: bool,
+    /// Times a blocking publish parked with **this** shard's queue as the
+    /// full one — per-shard backpressure attribution, so a balancer can
+    /// tell *which* shard is slow ([`AsyncHub::shard_loads`], summed into
+    /// [`HubStats::publisher_parks`] by [`AsyncHub::stats`]).
+    parks: u64,
+    /// High-water mark of this shard's queue depth, in commands —
+    /// maxed into [`HubStats::queue_depth_hwm`]. All mutations happen
+    /// under the reactor lock, so plain fields suffice.
+    depth_hwm: u64,
 }
 
 /// What a worker checks out: the same registry a `ShardedHub` worker
@@ -244,6 +252,8 @@ impl Slot {
                 updates: Vec::new(),
             })),
             dead: false,
+            parks: 0,
+            depth_hwm: 0,
         }
     }
 
@@ -262,6 +272,10 @@ struct ExecState {
     slots: Vec<Slot>,
     scheduler: Box<dyn Scheduler>,
     shutdown: bool,
+    /// Parks accumulated by slots retired through
+    /// [`AsyncHub::resize`] — keeps the hub-lifetime
+    /// [`AsyncHub::publisher_parks`] total monotone across placements.
+    retired_parks: u64,
 }
 
 /// The single reactor every worker and the hub thread rendezvous on: one
@@ -273,10 +287,6 @@ struct Reactor {
     room_cv: Condvar,
     /// Queue bound per shard, in commands.
     capacity: usize,
-    /// Times a blocking publish parked because some target queue was
-    /// full — the backpressure visibility metric behind
-    /// [`AsyncHub::publisher_parks`].
-    parks: AtomicU64,
 }
 
 impl Reactor {
@@ -286,11 +296,11 @@ impl Reactor {
                 slots: (0..num_shards).map(|i| Slot::new(i, capacity)).collect(),
                 scheduler,
                 shutdown: false,
+                retired_parks: 0,
             }),
             work_cv: Condvar::new(),
             room_cv: Condvar::new(),
             capacity,
-            parks: AtomicU64::new(0),
         }
     }
 
@@ -337,26 +347,31 @@ impl Reactor {
         }
         let mut state = self.state();
         loop {
-            let mut full = false;
+            let mut full = None;
             for &shard in targets {
                 let slot = &state.slots[shard];
                 if slot.dead {
                     return Err(SapError::ShardDown { shard });
                 }
                 if slot.queue.len() >= self.capacity {
-                    full = true;
+                    full = Some(shard);
                     break;
                 }
             }
-            if !full {
+            let Some(culprit) = full else {
                 for &shard in targets {
-                    state.slots[shard].queue.push_back(make());
+                    let slot = &mut state.slots[shard];
+                    slot.queue.push_back(make());
+                    slot.depth_hwm = slot.depth_hwm.max(slot.queue.len() as u64);
                 }
                 drop(state);
                 self.work_cv.notify_all();
                 return Ok(());
-            }
-            self.parks.fetch_add(1, Ordering::Relaxed);
+            };
+            // the park is charged to the shard whose queue blocked it —
+            // that attribution is what lets a balancer see *which* shard
+            // is slow rather than just that something parked
+            state.slots[culprit].parks += 1;
             state = self.wait_room(state);
         }
     }
@@ -377,7 +392,9 @@ impl CommandPort for Reactor {
             }
             state = self.wait_room(state);
         }
-        state.slots[shard].queue.push_back(cmd);
+        let slot = &mut state.slots[shard];
+        slot.queue.push_back(cmd);
+        slot.depth_hwm = slot.depth_hwm.max(slot.queue.len() as u64);
         drop(state);
         self.work_cv.notify_one();
         Ok(())
@@ -414,6 +431,26 @@ fn worker_loop(reactor: Arc<Reactor>, worker: usize) {
                     let core = state.slots[shard].core.take().expect("ready ⇒ resident");
                     let take = state.slots[shard].queue.len().min(COMMANDS_PER_WAKEUP);
                     batch.extend(state.slots[shard].queue.drain(..take));
+                    // group-aware burst: never cut a run of ingestion
+                    // commands at the batch bound — a slide close whose
+                    // class fan-out would straddle it drains inside this
+                    // single wakeup's catch_unwind lease instead of
+                    // interleaving member emissions across two lock
+                    // crossings. Bounded by the queue capacity, so a
+                    // backlogged shard still cannot monopolize a worker
+                    // past one queue's worth of commands.
+                    while batch.back().is_some_and(Command::is_ingest)
+                        && state.slots[shard]
+                            .queue
+                            .front()
+                            .is_some_and(Command::is_ingest)
+                    {
+                        let cmd = state.slots[shard]
+                            .queue
+                            .pop_front()
+                            .expect("front observed above");
+                        batch.push_back(cmd);
+                    }
                     break (shard, core);
                 }
                 if state.shutdown {
@@ -541,6 +578,9 @@ pub struct AsyncHub {
     targets: Vec<usize>,
     pool: ArcPool<Object>,
     timed_pool: ArcPool<TimedObject>,
+    /// The result-class registration knob, remembered hub-side so slots
+    /// created by [`resize`](AsyncHub::resize) inherit it.
+    class_sharing: bool,
 }
 
 impl std::fmt::Debug for AsyncHub {
@@ -611,6 +651,7 @@ impl AsyncHub {
             targets: Vec::new(),
             pool: ArcPool::new(),
             timed_pool: ArcPool::new(),
+            class_sharing: true,
         }
     }
 
@@ -847,11 +888,32 @@ impl AsyncHub {
         self.publish(objects).map(|()| true)
     }
 
-    /// How many times a blocking publish parked on a full queue so far —
-    /// the backpressure visibility metric (`BENCH_async.json` reports
-    /// it; a serving deployment wants it near zero).
+    /// How many times a blocking publish parked on a full queue so far,
+    /// over the hub's whole lifetime — the backpressure visibility
+    /// metric (`BENCH_async.json` reports it; a serving deployment wants
+    /// it near zero). Derived from the per-shard counters (plus parks
+    /// retired by [`resize`](AsyncHub::resize)); use
+    /// [`shard_loads`](AsyncHub::shard_loads) for the attribution.
     pub fn publisher_parks(&self) -> u64 {
-        self.reactor.parks.load(Ordering::Relaxed)
+        let state = self.reactor.state();
+        state.retired_parks + state.slots.iter().map(|s| s.parks).sum::<u64>()
+    }
+
+    /// Per-shard backpressure counters for the **current placement**:
+    /// `(parks, queue_depth_hwm)` for each logical shard, indexed by
+    /// shard. Parks are charged to the shard whose full queue blocked
+    /// the publisher; the high-water mark is the deepest its queue has
+    /// been, in commands — together they tell a balancer *which* shard
+    /// is slow ([`HubStats`] carries the hub-wide sum/max of the same
+    /// counters). Reset by [`resize`](AsyncHub::resize), which replaces
+    /// the slots.
+    pub fn shard_loads(&self) -> Vec<(u64, u64)> {
+        let state = self.reactor.state();
+        state
+            .slots
+            .iter()
+            .map(|slot| (slot.parks, slot.depth_hwm))
+            .collect()
     }
 
     // ---- collection -------------------------------------------------------
@@ -882,10 +944,18 @@ impl AsyncHub {
 
     /// Hub-wide query counts and sharing metrics, summed across shards
     /// (debug builds audit the group shard-locality invariant the sums
-    /// rely on).
+    /// rely on). The backpressure pair — `publisher_parks` (hub-lifetime
+    /// sum) and `queue_depth_hwm` (max over the current placement) —
+    /// lives reactor-side, so it is overlaid here rather than reported
+    /// by the shard registries.
     pub fn stats(&mut self) -> Result<HubStats, SapError> {
         self.flush_pending_one()?;
-        stats_on(&self.placement, &*self.reactor)
+        let mut stats = stats_on(&self.placement, &*self.reactor)?;
+        let state = self.reactor.state();
+        stats.publisher_parks =
+            state.retired_parks + state.slots.iter().map(|s| s.parks).sum::<u64>();
+        stats.queue_depth_hwm = state.slots.iter().map(|s| s.depth_hwm).max().unwrap_or(0);
+        Ok(stats)
     }
 
     /// Iterates the registered query handles in ascending (=
@@ -963,8 +1033,7 @@ impl AsyncHub {
     pub fn resize(&mut self, num_shards: usize) -> Result<(), SapError> {
         let num_shards = num_shards.max(1);
         self.flush_pending_one()?;
-        let (merged, parked) = eject_all_on(&self.placement, &*self.reactor)?;
-        self.parked_updates.extend(parked);
+        let merged = eject_all_on(&self.placement, &*self.reactor, &mut self.parked_updates)?;
         // quiesce: eject replies guarantee empty queues, but a worker
         // may still hold a core between unlock and put-back — wait until
         // every live slot is whole before swapping the slot vector
@@ -973,12 +1042,41 @@ impl AsyncHub {
             while !state.slots.iter().all(Slot::idle) {
                 state = self.reactor.wait_room(state);
             }
+            // retire the old slots' park counts so publisher_parks()
+            // stays monotone across placements (depth HWMs are
+            // per-placement by design and start fresh)
+            state.retired_parks += state.slots.iter().map(|s| s.parks).sum::<u64>();
             state.slots = (0..num_shards)
                 .map(|i| Slot::new(i, self.reactor.capacity))
                 .collect();
         }
         self.placement.reset(num_shards);
-        place_parts_on(&mut self.placement, &*self.reactor, merged)
+        place_parts_on(&mut self.placement, &*self.reactor, merged)?;
+        // fresh slots serve fresh registries, which default to pooling;
+        // re-broadcast a disabled knob
+        if !self.class_sharing {
+            self.broadcast_class_sharing()?;
+        }
+        Ok(())
+    }
+
+    /// Enables or disables result-class pooling for **future
+    /// registrations** on every shard (default: enabled) — same contract
+    /// as [`ShardedHub::set_result_class_sharing`](crate::shard::ShardedHub::set_result_class_sharing):
+    /// results are byte-identical either way, the knob only trades the
+    /// memoized slide close for per-member serving.
+    pub fn set_result_class_sharing(&mut self, enabled: bool) -> Result<(), SapError> {
+        self.flush_pending_one()?;
+        self.class_sharing = enabled;
+        self.broadcast_class_sharing()
+    }
+
+    fn broadcast_class_sharing(&self) -> Result<(), SapError> {
+        for shard in 0..self.placement.num_shards() {
+            self.reactor
+                .send(shard, Command::SetClassSharing(self.class_sharing))?;
+        }
+        Ok(())
     }
 }
 

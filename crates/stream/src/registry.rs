@@ -61,18 +61,42 @@
 //! [`count_group_rebuilds`](HubStats::count_group_rebuilds), so the
 //! sharing ratio is observable.
 //!
+//! ## Result classes
+//!
+//! Grouping makes *ingest* O(groups), but every slide close still walked
+//! every member, re-running an identical reduction and diff for members
+//! with the same view. The second tier collapses that per-member floor:
+//! within each count group, members are partitioned into **result
+//! classes** keyed by `(n, k, join_slide)` — a member's emissions are a
+//! pure function of the group's stream and that key, so one class
+//! computes byte-identical snapshots for all its members. The class owns
+//! the one [`SharedTimed`] consumer the members share; a slide close runs
+//! the reduction, the ordinal → external-id translation, and the delta
+//! diff **once per class**, and each member emission is two refcount
+//! bumps plus an inline event copy (zero heap allocations on a quiet
+//! slide). The shared timed plane classes the same way by `(wd, k)` for
+//! members that joined a pristine group; mid-stream joiners warm up solo
+//! and stay solo after promotion (their class membership is not provable
+//! until their partial join slide has left the window). Emissions served
+//! from a class beyond the one computing member are counted as
+//! [`class_hits`](HubStats::class_hits); classes are derivable from
+//! member state, so checkpoints carry no class section and restore
+//! rebuilds them — with every byte of the checkpoint identical to the
+//! pre-class encoding.
+//!
 //! [`Hub`]: crate::session::Hub
 //! [`ShardedHub`]: crate::shard::ShardedHub
 
 use std::collections::{HashMap, VecDeque};
 
 use crate::checkpoint::{tags, CheckpointError, Decoder, Encoder};
-use crate::digest::{DigestProducer, DigestRef, SharedTimed};
-use crate::events::SlideResult;
+use crate::digest::{DigestProducer, DigestRef, DigestView, SharedTimed};
+use crate::events::{EventList, SlideResult, Snapshot};
 use crate::object::{Object, TimedObject};
 use crate::query::{SapError, TimedSpec};
 use crate::session::{
-    AnySession, GroupedSession, QueryId, QueryUpdate, Session, SharedSession, TimedSession,
+    close_staged, AnySession, GroupedSession, QueryId, QueryUpdate, Session, SharedSession,
+    SlideScratch, TimedSession,
 };
 use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
 
@@ -121,6 +145,30 @@ pub struct HubStats {
     /// Slides computed by **isolated** count sessions outside the shared
     /// count plane — the per-query work grouping would have pooled.
     pub count_group_rebuilds: u64,
+    /// Live result classes across both sharing planes (see the module
+    /// docs on result classes): distinct `(n, k, join_slide)` cohorts inside
+    /// count groups plus `(wd, k)` cohorts inside slide groups. Equals
+    /// the number of reductions actually run per slide close; the gap to
+    /// `grouped_queries + shared_queries` is the work the second tier
+    /// collapses.
+    pub result_classes: u64,
+    /// Member emissions served from a class-level computation **beyond**
+    /// the one that ran it — per-slide-close work the class memoized
+    /// away. Zero while every class is solo (sharing disabled, or no two
+    /// members share a view). Derived observability: resets on
+    /// checkpoint restore and on `resize`, unlike the hit/rebuild
+    /// counters (the checkpoint format predates it and carries no slot).
+    pub class_hits: u64,
+    /// Times a publisher parked (blocked on a full shard queue) —
+    /// [`AsyncHub`](crate::exec::AsyncHub) backpressure. Summed across
+    /// shards by [`merge`](HubStats::merge); the per-shard split lives in
+    /// `AsyncHub::shard_loads`, so a balancer can tell *which* shard is
+    /// slow. Always 0 on the sequential and thread-per-shard hubs.
+    pub publisher_parks: u64,
+    /// High-water mark of any one shard's command-queue depth —
+    /// **max**-merged, not summed, so the hub-wide value is the worst
+    /// shard's. Always 0 outside `AsyncHub`.
+    pub queue_depth_hwm: u64,
 }
 
 impl HubStats {
@@ -165,6 +213,12 @@ impl HubStats {
         self.count_groups += other.count_groups;
         self.count_group_hits += other.count_group_hits;
         self.count_group_rebuilds += other.count_group_rebuilds;
+        self.result_classes += other.result_classes;
+        self.class_hits += other.class_hits;
+        self.publisher_parks += other.publisher_parks;
+        // a high-water mark is a per-shard extremum, not a partition of a
+        // hub-wide quantity — the merged value is the worst shard's
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
     }
 }
 
@@ -209,11 +263,60 @@ impl GroupKeys {
     }
 }
 
-/// One slide group: the shared producer plus its member count (sessions
-/// in [`Registry::sessions`] with this `slide_duration`).
-struct DigestGroup {
+/// One slide group: the shared producer, its member count (sessions in
+/// [`Registry::sessions`] with this `slide_duration`), and the result
+/// classes collapsing same-`(wd, k)` members into one evaluation.
+struct DigestGroup<C: SlidingTopK> {
     producer: DigestProducer,
     members: usize,
+    /// Result classes of the members that are provably view-equivalent
+    /// (joined the group pristine, or byte-matched at installation).
+    /// Warming-up and promoted-solo members are served individually and
+    /// appear in no class.
+    classes: Vec<SharedClass<C>>,
+}
+
+/// One **result class** of a slide group: every member with this
+/// `(window_duration, k)` that joined the pristine group computes
+/// byte-identical slides, so the class owns their one consumer and runs
+/// each digest's reduction + diff once, and members stamp the shared
+/// snapshot (see [`SharedSession::emit_class`]).
+struct SharedClass<C: SlidingTopK> {
+    wd: u64,
+    k: usize,
+    /// The one consumer serving every member (members' own `consumer`
+    /// fields are `None` while classed).
+    consumer: SharedTimed<C>,
+    /// Member query ids, ascending.
+    members: Vec<QueryId>,
+    /// The class's previous emission — byte-equal to every member's by
+    /// construction, so the class-level diff is valid for all of them.
+    prev: Snapshot,
+    scratch: SlideScratch,
+    /// The last closed slide's delta, staged once per class and cloned
+    /// (inline, allocation-free when unchanged) per member.
+    events: EventList,
+}
+
+impl<C: SlidingTopK> SharedClass<C> {
+    fn new(consumer: SharedTimed<C>, member: QueryId, prev: Snapshot) -> Self {
+        SharedClass {
+            wd: consumer.window_duration(),
+            k: consumer.k(),
+            consumer,
+            members: vec![member],
+            prev,
+            scratch: SlideScratch::new(),
+            events: EventList::new(),
+        }
+    }
+
+    /// The class-level half of a slide close: one reduction, one diff.
+    fn close(&mut self, digest: &DigestRef) -> Snapshot {
+        let top = self.consumer.apply_digest(digest);
+        self.scratch.stage_timed(top);
+        close_staged(&mut self.prev, &mut self.scratch, &mut self.events)
+    }
 }
 
 /// One count group — a `(slide length, registration offset mod s)`
@@ -222,7 +325,7 @@ struct DigestGroup {
 /// id and synthetic timestamp), so the module's one slide-truncation
 /// rule — equal scores break toward the higher id — lands on arrival
 /// recency, exactly matching an isolated [`Session`]'s tie-break.
-struct CountGroup {
+struct CountGroup<C: SlidingTopK> {
     /// Arrival-count slide length (`s`) shared by every member.
     slide_len: usize,
     /// The shared per-slide truncation at `k_max` over group ordinals.
@@ -242,6 +345,68 @@ struct CountGroup {
     member_ids: Vec<QueryId>,
     /// Objects this group has observed = the next group ordinal.
     next_ordinal: u64,
+    /// The members partitioned into result classes by `(n, k,
+    /// join_slide)` — every member appears in exactly one class, and a
+    /// slide close runs one reduction + diff per class, not per member.
+    classes: Vec<CountClass<C>>,
+}
+
+/// One **result class** of a count group: its members share `(n, k,
+/// join_slide)`, so their emissions are the same pure function of the
+/// group's stream — the class owns their one [`SharedTimed`] consumer
+/// and computes each slide close once (see the [module docs](self)).
+struct CountClass<C: SlidingTopK> {
+    n: usize,
+    k: usize,
+    /// The group slide the class's members joined at — their private
+    /// slide 0.
+    join_slide: u64,
+    /// The one consumer serving every member.
+    consumer: SharedTimed<C>,
+    /// Member query ids, ascending.
+    members: Vec<QueryId>,
+    /// The class's previous emission (byte-equal to every member's).
+    prev: Snapshot,
+    scratch: SlideScratch,
+    /// The last closed slide's delta, computed once and cloned per
+    /// member (inline — allocation-free when it fits 8 events).
+    events: EventList,
+}
+
+impl<C: SlidingTopK> CountClass<C> {
+    fn new(
+        spec: WindowSpec,
+        join_slide: u64,
+        consumer: SharedTimed<C>,
+        member: QueryId,
+        prev: Snapshot,
+    ) -> Self {
+        CountClass {
+            n: spec.n,
+            k: spec.k,
+            join_slide,
+            consumer,
+            members: vec![member],
+            prev,
+            scratch: SlideScratch::new(),
+            events: EventList::new(),
+        }
+    }
+
+    /// The class-level half of a group slide close: one reduction, one
+    /// ordinal → external-id translation, one diff — whatever the class's
+    /// member count.
+    fn close(&mut self, view: DigestView<'_>, ring: &VecDeque<u64>, ring_base: u64) -> Snapshot {
+        let top = self
+            .consumer
+            .apply_slide_top(view.slide - self.join_slide, view.top);
+        self.scratch.snapshot.clear();
+        self.scratch.snapshot.extend(
+            top.iter()
+                .map(|o| Object::new(ring[(o.id - ring_base) as usize], o.score)),
+        );
+        close_staged(&mut self.prev, &mut self.scratch, &mut self.events)
+    }
 }
 
 /// A count group's portable state — what travels through checkpoints and
@@ -270,13 +435,13 @@ impl CountGroupState {
 pub(crate) struct Registry<C: SlidingTopK, T: TimedTopK> {
     sessions: Vec<(QueryId, AnySession<C, T>)>,
     /// `slide_duration` → the group serving every shared session with it.
-    groups: HashMap<u64, DigestGroup>,
+    groups: HashMap<u64, DigestGroup<C>>,
     /// Live group id → the count group serving its grouped members. Keys
     /// are opaque registry-local handles (geometry is *derivable* — a
     /// group's offset class is `next_ordinal mod s` relative to this
     /// registry's stream — but never used as an identity, because it
     /// shifts across checkpoint/restore/resize epochs).
-    count_groups: HashMap<u64, CountGroup>,
+    count_groups: HashMap<u64, CountGroup<C>>,
     /// Next live count-group id. Monotonic per registry lifetime; never
     /// reused, so a stale handle can't alias a newer group.
     next_count_gid: u64,
@@ -288,6 +453,18 @@ pub(crate) struct Registry<C: SlidingTopK, T: TimedTopK> {
     digest_rebuilds: u64,
     count_group_hits: u64,
     count_group_rebuilds: u64,
+    /// Member emissions served from a class computation beyond the
+    /// computing member — see [`HubStats::class_hits`]. Not persisted
+    /// (the checkpoint counter section predates it), so it resets on
+    /// restore and resize.
+    class_hits: u64,
+    /// Whether registration may pool view-equivalent members into shared
+    /// result classes (default). Disabled, every grouped registration
+    /// founds a solo class and every shared registration stays solo —
+    /// the pre-memoization serving shape the floor bench compares
+    /// against. Re-classing of *traveling* members (restore, migration)
+    /// ignores the flag where a member cannot serve without its class.
+    class_sharing: bool,
     /// Pooled untimed view of a timed batch (for count-based sessions).
     plain_buf: Vec<Object>,
     /// Recent high-water mark of updates per publish call — the capacity
@@ -319,6 +496,8 @@ impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
             digest_rebuilds: 0,
             count_group_hits: 0,
             count_group_rebuilds: 0,
+            class_hits: 0,
+            class_sharing: true,
             plain_buf: Vec::new(),
             update_hint: 0,
             shard: None,
@@ -407,6 +586,10 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
         let mut member_counts = vec![0usize; groups.len()];
         // per count group: member count and deepest member window
         let mut count_members = vec![(0usize, 0usize); count_groups.len()];
+        // per count-group result class `(group, n, k, join_slide)`:
+        // whether any member carries the class's consumer — installation
+        // has nothing to serve the class from otherwise
+        let mut class_consumers: HashMap<(u64, usize, usize, u64), bool> = HashMap::new();
         for (_, session) in &sessions {
             match session {
                 AnySession::Shared(s) => {
@@ -416,9 +599,14 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
                             "shared session without its slide group",
                         ));
                     };
-                    if groups[pos].1.k_max() < s.consumer().k() {
+                    if groups[pos].1.k_max() < s.timed_spec().k {
                         return Err(CheckpointError::Corrupt(
                             "slide group shallower than a member's k",
+                        ));
+                    }
+                    if s.is_warming_up() && s.consumer().is_none() {
+                        return Err(CheckpointError::Corrupt(
+                            "warming shared member without its consumer",
                         ));
                     }
                     member_counts[pos] += 1;
@@ -447,17 +635,57 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
                         ));
                     }
                     // count slides never straddle a checkpoint boundary,
-                    // so every member is exactly caught up to its group
-                    if g.consumer().slides_applied() != next - g.join_slide() {
-                        return Err(CheckpointError::Corrupt(
-                            "count-group member out of step with its group",
-                        ));
+                    // so every member is exactly caught up to its group —
+                    // validated on whichever member carries the class's
+                    // consumer (a decoded session always does; ejected
+                    // class followers travel without one)
+                    if let Some(consumer) = g.consumer() {
+                        if consumer.slides_applied() != next - g.join_slide() {
+                            return Err(CheckpointError::Corrupt(
+                                "count-group member out of step with its group",
+                            ));
+                        }
                     }
+                    let has = class_consumers
+                        .entry((g.group(), spec.n, spec.k, g.join_slide()))
+                        .or_insert(false);
+                    *has |= g.consumer().is_some();
                     let entry = &mut count_members[g.group() as usize];
                     entry.0 += 1;
                     entry.1 = entry.1.max(spec.n);
                 }
                 _ => {}
+            }
+        }
+        if class_consumers.values().any(|has| !*has) {
+            return Err(CheckpointError::Corrupt(
+                "count-group result class without a consumer",
+            ));
+        }
+        // an ejected class follower travels behind its representative,
+        // which must be present (same slide group) and carry a consumer
+        for (_, session) in &sessions {
+            let AnySession::Shared(s) = session else {
+                continue;
+            };
+            if s.consumer().is_some() {
+                continue;
+            }
+            let Some(rep) = s.class_rep() else {
+                return Err(CheckpointError::Corrupt(
+                    "classed shared member without a class representative",
+                ));
+            };
+            let sd = s.slide_duration();
+            let ok = sessions.iter().any(|(id, other)| {
+                *id == rep
+                    && matches!(other, AnySession::Shared(r)
+                        if r.consumer().is_some() && r.slide_duration() == sd)
+            });
+            if !ok {
+                return Err(CheckpointError::Corrupt(
+                    "shared result class without its representative",
+                ));
             }
         }
         if member_counts.contains(&0) {
@@ -549,6 +777,18 @@ fn note_update_hint(hint: &mut usize, emitted: usize) {
     }
 }
 
+/// Canonical byte signature of a consumer's replayable state — the same
+/// bytes `encode_checkpoint` would write for it. Two consumers with
+/// equal spec, slide progress, and signature provably compute identical
+/// futures, which is what lets installation pool restored or migrated
+/// members back into result classes (and drop the duplicate consumer
+/// losslessly) without the checkpoint carrying any class structure.
+fn consumer_sig<C: SlidingTopK>(consumer: &SharedTimed<C>) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    consumer.encode_state(&mut enc);
+    enc.into_payload()
+}
+
 impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// A registry tagged with its owning shard index, so group-affinity
     /// routing bugs trip the debug assertion in
@@ -617,14 +857,54 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                         ring_cap: spec.n + spec.s,
                         member_ids: vec![id],
                         next_ordinal: 0,
+                        classes: Vec::new(),
                     },
                 );
                 (gid, 0)
             }
         };
+        // the member's result class: with pooling on, join the group's
+        // class with the exact `(n, k, join_slide)` key — matching keys
+        // mean the class is still at its (open) join slide, so the
+        // incoming fresh consumer is a byte-for-byte duplicate of the
+        // class's and dropping it is lossless. Otherwise found a new
+        // class around the consumer (pooling off founds only — uniform
+        // solo classes are the pre-memoization serving shape).
+        let engine_name: Box<str> = consumer.name().into();
+        let group = self
+            .count_groups
+            .get_mut(&gid)
+            .expect("the member's group was just joined or founded");
+        let joined = self.class_sharing
+            && match group
+                .classes
+                .iter_mut()
+                .find(|c| c.n == spec.n && c.k == spec.k && c.join_slide == join_slide)
+            {
+                Some(class) => {
+                    debug_assert_eq!(
+                        class.consumer.slides_applied(),
+                        0,
+                        "a joinable class is at its still-open join slide"
+                    );
+                    // ids are monotonic: pushing keeps members ascending
+                    class.members.push(id);
+                    true
+                }
+                None => false,
+            };
+        if !joined {
+            group.classes.push(CountClass::new(
+                spec,
+                join_slide,
+                consumer,
+                id,
+                Snapshot::empty(),
+            ));
+        }
         self.sessions.push((
             id,
-            AnySession::Grouped(GroupedSession::new(consumer, spec, join_slide, gid)),
+            AnySession::Grouped(GroupedSession::new(engine_name, spec, join_slide, gid)),
         ));
     }
 
@@ -659,6 +939,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         let group = self.groups.entry(sd).or_insert_with(|| DigestGroup {
             producer: DigestProducer::new(sd, k),
             members: 0,
+            classes: Vec::new(),
         });
         group.producer.grow_k_max(k);
         group.members += 1;
@@ -667,10 +948,43 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         } else {
             Some(group.producer.next_slide())
         };
-        self.sessions.push((
-            id,
-            AnySession::Shared(SharedSession::new(consumer, join_slide)),
-        ));
+        // pristine joiners with one `(wd, k)` provably compute
+        // byte-identical slides — everything they will ever see starts
+        // now — so pooling collapses them into one result class (whose
+        // consumer, in a pristine group, has seen nothing either, making
+        // the duplicate consumer droppable). Mid-stream joiners warm up
+        // solo and stay solo after promotion: their class membership is
+        // not provable while their partial join slide is in the window.
+        let session = if join_slide.is_none() && self.class_sharing {
+            let spec = TimedSpec {
+                window_duration: consumer.window_duration(),
+                slide_duration: sd,
+                k,
+            };
+            let engine_name: Box<str> = consumer.name().into();
+            match group
+                .classes
+                .iter_mut()
+                .find(|c| c.wd == spec.window_duration && c.k == k)
+            {
+                Some(class) => {
+                    debug_assert_eq!(
+                        class.consumer.slides_applied(),
+                        0,
+                        "a pristine group's classes have seen nothing"
+                    );
+                    // ids are monotonic: pushing keeps members ascending
+                    class.members.push(id);
+                }
+                None => group
+                    .classes
+                    .push(SharedClass::new(consumer, id, Snapshot::empty())),
+            }
+            SharedSession::new_classed(spec, engine_name)
+        } else {
+            SharedSession::new(consumer, join_slide)
+        };
+        self.sessions.push((id, AnySession::Shared(session)));
     }
 
     /// Removes a query, handing its session back; `None` for unknown ids.
@@ -679,24 +993,49 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// one), and a departing deepest member shrinks the group's digest
     /// depth back to the remaining members' maximum `k` — exact even
     /// mid-slide, for the same reason `k_max` growth is.
+    ///
+    /// A **classed** member also leaves its result class: the last one
+    /// out takes the class's consumer with it (so the returned session
+    /// carries its full engine state, like before result classes), while
+    /// an earlier leaver hands its share back and is returned without a
+    /// consumer — engines are not `Clone`, and the state keeps serving
+    /// the members staying behind.
     pub(crate) fn unregister(&mut self, id: QueryId) -> Option<AnySession<C, T>> {
         let pos = self.sessions.iter().position(|(q, _)| *q == id)?;
-        let (_, session) = self.sessions.remove(pos);
-        match &session {
+        let (_, mut session) = self.sessions.remove(pos);
+        match &mut session {
             AnySession::Count(_) => self.isolated_counts -= 1,
             AnySession::Shared(s) => {
                 let sd = s.slide_duration();
                 if let Some(group) = self.groups.get_mut(&sd) {
+                    if s.is_classed() {
+                        let ci = group
+                            .classes
+                            .iter()
+                            .position(|c| c.members.contains(&id))
+                            .expect("a classed member's group holds its class");
+                        let class = &mut group.classes[ci];
+                        let mi = class
+                            .members
+                            .iter()
+                            .position(|m| *m == id)
+                            .expect("the class holds its member");
+                        class.members.remove(mi);
+                        if class.members.is_empty() {
+                            let class = group.classes.remove(ci);
+                            s.adopt_consumer(class.consumer);
+                        }
+                    }
                     group.members -= 1;
                     if group.members == 0 {
                         self.groups.remove(&sd);
-                    } else if s.consumer().k() >= group.producer.k_max() {
+                    } else if s.timed_spec().k >= group.producer.k_max() {
                         let k_max = self
                             .sessions
                             .iter()
                             .filter_map(|(_, sess)| match sess {
                                 AnySession::Shared(m) if m.slide_duration() == sd => {
-                                    Some(m.consumer().k())
+                                    Some(m.timed_spec().k)
                                 }
                                 _ => None,
                             })
@@ -711,6 +1050,20 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 if let Some(group) = self.count_groups.get_mut(&gid) {
                     if let Some(p) = group.member_ids.iter().position(|m| *m == id) {
                         group.member_ids.remove(p);
+                    }
+                    // same class-leave rule as the shared plane
+                    if let Some(ci) = group.classes.iter().position(|c| c.members.contains(&id)) {
+                        let class = &mut group.classes[ci];
+                        let mi = class
+                            .members
+                            .iter()
+                            .position(|m| *m == id)
+                            .expect("the class holds its member");
+                        class.members.remove(mi);
+                        if class.members.is_empty() {
+                            let class = group.classes.remove(ci);
+                            g.adopt_consumer(class.consumer);
+                        }
                     }
                     if group.member_ids.is_empty() {
                         self.count_groups.remove(&gid);
@@ -756,6 +1109,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             count_groups,
             isolated_counts,
             count_group_hits,
+            class_hits,
             count_group_rebuilds,
             update_hint,
             ..
@@ -778,6 +1132,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             sessions,
             count_groups,
             count_group_hits,
+            class_hits,
             objects,
             &mut out,
             hint,
@@ -799,12 +1154,15 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// translation ring still covers everything the emission references
     /// even when one batch spans many slides. Per-object cost is
     /// O(count groups), not O(grouped queries); the member fan-out is
-    /// amortized (each member is touched once per *slide*, not per
-    /// object).
+    /// per *slide*, and within it the reduction + ordinal translation +
+    /// diff run once per **result class** ([`CountClass::close`]) — each
+    /// member emission is just a stamp of the class's shared snapshot
+    /// ([`GroupedSession::emit_class`]).
     fn serve_count_groups(
         sessions: &mut [(QueryId, AnySession<C, T>)],
-        count_groups: &mut HashMap<u64, CountGroup>,
+        count_groups: &mut HashMap<u64, CountGroup<C>>,
         hits: &mut u64,
+        class_hits: &mut u64,
         objects: &[Object],
         out: &mut Vec<QueryUpdate>,
         hint: usize,
@@ -818,6 +1176,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 ring_cap,
                 member_ids,
                 next_ordinal,
+                classes,
             } = group;
             for o in objects {
                 let r = *next_ordinal;
@@ -838,19 +1197,25 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 });
                 if producer.pending_len() == *slide_len {
                     producer.close_slide_with(|view| {
-                        for &member in member_ids.iter() {
-                            let idx = sessions
-                                .binary_search_by_key(&member, |(id, _)| *id)
-                                .expect("count-group member ids name registered sessions");
-                            let (id, session) = &mut sessions[idx];
-                            let AnySession::Grouped(session) = session else {
-                                unreachable!("count-group member ids name grouped sessions")
-                            };
-                            let mut sink = tagged_sink(out, hint, *id);
-                            session.apply_group_slide(view, ring, *ring_base, &mut sink);
+                        for class in classes.iter_mut() {
+                            let snapshot = class.close(view, ring, *ring_base);
+                            for &member in &class.members {
+                                let idx = sessions
+                                    .binary_search_by_key(&member, |(id, _)| *id)
+                                    .expect("count-group member ids name registered sessions");
+                                let (id, session) = &mut sessions[idx];
+                                let AnySession::Grouped(session) = session else {
+                                    unreachable!("count-group member ids name grouped sessions")
+                                };
+                                let mut sink = tagged_sink(out, hint, *id);
+                                session.emit_class(&snapshot, &class.events, &mut sink);
+                            }
                         }
                     });
                     *hits += member_ids.len() as u64;
+                    // classes partition the members, so the members past
+                    // one-per-class were served without a reduction
+                    *class_hits += (member_ids.len() - classes.len()) as u64;
                 }
             }
         }
@@ -874,6 +1239,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digest_rebuilds,
             count_group_hits,
             count_group_rebuilds,
+            class_hits,
             plain_buf,
             update_hint,
             ..
@@ -906,21 +1272,36 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 AnySession::Timed(session) => {
                     session.push_timed_each(objects, &mut tagged_sink(&mut out, hint, *id))
                 }
-                AnySession::Shared(session) => Self::serve_shared(
-                    digest_hits,
-                    digest_rebuilds,
-                    session,
-                    &closed,
-                    &mut tagged_sink(&mut out, hint, *id),
-                    |s, f| s.push_warmup(objects, f),
-                ),
+                AnySession::Shared(session) => {
+                    // classed members are served per class, below
+                    if !session.is_classed() {
+                        Self::serve_shared(
+                            digest_hits,
+                            digest_rebuilds,
+                            session,
+                            &closed,
+                            &mut tagged_sink(&mut out, hint, *id),
+                            |s, f| s.push_warmup(objects, f),
+                        )
+                    }
+                }
             }
         }
         let walked = out.len();
+        Self::serve_shared_classes(
+            sessions,
+            groups,
+            &closed,
+            digest_hits,
+            class_hits,
+            &mut out,
+            hint,
+        );
         Self::serve_count_groups(
             sessions,
             count_groups,
             count_group_hits,
+            class_hits,
             plain_buf,
             &mut out,
             hint,
@@ -928,7 +1309,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         if out.len() > walked {
             // same argument as `publish`: (QueryId, slide) keys are
             // unique and ascend per session, so sorting the appended
-            // group output back in IS registration-order delivery
+            // class and group output back in IS registration-order
+            // delivery
             out.sort_unstable_by_key(|u| (u.query, u.result.slide));
         }
         note_update_hint(update_hint, out.len());
@@ -948,6 +1330,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             groups,
             digest_hits,
             digest_rebuilds,
+            class_hits,
             update_hint,
             ..
         } = self;
@@ -959,15 +1342,36 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             match session {
                 AnySession::Count(_) | AnySession::Grouped(_) => continue,
                 AnySession::Timed(session) => session.advance_watermark_each(watermark, &mut sink),
-                AnySession::Shared(session) => Self::serve_shared(
-                    digest_hits,
-                    digest_rebuilds,
-                    session,
-                    &closed,
-                    &mut sink,
-                    |s, f| s.advance_warmup(watermark, f),
-                ),
+                AnySession::Shared(session) => {
+                    // classed members are served per class, below
+                    if !session.is_classed() {
+                        Self::serve_shared(
+                            digest_hits,
+                            digest_rebuilds,
+                            session,
+                            &closed,
+                            &mut sink,
+                            |s, f| s.advance_warmup(watermark, f),
+                        )
+                    }
+                }
             }
+        }
+        let walked = out.len();
+        Self::serve_shared_classes(
+            sessions,
+            groups,
+            &closed,
+            digest_hits,
+            class_hits,
+            &mut out,
+            hint,
+        );
+        if out.len() > walked {
+            // class serving appends per class, not per registered query;
+            // sorting restores registration-order delivery (same
+            // uniqueness argument as `publish`)
+            out.sort_unstable_by_key(|u| (u.query, u.result.slide));
         }
         note_update_hint(update_hint, out.len());
         Self::promote_ready(sessions, groups);
@@ -978,7 +1382,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// batch-ingest or watermark step) and collects the slides each group
     /// closed, keyed by slide duration.
     fn close_groups(
-        groups: &mut HashMap<u64, DigestGroup>,
+        groups: &mut HashMap<u64, DigestGroup<C>>,
         mut drive: impl FnMut(&mut DigestProducer) -> Vec<DigestRef>,
     ) -> HashMap<u64, Vec<DigestRef>> {
         let mut closed = HashMap::new();
@@ -1018,12 +1422,55 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         }
     }
 
+    /// Serves every slide group's result classes their closed digests:
+    /// one reduction + one diff per class per digest
+    /// ([`SharedClass::close`]), then each member stamps the class's
+    /// shared snapshot ([`SharedSession::emit_class`]). Output is
+    /// appended per class, after the session walk — callers re-sort by
+    /// `(query, slide)` when anything landed here.
+    fn serve_shared_classes(
+        sessions: &mut [(QueryId, AnySession<C, T>)],
+        groups: &mut HashMap<u64, DigestGroup<C>>,
+        closed: &HashMap<u64, Vec<DigestRef>>,
+        hits: &mut u64,
+        class_hits: &mut u64,
+        out: &mut Vec<QueryUpdate>,
+        hint: usize,
+    ) {
+        for (sd, group) in groups.iter_mut() {
+            let Some(digests) = closed.get(sd) else {
+                continue;
+            };
+            for class in group.classes.iter_mut() {
+                for digest in digests {
+                    let snapshot = class.close(digest);
+                    for &member in &class.members {
+                        let idx = sessions
+                            .binary_search_by_key(&member, |(id, _)| *id)
+                            .expect("class member ids name registered sessions");
+                        let (id, session) = &mut sessions[idx];
+                        let AnySession::Shared(session) = session else {
+                            unreachable!("slide-group class members are shared sessions")
+                        };
+                        let mut sink = tagged_sink(out, hint, *id);
+                        session.emit_class(&snapshot, &class.events, &mut sink);
+                    }
+                }
+                // every member-slide here came from the shared digest
+                // plane (hits), and all but one-per-class also skipped
+                // the reduction (class_hits)
+                *hits += (digests.len() * class.members.len()) as u64;
+                *class_hits += (digests.len() * (class.members.len() - 1)) as u64;
+            }
+        }
+    }
+
     /// Promotes every warm-up member whose group has closed the slide it
     /// joined during: both producers processed the same timestamps, so
     /// from the next slide on the private and shared views are identical.
     fn promote_ready(
         sessions: &mut [(QueryId, AnySession<C, T>)],
-        groups: &HashMap<u64, DigestGroup>,
+        groups: &HashMap<u64, DigestGroup<C>>,
     ) {
         for (_, session) in sessions {
             if let AnySession::Shared(s) = session {
@@ -1063,7 +1510,22 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         }
     }
 
+    /// Enables/disables pooling of view-equivalent members into result
+    /// classes at registration (see [`HubStats::class_hits`]). Existing
+    /// classes are untouched, and traveling members (restore, migration)
+    /// re-class regardless — a consumer-less follower cannot serve
+    /// without its class.
+    pub(crate) fn set_class_sharing(&mut self, enabled: bool) {
+        self.class_sharing = enabled;
+    }
+
     pub(crate) fn stats(&self) -> HubStats {
+        let result_classes = self
+            .groups
+            .values()
+            .map(|g| g.classes.len() as u64)
+            .chain(self.count_groups.values().map(|g| g.classes.len() as u64))
+            .sum();
         let mut stats = HubStats {
             queries: self.sessions.len(),
             digest_groups: self.groups.len() as u64,
@@ -1072,6 +1534,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             count_groups: self.count_groups.len() as u64,
             count_group_hits: self.count_group_hits,
             count_group_rebuilds: self.count_group_rebuilds,
+            result_classes,
+            class_hits: self.class_hits,
             ..HubStats::default()
         };
         for (_, session) in &self.sessions {
@@ -1135,21 +1599,42 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                     }
                     AnySession::Shared(s) => {
                         e.put_u8(2);
-                        e.put_str(s.engine().name());
+                        e.put_str(s.engine_name());
                         let spec = s.timed_spec();
                         e.put_u64(spec.window_duration);
                         e.put_u64(spec.slide_duration);
                         e.put_usize(spec.k);
-                        s.encode_checkpoint_body(e);
+                        // a classed member encodes its class's consumer —
+                        // byte-identical to a private one (see
+                        // `SharedSession::encode_checkpoint_body`)
+                        let class_consumer = self
+                            .groups
+                            .get(&spec.slide_duration)
+                            .and_then(|g| {
+                                g.classes
+                                    .iter()
+                                    .find(|c| c.members.binary_search(id).is_ok())
+                            })
+                            .map(|c| &c.consumer);
+                        s.encode_checkpoint_body(e, class_consumer);
                     }
                     AnySession::Grouped(s) => {
                         e.put_u8(3);
-                        e.put_str(s.engine().name());
+                        e.put_str(s.engine_name());
                         let spec = s.spec();
                         e.put_usize(spec.n);
                         e.put_usize(spec.k);
                         e.put_usize(spec.s);
-                        s.encode_checkpoint_body(e, index_of[&s.group()]);
+                        let class_consumer = self
+                            .count_groups
+                            .get(&s.group())
+                            .and_then(|g| {
+                                g.classes
+                                    .iter()
+                                    .find(|c| c.members.binary_search(id).is_ok())
+                            })
+                            .map(|c| &c.consumer);
+                        s.encode_checkpoint_body(e, class_consumer, index_of[&s.group()]);
                     }
                 }
             }
@@ -1367,9 +1852,24 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     }
 
     /// Builds a registry from already-merged, already-validated parts.
+    ///
+    /// Result classes are **rebuilt** here rather than carried: grouped
+    /// members re-class by their exact `(n, k, join_slide)` key, shared
+    /// members by byte signature (equal spec, progress, previous
+    /// emission, and encoded consumer state imply identical futures) —
+    /// so a restored registry serves exactly like the one that wrote the
+    /// checkpoint, without the checkpoint carrying any class structure.
     pub(crate) fn from_merged(parts: RegistryParts<C, T>, shard: Option<usize>) -> Self {
-        let mut groups: HashMap<u64, DigestGroup> = parts
-            .groups
+        let RegistryParts {
+            mut sessions,
+            groups: group_list,
+            count_groups: count_group_list,
+            digest_hits,
+            digest_rebuilds,
+            count_group_hits,
+            count_group_rebuilds,
+        } = parts;
+        let mut groups: HashMap<u64, DigestGroup<C>> = group_list
             .into_iter()
             .map(|(sd, producer)| {
                 (
@@ -1377,6 +1877,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                     DigestGroup {
                         producer,
                         members: 0,
+                        classes: Vec::new(),
                     },
                 )
             })
@@ -1384,8 +1885,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         // canonical index = live gid: merge rebased every grouped
         // session's reference onto the concatenated list, so adopting
         // positions as ids keeps the references valid verbatim
-        let mut count_groups: HashMap<u64, CountGroup> = parts
-            .count_groups
+        let mut count_groups: HashMap<u64, CountGroup<C>> = count_group_list
             .into_iter()
             .enumerate()
             .map(|(gid, state)| {
@@ -1400,20 +1900,39 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                         ring_cap: 0,
                         member_ids: Vec::new(),
                         next_ordinal,
+                        classes: Vec::new(),
                     },
                 )
             })
             .collect();
         let next_count_gid = count_groups.len() as u64;
         let mut isolated_counts = 0;
-        for (id, session) in &parts.sessions {
+        // the consumer-less travelers (ejected class followers), noted
+        // *before* pass 1 — classing strips donors of their consumers,
+        // leaving them indistinguishable from followers afterwards
+        let followers: Vec<QueryId> = sessions
+            .iter()
+            .filter(|(_, session)| match session {
+                AnySession::Shared(s) => s.is_classed(),
+                AnySession::Grouped(g) => g.consumer().is_none(),
+                _ => false,
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        // pass 1 — membership, and classes founded (or joined) by the
+        // members that carry a consumer, so the consumer-less followers
+        // of pass 2 always find their class already standing
+        for (id, session) in &mut sessions {
             match session {
                 AnySession::Count(_) => isolated_counts += 1,
                 AnySession::Shared(s) => {
-                    groups
+                    let group = groups
                         .get_mut(&s.slide_duration())
-                        .expect("merge validated every shared session has its group")
-                        .members += 1;
+                        .expect("merge validated every shared session has its group");
+                    group.members += 1;
+                    if s.consumer().is_some() && !s.is_warming_up() {
+                        Self::class_shared_member(group, *id, s);
+                    }
                 }
                 AnySession::Grouped(g) => {
                     let group = count_groups
@@ -1423,24 +1942,143 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                     // come out ascending too
                     group.member_ids.push(*id);
                     group.ring_cap = group.ring_cap.max(g.spec().n + group.slide_len);
+                    if g.consumer().is_some() {
+                        Self::class_grouped_member(group, *id, g);
+                    }
                 }
                 AnySession::Timed(_) => {}
             }
         }
+        // pass 2 — consumer-less travelers (ejected class followers)
+        // rejoin the class their cohort re-founded in pass 1
+        for (id, session) in &mut sessions {
+            if followers.binary_search(id).is_err() {
+                continue;
+            }
+            match session {
+                AnySession::Shared(s) => {
+                    let group = groups
+                        .get_mut(&s.slide_duration())
+                        .expect("validated in pass 1");
+                    Self::join_shared_follower(group, *id, s);
+                }
+                AnySession::Grouped(g) => {
+                    let group = count_groups
+                        .get_mut(&g.group())
+                        .expect("validated in pass 1");
+                    Self::join_grouped_follower(group, *id, g);
+                }
+                _ => unreachable!("only shared and grouped members travel consumer-less"),
+            }
+        }
         Registry {
-            sessions: parts.sessions,
+            sessions,
             groups,
             count_groups,
             next_count_gid,
             isolated_counts,
-            digest_hits: parts.digest_hits,
-            digest_rebuilds: parts.digest_rebuilds,
-            count_group_hits: parts.count_group_hits,
-            count_group_rebuilds: parts.count_group_rebuilds,
+            digest_hits,
+            digest_rebuilds,
+            count_group_hits,
+            count_group_rebuilds,
+            class_hits: 0,
+            class_sharing: true,
             plain_buf: Vec::new(),
             update_hint: 0,
             shard,
         }
+    }
+
+    /// Pools a consumer-carrying, non-warming shared member into its
+    /// group's result classes: joins the class with an identical byte
+    /// signature — equal `(wd, k)`, slide progress, previous emission,
+    /// and encoded consumer state make its future emissions provably
+    /// identical, so the member's duplicate consumer is dropped — and
+    /// founds a new class around the consumer otherwise. Traveling-path
+    /// only (restore, installation); live registration classes pristine
+    /// joiners, which need no signature.
+    fn class_shared_member(group: &mut DigestGroup<C>, id: QueryId, s: &mut SharedSession<C>) {
+        debug_assert!(!s.is_warming_up(), "warming members serve solo");
+        let spec = s.timed_spec();
+        let consumer = s.take_consumer().expect("caller checked the consumer");
+        let sig = consumer_sig(&consumer);
+        let candidate = group.classes.iter_mut().find(|c| {
+            c.wd == spec.window_duration
+                && c.k == spec.k
+                && c.consumer.slides_applied() == consumer.slides_applied()
+                && c.prev.as_slice() == s.last_snapshot()
+                && consumer_sig(&c.consumer) == sig
+        });
+        match candidate {
+            Some(class) => {
+                let pos = class.members.partition_point(|m| *m < id);
+                class.members.insert(pos, id);
+            }
+            None => {
+                let prev = s.last_snapshot_shared();
+                group.classes.push(SharedClass::new(consumer, id, prev));
+            }
+        }
+    }
+
+    /// Pools a consumer-carrying grouped member into its count group's
+    /// result classes by exact key — same-`(n, k, join_slide)` members
+    /// are interchangeable (their state is a pure function of the
+    /// group's stream and the key), so a join drops the duplicate
+    /// consumer and a miss founds the class around it.
+    fn class_grouped_member(group: &mut CountGroup<C>, id: QueryId, g: &mut GroupedSession<C>) {
+        let spec = g.spec();
+        let join_slide = g.join_slide();
+        let consumer = g.take_consumer().expect("caller checked the consumer");
+        let candidate = group
+            .classes
+            .iter_mut()
+            .find(|c| c.n == spec.n && c.k == spec.k && c.join_slide == join_slide);
+        match candidate {
+            Some(class) => {
+                let pos = class.members.partition_point(|m| *m < id);
+                class.members.insert(pos, id);
+            }
+            None => {
+                let prev = g.last_snapshot_shared();
+                group
+                    .classes
+                    .push(CountClass::new(spec, join_slide, consumer, id, prev));
+            }
+        }
+    }
+
+    /// Rejoins an ejected shared follower (traveling without a consumer)
+    /// to the class its representative carried. The representative — a
+    /// class's lowest member id — always lands first, because sessions
+    /// install in ascending-id order.
+    fn join_shared_follower(group: &mut DigestGroup<C>, id: QueryId, s: &mut SharedSession<C>) {
+        let rep = s
+            .class_rep()
+            .expect("a consumer-less shared traveler names its class representative");
+        let class = group
+            .classes
+            .iter_mut()
+            .find(|c| c.members.binary_search(&rep).is_ok())
+            .expect("a class representative installs before its followers");
+        let pos = class.members.partition_point(|m| *m < id);
+        class.members.insert(pos, id);
+        s.set_class_rep(None);
+    }
+
+    /// Rejoins an ejected grouped follower to a class with its exact
+    /// key — same-key classes are interchangeable, so any match serves
+    /// it byte-identically (which is why count followers, unlike shared
+    /// ones, travel untagged).
+    fn join_grouped_follower(group: &mut CountGroup<C>, id: QueryId, g: &GroupedSession<C>) {
+        let key = (g.spec().n, g.spec().k, g.join_slide());
+        let class = group
+            .classes
+            .iter_mut()
+            .find(|c| (c.n, c.k, c.join_slide) == key)
+            .expect("a traveling count group carries a consumer per class key");
+        let pos = class.members.partition_point(|m| *m < id);
+        class.members.insert(pos, id);
     }
 
     // ---- live migration ---------------------------------------------------
@@ -1450,16 +2088,26 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// order — so drain order is indistinguishable from a hub where the
     /// query had been registered here originally. A shared session's
     /// slide group must have been installed first.
-    pub(crate) fn install(&mut self, id: QueryId, session: AnySession<C, T>) {
+    pub(crate) fn install(&mut self, id: QueryId, mut session: AnySession<C, T>) {
         debug_assert!(
             !matches!(session, AnySession::Grouped(_)),
             "grouped sessions travel with their count group (install_count_group)"
         );
-        if let AnySession::Shared(s) = &session {
-            self.groups
+        if let AnySession::Shared(s) = &mut session {
+            let group = self
+                .groups
                 .get_mut(&s.slide_duration())
-                .expect("install a shared session only after its group")
-                .members += 1;
+                .expect("install a shared session only after its group");
+            group.members += 1;
+            // re-class the traveler (see `from_merged`): consumer-less
+            // followers rejoin their representative's class, consumer
+            // carriers pool by byte signature. The sharing flag is not
+            // consulted — a follower cannot serve without a class.
+            if s.is_classed() {
+                Self::join_shared_follower(group, id, s);
+            } else if !s.is_warming_up() {
+                Self::class_shared_member(group, id, s);
+            }
         }
         if matches!(session, AnySession::Count(_)) {
             self.isolated_counts += 1;
@@ -1476,6 +2124,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             DigestGroup {
                 producer,
                 members: 0,
+                classes: Vec::new(),
             },
         );
         debug_assert!(prev.is_none(), "installing over a live slide group");
@@ -1504,7 +2153,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     pub(crate) fn install_count_group(
         &mut self,
         state: CountGroupState,
-        members: Vec<(QueryId, AnySession<C, T>)>,
+        mut members: Vec<(QueryId, AnySession<C, T>)>,
     ) {
         debug_assert!(!members.is_empty(), "a count group never travels empty");
         let gid = self.next_count_gid;
@@ -1521,24 +2170,101 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 debug_assert!(false, "count-group members are grouped sessions");
             }
         }
-        self.count_groups.insert(
-            gid,
-            CountGroup {
-                slide_len,
-                producer: state.producer,
-                ring: state.ring,
-                ring_base: state.ring_base,
-                ring_cap,
-                member_ids,
-                next_ordinal,
-            },
-        );
+        let mut group = CountGroup {
+            slide_len,
+            producer: state.producer,
+            ring: state.ring,
+            ring_base: state.ring_base,
+            ring_cap,
+            member_ids,
+            next_ordinal,
+            classes: Vec::new(),
+        };
+        // rebuild the result classes (see `from_merged`): consumer
+        // carriers found or join by exact key first, then consumer-less
+        // followers rejoin any class with their key. The follower set is
+        // noted *before* the classing pass — it strips donors of their
+        // consumers, leaving them indistinguishable from followers
+        let followers: Vec<QueryId> = members
+            .iter()
+            .filter(|(_, s)| matches!(s, AnySession::Grouped(g) if g.consumer().is_none()))
+            .map(|(id, _)| *id)
+            .collect();
+        for (id, session) in &mut members {
+            if let AnySession::Grouped(g) = session {
+                if g.consumer().is_some() {
+                    Self::class_grouped_member(&mut group, *id, g);
+                }
+            }
+        }
+        for (id, session) in &mut members {
+            if let AnySession::Grouped(g) = session {
+                if followers.contains(id) {
+                    Self::join_grouped_follower(&mut group, *id, g);
+                }
+            }
+        }
+        self.count_groups.insert(gid, group);
         for (id, mut session) in members {
             if let AnySession::Grouped(g) = &mut session {
                 g.set_group(gid);
             }
             let pos = self.sessions.partition_point(|(have, _)| *have < id);
             self.sessions.insert(pos, (id, session));
+        }
+    }
+
+    /// Dissolves a count group's result classes into its member sessions
+    /// ahead of an ejection: each class's representative — its lowest
+    /// member id — adopts the class consumer and carries it through the
+    /// migration; followers travel consumer-less and rejoin by exact key
+    /// at installation.
+    fn dissolve_count_classes(
+        sessions: &mut [(QueryId, AnySession<C, T>)],
+        group: &mut CountGroup<C>,
+    ) {
+        for class in group.classes.drain(..) {
+            let rep = class.members[0];
+            let idx = sessions
+                .binary_search_by_key(&rep, |(id, _)| *id)
+                .expect("class member ids name registered sessions");
+            let AnySession::Grouped(g) = &mut sessions[idx].1 else {
+                unreachable!("count-group class members are grouped sessions")
+            };
+            g.adopt_consumer(class.consumer);
+        }
+    }
+
+    /// Dissolves a slide group's result classes ahead of an ejection:
+    /// the representative adopts the class consumer, and every follower
+    /// is tagged with the representative's id so installation rejoins it
+    /// to exactly its old class (shared classes have no exact key — two
+    /// distinct classes can share `(wd, k)` — so the tag disambiguates).
+    fn dissolve_shared_classes(
+        sessions: &mut [(QueryId, AnySession<C, T>)],
+        group: &mut DigestGroup<C>,
+    ) {
+        for class in group.classes.drain(..) {
+            let SharedClass {
+                consumer, members, ..
+            } = class;
+            let rep = members[0];
+            for &member in &members[1..] {
+                let idx = sessions
+                    .binary_search_by_key(&member, |(id, _)| *id)
+                    .expect("class member ids name registered sessions");
+                let AnySession::Shared(s) = &mut sessions[idx].1 else {
+                    unreachable!("slide-group class members are shared sessions")
+                };
+                s.set_class_rep(Some(rep));
+            }
+            let idx = sessions
+                .binary_search_by_key(&rep, |(id, _)| *id)
+                .expect("class member ids name registered sessions");
+            let AnySession::Shared(s) = &mut sessions[idx].1 else {
+                unreachable!("slide-group class members are shared sessions")
+            };
+            s.adopt_consumer(consumer);
         }
     }
 
@@ -1554,10 +2280,11 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             AnySession::Grouped(g) if *id == member => Some(g.group()),
             _ => None,
         })?;
-        let group = self
+        let mut group = self
             .count_groups
             .remove(&gid)
             .expect("a grouped session's gid names a live count group");
+        Self::dissolve_count_classes(&mut self.sessions, &mut group);
         let mut members = Vec::with_capacity(group.member_ids.len());
         let mut i = 0;
         while i < self.sessions.len() {
@@ -1584,7 +2311,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// another shard: the shared producer plus the members in
     /// ascending-id order. `None` if no such group lives here.
     pub(crate) fn eject_group(&mut self, sd: u64) -> Option<EjectedGroup<C, T>> {
-        let group = self.groups.remove(&sd)?;
+        let mut group = self.groups.remove(&sd)?;
+        Self::dissolve_shared_classes(&mut self.sessions, &mut group);
         let mut members = Vec::with_capacity(group.members);
         let mut i = 0;
         while i < self.sessions.len() {
@@ -1604,6 +2332,17 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// registry empty. The `ShardedHub::resize` path drains each worker
     /// through this before re-scattering onto the new worker set.
     pub(crate) fn eject_all(&mut self) -> RegistryParts<C, T> {
+        // dissolve every result class back into the session store first
+        // (same protocol as the single-group ejects); the class-hit
+        // counter has no slot in `RegistryParts`, so it resets here —
+        // documented on `HubStats::class_hits`
+        for group in self.groups.values_mut() {
+            Self::dissolve_shared_classes(&mut self.sessions, group);
+        }
+        for group in self.count_groups.values_mut() {
+            Self::dissolve_count_classes(&mut self.sessions, group);
+        }
+        self.class_hits = 0;
         let mut groups: Vec<(u64, DigestProducer)> = self
             .groups
             .drain()

@@ -85,9 +85,9 @@ use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
 #[derive(Debug, Default)]
 pub struct SlideScratch {
     /// Build buffer for the slide's translated snapshot.
-    snapshot: Vec<Object>,
+    pub(crate) snapshot: Vec<Object>,
     /// Sorted-id membership buffers for the delta diff.
-    diff: crate::events::DiffScratch,
+    pub(crate) diff: crate::events::DiffScratch,
 }
 
 impl SlideScratch {
@@ -98,7 +98,7 @@ impl SlideScratch {
     }
 
     /// Stages the untimed view of a timed snapshot into the build buffer.
-    fn stage_timed(&mut self, snapshot: &[TimedObject]) {
+    pub(crate) fn stage_timed(&mut self, snapshot: &[TimedObject]) {
         self.snapshot.clear();
         self.snapshot
             .extend(snapshot.iter().map(TimedObject::untimed));
@@ -150,6 +150,29 @@ fn emit_staged(
     *prev = snapshot;
     *slides += 1;
     result
+}
+
+/// The class-level half of [`emit_staged`]: turns the snapshot staged in
+/// `scratch` into one shared [`Snapshot`] plus the delta `events`,
+/// advancing the class's `prev` — identical proven-identical logic, but
+/// without a slide counter or a [`SlideResult`] wrapper, because a result
+/// class computes once and each member stamps its own id and counter onto
+/// the shared artifacts (see `crate::registry`'s result classes).
+pub(crate) fn close_staged(
+    prev: &mut Snapshot,
+    scratch: &mut SlideScratch,
+    events: &mut EventList,
+) -> Snapshot {
+    diff_snapshots_into(prev, &scratch.snapshot, false, &mut scratch.diff, events);
+    let proven_identical = events.is_empty()
+        || (events.is_unchanged() && prev.as_slice() == scratch.snapshot.as_slice());
+    let snapshot = if proven_identical {
+        prev.clone()
+    } else {
+        Snapshot::from_slice(&scratch.snapshot)
+    };
+    *prev = snapshot.clone();
+    snapshot
 }
 
 /// A session: one algorithm instance plus the ingestion buffer, the id
@@ -570,11 +593,25 @@ impl<E: TimedTopK> TimedIngest for TimedSession<E> {
 /// `crate::registry` for the full protocol).
 #[derive(Debug)]
 pub struct SharedSession<C: SlidingTopK> {
-    consumer: SharedTimed<C>,
+    /// The private digest consumer — `Some` while the member runs solo
+    /// (warm-up, or a promotion that outlived its cohort), `None` while a
+    /// *result class* in the registry owns the one consumer the whole
+    /// class shares (see `crate::registry`'s result classes).
+    consumer: Option<SharedTimed<C>>,
+    /// The validated durations, kept here so a classed member (whose
+    /// consumer lives in its class) still answers `timed_spec()`.
+    spec: TimedSpec,
+    /// The engine's display name, for checkpoint headers while classed.
+    engine_name: Box<str>,
     warmup: Option<Warmup>,
     prev: Snapshot,
     slides: u64,
     scratch: SlideScratch,
+    /// While traveling through an eject (consumer `None`): the id of the
+    /// class representative that carries the class's consumer, so
+    /// installation re-joins this member to exactly its old class. Never
+    /// encoded — decoded sessions always carry their own consumer.
+    class_rep: Option<QueryId>,
 }
 
 /// The private catch-up view of a freshly joined shared session.
@@ -588,45 +625,103 @@ struct Warmup {
 }
 
 impl<C: SlidingTopK> SharedSession<C> {
-    /// Wraps a digest consumer. `join_slide` is the group's open slide
-    /// index at registration, or `None` when the group was pristine (the
-    /// member missed nothing, so no warm-up is needed).
+    /// Wraps a digest consumer as a **solo** member. `join_slide` is the
+    /// group's open slide index at registration, or `None` when the group
+    /// was pristine (the member missed nothing, so no warm-up is needed).
     pub(crate) fn new(consumer: SharedTimed<C>, join_slide: Option<u64>) -> Self {
         let warmup = join_slide.map(|join_slide| Warmup {
             producer: DigestProducer::new(consumer.slide_duration(), consumer.k()),
             join_slide,
         });
+        let spec = TimedSpec {
+            window_duration: consumer.window_duration(),
+            slide_duration: consumer.slide_duration(),
+            k: consumer.k(),
+        };
+        let engine_name = consumer.name().into();
         SharedSession {
-            consumer,
+            consumer: Some(consumer),
+            spec,
+            engine_name,
             warmup,
             prev: Snapshot::empty(),
             slides: 0,
             scratch: SlideScratch::new(),
+            class_rep: None,
+        }
+    }
+
+    /// A member served by a registry result class from birth: the class
+    /// owns the consumer, the session keeps only the delta state.
+    pub(crate) fn new_classed(spec: TimedSpec, engine_name: Box<str>) -> Self {
+        SharedSession {
+            consumer: None,
+            spec,
+            engine_name,
+            warmup: None,
+            prev: Snapshot::empty(),
+            slides: 0,
+            scratch: SlideScratch::new(),
+            class_rep: None,
         }
     }
 
     /// The validated durations this session answers.
     pub fn timed_spec(&self) -> TimedSpec {
-        TimedSpec {
-            window_duration: self.consumer.window_duration(),
-            slide_duration: self.consumer.slide_duration(),
-            k: self.consumer.k(),
-        }
+        self.spec
     }
 
     /// The session's slide-group key.
     pub fn slide_duration(&self) -> u64 {
-        self.consumer.slide_duration()
+        self.spec.slide_duration
     }
 
-    /// The digest consumer (and through it, the wrapped engine).
-    pub fn consumer(&self) -> &SharedTimed<C> {
-        &self.consumer
+    /// The digest consumer (and through it, the wrapped engine) — `None`
+    /// while a registry result class serves this member (the class owns
+    /// the one consumer its members share).
+    pub fn consumer(&self) -> Option<&SharedTimed<C>> {
+        self.consumer.as_ref()
     }
 
-    /// The wrapped count-based engine (serving the reduced stream).
-    pub fn engine(&self) -> &C {
-        self.consumer.engine()
+    /// The wrapped count-based engine (serving the reduced stream), when
+    /// this member runs solo — see [`consumer`](SharedSession::consumer).
+    pub fn engine(&self) -> Option<&C> {
+        self.consumer.as_ref().map(SharedTimed::engine)
+    }
+
+    /// The engine's display name (valid whether solo or classed).
+    pub fn engine_name(&self) -> &str {
+        &self.engine_name
+    }
+
+    /// Whether a registry result class computes this member's slides.
+    pub fn is_classed(&self) -> bool {
+        self.consumer.is_none()
+    }
+
+    /// Hands this member's consumer to a result class (or out of one on
+    /// ejection rehydration — the inverse of
+    /// [`adopt_consumer`](SharedSession::take_consumer)).
+    pub(crate) fn take_consumer(&mut self) -> Option<SharedTimed<C>> {
+        self.consumer.take()
+    }
+
+    /// Gives a consumer (back) to this member — ejection rehydration of a
+    /// class representative, or a class dissolving into its last member.
+    pub(crate) fn adopt_consumer(&mut self, consumer: SharedTimed<C>) {
+        debug_assert!(self.consumer.is_none(), "adopting over a live consumer");
+        self.consumer = Some(consumer);
+        self.class_rep = None;
+    }
+
+    /// The class representative this ejected follower travels behind.
+    pub(crate) fn class_rep(&self) -> Option<QueryId> {
+        self.class_rep
+    }
+
+    /// Tags an ejected follower with its class representative's id.
+    pub(crate) fn set_class_rep(&mut self, rep: Option<QueryId>) {
+        self.class_rep = rep;
     }
 
     /// Number of slides closed so far.
@@ -651,18 +746,36 @@ impl<C: SlidingTopK> SharedSession<C> {
         self.warmup.is_some()
     }
 
-    /// Unwraps the session, discarding the delta state.
-    pub fn into_inner(self) -> SharedTimed<C> {
+    /// Unwraps the session, discarding the delta state — `None` when a
+    /// registry result class owns the consumer.
+    pub fn into_inner(self) -> Option<SharedTimed<C>> {
         self.consumer
     }
 
     /// Writes the session's checkpoint body: slide counter, previous
     /// emission, the consumer's reduced window (its own frame), and — for
     /// a member still warming up — the private producer plus join slide.
-    pub(crate) fn encode_checkpoint_body(&self, enc: &mut Encoder) {
+    ///
+    /// A classed member encodes its **class's** consumer (the registry
+    /// passes it as `class_consumer`): the consumer state is a pure
+    /// function of the slide tops it absorbed and the member's `(wd, k)`,
+    /// both shared across the class, so the bytes are identical to what a
+    /// private consumer would have produced — which is what keeps the
+    /// checkpoint format (and every checkpoint byte) unchanged by the
+    /// result-class tier.
+    pub(crate) fn encode_checkpoint_body(
+        &self,
+        enc: &mut Encoder,
+        class_consumer: Option<&SharedTimed<C>>,
+    ) {
+        let consumer = self
+            .consumer
+            .as_ref()
+            .or(class_consumer)
+            .expect("a classed member encodes through its class's consumer");
         enc.put_u64(self.slides);
         self.prev.encode_state(enc);
-        enc.section(tags::ENGINE, |e| self.consumer.encode_state(e));
+        enc.section(tags::ENGINE, |e| consumer.encode_state(e));
         match &self.warmup {
             None => enc.put_u8(0),
             Some(w) => {
@@ -703,12 +816,21 @@ impl<C: SlidingTopK> SharedSession<C> {
             }
             _ => return Err(CheckpointError::Corrupt("bad warm-up flag")),
         };
+        let spec = TimedSpec {
+            window_duration: consumer.window_duration(),
+            slide_duration: consumer.slide_duration(),
+            k: consumer.k(),
+        };
+        let engine_name = consumer.name().into();
         Ok(SharedSession {
-            consumer,
+            consumer: Some(consumer),
+            spec,
+            engine_name,
             warmup,
             prev,
             slides,
             scratch: SlideScratch::new(),
+            class_rep: None,
         })
     }
 
@@ -719,8 +841,12 @@ impl<C: SlidingTopK> SharedSession<C> {
     /// reduction output is staged in the pooled scratch: a quiet slide
     /// costs zero allocations.
     pub(crate) fn apply_digests(&mut self, digests: &[DigestRef], f: &mut dyn FnMut(SlideResult)) {
+        let consumer = self
+            .consumer
+            .as_mut()
+            .expect("a classed member is served by its class, not apply_digests");
         for d in digests {
-            let snapshot = self.consumer.apply_digest(d);
+            let snapshot = consumer.apply_digest(d);
             self.scratch.stage_timed(snapshot);
             f(emit_staged(
                 &mut self.prev,
@@ -729,6 +855,28 @@ impl<C: SlidingTopK> SharedSession<C> {
                 false,
             ));
         }
+    }
+
+    /// The per-member half of a class-computed slide close: stamps this
+    /// member's slide counter onto the class's shared snapshot and delta.
+    /// Costs two refcount bumps and an inline event copy — zero heap
+    /// allocations on a quiet slide (the [`EventList`] spills only past
+    /// its inline capacity, which a diff of two `k`-sized snapshots
+    /// rarely does, and never when unchanged).
+    pub(crate) fn emit_class(
+        &mut self,
+        snapshot: &Snapshot,
+        events: &EventList,
+        f: &mut dyn FnMut(SlideResult),
+    ) {
+        debug_assert!(self.is_classed() && !self.is_warming_up());
+        f(SlideResult {
+            slide: self.slides,
+            snapshot: snapshot.clone(),
+            events: events.clone(),
+        });
+        self.prev = snapshot.clone();
+        self.slides += 1;
     }
 
     /// Warm-up ingestion: feeds the raw batch to the private producer and
@@ -760,7 +908,10 @@ impl<C: SlidingTopK> SharedSession<C> {
         if let Some(warmup) = &self.warmup {
             if group_next_slide > warmup.join_slide {
                 debug_assert_eq!(
-                    self.consumer.slides_applied(),
+                    self.consumer
+                        .as_ref()
+                        .expect("a warming member owns its consumer")
+                        .slides_applied(),
                     group_next_slide,
                     "warm-up must hand off exactly at the group's slide cursor"
                 );
@@ -793,7 +944,14 @@ impl<C: SlidingTopK> SharedSession<C> {
 /// to the caller's ids.
 #[derive(Debug)]
 pub struct GroupedSession<C: SlidingTopK> {
-    consumer: SharedTimed<C>,
+    /// The digest consumer — `None` while registered (the member's
+    /// *result class* inside its count group owns the one consumer every
+    /// same-`(n, k, join_slide)` member shares; see `crate::registry`),
+    /// `Some` only while traveling through the durability plane as a
+    /// class representative or a freshly decoded checkpoint session.
+    consumer: Option<SharedTimed<C>>,
+    /// The engine's display name, for checkpoint headers while classed.
+    engine_name: Box<str>,
     /// The original count spec `⟨n, k, s⟩` this session answers.
     spec: WindowSpec,
     /// The group slide index this member joined at — its private slide 0.
@@ -807,27 +965,26 @@ pub struct GroupedSession<C: SlidingTopK> {
     group: u64,
     prev: Snapshot,
     slides: u64,
-    scratch: SlideScratch,
 }
 
 impl<C: SlidingTopK> GroupedSession<C> {
-    /// Wraps a digest consumer as a count-group member. `join_slide` is
-    /// the group's next (empty, open) slide at registration; `group` the
-    /// registry's group handle.
+    /// A count-group member served by a result class from birth (the
+    /// class owns the consumer). `join_slide` is the group's next (empty,
+    /// open) slide at registration; `group` the registry's group handle.
     pub(crate) fn new(
-        consumer: SharedTimed<C>,
+        engine_name: Box<str>,
         spec: WindowSpec,
         join_slide: u64,
         group: u64,
     ) -> Self {
         GroupedSession {
-            consumer,
+            consumer: None,
+            engine_name,
             spec,
             join_slide,
             group,
             prev: Snapshot::empty(),
             slides: 0,
-            scratch: SlideScratch::new(),
         }
     }
 
@@ -852,14 +1009,36 @@ impl<C: SlidingTopK> GroupedSession<C> {
         self.join_slide
     }
 
-    /// The digest consumer (and through it, the wrapped engine).
-    pub fn consumer(&self) -> &SharedTimed<C> {
-        &self.consumer
+    /// The digest consumer (and through it, the wrapped engine) — `None`
+    /// while registered, because the member's result class owns the one
+    /// consumer the whole class shares; `Some` only on sessions traveling
+    /// through the durability plane as class representatives.
+    pub fn consumer(&self) -> Option<&SharedTimed<C>> {
+        self.consumer.as_ref()
     }
 
-    /// The wrapped count-based engine (serving the reduced stream).
-    pub fn engine(&self) -> &C {
-        self.consumer.engine()
+    /// The wrapped count-based engine, when this session carries its own
+    /// consumer — see [`consumer`](GroupedSession::consumer).
+    pub fn engine(&self) -> Option<&C> {
+        self.consumer.as_ref().map(SharedTimed::engine)
+    }
+
+    /// The engine's display name (valid whether classed or traveling).
+    pub fn engine_name(&self) -> &str {
+        &self.engine_name
+    }
+
+    /// Hands this member's consumer to its result class (installation of
+    /// a traveling class representative).
+    pub(crate) fn take_consumer(&mut self) -> Option<SharedTimed<C>> {
+        self.consumer.take()
+    }
+
+    /// Gives a consumer (back) to this member — ejection rehydration of a
+    /// class representative.
+    pub(crate) fn adopt_consumer(&mut self, consumer: SharedTimed<C>) {
+        debug_assert!(self.consumer.is_none(), "adopting over a live consumer");
+        self.consumer = Some(consumer);
     }
 
     /// Number of slides completed so far.
@@ -878,44 +1057,29 @@ impl<C: SlidingTopK> GroupedSession<C> {
         self.prev.clone()
     }
 
-    /// Unwraps the session, discarding the delta state.
-    pub fn into_inner(self) -> SharedTimed<C> {
+    /// Unwraps the session, discarding the delta state — `None` while the
+    /// member's result class owns the consumer.
+    pub fn into_inner(self) -> Option<SharedTimed<C>> {
         self.consumer
     }
 
-    /// Applies one closing group slide, emitting the completed
-    /// [`SlideResult`] through `f`. `view.top` carries group ordinals as
-    /// ids; `ring`/`ring_base` is the group's ordinal → external-id
-    /// translation ring, guaranteed by the registry to cover every
-    /// ordinal the emission can reference (the group serves members
-    /// *inside* each slide close, before later arrivals can evict ring
-    /// entries). Zero allocations on a quiet slide, exactly like every
-    /// other session flavor.
-    pub(crate) fn apply_group_slide(
+    /// The per-member half of a class-computed slide close: stamps this
+    /// member's slide counter onto the class's shared snapshot and delta.
+    /// Two refcount bumps plus an inline event copy — zero heap
+    /// allocations on a quiet slide.
+    pub(crate) fn emit_class(
         &mut self,
-        view: crate::digest::DigestView<'_>,
-        ring: &std::collections::VecDeque<u64>,
-        ring_base: u64,
+        snapshot: &Snapshot,
+        events: &EventList,
         f: &mut dyn FnMut(SlideResult),
     ) {
-        let GroupedSession {
-            consumer,
-            join_slide,
-            prev,
-            slides,
-            scratch,
-            ..
-        } = self;
-        {
-            let snapshot = consumer.apply_slide_top(view.slide - *join_slide, view.top);
-            scratch.snapshot.clear();
-            scratch.snapshot.extend(
-                snapshot
-                    .iter()
-                    .map(|o| Object::new(ring[(o.id - ring_base) as usize], o.score)),
-            );
-        }
-        f(emit_staged(prev, slides, scratch, false));
+        f(SlideResult {
+            slide: self.slides,
+            snapshot: snapshot.clone(),
+            events: events.clone(),
+        });
+        self.prev = snapshot.clone();
+        self.slides += 1;
     }
 
     /// Writes the session's checkpoint body: slide counter, previous
@@ -923,10 +1087,26 @@ impl<C: SlidingTopK> GroupedSession<C> {
     /// slide, and the canonical index of its count group within the
     /// checkpoint's `COUNT_GROUPS` section (the registry passes it in —
     /// live group ids are registry-local and not stable across restores).
-    pub(crate) fn encode_checkpoint_body(&self, enc: &mut Encoder, group_index: u64) {
+    ///
+    /// A registered member encodes its **class's** consumer (passed as
+    /// `class_consumer`); the state is a pure function of the slide tops
+    /// and the class key `(n, k, join_slide)` every member shares, so the
+    /// bytes equal what a private consumer would have written — the
+    /// result-class tier changes no checkpoint byte.
+    pub(crate) fn encode_checkpoint_body(
+        &self,
+        enc: &mut Encoder,
+        class_consumer: Option<&SharedTimed<C>>,
+        group_index: u64,
+    ) {
+        let consumer = self
+            .consumer
+            .as_ref()
+            .or(class_consumer)
+            .expect("a classed member encodes through its class's consumer");
         enc.put_u64(self.slides);
         self.prev.encode_state(enc);
-        enc.section(tags::ENGINE, |e| self.consumer.encode_state(e));
+        enc.section(tags::ENGINE, |e| consumer.encode_state(e));
         enc.put_u64(self.join_slide);
         enc.put_u64(group_index);
     }
@@ -949,14 +1129,15 @@ impl<C: SlidingTopK> GroupedSession<C> {
         blob.finish()?;
         let join_slide = dec.take_u64()?;
         let group = dec.take_u64()?;
+        let engine_name = consumer.name().into();
         Ok(GroupedSession {
-            consumer,
+            consumer: Some(consumer),
+            engine_name,
             spec,
             join_slide,
             group,
             prev,
             slides,
-            scratch: SlideScratch::new(),
         })
     }
 }
@@ -1374,6 +1555,52 @@ impl Hub {
     /// (groups, hits, warm-up rebuilds) — see [`HubStats`].
     pub fn stats(&self) -> HubStats {
         self.registry.stats()
+    }
+
+    /// Enables or disables **result-class sharing** for *future*
+    /// registrations (default: enabled). Disabled, every new member
+    /// founds a solo class — the pre-memoization serving shape, where
+    /// each member re-runs its own reduction and diff per slide close —
+    /// which is the reference arm the floor bench and the equivalence
+    /// tests compare the memoized path against. Existing classes are
+    /// left as they are; results are byte-identical either way.
+    ///
+    /// Same-class members share one snapshot allocation per close:
+    ///
+    /// ```
+    /// use sap_stream::{Hub, Object};
+    /// # use sap_stream::{OpStats, SlidingTopK, WindowSpec};
+    /// # struct Toy(WindowSpec, Vec<Object>);
+    /// # impl sap_stream::checkpoint::CheckpointState for Toy {}
+    /// # impl SlidingTopK for Toy {
+    /// #     fn spec(&self) -> WindowSpec { self.0 }
+    /// #     fn slide(&mut self, b: &[Object]) -> &[Object] { self.1 = b.to_vec(); &self.1 }
+    /// #     fn candidate_count(&self) -> usize { 0 }
+    /// #     fn memory_bytes(&self) -> usize { 0 }
+    /// #     fn stats(&self) -> OpStats { OpStats::default() }
+    /// #     fn name(&self) -> &str { "toy" }
+    /// # }
+    /// # fn reduced() -> Toy { Toy(WindowSpec::new(4, 2, 2).unwrap(), Vec::new()) }
+    /// let mut hub = Hub::new();
+    /// // two copies of the same ⟨n = 4, k = 2, s = 2⟩ query (`reduced()`
+    /// // builds each member's engine over the grouped plane's private
+    /// // ⟨(n/s)·k, k, k⟩ reduction): one result class, one computation
+    /// hub.register_grouped_alg(reduced(), 4, 2).unwrap();
+    /// hub.register_grouped_alg(reduced(), 4, 2).unwrap();
+    /// let batch: Vec<Object> = (0..2).map(|i| Object::new(i, i as f64)).collect();
+    /// let updates = hub.publish(&batch);
+    /// assert_eq!(updates.len(), 2);
+    /// assert!(updates[0].result.snapshot.ptr_eq(&updates[1].result.snapshot));
+    /// assert_eq!(hub.stats().result_classes, 1);
+    /// assert_eq!(hub.stats().class_hits, 1);
+    ///
+    /// // knob off: the next registration founds its own solo class
+    /// hub.set_result_class_sharing(false);
+    /// hub.register_grouped_alg(reduced(), 4, 2).unwrap();
+    /// assert_eq!(hub.stats().result_classes, 2);
+    /// ```
+    pub fn set_result_class_sharing(&mut self, enabled: bool) {
+        self.registry.set_class_sharing(enabled);
     }
 
     /// Iterates the registered query handles in registration order.
@@ -1862,7 +2089,9 @@ mod tests {
         let shared = session.into_shared().expect("shared model");
         assert_eq!(shared.slides(), 1);
         assert_eq!(shared.timed_spec().slide_duration, 10);
-        assert_eq!(shared.engine().spec().k, 2);
+        // the last member out of a class takes the class's consumer along
+        let engine = shared.engine().expect("last member rehydrates");
+        assert_eq!(engine.spec().k, 2);
         assert_eq!(
             hub.stats().digest_groups,
             0,

@@ -220,6 +220,23 @@ pub(crate) enum Command {
     /// Hand *everything* back — sessions, groups, counters, and the
     /// undrained updates — emptying the worker (the resize path).
     EjectAll(mpsc::Sender<(ShardParts, Vec<QueryUpdate>)>),
+    /// Toggle result-class pooling for *future registrations* on this
+    /// shard (traveling sessions re-class regardless; see
+    /// [`Registry::set_class_sharing`]).
+    SetClassSharing(bool),
+}
+
+impl Command {
+    /// Whether this command feeds the data plane (publish/watermark) —
+    /// the commands whose application can close slides and fan a result
+    /// class out. The async executor keeps runs of these in one wakeup
+    /// lease (see `exec::worker_loop`'s group-aware burst).
+    pub(crate) fn is_ingest(&self) -> bool {
+        matches!(
+            self,
+            Command::Publish(_) | Command::PublishTimed(_) | Command::AdvanceTime(_)
+        )
+    }
 }
 
 struct Shard {
@@ -313,6 +330,7 @@ pub(crate) fn apply_command(
         Command::EjectAll(reply) => {
             let _ = reply.send((registry.eject_all(), std::mem::take(updates)));
         }
+        Command::SetClassSharing(enabled) => registry.set_class_sharing(enabled),
     }
 }
 
@@ -928,29 +946,104 @@ pub(crate) fn move_query_on(
     Ok(())
 }
 
-/// Empties every worker for a repartition: each hands back its entire
-/// serving state plus its undrained updates. Returns the merged state
-/// and the rescued updates (park them for the next drain).
+/// Reinstalls one shard's ejected parts back onto the shard they came
+/// from — the abort path of a transactional [`eject_all_on`]. The part
+/// is un-merged, so its grouped sessions reference its own
+/// `count_groups` list by canonical index; placement was never touched,
+/// so no bookkeeping changes here.
+fn reinstall_parts_on(
+    port: &(impl CommandPort + ?Sized),
+    shard: usize,
+    parts: ShardParts,
+) -> Result<(), SapError> {
+    let RegistryParts {
+        sessions,
+        groups,
+        count_groups,
+        digest_hits,
+        digest_rebuilds,
+        count_group_hits,
+        count_group_rebuilds,
+    } = parts;
+    for (sd, producer) in groups {
+        port.send(shard, Command::InstallGroup(sd, producer))?;
+    }
+    let mut count_members: Vec<Vec<(QueryId, ShardSession)>> =
+        (0..count_groups.len()).map(|_| Vec::new()).collect();
+    for (id, session) in sessions {
+        match &session {
+            AnySession::Grouped(g) => count_members[g.group() as usize].push((id, session)),
+            _ => port.send(shard, Command::Install(id, session))?,
+        }
+    }
+    for (state, members) in count_groups.into_iter().zip(count_members) {
+        port.send(shard, Command::InstallCountGroup(state, members))?;
+    }
+    if digest_hits != 0
+        || digest_rebuilds != 0
+        || count_group_hits != 0
+        || count_group_rebuilds != 0
+    {
+        port.send(
+            shard,
+            Command::InstallCounters(
+                digest_hits,
+                digest_rebuilds,
+                count_group_hits,
+                count_group_rebuilds,
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+/// Empties every worker for a repartition — **transactionally**: every
+/// shard's full state is staged before anything commits. If any shard
+/// turns out dead mid-stage, the already-staged parts are reinstalled on
+/// the shards they came from and the typed [`SapError::ShardDown`] is
+/// returned with the old placement intact — a failed resize no longer
+/// abandons the survivors' sessions. Rescued undrained updates go into
+/// `parked` on both paths (they are completed slides either way; the
+/// next drain's global sort places them correctly).
 pub(crate) fn eject_all_on(
     p: &Placement,
     port: &(impl CommandPort + ?Sized),
-) -> Result<(ShardParts, Vec<QueryUpdate>), SapError> {
-    let replies: Vec<(usize, PartsReply)> = (0..p.num_shards())
-        .map(|shard| {
-            let (reply, rx) = mpsc::channel();
-            port.send(shard, Command::EjectAll(reply))
-                .map(|()| (shard, rx))
-        })
-        .collect::<Result<_, _>>()?;
-    let mut parts = Vec::new();
-    let mut parked = Vec::new();
-    for (shard, rx) in replies {
-        let (part, updates) = recv_reply(shard, &rx)?;
-        parts.push(part);
-        parked.extend(updates);
+    parked: &mut Vec<QueryUpdate>,
+) -> Result<ShardParts, SapError> {
+    // stage phase: enqueue every eject (skipping shards that refuse the
+    // send — they are already dead), then collect what actually arrives
+    let mut down: Option<SapError> = None;
+    let mut replies: Vec<(usize, PartsReply)> = Vec::with_capacity(p.num_shards());
+    for shard in 0..p.num_shards() {
+        let (reply, rx) = mpsc::channel();
+        match port.send(shard, Command::EjectAll(reply)) {
+            Ok(()) => replies.push((shard, rx)),
+            Err(err) => down = down.or(Some(err)),
+        }
     }
-    let merged = RegistryParts::merge(parts).map_err(SapError::from)?;
-    Ok((merged, parked))
+    let mut staged: Vec<(usize, ShardParts)> = Vec::with_capacity(replies.len());
+    for (shard, rx) in replies {
+        match recv_reply(shard, &rx) {
+            Ok((part, updates)) => {
+                parked.extend(updates);
+                staged.push((shard, part));
+            }
+            Err(err) => down = down.or(Some(err)),
+        }
+    }
+    if let Some(err) = down {
+        // abort: put every staged part back where it was. A shard dying
+        // *during* the abort loses its own sessions (exactly as if it
+        // had died a moment later), never another shard's.
+        for (shard, part) in staged {
+            reinstall_parts_on(port, shard, part)?;
+        }
+        return Err(err);
+    }
+    // commit phase: the old workers are empty, merge and re-scatter
+    let merged = RegistryParts::merge(staged.into_iter().map(|(_, part)| part).collect())
+        .map_err(SapError::from)?;
+    Ok(merged)
 }
 
 /// A [`Hub`](crate::session::Hub)-equivalent set of standing queries
@@ -986,6 +1079,9 @@ pub struct ShardedHub {
     parked_updates: Vec<QueryUpdate>,
     /// Queue bound each worker was spawned with, reused by `resize`.
     queue_capacity: usize,
+    /// The result-class registration knob, remembered hub-side so
+    /// workers spawned by [`resize`](ShardedHub::resize) inherit it.
+    class_sharing: bool,
 }
 
 impl std::fmt::Debug for ShardedHub {
@@ -1018,6 +1114,7 @@ impl ShardedHub {
             pending_one: Vec::new(),
             parked_updates: Vec::new(),
             queue_capacity,
+            class_sharing: true,
         }
     }
 
@@ -1453,12 +1550,37 @@ impl ShardedHub {
     pub fn resize(&mut self, num_shards: usize) -> Result<(), SapError> {
         let num_shards = num_shards.max(1);
         self.flush_pending_one()?;
-        let (merged, parked) = eject_all_on(&self.placement, &self.shards[..])?;
-        self.parked_updates.extend(parked);
+        let merged = eject_all_on(&self.placement, &self.shards[..], &mut self.parked_updates)?;
         self.shutdown_workers();
         self.shards = Self::spawn_workers(num_shards, self.queue_capacity);
         self.placement.reset(num_shards);
-        place_parts_on(&mut self.placement, &self.shards[..], merged)
+        place_parts_on(&mut self.placement, &self.shards[..], merged)?;
+        // fresh workers default to pooling; re-broadcast a disabled knob
+        if !self.class_sharing {
+            self.broadcast_class_sharing()?;
+        }
+        Ok(())
+    }
+
+    /// Enables or disables result-class pooling for **future
+    /// registrations** on every shard (default: enabled). Serving stays
+    /// byte-identical either way — the knob only trades the memoized
+    /// slide close for per-member serving, for A/B measurement (the
+    /// `floor` bench preset) and for pinning down a suspected sharing
+    /// bug in production. Sessions already registered, and any session
+    /// that travels through a restore or resize, keep their class
+    /// machinery regardless.
+    pub fn set_result_class_sharing(&mut self, enabled: bool) -> Result<(), SapError> {
+        self.flush_pending_one()?;
+        self.class_sharing = enabled;
+        self.broadcast_class_sharing()
+    }
+
+    fn broadcast_class_sharing(&self) -> Result<(), SapError> {
+        for shard in 0..self.shards.len() {
+            self.shards[..].send(shard, Command::SetClassSharing(self.class_sharing))?;
+        }
+        Ok(())
     }
 }
 

@@ -295,6 +295,68 @@ fn warm_grouped_hub_publish_meets_the_isolated_pinned_bounds() {
     debug_assertions,
     ignore = "allocation bounds are pinned for release builds"
 )]
+fn classed_quiet_slide_close_is_allocation_free_per_member() {
+    let _guard = LOCK.lock().unwrap();
+    // The result-class floor: a quiet slide close (top-k unchanged) on a
+    // warm class touches the heap **zero** times per member — the class
+    // re-emits the previous `Arc` snapshot and its inline `[Unchanged]`
+    // event list, and per-member emission is a refcount bump plus the
+    // QueryId/slide tag stamped into the output Vec. The only permitted
+    // allocation is that output Vec itself.
+    let mut hub = Hub::new();
+    let members = 50usize;
+    for _ in 0..members {
+        // identical geometry: one group, one 50-member result class
+        hub.register_grouped(&Query::window(400).top(1).slide(10))
+            .unwrap();
+    }
+    // one spike per window length dominates top-1 for 40 straight
+    // slides, so closes between spikes are quiet
+    let spiked = |i: u64| {
+        if i.is_multiple_of(400) {
+            10_000.0
+        } else {
+            score(i)
+        }
+    };
+    let warm: Vec<Object> = (0..1_000u64).map(|i| Object::new(i, spiked(i))).collect();
+    for chunk in warm.chunks(10) {
+        hub.publish(chunk);
+    }
+    let stats = hub.stats();
+    assert_eq!(stats.result_classes, 1, "one geometry class");
+    assert!(stats.class_hits > 0, "warm-up must serve classed closes");
+
+    // arrivals 1000..1150 keep the spike at 800 inside the window: every
+    // close re-emits the same top-1, i.e. 15 quiet classed closes
+    let mut next = 1_000u64;
+    for round in 0..15u64 {
+        let batch: Vec<Object> = (next..next + 10)
+            .map(|i| Object::new(i, spiked(i)))
+            .collect();
+        next += 10;
+        let (updates, allocs) = measured(|| hub.publish(&batch));
+        assert_eq!(updates.len(), members, "every member rides the close");
+        for u in &updates {
+            assert!(
+                !u.result.changed(),
+                "round {round}: the spike keeps the close quiet"
+            );
+        }
+        assert!(
+            allocs <= 1,
+            "round {round}: quiet classed close paid {allocs} allocations \
+             for {members} members (pinned bound: the output Vec only — \
+             0 per member beyond the tag)"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
 fn warm_async_hub_quiet_publish_is_allocation_free() {
     let _guard = LOCK.lock().unwrap();
     // The async hub's quiet publish is a single lock crossing that

@@ -453,9 +453,35 @@ fn worker_panic_surfaces_shard_down_on_every_fallible_op() {
     ));
     // the queue is not poisoned: ops scoped to surviving shards answer
     assert!(hub.inspect(survivor).is_ok());
-    // last — resize's eject pass abandons live sessions when it hits the
-    // dead shard, so nothing after this may rely on the survivors
+    // resize stages the eject before committing, so hitting the dead
+    // shard aborts with the old placement intact — survivors keep
+    // serving afterwards
     assert!(matches!(hub.resize(2), Err(SapError::ShardDown { .. })));
+    assert!(hub.inspect(survivor).is_ok());
+}
+
+/// A failed resize is transactional: the eject pass stages every live
+/// shard's sessions, and when it finds the detonated shard it reinstalls
+/// the staged parts on their original shards instead of committing the
+/// new placement. Survivor state (slide counts) must be byte-identical
+/// before and after the aborted attempt — twice, because the reinstall
+/// path itself must leave the hub re-abortable.
+#[test]
+fn failed_resize_leaves_survivors_intact() {
+    let (mut hub, _bomb, survivor) = detonated(4, 2);
+    let before = hub.inspect(survivor).expect("survivor serves");
+    for attempt in 0..2 {
+        assert!(
+            matches!(hub.resize(8), Err(SapError::ShardDown { .. })),
+            "attempt {attempt}"
+        );
+        let after = hub.inspect(survivor).expect("old placement intact");
+        assert_eq!(after.slides, before.slides, "attempt {attempt}");
+        assert_eq!(
+            after.last_snapshot, before.last_snapshot,
+            "attempt {attempt}"
+        );
+    }
 }
 
 /// With a single worker the panic must not take the reactor down: the

@@ -82,8 +82,15 @@ impl Schedule<'_> {
         out
     }
 
-    /// Sequential hub; `grouped` picks the registration path.
-    fn run_hub(&self, grouped: bool) -> (BTreeMap<QueryId, u64>, Option<QueryId>, HubStats) {
+    /// Sequential hub; `grouped` picks the registration path and
+    /// `sharing` the result-class knob value before each registration
+    /// phase (the knob only affects future registrations, so `(false,
+    /// true)` produces a mixed classed/unclassed population).
+    fn run_hub(
+        &self,
+        grouped: bool,
+        sharing: (bool, bool),
+    ) -> (BTreeMap<QueryId, u64>, Option<QueryId>, HubStats) {
         let mut hub = Hub::new();
         let register = |hub: &mut Hub, q: &Query| {
             if grouped {
@@ -93,6 +100,7 @@ impl Schedule<'_> {
             }
         };
         let mut sums = BTreeMap::new();
+        hub.set_result_class_sharing(sharing.0);
         for q in &self.queries[..self.early] {
             register(&mut hub, q);
         }
@@ -106,6 +114,7 @@ impl Schedule<'_> {
         if let Some(id) = dropped {
             hub.unregister(id).expect("registered in phase one");
         }
+        hub.set_result_class_sharing(sharing.1);
         for q in &self.queries[self.early..] {
             register(&mut hub, q);
         }
@@ -117,9 +126,16 @@ impl Schedule<'_> {
     }
 
     /// Sharded hub, all queries on the shared count plane.
-    fn run_sharded(&self, shards: usize) -> (BTreeMap<QueryId, u64>, Option<QueryId>, HubStats) {
+    fn run_sharded(
+        &self,
+        shards: usize,
+        class_sharing: bool,
+    ) -> (BTreeMap<QueryId, u64>, Option<QueryId>, HubStats) {
         let mut hub = ShardedHub::new(shards);
         let mut sums = BTreeMap::new();
+        if !class_sharing {
+            hub.set_result_class_sharing(false).unwrap();
+        }
         for q in &self.queries[..self.early] {
             hub.register_grouped(q).unwrap();
         }
@@ -141,6 +157,43 @@ impl Schedule<'_> {
             fold_all(&mut sums, hub.drain().unwrap());
         }
         let stats = hub.stats().unwrap();
+        (sums, dropped, stats)
+    }
+
+    /// Async hub under a seeded adversarial schedule, all queries on the
+    /// shared count plane (classed serving inside worker bursts).
+    fn run_async(
+        &self,
+        shards: usize,
+        workers: usize,
+        seed: u64,
+    ) -> (BTreeMap<QueryId, u64>, Option<QueryId>, HubStats) {
+        let mut hub =
+            AsyncHub::with_scheduler(shards, workers, Box::new(SeededScheduler::new(seed)));
+        let mut sums = BTreeMap::new();
+        for q in &self.queries[..self.early] {
+            hub.register_grouped(q).unwrap();
+        }
+        let mid = self.data.len() / 2;
+        for chunk in self.chunks(0, mid) {
+            hub.publish(chunk).expect("shards alive");
+            fold_all(&mut sums, hub.drain().expect("shards alive"));
+        }
+        let ids: Vec<QueryId> = hub.query_ids().collect();
+        let dropped = (ids.len() > 1).then(|| ids[0]);
+        if let Some(id) = dropped {
+            hub.unregister(id).expect("registered in phase one");
+        }
+        for q in &self.queries[self.early..] {
+            hub.register_grouped(q).unwrap();
+        }
+        for chunk in self.chunks(mid, self.data.len()) {
+            hub.publish(chunk).expect("shards alive");
+            fold_all(&mut sums, hub.drain().expect("shards alive"));
+        }
+        hub.flush().expect("shards alive");
+        fold_all(&mut sums, hub.drain().expect("shards alive"));
+        let stats = hub.stats().expect("shards alive");
         (sums, dropped, stats)
     }
 }
@@ -238,10 +291,10 @@ proptest! {
             cuts: &cuts,
         };
 
-        let (expected, iso_dropped, iso_stats) = schedule.run_hub(false);
+        let (expected, iso_dropped, iso_stats) = schedule.run_hub(false, (true, true));
         prop_assert!(!expected.is_empty());
         prop_assert!(iso_stats.count_group_rebuilds > 0, "isolated slides count as rebuilds");
-        let (grouped, grouped_dropped, grouped_stats) = schedule.run_hub(true);
+        let (grouped, grouped_dropped, grouped_stats) = schedule.run_hub(true, (true, true));
         prop_assert_eq!(grouped_dropped, iso_dropped);
         prop_assert_eq!(
             &grouped, &expected,
@@ -251,7 +304,7 @@ proptest! {
         prop_assert!(grouped_stats.count_group_hits > 0);
         prop_assert_eq!(grouped_stats.count_group_rebuilds, 0, "no isolated sessions here");
         for shards in [1usize, 2, 8] {
-            let (got, par_dropped, par_stats) = schedule.run_sharded(shards);
+            let (got, par_dropped, par_stats) = schedule.run_sharded(shards, true);
             prop_assert_eq!(par_dropped, iso_dropped, "unregister targets diverged");
             prop_assert_eq!(
                 &got, &expected,
@@ -262,6 +315,150 @@ proptest! {
                 "sharding must not change how many slides the plane serves");
         }
     }
+
+    /// The memoization property: result-class serving (the default), the
+    /// pre-memoization per-member path (knob off), a mixed population
+    /// (knob flipped mid-stream), the sharded hub with the knob off, and
+    /// the async hub under seeded schedules all produce identical
+    /// per-query event checksums to the isolated hub — which the oracle
+    /// property above anchors to brute force. Geometries are drawn in
+    /// duplicate so multi-member classes actually form.
+    #[test]
+    fn class_memoization_is_result_invisible(
+        scores in vec(0u8..=50, 50..160),
+        geoms in vec((1usize..=4, 1usize..=6, 0usize..5), 2..5),
+        s_base in 1usize..=5,
+        cuts in vec(1usize..=23, 0..6),
+        early_frac in 1usize..=100,
+        seed in 0u64..u64::MAX,
+    ) {
+        let data = stream(&scores);
+        let kinds = all_kinds();
+        let queries: Vec<Query> = geoms
+            .iter()
+            .flat_map(|&(m, k, kind_idx)| {
+                let q = Query::window(s_base * m)
+                    .top(k.min(s_base * m))
+                    .slide(s_base)
+                    .algorithm(kinds[kind_idx]);
+                // a twin per geometry: every result class that survives
+                // churn has at least two members to memoize across
+                [q.clone(), q]
+            })
+            .collect();
+        let schedule = Schedule {
+            early: (early_frac * queries.len()).div_ceil(100).min(queries.len()),
+            queries: &queries,
+            data: &data,
+            cuts: &cuts,
+        };
+
+        let (expected, iso_dropped, _) = schedule.run_hub(false, (true, true));
+        prop_assert!(!expected.is_empty());
+        let (memo, memo_dropped, memo_stats) = schedule.run_hub(true, (true, true));
+        prop_assert_eq!(memo_dropped, iso_dropped);
+        prop_assert_eq!(&memo, &expected, "classed hub diverged from isolated");
+        prop_assert!(
+            memo_stats.class_hits > 0,
+            "duplicated geometries must form multi-member classes"
+        );
+
+        let (off, off_dropped, off_stats) = schedule.run_hub(true, (false, false));
+        prop_assert_eq!(off_dropped, iso_dropped);
+        prop_assert_eq!(&off, &expected, "knob-off hub diverged from isolated");
+        // knob off founds uniform solo classes — per-member serving, so
+        // nothing is ever served off another member's computation
+        prop_assert_eq!(off_stats.class_hits, 0);
+
+        let (mixed, mixed_dropped, _) = schedule.run_hub(true, (false, true));
+        prop_assert_eq!(mixed_dropped, iso_dropped);
+        prop_assert_eq!(&mixed, &expected, "mixed classed/unclassed hub diverged");
+
+        let (sharded_off, so_dropped, _) = schedule.run_sharded(2, false);
+        prop_assert_eq!(so_dropped, iso_dropped);
+        prop_assert_eq!(&sharded_off, &expected, "knob-off sharded hub diverged");
+
+        for (shards, workers) in [(1usize, 1usize), (2, 2), (8, 3)] {
+            let (got, async_dropped, async_stats) = schedule.run_async(shards, workers, seed);
+            prop_assert_eq!(async_dropped, iso_dropped);
+            prop_assert_eq!(
+                &got, &expected,
+                "async hub diverged (seed={:#018x}, shards={}, workers={})",
+                seed, shards, workers
+            );
+            prop_assert!(async_stats.result_classes > 0, "classes survive the reactor");
+        }
+    }
+}
+
+/// Pins the tentpole's sharing mechanism, not just its results: on a
+/// slide close, every member of a result class receives a clone of the
+/// **same** `Snapshot` allocation (`Arc::ptr_eq`), while with the knob
+/// off each member materializes its own. Results are checksum-identical
+/// either way.
+#[test]
+fn class_members_share_one_snapshot_allocation() {
+    let data = stream(&(0..96).map(|i| (i * 5 % 23) as u8).collect::<Vec<_>>());
+    let mut classed = Hub::new();
+    let mut off = Hub::new();
+    off.set_result_class_sharing(false);
+    let members = 4usize;
+    for hub in [&mut classed, &mut off] {
+        for _ in 0..members {
+            hub.register_grouped(&Query::window(8).top(3).slide(4))
+                .unwrap();
+        }
+    }
+    let mut classed_sums = BTreeMap::new();
+    let mut off_sums = BTreeMap::new();
+    for chunk in data.chunks(4) {
+        let updates = classed.publish(chunk);
+        let mut by_slide: BTreeMap<u64, Vec<Snapshot>> = BTreeMap::new();
+        for u in &updates {
+            by_slide
+                .entry(u.result.slide)
+                .or_default()
+                .push(u.result.snapshot.clone());
+        }
+        for (slide, snaps) in &by_slide {
+            assert_eq!(snaps.len(), members, "slide {slide}: every member emits");
+            for snap in &snaps[1..] {
+                assert!(
+                    snaps[0].ptr_eq(snap),
+                    "slide {slide}: class members must share one snapshot Arc"
+                );
+            }
+        }
+        fold_all(&mut classed_sums, updates);
+
+        let updates = off.publish(chunk);
+        let mut by_slide: BTreeMap<u64, Vec<Snapshot>> = BTreeMap::new();
+        for u in &updates {
+            by_slide
+                .entry(u.result.slide)
+                .or_default()
+                .push(u.result.snapshot.clone());
+        }
+        for (slide, snaps) in &by_slide {
+            for snap in &snaps[1..] {
+                assert!(
+                    snaps[0].is_empty() || !snaps[0].ptr_eq(snap),
+                    "slide {slide}: unclassed members each own their snapshot"
+                );
+            }
+        }
+        fold_all(&mut off_sums, updates);
+    }
+    assert_eq!(classed_sums, off_sums, "sharing must be result-invisible");
+    let stats = classed.stats();
+    assert_eq!(stats.result_classes, 1, "one geometry, one class");
+    assert!(
+        stats.class_hits > 0,
+        "every close serves 3 members for free"
+    );
+    // knob off: one solo class per member, nobody rides a shared close
+    assert_eq!(off.stats().result_classes, members as u64);
+    assert_eq!(off.stats().class_hits, 0);
 }
 
 /// A checkpoint cut through a **warm** count group — the open slide
@@ -295,11 +492,14 @@ fn checkpoint_cuts_through_a_warm_count_group() {
     fold_all(&mut expected_tail, hub.publish(&data[157..]));
     assert!(!expected_tail.is_empty());
 
-    // sequential restore
+    // sequential restore — class_hits is serving locality, not state:
+    // a restore rebuilds the result classes and counts fresh
+    let mut expected_stats = stats_at_cut;
+    expected_stats.class_hits = 0;
     let mut seq = Hub::restore(&cp, &DefaultEngineFactory).unwrap();
     assert_eq!(
         seq.stats(),
-        stats_at_cut,
+        expected_stats,
         "counters travel with the checkpoint"
     );
     let mut seq_tail = BTreeMap::new();
@@ -310,7 +510,7 @@ fn checkpoint_cuts_through_a_warm_count_group() {
     for shards in [1usize, 3] {
         let mut par = ShardedHub::restore(&cp, &DefaultEngineFactory, shards).unwrap();
         let restored = par.stats().unwrap();
-        assert_eq!(restored, stats_at_cut, "shards={shards}");
+        assert_eq!(restored, expected_stats, "shards={shards}");
         let mut par_tail = BTreeMap::new();
         for chunk in data[157..].chunks(31) {
             par.publish(chunk).unwrap();

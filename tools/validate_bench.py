@@ -20,7 +20,10 @@ bench run already proved them once:
 - the hotpath allocation gate holds (pooled allocs/object <= pinned
   ceiling, legacy/pooled ratio >= 5x),
 - the fanout quiet-path cost ratio stays clearly sub-linear in the
-  query-count ladder.
+  query-count ladder,
+- the floor preset's memoized slide close stays >= 3x cheaper per member
+  than both pre-memoization arms at the ladder top, with checksum
+  equality across all three and classed serving actually observed.
 """
 
 import json
@@ -347,6 +350,110 @@ ASYNC_RUN_FIELDS = [
 ]
 
 
+FLOOR_RUN_FIELDS = [
+    "arm",
+    "queries",
+    "elapsed_s",
+    "objects_per_sec",
+    "closes",
+    "close_us_per_member",
+    "quiet_objects",
+    "quiet_ns_per_object",
+    "updates",
+    "checksum",
+    "result_classes",
+    "class_hits",
+]
+
+
+def validate_floor(artifact, doc):
+    check(doc.get("bench") == "floor", artifact, f'expected bench "floor", got {doc.get("bench")!r}')
+    if not require(
+        artifact,
+        doc,
+        [
+            "queries",
+            "geometry",
+            "geometry_classes",
+            "top_queries",
+            "improvement_vs_isolated",
+            "improvement_vs_unclassed",
+            "runs",
+        ],
+        "top level",
+    ):
+        return
+    runs = doc["runs"]
+    if not check(len(runs) > 0, artifact, "no runs"):
+        return
+    rungs = {}
+    for r in runs:
+        if not require(artifact, r, FLOOR_RUN_FIELDS, f'run {r.get("arm")}/{r.get("queries")}'):
+            return
+        check(
+            r["close_us_per_member"] > 0,
+            artifact,
+            f'{r["arm"]}({r["queries"]}): zero slide-close cost',
+        )
+        check(r["closes"] > 0, artifact, f'{r["arm"]}({r["queries"]}): no closed slides')
+        rungs.setdefault(r["queries"], {})[r["arm"]] = r
+    for count, arms in sorted(rungs.items()):
+        label = f"{count}-query rung"
+        if not check(
+            {"isolated", "unclassed", "classed"} <= set(arms),
+            artifact,
+            f"{label} missing an arm (got {sorted(arms)})",
+        ):
+            continue
+        # the three serving shapes must be observationally identical
+        check(
+            len({r["updates"] for r in arms.values()}) == 1,
+            artifact,
+            f"{label}: arms disagree on update count",
+        )
+        single_checksum(artifact, list(arms.values()), label)
+        # classed serving must actually have happened — and have been
+        # impossible on the knob-off arm
+        check(
+            arms["classed"]["class_hits"] > 0,
+            artifact,
+            f"{label}: classed run never served a memoized close",
+        )
+        check(
+            arms["classed"]["result_classes"] == doc["geometry_classes"],
+            artifact,
+            f'{label}: {arms["classed"]["result_classes"]} result classes, '
+            f'geometry has {doc["geometry_classes"]}',
+        )
+        check(
+            arms["unclassed"]["class_hits"] == 0,
+            artifact,
+            f'{label}: knob-off run claims {arms["unclassed"]["class_hits"]} memoized closes',
+        )
+    # the headline claim: at the ladder top, the memoized close is >= 3x
+    # cheaper per member than both pre-memoization shapes
+    top = doc["top_queries"]
+    check(top in rungs, artifact, f"top_queries {top} has no runs")
+    for field in ("improvement_vs_isolated", "improvement_vs_unclassed"):
+        check(
+            doc[field] >= 3.0,
+            artifact,
+            f"{field} {doc[field]} < 3.0 — the result-class tier stopped paying for itself",
+        )
+    if top in rungs and {"isolated", "unclassed", "classed"} <= set(rungs[top]):
+        arms = rungs[top]
+        for field, arm in (
+            ("improvement_vs_isolated", "isolated"),
+            ("improvement_vs_unclassed", "unclassed"),
+        ):
+            derived = arms[arm]["close_us_per_member"] / arms["classed"]["close_us_per_member"]
+            check(
+                abs(derived - doc[field]) <= 0.05 * derived,
+                artifact,
+                f"{field} {doc[field]} does not match the top-rung runs ({derived:.3f})",
+            )
+
+
 def validate_async(artifact, doc):
     check(doc.get("bench") == "async_hub", artifact, f'expected bench "async_hub", got {doc.get("bench")!r}')
     if not require(
@@ -432,6 +539,7 @@ KNOWN = {
     "BENCH_hotpath.json": validate_hotpath,
     "BENCH_checkpoint.json": validate_checkpoint,
     "BENCH_fanout.json": validate_fanout,
+    "BENCH_floor.json": validate_floor,
     "BENCH_async.json": validate_async,
 }
 

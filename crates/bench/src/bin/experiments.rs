@@ -43,11 +43,12 @@
 
 use sap_bench::{
     cands, fanout_query_mix, hotpath_query_mix, hub_checksum_fold, hub_query_mix, measure_on,
-    mem_kb, run_fanout_grouped, run_fanout_grouped_sharded, run_fanout_isolated, run_floor,
-    run_hotpath, run_hotpath_sharded, run_hub_async, run_hub_sequential, run_hub_sharded,
-    run_shared_hub, run_shared_hub_sharded, run_shared_isolated, run_timed_hub_sequential,
-    run_timed_hub_sharded, secs, shared_query_mix, timed_query_mix, Algo, BenchEngineFactory,
-    CountingAlloc, FanoutRun, FloorArm, FloorRun, HotpathMode, HotpathRun, HubRun, Table,
+    mem_kb, prune_query_mix, prune_stream, run_fanout_grouped, run_fanout_grouped_sharded,
+    run_fanout_isolated, run_floor, run_hotpath, run_hotpath_sharded, run_hub_async,
+    run_hub_sequential, run_hub_sharded, run_prune, run_shared_hub, run_shared_hub_sharded,
+    run_shared_isolated, run_timed_hub_sequential, run_timed_hub_sharded, secs, shared_query_mix,
+    timed_query_mix, Algo, BenchEngineFactory, CountingAlloc, FanoutRun, FloorArm, FloorRun,
+    HotpathMode, HotpathRun, HubRun, PruneArm, PruneRun, Table,
 };
 use sap_core::{Sap, SapConfig};
 use sap_stream::generators::{ArrivalProcess, Dataset, Workload};
@@ -203,6 +204,12 @@ fn main() {
             json_out.as_deref().unwrap_or("BENCH_floor.json"),
             seed,
         ),
+        "prune" => prune(
+            len.unwrap_or(40_000),
+            queries.unwrap_or(100_000),
+            json_out.as_deref().unwrap_or("BENCH_prune.json"),
+            seed,
+        ),
         "checkpoint" => checkpoint_bench(
             len.unwrap_or(20_000),
             queries.unwrap_or(500),
@@ -224,7 +231,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared hotpath checkpoint fanout floor async all"
+                "unknown experiment `{other}`; try: table2 table3 fig9 fig10 table5 table6 table7 table8 table9 hub timed shared hotpath checkpoint fanout floor prune async all"
             );
             std::process::exit(2);
         }
@@ -1080,6 +1087,131 @@ fn floor(len: usize, queries: usize, json_out: &str, seed: u64) {
         spec.n,
         spec.k,
         spec.s,
+        json_runs.join(",\n")
+    );
+    std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
+    println!("wrote {json_out} (host_cpus = {host_cpus})");
+}
+
+/// The `prune` preset: ingest-side admission control on the shared
+/// timed plane. A skewed-score (`1000·u⁴`), gap-1 stream is served to a
+/// query ladder over up to 1024 slide groups in three arms — knob off
+/// (reference), dominance pruning, and dominance plus a selective
+/// `score ≥ 500` predicate — asserting byte-identical checksums across
+/// all arms at every rung and a positive prune rate on the pruning
+/// arms, then writing the machine-readable `BENCH_prune.json`.
+fn prune(len: usize, queries: usize, json_out: &str, seed: u64) {
+    let data = prune_stream(len, seed);
+    // slides span half the stream, so every group closes exactly one
+    // slide at any --len (serving cost, identical across arms, stays
+    // rare) while the open slide holds thousands of objects against a
+    // gate of at most 8 — the regime the admission plane targets
+    let sd_base = (len as u64 / 2).max(1);
+    let chunk = 1024usize;
+    let mut ladder: Vec<usize> = [queries / 100, queries / 10, queries]
+        .into_iter()
+        .filter(|&q| q > 0)
+        .collect();
+    ladder.dedup();
+
+    let mut t = Table::new(
+        format!(
+            "Admission control: ladder to {queries} shared timed queries, \
+             {len} objects (sd_base = {sd_base}, chunk = {chunk})"
+        ),
+        &[
+            "arm",
+            "queries",
+            "seconds",
+            "objects/s",
+            "updates",
+            "admitted",
+            "pruned",
+            "prune rate",
+        ],
+    );
+    let mut json_runs: Vec<String> = Vec::new();
+    let mut emit = |arm: PruneArm, count: usize, r: &PruneRun| {
+        let ops = r.run.objects_per_sec(len);
+        assert!(
+            ops.is_finite() && ops > 0.0,
+            "[prune] {}({count}): non-finite or zero throughput ({ops})",
+            arm.label()
+        );
+        t.row(vec![
+            arm.label().into(),
+            count.to_string(),
+            format!("{:.3}", r.run.elapsed.as_secs_f64()),
+            format!("{ops:.0}"),
+            r.run.updates.to_string(),
+            r.stats.admitted.to_string(),
+            r.stats.pruned.to_string(),
+            format!("{:.4}", r.stats.prune_rate()),
+        ]);
+        json_runs.push(format!(
+            "    {{\"arm\": \"{}\", \"queries\": {count}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {ops:.1}, \"updates\": {}, \"checksum\": {}, \"admitted\": {}, \"pruned\": {}, \"prune_rate\": {:.6}}}",
+            arm.label(),
+            r.run.elapsed.as_secs_f64(),
+            r.run.updates,
+            r.run.checksum,
+            r.stats.admitted,
+            r.stats.pruned,
+            r.stats.prune_rate(),
+        ));
+        ops
+    };
+
+    // (off, dominance, dominance+predicate) objects/sec at the ladder top
+    let mut top: Option<[f64; 3]> = None;
+    for &count in &ladder {
+        let mix = prune_query_mix(count, sd_base);
+        let off = run_prune(&mix, &data, chunk, PruneArm::Off);
+        let dom = run_prune(&mix, &data, chunk, PruneArm::Dominance);
+        let pred = run_prune(&mix, &data, chunk, PruneArm::DominancePredicate);
+        for (r, label) in [(&dom, "dominance"), (&pred, "dominance+predicate")] {
+            assert_eq!(
+                r.run.updates, off.run.updates,
+                "[prune] {label} arm delivered a different number of updates at {count} queries"
+            );
+            assert_eq!(
+                r.run.checksum, off.run.checksum,
+                "[prune] {label} arm diverged from the knob-off reference at {count} queries"
+            );
+            assert!(
+                r.stats.pruned > 0,
+                "[prune] {label} arm must actually exercise the gate at {count} queries"
+            );
+            assert!(
+                r.stats.prune_rate() > 0.0,
+                "[prune] {label} arm reports a zero prune rate at {count} queries"
+            );
+        }
+        assert_eq!(
+            off.stats.pruned, 0,
+            "[prune] the knob-off arm must never prune"
+        );
+        let off_ops = emit(PruneArm::Off, count, &off);
+        let dom_ops = emit(PruneArm::Dominance, count, &dom);
+        let pred_ops = emit(PruneArm::DominancePredicate, count, &pred);
+        top = Some([off_ops, dom_ops, pred_ops]);
+    }
+    t.print();
+
+    let [off_ops, dom_ops, pred_ops] = top.expect("ladder is non-empty");
+    let top_queries = *ladder.last().expect("ladder is non-empty");
+    let speedup_dominance = dom_ops / off_ops;
+    let speedup_predicate = pred_ops / off_ops;
+    println!(
+        "\nthroughput at {top_queries} queries: off {off_ops:.0} obj/s, \
+         dominance {dom_ops:.0} obj/s, dominance+predicate {pred_ops:.0} obj/s \
+         ({speedup_dominance:.2}x and {speedup_predicate:.2}x vs knob off)"
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"prune\",\n  \"dataset\": \"skewed-u4\",\n  \"seed\": {seed},\n  \"len\": {len},\n  \"queries\": {queries},\n  \"chunk\": {chunk},\n  \"sd_base\": {sd_base},\n  \"host_cpus\": {host_cpus},\n  \"top_queries\": {top_queries},\n  \"speedup_dominance\": {speedup_dominance:.3},\n  \"speedup_predicate\": {speedup_predicate:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
         json_runs.join(",\n")
     );
     std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));

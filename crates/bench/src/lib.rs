@@ -16,8 +16,8 @@ use sap_core::{Sap, SapConfig, TimeBased};
 use sap_stream::generators::{Dataset, Workload};
 use sap_stream::{
     checksum_fold, diff_snapshots, run, AsyncHub, EngineFactory, FifoScheduler, Hub, HubStats,
-    Object, QueryId, QuerySpec, QueryUpdate, RunSummary, SapError, SeededScheduler, ShardedHub,
-    SlidingTopK, TimedObject, TimedSpec, TimedTopK, WindowSpec, CHECKSUM_SEED,
+    Object, Predicate, QueryId, QuerySpec, QueryUpdate, RunSummary, SapError, SeededScheduler,
+    ShardedHub, SlidingTopK, TimedObject, TimedSpec, TimedTopK, WindowSpec, CHECKSUM_SEED,
 };
 
 mod alloc;
@@ -889,6 +889,146 @@ pub fn run_floor(
         close_elapsed,
         quiet_objects,
         quiet_elapsed,
+    }
+}
+
+/// Which admission-knob position a `prune` preset arm runs over one
+/// shared-timed-plane workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneArm {
+    /// Admission pruning disabled (`Hub::set_admission_pruning(false)`):
+    /// every predicate-passing object is buffered into its group's open
+    /// slide — the reference the checksums are anchored to.
+    Off,
+    /// Dominance pruning only (the default knob position, pass-all
+    /// predicates): objects strictly dominated by `k_max` already-admitted
+    /// open-slide objects are dropped at the gate.
+    Dominance,
+    /// Dominance pruning plus a selective subscription predicate
+    /// (`score ≥ 500` on a `1000·u⁴` skew): most objects are rejected
+    /// before the gate is even consulted. The threshold sits far below
+    /// every slide's top-`k_max`, so results stay byte-identical.
+    DominancePredicate,
+}
+
+impl PruneArm {
+    /// JSON/table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PruneArm::Off => "off",
+            PruneArm::Dominance => "dominance",
+            PruneArm::DominancePredicate => "dominance+predicate",
+        }
+    }
+}
+
+/// One measured `prune` configuration: whole-stream timing plus the
+/// admission counters the pruning claim rests on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneRun {
+    /// Whole-stream timing and equivalence evidence.
+    pub run: HubRun,
+    /// The hub's counters after the run ([`HubStats::pruned`] proves the
+    /// gate fired; zero proves it could not have).
+    pub stats: HubStats,
+}
+
+/// Skewed-score, gap-1 timed stream for the `prune` preset: scores are
+/// `1000·u⁴` for uniform `u` (an LCG over `seed`), so most arrivals sit
+/// far below each slide's top-`k_max` — exactly the regime ingest-side
+/// dominance pruning targets — while the top of every slide stays well
+/// above the [`PruneArm::DominancePredicate`] threshold.
+pub fn prune_stream(len: usize, seed: u64) -> Vec<TimedObject> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((x >> 11) as f64) / ((1u64 << 53) as f64);
+            TimedObject::new(i as u64, i as u64, 1000.0 * u * u * u * u)
+        })
+        .collect()
+}
+
+/// Shared-timed-plane query mix for the `prune` preset: up to 1024
+/// distinct slide durations spread across `[sd_base, 2·sd_base)` (each
+/// founding one slide group), window durations spanning 1–2 slides,
+/// `k` fixed per group in 1..=8 (so each group's `k_max` — the gate
+/// capacity — stays small), algorithms cycling through the
+/// shared-plane trio. With gap-1 arrivals over a `2·sd_base` stream,
+/// every group buffers thousands of objects against a gate of at most
+/// 8 and closes exactly one slide — the per-object ingest fan-out the
+/// admission plane collapses dominates, while slide-close serving
+/// (identical across arms by construction) stays rare.
+pub fn prune_query_mix(count: usize, sd_base: u64) -> Vec<(Algo, TimedSpec)> {
+    let algos = [Algo::Sap, Algo::MinTopK, Algo::KSkyband];
+    let step = (sd_base / 1024).max(1);
+    (0..count)
+        .map(|i| {
+            let g = (i % 1024) as u64;
+            let sd = (sd_base + step * g).min(sd_base * 2 - 1);
+            let m = 1 + (i / 1024) as u64 % 2;
+            let k = 1 + (i % 8);
+            let spec = TimedSpec::new(sd * m, sd, k).expect("mix spec is valid");
+            (algos[(i / 2048) % 3], spec)
+        })
+        .collect()
+}
+
+/// Publishes a timed stream to a sequential [`Hub`] serving `mix` on
+/// the shared digest plane with the admission knob in the chosen
+/// [`PruneArm`] position. Checksums are comparable across arms over the
+/// same inputs — equal iff the admission plane is result-invisible —
+/// and the run records the hub's admitted/pruned counters.
+pub fn run_prune(
+    mix: &[(Algo, TimedSpec)],
+    data: &[TimedObject],
+    chunk: usize,
+    arm: PruneArm,
+) -> PruneRun {
+    let mut hub = Hub::new();
+    if arm == PruneArm::Off {
+        hub.set_admission_pruning(false);
+    }
+    let predicate = match arm {
+        PruneArm::DominancePredicate => Predicate::any().score_at_least(500.0),
+        _ => Predicate::any(),
+    };
+    for (algo, spec) in mix {
+        hub.register_shared_filtered_boxed(
+            algo.build(spec.reduced().expect("mix spec is valid")),
+            spec.window_duration,
+            spec.slide_duration,
+            predicate,
+        )
+        .expect("engine built over the reduced spec");
+    }
+    let horizon = data.last().map_or(0, |o| o.timestamp) + 1;
+    let mut updates = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let started = Instant::now();
+    for c in data.chunks(chunk) {
+        for u in hub.publish_timed(c) {
+            updates += 1;
+            checksum = hub_checksum_fold(checksum, &u);
+        }
+    }
+    for u in hub.advance_time(horizon) {
+        updates += 1;
+        checksum = hub_checksum_fold(checksum, &u);
+    }
+    let elapsed = started.elapsed();
+    let stats = hub.stats();
+    PruneRun {
+        run: HubRun {
+            elapsed,
+            updates,
+            checksum,
+            digest_hits: stats.digest_hits,
+            digest_rebuilds: stats.digest_rebuilds,
+        },
+        stats,
     }
 }
 

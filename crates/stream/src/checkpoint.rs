@@ -101,12 +101,19 @@ use crate::window::{SlidingTopK, TimedTopK, WindowSpec};
 /// Leading magic bytes of every checkpoint artifact.
 pub const MAGIC: [u8; 8] = *b"SAPCKPT\0";
 
-/// The payload layout version this build writes and accepts. Bumped on
-/// any layout change; foreign versions are rejected with
+/// The payload layout version this build writes. Bumped on any layout
+/// change; decoding additionally accepts [`MIN_FORMAT_VERSION`] and up
+/// (version 3 added the admission plane: per-group predicates, explicit
+/// count-group ordinals, and the ADMISSION counter section — a version-2
+/// image restores with pass-all predicates and admission counters reset
+/// to zero). Other versions are rejected with
 /// [`CheckpointError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
-/// Section tags of the version-2 payload layout (crate-internal; the
+/// The oldest payload layout version [`Checkpoint::from_bytes`] accepts.
+pub const MIN_FORMAT_VERSION: u32 = 2;
+
+/// Section tags of the version-3 payload layout (crate-internal; the
 /// framing itself is what [`Encoder::section`] exposes publicly).
 pub(crate) mod tags {
     /// One registry's full state (one per shard in a sharded checkpoint).
@@ -121,6 +128,8 @@ pub(crate) mod tags {
     pub const ENGINE: u8 = 5;
     /// The count-group state of one registry (version 2).
     pub const COUNT_GROUPS: u8 = 6;
+    /// The admission-plane counters of one registry (version 3).
+    pub const ADMISSION: u8 = 7;
 }
 
 /// Decode-side sanity bound on a restored query's window dimension `n`
@@ -592,7 +601,7 @@ impl Checkpoint {
             return Err(CheckpointError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -621,6 +630,13 @@ impl Checkpoint {
     /// Whether the payload is empty (the frame never is).
     pub fn is_empty(&self) -> bool {
         self.bytes.len() == FRAME_BYTES
+    }
+
+    /// The payload layout version this artifact was written under —
+    /// within `MIN_FORMAT_VERSION..=FORMAT_VERSION` for any value
+    /// [`from_bytes`](Checkpoint::from_bytes) accepted.
+    pub fn version(&self) -> u32 {
+        u32::from_le_bytes(self.bytes[8..12].try_into().unwrap())
     }
 
     /// The payload between frame header and checksum.

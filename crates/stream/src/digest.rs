@@ -179,6 +179,13 @@ impl DigestProducer {
         self.pending.len()
     }
 
+    /// The still-open slide's buffered objects, in arrival order — what
+    /// the admission plane rebuilds its dominance gate from when a
+    /// group's `k_max` changes mid-slide.
+    pub fn pending(&self) -> &[TimedObject] {
+        &self.pending
+    }
+
     /// Whether the producer has never ingested anything (no closed slides
     /// and an empty open slide) — the state in which a new consumer can
     /// attach with nothing to catch up on.

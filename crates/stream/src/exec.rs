@@ -126,6 +126,7 @@ use std::thread::JoinHandle;
 
 use crate::checkpoint::{Checkpoint, EngineFactory};
 use crate::object::{Object, TimedObject};
+use crate::predicate::Predicate;
 use crate::query::SapError;
 use crate::registry::{HubStats, Registry};
 use crate::session::{QueryId, QueryUpdate};
@@ -581,6 +582,8 @@ pub struct AsyncHub {
     /// The result-class registration knob, remembered hub-side so slots
     /// created by [`resize`](AsyncHub::resize) inherit it.
     class_sharing: bool,
+    /// The admission-pruning knob, remembered for the same reason.
+    admission_pruning: bool,
 }
 
 impl std::fmt::Debug for AsyncHub {
@@ -652,6 +655,7 @@ impl AsyncHub {
             pool: ArcPool::new(),
             timed_pool: ArcPool::new(),
             class_sharing: true,
+            admission_pruning: true,
         }
     }
 
@@ -701,6 +705,24 @@ impl AsyncHub {
         window_duration: u64,
         slide_duration: u64,
     ) -> Result<QueryId, SapError> {
+        self.register_shared_filtered_boxed(
+            engine,
+            window_duration,
+            slide_duration,
+            Predicate::default(),
+        )
+    }
+
+    /// Registers on the shared digest plane with a subscription
+    /// predicate; see
+    /// [`ShardedHub::register_shared_filtered_boxed`](crate::shard::ShardedHub::register_shared_filtered_boxed).
+    pub fn register_shared_filtered_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK + Send>,
+        window_duration: u64,
+        slide_duration: u64,
+        predicate: Predicate,
+    ) -> Result<QueryId, SapError> {
         self.flush_pending_one()?;
         register_shared_on(
             &mut self.placement,
@@ -708,6 +730,7 @@ impl AsyncHub {
             engine,
             window_duration,
             slide_duration,
+            predicate,
         )
     }
 
@@ -729,9 +752,22 @@ impl AsyncHub {
         n: usize,
         s: usize,
     ) -> Result<QueryId, SapError> {
+        self.register_grouped_filtered_boxed(engine, n, s, Predicate::default())
+    }
+
+    /// Registers on the shared count plane with a subscription
+    /// predicate; see
+    /// [`ShardedHub::register_grouped_filtered_boxed`](crate::shard::ShardedHub::register_grouped_filtered_boxed).
+    pub fn register_grouped_filtered_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK + Send>,
+        n: usize,
+        s: usize,
+        predicate: Predicate,
+    ) -> Result<QueryId, SapError> {
         // settles `published`, so the geometry key is phase-exact
         self.flush_pending_one()?;
-        register_grouped_on(&mut self.placement, &*self.reactor, engine, n, s)
+        register_grouped_on(&mut self.placement, &*self.reactor, engine, n, s, predicate)
     }
 
     /// Registers an owned engine on the shared count plane.
@@ -1052,10 +1088,13 @@ impl AsyncHub {
         }
         self.placement.reset(num_shards);
         place_parts_on(&mut self.placement, &*self.reactor, merged)?;
-        // fresh slots serve fresh registries, which default to pooling;
-        // re-broadcast a disabled knob
+        // fresh slots serve fresh registries, which default to pooling
+        // and pruning; re-broadcast disabled knobs
         if !self.class_sharing {
             self.broadcast_class_sharing()?;
+        }
+        if !self.admission_pruning {
+            self.broadcast_admission_pruning()?;
         }
         Ok(())
     }
@@ -1075,6 +1114,25 @@ impl AsyncHub {
         for shard in 0..self.placement.num_shards() {
             self.reactor
                 .send(shard, Command::SetClassSharing(self.class_sharing))?;
+        }
+        Ok(())
+    }
+
+    /// Enables or disables ingest-side dominance pruning on every shard
+    /// (default: enabled) — same contract as
+    /// [`ShardedHub::set_admission_pruning`](crate::shard::ShardedHub::set_admission_pruning):
+    /// results are byte-identical either way; disabled is the reference
+    /// arm where [`HubStats::pruned`](crate::HubStats::pruned) stays `0`.
+    pub fn set_admission_pruning(&mut self, enabled: bool) -> Result<(), SapError> {
+        self.flush_pending_one()?;
+        self.admission_pruning = enabled;
+        self.broadcast_admission_pruning()
+    }
+
+    fn broadcast_admission_pruning(&self) -> Result<(), SapError> {
+        for shard in 0..self.placement.num_shards() {
+            self.reactor
+                .send(shard, Command::SetAdmissionPruning(self.admission_pruning))?;
         }
         Ok(())
     }

@@ -99,6 +99,7 @@ pub mod exec;
 pub mod generators;
 pub mod metrics;
 pub mod object;
+pub mod predicate;
 pub mod query;
 mod registry;
 pub mod session;
@@ -120,6 +121,7 @@ pub use exec::{AsyncHub, FifoScheduler, Scheduler, SeededScheduler, COMMANDS_PER
 pub use generators::{ArrivalProcess, Dataset, Workload};
 pub use metrics::OpStats;
 pub use object::{Object, ScoreKey, TimedObject};
+pub use predicate::Predicate;
 pub use query::{AlgorithmKind, Query, QuerySpec, SapError, SapPolicy, TimedSpec};
 pub use registry::HubStats;
 pub use session::{

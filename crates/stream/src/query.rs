@@ -18,6 +18,7 @@
 //! Construction of the boxed engine happens one layer up (the `sap` facade
 //! crate's `prelude`), where the algorithm crates are all in scope.
 
+use crate::predicate::Predicate;
 use crate::window::{SpecError, WindowSpec};
 
 /// Unified error type of the query API, absorbing window-spec validation
@@ -83,6 +84,18 @@ pub enum SapError {
     /// factory cannot build. See
     /// [`CheckpointError`](crate::checkpoint::CheckpointError).
     Checkpoint(crate::checkpoint::CheckpointError),
+    /// The query's [`Predicate`] is malformed (non-finite score bound,
+    /// empty score range, or a zero/overflowing tag modulus).
+    InvalidPredicate {
+        /// The violated predicate rule.
+        reason: &'static str,
+    },
+    /// A non-trivial [`Predicate`] was attached to a query registered on
+    /// an **isolated** path (`register`/`register_timed`). Predicates are
+    /// an admission-plane feature of the shared planes — register the
+    /// query with `register_shared`/`register_grouped` instead, or drop
+    /// the filter.
+    PredicateUnsupported,
 }
 
 impl std::fmt::Display for SapError {
@@ -124,6 +137,17 @@ impl std::fmt::Display for SapError {
                 )
             }
             SapError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            SapError::InvalidPredicate { reason } => {
+                write!(f, "invalid predicate: {reason}")
+            }
+            SapError::PredicateUnsupported => {
+                write!(
+                    f,
+                    "predicates require a shared-plane registration \
+                     (register_shared/register_grouped); isolated sessions \
+                     do not filter"
+                )
+            }
         }
     }
 }
@@ -404,6 +428,7 @@ pub struct Query {
     slide_duration: Option<u64>,
     k: Option<usize>,
     algorithm: AlgorithmKind,
+    predicate: Predicate,
 }
 
 impl Query {
@@ -415,6 +440,7 @@ impl Query {
             slide_duration: None,
             k: None,
             algorithm: AlgorithmKind::default(),
+            predicate: Predicate::default(),
         }
     }
 
@@ -467,6 +493,24 @@ impl Query {
         self
     }
 
+    /// Attaches an attribute [`Predicate`]: only matching objects rank
+    /// in this query's top-k. The filter applies to the **ranking, not
+    /// the stream** — rejected objects still advance arrival ordinals
+    /// and event time, so slide numbering matches an unfiltered sibling.
+    /// Served on the shared planes (`register_shared`/`register_grouped`);
+    /// isolated registrations reject a non-trivial predicate with
+    /// [`SapError::PredicateUnsupported`].
+    pub fn filter(mut self, predicate: Predicate) -> Query {
+        self.predicate = predicate;
+        self
+    }
+
+    /// The attached predicate (pass-all unless [`filter`](Query::filter)
+    /// was called).
+    pub fn predicate(&self) -> Predicate {
+        self.predicate
+    }
+
     /// The configured algorithm.
     pub fn kind(&self) -> &AlgorithmKind {
         &self.algorithm
@@ -489,6 +533,9 @@ impl Query {
         if count && timed {
             return Err(SapError::MixedWindowKinds);
         }
+        self.predicate
+            .validate()
+            .map_err(|reason| SapError::InvalidPredicate { reason })?;
         let k = self.k.ok_or(SapError::MissingK)?;
         if let Some(duration) = self.window_duration {
             let spec = TimedSpec::new(duration, self.slide_duration.unwrap_or(1), k)?;
@@ -546,6 +593,23 @@ mod tests {
     #[test]
     fn missing_k_is_an_error() {
         assert_eq!(Query::window(10).validate(), Err(SapError::MissingK));
+    }
+
+    #[test]
+    fn filter_threads_through_and_is_validated() {
+        let q = Query::window(10)
+            .top(2)
+            .slide(5)
+            .filter(Predicate::any().score_at_least(3.0));
+        assert!(!q.predicate().is_pass_all());
+        assert!(q.validate().is_ok());
+        let bad = Query::window(10)
+            .top(2)
+            .filter(Predicate::any().score_range(5.0, 1.0));
+        assert!(matches!(
+            bad.validate_any(),
+            Err(SapError::InvalidPredicate { .. })
+        ));
     }
 
     #[test]

@@ -93,6 +93,7 @@ use crate::checkpoint::{tags, CheckpointError, Decoder, Encoder};
 use crate::digest::{DigestProducer, DigestRef, DigestView, SharedTimed};
 use crate::events::{EventList, SlideResult, Snapshot};
 use crate::object::{Object, TimedObject};
+use crate::predicate::{Predicate, PruneGate};
 use crate::query::{SapError, TimedSpec};
 use crate::session::{
     close_staged, AnySession, GroupedSession, QueryId, QueryUpdate, Session, SharedSession,
@@ -145,6 +146,21 @@ pub struct HubStats {
     /// Slides computed by **isolated** count sessions outside the shared
     /// count plane — the per-query work grouping would have pooled.
     pub count_group_rebuilds: u64,
+    /// Objects admitted into a sharing-plane producer's open slide —
+    /// slide groups and count groups alike. Ticks whether or not
+    /// dominance pruning is enabled, so
+    /// [`prune_rate`](HubStats::prune_rate) compares the same population
+    /// on both arms. Objects a group's subscription predicate rejects
+    /// count toward **neither** `admitted` nor `pruned` — they never
+    /// reach the dominance gate.
+    pub admitted: u64,
+    /// Objects the k-skyband dominance gate skipped: at ingest time, at
+    /// least `k_max` already-admitted objects of the same open slide
+    /// strictly dominated them, so they provably cannot appear in the
+    /// slide's top-`k_max` digest and no member can ever observe them.
+    /// Always 0 while admission pruning is disabled
+    /// (`set_admission_pruning(false)` — the reference arm).
+    pub pruned: u64,
     /// Live result classes across both sharing planes (see the module
     /// docs on result classes): distinct `(n, k, join_slide)` cohorts inside
     /// count groups plus `(wd, k)` cohorts inside slide groups. Equals
@@ -195,6 +211,41 @@ impl HubStats {
         }
     }
 
+    /// Fraction of gate-eligible objects the dominance gate pruned:
+    /// `pruned / (admitted + pruned)`, or 0 before any object reached a
+    /// sharing-plane producer. Exactly 0 while admission pruning is
+    /// disabled, because [`pruned`](HubStats::pruned) never ticks there.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.admitted + self.pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+
+    /// Fraction of sharing-plane member slides served from a result-class
+    /// memo beyond the computing member: `class_hits / (digest_hits +
+    /// count_group_hits)`, or 0 before any shared slide closed.
+    ///
+    /// **Dashboards should alarm on this rate falling, not on
+    /// [`result_classes`](HubStats::result_classes) rising**: the class
+    /// *count* grows with a healthy, diverse query population (every new
+    /// `(n, k, join_slide)` cohort adds one), while a falling hit *rate*
+    /// means slide closes are doing per-member work the memo used to
+    /// absorb — the actual regression signal. Note the denominator counts
+    /// member-slides served by the sharing planes, so the rate is
+    /// comparable across hubs of different shard counts after
+    /// [`merge`](HubStats::merge).
+    pub fn class_hit_rate(&self) -> f64 {
+        let total = self.digest_hits + self.count_group_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.class_hits as f64 / total as f64
+        }
+    }
+
     /// Field-wise accumulation — how `ShardedHub::stats()` folds its
     /// per-shard partials into one hub-wide view. Straight sums are
     /// exact for every field because each query (and — by the
@@ -213,6 +264,8 @@ impl HubStats {
         self.count_groups += other.count_groups;
         self.count_group_hits += other.count_group_hits;
         self.count_group_rebuilds += other.count_group_rebuilds;
+        self.admitted += other.admitted;
+        self.pruned += other.pruned;
         self.result_classes += other.result_classes;
         self.class_hits += other.class_hits;
         self.publisher_parks += other.publisher_parks;
@@ -227,15 +280,18 @@ impl HubStats {
 /// invariant** that makes [`HubStats::merge`]'s straight sums exact:
 /// `digest_groups`/`count_groups` totals are only correct because no
 /// group ever spans two workers. Slide groups are identified by their
-/// `slide_duration`; count groups by `(slide length, pending fill)` —
-/// at a quiesced instant every shard has consumed the same published
-/// prefix, so two count groups with equal `s` sit at the same fill only
-/// if they are the same offset class (the same uniqueness argument the
-/// checkpoint encoding and `RegistryParts::merge` already rely on).
+/// `(slide_duration, predicate)`; count groups by `(slide length, slide
+/// fill, predicate)` — at a quiesced instant every shard has consumed
+/// the same published prefix, so two count groups with equal `s` and
+/// equal predicate sit at the same fill only if they are the same
+/// offset class (the same uniqueness argument the checkpoint encoding
+/// and `RegistryParts::merge` already rely on). Fill counts **observed
+/// stream positions**, not buffered objects, so the identity is stable
+/// under dominance pruning and predicate rejection.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub(crate) struct GroupKeys {
-    pub(crate) digest: Vec<u64>,
-    pub(crate) count: Vec<(u64, u64)>,
+    pub(crate) digest: Vec<(u64, Predicate)>,
+    pub(crate) count: Vec<(u64, u64, Predicate)>,
 }
 
 impl GroupKeys {
@@ -269,6 +325,15 @@ impl GroupKeys {
 struct DigestGroup<C: SlidingTopK> {
     producer: DigestProducer,
     members: usize,
+    /// The group's subscription predicate (also its key's second half):
+    /// objects it rejects advance the group's event time but are never
+    /// buffered, so every member sees the filtered ranking.
+    predicate: Predicate,
+    /// The k-skyband dominance gate over the open slide's admitted
+    /// objects — rebuilt whenever `k_max` changes or the open slide's
+    /// contents are restored, reset at every slide close. Consulted only
+    /// while admission pruning is enabled.
+    gate: PruneGate,
     /// Result classes of the members that are provably view-equivalent
     /// (joined the group pristine, or byte-matched at installation).
     /// Warming-up and promoted-solo members are served individually and
@@ -343,12 +408,33 @@ struct CountGroup<C: SlidingTopK> {
     /// group's slide close touches only its members, never the full
     /// session store.
     member_ids: Vec<QueryId>,
-    /// Objects this group has observed = the next group ordinal.
+    /// Objects this group has observed = the next group ordinal. Under
+    /// admission control this keeps counting **every** published object
+    /// — predicate-rejected and dominance-pruned ones included — so
+    /// slide boundaries, the translation ring, and drain order are
+    /// byte-identical to the unfiltered plane.
     next_ordinal: u64,
+    /// The group's subscription predicate (part of its geometry-class
+    /// identity): rejected objects advance ordinals but never reach the
+    /// producer, so members rank only the matching substream.
+    predicate: Predicate,
+    /// The k-skyband dominance gate over the open slide's admitted
+    /// objects — see [`DigestGroup::gate`].
+    gate: PruneGate,
     /// The members partitioned into result classes by `(n, k,
     /// join_slide)` — every member appears in exactly one class, and a
     /// slide close runs one reduction + diff per class, not per member.
     classes: Vec<CountClass<C>>,
+}
+
+impl<C: SlidingTopK> CountGroup<C> {
+    /// Observed stream positions inside the open slide — the close
+    /// trigger and geometry identity. Derived from the ordinal, **not**
+    /// `pending_len()`: admission control admits fewer objects than it
+    /// observes, but the slide fills on observation.
+    fn fill(&self) -> u64 {
+        self.next_ordinal - self.producer.next_slide() * self.slide_len as u64
+    }
 }
 
 /// One **result class** of a count group: its members share `(n, k,
@@ -410,21 +496,27 @@ impl<C: SlidingTopK> CountClass<C> {
 }
 
 /// A count group's portable state — what travels through checkpoints and
-/// whole-group shard migrations. Membership, `ring_cap`, and
-/// `next_ordinal` are recomputed at installation from the member
-/// sessions and the producer's slide position.
+/// whole-group shard migrations. Membership and `ring_cap` are
+/// recomputed at installation from the member sessions.
 pub(crate) struct CountGroupState {
     pub(crate) producer: DigestProducer,
     pub(crate) ring: VecDeque<u64>,
     pub(crate) ring_base: u64,
+    /// The group's subscription predicate (pass-all for v2 images).
+    pub(crate) predicate: Predicate,
+    /// Observed stream positions — carried explicitly since v3: under
+    /// admission control the producer's `pending_len` undercounts the
+    /// open slide's fill, so the ordinal is no longer derivable from the
+    /// producer alone. v2 images derive it as `next_slide · s +
+    /// pending_len` (exact there — nothing was ever skipped).
+    pub(crate) next_ordinal: u64,
 }
 
 impl CountGroupState {
-    /// `next_slide · s + pending` — the group ordinal the next arrival
-    /// gets, re-derived from the producer's position.
-    fn next_ordinal(&self) -> u64 {
-        self.producer.next_slide() * self.producer.slide_duration()
-            + self.producer.pending_len() as u64
+    /// Observed stream positions inside the open slide — see
+    /// [`CountGroup::fill`].
+    pub(crate) fn fill(&self) -> u64 {
+        self.next_ordinal - self.producer.next_slide() * self.producer.slide_duration()
     }
 }
 
@@ -434,8 +526,11 @@ impl CountGroupState {
 /// per publish call.
 pub(crate) struct Registry<C: SlidingTopK, T: TimedTopK> {
     sessions: Vec<(QueryId, AnySession<C, T>)>,
-    /// `slide_duration` → the group serving every shared session with it.
-    groups: HashMap<u64, DigestGroup<C>>,
+    /// `(slide_duration, predicate)` → the group serving every shared
+    /// session with that geometry **and** that subscription predicate.
+    /// Predicate-disjoint members of one slide duration split into
+    /// distinct groups, because they rank different substreams.
+    groups: HashMap<(u64, Predicate), DigestGroup<C>>,
     /// Live group id → the count group serving its grouped members. Keys
     /// are opaque registry-local handles (geometry is *derivable* — a
     /// group's offset class is `next_ordinal mod s` relative to this
@@ -453,6 +548,15 @@ pub(crate) struct Registry<C: SlidingTopK, T: TimedTopK> {
     digest_rebuilds: u64,
     count_group_hits: u64,
     count_group_rebuilds: u64,
+    /// Objects admitted into a sharing-plane producer — see
+    /// [`HubStats::admitted`]. Persisted since checkpoint v3.
+    admitted: u64,
+    /// Objects the dominance gate skipped — see [`HubStats::pruned`].
+    pruned: u64,
+    /// Whether ingest consults the k-skyband dominance gate (default).
+    /// Off, every predicate-passing object is admitted — the reference
+    /// arm, under which `pruned` never ticks.
+    admission_pruning: bool,
     /// Member emissions served from a class computation beyond the
     /// computing member — see [`HubStats::class_hits`]. Not persisted
     /// (the checkpoint counter section predates it), so it resets on
@@ -496,6 +600,9 @@ impl<C: SlidingTopK, T: TimedTopK> Default for Registry<C, T> {
             digest_rebuilds: 0,
             count_group_hits: 0,
             count_group_rebuilds: 0,
+            admitted: 0,
+            pruned: 0,
+            admission_pruning: true,
             class_hits: 0,
             class_sharing: true,
             plain_buf: Vec::new(),
@@ -522,7 +629,7 @@ pub(crate) type EjectedCountGroup<C, T> = (CountGroupState, Vec<(QueryId, AnySes
 /// validated the cross-section invariants.
 pub(crate) struct RegistryParts<C: SlidingTopK, T: TimedTopK> {
     pub(crate) sessions: Vec<(QueryId, AnySession<C, T>)>,
-    pub(crate) groups: Vec<(u64, DigestProducer)>,
+    pub(crate) groups: Vec<((u64, Predicate), DigestProducer)>,
     /// Count groups in canonical section order; a grouped session's
     /// `group` field indexes this list (rebased during merge).
     pub(crate) count_groups: Vec<CountGroupState>,
@@ -530,6 +637,8 @@ pub(crate) struct RegistryParts<C: SlidingTopK, T: TimedTopK> {
     pub(crate) digest_rebuilds: u64,
     pub(crate) count_group_hits: u64,
     pub(crate) count_group_rebuilds: u64,
+    pub(crate) admitted: u64,
+    pub(crate) pruned: u64,
 }
 
 impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
@@ -542,12 +651,14 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
     /// the hub never produces, so it is corruption rather than a merge.
     pub(crate) fn merge(parts: Vec<Self>) -> Result<Self, CheckpointError> {
         let mut sessions = Vec::new();
-        let mut groups: Vec<(u64, DigestProducer)> = Vec::new();
+        let mut groups: Vec<((u64, Predicate), DigestProducer)> = Vec::new();
         let mut count_groups: Vec<CountGroupState> = Vec::new();
         let mut digest_hits = 0u64;
         let mut digest_rebuilds = 0u64;
         let mut count_group_hits = 0u64;
         let mut count_group_rebuilds = 0u64;
+        let mut admitted = 0u64;
+        let mut pruned = 0u64;
         for mut part in parts {
             // rebase this section's group indices onto the concatenated
             // list BEFORE its sessions dissolve into the shared pool
@@ -563,18 +674,20 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
             }
             count_groups.extend(part.count_groups);
             sessions.extend(part.sessions);
-            for (sd, producer) in part.groups {
-                if groups.iter().any(|(have, _)| *have == sd) {
+            for (key, producer) in part.groups {
+                if groups.iter().any(|(have, _)| *have == key) {
                     return Err(CheckpointError::Corrupt(
                         "a slide group spans registry sections",
                     ));
                 }
-                groups.push((sd, producer));
+                groups.push((key, producer));
             }
             digest_hits = digest_hits.saturating_add(part.digest_hits);
             digest_rebuilds = digest_rebuilds.saturating_add(part.digest_rebuilds);
             count_group_hits = count_group_hits.saturating_add(part.count_group_hits);
             count_group_rebuilds = count_group_rebuilds.saturating_add(part.count_group_rebuilds);
+            admitted = admitted.saturating_add(part.admitted);
+            pruned = pruned.saturating_add(part.pruned);
         }
         sessions.sort_by_key(|(id, _)| *id);
         if sessions.windows(2).any(|w| w[0].0 == w[1].0) {
@@ -582,7 +695,7 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
                 "duplicate query id across registry sections",
             ));
         }
-        groups.sort_unstable_by_key(|(sd, _)| *sd);
+        groups.sort_unstable_by_key(|(key, _)| *key);
         let mut member_counts = vec![0usize; groups.len()];
         // per count group: member count and deepest member window
         let mut count_members = vec![(0usize, 0usize); count_groups.len()];
@@ -593,8 +706,8 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
         for (_, session) in &sessions {
             match session {
                 AnySession::Shared(s) => {
-                    let sd = s.slide_duration();
-                    let Some(pos) = groups.iter().position(|(have, _)| *have == sd) else {
+                    let key = (s.slide_duration(), s.predicate());
+                    let Some(pos) = groups.iter().position(|(have, _)| *have == key) else {
                         return Err(CheckpointError::Corrupt(
                             "shared session without its slide group",
                         ));
@@ -698,19 +811,27 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
             }
             let sd = state.producer.slide_duration();
             let pending = state.producer.pending_len() as u64;
-            if pending >= sd {
-                return Err(CheckpointError::Corrupt(
-                    "count group pending spans a full slide",
-                ));
-            }
-            let next_ordinal = state
-                .producer
-                .next_slide()
-                .checked_mul(sd)
-                .and_then(|o| o.checked_add(pending));
-            let Some(next_ordinal) = next_ordinal else {
+            let Some(slide_start) = state.producer.next_slide().checked_mul(sd) else {
                 return Err(CheckpointError::Corrupt("count-group ordinal overflows"));
             };
+            let Some(fill) = state.next_ordinal.checked_sub(slide_start) else {
+                return Err(CheckpointError::Corrupt(
+                    "count-group ordinal behind its producer",
+                ));
+            };
+            if fill >= sd {
+                return Err(CheckpointError::Corrupt(
+                    "count group fill spans a full slide",
+                ));
+            }
+            // admission control can only *withhold* objects from the
+            // producer, never invent them
+            if pending > fill {
+                return Err(CheckpointError::Corrupt(
+                    "count group buffers more than it observed",
+                ));
+            }
+            let next_ordinal = state.next_ordinal;
             if state.ring_base + state.ring.len() as u64 != next_ordinal {
                 return Err(CheckpointError::Corrupt(
                     "count-group ring disagrees with its producer",
@@ -724,12 +845,14 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
                     "count-group ring does not cover its members' windows",
                 ));
             }
-            // distinct same-s groups always sit at distinct offsets
-            // (mod s), i.e. distinct pending fills — a collision means
-            // one geometry class was split, which the hub never produces
+            // distinct same-`(s, predicate)` groups always sit at
+            // distinct offsets (mod s), i.e. distinct fills — a
+            // collision means one geometry class was split, which the
+            // hub never produces
             if count_groups[..i].iter().any(|other| {
                 other.producer.slide_duration() == sd
-                    && other.producer.pending_len() == state.producer.pending_len()
+                    && other.predicate == state.predicate
+                    && other.fill() == fill
             }) {
                 return Err(CheckpointError::Corrupt(
                     "count groups share a geometry class",
@@ -744,6 +867,8 @@ impl<C: SlidingTopK, T: TimedTopK> RegistryParts<C, T> {
             digest_rebuilds,
             count_group_hits,
             count_group_rebuilds,
+            admitted,
+            pruned,
         })
     }
 }
@@ -825,19 +950,32 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         id: QueryId,
         consumer: SharedTimed<C>,
         spec: WindowSpec,
+        predicate: Predicate,
         home: Option<usize>,
     ) {
         debug_assert_eq!(
             home, self.shard,
             "count-group routing bug: members of a group must all land on its home shard"
         );
+        // the join rule tests the *observed* fill, not `pending_len` —
+        // under admission control a group at a slide boundary may still
+        // buffer nothing mid-slide, and joining such a group would skew
+        // the member's window. Predicate-disjoint members of one
+        // geometry class split into sub-groups: they rank different
+        // substreams, so they can never share a digest.
         let joinable = self
             .count_groups
             .iter_mut()
-            .find(|(_, g)| g.slide_len == spec.s && g.producer.pending_len() == 0);
+            .find(|(_, g)| g.slide_len == spec.s && g.fill() == 0 && g.predicate == predicate);
         let (gid, join_slide) = match joinable {
             Some((gid, group)) => {
                 group.producer.grow_k_max(spec.k);
+                // deepening mid-stream is exact (the open slide is held
+                // untruncated), but the gate's cap just grew: rebuild it
+                // from the admitted buffer so it never over-prunes
+                group
+                    .gate
+                    .rebuild(group.producer.k_max(), group.producer.pending());
                 group.ring_cap = group.ring_cap.max(spec.n + spec.s);
                 // ids are handed out monotonically, so pushing keeps the
                 // member list ascending
@@ -857,6 +995,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                         ring_cap: spec.n + spec.s,
                         member_ids: vec![id],
                         next_ordinal: 0,
+                        predicate,
+                        gate: PruneGate::new(spec.k),
                         classes: Vec::new(),
                     },
                 );
@@ -928,6 +1068,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         &mut self,
         id: QueryId,
         consumer: SharedTimed<C>,
+        predicate: Predicate,
         home: Option<usize>,
     ) {
         debug_assert_eq!(
@@ -936,12 +1077,22 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         );
         let sd = consumer.slide_duration();
         let k = consumer.k();
-        let group = self.groups.entry(sd).or_insert_with(|| DigestGroup {
-            producer: DigestProducer::new(sd, k),
-            members: 0,
-            classes: Vec::new(),
-        });
+        let group = self
+            .groups
+            .entry((sd, predicate))
+            .or_insert_with(|| DigestGroup {
+                producer: DigestProducer::new(sd, k),
+                members: 0,
+                predicate,
+                gate: PruneGate::new(k),
+                classes: Vec::new(),
+            });
         group.producer.grow_k_max(k);
+        // a deeper member may have just widened the gate's cap — rebuild
+        // from the admitted open-slide buffer so pruning stays safe
+        group
+            .gate
+            .rebuild(group.producer.k_max(), group.producer.pending());
         group.members += 1;
         let join_slide = if group.producer.is_pristine() {
             None
@@ -980,9 +1131,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                     .classes
                     .push(SharedClass::new(consumer, id, Snapshot::empty())),
             }
-            SharedSession::new_classed(spec, engine_name)
+            SharedSession::new_classed(spec, engine_name, predicate)
         } else {
-            SharedSession::new(consumer, join_slide)
+            SharedSession::new(consumer, join_slide, predicate)
         };
         self.sessions.push((id, AnySession::Shared(session)));
     }
@@ -1006,8 +1157,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         match &mut session {
             AnySession::Count(_) => self.isolated_counts -= 1,
             AnySession::Shared(s) => {
-                let sd = s.slide_duration();
-                if let Some(group) = self.groups.get_mut(&sd) {
+                let key = (s.slide_duration(), s.predicate());
+                if let Some(group) = self.groups.get_mut(&key) {
                     if s.is_classed() {
                         let ci = group
                             .classes
@@ -1028,13 +1179,15 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                     }
                     group.members -= 1;
                     if group.members == 0 {
-                        self.groups.remove(&sd);
+                        self.groups.remove(&key);
                     } else if s.timed_spec().k >= group.producer.k_max() {
                         let k_max = self
                             .sessions
                             .iter()
                             .filter_map(|(_, sess)| match sess {
-                                AnySession::Shared(m) if m.slide_duration() == sd => {
+                                AnySession::Shared(m)
+                                    if m.slide_duration() == key.0 && m.predicate() == key.1 =>
+                                {
                                     Some(m.timed_spec().k)
                                 }
                                 _ => None,
@@ -1042,6 +1195,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                             .max()
                             .expect("a surviving group has members");
                         group.producer.set_k_max(k_max);
+                        // a narrower cap prunes *more*: rebuild so the
+                        // gate reflects exactly the new depth
+                        group.gate.rebuild(k_max, group.producer.pending());
                     }
                 }
             }
@@ -1081,6 +1237,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                             }
                         }
                         group.producer.set_k_max(k_max);
+                        group.gate.rebuild(k_max, group.producer.pending());
                         group.ring_cap = n_max + group.slide_len;
                     }
                 }
@@ -1111,6 +1268,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             count_group_hits,
             class_hits,
             count_group_rebuilds,
+            admitted,
+            pruned,
+            admission_pruning,
             update_hint,
             ..
         } = self;
@@ -1133,6 +1293,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             count_groups,
             count_group_hits,
             class_hits,
+            admitted,
+            pruned,
+            *admission_pruning,
             objects,
             &mut out,
             hint,
@@ -1158,11 +1321,15 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// diff run once per **result class** ([`CountClass::close`]) — each
     /// member emission is just a stamp of the class's shared snapshot
     /// ([`GroupedSession::emit_class`]).
+    #[allow(clippy::too_many_arguments)]
     fn serve_count_groups(
         sessions: &mut [(QueryId, AnySession<C, T>)],
         count_groups: &mut HashMap<u64, CountGroup<C>>,
         hits: &mut u64,
         class_hits: &mut u64,
+        admitted: &mut u64,
+        pruned: &mut u64,
+        pruning: bool,
         objects: &[Object],
         out: &mut Vec<QueryUpdate>,
         hint: usize,
@@ -1176,26 +1343,48 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 ring_cap,
                 member_ids,
                 next_ordinal,
+                predicate,
+                gate,
                 classes,
             } = group;
             for o in objects {
                 let r = *next_ordinal;
                 *next_ordinal += 1;
+                // every observed object enters the ring and advances the
+                // fill, admitted or not — ordinals stay dense, so slide
+                // boundaries, checkpoints, and drain order are
+                // byte-identical whatever the admission plane skips
                 ring.push_back(o.id);
                 if ring.len() > *ring_cap {
                     ring.pop_front();
                     *ring_base += 1;
                 }
-                // the ordinal doubles as the synthetic timestamp; it
-                // never reaches the open slide's end (r < (j+1)·s for an
-                // object of slide j), so closure is always explicit below
-                producer.ingest_with(TimedObject::new(r, r, o.score), &mut |_| {
-                    debug_assert!(
-                        false,
-                        "count slides close on arrival counts, never on ordinal timestamps"
-                    );
-                });
-                if producer.pending_len() == *slide_len {
+                if predicate.accepts(o) {
+                    if pruning && !gate.admits(o.score) {
+                        // ≥ k_max admitted objects of this open slide
+                        // strictly dominate it — it cannot survive the
+                        // close's top-`k_max` truncation, so no member
+                        // can ever observe it
+                        *pruned += 1;
+                    } else {
+                        // the ordinal doubles as the synthetic
+                        // timestamp; it never reaches the open slide's
+                        // end (r < (j+1)·s for an object of slide j), so
+                        // closure is always explicit below
+                        producer.ingest_with(TimedObject::new(r, r, o.score), &mut |_| {
+                            debug_assert!(
+                                false,
+                                "count slides close on arrival counts, never on ordinal timestamps"
+                            );
+                        });
+                        *admitted += 1;
+                        if pruning {
+                            gate.offer(o.score);
+                        }
+                    }
+                }
+                if (*next_ordinal - producer.next_slide() * *slide_len as u64) == *slide_len as u64
+                {
                     producer.close_slide_with(|view| {
                         for class in classes.iter_mut() {
                             let snapshot = class.close(view, ring, *ring_base);
@@ -1212,6 +1401,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                             }
                         }
                     });
+                    // the gate's dominance counter is per open slide;
+                    // the close opened a fresh one
+                    gate.reset();
                     *hits += member_ids.len() as u64;
                     // classes partition the members, so the members past
                     // one-per-class were served without a reduction
@@ -1239,6 +1431,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digest_rebuilds,
             count_group_hits,
             count_group_rebuilds,
+            admitted,
+            pruned,
+            admission_pruning,
             class_hits,
             plain_buf,
             update_hint,
@@ -1251,13 +1446,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         if *isolated_counts > 0 || !count_groups.is_empty() {
             plain_buf.extend(objects.iter().map(TimedObject::untimed));
         }
-        let closed = Self::close_groups(groups, |producer| {
-            let mut digests = Vec::new();
-            for &o in objects {
-                digests.extend(producer.ingest(o));
-            }
-            digests
-        });
+        let closed = Self::ingest_groups(groups, objects, *admission_pruning, admitted, pruned);
         let mut out = Vec::new();
         let hint = *update_hint;
         for (id, session) in sessions.iter_mut() {
@@ -1302,6 +1491,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             count_groups,
             count_group_hits,
             class_hits,
+            admitted,
+            pruned,
+            *admission_pruning,
             plain_buf,
             &mut out,
             hint,
@@ -1379,17 +1571,71 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     }
 
     /// Drives every group's producer once per call (`drive` is the
-    /// batch-ingest or watermark step) and collects the slides each group
-    /// closed, keyed by slide duration.
+    /// watermark step) and collects the slides each group closed, keyed
+    /// by `(slide duration, predicate)`. Any close opens a fresh slide,
+    /// so the group's dominance gate resets.
     fn close_groups(
-        groups: &mut HashMap<u64, DigestGroup<C>>,
+        groups: &mut HashMap<(u64, Predicate), DigestGroup<C>>,
         mut drive: impl FnMut(&mut DigestProducer) -> Vec<DigestRef>,
-    ) -> HashMap<u64, Vec<DigestRef>> {
+    ) -> HashMap<(u64, Predicate), Vec<DigestRef>> {
         let mut closed = HashMap::new();
-        for (sd, group) in groups {
+        for (key, group) in groups {
             let digests = drive(&mut group.producer);
             if !digests.is_empty() {
-                closed.insert(*sd, digests);
+                group.gate.reset();
+                closed.insert(*key, digests);
+            }
+        }
+        closed
+    }
+
+    /// The admission plane's ingest: fans a timed batch to every slide
+    /// group, filtering each object **before** it touches the group's
+    /// producer. Per object and group: event time advances first
+    /// (predicate-rejected and dominance-pruned objects still close
+    /// slides — boundaries never depend on admission), then the
+    /// predicate gates fan-out, then the k-skyband dominance gate prunes
+    /// objects that provably cannot survive the open slide's top-`k_max`
+    /// truncation. Returns the closed digests, like
+    /// [`close_groups`](Registry::close_groups).
+    fn ingest_groups(
+        groups: &mut HashMap<(u64, Predicate), DigestGroup<C>>,
+        objects: &[TimedObject],
+        pruning: bool,
+        admitted: &mut u64,
+        pruned: &mut u64,
+    ) -> HashMap<(u64, Predicate), Vec<DigestRef>> {
+        let mut closed = HashMap::new();
+        for (key, group) in groups {
+            let mut digests: Vec<DigestRef> = Vec::new();
+            for &o in objects {
+                // advance before testing: if this timestamp closes the
+                // open slide, the gate must judge the object against the
+                // *fresh* slide it actually lands in
+                let before = digests.len();
+                digests.extend(group.producer.advance_to(o.timestamp));
+                if digests.len() > before {
+                    group.gate.reset();
+                }
+                if !group.predicate.accepts_timed(&o) {
+                    continue;
+                }
+                if pruning && !group.gate.admits(o.score) {
+                    *pruned += 1;
+                    continue;
+                }
+                // the producer is already at `o.timestamp`, so this
+                // ingest can close nothing — it only buffers
+                group.producer.ingest_with(o, &mut |_| {
+                    debug_assert!(false, "ingest after advance_to cannot close a slide")
+                });
+                *admitted += 1;
+                if pruning {
+                    group.gate.offer(o.score);
+                }
+            }
+            if !digests.is_empty() {
+                closed.insert(*key, digests);
             }
         }
         closed
@@ -1405,7 +1651,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         hits: &mut u64,
         rebuilds: &mut u64,
         session: &mut SharedSession<C>,
-        closed: &HashMap<u64, Vec<DigestRef>>,
+        closed: &HashMap<(u64, Predicate), Vec<DigestRef>>,
         sink: &mut dyn FnMut(SlideResult),
         warmup: impl FnOnce(&mut SharedSession<C>, &mut dyn FnMut(SlideResult)),
     ) {
@@ -1416,7 +1662,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 sink(result);
             });
             *rebuilds += served;
-        } else if let Some(digests) = closed.get(&session.slide_duration()) {
+        } else if let Some(digests) = closed.get(&(session.slide_duration(), session.predicate())) {
             *hits += digests.len() as u64;
             session.apply_digests(digests, sink);
         }
@@ -1430,15 +1676,15 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// `(query, slide)` when anything landed here.
     fn serve_shared_classes(
         sessions: &mut [(QueryId, AnySession<C, T>)],
-        groups: &mut HashMap<u64, DigestGroup<C>>,
-        closed: &HashMap<u64, Vec<DigestRef>>,
+        groups: &mut HashMap<(u64, Predicate), DigestGroup<C>>,
+        closed: &HashMap<(u64, Predicate), Vec<DigestRef>>,
         hits: &mut u64,
         class_hits: &mut u64,
         out: &mut Vec<QueryUpdate>,
         hint: usize,
     ) {
-        for (sd, group) in groups.iter_mut() {
-            let Some(digests) = closed.get(sd) else {
+        for (key, group) in groups.iter_mut() {
+            let Some(digests) = closed.get(key) else {
                 continue;
             };
             for class in group.classes.iter_mut() {
@@ -1470,11 +1716,11 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// from the next slide on the private and shared views are identical.
     fn promote_ready(
         sessions: &mut [(QueryId, AnySession<C, T>)],
-        groups: &HashMap<u64, DigestGroup<C>>,
+        groups: &HashMap<(u64, Predicate), DigestGroup<C>>,
     ) {
         for (_, session) in sessions {
             if let AnySession::Shared(s) = session {
-                if let Some(group) = groups.get(&s.slide_duration()) {
+                if let Some(group) = groups.get(&(s.slide_duration(), s.predicate())) {
                     s.maybe_promote(group.producer.next_slide());
                 }
             }
@@ -1505,7 +1751,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             count: self
                 .count_groups
                 .values()
-                .map(|g| (g.slide_len as u64, g.producer.pending_len() as u64))
+                .map(|g| (g.slide_len as u64, g.fill(), g.predicate))
                 .collect(),
         }
     }
@@ -1517,6 +1763,27 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// without its class.
     pub(crate) fn set_class_sharing(&mut self, enabled: bool) {
         self.class_sharing = enabled;
+    }
+
+    /// Enables/disables the k-skyband dominance gate at ingest (see
+    /// [`HubStats::pruned`]). Enabling rebuilds every group's gate from
+    /// its open slide's admitted buffer — the gates go stale while the
+    /// knob is off (nothing offers scores to them), and pruning against
+    /// a stale gate would be unsound after a re-enable mid-slide.
+    pub(crate) fn set_admission_pruning(&mut self, enabled: bool) {
+        if enabled && !self.admission_pruning {
+            for group in self.groups.values_mut() {
+                group
+                    .gate
+                    .rebuild(group.producer.k_max(), group.producer.pending());
+            }
+            for group in self.count_groups.values_mut() {
+                group
+                    .gate
+                    .rebuild(group.producer.k_max(), group.producer.pending());
+            }
+        }
+        self.admission_pruning = enabled;
     }
 
     pub(crate) fn stats(&self) -> HubStats {
@@ -1534,6 +1801,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             count_groups: self.count_groups.len() as u64,
             count_group_hits: self.count_group_hits,
             count_group_rebuilds: self.count_group_rebuilds,
+            admitted: self.admitted,
+            pruned: self.pruned,
             result_classes,
             class_hits: self.class_hits,
             ..HubStats::default()
@@ -1560,14 +1829,15 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     pub(crate) fn encode_checkpoint(&self, enc: &mut Encoder) {
         // canonical count-group order: live gids are registry-local and
         // shift across epochs, so grouped sessions reference their group
-        // by position in this order instead. `(slide length, pending
-        // fill)` is a unique key — distinct same-`s` groups always sit at
-        // distinct offsets mod `s` — and is derived purely from state the
-        // section carries, so encode and decode agree by construction.
+        // by position in this order instead. `(slide length, slide fill,
+        // predicate)` is a unique key — distinct same-`(s, predicate)`
+        // groups always sit at distinct offsets mod `s` — and is derived
+        // purely from state the section carries, so encode and decode
+        // agree by construction.
         let mut order: Vec<u64> = self.count_groups.keys().copied().collect();
         order.sort_unstable_by_key(|gid| {
             let g = &self.count_groups[gid];
-            (g.slide_len, g.producer.pending_len())
+            (g.slide_len, g.fill(), g.predicate)
         });
         let index_of: HashMap<u64, u64> = order
             .iter()
@@ -1604,12 +1874,16 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                         e.put_u64(spec.window_duration);
                         e.put_u64(spec.slide_duration);
                         e.put_usize(spec.k);
+                        // the subscription predicate rides at the
+                        // registry entry level (since v3), keeping the
+                        // session body bytes themselves unchanged
+                        s.predicate().encode(e);
                         // a classed member encodes its class's consumer —
                         // byte-identical to a private one (see
                         // `SharedSession::encode_checkpoint_body`)
                         let class_consumer = self
                             .groups
-                            .get(&spec.slide_duration)
+                            .get(&(spec.slide_duration, s.predicate()))
                             .and_then(|g| {
                                 g.classes
                                     .iter()
@@ -1640,19 +1914,24 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             }
         });
         enc.section(tags::GROUPS, |e| {
-            let mut sds: Vec<u64> = self.groups.keys().copied().collect();
-            sds.sort_unstable();
-            e.put_u64(sds.len() as u64);
-            for sd in sds {
-                e.put_u64(sd);
-                self.groups[&sd].producer.encode_state(e);
+            let mut keys: Vec<(u64, Predicate)> = self.groups.keys().copied().collect();
+            keys.sort_unstable();
+            e.put_u64(keys.len() as u64);
+            for key in keys {
+                e.put_u64(key.0);
+                key.1.encode(e);
+                self.groups[&key].producer.encode_state(e);
             }
         });
         enc.section(tags::COUNT_GROUPS, |e| {
             e.put_u64(order.len() as u64);
             for gid in &order {
                 let g = &self.count_groups[gid];
+                g.predicate.encode(e);
                 g.producer.encode_state(e);
+                // explicit since v3: under admission control the fill is
+                // not derivable from the producer's buffer
+                e.put_u64(g.next_ordinal);
                 e.put_u64(g.ring_base);
                 e.put_u64(g.ring.len() as u64);
                 for &ext in &g.ring {
@@ -1666,6 +1945,10 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             e.put_u64(self.count_group_hits);
             e.put_u64(self.count_group_rebuilds);
         });
+        enc.section(tags::ADMISSION, |e| {
+            e.put_u64(self.admitted);
+            e.put_u64(self.pruned);
+        });
     }
 
     /// Decodes one `tags::REGISTRY` section body into loose
@@ -1673,8 +1956,14 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// caller's closures (the count closure also serves shared sessions,
     /// whose inner engine runs on the Appendix-A reduced spec). Every
     /// structural violation is a typed error — never a panic.
+    ///
+    /// `version` is the image's format version (the caller reads it from
+    /// the frame): v2 images predate the admission plane, so their
+    /// groups decode with pass-all predicates, derived ordinals, and
+    /// zeroed admission counters.
     pub(crate) fn decode_checkpoint(
         dec: &mut Decoder<'_>,
+        version: u32,
         count: &mut dyn FnMut(&str, WindowSpec) -> Result<C, SapError>,
         timed: &mut dyn FnMut(&str, TimedSpec) -> Result<T, SapError>,
     ) -> Result<RegistryParts<C, T>, SapError> {
@@ -1733,6 +2022,11 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                     2 => {
                         let name = sec.take_str()?;
                         let (wd, sd, k) = (sec.take_u64()?, sec.take_u64()?, sec.take_usize()?);
+                        let predicate = if version >= 3 {
+                            Predicate::decode(&mut sec)?
+                        } else {
+                            Predicate::default()
+                        };
                         let reduced = TimedSpec::new(wd, sd, k)
                             .and_then(|spec| spec.reduced())
                             .map_err(|_| CheckpointError::Corrupt("invalid shared window spec"))?;
@@ -1746,9 +2040,10 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                         let consumer = SharedTimed::from_engine(engine, wd, sd).map_err(|_| {
                             CheckpointError::Corrupt("factory engine is not a fresh reduction")
                         })?;
-                        AnySession::Shared(SharedSession::decode_checkpoint_body(
-                            consumer, &mut sec,
-                        )?)
+                        let mut session =
+                            SharedSession::decode_checkpoint_body(consumer, &mut sec)?;
+                        session.set_predicate(predicate);
+                        AnySession::Shared(session)
                     }
                     3 => {
                         let name = sec.take_str()?;
@@ -1793,13 +2088,18 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             let n = sec.take_seq_len()?;
             for _ in 0..n {
                 let sd = sec.take_u64()?;
+                let predicate = if version >= 3 {
+                    Predicate::decode(&mut sec)?
+                } else {
+                    Predicate::default()
+                };
                 let producer = DigestProducer::decode_state(&mut sec)?;
                 if producer.slide_duration() != sd {
                     return Err(
                         CheckpointError::Corrupt("group key disagrees with its producer").into(),
                     );
                 }
-                groups.push((sd, producer));
+                groups.push(((sd, predicate), producer));
             }
             sec.finish()?;
         }
@@ -1808,7 +2108,23 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             let mut sec = dec.section(tags::COUNT_GROUPS)?;
             let n = sec.take_seq_len()?;
             for _ in 0..n {
+                let predicate = if version >= 3 {
+                    Predicate::decode(&mut sec)?
+                } else {
+                    Predicate::default()
+                };
                 let producer = DigestProducer::decode_state(&mut sec)?;
+                let next_ordinal = if version >= 3 {
+                    sec.take_u64()?
+                } else {
+                    // pre-admission images never skipped an object, so
+                    // the ordinal is exactly the producer's position
+                    producer
+                        .next_slide()
+                        .checked_mul(producer.slide_duration())
+                        .and_then(|o| o.checked_add(producer.pending_len() as u64))
+                        .ok_or(CheckpointError::Corrupt("count-group ordinal overflows"))?
+                };
                 let ring_base = sec.take_u64()?;
                 let len = sec.take_seq_len()?;
                 let mut ring = VecDeque::with_capacity(len);
@@ -1819,6 +2135,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                     producer,
                     ring,
                     ring_base,
+                    predicate,
+                    next_ordinal,
                 });
             }
             sec.finish()?;
@@ -1832,6 +2150,15 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             count_group_rebuilds = sec.take_u64()?;
             sec.finish()?;
         }
+        // v2 images predate the admission plane: restore with the
+        // counters reset rather than guessing
+        let (mut admitted, mut pruned) = (0u64, 0u64);
+        if version >= 3 {
+            let mut sec = dec.section(tags::ADMISSION)?;
+            admitted = sec.take_u64()?;
+            pruned = sec.take_u64()?;
+            sec.finish()?;
+        }
         Ok(RegistryParts {
             sessions,
             groups,
@@ -1840,6 +2167,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digest_rebuilds,
             count_group_hits,
             count_group_rebuilds,
+            admitted,
+            pruned,
         })
     }
 
@@ -1868,15 +2197,23 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digest_rebuilds,
             count_group_hits,
             count_group_rebuilds,
+            admitted,
+            pruned,
         } = parts;
-        let mut groups: HashMap<u64, DigestGroup<C>> = group_list
+        let mut groups: HashMap<(u64, Predicate), DigestGroup<C>> = group_list
             .into_iter()
-            .map(|(sd, producer)| {
+            .map(|(key, producer)| {
+                // the gate is derived state: rebuild it from the open
+                // slide's admitted buffer so pruning resumes exactly
+                let mut gate = PruneGate::new(producer.k_max());
+                gate.rebuild(producer.k_max(), producer.pending());
                 (
-                    sd,
+                    key,
                     DigestGroup {
                         producer,
                         members: 0,
+                        predicate: key.1,
+                        gate,
                         classes: Vec::new(),
                     },
                 )
@@ -1889,7 +2226,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             .into_iter()
             .enumerate()
             .map(|(gid, state)| {
-                let next_ordinal = state.next_ordinal();
+                let mut gate = PruneGate::new(state.producer.k_max());
+                gate.rebuild(state.producer.k_max(), state.producer.pending());
                 (
                     gid as u64,
                     CountGroup {
@@ -1899,7 +2237,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                         ring_base: state.ring_base,
                         ring_cap: 0,
                         member_ids: Vec::new(),
-                        next_ordinal,
+                        next_ordinal: state.next_ordinal,
+                        predicate: state.predicate,
+                        gate,
                         classes: Vec::new(),
                     },
                 )
@@ -1927,7 +2267,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 AnySession::Count(_) => isolated_counts += 1,
                 AnySession::Shared(s) => {
                     let group = groups
-                        .get_mut(&s.slide_duration())
+                        .get_mut(&(s.slide_duration(), s.predicate()))
                         .expect("merge validated every shared session has its group");
                     group.members += 1;
                     if s.consumer().is_some() && !s.is_warming_up() {
@@ -1958,7 +2298,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             match session {
                 AnySession::Shared(s) => {
                     let group = groups
-                        .get_mut(&s.slide_duration())
+                        .get_mut(&(s.slide_duration(), s.predicate()))
                         .expect("validated in pass 1");
                     Self::join_shared_follower(group, *id, s);
                 }
@@ -1981,6 +2321,9 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digest_rebuilds,
             count_group_hits,
             count_group_rebuilds,
+            admitted,
+            pruned,
+            admission_pruning: true,
             class_hits: 0,
             class_sharing: true,
             plain_buf: Vec::new(),
@@ -2096,7 +2439,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         if let AnySession::Shared(s) = &mut session {
             let group = self
                 .groups
-                .get_mut(&s.slide_duration())
+                .get_mut(&(s.slide_duration(), s.predicate()))
                 .expect("install a shared session only after its group");
             group.members += 1;
             // re-class the traveler (see `from_merged`): consumer-less
@@ -2117,13 +2460,17 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     }
 
     /// Installs a slide-group producer ahead of its member sessions.
-    pub(crate) fn install_group(&mut self, sd: u64, producer: DigestProducer) {
-        debug_assert_eq!(producer.slide_duration(), sd);
+    pub(crate) fn install_group(&mut self, key: (u64, Predicate), producer: DigestProducer) {
+        debug_assert_eq!(producer.slide_duration(), key.0);
+        let mut gate = PruneGate::new(producer.k_max());
+        gate.rebuild(producer.k_max(), producer.pending());
         let prev = self.groups.insert(
-            sd,
+            key,
             DigestGroup {
                 producer,
                 members: 0,
+                predicate: key.1,
+                gate,
                 classes: Vec::new(),
             },
         );
@@ -2132,17 +2479,22 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
 
     /// Adds restored sharing counters (a restore assigns the checkpoint's
     /// summed counters wholesale to one shard; a migration moves none).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn install_counters(
         &mut self,
         hits: u64,
         rebuilds: u64,
         count_hits: u64,
         count_rebuilds: u64,
+        admitted: u64,
+        pruned: u64,
     ) {
         self.digest_hits += hits;
         self.digest_rebuilds += rebuilds;
         self.count_group_hits += count_hits;
         self.count_group_rebuilds += count_rebuilds;
+        self.admitted += admitted;
+        self.pruned += pruned;
     }
 
     /// Installs a count group and its member sessions as one unit (the
@@ -2158,7 +2510,7 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
         debug_assert!(!members.is_empty(), "a count group never travels empty");
         let gid = self.next_count_gid;
         self.next_count_gid += 1;
-        let next_ordinal = state.next_ordinal();
+        let next_ordinal = state.next_ordinal;
         let slide_len = state.producer.slide_duration() as usize;
         let mut member_ids: Vec<QueryId> = members.iter().map(|(id, _)| *id).collect();
         member_ids.sort_unstable();
@@ -2170,6 +2522,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 debug_assert!(false, "count-group members are grouped sessions");
             }
         }
+        let mut gate = PruneGate::new(state.producer.k_max());
+        gate.rebuild(state.producer.k_max(), state.producer.pending());
         let mut group = CountGroup {
             slide_len,
             producer: state.producer,
@@ -2178,6 +2532,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             ring_cap,
             member_ids,
             next_ordinal,
+            predicate: state.predicate,
+            gate,
             classes: Vec::new(),
         };
         // rebuild the result classes (see `from_merged`): consumer
@@ -2302,6 +2658,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                 producer: group.producer,
                 ring: group.ring,
                 ring_base: group.ring_base,
+                predicate: group.predicate,
+                next_ordinal: group.next_ordinal,
             },
             members,
         ))
@@ -2310,14 +2668,14 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
     /// Ejects a slide group and every member session for migration to
     /// another shard: the shared producer plus the members in
     /// ascending-id order. `None` if no such group lives here.
-    pub(crate) fn eject_group(&mut self, sd: u64) -> Option<EjectedGroup<C, T>> {
-        let mut group = self.groups.remove(&sd)?;
+    pub(crate) fn eject_group(&mut self, key: (u64, Predicate)) -> Option<EjectedGroup<C, T>> {
+        let mut group = self.groups.remove(&key)?;
         Self::dissolve_shared_classes(&mut self.sessions, &mut group);
         let mut members = Vec::with_capacity(group.members);
         let mut i = 0;
         while i < self.sessions.len() {
-            let is_member =
-                matches!(&self.sessions[i].1, AnySession::Shared(s) if s.slide_duration() == sd);
+            let is_member = matches!(&self.sessions[i].1, AnySession::Shared(s)
+                if s.slide_duration() == key.0 && s.predicate() == key.1);
             if is_member {
                 members.push(self.sessions.remove(i));
             } else {
@@ -2343,19 +2701,19 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             Self::dissolve_count_classes(&mut self.sessions, group);
         }
         self.class_hits = 0;
-        let mut groups: Vec<(u64, DigestProducer)> = self
+        let mut groups: Vec<((u64, Predicate), DigestProducer)> = self
             .groups
             .drain()
-            .map(|(sd, group)| (sd, group.producer))
+            .map(|(key, group)| (key, group.producer))
             .collect();
-        groups.sort_unstable_by_key(|(sd, _)| *sd);
+        groups.sort_unstable_by_key(|(key, _)| *key);
         // rewrite grouped references from live gids to canonical
         // positions (same order as encode_checkpoint), since parts carry
         // count groups as an index-addressed list
         let mut order: Vec<u64> = self.count_groups.keys().copied().collect();
         order.sort_unstable_by_key(|gid| {
             let g = &self.count_groups[gid];
-            (g.slide_len, g.producer.pending_len())
+            (g.slide_len, g.fill(), g.predicate)
         });
         let index_of: HashMap<u64, u64> = order
             .iter()
@@ -2379,6 +2737,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
                     producer: g.producer,
                     ring: g.ring,
                     ring_base: g.ring_base,
+                    predicate: g.predicate,
+                    next_ordinal: g.next_ordinal,
                 }
             })
             .collect();
@@ -2392,6 +2752,8 @@ impl<C: SlidingTopK, T: TimedTopK> Registry<C, T> {
             digest_rebuilds: std::mem::take(&mut self.digest_rebuilds),
             count_group_hits: std::mem::take(&mut self.count_group_hits),
             count_group_rebuilds: std::mem::take(&mut self.count_group_rebuilds),
+            admitted: std::mem::take(&mut self.admitted),
+            pruned: std::mem::take(&mut self.pruned),
         }
     }
 }
@@ -2409,22 +2771,82 @@ mod tests {
 
     #[test]
     fn digest_depth_follows_the_deepest_member() {
+        let pass = Predicate::default();
+        let key = (10u64, pass);
         let mut reg: Registry<Toy, ToyTimed> = Registry::default();
-        reg.register_shared(QueryId::from_raw(0), consumer(20, 10, 1), None);
-        assert_eq!(reg.groups[&10].producer.k_max(), 1);
-        reg.register_shared(QueryId::from_raw(1), consumer(40, 10, 5), None);
-        assert_eq!(reg.groups[&10].producer.k_max(), 5, "grows on join");
+        reg.register_shared(QueryId::from_raw(0), consumer(20, 10, 1), pass, None);
+        assert_eq!(reg.groups[&key].producer.k_max(), 1);
+        reg.register_shared(QueryId::from_raw(1), consumer(40, 10, 5), pass, None);
+        assert_eq!(reg.groups[&key].producer.k_max(), 5, "grows on join");
         // the deepest member leaving shrinks the depth back
         reg.unregister(QueryId::from_raw(1)).unwrap();
-        assert_eq!(reg.groups[&10].producer.k_max(), 1, "shrinks on leave");
+        assert_eq!(reg.groups[&key].producer.k_max(), 1, "shrinks on leave");
         // a non-deepest member leaving does not
-        reg.register_shared(QueryId::from_raw(2), consumer(40, 10, 3), None);
-        reg.register_shared(QueryId::from_raw(3), consumer(20, 10, 2), None);
+        reg.register_shared(QueryId::from_raw(2), consumer(40, 10, 3), pass, None);
+        reg.register_shared(QueryId::from_raw(3), consumer(20, 10, 2), pass, None);
         reg.unregister(QueryId::from_raw(3)).unwrap();
-        assert_eq!(reg.groups[&10].producer.k_max(), 3);
+        assert_eq!(reg.groups[&key].producer.k_max(), 3);
         // the last member out retires the group
         reg.unregister(QueryId::from_raw(0)).unwrap();
         reg.unregister(QueryId::from_raw(2)).unwrap();
         assert!(reg.groups.is_empty());
+    }
+
+    #[test]
+    fn predicate_disjoint_members_split_into_sub_groups() {
+        let mut reg: Registry<Toy, ToyTimed> = Registry::default();
+        let hot = Predicate::default().score_at_least(100.0);
+        reg.register_shared(
+            QueryId::from_raw(0),
+            consumer(20, 10, 1),
+            Predicate::default(),
+            None,
+        );
+        reg.register_shared(QueryId::from_raw(1), consumer(20, 10, 4), hot, None);
+        assert_eq!(
+            reg.groups.len(),
+            2,
+            "same slide duration, disjoint predicates"
+        );
+        assert_eq!(reg.groups[&(10, Predicate::default())].producer.k_max(), 1);
+        assert_eq!(reg.groups[&(10, hot)].producer.k_max(), 4);
+        // a same-predicate joiner lands in the existing sub-group
+        reg.register_shared(QueryId::from_raw(2), consumer(40, 10, 2), hot, None);
+        assert_eq!(reg.groups.len(), 2);
+        assert_eq!(reg.groups[&(10, hot)].members, 2);
+    }
+
+    #[test]
+    fn stats_merge_sums_admission_counters_and_rates_follow() {
+        let mut a = HubStats {
+            admitted: 60,
+            pruned: 40,
+            digest_hits: 10,
+            count_group_hits: 10,
+            class_hits: 5,
+            ..HubStats::default()
+        };
+        let b = HubStats {
+            admitted: 40,
+            pruned: 60,
+            digest_hits: 0,
+            count_group_hits: 30,
+            class_hits: 15,
+            ..HubStats::default()
+        };
+        assert!((a.prune_rate() - 0.4).abs() < 1e-12);
+        assert!((a.class_hit_rate() - 0.25).abs() < 1e-12);
+        a.merge(&b);
+        assert_eq!(a.admitted, 100);
+        assert_eq!(a.pruned, 100);
+        assert!(
+            (a.prune_rate() - 0.5).abs() < 1e-12,
+            "merged rate is hub-wide"
+        );
+        // 20 class hits over 50 sharing-plane member slides
+        assert!((a.class_hit_rate() - 0.4).abs() < 1e-12);
+        // empty stats report 0, not NaN
+        assert_eq!(HubStats::default().prune_rate(), 0.0);
+        assert_eq!(HubStats::default().class_hit_rate(), 0.0);
     }
 }

@@ -58,6 +58,7 @@ use crate::checkpoint::{
 use crate::digest::{DigestProducer, DigestRef, SharedTimed};
 use crate::events::{diff_snapshots_into, EventList, SlideResult, Snapshot};
 use crate::object::{Object, TimedObject};
+use crate::predicate::Predicate;
 use crate::query::{SapError, TimedSpec};
 use crate::registry::{HubStats, Registry};
 use crate::window::{Ingest, SlidingTopK, TimedIngest, TimedTopK, WindowSpec};
@@ -612,6 +613,13 @@ pub struct SharedSession<C: SlidingTopK> {
     /// installation re-joins this member to exactly its old class. Never
     /// encoded — decoded sessions always carry their own consumer.
     class_rep: Option<QueryId>,
+    /// The subscription predicate this member ranks under. Part of the
+    /// group key in the registry (predicate-disjoint members of one slide
+    /// group live in separate sub-groups), and applied to the private
+    /// warm-up stream so the warm-up view matches the group's admitted
+    /// stream object-for-object. Encoded at the registry layer (not in the
+    /// session body), so session checkpoint bytes are predicate-agnostic.
+    predicate: Predicate,
 }
 
 /// The private catch-up view of a freshly joined shared session.
@@ -628,7 +636,11 @@ impl<C: SlidingTopK> SharedSession<C> {
     /// Wraps a digest consumer as a **solo** member. `join_slide` is the
     /// group's open slide index at registration, or `None` when the group
     /// was pristine (the member missed nothing, so no warm-up is needed).
-    pub(crate) fn new(consumer: SharedTimed<C>, join_slide: Option<u64>) -> Self {
+    pub(crate) fn new(
+        consumer: SharedTimed<C>,
+        join_slide: Option<u64>,
+        predicate: Predicate,
+    ) -> Self {
         let warmup = join_slide.map(|join_slide| Warmup {
             producer: DigestProducer::new(consumer.slide_duration(), consumer.k()),
             join_slide,
@@ -648,12 +660,17 @@ impl<C: SlidingTopK> SharedSession<C> {
             slides: 0,
             scratch: SlideScratch::new(),
             class_rep: None,
+            predicate,
         }
     }
 
     /// A member served by a registry result class from birth: the class
     /// owns the consumer, the session keeps only the delta state.
-    pub(crate) fn new_classed(spec: TimedSpec, engine_name: Box<str>) -> Self {
+    pub(crate) fn new_classed(
+        spec: TimedSpec,
+        engine_name: Box<str>,
+        predicate: Predicate,
+    ) -> Self {
         SharedSession {
             consumer: None,
             spec,
@@ -663,7 +680,19 @@ impl<C: SlidingTopK> SharedSession<C> {
             slides: 0,
             scratch: SlideScratch::new(),
             class_rep: None,
+            predicate,
         }
+    }
+
+    /// The subscription predicate this member ranks under.
+    pub(crate) fn predicate(&self) -> Predicate {
+        self.predicate
+    }
+
+    /// Stamps the predicate onto a freshly decoded session (the predicate
+    /// travels in the registry's checkpoint section, not the session body).
+    pub(crate) fn set_predicate(&mut self, predicate: Predicate) {
+        self.predicate = predicate;
     }
 
     /// The validated durations this session answers.
@@ -831,6 +860,7 @@ impl<C: SlidingTopK> SharedSession<C> {
             slides,
             scratch: SlideScratch::new(),
             class_rep: None,
+            predicate: Predicate::default(),
         })
     }
 
@@ -879,13 +909,22 @@ impl<C: SlidingTopK> SharedSession<C> {
         self.slides += 1;
     }
 
-    /// Warm-up ingestion: feeds the raw batch to the private producer and
-    /// applies whatever slides it closes.
+    /// Warm-up ingestion: feeds the raw batch through the subscription
+    /// predicate to the private producer and applies whatever slides it
+    /// closes. A rejected object still advances the private event-time
+    /// clock (closing any slides its timestamp implies), exactly as it
+    /// does in the group's shared producer — the private and shared views
+    /// must close identical slide sequences for the promotion handoff.
     pub(crate) fn push_warmup(&mut self, objects: &[TimedObject], f: &mut dyn FnMut(SlideResult)) {
         let warmup = self.warmup.as_mut().expect("push_warmup requires warm-up");
+        let predicate = self.predicate;
         let mut digests = Vec::new();
         for &o in objects {
-            digests.extend(warmup.producer.ingest(o));
+            if predicate.accepts_timed(&o) {
+                digests.extend(warmup.producer.ingest(o));
+            } else {
+                digests.extend(warmup.producer.advance_to(o.timestamp));
+            }
         }
         self.apply_digests(&digests, f);
     }
@@ -1149,6 +1188,12 @@ impl<C: SlidingTopK> GroupedSession<C> {
 /// [`ShardSession`](crate::shard::ShardSession)); shared-digest and
 /// count-group sessions reuse `C`, their reduction engines being
 /// count-based.
+// `Shared` outweighs the other variants (its consumer embeds the
+// Appendix-A reduction inline), but boxing it would put a pointer chase
+// on every publish fan-out — the measured hot path — to save bytes on
+// the variant hubs register by the hundreds, not the hundred-thousands
+// (mass registration is `Grouped`).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum AnySession<C: SlidingTopK, T: TimedTopK> {
     /// A count-based session (isolated: private engine).
@@ -1401,10 +1446,37 @@ impl Hub {
         window_duration: u64,
         slide_duration: u64,
     ) -> Result<QueryId, SapError> {
+        self.register_shared_filtered_boxed(
+            engine,
+            window_duration,
+            slide_duration,
+            Predicate::default(),
+        )
+    }
+
+    /// [`register_shared_boxed`](Hub::register_shared_boxed) with a
+    /// **subscription predicate**: the query ranks only objects the
+    /// predicate accepts, as if the rejected objects had never carried a
+    /// score — they still advance event time (slide boundaries are
+    /// stream-global). Members of one slide group with different
+    /// predicates are served by disjoint sub-groups, so a selective
+    /// predicate never changes a pass-all neighbor's results. An invalid
+    /// predicate (empty score range) is a typed
+    /// [`SapError::InvalidPredicate`].
+    pub fn register_shared_filtered_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK>,
+        window_duration: u64,
+        slide_duration: u64,
+        predicate: Predicate,
+    ) -> Result<QueryId, SapError> {
+        predicate
+            .validate()
+            .map_err(|reason| SapError::InvalidPredicate { reason })?;
         let consumer = SharedTimed::from_engine(engine, window_duration, slide_duration)
             .map_err(SapError::Spec)?;
         let id = self.next_id();
-        self.registry.register_shared(id, consumer, None);
+        self.registry.register_shared(id, consumer, predicate, None);
         Ok(id)
     }
 
@@ -1440,11 +1512,32 @@ impl Hub {
         n: usize,
         s: usize,
     ) -> Result<QueryId, SapError> {
+        self.register_grouped_filtered_boxed(engine, n, s, Predicate::default())
+    }
+
+    /// [`register_grouped_boxed`](Hub::register_grouped_boxed) with a
+    /// **subscription predicate**: the query ranks only objects the
+    /// predicate accepts; rejected arrivals still count toward slide
+    /// boundaries (the count window is over the *stream*, the predicate
+    /// filters the *ranking*). Predicate-disjoint members of one geometry
+    /// class live in separate sub-groups. An invalid predicate (empty
+    /// score range) is a typed [`SapError::InvalidPredicate`].
+    pub fn register_grouped_filtered_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK>,
+        n: usize,
+        s: usize,
+        predicate: Predicate,
+    ) -> Result<QueryId, SapError> {
+        predicate
+            .validate()
+            .map_err(|reason| SapError::InvalidPredicate { reason })?;
         let spec = WindowSpec::new(n, engine.spec().k, s).map_err(SapError::Spec)?;
         let consumer =
             SharedTimed::from_engine(engine, n as u64, s as u64).map_err(SapError::Spec)?;
         let id = self.next_id();
-        self.registry.register_grouped(id, consumer, spec, None);
+        self.registry
+            .register_grouped(id, consumer, spec, predicate, None);
         Ok(id)
     }
 
@@ -1603,6 +1696,54 @@ impl Hub {
         self.registry.set_class_sharing(enabled);
     }
 
+    /// Enables or disables **ingest-side dominance pruning** (default:
+    /// enabled). Enabled, each shared slide group and count group keeps a
+    /// running top-`k_max` score bound over its open slide and skips
+    /// admitting objects that `k_max` already-admitted open-slide objects
+    /// strictly dominate — such objects cannot appear in the slide's
+    /// digest, so every member's results are byte-identical either way
+    /// (the k-skyband criterion, generalized to the group's deepest
+    /// member). Pruned objects still advance arrival ordinals and slide
+    /// boundaries, so slide numbering, checkpoints, and drain order do
+    /// not move. Disabled, every object is admitted — the reference arm —
+    /// and [`HubStats::pruned`] stays `0`.
+    ///
+    /// Turning the knob **on** mid-stream rebuilds each group's bound
+    /// from its open slide's pending buffer, so the invariant holds from
+    /// the first object after the toggle.
+    ///
+    /// ```
+    /// use sap_stream::{Hub, Object};
+    /// # use sap_stream::{OpStats, SlidingTopK, WindowSpec};
+    /// # struct Toy(WindowSpec, Vec<Object>);
+    /// # impl sap_stream::checkpoint::CheckpointState for Toy {}
+    /// # impl SlidingTopK for Toy {
+    /// #     fn spec(&self) -> WindowSpec { self.0 }
+    /// #     fn slide(&mut self, b: &[Object]) -> &[Object] { self.1 = b.to_vec(); &self.1 }
+    /// #     fn candidate_count(&self) -> usize { 0 }
+    /// #     fn memory_bytes(&self) -> usize { 0 }
+    /// #     fn stats(&self) -> OpStats { OpStats::default() }
+    /// #     fn name(&self) -> &str { "toy" }
+    /// # }
+    /// # fn reduced() -> Toy { Toy(WindowSpec::new(4, 1, 1).unwrap(), Vec::new()) }
+    /// let mut hub = Hub::new();
+    /// hub.register_grouped_alg(reduced(), 16, 4).unwrap();
+    /// // descending scores: after the first, every arrival in the open
+    /// // slide is dominated by k_max = 1 admitted object and is pruned
+    /// let batch: Vec<Object> = (0..4).map(|i| Object::new(i, -(i as f64))).collect();
+    /// hub.publish(&batch);
+    /// assert_eq!(hub.stats().pruned, 3);
+    ///
+    /// // knob off: the reference arm admits everything
+    /// hub.set_admission_pruning(false);
+    /// hub.publish(&batch);
+    /// assert_eq!(hub.stats().pruned, 3); // unchanged
+    /// assert_eq!(hub.stats().admitted, 1 + 4);
+    /// ```
+    pub fn set_admission_pruning(&mut self, enabled: bool) {
+        self.registry.set_admission_pruning(enabled);
+    }
+
     /// Iterates the registered query handles in registration order.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
         self.registry.query_ids()
@@ -1656,6 +1797,7 @@ impl Hub {
             let mut registry = dec.section(tags::REGISTRY)?;
             parts.push(Registry::decode_checkpoint(
                 &mut registry,
+                checkpoint.version(),
                 &mut |name, spec| factory.count(name, spec).map(|b| b as Box<dyn SlidingTopK>),
                 &mut |name, spec| factory.timed(name, spec).map(|b| b as Box<dyn TimedTopK>),
             )?);

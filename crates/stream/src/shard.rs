@@ -110,6 +110,7 @@ use crate::checkpoint::{tags, Checkpoint, CheckpointError, Decoder, Encoder, Eng
 use crate::digest::{DigestProducer, SharedTimed};
 use crate::events::Snapshot;
 use crate::object::{Object, TimedObject};
+use crate::predicate::Predicate;
 use crate::query::SapError;
 use crate::registry::{CountGroupState, GroupKeys, HubStats, Registry, RegistryParts};
 use crate::session::{AnySession, QueryId, QueryUpdate};
@@ -171,17 +172,26 @@ pub(crate) enum Command {
     AdvanceTime(u64),
     Register(QueryId, Box<dyn SlidingTopK + Send>),
     RegisterTimed(QueryId, Box<dyn TimedTopK + Send>),
-    /// The trailing `usize` is the hub-computed home shard for the
-    /// query's slide group — the receiving worker debug-asserts it owns
-    /// it, so a group can never silently span shards.
-    RegisterShared(QueryId, SharedTimed<Box<dyn SlidingTopK + Send>>, usize),
+    /// The subscription predicate is part of the group key (disjoint
+    /// predicates split one slide duration into sub-groups). The trailing
+    /// `usize` is the hub-computed home shard for the query's slide group
+    /// — the receiving worker debug-asserts it owns it, so a group can
+    /// never silently span shards.
+    RegisterShared(
+        QueryId,
+        SharedTimed<Box<dyn SlidingTopK + Send>>,
+        Predicate,
+        usize,
+    ),
     /// A count-group member: the reduced consumer, the plain `⟨n, k, s⟩`
-    /// spec, and the hub-computed home shard of its geometry class (same
+    /// spec, the subscription predicate (part of the geometry-class key),
+    /// and the hub-computed home shard of its class (same
     /// no-silent-spanning contract as `RegisterShared`).
     RegisterGrouped(
         QueryId,
         SharedTimed<Box<dyn SlidingTopK + Send>>,
         WindowSpec,
+        Predicate,
         usize,
     ),
     Unregister(QueryId, mpsc::Sender<ShardSession>),
@@ -200,15 +210,16 @@ pub(crate) enum Command {
     /// Adopt a session that already carries live state (a restore or a
     /// live migration). A shared session's group must be installed first.
     Install(QueryId, ShardSession),
-    InstallGroup(u64, DigestProducer),
+    InstallGroup((u64, Predicate), DigestProducer),
     /// Adopt a count group and its member sessions as one unit — a count
     /// group never travels without its members.
     InstallCountGroup(CountGroupState, Vec<(QueryId, ShardSession)>),
-    InstallCounters(u64, u64, u64, u64),
+    /// Digest hits/rebuilds, count-group hits/rebuilds, admitted/pruned.
+    InstallCounters(u64, u64, u64, u64, u64, u64),
     /// Hand a slide group — producer plus every member session — to the
     /// hub for migration to another shard.
     EjectGroup(
-        u64,
+        (u64, Predicate),
         mpsc::Sender<(DigestProducer, Vec<(QueryId, ShardSession)>)>,
     ),
     /// Hand over the count group containing this member, with every
@@ -224,6 +235,10 @@ pub(crate) enum Command {
     /// shard (traveling sessions re-class regardless; see
     /// [`Registry::set_class_sharing`]).
     SetClassSharing(bool),
+    /// Toggle ingest-side dominance pruning on this shard's registry
+    /// (takes effect immediately for every group it serves; see
+    /// [`Registry::set_admission_pruning`]).
+    SetAdmissionPruning(bool),
 }
 
 impl Command {
@@ -273,11 +288,11 @@ pub(crate) fn apply_command(
         Command::AdvanceTime(watermark) => updates.extend(registry.advance_time(watermark)),
         Command::Register(id, alg) => registry.register_count(id, alg),
         Command::RegisterTimed(id, engine) => registry.register_timed(id, engine),
-        Command::RegisterShared(id, consumer, home) => {
-            registry.register_shared(id, consumer, Some(home))
+        Command::RegisterShared(id, consumer, predicate, home) => {
+            registry.register_shared(id, consumer, predicate, Some(home))
         }
-        Command::RegisterGrouped(id, consumer, spec, home) => {
-            registry.register_grouped(id, consumer, spec, Some(home))
+        Command::RegisterGrouped(id, consumer, spec, predicate, home) => {
+            registry.register_grouped(id, consumer, spec, predicate, Some(home))
         }
         Command::Unregister(id, reply) => {
             // membership is checked hub-side; a miss here would be a
@@ -309,15 +324,15 @@ pub(crate) fn apply_command(
             let _ = reply.send(enc.into_payload());
         }
         Command::Install(id, session) => registry.install(id, session),
-        Command::InstallGroup(sd, producer) => registry.install_group(sd, producer),
+        Command::InstallGroup(key, producer) => registry.install_group(key, producer),
         Command::InstallCountGroup(state, members) => registry.install_count_group(state, members),
-        Command::InstallCounters(hits, rebuilds, count_hits, count_rebuilds) => {
-            registry.install_counters(hits, rebuilds, count_hits, count_rebuilds)
+        Command::InstallCounters(hits, rebuilds, count_hits, count_rebuilds, admitted, pruned) => {
+            registry.install_counters(hits, rebuilds, count_hits, count_rebuilds, admitted, pruned)
         }
-        Command::EjectGroup(sd, reply) => {
+        Command::EjectGroup(key, reply) => {
             // group residence is tracked hub-side; a miss here is a
             // routing bug, surfaced as a RecvError on the hub's reply
-            if let Some(ejected) = registry.eject_group(sd) {
+            if let Some(ejected) = registry.eject_group(key) {
                 let _ = reply.send(ejected);
             }
         }
@@ -331,6 +346,7 @@ pub(crate) fn apply_command(
             let _ = reply.send((registry.eject_all(), std::mem::take(updates)));
         }
         Command::SetClassSharing(enabled) => registry.set_class_sharing(enabled),
+        Command::SetAdmissionPruning(enabled) => registry.set_admission_pruning(enabled),
     }
 }
 
@@ -385,31 +401,36 @@ pub(crate) struct Placement {
     /// empty shards can be skipped on publish.
     pub(crate) shard_len: Vec<usize>,
     pub(crate) registered: BTreeSet<QueryId>,
-    /// `slide_duration` → (owning shard, member count) for the shared
-    /// digest plane. Slide groups are **shard-local** (a digest producer
-    /// lives where its members live), so every member of a group must
-    /// land on one shard: the first member places the group by hash of
-    /// its id, later members follow the group even when their own hash
-    /// disagrees. Which shard a query runs on never affects results —
-    /// a drain sorts globally by `(QueryId, slide)` — so group-aware
-    /// placement preserves the deterministic drain contract by
-    /// construction.
-    pub(crate) shared_groups: HashMap<u64, (usize, usize)>,
+    /// `(slide_duration, predicate)` → (owning shard, member count) for
+    /// the shared digest plane (predicate-disjoint members of one slide
+    /// duration are separate sub-groups, mirroring the workers' keying).
+    /// Slide groups are **shard-local** (a digest producer lives where
+    /// its members live), so every member of a group must land on one
+    /// shard: the first member places the group by hash of its id, later
+    /// members follow the group even when their own hash disagrees.
+    /// Which shard a query runs on never affects results — a drain sorts
+    /// globally by `(QueryId, slide)` — so group-aware placement
+    /// preserves the deterministic drain contract by construction.
+    pub(crate) shared_groups: HashMap<(u64, Predicate), (usize, usize)>,
     /// Slide-group key of each registered shared query, for unregister
     /// bookkeeping.
-    pub(crate) shared_sd: HashMap<QueryId, u64>,
-    /// `(slide length, founding offset mod s)` → (owning shard, member
-    /// count) for the shared **count** plane. The hub mirrors the
-    /// workers' join rule arithmetically: a worker group founded when the
-    /// hub had published `o` objects has an empty open slide exactly when
-    /// `published ≡ o (mod s)` — so routing a registration to the group
-    /// keyed `(s, published mod s)` lands it precisely where the worker's
-    /// own join scan will accept it. Count groups are shard-local like
-    /// slide groups, with the same whole-group migration discipline.
-    pub(crate) count_groups_hub: HashMap<(u64, u64), (usize, usize)>,
+    pub(crate) shared_sd: HashMap<QueryId, (u64, Predicate)>,
+    /// `(slide length, founding offset mod s, predicate)` → (owning
+    /// shard, member count) for the shared **count** plane. The hub
+    /// mirrors the workers' join rule arithmetically: a worker group
+    /// founded when the hub had published `o` objects has an empty open
+    /// slide exactly when `published ≡ o (mod s)` — so routing a
+    /// registration to the group keyed `(s, published mod s, predicate)`
+    /// lands it precisely where the worker's own join scan will accept
+    /// it. (The worker tracks its open-slide fill by *arrival ordinal*,
+    /// which every published object advances whether or not the
+    /// predicate admits it, so this arithmetic is predicate-blind.)
+    /// Count groups are shard-local like slide groups, with the same
+    /// whole-group migration discipline.
+    pub(crate) count_groups_hub: HashMap<(u64, u64, Predicate), (usize, usize)>,
     /// Count-group key of each registered grouped query, for routing and
     /// unregister bookkeeping.
-    pub(crate) grouped_key: HashMap<QueryId, (u64, u64)>,
+    pub(crate) grouped_key: HashMap<QueryId, (u64, u64, Predicate)>,
     /// Objects accepted hub-wide (all publish paths) — the registration
     /// offset counter the count-group keys are phased against. Never
     /// reset: keys only ever use it mod `s`, and [`place_parts_on`]
@@ -545,20 +566,28 @@ pub(crate) fn register_shared_on(
     engine: Box<dyn SlidingTopK + Send>,
     window_duration: u64,
     slide_duration: u64,
+    predicate: Predicate,
 ) -> Result<QueryId, SapError> {
+    predicate
+        .validate()
+        .map_err(|reason| SapError::InvalidPredicate { reason })?;
     let consumer = SharedTimed::from_engine(engine, window_duration, slide_duration)
         .map_err(SapError::Spec)?;
     let id = p.fresh_id();
-    let shard = match p.shared_groups.get(&slide_duration) {
+    let key = (slide_duration, predicate);
+    let shard = match p.shared_groups.get(&key) {
         Some(&(shard, _)) => shard,
         None => p.shard_of(id),
     };
-    port.send(shard, Command::RegisterShared(id, consumer, shard))?;
-    let members = p.shared_groups.entry(slide_duration).or_insert((shard, 0));
+    port.send(
+        shard,
+        Command::RegisterShared(id, consumer, predicate, shard),
+    )?;
+    let members = p.shared_groups.entry(key).or_insert((shard, 0));
     members.1 += 1;
     p.shard_len[shard] += 1;
     p.registered.insert(id);
-    p.shared_sd.insert(id, slide_duration);
+    p.shared_sd.insert(id, key);
     Ok(id)
 }
 
@@ -573,16 +602,23 @@ pub(crate) fn register_grouped_on(
     engine: Box<dyn SlidingTopK + Send>,
     n: usize,
     s: usize,
+    predicate: Predicate,
 ) -> Result<QueryId, SapError> {
+    predicate
+        .validate()
+        .map_err(|reason| SapError::InvalidPredicate { reason })?;
     let spec = WindowSpec::new(n, engine.spec().k, s).map_err(SapError::Spec)?;
     let consumer = SharedTimed::from_engine(engine, n as u64, s as u64).map_err(SapError::Spec)?;
     let id = p.fresh_id();
-    let key = (s as u64, p.published % s as u64);
+    let key = (s as u64, p.published % s as u64, predicate);
     let shard = match p.count_groups_hub.get(&key) {
         Some(&(shard, _)) => shard,
         None => p.shard_of(id),
     };
-    port.send(shard, Command::RegisterGrouped(id, consumer, spec, shard))?;
+    port.send(
+        shard,
+        Command::RegisterGrouped(id, consumer, spec, predicate, shard),
+    )?;
     let members = p.count_groups_hub.entry(key).or_insert((shard, 0));
     members.1 += 1;
     p.shard_len[shard] += 1;
@@ -752,6 +788,7 @@ pub(crate) fn decode_hub_checkpoint(
         let mut registry = dec.section(tags::REGISTRY)?;
         parts.push(Registry::decode_checkpoint(
             &mut registry,
+            checkpoint.version(),
             &mut |name, spec| factory.count(name, spec),
             &mut |name, spec| factory.timed(name, spec),
         )?);
@@ -784,6 +821,8 @@ pub(crate) fn place_parts_on(
         digest_rebuilds,
         count_group_hits,
         count_group_rebuilds,
+        admitted,
+        pruned,
     } = parts;
     // grouped sessions travel with their count group, not alone — split
     // them out by canonical group index (ascending id within each group,
@@ -801,21 +840,23 @@ pub(crate) fn place_parts_on(
             None => loose.push((id, session)),
         }
     }
-    let mut group_home: HashMap<u64, usize> = HashMap::new();
-    for (sd, _) in &groups {
+    let mut group_home: HashMap<(u64, Predicate), usize> = HashMap::new();
+    for (key, _) in &groups {
         let lowest = loose
             .iter()
             .find_map(|(id, s)| match s {
-                AnySession::Shared(m) if m.slide_duration() == *sd => Some(*id),
+                AnySession::Shared(m) if m.slide_duration() == key.0 && m.predicate() == key.1 => {
+                    Some(*id)
+                }
                 _ => None,
             })
             .expect("merge validated every group has members");
-        group_home.insert(*sd, p.shard_of(lowest));
+        group_home.insert(*key, p.shard_of(lowest));
     }
-    for (sd, producer) in groups {
-        let shard = group_home[&sd];
-        port.send(shard, Command::InstallGroup(sd, producer))?;
-        p.shared_groups.insert(sd, (shard, 0));
+    for (key, producer) in groups {
+        let shard = group_home[&key];
+        port.send(shard, Command::InstallGroup(key, producer))?;
+        p.shared_groups.insert(key, (shard, 0));
     }
     for (state, members) in count_groups.into_iter().zip(count_members) {
         let lowest = members
@@ -825,13 +866,16 @@ pub(crate) fn place_parts_on(
         let shard = p.shard_of(lowest);
         let sd = state.producer.slide_duration();
         // re-derive the founding offset class against the current
-        // counter: the installed group's open slide has `pending`
-        // objects, so it last sat empty `pending` objects ago — class
-        // `(published − pending) mod s`. Merge rejected same-(s,
-        // pending) collisions, so keys are unique.
+        // counter: the installed group's open slide has observed `fill`
+        // arrivals (by ordinal — admission pruning withholds objects
+        // from `pending` but never from the ordinal clock), so it last
+        // sat empty `fill` objects ago — class `(published − fill) mod
+        // s`. Merge rejected same-(s, fill, predicate) collisions, so
+        // keys are unique.
         let key = (
             sd,
-            (p.published % sd + sd - state.producer.pending_len() as u64) % sd,
+            (p.published % sd + sd - state.fill() % sd) % sd,
+            state.predicate,
         );
         for (id, _) in &members {
             p.grouped_key.insert(*id, key);
@@ -844,10 +888,10 @@ pub(crate) fn place_parts_on(
     for (id, session) in loose {
         let shard = match &session {
             AnySession::Shared(s) => {
-                let sd = s.slide_duration();
-                p.shared_sd.insert(id, sd);
-                p.shared_groups.get_mut(&sd).expect("group placed above").1 += 1;
-                group_home[&sd]
+                let key = (s.slide_duration(), s.predicate());
+                p.shared_sd.insert(id, key);
+                p.shared_groups.get_mut(&key).expect("group placed above").1 += 1;
+                group_home[&key]
             }
             _ => p.shard_of(id),
         };
@@ -859,6 +903,8 @@ pub(crate) fn place_parts_on(
         || digest_rebuilds != 0
         || count_group_hits != 0
         || count_group_rebuilds != 0
+        || admitted != 0
+        || pruned != 0
     {
         port.send(
             0,
@@ -867,6 +913,8 @@ pub(crate) fn place_parts_on(
                 digest_rebuilds,
                 count_group_hits,
                 count_group_rebuilds,
+                admitted,
+                pruned,
             ),
         )?;
     }
@@ -964,9 +1012,11 @@ fn reinstall_parts_on(
         digest_rebuilds,
         count_group_hits,
         count_group_rebuilds,
+        admitted,
+        pruned,
     } = parts;
-    for (sd, producer) in groups {
-        port.send(shard, Command::InstallGroup(sd, producer))?;
+    for (key, producer) in groups {
+        port.send(shard, Command::InstallGroup(key, producer))?;
     }
     let mut count_members: Vec<Vec<(QueryId, ShardSession)>> =
         (0..count_groups.len()).map(|_| Vec::new()).collect();
@@ -983,6 +1033,8 @@ fn reinstall_parts_on(
         || digest_rebuilds != 0
         || count_group_hits != 0
         || count_group_rebuilds != 0
+        || admitted != 0
+        || pruned != 0
     {
         port.send(
             shard,
@@ -991,6 +1043,8 @@ fn reinstall_parts_on(
                 digest_rebuilds,
                 count_group_hits,
                 count_group_rebuilds,
+                admitted,
+                pruned,
             ),
         )?;
     }
@@ -1082,6 +1136,10 @@ pub struct ShardedHub {
     /// The result-class registration knob, remembered hub-side so
     /// workers spawned by [`resize`](ShardedHub::resize) inherit it.
     class_sharing: bool,
+    /// The admission-pruning knob, remembered hub-side for the same
+    /// reason: workers spawned by [`resize`](ShardedHub::resize) default
+    /// to pruning and must inherit a disabled knob.
+    admission_pruning: bool,
 }
 
 impl std::fmt::Debug for ShardedHub {
@@ -1115,6 +1173,7 @@ impl ShardedHub {
             parked_updates: Vec::new(),
             queue_capacity,
             class_sharing: true,
+            admission_pruning: true,
         }
     }
 
@@ -1231,6 +1290,27 @@ impl ShardedHub {
         window_duration: u64,
         slide_duration: u64,
     ) -> Result<QueryId, SapError> {
+        self.register_shared_filtered_boxed(
+            engine,
+            window_duration,
+            slide_duration,
+            Predicate::default(),
+        )
+    }
+
+    /// [`register_shared_boxed`](ShardedHub::register_shared_boxed) with
+    /// a **subscription predicate** (see
+    /// `Hub::register_shared_filtered_boxed` for the semantics).
+    /// Predicate-disjoint members of one slide duration form separate
+    /// sub-groups, each placed independently. An invalid predicate is a
+    /// typed [`SapError::InvalidPredicate`] and burns no id.
+    pub fn register_shared_filtered_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK + Send>,
+        window_duration: u64,
+        slide_duration: u64,
+        predicate: Predicate,
+    ) -> Result<QueryId, SapError> {
         self.flush_pending_one()?;
         register_shared_on(
             &mut self.placement,
@@ -1238,6 +1318,7 @@ impl ShardedHub {
             engine,
             window_duration,
             slide_duration,
+            predicate,
         )
     }
 
@@ -1271,10 +1352,33 @@ impl ShardedHub {
         n: usize,
         s: usize,
     ) -> Result<QueryId, SapError> {
+        self.register_grouped_filtered_boxed(engine, n, s, Predicate::default())
+    }
+
+    /// [`register_grouped_boxed`](ShardedHub::register_grouped_boxed)
+    /// with a **subscription predicate** (see
+    /// `Hub::register_grouped_filtered_boxed` for the semantics).
+    /// Predicate-disjoint members of one geometry class form separate
+    /// sub-groups, each placed independently. An invalid predicate is a
+    /// typed [`SapError::InvalidPredicate`] and burns no id.
+    pub fn register_grouped_filtered_boxed(
+        &mut self,
+        engine: Box<dyn SlidingTopK + Send>,
+        n: usize,
+        s: usize,
+        predicate: Predicate,
+    ) -> Result<QueryId, SapError> {
         // coalesced publishes precede the registration — this also settles
         // `published`, so the geometry key is phase-exact
         self.flush_pending_one()?;
-        register_grouped_on(&mut self.placement, &self.shards[..], engine, n, s)
+        register_grouped_on(
+            &mut self.placement,
+            &self.shards[..],
+            engine,
+            n,
+            s,
+            predicate,
+        )
     }
 
     /// Registers an owned engine on the shared count plane (convenience
@@ -1555,9 +1659,13 @@ impl ShardedHub {
         self.shards = Self::spawn_workers(num_shards, self.queue_capacity);
         self.placement.reset(num_shards);
         place_parts_on(&mut self.placement, &self.shards[..], merged)?;
-        // fresh workers default to pooling; re-broadcast a disabled knob
+        // fresh workers default to pooling and pruning; re-broadcast
+        // disabled knobs
         if !self.class_sharing {
             self.broadcast_class_sharing()?;
+        }
+        if !self.admission_pruning {
+            self.broadcast_admission_pruning()?;
         }
         Ok(())
     }
@@ -1579,6 +1687,27 @@ impl ShardedHub {
     fn broadcast_class_sharing(&self) -> Result<(), SapError> {
         for shard in 0..self.shards.len() {
             self.shards[..].send(shard, Command::SetClassSharing(self.class_sharing))?;
+        }
+        Ok(())
+    }
+
+    /// Enables or disables ingest-side dominance pruning on every shard
+    /// (default: enabled; see
+    /// [`Hub::set_admission_pruning`](crate::session::Hub::set_admission_pruning)
+    /// for the criterion and the safety argument). Results are
+    /// byte-identical either way; disabled is the reference arm where
+    /// [`HubStats::pruned`] stays `0`. Takes effect for every group,
+    /// existing and future, once each worker processes the toggle — i.e.
+    /// ordered with the publishes around it, like any other command.
+    pub fn set_admission_pruning(&mut self, enabled: bool) -> Result<(), SapError> {
+        self.flush_pending_one()?;
+        self.admission_pruning = enabled;
+        self.broadcast_admission_pruning()
+    }
+
+    fn broadcast_admission_pruning(&self) -> Result<(), SapError> {
+        for shard in 0..self.shards.len() {
+            self.shards[..].send(shard, Command::SetAdmissionPruning(self.admission_pruning))?;
         }
         Ok(())
     }
@@ -1801,8 +1930,9 @@ mod tests {
     #[test]
     fn shared_queries_follow_their_group_even_when_the_hash_disagrees() {
         let mut hub = ShardedHub::new(8);
+        let pass = Predicate::default();
         let founder = hub.register_shared_alg(Toy::new(4, 2, 2), 20, 10).unwrap();
-        let home = hub.placement.shared_groups[&10].0;
+        let home = hub.placement.shared_groups[&(10, pass)].0;
         assert_eq!(
             home,
             hub.placement.shard_of(founder),
@@ -1823,7 +1953,7 @@ mod tests {
             members.push(q);
         }
         assert!(disagreements > 0, "the hash must disagree for this to bite");
-        assert_eq!(hub.placement.shared_groups[&10].1, 13);
+        assert_eq!(hub.placement.shared_groups[&(10, pass)].1, 13);
         // placement is invisible in the output: byte-identical to the
         // sequential hub's registration-order delivery
         let mut seq = Hub::new();
@@ -1861,10 +1991,11 @@ mod tests {
         let mut hub = ShardedHub::new(1);
         // a Bomb on the shared plane: ⟨1, 1, 1⟩ is the reduction of
         // W⟨10, 10⟩ with k = 1, and the first closed slide kills shard 0
+        let pass = Predicate::default();
         let bomb = hub
             .register_shared_boxed(Box::new(Bomb(WindowSpec::new(1, 1, 1).unwrap())), 10, 10)
             .unwrap();
-        assert_eq!(hub.placement.shared_groups[&10], (0, 1));
+        assert_eq!(hub.placement.shared_groups[&(10, pass)], (0, 1));
         let _ = hub.publish_timed(&[TimedObject::new(0, 5, 1.0), TimedObject::new(1, 15, 2.0)]);
         let _ = hub.flush();
         // a registration into the group now targets the dead shard: a
@@ -1875,7 +2006,7 @@ mod tests {
             SapError::ShardDown { shard: 0 }
         );
         assert_eq!(
-            hub.placement.shared_groups[&10],
+            hub.placement.shared_groups[&(10, pass)],
             (0, 1),
             "a failed registration never counts as a member"
         );
@@ -1887,7 +2018,7 @@ mod tests {
             hub.unregister(bomb).unwrap_err(),
             SapError::ShardDown { shard: 0 }
         );
-        assert_eq!(hub.placement.shared_groups[&10], (0, 1));
+        assert_eq!(hub.placement.shared_groups[&(10, pass)], (0, 1));
     }
 
     #[test]
@@ -1983,8 +2114,18 @@ mod tests {
             )
             .unwrap()
         };
-        a.register_shared(QueryId::from_raw(0), consumer(0), Some(0));
-        b.register_shared(QueryId::from_raw(1), consumer(1), Some(1));
+        a.register_shared(
+            QueryId::from_raw(0),
+            consumer(0),
+            Predicate::default(),
+            Some(0),
+        );
+        b.register_shared(
+            QueryId::from_raw(1),
+            consumer(1),
+            Predicate::default(),
+            Some(1),
+        );
         let mut seen = GroupKeys::default();
         seen.absorb_disjoint(&a.group_keys(), 0);
         seen.absorb_disjoint(&b.group_keys(), 1); // must panic here
@@ -1999,7 +2140,7 @@ mod tests {
         let mut seen = GroupKeys::default();
         let shard_keys = GroupKeys {
             digest: Vec::new(),
-            count: vec![(4, 2)],
+            count: vec![(4, 2, Predicate::default())],
         };
         seen.absorb_disjoint(&shard_keys, 0);
         seen.absorb_disjoint(&shard_keys, 1); // must panic here

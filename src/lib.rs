@@ -258,28 +258,46 @@ pub trait HubExt {
     /// on the timestamps of `publish_timed` streams, each running its own
     /// isolated Appendix-A adapter (see
     /// [`register_shared`](HubExt::register_shared) for the sharing
-    /// alternative).
+    /// alternative). Isolated registrations have no admission plane, so a
+    /// query carrying a non-trivial [`Query::filter`] predicate is
+    /// rejected with [`SapError::PredicateUnsupported`] — register it on
+    /// a shared plane instead.
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError>;
 
     /// Validates and constructs a **time-based** query, then registers it
     /// on the hub's shared digest plane: every registered query with the
-    /// same `slide_duration` is served from one per-slide top-`k_max`
-    /// digest instead of recomputing its own, with byte-identical
-    /// results. A count-based query is [`SapError::NotTimeBased`].
+    /// same `slide_duration` **and the same [`Query::filter`]
+    /// predicate** is served from one per-slide top-`k_max` digest
+    /// instead of recomputing its own, with byte-identical results.
+    /// Predicate-disjoint queries on one slide duration form separate
+    /// sub-groups, so a selective subscription never perturbs a pass-all
+    /// neighbor. A count-based query is [`SapError::NotTimeBased`].
     fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError>;
 
     /// Validates and constructs a **count-based** query, then registers
     /// it on the hub's shared count plane: queries are grouped by window
-    /// geometry (slide length + registration offset mod `s`), each group
-    /// ingests every published object once, and members slice their
-    /// `(n, k)` view from the group's shared per-slide digest — with
-    /// results byte-identical to [`register`](HubExt::register). A
-    /// time-based query is [`SapError::NotCountBased`].
+    /// geometry (slide length + registration offset mod `s`) and
+    /// [`Query::filter`] predicate, each group ingests every published
+    /// object once, and members slice their `(n, k)` view from the
+    /// group's shared per-slide digest — with results byte-identical to
+    /// [`register`](HubExt::register). A time-based query is
+    /// [`SapError::NotCountBased`].
     fn register_grouped(&mut self, query: &Query) -> Result<QueryId, SapError>;
+}
+
+/// Isolated registrations carry no admission plane: reject a filtered
+/// query up front instead of silently ignoring its predicate.
+fn reject_isolated_predicate(query: &Query) -> Result<(), SapError> {
+    if query.predicate().is_pass_all() {
+        Ok(())
+    } else {
+        Err(SapError::PredicateUnsupported)
+    }
 }
 
 impl HubExt for Hub {
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        reject_isolated_predicate(query)?;
         if query.is_time_based() {
             let engine: Box<dyn TimedTopK> = build_timed(query)?;
             Ok(self.register_timed_boxed(engine))
@@ -291,7 +309,12 @@ impl HubExt for Hub {
     fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError> {
         let spec = query.validate_timed()?;
         let engine = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
-        self.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
+        self.register_shared_filtered_boxed(
+            engine,
+            spec.window_duration,
+            spec.slide_duration,
+            query.predicate(),
+        )
     }
 
     fn register_grouped(&mut self, query: &Query) -> Result<QueryId, SapError> {
@@ -300,12 +323,13 @@ impl HubExt for Hub {
             .and_then(|t| t.reduced())
             .map_err(SapError::Spec)?;
         let engine: Box<dyn SlidingTopK> = build_engine(reduced, query)?;
-        self.register_grouped_boxed(engine, spec.n, spec.s)
+        self.register_grouped_filtered_boxed(engine, spec.n, spec.s, query.predicate())
     }
 }
 
 impl HubExt for ShardedHub {
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        reject_isolated_predicate(query)?;
         if query.is_time_based() {
             self.register_timed_boxed(build_timed(query)?)
         } else {
@@ -316,7 +340,12 @@ impl HubExt for ShardedHub {
     fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError> {
         let spec = query.validate_timed()?;
         let engine = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
-        self.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
+        self.register_shared_filtered_boxed(
+            engine,
+            spec.window_duration,
+            spec.slide_duration,
+            query.predicate(),
+        )
     }
 
     fn register_grouped(&mut self, query: &Query) -> Result<QueryId, SapError> {
@@ -324,12 +353,18 @@ impl HubExt for ShardedHub {
         let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
             .and_then(|t| t.reduced())
             .map_err(SapError::Spec)?;
-        self.register_grouped_boxed(build_engine(reduced, query)?, spec.n, spec.s)
+        self.register_grouped_filtered_boxed(
+            build_engine(reduced, query)?,
+            spec.n,
+            spec.s,
+            query.predicate(),
+        )
     }
 }
 
 impl HubExt for AsyncHub {
     fn register(&mut self, query: &Query) -> Result<QueryId, SapError> {
+        reject_isolated_predicate(query)?;
         if query.is_time_based() {
             self.register_timed_boxed(build_timed(query)?)
         } else {
@@ -340,7 +375,12 @@ impl HubExt for AsyncHub {
     fn register_shared(&mut self, query: &Query) -> Result<QueryId, SapError> {
         let spec = query.validate_timed()?;
         let engine = build_engine(spec.reduced().map_err(SapError::Spec)?, query)?;
-        self.register_shared_boxed(engine, spec.window_duration, spec.slide_duration)
+        self.register_shared_filtered_boxed(
+            engine,
+            spec.window_duration,
+            spec.slide_duration,
+            query.predicate(),
+        )
     }
 
     fn register_grouped(&mut self, query: &Query) -> Result<QueryId, SapError> {
@@ -348,7 +388,12 @@ impl HubExt for AsyncHub {
         let reduced = TimedSpec::new(spec.n as u64, spec.s as u64, spec.k)
             .and_then(|t| t.reduced())
             .map_err(SapError::Spec)?;
-        self.register_grouped_boxed(build_engine(reduced, query)?, spec.n, spec.s)
+        self.register_grouped_filtered_boxed(
+            build_engine(reduced, query)?,
+            spec.n,
+            spec.s,
+            query.predicate(),
+        )
     }
 }
 
@@ -407,6 +452,42 @@ mod tests {
         assert_eq!(hub.len(), 0, "failed registration leaves no session");
         let id = hub.register(&Query::window(10).top(2).slide(5)).unwrap();
         assert_eq!(hub.session(id).unwrap().spec().k, 2);
+    }
+
+    #[test]
+    fn isolated_register_rejects_predicates_but_shared_planes_accept() {
+        let keyed = Predicate::any().score_at_least(3.0);
+        let counted = Query::window(10).top(2).slide(5).filter(keyed);
+        let timed = Query::window_duration(10)
+            .top(2)
+            .slide_duration(5)
+            .filter(keyed);
+
+        let mut hub = Hub::new();
+        for q in [&counted, &timed] {
+            assert!(matches!(
+                hub.register(q),
+                Err(SapError::PredicateUnsupported)
+            ));
+        }
+        assert_eq!(hub.len(), 0, "rejected registrations leave no session");
+        hub.register_shared(&timed).unwrap();
+        hub.register_grouped(&counted).unwrap();
+        assert_eq!(hub.len(), 2);
+
+        let mut sharded = ShardedHub::new(2);
+        assert!(matches!(
+            sharded.register(&counted),
+            Err(SapError::PredicateUnsupported)
+        ));
+        sharded.register_shared(&timed).unwrap();
+
+        let mut reactor = AsyncHub::new(2, 1);
+        assert!(matches!(
+            reactor.register(&timed),
+            Err(SapError::PredicateUnsupported)
+        ));
+        reactor.register_grouped(&counted).unwrap();
     }
 
     #[test]

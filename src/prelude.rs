@@ -23,8 +23,8 @@ pub use sap_stream::{
     run, run_collecting, AlgorithmKind, AnySession, ArrivalProcess, AsyncHub, Checkpoint,
     CheckpointError, CheckpointState, Dataset, DigestProducer, DigestRef, DigestView,
     EngineFactory, EventList, FifoScheduler, GroupedSession, Hub, HubSession, HubStats, Ingest,
-    Object, OpStats, Query, QueryId, QuerySpec, QueryState, QueryUpdate, RunSummary, SapError,
-    SapPolicy, Scheduler, ScoreKey, SeededScheduler, Session, ShardSession, ShardedHub,
+    Object, OpStats, Predicate, Query, QueryId, QuerySpec, QueryState, QueryUpdate, RunSummary,
+    SapError, SapPolicy, Scheduler, ScoreKey, SeededScheduler, Session, ShardSession, ShardedHub,
     SharedSession, SharedTimed, SlideDigest, SlideResult, SlideScratch, SlidingTopK, Snapshot,
     SpecError, TimedIngest, TimedObject, TimedSession, TimedSpec, TimedTopK, TopKEvent, WindowSpec,
     Workload,

@@ -490,6 +490,147 @@ fn async_park_wake_cycle_stays_under_constant_bound() {
     debug_assertions,
     ignore = "allocation bounds are pinned for release builds"
 )]
+fn predicate_rejected_publish_is_allocation_free() {
+    let _guard = LOCK.lock().unwrap();
+    // The admission plane's cheapest path: an object that misses every
+    // group's predicate only advances the ring and the ordinal clock —
+    // no digest ingest, no member work, no heap. After warm-up (ring at
+    // capacity, pools filled) a buffering publish whose objects are all
+    // rejected must be allocation-free, and a slide completed entirely
+    // by rejected objects is a quiet classed close (the previous Arc is
+    // re-emitted): the output Vec is the only permitted allocation.
+    let mut hub = Hub::new();
+    let members = 50usize;
+    for q in 0..members as u64 {
+        let k = 1 + (q as usize % 3);
+        hub.register_grouped(
+            &Query::window(200)
+                .top(k)
+                .slide(10)
+                .filter(Predicate::any().score_at_least(500.0)),
+        )
+        .unwrap();
+    }
+    let warm: Vec<Object> = (0..1_000u64).map(|i| Object::new(i, score(i))).collect();
+    for chunk in warm.chunks(10) {
+        hub.publish(chunk);
+    }
+    let stats = hub.stats();
+    assert_eq!(stats.count_groups, 1, "one predicate sub-group");
+    assert!(stats.count_group_hits > 0, "warm-up must serve group hits");
+
+    // half a slide of predicate misses: ring append + ordinal advance
+    // only — the publish must not touch the heap
+    let rejected: Vec<Object> = (1_000..1_005u64).map(|i| Object::new(i, 1.0)).collect();
+    let (updates, allocs) = measured(|| hub.publish(&rejected).len());
+    assert_eq!(updates, 0);
+    assert_eq!(allocs, 0, "predicate-miss publish must be allocation-free");
+
+    // the rest of the slide, still all misses: the close serves every
+    // member off the unchanged digest — quiet, so no per-member Arcs
+    let rest: Vec<Object> = (1_005..1_010u64).map(|i| Object::new(i, 1.0)).collect();
+    let (updates, allocs) = measured(|| hub.publish(&rest));
+    assert_eq!(updates.len(), members, "every member rides the close");
+    for u in &updates {
+        assert!(
+            !u.result.changed(),
+            "a slide of pure rejections cannot change any top-k"
+        );
+    }
+    assert!(
+        allocs <= 1,
+        "all-rejected slide close paid {allocs} allocations for {members} \
+         members (pinned bound: the output Vec only)"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
+fn dominance_pruned_quiet_path_meets_the_classed_pinned_bounds() {
+    let _guard = LOCK.lock().unwrap();
+    // The dominance gate's steady state must ride the same ceilings the
+    // result-class plane pinned (PR 5): a quiet classed close with most
+    // of the slide pruned pays the output Vec and nothing else, and a
+    // mid-slide publish of dominated objects is allocation-free — the
+    // gate check is a heap peek, and a pruned object skips ingest
+    // entirely.
+    let mut hub = Hub::new();
+    let members = 50usize;
+    for _ in 0..members {
+        hub.register_grouped(&Query::window(400).top(1).slide(10))
+            .unwrap();
+    }
+    // one spike per window dominates top-1 (quiet closes); within every
+    // slide the scores descend, so after the slide's first admission the
+    // gate (cap = k_max = 1) prunes the rest
+    let shaped = |i: u64| {
+        if i.is_multiple_of(400) {
+            10_000.0
+        } else {
+            900.0 - (i % 10) as f64
+        }
+    };
+    let warm: Vec<Object> = (0..1_000u64).map(|i| Object::new(i, shaped(i))).collect();
+    for chunk in warm.chunks(10) {
+        hub.publish(chunk);
+    }
+    let warm_stats = hub.stats();
+    assert!(
+        warm_stats.pruned > 0,
+        "descending slides must exercise the gate"
+    );
+    assert!(
+        warm_stats.prune_rate() > 0.5,
+        "most of each slide is dominated"
+    );
+
+    // mid-slide: the slide's maximum is already admitted, every further
+    // object is strictly dominated — pruned without touching the heap
+    let mut next = 1_000u64;
+    let dominated: Vec<Object> = (next + 1..next + 6)
+        .map(|i| Object::new(i, shaped(i)))
+        .collect();
+    hub.publish(&[Object::new(next, shaped(next))]);
+    let before = hub.stats().pruned;
+    let (updates, allocs) = measured(|| hub.publish(&dominated).len());
+    assert_eq!(updates, 0);
+    assert_eq!(
+        allocs, 0,
+        "pruned mid-slide publish must be allocation-free"
+    );
+    assert_eq!(hub.stats().pruned, before + 5, "all five were dominated");
+    next += 6;
+
+    // quiet closes with pruning live: the classed ceiling holds
+    for round in 0..10u64 {
+        let batch: Vec<Object> = (next..next + 10)
+            .map(|i| Object::new(i, shaped(i)))
+            .collect();
+        next += 10;
+        let (updates, allocs) = measured(|| hub.publish(&batch));
+        assert_eq!(updates.len(), members, "every member rides the close");
+        for u in &updates {
+            assert!(
+                !u.result.changed(),
+                "round {round}: the spike keeps it quiet"
+            );
+        }
+        assert!(
+            allocs <= 1,
+            "round {round}: pruned quiet close paid {allocs} allocations \
+             (pinned bound: the output Vec only)"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation bounds are pinned for release builds"
+)]
 fn checkpoint_leaves_the_warm_publish_path_allocation_free() {
     let _guard = LOCK.lock().unwrap();
     // A checkpoint is a read-only borrow of serving state: taking one on a

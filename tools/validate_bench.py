@@ -23,7 +23,10 @@ bench run already proved them once:
   query-count ladder,
 - the floor preset's memoized slide close stays >= 3x cheaper per member
   than both pre-memoization arms at the ladder top, with checksum
-  equality across all three and classed serving actually observed.
+  equality across all three and classed serving actually observed,
+- the prune preset's admission control stays >= 3x faster than the
+  knob-off arm at the ladder top while every arm emits byte-identical
+  updates (pruning must be result-invisible to count as pruning).
 """
 
 import json
@@ -454,6 +457,100 @@ def validate_floor(artifact, doc):
             )
 
 
+PRUNE_RUN_FIELDS = [
+    "arm",
+    "queries",
+    "elapsed_s",
+    "objects_per_sec",
+    "updates",
+    "checksum",
+    "admitted",
+    "pruned",
+    "prune_rate",
+]
+
+PRUNE_ARMS = {"off", "dominance", "dominance+predicate"}
+
+
+def validate_prune(artifact, doc):
+    check(doc.get("bench") == "prune", artifact, f'expected bench "prune", got {doc.get("bench")!r}')
+    if not require(
+        artifact,
+        doc,
+        [
+            "queries",
+            "len",
+            "sd_base",
+            "top_queries",
+            "speedup_dominance",
+            "speedup_predicate",
+            "runs",
+        ],
+        "top level",
+    ):
+        return
+    runs = doc["runs"]
+    if not check(len(runs) > 0, artifact, "no runs"):
+        return
+    rungs = {}
+    for r in runs:
+        if not require(artifact, r, PRUNE_RUN_FIELDS, f'run {r.get("arm")}/{r.get("queries")}'):
+            return
+        label = f'{r["arm"]}({r["queries"]})'
+        check(r["objects_per_sec"] > 0, artifact, f"{label}: zero throughput")
+        check(r["updates"] > 0, artifact, f"{label}: zero updates")
+        if r["arm"] == "off":
+            # the reference arm must never drop an object: pruned stays
+            # zero by construction, so a nonzero count means the knob
+            # leaked into the baseline
+            check(r["pruned"] == 0, artifact, f"{label}: knob-off run claims pruned objects")
+            check(r["prune_rate"] == 0.0, artifact, f"{label}: knob-off run claims a prune rate")
+        else:
+            # a pruning arm that never pruned proves nothing — the
+            # preset's skewed scores guarantee dominated arrivals
+            check(r["pruned"] > 0, artifact, f"{label}: pruning arm never pruned")
+            check(r["prune_rate"] > 0.0, artifact, f"{label}: zero prune rate on a pruning arm")
+        rungs.setdefault(r["queries"], {})[r["arm"]] = r
+    for count, arms in sorted(rungs.items()):
+        label = f"{count}-query rung"
+        if not check(
+            PRUNE_ARMS <= set(arms),
+            artifact,
+            f"{label} missing an arm (got {sorted(arms)})",
+        ):
+            continue
+        # pruning must be result-invisible: same update stream, same
+        # checksum, on every arm of every rung
+        check(
+            len({r["updates"] for r in arms.values()}) == 1,
+            artifact,
+            f"{label}: arms disagree on update count",
+        )
+        single_checksum(artifact, list(arms.values()), label)
+    # the headline claim: at the ladder top, admission control is >= 3x
+    # faster than publishing every object into every group
+    top = doc["top_queries"]
+    check(top in rungs, artifact, f"top_queries {top} has no runs")
+    for field in ("speedup_dominance", "speedup_predicate"):
+        check(
+            doc[field] >= 3.0,
+            artifact,
+            f"{field} {doc[field]} < 3.0 — admission control stopped paying for itself",
+        )
+    if top in rungs and PRUNE_ARMS <= set(rungs[top]):
+        arms = rungs[top]
+        for field, arm in (
+            ("speedup_dominance", "dominance"),
+            ("speedup_predicate", "dominance+predicate"),
+        ):
+            derived = arms[arm]["objects_per_sec"] / arms["off"]["objects_per_sec"]
+            check(
+                abs(derived - doc[field]) <= 0.05 * derived,
+                artifact,
+                f"{field} {doc[field]} does not match the top-rung runs ({derived:.3f})",
+            )
+
+
 def validate_async(artifact, doc):
     check(doc.get("bench") == "async_hub", artifact, f'expected bench "async_hub", got {doc.get("bench")!r}')
     if not require(
@@ -541,6 +638,7 @@ KNOWN = {
     "BENCH_fanout.json": validate_fanout,
     "BENCH_floor.json": validate_floor,
     "BENCH_async.json": validate_async,
+    "BENCH_prune.json": validate_prune,
 }
 
 
